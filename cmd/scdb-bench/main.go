@@ -1,0 +1,136 @@
+// Command scdb-bench regenerates the paper's evaluation tables and
+// figures on the simulated SmartchainDB and ETH-SC clusters and prints
+// them side by side with the published numbers.
+//
+// Usage:
+//
+//	scdb-bench -exp all                 # every experiment
+//	scdb-bench -exp fig7 -auctions 4 -bidders 10
+//	scdb-bench -exp fig8 -nodes 4,8,16,32
+//	scdb-bench -exp fig2
+//	scdb-bench -exp usability
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"smartchaindb/internal/bench"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: fig2 | fig7 | fig8 | usability | mix | recovery | all")
+		auctions = flag.Int("auctions", 4, "auctions per run")
+		bidders  = flag.Int("bidders", 10, "bidders per auction")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		sizes    = flag.String("sizes", "", "comma-separated payload sizes in bytes (default: the paper's 0.11-1.74 KB sweep)")
+		nodes    = flag.String("nodes", "", "comma-separated validator counts (default 4,8,16,32)")
+		mixScale = flag.Int("scale", 1000, "mix experiment: divide the paper's 110k-tx mix by this factor")
+	)
+	flag.Parse()
+
+	sizeList := bench.PayloadSizes
+	if *sizes != "" {
+		var err error
+		sizeList, err = parseInts(*sizes)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	nodeList := bench.ClusterSizes
+	if *nodes != "" {
+		var err error
+		nodeList, err = parseInts(*nodes)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	scale := bench.Fig7Scale{Auctions: *auctions, Bidders: *bidders}
+
+	runFig2 := func() {
+		r, err := bench.RunFig2(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintFig2(os.Stdout, r)
+	}
+	runFig7 := func() {
+		fmt.Printf("Experiment 1 — %d auctions x %d bidders per size point\n\n", *auctions, *bidders)
+		rows, err := bench.RunFig7(sizeList, scale, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintFig7(os.Stdout, rows)
+	}
+	runFig8 := func() {
+		fmt.Printf("Experiment 2 — 1.09 KB transactions, %d auctions x %d bidders per cluster size\n\n", *auctions, *bidders)
+		rows, err := bench.RunFig8(nodeList, scale, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintFig8(os.Stdout, rows)
+	}
+	runUsability := func() {
+		r, err := bench.RunUsability()
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintUsability(os.Stdout, r)
+	}
+	runMix := func() {
+		bench.PrintMix(os.Stdout, bench.RunMix(*mixScale, *seed))
+	}
+	runRecovery := func() {
+		r, err := bench.RunRecovery(*bidders, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintRecovery(os.Stdout, r)
+	}
+
+	switch *exp {
+	case "fig2":
+		runFig2()
+	case "fig7":
+		runFig7()
+	case "fig8":
+		runFig8()
+	case "usability":
+		runUsability()
+	case "mix":
+		runMix()
+	case "recovery":
+		runRecovery()
+	case "all":
+		runFig2()
+		runFig7()
+		runFig8()
+		runUsability()
+		runMix()
+		runRecovery()
+	default:
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scdb-bench:", err)
+	os.Exit(1)
+}

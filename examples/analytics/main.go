@@ -1,0 +1,102 @@
+// Analytics: the business-intelligence queries of §2.1 that smart
+// contracts cannot serve, run against a marketplace with several
+// concurrent auctions: open-request discovery by capability, per-account
+// bid history, auction outcomes, and operation rollups — all
+// index-backed document queries against the chain's collections.
+//
+//	go run ./examples/analytics
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"smartchaindb/internal/query"
+	"smartchaindb/internal/server"
+	"smartchaindb/internal/txn"
+	"smartchaindb/internal/workload"
+)
+
+func main() {
+	node := server.NewNode(server.Config{ReservedSeed: 21})
+	gen := workload.NewGenerator(77, node.Escrow())
+
+	apply := func(txs ...*txn.Transaction) {
+		for _, t := range txs {
+			if err := node.Apply(t); err != nil {
+				log.Fatalf("apply %s: %v", t.Operation, err)
+			}
+		}
+	}
+
+	// Three auctions: two settle, one stays open.
+	specs := []struct {
+		caps    []string
+		bidders int
+		settle  bool
+	}{
+		{[]string{"3d-printing"}, 4, true},
+		{[]string{"cnc-milling", "anodizing"}, 3, true},
+		{[]string{"3d-printing", "injection-molding"}, 5, false},
+	}
+	groups := make([]*workload.AuctionGroup, 0, len(specs))
+	base := 0
+	for _, s := range specs {
+		g := gen.NewAuctionGroup(base, workload.AuctionGroupSpec{
+			BiddersPerAuction: s.bidders,
+			Capabilities:      s.caps,
+		})
+		base += s.bidders + 1
+		apply(g.Request)
+		apply(g.Creates...)
+		apply(g.Bids...)
+		if s.settle {
+			apply(g.Accept)
+		}
+		groups = append(groups, g)
+	}
+
+	q := query.New(node.State())
+
+	fmt.Println("Open service requests by capability (provider discovery):")
+	for _, cap := range []string{"3d-printing", "cnc-milling", "injection-molding"} {
+		open := q.OpenRequestsWithCapability(cap)
+		fmt.Printf("  %-18s %d open request(s)\n", cap, len(open))
+	}
+
+	fmt.Println("\nAuction outcomes:")
+	for i, g := range groups {
+		if out, ok := q.AuctionOutcome(g.Request.ID); ok {
+			fmt.Printf("  auction %d: winner %s..., %d returns, settled=%v\n",
+				i+1, out.Winner[:10], len(out.Losers), out.Settled)
+		} else {
+			fmt.Printf("  auction %d: still open with %d bids\n",
+				i+1, len(q.BidsForRequest(g.Request.ID)))
+		}
+	}
+
+	fmt.Println("\nBid history for one supplier:")
+	supplier := groups[0].Bidders[0]
+	for _, bid := range q.BidsByAccount(supplier.PublicBase58()) {
+		fmt.Printf("  bid %s on request %s\n", bid.ID[:12]+"...", bid.Refs[0][:12]+"...")
+	}
+
+	fmt.Println("\nAssets advertising 3d-printing capability:")
+	assets := q.AssetsWithCapability("3d-printing")
+	fmt.Printf("  %d assets registered\n", len(assets))
+
+	fmt.Println("\nChain composition (operation rollup):")
+	counts := q.OperationCounts()
+	ops := make([]string, 0, len(counts))
+	for op := range counts {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	total := 0
+	for _, op := range ops {
+		fmt.Printf("  %-12s %4d\n", op, counts[op])
+		total += counts[op]
+	}
+	fmt.Printf("  %-12s %4d\n", "TOTAL", total)
+}

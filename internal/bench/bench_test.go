@@ -1,0 +1,192 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSCDBSmall(t *testing.T) {
+	res := RunSCDB(SCDBParams{PayloadBytes: 371, Auctions: 2, Bidders: 3, Seed: 1})
+	// 2 requests + 6 creates + 6 bids + 2 accepts + 6 children = 22.
+	if res.Committed != 22 {
+		t.Fatalf("committed = %d, want 22", res.Committed)
+	}
+	for _, op := range []string{"CREATE", "REQUEST", "BID", "ACCEPT_BID"} {
+		st := res.PerOp[op]
+		if st.Count == 0 || st.Mean <= 0 {
+			t.Errorf("%s stats = %+v", op, st)
+		}
+	}
+	if res.Throughput <= 0 {
+		t.Error("throughput should be positive")
+	}
+}
+
+func TestSCDBLatencyFlatAcrossSizes(t *testing.T) {
+	small := RunSCDB(SCDBParams{PayloadBytes: 112, Auctions: 2, Bidders: 3, Seed: 2})
+	big := RunSCDB(SCDBParams{PayloadBytes: 1740, Auctions: 2, Bidders: 3, Seed: 2})
+	// The declarative system's validation cost is payload-independent:
+	// latency at 1.74 KB stays within 50% of the 0.11 KB point.
+	for _, op := range []string{"CREATE", "BID"} {
+		s, b := small.PerOp[op].Mean, big.PerOp[op].Mean
+		if b > s*3/2 {
+			t.Errorf("%s latency grew with size: %v -> %v", op, s, b)
+		}
+	}
+}
+
+func TestRunETHSmall(t *testing.T) {
+	res, err := RunETH(ETHParams{PayloadBytes: 371, Auctions: 1, Bidders: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 rfq + 3 assets + 3 bids + 1 accept = 8.
+	if res.Committed != 8 {
+		t.Fatalf("committed = %d, want 8", res.Committed)
+	}
+	if res.Failed != 0 {
+		t.Errorf("failed receipts = %d", res.Failed)
+	}
+	for _, op := range []string{"CREATE", "REQUEST", "BID", "ACCEPT_BID"} {
+		if res.PerOp[op].Count == 0 {
+			t.Errorf("%s missing", op)
+		}
+		if res.GasPerOp[op] == 0 {
+			t.Errorf("%s gas missing", op)
+		}
+	}
+}
+
+func TestETHBidGasGrowsWithSize(t *testing.T) {
+	small, err := RunETH(ETHParams{PayloadBytes: 112, Auctions: 1, Bidders: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := RunETH(ETHParams{PayloadBytes: 1740, Auctions: 1, Bidders: 2, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.GasPerOp["BID"] < small.GasPerOp["BID"]*2 {
+		t.Errorf("BID gas should grow steeply with size: %d -> %d",
+			small.GasPerOp["BID"], big.GasPerOp["BID"])
+	}
+	if big.GasPerOp["CREATE"] < small.GasPerOp["CREATE"]*2 {
+		t.Errorf("CREATE gas should grow with stored payload: %d -> %d",
+			small.GasPerOp["CREATE"], big.GasPerOp["CREATE"])
+	}
+	if big.PerOp["BID"].Mean <= small.PerOp["BID"].Mean {
+		t.Errorf("BID latency should grow with size: %v -> %v",
+			small.PerOp["BID"].Mean, big.PerOp["BID"].Mean)
+	}
+}
+
+func TestFig2(t *testing.T) {
+	r, err := RunFig2(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NativeGas != 21000 {
+		t.Errorf("native gas = %d", r.NativeGas)
+	}
+	if r.GasOverheadPct < 20 || r.GasOverheadPct > 120 {
+		t.Errorf("gas overhead = %.0f%%, want roughly the paper's +40%%", r.GasOverheadPct)
+	}
+	var buf bytes.Buffer
+	PrintFig2(&buf, r)
+	if !strings.Contains(buf.String(), "native TRANSFER") {
+		t.Error("Fig2 printout missing rows")
+	}
+}
+
+func TestUsability(t *testing.T) {
+	r, err := RunUsability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ContractLines < 150 || r.ContractLines > 200 {
+		t.Errorf("contract lines = %d, want ~175", r.ContractLines)
+	}
+	if r.DeclarativeLines != 0 {
+		t.Errorf("declarative lines = %d, want 0", r.DeclarativeLines)
+	}
+	var buf bytes.Buffer
+	PrintUsability(&buf, r)
+	if !strings.Contains(buf.String(), "175") {
+		t.Error("usability printout missing paper reference")
+	}
+}
+
+func TestFig7TinySweepShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	rows, err := RunFig7([]int{112, 1740}, Fig7Scale{Auctions: 1, Bidders: 3}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	smallRow, bigRow := rows[0], rows[1]
+	// Shape 1: SCDB flat, ETH grows (latency for BID).
+	if bigRow.SCDB.PerOp["BID"].Mean > smallRow.SCDB.PerOp["BID"].Mean*2 {
+		t.Error("SCDB BID latency should stay flat")
+	}
+	if bigRow.ETH.PerOp["BID"].Mean <= smallRow.ETH.PerOp["BID"].Mean {
+		t.Error("ETH BID latency should grow")
+	}
+	// Shape 2: ETH is slower than SCDB at every size.
+	for _, row := range rows {
+		if row.ETH.PerOp["BID"].Mean < row.SCDB.PerOp["BID"].Mean {
+			t.Error("ETH-SC should be slower than SCDB")
+		}
+	}
+	// Shape 3: SCDB throughput above ETH at every size, and the ETH BID
+	// latency gap widens sharply at the largest payload.
+	for _, row := range rows {
+		if row.SCDB.Throughput < row.ETH.Throughput*3 {
+			t.Errorf("SCDB throughput %0.1f should exceed ETH %0.2f",
+				row.SCDB.Throughput, row.ETH.Throughput)
+		}
+	}
+	bigRatio := float64(bigRow.ETH.PerOp["BID"].Mean) / float64(bigRow.SCDB.PerOp["BID"].Mean)
+	if bigRatio < 5 {
+		t.Errorf("ETH/SCDB BID latency ratio at 1.74KB = %.1fx, want the gap to widen", bigRatio)
+	}
+	var buf bytes.Buffer
+	PrintFig7(&buf, rows)
+	for _, want := range []string{"Figure 7a", "Figure 7b", "Figure 7c"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("printout missing %s", want)
+		}
+	}
+}
+
+func TestFig8TinySweepShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is slow")
+	}
+	rows, err := RunFig8([]int{4, 8}, Fig7Scale{Auctions: 1, Bidders: 3}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Latency stays stable as the cluster grows (Figures 8a/8b).
+	for _, op := range []string{"CREATE", "BID"} {
+		s4 := rows[0].SCDB.PerOp[op].Mean
+		s8 := rows[1].SCDB.PerOp[op].Mean
+		if s8 > s4*2 {
+			t.Errorf("SCDB %s latency doubled from 4 to 8 nodes: %v -> %v", op, s4, s8)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig8(&buf, rows)
+	for _, want := range []string{"Figure 8a", "Figure 8b", "Figure 8c"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("printout missing %s", want)
+		}
+	}
+}

@@ -1,0 +1,319 @@
+// Package consensus implements a Tendermint-style BFT consensus engine
+// over the simulated network, standing in for the Tendermint service of
+// the BigchainDB/SmartchainDB stack. Each validator keeps a mempool fed
+// by gossip, proposals rotate round-robin, and a block commits once
+// more than 2/3 of the validators precommit it. The engine supports the
+// blockchain pipelining technique the paper credits for BigchainDB's
+// scalability — voting on block h+1 before block h is finalized — as a
+// configuration toggle so the ablation benchmarks can quantify it.
+//
+// Fault model: crash faults only (no equivocation), matching the
+// paper's failure scenarios: progress requires more than 2/3 of the
+// voting power online, and a crashed node rejoins with its state
+// intact.
+package consensus
+
+import (
+	"fmt"
+	"time"
+
+	"smartchaindb/internal/netsim"
+	"smartchaindb/internal/simclock"
+)
+
+// Tx is the unit of consensus: anything with a stable unique hash.
+type Tx interface{ Hash() string }
+
+// App is the state machine replicated by consensus — the ABCI-like
+// surface of the SmartchainDB server (CheckTx / DeliverTx / Commit in
+// Figure 4). One App instance runs per validator node.
+type App interface {
+	// CheckTx admits a transaction to the mempool (schema + semantic
+	// validation against committed state).
+	CheckTx(tx Tx) error
+	// ValidateBlock re-validates a proposed block before the node
+	// prevotes it (the DeliverTx-stage checks). It returns the invalid
+	// transactions; an empty result means the block is acceptable.
+	// Proposers also use it to filter their mempool before packing.
+	ValidateBlock(txs []Tx) []Tx
+	// ReceiverTime is the simulated time the receiver node spends
+	// validating one incoming transaction ("Prepare and Sign" +
+	// semantic validation).
+	ReceiverTime(tx Tx) time.Duration
+	// ValidationTime is the simulated time a validator spends on
+	// ValidateBlock before voting.
+	ValidationTime(txs []Tx) time.Duration
+	// Commit applies a decided block to local state.
+	Commit(height int64, txs []Tx)
+}
+
+// Config parameterizes a cluster.
+type Config struct {
+	// Nodes is the number of validators.
+	Nodes int
+	// BlockInterval paces proposals: a proposer waits this long after
+	// the previous proposal before cutting the next block.
+	BlockInterval time.Duration
+	// ProposeTimeout triggers a round change when a height stalls.
+	ProposeTimeout time.Duration
+	// MaxBlockTxs caps transactions per block (ignored when Packer is
+	// set).
+	MaxBlockTxs int
+	// Packer optionally selects which pending transactions form the
+	// next block (e.g. a gas-limited packer for the baseline chain).
+	Packer func(pending []Tx) []Tx
+	// Pipelined enables voting on block h+1 before h is finalized.
+	Pipelined bool
+	// Latency is the network latency model.
+	Latency netsim.LatencyModel
+	// RetryTimeout re-submits a client transaction that has neither
+	// committed nor been rejected — the driver-side re-trigger of
+	// §4.2.1 that rescues transactions lost to a crashing receiver.
+	RetryTimeout time.Duration
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c *Config) fill() {
+	if c.Nodes <= 0 {
+		c.Nodes = 4
+	}
+	if c.BlockInterval <= 0 {
+		c.BlockInterval = 100 * time.Millisecond
+	}
+	if c.ProposeTimeout <= 0 {
+		c.ProposeTimeout = 10 * c.BlockInterval
+	}
+	if c.MaxBlockTxs <= 0 {
+		c.MaxBlockTxs = 128
+	}
+	if c.Latency == nil {
+		c.Latency = netsim.UniformLatency{Base: 5 * time.Millisecond, Jitter: 5 * time.Millisecond}
+	}
+	if c.RetryTimeout <= 0 {
+		c.RetryTimeout = 2 * time.Second
+	}
+}
+
+// Quorum returns the vote threshold: more than 2/3 of n validators.
+func Quorum(n int) int { return 2*n/3 + 1 }
+
+// Cluster wires n validator nodes, their apps, and the network.
+type Cluster struct {
+	cfg   Config
+	sched *simclock.Scheduler
+	net   *netsim.Network
+	nodes []*node
+
+	submitTimes map[string]time.Duration
+	commitTimes map[string]time.Duration
+	rejected    map[string]error
+	onCommit    func(tx Tx, at time.Duration)
+}
+
+// NewCluster builds a cluster; appFor supplies each node's App.
+func NewCluster(cfg Config, appFor func(node int) App) *Cluster {
+	cfg.fill()
+	c := &Cluster{
+		cfg:         cfg,
+		sched:       simclock.NewScheduler(cfg.Seed),
+		submitTimes: make(map[string]time.Duration),
+		commitTimes: make(map[string]time.Duration),
+		rejected:    make(map[string]error),
+	}
+	c.net = netsim.New(c.sched, cfg.Latency)
+	for i := 0; i < cfg.Nodes; i++ {
+		n := newNode(c, netsim.NodeID(i), appFor(i))
+		c.nodes = append(c.nodes, n)
+		id := n.id
+		c.net.AddNode(id, func(msg netsim.Message) { c.nodes[id].handle(msg) })
+	}
+	// Arm every node's initial round timer.
+	for _, n := range c.nodes {
+		n.enterHeight(1)
+	}
+	return c
+}
+
+// Sched exposes the virtual clock.
+func (c *Cluster) Sched() *simclock.Scheduler { return c.sched }
+
+// Net exposes the simulated network (for crash/partition injection).
+func (c *Cluster) Net() *netsim.Network { return c.net }
+
+// OnCommit registers a hook invoked the first time each transaction
+// commits on any node.
+func (c *Cluster) OnCommit(fn func(tx Tx, at time.Duration)) { c.onCommit = fn }
+
+// SubmitAt schedules a client submission of tx at virtual time at. The
+// transaction lands on a randomly chosen receiver node — the random
+// receiver selection of Figure 4 — which validates it, then gossips it
+// to the other validators. If it neither commits nor is rejected
+// within the retry timeout (e.g. the receiver crashed mid-validation),
+// the client re-triggers it toward another node; resubmission is safe
+// because transaction identity is deterministic.
+func (c *Cluster) SubmitAt(at time.Duration, tx Tx) {
+	c.sched.At(at, func() {
+		if _, dup := c.submitTimes[tx.Hash()]; dup {
+			return
+		}
+		c.submitTimes[tx.Hash()] = c.sched.Now()
+		c.deliverToReceiver(tx, 0)
+	})
+}
+
+// maxClientRetries bounds re-triggering so a permanently stalled
+// cluster cannot spin the scheduler forever.
+const maxClientRetries = 200
+
+func (c *Cluster) deliverToReceiver(tx Tx, attempt int) {
+	if receiver := c.aliveReceiver(); receiver != nil {
+		receiver.receiveClientTx(tx)
+	} else if attempt >= maxClientRetries {
+		c.rejected[tx.Hash()] = fmt.Errorf("consensus: no receiver node alive")
+		return
+	}
+	c.sched.After(c.cfg.RetryTimeout, func() {
+		hash := tx.Hash()
+		if _, done := c.commitTimes[hash]; done {
+			return
+		}
+		if _, rej := c.rejected[hash]; rej {
+			return
+		}
+		if attempt >= maxClientRetries {
+			return
+		}
+		c.deliverToReceiver(tx, attempt+1)
+	})
+}
+
+// aliveReceiver picks a random non-crashed node.
+func (c *Cluster) aliveReceiver() *node {
+	alive := make([]*node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		if !c.net.IsDown(n.id) {
+			alive = append(alive, n)
+		}
+	}
+	if len(alive) == 0 {
+		return nil
+	}
+	return alive[c.sched.Rand().Intn(len(alive))]
+}
+
+// Crash takes validator i offline.
+func (c *Cluster) Crash(i int) { c.net.Crash(netsim.NodeID(i)) }
+
+// Restart brings validator i back online and re-arms its round timer so
+// it rejoins consensus.
+func (c *Cluster) Restart(i int) {
+	c.net.Restart(netsim.NodeID(i))
+	n := c.nodes[i]
+	c.sched.After(0, func() { n.enterHeight(n.height) })
+}
+
+// Node returns validator i's node handle (read-only use in tests).
+func (c *Cluster) Node(i int) *node { return c.nodes[i] }
+
+// RunUntil advances the simulation to virtual time t.
+func (c *Cluster) RunUntil(t time.Duration) { c.sched.RunUntil(t) }
+
+// RunUntilCommitted advances until want transactions have committed or
+// the virtual clock passes deadline. It reports the committed count.
+func (c *Cluster) RunUntilCommitted(want int, deadline time.Duration) int {
+	for len(c.commitTimes) < want && c.sched.Now() < deadline {
+		if !c.sched.Step() {
+			break
+		}
+	}
+	return len(c.commitTimes)
+}
+
+// CommitTime reports when a transaction first committed on any node.
+func (c *Cluster) CommitTime(hash string) (time.Duration, bool) {
+	t, ok := c.commitTimes[hash]
+	return t, ok
+}
+
+// SubmitTime reports when a transaction was submitted.
+func (c *Cluster) SubmitTime(hash string) (time.Duration, bool) {
+	t, ok := c.submitTimes[hash]
+	return t, ok
+}
+
+// Latency reports commit - submit for one transaction.
+func (c *Cluster) Latency(hash string) (time.Duration, bool) {
+	s, okS := c.submitTimes[hash]
+	e, okE := c.commitTimes[hash]
+	if !okS || !okE {
+		return 0, false
+	}
+	return e - s, true
+}
+
+// Rejected reports the admission error for a transaction, if any.
+func (c *Cluster) Rejected(hash string) (error, bool) {
+	err, ok := c.rejected[hash]
+	return err, ok
+}
+
+// CommittedCount returns the number of distinct committed transactions.
+func (c *Cluster) CommittedCount() int { return len(c.commitTimes) }
+
+// Summary aggregates cluster-wide latency/throughput statistics.
+type Summary struct {
+	Submitted   int
+	Committed   int
+	Rejected    int
+	MeanLatency time.Duration
+	MaxLatency  time.Duration
+	// Throughput is committed transactions per second of virtual time,
+	// measured from first submission to last commit (the paper's
+	// definition in §5.1.4).
+	Throughput float64
+}
+
+// Summarize computes the run summary.
+func (c *Cluster) Summarize() Summary {
+	s := Summary{Submitted: len(c.submitTimes), Committed: len(c.commitTimes), Rejected: len(c.rejected)}
+	if s.Committed == 0 {
+		return s
+	}
+	var total time.Duration
+	var firstSubmit, lastCommit time.Duration
+	first := true
+	for h, ct := range c.commitTimes {
+		st := c.submitTimes[h]
+		lat := ct - st
+		total += lat
+		if lat > s.MaxLatency {
+			s.MaxLatency = lat
+		}
+		if first || st < firstSubmit {
+			firstSubmit = st
+		}
+		if ct > lastCommit {
+			lastCommit = ct
+		}
+		first = false
+	}
+	s.MeanLatency = total / time.Duration(s.Committed)
+	if window := lastCommit - firstSubmit; window > 0 {
+		s.Throughput = float64(s.Committed) / window.Seconds()
+	}
+	return s
+}
+
+func (c *Cluster) recordCommit(txs []Tx) {
+	now := c.sched.Now()
+	for _, tx := range txs {
+		if _, dup := c.commitTimes[tx.Hash()]; dup {
+			continue
+		}
+		c.commitTimes[tx.Hash()] = now
+		if c.onCommit != nil {
+			c.onCommit(tx, now)
+		}
+	}
+}

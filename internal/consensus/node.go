@@ -1,0 +1,545 @@
+package consensus
+
+import (
+	"crypto/sha3"
+	"encoding/hex"
+	"time"
+
+	"smartchaindb/internal/netsim"
+	"smartchaindb/internal/simclock"
+)
+
+// Wire messages.
+
+type msgTx struct{ Tx Tx }
+
+type msgProposal struct {
+	Height  int64
+	Round   int
+	BlockID string
+	Txs     []Tx
+}
+
+type votePhase int
+
+const (
+	phasePrevote votePhase = iota
+	phasePrecommit
+)
+
+type msgVote struct {
+	Height  int64
+	Round   int
+	Phase   votePhase
+	BlockID string
+	Voter   netsim.NodeID
+}
+
+// Block sync (catch-up): a node that observes traffic for heights
+// beyond its own fetches the missing committed blocks from the peer it
+// heard from. Responses are trusted — the fault model is crash-only.
+type msgBlockRequest struct {
+	Height int64 // first height the requester is missing
+}
+
+type msgBlockResponse struct {
+	Height       int64
+	Txs          []Tx
+	PeerApplied  int64 // responder's applied height, to keep pulling
+	RequesterGap bool  // responder had nothing for the height
+}
+
+type hrKey struct {
+	h int64
+	r int
+}
+
+// node is one validator's consensus state machine.
+type node struct {
+	c   *Cluster
+	id  netsim.NodeID
+	app App
+
+	height int64 // height currently being decided
+
+	mempool   []Tx
+	inMempool map[string]bool
+	committed map[string]bool // tx hashes applied locally
+	reserved  map[string]bool // txs in a precommitted-but-unfinalized block (pipelining)
+
+	proposals    map[hrKey]*msgProposal
+	prevotes     map[hrKey]map[netsim.NodeID]string // voter -> blockID
+	precommits   map[hrKey]map[netsim.NodeID]string
+	sentPrevote  map[hrKey]bool
+	sentPrecomit map[hrKey]bool
+	// Tendermint locking rule: once this node precommits a block for a
+	// height, it must not prevote any other block there, and when it
+	// proposes in a later round it re-proposes the locked block. This
+	// is what makes conflicting commits impossible across rounds.
+	lockedID      map[int64]string
+	lockedProp    map[int64]*msgProposal
+	decided       map[int64][]Tx // heights decided but not yet applied in order
+	applied       int64          // highest height applied locally
+	appliedBlocks map[int64][]Tx // retained blocks served to lagging peers
+	lastCatchUp   time.Duration  // rate limiter for block requests
+
+	round         map[int64]int // current round per height
+	roundTimer    simclock.EventID
+	hasTimer      bool
+	lastProposal  time.Duration // pacing for this node's proposer role
+	lastBlockTime time.Duration // when the last block was applied locally
+	busyUntil     time.Duration // the node's single execution resource
+}
+
+func newNode(c *Cluster, id netsim.NodeID, app App) *node {
+	return &node{
+		c:             c,
+		id:            id,
+		app:           app,
+		height:        1,
+		inMempool:     make(map[string]bool),
+		committed:     make(map[string]bool),
+		reserved:      make(map[string]bool),
+		proposals:     make(map[hrKey]*msgProposal),
+		prevotes:      make(map[hrKey]map[netsim.NodeID]string),
+		precommits:    make(map[hrKey]map[netsim.NodeID]string),
+		sentPrevote:   make(map[hrKey]bool),
+		sentPrecomit:  make(map[hrKey]bool),
+		lockedID:      make(map[int64]string),
+		lockedProp:    make(map[int64]*msgProposal),
+		decided:       make(map[int64][]Tx),
+		appliedBlocks: make(map[int64][]Tx),
+		round:         make(map[int64]int),
+	}
+}
+
+// Height returns the height the node is currently deciding.
+func (n *node) Height() int64 { return n.height }
+
+// MempoolSize returns the node's pending transaction count.
+func (n *node) MempoolSize() int { return len(n.mempool) }
+
+func (n *node) proposerFor(h int64, r int) netsim.NodeID {
+	return netsim.NodeID((int(h) + r) % n.c.cfg.Nodes)
+}
+
+// charge serializes simulated work on the node's single execution
+// resource and returns the completion time.
+func (n *node) charge(d time.Duration) time.Duration {
+	now := n.c.sched.Now()
+	start := n.busyUntil
+	if start < now {
+		start = now
+	}
+	n.busyUntil = start + d
+	return n.busyUntil
+}
+
+// receiveClientTx is the receiver-node path of Figure 4: semantic
+// validation on one randomly selected node, then gossip.
+func (n *node) receiveClientTx(tx Tx) {
+	done := n.charge(n.app.ReceiverTime(tx))
+	n.c.sched.At(done, func() {
+		if n.c.net.IsDown(n.id) {
+			return // crashed while validating; client driver will retry
+		}
+		if err := n.app.CheckTx(tx); err != nil {
+			n.c.rejected[tx.Hash()] = err
+			return
+		}
+		n.addToMempool(tx)
+		n.c.net.Broadcast(n.id, msgTx{Tx: tx})
+		n.maybePropose()
+	})
+}
+
+func (n *node) addToMempool(tx Tx) {
+	h := tx.Hash()
+	if n.inMempool[h] || n.committed[h] {
+		return
+	}
+	n.inMempool[h] = true
+	n.mempool = append(n.mempool, tx)
+	// Arm the liveness timer: if the proposer for this height is down,
+	// the timeout moves every node to the next round and proposer.
+	if !n.hasTimer {
+		n.armRoundTimer(n.height, n.round[n.height])
+	}
+}
+
+func (n *node) handle(msg netsim.Message) {
+	switch m := msg.Payload.(type) {
+	case msgTx:
+		// CheckTx at the validator (the second validation of Fig. 4).
+		if err := n.app.CheckTx(m.Tx); err != nil {
+			return
+		}
+		n.addToMempool(m.Tx)
+		n.maybePropose()
+	case msgProposal:
+		key := hrKey{m.Height, m.Round}
+		if _, dup := n.proposals[key]; dup {
+			return
+		}
+		cp := m
+		n.proposals[key] = &cp
+		n.maybeCatchUp(m.Height, msg.From)
+		n.fastForwardRound(m.Height, m.Round)
+		n.maybePrevote(m.Height, m.Round)
+	case msgVote:
+		n.maybeCatchUp(m.Height, msg.From)
+		n.fastForwardRound(m.Height, m.Round)
+		n.recordVote(m)
+	case msgBlockRequest:
+		if txs, ok := n.appliedBlocks[m.Height]; ok {
+			n.c.net.Send(n.id, msg.From, msgBlockResponse{Height: m.Height, Txs: txs, PeerApplied: n.applied})
+		} else {
+			n.c.net.Send(n.id, msg.From, msgBlockResponse{Height: m.Height, PeerApplied: n.applied, RequesterGap: true})
+		}
+	case msgBlockResponse:
+		if !m.RequesterGap && m.Height == n.applied+1 {
+			n.applyBlock(m.Height, m.Txs)
+			if n.height <= n.applied {
+				n.advanceTo(n.applied + 1)
+			}
+			// Keep pulling until level with the responder.
+			if n.applied < m.PeerApplied {
+				n.c.net.Send(n.id, msg.From, msgBlockRequest{Height: n.applied + 1})
+			}
+		}
+	}
+}
+
+// maybeCatchUp fires a block-sync request when traffic reveals the
+// cluster is ahead of this node. Being exactly one height ahead is
+// normal under pipelining, so the trigger is two or more.
+func (n *node) maybeCatchUp(h int64, from netsim.NodeID) {
+	if h <= n.height+1 {
+		return
+	}
+	now := n.c.sched.Now()
+	if n.lastCatchUp != 0 && now-n.lastCatchUp < n.c.cfg.BlockInterval {
+		return
+	}
+	n.lastCatchUp = now
+	n.c.net.Send(n.id, from, msgBlockRequest{Height: n.applied + 1})
+}
+
+// fastForwardRound adopts a higher round observed for the node's
+// current height — how a node that fell behind (e.g. after a restart,
+// or one whose timers drifted) re-synchronizes with the cluster.
+func (n *node) fastForwardRound(h int64, r int) {
+	if h != n.height || r <= n.round[h] {
+		return
+	}
+	n.round[h] = r
+	if n.hasTimer {
+		n.c.sched.Cancel(n.roundTimer)
+		n.hasTimer = false
+	}
+	n.armRoundTimer(h, r)
+	n.maybePropose()
+	n.maybePrevote(h, r)
+}
+
+// maybePropose cuts a block if this node is the proposer for its
+// current height/round, the pacing interval elapsed, and there is work.
+func (n *node) maybePropose() {
+	h := n.height
+	r := n.round[h]
+	if n.proposerFor(h, r) != n.id {
+		return
+	}
+	if _, already := n.proposals[hrKey{h, r}]; already {
+		return
+	}
+	pending := n.pendingTxs()
+	if len(pending) == 0 {
+		return
+	}
+	// Block production is paced globally: the next block follows the
+	// previous one (wherever it was proposed) by at least the
+	// configured interval — the IBFT block period of the baseline and
+	// BigchainDB's block cadence alike.
+	earliest := n.lastProposal + n.c.cfg.BlockInterval
+	if t := n.lastBlockTime + n.c.cfg.BlockInterval; t > earliest {
+		earliest = t
+	}
+	now := n.c.sched.Now()
+	if earliest < now {
+		earliest = now
+	}
+	n.c.sched.At(earliest, func() { n.propose(h, r) })
+}
+
+func (n *node) pendingTxs() []Tx {
+	out := make([]Tx, 0, len(n.mempool))
+	for _, tx := range n.mempool {
+		h := tx.Hash()
+		if n.committed[h] || n.reserved[h] {
+			continue
+		}
+		out = append(out, tx)
+	}
+	return out
+}
+
+func (n *node) propose(h int64, r int) {
+	if n.c.net.IsDown(n.id) || n.height != h || n.round[h] != r {
+		return
+	}
+	if _, already := n.proposals[hrKey{h, r}]; already {
+		return
+	}
+	var block []Tx
+	if locked := n.lockedProp[h]; locked != nil {
+		// Locked: re-propose the locked block in this round.
+		block = locked.Txs
+	} else {
+		pending := n.pendingTxs()
+		if len(pending) == 0 {
+			return
+		}
+		// Proposers pre-filter: transactions that would invalidate the
+		// block (stale inputs, intra-block conflicts) are evicted here
+		// so voters see clean blocks.
+		if bad := n.app.ValidateBlock(pending); len(bad) > 0 {
+			n.evict(bad)
+			pending = n.pendingTxs()
+			if len(pending) == 0 {
+				return
+			}
+		}
+		if n.c.cfg.Packer != nil {
+			block = n.c.cfg.Packer(pending)
+		} else if len(pending) > n.c.cfg.MaxBlockTxs {
+			block = pending[:n.c.cfg.MaxBlockTxs]
+		} else {
+			block = pending
+		}
+	}
+	if len(block) == 0 {
+		return
+	}
+	n.lastProposal = n.c.sched.Now()
+	prop := msgProposal{Height: h, Round: r, BlockID: blockID(h, block), Txs: block}
+	n.proposals[hrKey{h, r}] = &prop
+	n.c.net.Broadcast(n.id, prop)
+	n.maybePrevote(h, r)
+}
+
+// maybePrevote validates the proposal for (h, r) and votes once.
+func (n *node) maybePrevote(h int64, r int) {
+	if h != n.height || r != n.round[h] {
+		return // buffered: revisited when the node reaches (h, r)
+	}
+	key := hrKey{h, r}
+	prop, ok := n.proposals[key]
+	if !ok || n.sentPrevote[key] {
+		return
+	}
+	// Locking rule: never prevote a block other than the one this node
+	// precommitted for this height.
+	if locked, isLocked := n.lockedID[h]; isLocked && prop.BlockID != locked {
+		return
+	}
+	n.sentPrevote[key] = true
+	done := n.charge(n.app.ValidationTime(prop.Txs))
+	n.c.sched.At(done, func() {
+		if n.c.net.IsDown(n.id) {
+			return
+		}
+		if bad := n.app.ValidateBlock(prop.Txs); len(bad) > 0 {
+			// Withhold the vote and evict the offending transactions
+			// locally so repeated rounds converge instead of
+			// re-proposing the same invalid block forever.
+			n.evict(bad)
+			return
+		}
+		vote := msgVote{Height: h, Round: r, Phase: phasePrevote, BlockID: prop.BlockID, Voter: n.id}
+		n.recordVote(vote)
+		n.c.net.Broadcast(n.id, vote)
+	})
+}
+
+func (n *node) evict(txs []Tx) {
+	for _, tx := range txs {
+		delete(n.inMempool, tx.Hash())
+	}
+	kept := n.mempool[:0]
+	for _, tx := range n.mempool {
+		if n.inMempool[tx.Hash()] {
+			kept = append(kept, tx)
+		}
+	}
+	n.mempool = kept
+}
+
+func (n *node) recordVote(v msgVote) {
+	key := hrKey{v.Height, v.Round}
+	var set map[hrKey]map[netsim.NodeID]string
+	if v.Phase == phasePrevote {
+		set = n.prevotes
+	} else {
+		set = n.precommits
+	}
+	votes, ok := set[key]
+	if !ok {
+		votes = make(map[netsim.NodeID]string)
+		set[key] = votes
+	}
+	if _, dup := votes[v.Voter]; dup {
+		return
+	}
+	votes[v.Voter] = v.BlockID
+	n.checkQuorum(v.Height, v.Round)
+}
+
+func (n *node) countFor(votes map[netsim.NodeID]string, blockID string) int {
+	c := 0
+	for _, bid := range votes {
+		if bid == blockID {
+			c++
+		}
+	}
+	return c
+}
+
+func (n *node) checkQuorum(h int64, r int) {
+	key := hrKey{h, r}
+	prop, ok := n.proposals[key]
+	if !ok {
+		return
+	}
+	q := Quorum(n.c.cfg.Nodes)
+	// Prevote quorum -> precommit (once) and lock on the block.
+	if !n.sentPrecomit[key] && n.countFor(n.prevotes[key], prop.BlockID) >= q && n.sentPrevote[key] {
+		n.sentPrecomit[key] = true
+		n.lockedID[h] = prop.BlockID
+		n.lockedProp[h] = prop
+		vote := msgVote{Height: h, Round: r, Phase: phasePrecommit, BlockID: prop.BlockID, Voter: n.id}
+		n.recordVote(vote)
+		n.c.net.Broadcast(n.id, vote)
+		if n.c.cfg.Pipelined {
+			// Pipelining: reserve the block's transactions and let the
+			// next height start before this one finalizes.
+			for _, tx := range prop.Txs {
+				n.reserved[tx.Hash()] = true
+			}
+			if n.height == h {
+				n.advanceTo(h + 1)
+			}
+		}
+	}
+	// Precommit quorum -> decide.
+	if _, done := n.decided[h]; !done && !n.isApplied(h) && n.countFor(n.precommits[key], prop.BlockID) >= q {
+		n.decide(h, prop.Txs)
+	}
+}
+
+func (n *node) isApplied(h int64) bool { return h <= n.applied }
+
+// decide finalizes height h and applies decided blocks in height order.
+func (n *node) decide(h int64, txs []Tx) {
+	n.decided[h] = txs
+	for {
+		next, ok := n.decided[n.applied+1]
+		if !ok {
+			break
+		}
+		n.applyBlock(n.applied+1, next)
+	}
+	if n.height <= n.applied {
+		n.advanceTo(n.applied + 1)
+	}
+}
+
+func (n *node) applyBlock(h int64, txs []Tx) {
+	if h <= n.applied {
+		return // already applied (catch-up race)
+	}
+	delete(n.decided, h)
+	delete(n.lockedID, h)
+	delete(n.lockedProp, h)
+	n.applied = h
+	n.appliedBlocks[h] = txs
+	n.lastBlockTime = n.c.sched.Now()
+	for _, tx := range txs {
+		hash := tx.Hash()
+		n.committed[hash] = true
+		delete(n.reserved, hash)
+		if n.inMempool[hash] {
+			delete(n.inMempool, hash)
+		}
+	}
+	// Compact the mempool.
+	kept := n.mempool[:0]
+	for _, tx := range n.mempool {
+		if !n.committed[tx.Hash()] {
+			kept = append(kept, tx)
+		}
+	}
+	n.mempool = kept
+	n.app.Commit(h, txs)
+	n.c.recordCommit(txs)
+}
+
+// advanceTo moves the node to deciding height h and re-arms the round
+// timer.
+func (n *node) advanceTo(h int64) {
+	if h <= n.height && n.hasTimer {
+		return
+	}
+	n.height = h
+	n.enterHeight(h)
+}
+
+func (n *node) enterHeight(h int64) {
+	if n.hasTimer {
+		n.c.sched.Cancel(n.roundTimer)
+		n.hasTimer = false
+	}
+	n.armRoundTimer(h, n.round[h])
+	n.maybePropose()
+	// A proposal or votes for this height may already be buffered.
+	n.maybePrevote(h, n.round[h])
+	n.checkQuorum(h, n.round[h])
+}
+
+func (n *node) armRoundTimer(h int64, r int) {
+	// Only keep the liveness timer while there is work outstanding;
+	// otherwise the simulation would never quiesce.
+	if len(n.pendingTxs()) == 0 {
+		return
+	}
+	n.hasTimer = true
+	n.roundTimer = n.c.sched.After(n.c.cfg.ProposeTimeout, func() {
+		n.hasTimer = false
+		if n.c.net.IsDown(n.id) || n.height != h || n.isApplied(h) {
+			return
+		}
+		if n.round[h] != r {
+			return
+		}
+		n.round[h] = r + 1
+		n.armRoundTimer(h, r+1)
+		n.maybePropose()
+		n.maybePrevote(h, r+1)
+	})
+}
+
+// blockID identifies a block by height and content only — NOT by
+// round, so a locked block re-proposed in a later round keeps its
+// identity and locked validators recognize and re-prevote it.
+func blockID(h int64, txs []Tx) string {
+	hs := sha3.New256()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(h >> (8 * i))
+	}
+	hs.Write(buf[:])
+	for _, tx := range txs {
+		hs.Write([]byte(tx.Hash()))
+	}
+	return hex.EncodeToString(hs.Sum(nil))
+}

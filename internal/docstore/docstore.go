@@ -1,0 +1,386 @@
+// Package docstore is an embedded document store playing the role
+// MongoDB plays in BigchainDB/SmartchainDB: each node keeps its
+// transaction, asset, metadata, UTXO, and recovery collections in one.
+// It supports JSON-style documents (map[string]any), dot-path filter
+// queries with Mongo-flavoured operators ($gt, $in, $elemMatch, ...),
+// secondary hash indexes, and deterministic iteration — enough to
+// implement the validators' lookups (getTxFromDB, getLockedBids,
+// getAcceptTxForRFQ) and the marketplace queryability study.
+package docstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Store is a set of named collections. The zero value is not usable;
+// call NewStore.
+type Store struct {
+	mu          sync.RWMutex
+	collections map[string]*Collection
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{collections: make(map[string]*Collection)}
+}
+
+// Collection returns the named collection, creating it on first use —
+// the same lazy semantics MongoDB gives drivers.
+func (s *Store) Collection(name string) *Collection {
+	s.mu.RLock()
+	c, ok := s.collections[name]
+	s.mu.RUnlock()
+	if ok {
+		return c
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.collections[name]; ok {
+		return c
+	}
+	c = newCollection(name)
+	s.collections[name] = c
+	return c
+}
+
+// CollectionNames lists existing collections, sorted.
+func (s *Store) CollectionNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.collections))
+	for n := range s.collections {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Drop removes a collection and its indexes.
+func (s *Store) Drop(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.collections, name)
+}
+
+// Collection is a concurrency-safe set of documents keyed by a string
+// primary key. Documents are deep-copied on the way in and out so
+// callers can never alias stored state.
+type Collection struct {
+	name string
+
+	mu      sync.RWMutex
+	docs    map[string]map[string]any
+	order   []string // insertion order of live keys
+	indexes map[string]*hashIndex
+}
+
+func newCollection(name string) *Collection {
+	return &Collection{
+		name:    name,
+		docs:    make(map[string]map[string]any),
+		indexes: make(map[string]*hashIndex),
+	}
+}
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.name }
+
+// ErrDuplicateKey reports an Insert with an existing primary key.
+type ErrDuplicateKey struct{ Collection, Key string }
+
+func (e *ErrDuplicateKey) Error() string {
+	return fmt.Sprintf("docstore: duplicate key %q in collection %q", e.Key, e.Collection)
+}
+
+// ErrNotFound reports a missing primary key.
+type ErrNotFound struct{ Collection, Key string }
+
+func (e *ErrNotFound) Error() string {
+	return fmt.Sprintf("docstore: key %q not found in collection %q", e.Key, e.Collection)
+}
+
+// Insert stores doc under key. It fails if the key already exists.
+func (c *Collection) Insert(key string, doc map[string]any) error {
+	if key == "" {
+		return fmt.Errorf("docstore: empty key in collection %q", c.name)
+	}
+	cp := deepCopyMap(doc)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.docs[key]; exists {
+		return &ErrDuplicateKey{Collection: c.name, Key: key}
+	}
+	c.docs[key] = cp
+	c.order = append(c.order, key)
+	for _, idx := range c.indexes {
+		idx.add(key, cp)
+	}
+	return nil
+}
+
+// Upsert stores doc under key, replacing any existing document.
+func (c *Collection) Upsert(key string, doc map[string]any) {
+	if key == "" {
+		return
+	}
+	cp := deepCopyMap(doc)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, exists := c.docs[key]; exists {
+		for _, idx := range c.indexes {
+			idx.remove(key, old)
+			idx.add(key, cp)
+		}
+		c.docs[key] = cp
+		return
+	}
+	c.docs[key] = cp
+	c.order = append(c.order, key)
+	for _, idx := range c.indexes {
+		idx.add(key, cp)
+	}
+}
+
+// Get returns a copy of the document stored under key.
+func (c *Collection) Get(key string) (map[string]any, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	doc, ok := c.docs[key]
+	if !ok {
+		return nil, &ErrNotFound{Collection: c.name, Key: key}
+	}
+	return deepCopyMap(doc), nil
+}
+
+// Has reports whether key exists.
+func (c *Collection) Has(key string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.docs[key]
+	return ok
+}
+
+// Delete removes the document under key. Deleting a missing key is a
+// no-op, matching MongoDB's deleteOne semantics.
+func (c *Collection) Delete(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old, ok := c.docs[key]
+	if !ok {
+		return
+	}
+	delete(c.docs, key)
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	for _, idx := range c.indexes {
+		idx.remove(key, old)
+	}
+}
+
+// Update applies fn to a copy of the document under key and stores the
+// result atomically. fn returning an error aborts the update.
+func (c *Collection) Update(key string, fn func(doc map[string]any) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old, ok := c.docs[key]
+	if !ok {
+		return &ErrNotFound{Collection: c.name, Key: key}
+	}
+	next := deepCopyMap(old)
+	if err := fn(next); err != nil {
+		return err
+	}
+	c.docs[key] = next
+	for _, idx := range c.indexes {
+		idx.remove(key, old)
+		idx.add(key, next)
+	}
+	return nil
+}
+
+// Len returns the number of documents.
+func (c *Collection) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.docs)
+}
+
+// Keys returns the live keys in insertion order.
+func (c *Collection) Keys() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]string(nil), c.order...)
+}
+
+// CreateIndex builds (or rebuilds) a hash index over the dot-path
+// field. Equality filters on the path then use the index instead of a
+// collection scan. Array values index every element, like MongoDB
+// multikey indexes.
+func (c *Collection) CreateIndex(path string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx := newHashIndex(path)
+	for key, doc := range c.docs {
+		idx.add(key, doc)
+	}
+	c.indexes[path] = idx
+}
+
+// IndexedPaths lists the indexed dot-paths, sorted.
+func (c *Collection) IndexedPaths() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	paths := make([]string, 0, len(c.indexes))
+	for p := range c.indexes {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// Find returns copies of all documents matching filter, in insertion
+// order. A nil filter matches everything.
+func (c *Collection) Find(filter Filter) []map[string]any {
+	return c.FindLimit(filter, 0)
+}
+
+// FindLimit is Find with a result cap; limit <= 0 means unlimited.
+func (c *Collection) FindLimit(filter Filter, limit int) []map[string]any {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []map[string]any
+	for _, key := range c.candidateKeys(filter) {
+		doc, ok := c.docs[key]
+		if !ok {
+			continue
+		}
+		if filter == nil || filter.Matches(doc) {
+			out = append(out, deepCopyMap(doc))
+			if limit > 0 && len(out) >= limit {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// FindKeys returns the keys of matching documents in insertion order.
+func (c *Collection) FindKeys(filter Filter) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []string
+	for _, key := range c.candidateKeys(filter) {
+		doc, ok := c.docs[key]
+		if !ok {
+			continue
+		}
+		if filter == nil || filter.Matches(doc) {
+			out = append(out, key)
+		}
+	}
+	return out
+}
+
+// FindOne returns the first matching document, or ErrNotFound.
+func (c *Collection) FindOne(filter Filter) (map[string]any, error) {
+	res := c.FindLimit(filter, 1)
+	if len(res) == 0 {
+		return nil, &ErrNotFound{Collection: c.name, Key: "<filter>"}
+	}
+	return res[0], nil
+}
+
+// Count returns the number of matching documents.
+func (c *Collection) Count(filter Filter) int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := 0
+	for _, key := range c.candidateKeys(filter) {
+		doc, ok := c.docs[key]
+		if !ok {
+			continue
+		}
+		if filter == nil || filter.Matches(doc) {
+			n++
+		}
+	}
+	return n
+}
+
+// candidateKeys consults indexes for an equality term in the filter and
+// falls back to a full scan. Caller holds at least a read lock.
+func (c *Collection) candidateKeys(filter Filter) []string {
+	if eqf, ok := filter.(*fieldFilter); ok {
+		if idx, exists := c.indexes[eqf.path]; exists {
+			if keys, usable := idx.lookup(eqf); usable {
+				// Preserve insertion order for determinism.
+				set := make(map[string]struct{}, len(keys))
+				for _, k := range keys {
+					set[k] = struct{}{}
+				}
+				ordered := make([]string, 0, len(keys))
+				for _, k := range c.order {
+					if _, ok := set[k]; ok {
+						ordered = append(ordered, k)
+					}
+				}
+				return ordered
+			}
+		}
+	}
+	if andf, ok := filter.(andFilter); ok {
+		// Use the first indexable conjunct.
+		for _, sub := range andf {
+			if eqf, ok := sub.(*fieldFilter); ok {
+				if idx, exists := c.indexes[eqf.path]; exists {
+					if keys, usable := idx.lookup(eqf); usable {
+						set := make(map[string]struct{}, len(keys))
+						for _, k := range keys {
+							set[k] = struct{}{}
+						}
+						ordered := make([]string, 0, len(keys))
+						for _, k := range c.order {
+							if _, ok := set[k]; ok {
+								ordered = append(ordered, k)
+							}
+						}
+						return ordered
+					}
+				}
+			}
+		}
+	}
+	return c.order
+}
+
+func deepCopyMap(m map[string]any) map[string]any {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]any, len(m))
+	for k, v := range m {
+		out[k] = deepCopyValue(v)
+	}
+	return out
+}
+
+func deepCopyValue(v any) any {
+	switch x := v.(type) {
+	case map[string]any:
+		return deepCopyMap(x)
+	case []any:
+		out := make([]any, len(x))
+		for i, e := range x {
+			out[i] = deepCopyValue(e)
+		}
+		return out
+	default:
+		return v
+	}
+}

@@ -1,0 +1,341 @@
+package docstore
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func doc(kv ...any) map[string]any {
+	m := make(map[string]any, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		m[kv[i].(string)] = kv[i+1]
+	}
+	return m
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	s := NewStore()
+	c := s.Collection("transactions")
+	if err := c.Insert("a", doc("op", "CREATE", "n", 1.0)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["op"] != "CREATE" {
+		t.Errorf("got %v", got)
+	}
+	if err := c.Insert("a", doc()); err == nil {
+		t.Fatal("duplicate insert should fail")
+	}
+	var dup *ErrDuplicateKey
+	if !errors.As(c.Insert("a", doc()), &dup) {
+		t.Error("want ErrDuplicateKey")
+	}
+	c.Delete("a")
+	if _, err := c.Get("a"); err == nil {
+		t.Fatal("get after delete should fail")
+	}
+	var nf *ErrNotFound
+	_, err = c.Get("a")
+	if !errors.As(err, &nf) {
+		t.Error("want ErrNotFound")
+	}
+	c.Delete("missing") // no-op
+	if err := c.Insert("", doc()); err == nil {
+		t.Error("empty key should fail")
+	}
+}
+
+func TestDocumentsAreIsolated(t *testing.T) {
+	c := NewStore().Collection("c")
+	original := doc("nested", map[string]any{"x": 1.0}, "list", []any{"a"})
+	if err := c.Insert("k", original); err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the inserted map must not affect the store.
+	original["nested"].(map[string]any)["x"] = 99.0
+	got, _ := c.Get("k")
+	if got["nested"].(map[string]any)["x"] != 1.0 {
+		t.Error("store aliased inserted document")
+	}
+	// Mutating a returned copy must not affect the store.
+	got["list"].([]any)[0] = "mutated"
+	again, _ := c.Get("k")
+	if again["list"].([]any)[0] != "a" {
+		t.Error("store aliased returned document")
+	}
+}
+
+func TestUpsertAndUpdate(t *testing.T) {
+	c := NewStore().Collection("c")
+	c.Upsert("k", doc("v", 1.0))
+	c.Upsert("k", doc("v", 2.0))
+	got, _ := c.Get("k")
+	if got["v"] != 2.0 {
+		t.Errorf("v = %v", got["v"])
+	}
+	if err := c.Update("k", func(d map[string]any) error {
+		d["v"] = d["v"].(float64) + 1
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = c.Get("k")
+	if got["v"] != 3.0 {
+		t.Errorf("v = %v", got["v"])
+	}
+	// Failed update leaves document untouched.
+	if err := c.Update("k", func(d map[string]any) error {
+		d["v"] = 99.0
+		return fmt.Errorf("abort")
+	}); err == nil {
+		t.Fatal("update should propagate error")
+	}
+	got, _ = c.Get("k")
+	if got["v"] != 3.0 {
+		t.Errorf("aborted update mutated doc: v = %v", got["v"])
+	}
+	if err := c.Update("missing", func(map[string]any) error { return nil }); err == nil {
+		t.Error("update of missing key should fail")
+	}
+}
+
+func TestFindFilters(t *testing.T) {
+	c := NewStore().Collection("c")
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(c.Insert("1", doc("op", "CREATE", "amount", 5.0, "caps", []any{"cnc", "3d"})))
+	must(c.Insert("2", doc("op", "BID", "amount", 10.0, "caps", []any{"cnc"})))
+	must(c.Insert("3", doc("op", "BID", "amount", 7.0, "nested", map[string]any{"deep": "x"})))
+	must(c.Insert("4", doc("op", "REQUEST", "amount", 10.0)))
+
+	cases := []struct {
+		name   string
+		filter Filter
+		want   []string
+	}{
+		{"eq", Eq("op", "BID"), []string{"2", "3"}},
+		{"eq number", Eq("amount", 10), []string{"2", "4"}},
+		{"ne", Ne("op", "BID"), []string{"1", "4"}},
+		{"gt", Gt("amount", 7), []string{"2", "4"}},
+		{"gte", Gte("amount", 7), []string{"2", "3", "4"}},
+		{"lt", Lt("amount", 7), []string{"1"}},
+		{"lte", Lte("amount", 7), []string{"1", "3"}},
+		{"in", In("op", "CREATE", "REQUEST"), []string{"1", "4"}},
+		{"exists yes", Exists("nested", true), []string{"3"}},
+		{"exists no", Exists("nested", false), []string{"1", "2", "4"}},
+		{"contains", Contains("caps", "cnc"), []string{"1", "2"}},
+		{"containsAll", ContainsAll("caps", "cnc", "3d"), []string{"1"}},
+		{"eq into array", Eq("caps", "3d"), []string{"1"}},
+		{"dotted", Eq("nested.deep", "x"), []string{"3"}},
+		{"regex", Regex("op", "^B"), []string{"2", "3"}},
+		{"and", And(Eq("op", "BID"), Gt("amount", 8)), []string{"2"}},
+		{"or", Or(Eq("op", "CREATE"), Eq("op", "REQUEST")), []string{"1", "4"}},
+		{"not", Not(Eq("op", "BID")), []string{"1", "4"}},
+		{"all", All(), []string{"1", "2", "3", "4"}},
+		{"nil", nil, []string{"1", "2", "3", "4"}},
+		{"bad regex", Regex("op", "["), nil},
+		{"string gt", Gt("op", "BID"), []string{"1", "4"}},
+		{"uncomparable", Gt("caps", 1), nil},
+	}
+	for _, tc := range cases {
+		got := c.FindKeys(tc.filter)
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, got, tc.want)
+		}
+		if n := c.Count(tc.filter); n != len(tc.want) {
+			t.Errorf("%s: Count = %d, want %d", tc.name, n, len(tc.want))
+		}
+	}
+}
+
+func TestFindLimitAndFindOne(t *testing.T) {
+	c := NewStore().Collection("c")
+	for i := 0; i < 10; i++ {
+		if err := c.Insert(fmt.Sprint(i), doc("i", float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.FindLimit(All(), 3); len(got) != 3 {
+		t.Errorf("limit 3 returned %d", len(got))
+	}
+	one, err := c.FindOne(Eq("i", 7))
+	if err != nil || one["i"] != 7.0 {
+		t.Errorf("FindOne = %v, %v", one, err)
+	}
+	if _, err := c.FindOne(Eq("i", 99)); err == nil {
+		t.Error("FindOne miss should error")
+	}
+}
+
+func TestArrayFanOutPath(t *testing.T) {
+	c := NewStore().Collection("c")
+	if err := c.Insert("tx", doc(
+		"outputs", []any{
+			map[string]any{"public_keys": []any{"alice"}, "amount": 1.0},
+			map[string]any{"public_keys": []any{"escrow"}, "amount": 2.0},
+		},
+	)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.FindKeys(Eq("outputs.public_keys", "escrow")); len(got) != 1 {
+		t.Errorf("array fan-out lookup failed: %v", got)
+	}
+	if got := c.FindKeys(Eq("outputs.amount", 2)); len(got) != 1 {
+		t.Errorf("array fan-out number lookup failed: %v", got)
+	}
+	if got := c.FindKeys(Eq("outputs.public_keys", "nobody")); len(got) != 0 {
+		t.Errorf("unexpected match: %v", got)
+	}
+}
+
+func TestIndexedLookupMatchesScan(t *testing.T) {
+	c := NewStore().Collection("c")
+	for i := 0; i < 50; i++ {
+		op := "CREATE"
+		if i%3 == 0 {
+			op = "BID"
+		}
+		if err := c.Insert(fmt.Sprint(i), doc("op", op, "i", float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scan := c.FindKeys(Eq("op", "BID"))
+	c.CreateIndex("op")
+	indexed := c.FindKeys(Eq("op", "BID"))
+	if !reflect.DeepEqual(scan, indexed) {
+		t.Errorf("indexed result %v differs from scan %v", indexed, scan)
+	}
+	if got := c.IndexedPaths(); !reflect.DeepEqual(got, []string{"op"}) {
+		t.Errorf("IndexedPaths = %v", got)
+	}
+	// Index stays consistent across insert/update/delete.
+	if err := c.Insert("new", doc("op", "BID")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Update("new", func(d map[string]any) error { d["op"] = "CREATE"; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if keys := c.FindKeys(Eq("op", "BID")); len(keys) != len(scan) {
+		t.Errorf("after update: %d BIDs, want %d", len(keys), len(scan))
+	}
+	c.Delete("0")
+	if keys := c.FindKeys(Eq("op", "BID")); len(keys) != len(scan)-1 {
+		t.Errorf("after delete: %d BIDs, want %d", len(keys), len(scan)-1)
+	}
+	// In and And filters also use the index.
+	inKeys := c.FindKeys(In("op", "BID", "CREATE"))
+	if len(inKeys) != c.Len() {
+		t.Errorf("In matched %d of %d", len(inKeys), c.Len())
+	}
+	andKeys := c.FindKeys(And(Eq("op", "BID"), Gt("i", 10)))
+	for _, k := range andKeys {
+		d, _ := c.Get(k)
+		if d["op"] != "BID" || d["i"].(float64) <= 10 {
+			t.Errorf("And via index returned wrong doc %v", d)
+		}
+	}
+}
+
+func TestIndexOverArrayValues(t *testing.T) {
+	c := NewStore().Collection("c")
+	if err := c.Insert("a", doc("caps", []any{"cnc", "3d"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert("b", doc("caps", []any{"paint"})); err != nil {
+		t.Fatal(err)
+	}
+	c.CreateIndex("caps")
+	if got := c.FindKeys(Contains("caps", "cnc")); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Errorf("Contains via index = %v", got)
+	}
+}
+
+func TestIndexPropertyEquivalence(t *testing.T) {
+	// Property: for random docs, indexed Eq returns the same set as a scan.
+	f := func(vals []uint8) bool {
+		c := NewStore().Collection("p")
+		for i, v := range vals {
+			if err := c.Insert(fmt.Sprint(i), doc("v", float64(v%4))); err != nil {
+				return false
+			}
+		}
+		scan := c.FindKeys(Eq("v", 2))
+		c.CreateIndex("v")
+		indexed := c.FindKeys(Eq("v", 2))
+		return reflect.DeepEqual(scan, indexed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStoreCollections(t *testing.T) {
+	s := NewStore()
+	s.Collection("b")
+	s.Collection("a")
+	s.Collection("a") // idempotent
+	if got := s.CollectionNames(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("CollectionNames = %v", got)
+	}
+	if err := s.Collection("a").Insert("k", doc()); err != nil {
+		t.Fatal(err)
+	}
+	s.Drop("a")
+	if s.Collection("a").Has("k") {
+		t.Error("dropped collection should be empty on recreation")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := NewStore().Collection("c")
+	c.CreateIndex("op")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("%d-%d", g, i)
+				if err := c.Insert(key, doc("op", "BID", "g", float64(g))); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.Get(key); err != nil {
+					t.Error(err)
+					return
+				}
+				c.Find(Eq("op", "BID"))
+				if i%3 == 0 {
+					c.Delete(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	want := 8 * 100 * 2 / 3
+	if got := c.Len(); got < want-10 || got > want+10 {
+		t.Errorf("Len = %d, want about %d", got, want)
+	}
+}
+
+func TestKeysInsertionOrder(t *testing.T) {
+	c := NewStore().Collection("c")
+	for _, k := range []string{"z", "a", "m"} {
+		if err := c.Insert(k, doc()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Keys(); !reflect.DeepEqual(got, []string{"z", "a", "m"}) {
+		t.Errorf("Keys = %v", got)
+	}
+}

@@ -1,0 +1,325 @@
+package docstore
+
+import (
+	"regexp"
+	"strings"
+)
+
+// Filter matches documents. Filters compose with And/Or/Not; leaf
+// filters test one dot-path against a value or operator.
+type Filter interface {
+	Matches(doc map[string]any) bool
+}
+
+// Eq matches documents whose value at path equals v. If the value at
+// path is an array, any element equal to v matches (Mongo semantics).
+func Eq(path string, v any) Filter { return &fieldFilter{path: path, op: opEq, arg: normalize(v)} }
+
+// Ne matches documents whose value at path does not equal v.
+func Ne(path string, v any) Filter { return &fieldFilter{path: path, op: opNe, arg: normalize(v)} }
+
+// Gt matches numeric or string values strictly greater than v.
+func Gt(path string, v any) Filter { return &fieldFilter{path: path, op: opGt, arg: normalize(v)} }
+
+// Gte matches values greater than or equal to v.
+func Gte(path string, v any) Filter { return &fieldFilter{path: path, op: opGte, arg: normalize(v)} }
+
+// Lt matches values strictly less than v.
+func Lt(path string, v any) Filter { return &fieldFilter{path: path, op: opLt, arg: normalize(v)} }
+
+// Lte matches values less than or equal to v.
+func Lte(path string, v any) Filter { return &fieldFilter{path: path, op: opLte, arg: normalize(v)} }
+
+// In matches documents whose value at path equals any of vs.
+func In(path string, vs ...any) Filter {
+	norm := make([]any, len(vs))
+	for i, v := range vs {
+		norm[i] = normalize(v)
+	}
+	return &fieldFilter{path: path, op: opIn, list: norm}
+}
+
+// Exists matches documents that have (or lack) any value at path.
+func Exists(path string, want bool) Filter {
+	return &fieldFilter{path: path, op: opExists, arg: want}
+}
+
+// Contains matches documents whose array at path contains element v.
+// It is Eq restricted to arrays; on non-arrays it never matches.
+func Contains(path string, v any) Filter {
+	return &fieldFilter{path: path, op: opContains, arg: normalize(v)}
+}
+
+// ContainsAll matches arrays containing every one of vs.
+func ContainsAll(path string, vs ...any) Filter {
+	norm := make([]any, len(vs))
+	for i, v := range vs {
+		norm[i] = normalize(v)
+	}
+	return &fieldFilter{path: path, op: opContainsAll, list: norm}
+}
+
+// Regex matches string values against the pattern. Compilation errors
+// yield a filter that never matches.
+func Regex(path, pattern string) Filter {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return &fieldFilter{path: path, op: opNever}
+	}
+	return &fieldFilter{path: path, op: opRegex, re: re}
+}
+
+// And matches documents satisfying every sub-filter.
+func And(fs ...Filter) Filter { return andFilter(fs) }
+
+// Or matches documents satisfying at least one sub-filter.
+func Or(fs ...Filter) Filter { return orFilter(fs) }
+
+// Not inverts a filter.
+func Not(f Filter) Filter { return notFilter{f} }
+
+// All matches every document.
+func All() Filter { return allFilter{} }
+
+type fieldOp int
+
+const (
+	opEq fieldOp = iota
+	opNe
+	opGt
+	opGte
+	opLt
+	opLte
+	opIn
+	opExists
+	opContains
+	opContainsAll
+	opRegex
+	opNever
+)
+
+type fieldFilter struct {
+	path string
+	op   fieldOp
+	arg  any
+	list []any
+	re   *regexp.Regexp
+}
+
+func (f *fieldFilter) Matches(doc map[string]any) bool {
+	vals, found := lookupPath(doc, f.path)
+	switch f.op {
+	case opExists:
+		return found == f.arg.(bool)
+	case opNever:
+		return false
+	case opNe:
+		if !found {
+			return true
+		}
+		for _, v := range vals {
+			if valuesEqual(v, f.arg) {
+				return false
+			}
+		}
+		return true
+	}
+	if !found {
+		return false
+	}
+	for _, v := range vals {
+		if f.matchOne(v) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *fieldFilter) matchOne(v any) bool {
+	switch f.op {
+	case opEq:
+		if valuesEqual(v, f.arg) {
+			return true
+		}
+		if arr, ok := v.([]any); ok {
+			for _, e := range arr {
+				if valuesEqual(e, f.arg) {
+					return true
+				}
+			}
+		}
+		return false
+	case opGt, opGte, opLt, opLte:
+		cmp, ok := compareValues(v, f.arg)
+		if !ok {
+			return false
+		}
+		switch f.op {
+		case opGt:
+			return cmp > 0
+		case opGte:
+			return cmp >= 0
+		case opLt:
+			return cmp < 0
+		default:
+			return cmp <= 0
+		}
+	case opIn:
+		for _, e := range f.list {
+			if valuesEqual(v, e) {
+				return true
+			}
+		}
+		return false
+	case opContains:
+		arr, ok := v.([]any)
+		if !ok {
+			return false
+		}
+		for _, e := range arr {
+			if valuesEqual(e, f.arg) {
+				return true
+			}
+		}
+		return false
+	case opContainsAll:
+		arr, ok := v.([]any)
+		if !ok {
+			return false
+		}
+		for _, want := range f.list {
+			foundOne := false
+			for _, e := range arr {
+				if valuesEqual(e, want) {
+					foundOne = true
+					break
+				}
+			}
+			if !foundOne {
+				return false
+			}
+		}
+		return true
+	case opRegex:
+		s, ok := v.(string)
+		return ok && f.re.MatchString(s)
+	}
+	return false
+}
+
+type andFilter []Filter
+
+func (fs andFilter) Matches(doc map[string]any) bool {
+	for _, f := range fs {
+		if !f.Matches(doc) {
+			return false
+		}
+	}
+	return true
+}
+
+type orFilter []Filter
+
+func (fs orFilter) Matches(doc map[string]any) bool {
+	for _, f := range fs {
+		if f.Matches(doc) {
+			return true
+		}
+	}
+	return false
+}
+
+type notFilter struct{ f Filter }
+
+func (n notFilter) Matches(doc map[string]any) bool { return !n.f.Matches(doc) }
+
+type allFilter struct{}
+
+func (allFilter) Matches(map[string]any) bool { return true }
+
+// lookupPath navigates a dot path through nested maps. Arrays fan out:
+// each element is tried for the remaining path, like MongoDB. It
+// returns all values reached and whether any path resolved.
+func lookupPath(doc map[string]any, path string) ([]any, bool) {
+	parts := strings.Split(path, ".")
+	vals := []any{any(doc)}
+	for _, part := range parts {
+		var next []any
+		for _, v := range vals {
+			switch x := v.(type) {
+			case map[string]any:
+				if child, ok := x[part]; ok {
+					next = append(next, child)
+				}
+			case []any:
+				for _, e := range x {
+					if m, ok := e.(map[string]any); ok {
+						if child, ok := m[part]; ok {
+							next = append(next, child)
+						}
+					}
+				}
+			}
+		}
+		if len(next) == 0 {
+			return nil, false
+		}
+		vals = next
+	}
+	return vals, true
+}
+
+// normalize converts ints to float64 so filters compare like JSON.
+func normalize(v any) any {
+	switch x := v.(type) {
+	case int:
+		return float64(x)
+	case int32:
+		return float64(x)
+	case int64:
+		return float64(x)
+	case uint64:
+		return float64(x)
+	case float32:
+		return float64(x)
+	default:
+		return v
+	}
+}
+
+func valuesEqual(a, b any) bool {
+	a, b = normalize(a), normalize(b)
+	if af, aok := a.(float64); aok {
+		bf, bok := b.(float64)
+		return bok && af == bf
+	}
+	return a == b
+}
+
+// compareValues orders two scalars of the same kind. It reports the
+// sign and whether the pair is comparable.
+func compareValues(a, b any) (int, bool) {
+	a, b = normalize(a), normalize(b)
+	switch x := a.(type) {
+	case float64:
+		y, ok := b.(float64)
+		if !ok {
+			return 0, false
+		}
+		switch {
+		case x < y:
+			return -1, true
+		case x > y:
+			return 1, true
+		default:
+			return 0, true
+		}
+	case string:
+		y, ok := b.(string)
+		if !ok {
+			return 0, false
+		}
+		return strings.Compare(x, y), true
+	}
+	return 0, false
+}

@@ -1,0 +1,122 @@
+package docstore
+
+import "fmt"
+
+// hashIndex is a multikey equality index over one dot path: each value
+// reached at the path maps to the set of document keys holding it.
+type hashIndex struct {
+	path    string
+	entries map[string]map[string]struct{} // indexKey -> doc keys
+}
+
+func newHashIndex(path string) *hashIndex {
+	return &hashIndex{path: path, entries: make(map[string]map[string]struct{})}
+}
+
+// indexKey renders a scalar into a collision-safe string key. Only
+// scalars are indexable; maps and arrays fan out to their elements.
+func indexKey(v any) (string, bool) {
+	switch x := normalize(v).(type) {
+	case nil:
+		return "n:", true
+	case bool:
+		return fmt.Sprintf("b:%t", x), true
+	case float64:
+		return fmt.Sprintf("f:%g", x), true
+	case string:
+		return "s:" + x, true
+	}
+	return "", false
+}
+
+func (ix *hashIndex) add(docKey string, doc map[string]any) {
+	vals, found := lookupPath(doc, ix.path)
+	if !found {
+		return
+	}
+	for _, v := range vals {
+		ix.addValue(docKey, v)
+	}
+}
+
+func (ix *hashIndex) addValue(docKey string, v any) {
+	if arr, ok := v.([]any); ok {
+		for _, e := range arr {
+			ix.addValue(docKey, e)
+		}
+		return
+	}
+	k, ok := indexKey(v)
+	if !ok {
+		return
+	}
+	set, exists := ix.entries[k]
+	if !exists {
+		set = make(map[string]struct{})
+		ix.entries[k] = set
+	}
+	set[docKey] = struct{}{}
+}
+
+func (ix *hashIndex) remove(docKey string, doc map[string]any) {
+	vals, found := lookupPath(doc, ix.path)
+	if !found {
+		return
+	}
+	for _, v := range vals {
+		ix.removeValue(docKey, v)
+	}
+}
+
+func (ix *hashIndex) removeValue(docKey string, v any) {
+	if arr, ok := v.([]any); ok {
+		for _, e := range arr {
+			ix.removeValue(docKey, e)
+		}
+		return
+	}
+	k, ok := indexKey(v)
+	if !ok {
+		return
+	}
+	if set, exists := ix.entries[k]; exists {
+		delete(set, docKey)
+		if len(set) == 0 {
+			delete(ix.entries, k)
+		}
+	}
+}
+
+// lookup answers an equality-style filter from the index. It reports
+// the candidate keys and whether the filter shape was answerable.
+func (ix *hashIndex) lookup(f *fieldFilter) ([]string, bool) {
+	collect := func(arg any) []string {
+		k, ok := indexKey(arg)
+		if !ok {
+			return nil
+		}
+		set := ix.entries[k]
+		keys := make([]string, 0, len(set))
+		for dk := range set {
+			keys = append(keys, dk)
+		}
+		return keys
+	}
+	switch f.op {
+	case opEq, opContains:
+		return collect(f.arg), true
+	case opIn:
+		seen := make(map[string]struct{})
+		var out []string
+		for _, arg := range f.list {
+			for _, dk := range collect(arg) {
+				if _, dup := seen[dk]; !dup {
+					seen[dk] = struct{}{}
+					out = append(out, dk)
+				}
+			}
+		}
+		return out, true
+	}
+	return nil, false
+}

@@ -1,0 +1,258 @@
+// Package ethchain is the baseline system of the paper's evaluation:
+// an Ethereum/Quorum-style permissioned chain executing minisol smart
+// contracts sequentially under gas metering, replicated with an
+// IBFT-style consensus (quorum 2n/3+1, fixed block period, block gas
+// limit). Latency and throughput emerge from the same mechanics the
+// paper attributes to ETH-SC: every validator re-executes every
+// transaction in order, execution time is proportional to gas, and
+// oversized transactions queue behind the block gas limit.
+package ethchain
+
+import (
+	"crypto/sha3"
+	"embed"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"smartchaindb/internal/minisol"
+)
+
+//go:embed contracts/*.sol
+var contractFS embed.FS
+
+// ContractSource returns the embedded source of a named contract file
+// ("marketplace" or "token").
+func ContractSource(name string) (string, error) {
+	b, err := contractFS.ReadFile("contracts/" + name + ".sol")
+	if err != nil {
+		return "", fmt.Errorf("ethchain: no contract source %q", name)
+	}
+	return string(b), nil
+}
+
+// TxKind discriminates transaction types.
+type TxKind int
+
+// Transaction kinds.
+const (
+	KindNativeTransfer TxKind = iota
+	KindDeploy
+	KindCall
+)
+
+// Tx is one Ethereum-style transaction.
+type Tx struct {
+	Kind     TxKind
+	From     string
+	To       string // recipient (native) or contract address (call)
+	Amount   int64  // native transfer value
+	Source   string // contract source (deploy)
+	Contract string // contract name within source (deploy)
+	Fn       string // function name (call)
+	Args     []minisol.Value
+	GasLimit uint64
+	Nonce    uint64 // distinguishes otherwise-identical transactions
+
+	hash string
+}
+
+// Hash returns a stable identifier for the transaction.
+func (t *Tx) Hash() string {
+	if t.hash != "" {
+		return t.hash
+	}
+	h := sha3.New256()
+	fmt.Fprintf(h, "%d|%s|%s|%d|%s|%s|%d|%d|", t.Kind, t.From, t.To, t.Amount, t.Contract, t.Fn, t.GasLimit, t.Nonce)
+	for _, a := range t.Args {
+		fmt.Fprintf(h, "%s,", minisol.FormatValue(a))
+	}
+	if t.Kind == KindDeploy {
+		h.Write([]byte(t.Source))
+	}
+	t.hash = hex.EncodeToString(h.Sum(nil))
+	return t.hash
+}
+
+// Receipt records the execution outcome of a transaction.
+type Receipt struct {
+	TxID    string
+	GasUsed uint64
+	Err     error // revert/OOG; the transaction is still included
+	Ret     minisol.Value
+	Logs    []minisol.Event
+	// ContractAddr is set for deployments.
+	ContractAddr string
+}
+
+// Failed reports whether execution reverted or ran out of gas.
+func (r *Receipt) Failed() bool { return r.Err != nil }
+
+// NativeTransferGas is the fixed intrinsic cost of a native transfer.
+const NativeTransferGas = 21000
+
+// Chain is one node's replicated chain state.
+type Chain struct {
+	gas       minisol.GasTable
+	balances  map[string]int64
+	contracts map[string]*minisol.Instance
+	programs  map[string]*minisol.Program // contract address -> program (for cloning)
+	names     map[string]string           // contract address -> contract name
+	receipts  map[string]*Receipt
+	height    int64
+}
+
+// NewChain creates an empty chain with the default gas schedule.
+func NewChain() *Chain {
+	return &Chain{
+		gas:       minisol.DefaultGasTable(),
+		balances:  make(map[string]int64),
+		contracts: make(map[string]*minisol.Instance),
+		programs:  make(map[string]*minisol.Program),
+		names:     make(map[string]string),
+		receipts:  make(map[string]*Receipt),
+	}
+}
+
+// Fund credits an account (test/genesis helper).
+func (c *Chain) Fund(account string, amount int64) { c.balances[account] += amount }
+
+// Balance reads an account balance.
+func (c *Chain) Balance(account string) int64 { return c.balances[account] }
+
+// Receipt returns the receipt for an executed transaction.
+func (c *Chain) Receipt(txID string) (*Receipt, bool) {
+	r, ok := c.receipts[txID]
+	return r, ok
+}
+
+// Height returns the number of executed blocks.
+func (c *Chain) Height() int64 { return c.height }
+
+// ContractAddr derives the deterministic address a deploy transaction
+// creates its contract at.
+func ContractAddr(tx *Tx) string { return "0x" + tx.Hash()[:40] }
+
+// Execute runs one transaction against the chain, sequentially,
+// recording a receipt. Failed transactions are included with their gas
+// consumed, as on Ethereum.
+func (c *Chain) Execute(tx *Tx) *Receipt {
+	r := &Receipt{TxID: tx.Hash()}
+	c.receipts[tx.Hash()] = r
+	switch tx.Kind {
+	case KindNativeTransfer:
+		r.GasUsed = NativeTransferGas
+		if c.balances[tx.From] < tx.Amount {
+			r.Err = fmt.Errorf("ethchain: insufficient balance")
+			return r
+		}
+		c.balances[tx.From] -= tx.Amount
+		c.balances[tx.To] += tx.Amount
+		return r
+	case KindDeploy:
+		prog, err := minisol.Compile(tx.Source)
+		if err != nil {
+			r.Err = err
+			return r
+		}
+		inst, gasUsed, err := minisol.Deploy(prog, tx.Contract, c.gas, minisol.Msg{Sender: tx.From, Block: c.height})
+		r.GasUsed = gasUsed
+		if err != nil {
+			r.Err = err
+			return r
+		}
+		addr := ContractAddr(tx)
+		c.contracts[addr] = inst
+		c.programs[addr] = prog
+		c.names[addr] = tx.Contract
+		r.ContractAddr = addr
+		return r
+	case KindCall:
+		inst, ok := c.contracts[tx.To]
+		if !ok {
+			r.Err = fmt.Errorf("ethchain: no contract at %s", tx.To)
+			return r
+		}
+		res := inst.Call(tx.Fn, minisol.Msg{Sender: tx.From, Value: tx.Amount, Block: c.height}, tx.GasLimit, tx.Args...)
+		r.GasUsed = res.GasUsed
+		r.Err = res.Err
+		r.Ret = res.Ret
+		r.Logs = res.Logs
+		return r
+	}
+	r.Err = fmt.Errorf("ethchain: unknown tx kind %d", tx.Kind)
+	return r
+}
+
+// ExecuteBlock runs a block sequentially and returns the receipts and
+// total gas consumed.
+func (c *Chain) ExecuteBlock(txs []*Tx) ([]*Receipt, uint64) {
+	receipts := make([]*Receipt, len(txs))
+	var total uint64
+	for i, tx := range txs {
+		receipts[i] = c.Execute(tx)
+		total += receipts[i].GasUsed
+	}
+	c.height++
+	return receipts, total
+}
+
+// Clone deep-copies the chain so a speculative block execution can be
+// discarded (a proposal that never commits must not mutate state).
+func (c *Chain) Clone() *Chain {
+	cp := NewChain()
+	cp.height = c.height
+	for k, v := range c.balances {
+		cp.balances[k] = v
+	}
+	for k, v := range c.receipts {
+		cp.receipts[k] = v
+	}
+	for addr, inst := range c.contracts {
+		prog := c.programs[addr]
+		name := c.names[addr]
+		ci := &minisol.Instance{Contract: inst.Contract, Gas: inst.Gas, Storage: cloneStorage(inst.Storage)}
+		cp.contracts[addr] = ci
+		cp.programs[addr] = prog
+		cp.names[addr] = name
+	}
+	return cp
+}
+
+func cloneStorage(storage map[string]minisol.Value) map[string]minisol.Value {
+	out := make(map[string]minisol.Value, len(storage))
+	keys := make([]string, 0, len(storage))
+	for k := range storage {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out[k] = copyVal(storage[k])
+	}
+	return out
+}
+
+func copyVal(v minisol.Value) minisol.Value {
+	switch x := v.(type) {
+	case *minisol.Array:
+		elems := make([]minisol.Value, len(x.Elems))
+		for i, e := range x.Elems {
+			elems[i] = copyVal(e)
+		}
+		return &minisol.Array{Elems: elems, ElemType: x.ElemType}
+	case *minisol.Struct:
+		fields := make(map[string]minisol.Value, len(x.Fields))
+		for k, f := range x.Fields {
+			fields[k] = copyVal(f)
+		}
+		return &minisol.Struct{TypeName: x.TypeName, Fields: fields}
+	case *minisol.Map:
+		entries := make(map[string]minisol.Value, len(x.Entries))
+		for k, e := range x.Entries {
+			entries[k] = copyVal(e)
+		}
+		return &minisol.Map{Entries: entries, ValType: x.ValType}
+	default:
+		return v
+	}
+}

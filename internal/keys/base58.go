@@ -1,0 +1,78 @@
+package keys
+
+import (
+	"errors"
+	"math/big"
+)
+
+// base58Alphabet is the Bitcoin base58 alphabet, also used by BigchainDB
+// for public keys, signatures, and transaction identifiers.
+const base58Alphabet = "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz"
+
+var base58Index [256]int8
+
+func init() {
+	for i := range base58Index {
+		base58Index[i] = -1
+	}
+	for i := 0; i < len(base58Alphabet); i++ {
+		base58Index[base58Alphabet[i]] = int8(i)
+	}
+}
+
+// Base58Encode encodes b in base58 using the Bitcoin alphabet. Leading
+// zero bytes are preserved as leading '1' characters.
+func Base58Encode(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	zeros := 0
+	for zeros < len(b) && b[zeros] == 0 {
+		zeros++
+	}
+	n := new(big.Int).SetBytes(b)
+	radix := big.NewInt(58)
+	mod := new(big.Int)
+	// Upper bound on encoded length: log(256)/log(58) ≈ 1.37 chars per byte.
+	out := make([]byte, 0, len(b)*138/100+1)
+	for n.Sign() > 0 {
+		n.DivMod(n, radix, mod)
+		out = append(out, base58Alphabet[mod.Int64()])
+	}
+	for i := 0; i < zeros; i++ {
+		out = append(out, base58Alphabet[0])
+	}
+	// Digits were produced least-significant first.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return string(out)
+}
+
+// ErrBadBase58 reports a character outside the base58 alphabet.
+var ErrBadBase58 = errors.New("keys: invalid base58 character")
+
+// Base58Decode decodes a base58 string produced by Base58Encode.
+func Base58Decode(s string) ([]byte, error) {
+	if len(s) == 0 {
+		return []byte{}, nil
+	}
+	zeros := 0
+	for zeros < len(s) && s[zeros] == base58Alphabet[0] {
+		zeros++
+	}
+	n := new(big.Int)
+	radix := big.NewInt(58)
+	for i := zeros; i < len(s); i++ {
+		d := base58Index[s[i]]
+		if d < 0 {
+			return nil, ErrBadBase58
+		}
+		n.Mul(n, radix)
+		n.Add(n, big.NewInt(int64(d)))
+	}
+	body := n.Bytes()
+	out := make([]byte, zeros+len(body))
+	copy(out[zeros:], body)
+	return out, nil
+}

@@ -1,0 +1,304 @@
+// Package ledger maintains each node's committed chain state on top of
+// the document store: the transaction log, the unspent-output (UTXO)
+// set, asset registrations, escrow holdings per REQUEST, and the
+// accept_tx_recovery collection that drives nested-transaction
+// recovery. Validators read this state; the consensus commit phase is
+// the only writer.
+package ledger
+
+import (
+	"fmt"
+	"sync"
+
+	"smartchaindb/internal/docstore"
+	"smartchaindb/internal/txn"
+)
+
+// Collection names, mirroring the MongoDB collections the paper's
+// implementation extends.
+const (
+	ColTransactions = "transactions"
+	ColUTXOs        = "utxos"
+	ColAssets       = "assets"
+	ColRecovery     = "accept_tx_recovery"
+	ColBlocks       = "blocks"
+)
+
+// State is one node's committed chain state.
+type State struct {
+	mu    sync.RWMutex
+	store *docstore.Store
+}
+
+// NewState creates an empty chain state with the standard collections
+// and indexes.
+func NewState() *State {
+	s := &State{store: docstore.NewStore()}
+	txs := s.store.Collection(ColTransactions)
+	txs.CreateIndex("operation")
+	txs.CreateIndex("refs")
+	txs.CreateIndex("asset.id")
+	utxos := s.store.Collection(ColUTXOs)
+	utxos.CreateIndex("owner")
+	utxos.CreateIndex("spent")
+	s.store.Collection(ColAssets)
+	s.store.Collection(ColRecovery)
+	s.store.Collection(ColBlocks)
+	return s
+}
+
+// Store exposes the underlying document store for read-only analytics
+// (the marketplace query layer).
+func (s *State) Store() *docstore.Store { return s.store }
+
+func utxoKey(ref txn.OutputRef) string { return ref.String() }
+
+// CommitTx atomically applies a validated transaction: it appends the
+// transaction document, marks every spent output, and registers the new
+// outputs as unspent. It fails without side effects if the transaction
+// is a duplicate or any input is already spent — the last line of
+// defence behind the validators.
+func (s *State) CommitTx(t *txn.Transaction) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	txs := s.store.Collection(ColTransactions)
+	if txs.Has(t.ID) {
+		return &txn.DuplicateTransactionError{TxID: t.ID, Reason: "already committed"}
+	}
+	utxos := s.store.Collection(ColUTXOs)
+	// Check all spends first so failure leaves no partial state.
+	for _, ref := range t.SpentRefs() {
+		doc, err := utxos.Get(utxoKey(ref))
+		if err != nil {
+			return &txn.InputDoesNotExistError{TxID: ref.TxID}
+		}
+		if spender, _ := doc["spent_by"].(string); spender != "" {
+			return &txn.DoubleSpendError{Ref: ref, SpentBy: spender}
+		}
+	}
+	// For nested parents the outputs mirror the inputs one-to-one, each
+	// carrying the asset of the bid its input spends; resolve those
+	// before mutating anything.
+	outputAsset := make([]string, len(t.Outputs))
+	for i := range t.Outputs {
+		outputAsset[i] = t.AssetID()
+	}
+	if t.Operation == txn.OpAcceptBid {
+		for i := range t.Outputs {
+			if i < len(t.Inputs) && t.Inputs[i].Fulfills != nil {
+				if doc, err := utxos.Get(utxoKey(*t.Inputs[i].Fulfills)); err == nil {
+					if aid, ok := doc["asset_id"].(string); ok {
+						outputAsset[i] = aid
+					}
+				}
+			}
+		}
+	}
+	for _, ref := range t.SpentRefs() {
+		if err := utxos.Update(utxoKey(ref), func(doc map[string]any) error {
+			doc["spent"] = true
+			doc["spent_by"] = t.ID
+			return nil
+		}); err != nil {
+			return fmt.Errorf("ledger: mark spent %s: %w", ref, err)
+		}
+	}
+	if err := txs.Insert(t.ID, t.ToDoc()); err != nil {
+		return fmt.Errorf("ledger: insert tx: %w", err)
+	}
+	for i, out := range t.Outputs {
+		ref := txn.OutputRef{TxID: t.ID, Index: i}
+		owners := make([]any, len(out.PublicKeys))
+		for j, k := range out.PublicKeys {
+			owners[j] = k
+		}
+		prev := make([]any, len(out.PrevOwners))
+		for j, k := range out.PrevOwners {
+			prev[j] = k
+		}
+		if err := utxos.Insert(utxoKey(ref), map[string]any{
+			"transaction_id": t.ID,
+			"output_index":   float64(i),
+			"owner":          owners,
+			"prev_owners":    prev,
+			"amount":         float64(out.Amount),
+			"asset_id":       outputAsset[i],
+			"operation":      t.Operation,
+			"spent":          false,
+			"spent_by":       "",
+		}); err != nil {
+			return fmt.Errorf("ledger: insert utxo: %w", err)
+		}
+	}
+	if t.Operation == txn.OpCreate || t.Operation == txn.OpRequest {
+		data := map[string]any{}
+		if t.Asset != nil && t.Asset.Data != nil {
+			data = t.Asset.Data
+		}
+		s.store.Collection(ColAssets).Upsert(t.ID, map[string]any{
+			"id":        t.ID,
+			"data":      data,
+			"operation": t.Operation,
+		})
+	}
+	return nil
+}
+
+// SetChildren records the child transaction IDs assigned to a nested
+// parent at commit time (the ID and signatures are unaffected: children
+// are excluded from the signing payload).
+func (s *State) SetChildren(parentID string, children []string) error {
+	list := make([]any, len(children))
+	for i, c := range children {
+		list[i] = c
+	}
+	return s.store.Collection(ColTransactions).Update(parentID, func(doc map[string]any) error {
+		doc["children"] = list
+		return nil
+	})
+}
+
+// GetTx returns a committed transaction by ID.
+func (s *State) GetTx(id string) (*txn.Transaction, error) {
+	doc, err := s.store.Collection(ColTransactions).Get(id)
+	if err != nil {
+		return nil, &txn.InputDoesNotExistError{TxID: id}
+	}
+	return txn.FromDoc(doc)
+}
+
+// IsCommitted reports whether the transaction exists in the log.
+func (s *State) IsCommitted(id string) bool {
+	return s.store.Collection(ColTransactions).Has(id)
+}
+
+// TxCount returns the number of committed transactions.
+func (s *State) TxCount() int {
+	return s.store.Collection(ColTransactions).Len()
+}
+
+// OutputAt resolves an output reference against committed state.
+func (s *State) OutputAt(ref txn.OutputRef) (*txn.Output, error) {
+	t, err := s.GetTx(ref.TxID)
+	if err != nil {
+		return nil, err
+	}
+	if ref.Index < 0 || ref.Index >= len(t.Outputs) {
+		return nil, &txn.ValidationError{Op: t.Operation, Reason: fmt.Sprintf("output index %d out of range (tx has %d outputs)", ref.Index, len(t.Outputs))}
+	}
+	return t.Outputs[ref.Index], nil
+}
+
+// OutputAssetID reports the asset whose shares a committed output
+// holds. For nested parents this differs per output (each mirrors the
+// bid its input spends), so the UTXO record, not the transaction's
+// asset link, is authoritative.
+func (s *State) OutputAssetID(ref txn.OutputRef) (string, bool) {
+	doc, err := s.store.Collection(ColUTXOs).Get(utxoKey(ref))
+	if err != nil {
+		return "", false
+	}
+	id, _ := doc["asset_id"].(string)
+	return id, id != ""
+}
+
+// SpenderOf reports which committed transaction spent ref, if any.
+func (s *State) SpenderOf(ref txn.OutputRef) (string, bool) {
+	doc, err := s.store.Collection(ColUTXOs).Get(utxoKey(ref))
+	if err != nil {
+		return "", false
+	}
+	spender, _ := doc["spent_by"].(string)
+	return spender, spender != ""
+}
+
+// IsUnspent reports whether ref exists and has not been spent.
+func (s *State) IsUnspent(ref txn.OutputRef) bool {
+	doc, err := s.store.Collection(ColUTXOs).Get(utxoKey(ref))
+	if err != nil {
+		return false
+	}
+	spent, _ := doc["spent"].(bool)
+	return !spent
+}
+
+// UnspentOutputs lists the unspent output references owned by pub.
+func (s *State) UnspentOutputs(pub string) []txn.OutputRef {
+	utxos := s.store.Collection(ColUTXOs)
+	docs := utxos.Find(docstore.And(docstore.Eq("owner", pub), docstore.Eq("spent", false)))
+	refs := make([]txn.OutputRef, 0, len(docs))
+	for _, d := range docs {
+		refs = append(refs, txn.OutputRef{
+			TxID:  d["transaction_id"].(string),
+			Index: int(d["output_index"].(float64)),
+		})
+	}
+	return refs
+}
+
+// Balance sums the unspent shares pub owns of the given asset.
+func (s *State) Balance(pub, assetID string) uint64 {
+	utxos := s.store.Collection(ColUTXOs)
+	docs := utxos.Find(docstore.And(
+		docstore.Eq("owner", pub),
+		docstore.Eq("spent", false),
+		docstore.Eq("asset_id", assetID),
+	))
+	var sum uint64
+	for _, d := range docs {
+		sum += uint64(d["amount"].(float64))
+	}
+	return sum
+}
+
+// LockedBidsForRFQ implements the validator query getLockedBids: all
+// committed BID transactions referencing the REQUEST whose escrow
+// output (index 0) is still unspent.
+func (s *State) LockedBidsForRFQ(rfqID string) []*txn.Transaction {
+	txs := s.store.Collection(ColTransactions)
+	docs := txs.Find(docstore.And(
+		docstore.Eq("operation", txn.OpBid),
+		docstore.Contains("refs", rfqID),
+	))
+	var out []*txn.Transaction
+	for _, d := range docs {
+		t, err := txn.FromDoc(d)
+		if err != nil {
+			continue
+		}
+		if s.IsUnspent(txn.OutputRef{TxID: t.ID, Index: 0}) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// AcceptForRFQ implements getAcceptTxForRFQ: the committed ACCEPT_BID
+// referencing the REQUEST, if one exists.
+func (s *State) AcceptForRFQ(rfqID string) (*txn.Transaction, bool) {
+	txs := s.store.Collection(ColTransactions)
+	docs := txs.FindLimit(docstore.And(
+		docstore.Eq("operation", txn.OpAcceptBid),
+		docstore.Contains("refs", rfqID),
+	), 1)
+	if len(docs) == 0 {
+		return nil, false
+	}
+	t, err := txn.FromDoc(docs[0])
+	if err != nil {
+		return nil, false
+	}
+	return t, true
+}
+
+// TxsByOperation lists committed transactions of one operation type.
+func (s *State) TxsByOperation(op string) []*txn.Transaction {
+	docs := s.store.Collection(ColTransactions).Find(docstore.Eq("operation", op))
+	out := make([]*txn.Transaction, 0, len(docs))
+	for _, d := range docs {
+		if t, err := txn.FromDoc(d); err == nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}

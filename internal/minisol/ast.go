@@ -1,0 +1,191 @@
+package minisol
+
+// Type describes a (possibly composite) minisol type.
+type Type struct {
+	Kind string // "uint", "bool", "string", "address", "bytes32", "struct", "array", "mapping"
+	Name string // struct name when Kind == "struct"
+	Elem *Type  // array element / mapping value
+	Key  *Type  // mapping key
+}
+
+// File is a parsed source file.
+type File struct {
+	Contracts []*ContractDecl
+}
+
+// ContractDecl is one contract definition.
+type ContractDecl struct {
+	Name      string
+	Structs   map[string]*StructDecl
+	Events    map[string]*EventDecl
+	StateVars []*VarDecl
+	Functions map[string]*FuncDecl
+	// SourceLines counts the non-blank, non-comment lines of the
+	// contract body — the usability metric of §5.2.2.
+	SourceLines int
+}
+
+// StructDecl declares a struct type.
+type StructDecl struct {
+	Name   string
+	Fields []*VarDecl
+}
+
+// EventDecl declares an event signature.
+type EventDecl struct {
+	Name   string
+	Params []*VarDecl
+}
+
+// VarDecl declares a state variable, struct field, parameter, or local.
+type VarDecl struct {
+	Name string
+	Type *Type
+	Init Expr // optional initializer (locals and state vars)
+	Line int
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Name       string
+	Params     []*VarDecl
+	ReturnType *Type // nil for none
+	Visibility string
+	Body       []Stmt
+	Line       int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// Statements.
+type (
+	// DeclStmt declares a local variable.
+	DeclStmt struct{ Decl *VarDecl }
+	// AssignStmt assigns Target (an lvalue) = Value; Op may be "=",
+	// "+=", "-=", "*=", "/=".
+	AssignStmt struct {
+		Target Expr
+		Op     string
+		Value  Expr
+		Line   int
+	}
+	// IfStmt branches.
+	IfStmt struct {
+		Cond Expr
+		Then []Stmt
+		Else []Stmt
+	}
+	// ForStmt is for(init; cond; post) { body }.
+	ForStmt struct {
+		Init Stmt
+		Cond Expr
+		Post Stmt
+		Body []Stmt
+	}
+	// WhileStmt is while(cond) { body }.
+	WhileStmt struct {
+		Cond Expr
+		Body []Stmt
+	}
+	// ReturnStmt returns an optional value.
+	ReturnStmt struct{ Value Expr }
+	// RequireStmt is require(cond, "msg").
+	RequireStmt struct {
+		Cond Expr
+		Msg  string
+		Line int
+	}
+	// RevertStmt aborts with a message.
+	RevertStmt struct{ Msg string }
+	// EmitStmt emits an event.
+	EmitStmt struct {
+		Event string
+		Args  []Expr
+	}
+	// ExprStmt evaluates an expression for effect (calls, push).
+	ExprStmt struct{ X Expr }
+	// BreakStmt exits the innermost loop.
+	BreakStmt struct{}
+	// ContinueStmt skips to the next loop iteration.
+	ContinueStmt struct{}
+	// DeleteStmt resets a storage slot to its zero value.
+	DeleteStmt struct{ Target Expr }
+)
+
+func (*DeclStmt) stmtNode()     {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*ForStmt) stmtNode()      {}
+func (*WhileStmt) stmtNode()    {}
+func (*ReturnStmt) stmtNode()   {}
+func (*RequireStmt) stmtNode()  {}
+func (*RevertStmt) stmtNode()   {}
+func (*EmitStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*DeleteStmt) stmtNode()   {}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// Expressions.
+type (
+	// NumberLit is an integer literal.
+	NumberLit struct{ Value int64 }
+	// StringLit is a string literal.
+	StringLit struct{ Value string }
+	// BoolLit is true/false.
+	BoolLit struct{ Value bool }
+	// Ident names a variable or function.
+	Ident struct {
+		Name string
+		Line int
+	}
+	// BinaryExpr applies an infix operator.
+	BinaryExpr struct {
+		Op   string
+		L, R Expr
+		Line int
+	}
+	// UnaryExpr applies ! or unary -.
+	UnaryExpr struct {
+		Op string
+		X  Expr
+	}
+	// IndexExpr is base[index] (array or mapping access).
+	IndexExpr struct {
+		Base  Expr
+		Index Expr
+		Line  int
+	}
+	// MemberExpr is base.field (struct field, msg.sender, a.length).
+	MemberExpr struct {
+		Base  Expr
+		Field string
+		Line  int
+	}
+	// CallExpr calls a function: plain (f(x)) or method (a.push(x)).
+	CallExpr struct {
+		Callee Expr
+		Args   []Expr
+		Line   int
+	}
+	// NewArrayExpr allocates a memory array: new string[](n).
+	NewArrayExpr struct {
+		Elem *Type
+		Len  Expr
+	}
+)
+
+func (*NumberLit) exprNode()    {}
+func (*StringLit) exprNode()    {}
+func (*BoolLit) exprNode()      {}
+func (*Ident) exprNode()        {}
+func (*BinaryExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()    {}
+func (*IndexExpr) exprNode()    {}
+func (*MemberExpr) exprNode()   {}
+func (*CallExpr) exprNode()     {}
+func (*NewArrayExpr) exprNode() {}

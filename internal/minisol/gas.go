@@ -1,0 +1,71 @@
+package minisol
+
+import "errors"
+
+// GasTable prices interpreter operations, patterned on the EVM
+// schedule. The storage prices dominate, which is what makes contract
+// costs scale with payload size (each 32-byte word of a capability
+// string is one SSTORE), and the per-byte string-comparison price is
+// what makes the contract's O(n²) BID-matching loop expensive — the two
+// effects behind the ETH-SC curves of Figure 7.
+type GasTable struct {
+	TxBase         uint64 // intrinsic transaction cost
+	CalldataByte   uint64 // per byte of call arguments
+	SloadSlot      uint64 // per 32-byte slot read from storage
+	SstoreNewSlot  uint64 // per slot written zero -> non-zero
+	SstoreUpdate   uint64 // per slot overwritten
+	Step           uint64 // per AST node evaluated
+	CallOverhead   uint64 // per internal function call
+	StrCompareByte uint64 // per byte compared between strings
+	HashBase       uint64 // keccak256 base
+	HashWord       uint64 // keccak256 per 32-byte word
+	LogBase        uint64 // per emitted event
+	LogByte        uint64 // per event payload byte
+	DeployBase     uint64 // contract creation base
+	DeployByte     uint64 // per byte of contract source ("code deposit")
+}
+
+// DefaultGasTable returns prices matching Ethereum's published
+// schedule where an analogue exists.
+func DefaultGasTable() GasTable {
+	return GasTable{
+		TxBase:         21000,
+		CalldataByte:   16,
+		SloadSlot:      800,
+		SstoreNewSlot:  20000,
+		SstoreUpdate:   5000,
+		Step:           5,
+		CallOverhead:   100,
+		StrCompareByte: 50,
+		HashBase:       30,
+		HashWord:       6,
+		LogBase:        375,
+		LogByte:        8,
+		DeployBase:     32000,
+		DeployByte:     200,
+	}
+}
+
+// ErrOutOfGas aborts execution when the gas limit is exhausted.
+var ErrOutOfGas = errors.New("minisol: out of gas")
+
+// RevertError carries a require/revert message out of execution.
+type RevertError struct {
+	Msg  string
+	Line int
+}
+
+func (e *RevertError) Error() string { return "minisol: reverted: " + e.Msg }
+
+type gasMeter struct {
+	used  uint64
+	limit uint64
+}
+
+func (g *gasMeter) charge(n uint64) error {
+	g.used += n
+	if g.limit > 0 && g.used > g.limit {
+		return ErrOutOfGas
+	}
+	return nil
+}

@@ -1,0 +1,954 @@
+package minisol
+
+import (
+	"crypto/sha3"
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// Program is a compiled source file.
+type Program struct {
+	File   *File
+	Source string
+}
+
+// Compile parses source into a deployable program.
+func Compile(src string) (*Program, error) {
+	f, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{File: f, Source: src}, nil
+}
+
+// Instance is a deployed contract: its AST plus persistent storage.
+type Instance struct {
+	Contract *ContractDecl
+	Storage  map[string]Value
+	Gas      GasTable
+}
+
+// Event is an emitted log entry.
+type Event struct {
+	Name string
+	Args []Value
+}
+
+// Msg is the transaction context visible as msg.* in contract code.
+type Msg struct {
+	Sender string
+	Value  int64
+	Block  int64 // visible as block.number
+}
+
+// CallResult reports one external call.
+type CallResult struct {
+	Ret     Value
+	GasUsed uint64
+	Logs    []Event
+	Err     error // nil on success; *RevertError or ErrOutOfGas otherwise
+}
+
+// Reverted reports whether the call failed.
+func (r CallResult) Reverted() bool { return r.Err != nil }
+
+// Deploy instantiates the named contract: zero-initializes state
+// variables, runs the constructor if present, and returns the instance
+// with the deployment gas (base + per-source-byte code deposit).
+func Deploy(prog *Program, name string, gas GasTable, msg Msg) (*Instance, uint64, error) {
+	var decl *ContractDecl
+	for _, c := range prog.File.Contracts {
+		if c.Name == name {
+			decl = c
+			break
+		}
+	}
+	if decl == nil {
+		return nil, 0, fmt.Errorf("minisol: no contract %q in program", name)
+	}
+	inst := &Instance{Contract: decl, Storage: make(map[string]Value), Gas: gas}
+	deployGas := gas.DeployBase + gas.DeployByte*uint64(len(prog.Source))
+	meter := &gasMeter{used: deployGas}
+	env := &callEnv{inst: inst, msg: msg, gas: meter}
+	for _, sv := range decl.StateVars {
+		zv, err := zeroValue(sv.Type, decl)
+		if err != nil {
+			return nil, 0, err
+		}
+		if sv.Init != nil {
+			v, err := env.evalExpr(sv.Init)
+			if err != nil {
+				return nil, 0, err
+			}
+			zv = v
+		}
+		inst.Storage[sv.Name] = zv
+	}
+	if ctor, ok := decl.Functions["constructor"]; ok {
+		if _, err := env.callFunction(ctor, nil); err != nil {
+			return nil, 0, err
+		}
+	}
+	return inst, meter.used, nil
+}
+
+// Call invokes a public function with a gas limit (0 = unlimited).
+// Failed calls leave storage untouched (snapshot/rollback), matching
+// EVM revert semantics; gas used up to the failure is still reported.
+func (inst *Instance) Call(fn string, msg Msg, gasLimit uint64, args ...Value) CallResult {
+	decl, ok := inst.Contract.Functions[fn]
+	if !ok {
+		return CallResult{Err: fmt.Errorf("minisol: no function %q", fn)}
+	}
+	if decl.Visibility == "private" || decl.Visibility == "internal" {
+		return CallResult{Err: fmt.Errorf("minisol: function %q is not externally callable", fn)}
+	}
+	meter := &gasMeter{limit: gasLimit}
+	res := CallResult{}
+	// Intrinsic cost: base + calldata.
+	var calldata uint64
+	for _, a := range args {
+		calldata += byteSizeOf(a)
+	}
+	if err := meter.charge(inst.Gas.TxBase + inst.Gas.CalldataByte*calldata); err != nil {
+		res.GasUsed = meter.used
+		res.Err = err
+		return res
+	}
+	snapshot := make(map[string]Value, len(inst.Storage))
+	for k, v := range inst.Storage {
+		snapshot[k] = copyValue(v)
+	}
+	env := &callEnv{inst: inst, msg: msg, gas: meter}
+	ret, err := env.callFunction(decl, args)
+	res.GasUsed = meter.used
+	res.Logs = env.logs
+	if err != nil {
+		inst.Storage = snapshot
+		res.Logs = nil
+		res.Err = err
+		return res
+	}
+	res.Ret = ret
+	return res
+}
+
+// control-flow signals travel as errors.
+type returnSignal struct{ v Value }
+
+func (returnSignal) Error() string { return "return" }
+
+var errBreak = errors.New("break")
+var errContinue = errors.New("continue")
+
+// callEnv is one call's execution environment.
+type callEnv struct {
+	inst   *Instance
+	msg    Msg
+	gas    *gasMeter
+	scopes []map[string]Value
+	logs   []Event
+	depth  int
+}
+
+func (e *callEnv) pushScope() { e.scopes = append(e.scopes, map[string]Value{}) }
+func (e *callEnv) popScope()  { e.scopes = e.scopes[:len(e.scopes)-1] }
+
+func (e *callEnv) lookupLocal(name string) (Value, bool) {
+	for i := len(e.scopes) - 1; i >= 0; i-- {
+		if v, ok := e.scopes[i][name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+func (e *callEnv) setLocal(name string, v Value) bool {
+	for i := len(e.scopes) - 1; i >= 0; i-- {
+		if _, ok := e.scopes[i][name]; ok {
+			e.scopes[i][name] = v
+			return true
+		}
+	}
+	return false
+}
+
+func (e *callEnv) declareLocal(name string, v Value) {
+	e.scopes[len(e.scopes)-1][name] = v
+}
+
+func (e *callEnv) callFunction(fn *FuncDecl, args []Value) (Value, error) {
+	if e.depth > 128 {
+		return nil, fmt.Errorf("minisol: call depth exceeded")
+	}
+	if len(args) != len(fn.Params) {
+		return nil, fmt.Errorf("minisol: %s expects %d args, got %d", fn.Name, len(fn.Params), len(args))
+	}
+	if err := e.gas.charge(e.inst.Gas.CallOverhead); err != nil {
+		return nil, err
+	}
+	e.depth++
+	e.pushScope()
+	defer func() { e.popScope(); e.depth-- }()
+	for i, p := range fn.Params {
+		e.declareLocal(p.Name, copyValue(args[i]))
+	}
+	err := e.execBlock(fn.Body)
+	if err != nil {
+		var rs returnSignal
+		if errors.As(err, &rs) {
+			return rs.v, nil
+		}
+		return nil, err
+	}
+	if fn.ReturnType != nil {
+		return zeroValue(fn.ReturnType, e.inst.Contract)
+	}
+	return nil, nil
+}
+
+func (e *callEnv) execBlock(stmts []Stmt) error {
+	e.pushScope()
+	defer e.popScope()
+	for _, s := range stmts {
+		if err := e.execStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *callEnv) execStmt(s Stmt) error {
+	if err := e.gas.charge(e.inst.Gas.Step); err != nil {
+		return err
+	}
+	switch st := s.(type) {
+	case *DeclStmt:
+		var v Value
+		var err error
+		if st.Decl.Init != nil {
+			v, err = e.evalExpr(st.Decl.Init)
+		} else {
+			v, err = zeroValue(st.Decl.Type, e.inst.Contract)
+		}
+		if err != nil {
+			return err
+		}
+		e.declareLocal(st.Decl.Name, v)
+		return nil
+	case *AssignStmt:
+		return e.execAssign(st)
+	case *IfStmt:
+		cond, err := e.evalBool(st.Cond)
+		if err != nil {
+			return err
+		}
+		if cond {
+			return e.execBlock(st.Then)
+		}
+		if st.Else != nil {
+			return e.execBlock(st.Else)
+		}
+		return nil
+	case *ForStmt:
+		e.pushScope()
+		defer e.popScope()
+		if st.Init != nil {
+			if err := e.execStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		for {
+			if st.Cond != nil {
+				ok, err := e.evalBool(st.Cond)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+			}
+			err := e.execBlock(st.Body)
+			switch {
+			case err == nil:
+			case errors.Is(err, errBreak):
+				return nil
+			case errors.Is(err, errContinue):
+			default:
+				return err
+			}
+			if st.Post != nil {
+				if err := e.execStmt(st.Post); err != nil {
+					return err
+				}
+			}
+		}
+	case *WhileStmt:
+		for {
+			ok, err := e.evalBool(st.Cond)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			err = e.execBlock(st.Body)
+			switch {
+			case err == nil:
+			case errors.Is(err, errBreak):
+				return nil
+			case errors.Is(err, errContinue):
+			default:
+				return err
+			}
+		}
+	case *ReturnStmt:
+		if st.Value == nil {
+			return returnSignal{}
+		}
+		v, err := e.evalExpr(st.Value)
+		if err != nil {
+			return err
+		}
+		return returnSignal{v: v}
+	case *RequireStmt:
+		ok, err := e.evalBool(st.Cond)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return &RevertError{Msg: st.Msg, Line: st.Line}
+		}
+		return nil
+	case *RevertStmt:
+		return &RevertError{Msg: st.Msg}
+	case *EmitStmt:
+		ev := Event{Name: st.Event}
+		var bytes uint64
+		for _, a := range st.Args {
+			v, err := e.evalExpr(a)
+			if err != nil {
+				return err
+			}
+			ev.Args = append(ev.Args, v)
+			bytes += byteSizeOf(v)
+		}
+		if err := e.gas.charge(e.inst.Gas.LogBase + e.inst.Gas.LogByte*bytes); err != nil {
+			return err
+		}
+		e.logs = append(e.logs, ev)
+		return nil
+	case *ExprStmt:
+		_, err := e.evalExpr(st.X)
+		return err
+	case *BreakStmt:
+		return errBreak
+	case *ContinueStmt:
+		return errContinue
+	case *DeleteStmt:
+		ref, err := e.resolveRef(st.Target)
+		if err != nil {
+			return err
+		}
+		old, err := ref.get()
+		if err != nil {
+			return err
+		}
+		if ref.inStorage {
+			if err := e.gas.charge(e.inst.Gas.SstoreUpdate * slotsOf(old)); err != nil {
+				return err
+			}
+		}
+		var zv Value
+		switch old.(type) {
+		case Int:
+			zv = Int(0)
+		case Bool:
+			zv = Bool(false)
+		case Str:
+			zv = Str("")
+		case Addr:
+			zv = Addr("")
+		case *Array:
+			zv = &Array{}
+		case *Struct:
+			s := old.(*Struct)
+			fields := make(map[string]Value, len(s.Fields))
+			for k := range s.Fields {
+				fields[k] = zeroLike(s.Fields[k])
+			}
+			zv = &Struct{TypeName: s.TypeName, Fields: fields}
+		default:
+			zv = Int(0)
+		}
+		return ref.set(zv)
+	}
+	return fmt.Errorf("minisol: unknown statement %T", s)
+}
+
+func zeroLike(v Value) Value {
+	switch x := v.(type) {
+	case Int:
+		return Int(0)
+	case Bool:
+		return Bool(false)
+	case Str:
+		return Str("")
+	case Addr:
+		return Addr("")
+	case *Array:
+		return &Array{ElemType: x.ElemType}
+	case *Struct:
+		fields := make(map[string]Value, len(x.Fields))
+		for k, f := range x.Fields {
+			fields[k] = zeroLike(f)
+		}
+		return &Struct{TypeName: x.TypeName, Fields: fields}
+	case *Map:
+		return &Map{Entries: map[string]Value{}, ValType: x.ValType}
+	}
+	return Int(0)
+}
+
+func (e *callEnv) execAssign(st *AssignStmt) error {
+	v, err := e.evalExpr(st.Value)
+	if err != nil {
+		return err
+	}
+	ref, err := e.resolveRef(st.Target)
+	if err != nil {
+		return err
+	}
+	if st.Op != "=" {
+		old, err := ref.get()
+		if err != nil {
+			return err
+		}
+		v, err = applyBinary(st.Op[:1], old, v, e, st.Line)
+		if err != nil {
+			return err
+		}
+	}
+	if ref.inStorage {
+		// Charge by the leaf actually written. The pre-read for the
+		// zero/non-zero price distinction mirrors the EVM's dirty check.
+		old, err := ref.get()
+		if err != nil {
+			return err
+		}
+		if err := e.chargeStore(old, v); err != nil {
+			return err
+		}
+	}
+	return ref.set(copyValue(v))
+}
+
+// ref is a resolved lvalue. inStorage marks references rooted in a
+// state variable: writes through them are charged storage gas at the
+// granularity of the leaf value actually written (as the EVM charges
+// per touched slot, not per containing structure).
+type ref struct {
+	get       func() (Value, error)
+	set       func(Value) error
+	inStorage bool
+}
+
+// resolveRef resolves an lvalue expression to a readable/writable
+// reference, charging storage gas when the path roots in a state
+// variable.
+func (e *callEnv) resolveRef(x Expr) (*ref, error) {
+	switch ex := x.(type) {
+	case *Ident:
+		name := ex.Name
+		if _, ok := e.lookupLocal(name); ok {
+			return &ref{
+				get: func() (Value, error) {
+					v, _ := e.lookupLocal(name)
+					return v, nil
+				},
+				set: func(v Value) error {
+					if !e.setLocal(name, v) {
+						return fmt.Errorf("minisol: lost local %q", name)
+					}
+					return nil
+				},
+			}, nil
+		}
+		if _, ok := e.inst.Storage[name]; ok {
+			return &ref{
+				inStorage: true,
+				get: func() (Value, error) {
+					v := e.inst.Storage[name]
+					if err := e.gas.charge(e.inst.Gas.SloadSlot * minSlots(v)); err != nil {
+						return nil, err
+					}
+					return v, nil
+				},
+				set: func(v Value) error {
+					e.inst.Storage[name] = v
+					return nil
+				},
+			}, nil
+		}
+		return nil, fmt.Errorf("minisol: %d: undefined variable %q", ex.Line, name)
+	case *IndexExpr:
+		baseRef, err := e.resolveRef(ex.Base)
+		if err != nil {
+			return nil, err
+		}
+		idxV, err := e.evalExpr(ex.Index)
+		if err != nil {
+			return nil, err
+		}
+		return e.indexRef(baseRef, idxV, ex.Line)
+	case *MemberExpr:
+		baseRef, err := e.resolveRef(ex.Base)
+		if err != nil {
+			return nil, err
+		}
+		return &ref{
+			inStorage: baseRef.inStorage,
+			get: func() (Value, error) {
+				base, err := baseRef.get()
+				if err != nil {
+					return nil, err
+				}
+				s, ok := base.(*Struct)
+				if !ok {
+					return nil, fmt.Errorf("minisol: %d: member %q on non-struct %s", ex.Line, ex.Field, base.valueKind())
+				}
+				v, ok := s.Fields[ex.Field]
+				if !ok {
+					return nil, fmt.Errorf("minisol: %d: struct %s has no field %q", ex.Line, s.TypeName, ex.Field)
+				}
+				return v, nil
+			},
+			set: func(v Value) error {
+				base, err := baseRef.get()
+				if err != nil {
+					return err
+				}
+				s, ok := base.(*Struct)
+				if !ok {
+					return fmt.Errorf("minisol: %d: member %q on non-struct", ex.Line, ex.Field)
+				}
+				if _, ok := s.Fields[ex.Field]; !ok {
+					return fmt.Errorf("minisol: %d: struct %s has no field %q", ex.Line, s.TypeName, ex.Field)
+				}
+				s.Fields[ex.Field] = v
+				return baseRef.set(base)
+			},
+		}, nil
+	}
+	return nil, fmt.Errorf("minisol: not an assignable expression: %T", x)
+}
+
+func (e *callEnv) indexRef(baseRef *ref, idxV Value, line int) (*ref, error) {
+	return &ref{
+		inStorage: baseRef.inStorage,
+		get: func() (Value, error) {
+			base, err := baseRef.get()
+			if err != nil {
+				return nil, err
+			}
+			switch b := base.(type) {
+			case *Array:
+				i, ok := idxV.(Int)
+				if !ok || int64(i) < 0 || int64(i) >= int64(len(b.Elems)) {
+					return nil, &RevertError{Msg: "array index out of bounds", Line: line}
+				}
+				return b.Elems[i], nil
+			case *Map:
+				k, err := mapKey(idxV)
+				if err != nil {
+					return nil, err
+				}
+				if v, ok := b.Entries[k]; ok {
+					return v, nil
+				}
+				return zeroValue(b.ValType, e.inst.Contract)
+			}
+			return nil, fmt.Errorf("minisol: %d: cannot index %s", line, base.valueKind())
+		},
+		set: func(v Value) error {
+			base, err := baseRef.get()
+			if err != nil {
+				return err
+			}
+			switch b := base.(type) {
+			case *Array:
+				i, ok := idxV.(Int)
+				if !ok || int64(i) < 0 || int64(i) >= int64(len(b.Elems)) {
+					return &RevertError{Msg: "array index out of bounds", Line: line}
+				}
+				b.Elems[i] = v
+				return baseRef.set(base)
+			case *Map:
+				k, err := mapKey(idxV)
+				if err != nil {
+					return err
+				}
+				b.Entries[k] = v
+				return baseRef.set(base)
+			}
+			return fmt.Errorf("minisol: %d: cannot index %s", line, base.valueKind())
+		},
+	}, nil
+}
+
+// minSlots bounds the SLOAD charge: reading a whole container from
+// storage is charged by its scalar footprint but capped so that
+// length checks on huge arrays stay affordable, as in the EVM where
+// reading .length is one slot.
+func minSlots(v Value) uint64 {
+	switch v.(type) {
+	case *Array, *Map, *Struct:
+		return 1 // container handle; element reads charge on access
+	}
+	return slotsOf(v)
+}
+
+// chargeStore prices a storage write by the slot delta.
+func (e *callEnv) chargeStore(old, new_ Value) error {
+	slots := slotsOf(new_)
+	if old == nil || isZero(old) {
+		return e.gas.charge(e.inst.Gas.SstoreNewSlot * slots)
+	}
+	return e.gas.charge(e.inst.Gas.SstoreUpdate * slots)
+}
+
+func (e *callEnv) evalBool(x Expr) (bool, error) {
+	v, err := e.evalExpr(x)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.(Bool)
+	if !ok {
+		return false, fmt.Errorf("minisol: condition is %s, want bool", v.valueKind())
+	}
+	return bool(b), nil
+}
+
+func (e *callEnv) evalExpr(x Expr) (Value, error) {
+	if err := e.gas.charge(e.inst.Gas.Step); err != nil {
+		return nil, err
+	}
+	switch ex := x.(type) {
+	case *NumberLit:
+		return Int(ex.Value), nil
+	case *StringLit:
+		return Str(ex.Value), nil
+	case *BoolLit:
+		return Bool(ex.Value), nil
+	case *Ident:
+		if v, ok := e.lookupLocal(ex.Name); ok {
+			return v, nil
+		}
+		if v, ok := e.inst.Storage[ex.Name]; ok {
+			if err := e.gas.charge(e.inst.Gas.SloadSlot * minSlots(v)); err != nil {
+				return nil, err
+			}
+			return v, nil
+		}
+		return nil, fmt.Errorf("minisol: %d: undefined identifier %q", ex.Line, ex.Name)
+	case *UnaryExpr:
+		v, err := e.evalExpr(ex.X)
+		if err != nil {
+			return nil, err
+		}
+		switch ex.Op {
+		case "!":
+			b, ok := v.(Bool)
+			if !ok {
+				return nil, fmt.Errorf("minisol: ! on %s", v.valueKind())
+			}
+			return Bool(!b), nil
+		case "-":
+			i, ok := v.(Int)
+			if !ok {
+				return nil, fmt.Errorf("minisol: unary - on %s", v.valueKind())
+			}
+			return Int(-i), nil
+		}
+		return nil, fmt.Errorf("minisol: unknown unary %q", ex.Op)
+	case *BinaryExpr:
+		// Short-circuit logical operators.
+		if ex.Op == "&&" || ex.Op == "||" {
+			l, err := e.evalBool(ex.L)
+			if err != nil {
+				return nil, err
+			}
+			if ex.Op == "&&" && !l {
+				return Bool(false), nil
+			}
+			if ex.Op == "||" && l {
+				return Bool(true), nil
+			}
+			r, err := e.evalBool(ex.R)
+			if err != nil {
+				return nil, err
+			}
+			return Bool(r), nil
+		}
+		l, err := e.evalExpr(ex.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.evalExpr(ex.R)
+		if err != nil {
+			return nil, err
+		}
+		return applyBinary(ex.Op, l, r, e, ex.Line)
+	case *IndexExpr:
+		ref, err := e.resolveRef(ex)
+		if err != nil {
+			return nil, err
+		}
+		return ref.get()
+	case *MemberExpr:
+		return e.evalMember(ex)
+	case *CallExpr:
+		return e.evalCall(ex)
+	case *NewArrayExpr:
+		nV, err := e.evalExpr(ex.Len)
+		if err != nil {
+			return nil, err
+		}
+		n, ok := nV.(Int)
+		if !ok || n < 0 {
+			return nil, fmt.Errorf("minisol: bad array length")
+		}
+		arr := &Array{ElemType: ex.Elem, Elems: make([]Value, int(n))}
+		for i := range arr.Elems {
+			zv, err := zeroValue(ex.Elem, e.inst.Contract)
+			if err != nil {
+				return nil, err
+			}
+			arr.Elems[i] = zv
+		}
+		return arr, nil
+	}
+	return nil, fmt.Errorf("minisol: cannot evaluate %T", x)
+}
+
+func (e *callEnv) evalMember(ex *MemberExpr) (Value, error) {
+	// Magic bases: msg.* and block.*.
+	if id, ok := ex.Base.(*Ident); ok {
+		if _, isLocal := e.lookupLocal(id.Name); !isLocal {
+			switch id.Name {
+			case "msg":
+				switch ex.Field {
+				case "sender":
+					return Addr(e.msg.Sender), nil
+				case "value":
+					return Int(e.msg.Value), nil
+				}
+			case "block":
+				switch ex.Field {
+				case "number", "timestamp":
+					return Int(e.msg.Block), nil
+				}
+			}
+		}
+	}
+	base, err := e.evalExpr(ex.Base)
+	if err != nil {
+		return nil, err
+	}
+	switch b := base.(type) {
+	case *Array:
+		if ex.Field == "length" {
+			return Int(len(b.Elems)), nil
+		}
+	case *Struct:
+		if v, ok := b.Fields[ex.Field]; ok {
+			return v, nil
+		}
+		return nil, fmt.Errorf("minisol: %d: struct %s has no field %q", ex.Line, b.TypeName, ex.Field)
+	case Str:
+		if ex.Field == "length" {
+			return Int(len(b)), nil
+		}
+	}
+	return nil, fmt.Errorf("minisol: %d: no member %q on %s", ex.Line, ex.Field, base.valueKind())
+}
+
+func (e *callEnv) evalCall(ex *CallExpr) (Value, error) {
+	// Method calls: arr.push(x).
+	if mem, ok := ex.Callee.(*MemberExpr); ok {
+		if mem.Field == "push" {
+			ref, err := e.resolveRef(mem.Base)
+			if err != nil {
+				return nil, err
+			}
+			base, err := ref.get()
+			if err != nil {
+				return nil, err
+			}
+			arr, ok := base.(*Array)
+			if !ok {
+				return nil, fmt.Errorf("minisol: %d: push on %s", mem.Line, base.valueKind())
+			}
+			if len(ex.Args) != 1 {
+				return nil, fmt.Errorf("minisol: push expects one argument")
+			}
+			v, err := e.evalExpr(ex.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			if ref.inStorage {
+				// New element slots plus the length-slot update.
+				if err := e.gas.charge(e.inst.Gas.SstoreNewSlot*slotsOf(v) + e.inst.Gas.SstoreUpdate); err != nil {
+					return nil, err
+				}
+			}
+			arr.Elems = append(arr.Elems, copyValue(v))
+			if err := ref.set(arr); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		}
+		return nil, fmt.Errorf("minisol: %d: unknown method %q", mem.Line, mem.Field)
+	}
+	id, ok := ex.Callee.(*Ident)
+	if !ok {
+		return nil, fmt.Errorf("minisol: %d: uncallable expression", ex.Line)
+	}
+	// Builtins.
+	switch id.Name {
+	case "keccak256":
+		if len(ex.Args) != 1 {
+			return nil, fmt.Errorf("minisol: keccak256 expects one argument")
+		}
+		v, err := e.evalExpr(ex.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		bytes := byteSizeOf(v)
+		if err := e.gas.charge(e.inst.Gas.HashBase + e.inst.Gas.HashWord*((bytes+31)/32)); err != nil {
+			return nil, err
+		}
+		sum := sha3.Sum256([]byte(FormatValue(v)))
+		return Str(hex.EncodeToString(sum[:])), nil
+	case "address":
+		// address(x) cast: identity on addresses and strings.
+		if len(ex.Args) != 1 {
+			return nil, fmt.Errorf("minisol: address cast expects one argument")
+		}
+		v, err := e.evalExpr(ex.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		switch a := v.(type) {
+		case Addr:
+			return a, nil
+		case Str:
+			return Addr(a), nil
+		case Int:
+			return Addr(fmt.Sprintf("0x%x", int64(a))), nil
+		}
+		return nil, fmt.Errorf("minisol: cannot cast %s to address", v.valueKind())
+	}
+	// Internal function call.
+	fn, ok := e.inst.Contract.Functions[id.Name]
+	if !ok {
+		return nil, fmt.Errorf("minisol: %d: unknown function %q", ex.Line, id.Name)
+	}
+	args := make([]Value, len(ex.Args))
+	for i, a := range ex.Args {
+		v, err := e.evalExpr(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	return e.callFunction(fn, args)
+}
+
+// applyBinary evaluates an infix operator over two values, charging
+// string comparisons per byte (the contract-side compareStrings cost).
+func applyBinary(op string, l, r Value, e *callEnv, line int) (Value, error) {
+	if ls, ok := l.(Str); ok {
+		if rs, ok := r.(Str); ok {
+			switch op {
+			case "==", "!=":
+				n := len(ls)
+				if len(rs) < n {
+					n = len(rs)
+				}
+				if err := e.gas.charge(e.inst.Gas.StrCompareByte * uint64(n)); err != nil {
+					return nil, err
+				}
+				if op == "==" {
+					return Bool(ls == rs), nil
+				}
+				return Bool(ls != rs), nil
+			case "+":
+				if err := e.gas.charge(uint64(len(ls)+len(rs)) * 3); err != nil {
+					return nil, err
+				}
+				return ls + rs, nil
+			}
+			return nil, fmt.Errorf("minisol: %d: operator %q on strings", line, op)
+		}
+	}
+	if la, ok := l.(Addr); ok {
+		if ra, ok := r.(Addr); ok {
+			switch op {
+			case "==":
+				return Bool(la == ra), nil
+			case "!=":
+				return Bool(la != ra), nil
+			}
+			return nil, fmt.Errorf("minisol: %d: operator %q on addresses", line, op)
+		}
+	}
+	if lb, ok := l.(Bool); ok {
+		if rb, ok := r.(Bool); ok {
+			switch op {
+			case "==":
+				return Bool(lb == rb), nil
+			case "!=":
+				return Bool(lb != rb), nil
+			}
+			return nil, fmt.Errorf("minisol: %d: operator %q on bools", line, op)
+		}
+	}
+	li, lok := l.(Int)
+	ri, rok := r.(Int)
+	if !lok || !rok {
+		return nil, fmt.Errorf("minisol: %d: operator %q on %s and %s", line, op, l.valueKind(), r.valueKind())
+	}
+	switch op {
+	case "+":
+		return li + ri, nil
+	case "-":
+		return li - ri, nil
+	case "*":
+		return li * ri, nil
+	case "/":
+		if ri == 0 {
+			return nil, &RevertError{Msg: "division by zero", Line: line}
+		}
+		return li / ri, nil
+	case "%":
+		if ri == 0 {
+			return nil, &RevertError{Msg: "modulo by zero", Line: line}
+		}
+		return li % ri, nil
+	case "<":
+		return Bool(li < ri), nil
+	case "<=":
+		return Bool(li <= ri), nil
+	case ">":
+		return Bool(li > ri), nil
+	case ">=":
+		return Bool(li >= ri), nil
+	case "==":
+		return Bool(li == ri), nil
+	case "!=":
+		return Bool(li != ri), nil
+	}
+	return nil, fmt.Errorf("minisol: %d: unknown operator %q", line, op)
+}

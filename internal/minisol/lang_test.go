@@ -1,0 +1,314 @@
+package minisol
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewArrayAndStringOps(t *testing.T) {
+	src := `
+contract Arrays {
+    function build(uint n) public pure returns (uint) {
+        string[] memory parts = new string[](n);
+        for (uint i = 0; i < parts.length; i++) {
+            parts[i] = "part" + "-x";
+        }
+        return parts.length;
+    }
+    function strLen(string memory s) public pure returns (uint) {
+        return s.length;
+    }
+    function hashOf(string memory s) public pure returns (string) {
+        return keccak256(s);
+    }
+}
+`
+	inst := deploy(t, src, "Arrays")
+	res := inst.Call("build", Msg{}, 0, Int(5))
+	if res.Err != nil || res.Ret != Int(5) {
+		t.Fatalf("build = %v, %v", res.Ret, res.Err)
+	}
+	res = inst.Call("strLen", Msg{}, 0, Str("hello"))
+	if res.Ret != Int(5) {
+		t.Errorf("strLen = %v", res.Ret)
+	}
+	res = inst.Call("hashOf", Msg{}, 0, Str("x"))
+	if s, ok := res.Ret.(Str); !ok || len(s) != 64 {
+		t.Errorf("hashOf = %v", res.Ret)
+	}
+}
+
+func TestAddressCastsAndComparisons(t *testing.T) {
+	src := `
+contract Casts {
+    function fromString(string memory s) public pure returns (address) {
+        return address(s);
+    }
+    function fromInt(uint n) public pure returns (address) {
+        return address(n);
+    }
+    function same(address a, address b) public pure returns (bool) {
+        return a == b;
+    }
+    function diff(address a, address b) public pure returns (bool) {
+        return a != b;
+    }
+}
+`
+	inst := deploy(t, src, "Casts")
+	if res := inst.Call("fromString", Msg{}, 0, Str("abc")); res.Ret != Addr("abc") {
+		t.Errorf("fromString = %v", res.Ret)
+	}
+	if res := inst.Call("fromInt", Msg{}, 0, Int(255)); res.Ret != Addr("0xff") {
+		t.Errorf("fromInt = %v", res.Ret)
+	}
+	if res := inst.Call("same", Msg{}, 0, Addr("a"), Addr("a")); res.Ret != Bool(true) {
+		t.Errorf("same = %v", res.Ret)
+	}
+	if res := inst.Call("diff", Msg{}, 0, Addr("a"), Addr("b")); res.Ret != Bool(true) {
+		t.Errorf("diff = %v", res.Ret)
+	}
+}
+
+func TestElseIfChainsAndUnary(t *testing.T) {
+	src := `
+contract Branches {
+    function grade(uint score) public pure returns (string) {
+        if (score >= 90) {
+            return "A";
+        } else if (score >= 80) {
+            return "B";
+        } else if (score >= 70) {
+            return "C";
+        } else {
+            return "F";
+        }
+    }
+    function negate(uint x) public pure returns (uint) {
+        return -x + 100;
+    }
+    function invert(bool b) public pure returns (bool) {
+        return !b;
+    }
+    function logic(bool a, bool b) public pure returns (bool) {
+        return a && b || !a && !b;
+    }
+}
+`
+	inst := deploy(t, src, "Branches")
+	cases := map[int64]string{95: "A", 85: "B", 75: "C", 50: "F"}
+	for score, want := range cases {
+		res := inst.Call("grade", Msg{}, 0, Int(score))
+		if res.Ret != Str(want) {
+			t.Errorf("grade(%d) = %v, want %s", score, res.Ret, want)
+		}
+	}
+	if res := inst.Call("negate", Msg{}, 0, Int(30)); res.Ret != Int(70) {
+		t.Errorf("negate = %v", res.Ret)
+	}
+	if res := inst.Call("invert", Msg{}, 0, Bool(false)); res.Ret != Bool(true) {
+		t.Errorf("invert = %v", res.Ret)
+	}
+	if res := inst.Call("logic", Msg{}, 0, Bool(false), Bool(false)); res.Ret != Bool(true) {
+		t.Errorf("logic = %v", res.Ret)
+	}
+}
+
+func TestBareForAndHexLiterals(t *testing.T) {
+	src := `
+contract Loops2 {
+    function capped() public pure returns (uint) {
+        uint i = 0;
+        for (;;) {
+            i += 1;
+            if (i >= 0x10) {
+                break;
+            }
+        }
+        return i;
+    }
+    function modArith(uint a, uint b) public pure returns (uint) {
+        return (a % b) * 2;
+    }
+}
+`
+	inst := deploy(t, src, "Loops2")
+	if res := inst.Call("capped", Msg{}, 0); res.Ret != Int(16) {
+		t.Errorf("capped = %v, %v", res.Ret, res.Err)
+	}
+	if res := inst.Call("modArith", Msg{}, 0, Int(17), Int(5)); res.Ret != Int(4) {
+		t.Errorf("modArith = %v", res.Ret)
+	}
+}
+
+func TestBlockNumberAndMsgValue(t *testing.T) {
+	src := `
+contract Env {
+    function env() public payable returns (uint) {
+        return block.number + msg.value;
+    }
+}
+`
+	inst := deploy(t, src, "Env")
+	res := inst.Call("env", Msg{Sender: "a", Value: 7, Block: 100}, 0)
+	if res.Ret != Int(107) {
+		t.Errorf("env = %v", res.Ret)
+	}
+}
+
+func TestFormatValueBranches(t *testing.T) {
+	vals := map[string]Value{
+		"42":    Int(42),
+		"true":  Bool(true),
+		`"s"`:   Str("s"),
+		"addr:": Addr(""),
+		"null":  nil,
+	}
+	for want, v := range vals {
+		if got := FormatValue(v); got != want {
+			t.Errorf("FormatValue(%v) = %q, want %q", v, got, want)
+		}
+	}
+	arr := &Array{Elems: []Value{Int(1), Str("x")}}
+	if got := FormatValue(arr); got != `[1, "x"]` {
+		t.Errorf("array format = %q", got)
+	}
+	s := &Struct{TypeName: "T", Fields: map[string]Value{}}
+	if got := FormatValue(s); got != "T{...}" {
+		t.Errorf("struct format = %q", got)
+	}
+	m := &Map{Entries: map[string]Value{"a": Int(1)}}
+	if !strings.Contains(FormatValue(m), "1 entries") {
+		t.Errorf("map format = %q", FormatValue(m))
+	}
+}
+
+func TestValueHelpers(t *testing.T) {
+	if !isZero(Int(0)) || isZero(Int(1)) {
+		t.Error("isZero int")
+	}
+	if !isZero(Str("")) || isZero(Str("x")) {
+		t.Error("isZero str")
+	}
+	if !isZero(&Array{}) || isZero(&Array{Elems: []Value{Int(1)}}) {
+		t.Error("isZero array")
+	}
+	zeroStruct := &Struct{Fields: map[string]Value{"a": Int(0)}}
+	nonZeroStruct := &Struct{Fields: map[string]Value{"a": Int(1)}}
+	if !isZero(zeroStruct) || isZero(nonZeroStruct) {
+		t.Error("isZero struct")
+	}
+	if !isZero(&Map{Entries: map[string]Value{}}) {
+		t.Error("isZero map")
+	}
+	// slotsOf: strings charge per 32-byte word.
+	if slotsOf(Str(strings.Repeat("a", 64))) != 3 {
+		t.Errorf("slotsOf(64B string) = %d", slotsOf(Str(strings.Repeat("a", 64))))
+	}
+	if slotsOf(Int(1)) != 1 {
+		t.Error("slotsOf int")
+	}
+	// byteSizeOf approximates serialized size.
+	if byteSizeOf(Str("abcd")) != 4 || byteSizeOf(Int(1)) != 32 {
+		t.Error("byteSizeOf")
+	}
+	// copyValue isolates nested containers.
+	orig := &Struct{TypeName: "T", Fields: map[string]Value{
+		"arr": &Array{Elems: []Value{Int(1)}},
+	}}
+	cp := copyValue(orig).(*Struct)
+	cp.Fields["arr"].(*Array).Elems[0] = Int(9)
+	if orig.Fields["arr"].(*Array).Elems[0] != Int(1) {
+		t.Error("copyValue aliased nested array")
+	}
+}
+
+func TestMapKeyErrors(t *testing.T) {
+	if _, err := mapKey(&Array{}); err == nil {
+		t.Error("array map key should fail")
+	}
+	for _, v := range []Value{Int(1), Bool(true), Str("s"), Addr("a")} {
+		if _, err := mapKey(v); err != nil {
+			t.Errorf("mapKey(%v): %v", v, err)
+		}
+	}
+}
+
+func TestGasLimitOnDeployPath(t *testing.T) {
+	// Deploy gas is reported even for trivial contracts.
+	prog, err := Compile("contract Tiny { uint x; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gas, err := Deploy(prog, "Tiny", DefaultGasTable(), Msg{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := DefaultGasTable()
+	if gas < table.DeployBase {
+		t.Errorf("deploy gas = %d", gas)
+	}
+}
+
+func TestStateVarInitializers(t *testing.T) {
+	src := `
+contract Init {
+    uint x = 41;
+    string greeting = "hello";
+    function get() public view returns (uint) {
+        return x + 1;
+    }
+    function greet() public view returns (string) {
+        return greeting;
+    }
+}
+`
+	inst := deploy(t, src, "Init")
+	if res := inst.Call("get", Msg{}, 0); res.Ret != Int(42) {
+		t.Errorf("get = %v", res.Ret)
+	}
+	if res := inst.Call("greet", Msg{}, 0); res.Ret != Str("hello") {
+		t.Errorf("greet = %v", res.Ret)
+	}
+}
+
+func TestCallDepthLimit(t *testing.T) {
+	src := `
+contract Recur {
+    function spin(uint n) public returns (uint) {
+        return spin(n + 1);
+    }
+}
+`
+	inst := deploy(t, src, "Recur")
+	res := inst.Call("spin", Msg{}, 0, Int(0))
+	if res.Err == nil {
+		t.Fatal("unbounded recursion should fail")
+	}
+}
+
+func TestNestedMappings(t *testing.T) {
+	src := `
+contract Nested {
+    mapping(address => mapping(uint => uint)) grid;
+    function set(address who, uint k, uint v) public {
+        mapping(uint => uint) storage row = grid[who];
+        row[k] = v;
+        grid[who] = row;
+    }
+    function get(address who, uint k) public view returns (uint) {
+        return grid[who][k];
+    }
+}
+`
+	inst := deploy(t, src, "Nested")
+	if res := inst.Call("set", Msg{}, 0, Addr("alice"), Int(2), Int(9)); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res := inst.Call("get", Msg{}, 0, Addr("alice"), Int(2)); res.Ret != Int(9) {
+		t.Errorf("get = %v, %v", res.Ret, res.Err)
+	}
+	if res := inst.Call("get", Msg{}, 0, Addr("bob"), Int(2)); res.Ret != Int(0) {
+		t.Errorf("missing outer key = %v", res.Ret)
+	}
+}

@@ -1,0 +1,158 @@
+package minisol
+
+import (
+	"fmt"
+	"strings"
+)
+
+// lexer turns source text into tokens, skipping whitespace and both
+// comment styles.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// Lex tokenizes a full source file.
+func Lex(src string) ([]Token, error) {
+	lx := &lexer{src: src, line: 1, col: 1}
+	var toks []Token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+// multi-character operators, longest first.
+var multiOps = []string{
+	"&&", "||", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=", "++", "--", "=>",
+}
+
+const singleOps = "+-*/%<>=!;,(){}[].&|"
+
+func (lx *lexer) next() (Token, error) {
+	lx.skipSpaceAndComments()
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: TokEOF, Line: lx.line, Col: lx.col}, nil
+	}
+	startLine, startCol := lx.line, lx.col
+	c := lx.src[lx.pos]
+	switch {
+	case isIdentStart(c):
+		start := lx.pos
+		for lx.pos < len(lx.src) && isIdentPart(lx.src[lx.pos]) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.pos]
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Line: startLine, Col: startCol}, nil
+	case c >= '0' && c <= '9':
+		start := lx.pos
+		for lx.pos < len(lx.src) && (isDigit(lx.src[lx.pos]) || lx.src[lx.pos] == 'x' ||
+			(lx.src[lx.pos] >= 'a' && lx.src[lx.pos] <= 'f') || (lx.src[lx.pos] >= 'A' && lx.src[lx.pos] <= 'F')) {
+			lx.advance()
+		}
+		return Token{Kind: TokNumber, Text: lx.src[start:lx.pos], Line: startLine, Col: startCol}, nil
+	case c == '"':
+		lx.advance()
+		var sb strings.Builder
+		for lx.pos < len(lx.src) && lx.src[lx.pos] != '"' {
+			ch := lx.src[lx.pos]
+			if ch == '\\' && lx.pos+1 < len(lx.src) {
+				lx.advance()
+				switch lx.src[lx.pos] {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '"':
+					sb.WriteByte('"')
+				case '\\':
+					sb.WriteByte('\\')
+				default:
+					sb.WriteByte(lx.src[lx.pos])
+				}
+				lx.advance()
+				continue
+			}
+			if ch == '\n' {
+				return Token{}, fmt.Errorf("minisol: %d:%d: unterminated string", startLine, startCol)
+			}
+			sb.WriteByte(ch)
+			lx.advance()
+		}
+		if lx.pos >= len(lx.src) {
+			return Token{}, fmt.Errorf("minisol: %d:%d: unterminated string", startLine, startCol)
+		}
+		lx.advance() // closing quote
+		return Token{Kind: TokString, Text: sb.String(), Line: startLine, Col: startCol}, nil
+	}
+	for _, op := range multiOps {
+		if strings.HasPrefix(lx.src[lx.pos:], op) {
+			lx.advance()
+			lx.advance()
+			return Token{Kind: TokPunct, Text: op, Line: startLine, Col: startCol}, nil
+		}
+	}
+	if strings.IndexByte(singleOps, c) >= 0 {
+		lx.advance()
+		return Token{Kind: TokPunct, Text: string(c), Line: startLine, Col: startCol}, nil
+	}
+	return Token{}, fmt.Errorf("minisol: %d:%d: unexpected character %q", lx.line, lx.col, string(c))
+}
+
+func (lx *lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case strings.HasPrefix(lx.src[lx.pos:], "//"):
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.advance()
+			}
+		case strings.HasPrefix(lx.src[lx.pos:], "/*"):
+			lx.advance()
+			lx.advance()
+			for lx.pos < len(lx.src) && !strings.HasPrefix(lx.src[lx.pos:], "*/") {
+				lx.advance()
+			}
+			if lx.pos < len(lx.src) {
+				lx.advance()
+				lx.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (lx *lexer) advance() {
+	if lx.pos < len(lx.src) {
+		if lx.src[lx.pos] == '\n' {
+			lx.line++
+			lx.col = 1
+		} else {
+			lx.col++
+		}
+		lx.pos++
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

@@ -1,0 +1,442 @@
+package minisol
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func deploy(t *testing.T, src, name string) *Instance {
+	t.Helper()
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	inst, gas, err := Deploy(prog, name, DefaultGasTable(), Msg{Sender: "deployer"})
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	if gas == 0 {
+		t.Fatal("deploy gas should be non-zero")
+	}
+	return inst
+}
+
+const counterSrc = `
+contract Counter {
+    uint count;
+    address owner;
+
+    constructor() {
+        owner = msg.sender;
+    }
+
+    function increment() public returns (uint) {
+        count = count + 1;
+        return count;
+    }
+
+    function add(uint n) public returns (uint) {
+        for (uint i = 0; i < n; i++) {
+            count += 1;
+        }
+        return count;
+    }
+
+    function get() public view returns (uint) {
+        return count;
+    }
+
+    function whoami() public view returns (address) {
+        return msg.sender;
+    }
+
+    function ownerOnly() public {
+        require(msg.sender == owner, "not owner");
+        count = 0;
+    }
+}
+`
+
+func TestCounterBasics(t *testing.T) {
+	inst := deploy(t, counterSrc, "Counter")
+	res := inst.Call("increment", Msg{Sender: "alice"}, 0)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Ret != Int(1) {
+		t.Errorf("ret = %v", res.Ret)
+	}
+	if res.GasUsed <= 21000 {
+		t.Errorf("gas = %d, want > txbase", res.GasUsed)
+	}
+	res = inst.Call("add", Msg{Sender: "alice"}, 0, Int(5))
+	if res.Err != nil || res.Ret != Int(6) {
+		t.Fatalf("add: %v %v", res.Ret, res.Err)
+	}
+	res = inst.Call("get", Msg{Sender: "bob"}, 0)
+	if res.Ret != Int(6) {
+		t.Errorf("get = %v", res.Ret)
+	}
+	res = inst.Call("whoami", Msg{Sender: "carol"}, 0)
+	if res.Ret != Addr("carol") {
+		t.Errorf("whoami = %v", res.Ret)
+	}
+}
+
+func TestConstructorAndRequire(t *testing.T) {
+	inst := deploy(t, counterSrc, "Counter")
+	// Deploy ran constructor with sender "deployer".
+	res := inst.Call("ownerOnly", Msg{Sender: "mallory"}, 0)
+	var rev *RevertError
+	if !errors.As(res.Err, &rev) || rev.Msg != "not owner" {
+		t.Fatalf("err = %v", res.Err)
+	}
+	res = inst.Call("ownerOnly", Msg{Sender: "deployer"}, 0)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+}
+
+func TestRevertRollsBackStorage(t *testing.T) {
+	src := `
+contract Bank {
+    mapping(address => uint) balances;
+    function deposit(uint n) public {
+        balances[msg.sender] = balances[msg.sender] + n;
+    }
+    function withdrawAll() public {
+        balances[msg.sender] = 0;
+        revert("always fails");
+    }
+    function balanceOf(address who) public view returns (uint) {
+        return balances[who];
+    }
+}
+`
+	inst := deploy(t, src, "Bank")
+	if res := inst.Call("deposit", Msg{Sender: "alice"}, 0, Int(100)); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	res := inst.Call("withdrawAll", Msg{Sender: "alice"}, 0)
+	if res.Err == nil {
+		t.Fatal("withdrawAll should revert")
+	}
+	res = inst.Call("balanceOf", Msg{Sender: "x"}, 0, Addr("alice"))
+	if res.Ret != Int(100) {
+		t.Errorf("balance after revert = %v, want 100 (rollback)", res.Ret)
+	}
+}
+
+func TestStructsArraysMappings(t *testing.T) {
+	src := `
+contract Registry {
+    struct Item {
+        uint id;
+        string name;
+        string[] tags;
+        bool active;
+    }
+    mapping(uint => Item) items;
+    uint itemCount;
+
+    function register(string memory name) public returns (uint) {
+        itemCount += 1;
+        Item memory it;
+        it.id = itemCount;
+        it.name = name;
+        it.active = true;
+        items[itemCount] = it;
+        return itemCount;
+    }
+
+    function tag(uint id, string memory label) public {
+        require(items[id].active, "no such item");
+        items[id].tags.push(label);
+    }
+
+    function tagCount(uint id) public view returns (uint) {
+        return items[id].tags.length;
+    }
+
+    function nameOf(uint id) public view returns (string) {
+        return items[id].name;
+    }
+
+    function deactivate(uint id) public {
+        items[id].active = false;
+    }
+
+    function isActive(uint id) public view returns (bool) {
+        return items[id].active;
+    }
+}
+`
+	inst := deploy(t, src, "Registry")
+	res := inst.Call("register", Msg{Sender: "a"}, 0, Str("widget"))
+	if res.Err != nil || res.Ret != Int(1) {
+		t.Fatalf("register: %v %v", res.Ret, res.Err)
+	}
+	if res := inst.Call("tag", Msg{Sender: "a"}, 0, Int(1), Str("metal")); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res := inst.Call("tag", Msg{Sender: "a"}, 0, Int(1), Str("shiny")); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	res = inst.Call("tagCount", Msg{Sender: "a"}, 0, Int(1))
+	if res.Ret != Int(2) {
+		t.Errorf("tagCount = %v", res.Ret)
+	}
+	res = inst.Call("nameOf", Msg{Sender: "a"}, 0, Int(1))
+	if res.Ret != Str("widget") {
+		t.Errorf("nameOf = %v", res.Ret)
+	}
+	// Missing mapping keys yield zero values.
+	res = inst.Call("tagCount", Msg{Sender: "a"}, 0, Int(99))
+	if res.Ret != Int(0) {
+		t.Errorf("missing key tagCount = %v", res.Ret)
+	}
+	res = inst.Call("tag", Msg{Sender: "a"}, 0, Int(99), Str("x"))
+	if res.Err == nil {
+		t.Error("tagging a missing item should revert")
+	}
+	if res := inst.Call("deactivate", Msg{Sender: "a"}, 0, Int(1)); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	res = inst.Call("isActive", Msg{Sender: "a"}, 0, Int(1))
+	if res.Ret != Bool(false) {
+		t.Errorf("isActive = %v", res.Ret)
+	}
+}
+
+func TestEventsAndInternalCalls(t *testing.T) {
+	src := `
+contract Evented {
+    event Ping(uint value, string note);
+    uint total;
+
+    function helper(uint n) internal returns (uint) {
+        return n * 2;
+    }
+
+    function fire(uint n) public returns (uint) {
+        uint doubled = helper(n);
+        total += doubled;
+        emit Ping(doubled, "fired");
+        return doubled;
+    }
+}
+`
+	inst := deploy(t, src, "Evented")
+	res := inst.Call("fire", Msg{Sender: "a"}, 0, Int(21))
+	if res.Err != nil || res.Ret != Int(42) {
+		t.Fatalf("fire: %v %v", res.Ret, res.Err)
+	}
+	if len(res.Logs) != 1 || res.Logs[0].Name != "Ping" || res.Logs[0].Args[0] != Int(42) {
+		t.Errorf("logs = %+v", res.Logs)
+	}
+	// Internal functions are not externally callable.
+	res = inst.Call("helper", Msg{Sender: "a"}, 0, Int(1))
+	if res.Err == nil {
+		t.Error("internal function should not be callable")
+	}
+}
+
+func TestGasGrowsWithStoredPayload(t *testing.T) {
+	src := `
+contract Store {
+    mapping(uint => string[]) docs;
+    uint n;
+    function save(string[] memory parts) public returns (uint) {
+        n += 1;
+        docs[n] = parts;
+        return n;
+    }
+}
+`
+	inst := deploy(t, src, "Store")
+	small := &Array{Elems: []Value{Str(strings.Repeat("a", 32))}}
+	large := &Array{Elems: []Value{
+		Str(strings.Repeat("a", 512)), Str(strings.Repeat("b", 512)),
+		Str(strings.Repeat("c", 512)), Str(strings.Repeat("d", 512)),
+	}}
+	resSmall := inst.Call("save", Msg{Sender: "a"}, 0, small)
+	resLarge := inst.Call("save", Msg{Sender: "a"}, 0, large)
+	if resSmall.Err != nil || resLarge.Err != nil {
+		t.Fatalf("%v / %v", resSmall.Err, resLarge.Err)
+	}
+	// Storing ~2KB must cost far more than storing 32B: SSTORE per word.
+	if resLarge.GasUsed < resSmall.GasUsed*5 {
+		t.Errorf("large store gas %d should dwarf small store gas %d", resLarge.GasUsed, resSmall.GasUsed)
+	}
+}
+
+func TestQuadraticStringMatchingGas(t *testing.T) {
+	src := `
+contract Matcher {
+    function covers(string[] memory need, string[] memory have) public pure returns (bool) {
+        for (uint i = 0; i < need.length; i++) {
+            bool found = false;
+            for (uint j = 0; j < have.length; j++) {
+                if (compareStrings(need[i], have[j])) {
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                return false;
+            }
+        }
+        return true;
+    }
+    function compareStrings(string memory a, string memory b) internal pure returns (bool) {
+        return keccak256(a) == keccak256(b);
+    }
+}
+`
+	inst := deploy(t, src, "Matcher")
+	mk := func(n, size int) *Array {
+		arr := &Array{}
+		for i := 0; i < n; i++ {
+			arr.Elems = append(arr.Elems, Str(strings.Repeat("x", size-1)+string(rune('a'+i))))
+		}
+		return arr
+	}
+	small := inst.Call("covers", Msg{Sender: "a"}, 0, mk(2, 64), mk(2, 64))
+	big := inst.Call("covers", Msg{Sender: "a"}, 0, mk(8, 256), mk(8, 256))
+	if small.Err != nil || big.Err != nil {
+		t.Fatalf("%v / %v", small.Err, big.Err)
+	}
+	if big.GasUsed < small.GasUsed*4 {
+		t.Errorf("matching gas should grow superlinearly: %d vs %d", small.GasUsed, big.GasUsed)
+	}
+}
+
+func TestOutOfGas(t *testing.T) {
+	inst := deploy(t, counterSrc, "Counter")
+	res := inst.Call("add", Msg{Sender: "a"}, 25000, Int(100000))
+	if !errors.Is(res.Err, ErrOutOfGas) {
+		t.Fatalf("err = %v, want out of gas", res.Err)
+	}
+	if res.GasUsed < 25000 {
+		t.Errorf("gas used = %d", res.GasUsed)
+	}
+	// Storage rolled back.
+	res = inst.Call("get", Msg{Sender: "a"}, 0)
+	if res.Ret != Int(0) {
+		t.Errorf("count after OOG = %v, want 0", res.Ret)
+	}
+}
+
+func TestWhileBreakContinue(t *testing.T) {
+	src := `
+contract Loops {
+    function run(uint n) public pure returns (uint) {
+        uint sum = 0;
+        uint i = 0;
+        while (true) {
+            i += 1;
+            if (i > n) {
+                break;
+            }
+            if (i % 2 == 0) {
+                continue;
+            }
+            sum += i;
+        }
+        return sum;
+    }
+}
+`
+	inst := deploy(t, src, "Loops")
+	res := inst.Call("run", Msg{Sender: "a"}, 0, Int(10))
+	if res.Err != nil || res.Ret != Int(25) { // 1+3+5+7+9
+		t.Fatalf("run = %v, %v", res.Ret, res.Err)
+	}
+}
+
+func TestDeleteStatement(t *testing.T) {
+	src := `
+contract Del {
+    mapping(uint => uint) vals;
+    function set(uint k, uint v) public { vals[k] = v; }
+    function clear(uint k) public { delete vals[k]; }
+    function get(uint k) public view returns (uint) { return vals[k]; }
+}
+`
+	inst := deploy(t, src, "Del")
+	inst.Call("set", Msg{Sender: "a"}, 0, Int(1), Int(9))
+	inst.Call("clear", Msg{Sender: "a"}, 0, Int(1))
+	res := inst.Call("get", Msg{Sender: "a"}, 0, Int(1))
+	if res.Ret != Int(0) {
+		t.Errorf("get after delete = %v", res.Ret)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"x",
+		"contract {",
+		"contract C { uint }",
+		"contract C { function f( {} }",
+		"contract C { function f() public { if } }",
+		"contract C { function f() public { 1 + ; } }",
+		"contract C { function f() public { require(1, 2); } }",
+		`contract C { function f() public { "unterminated } }`,
+		"contract C { struct S { uint } }",
+	}
+	for _, src := range bad {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("Compile(%q) should fail", src)
+		}
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	src := `
+contract Errs {
+    uint[] arr;
+    function div(uint a, uint b) public pure returns (uint) { return a / b; }
+    function idx() public view returns (uint) { return arr[5]; }
+    function undef() public pure returns (uint) { return nothing; }
+}
+`
+	inst := deploy(t, src, "Errs")
+	if res := inst.Call("div", Msg{}, 0, Int(1), Int(0)); res.Err == nil {
+		t.Error("division by zero should fail")
+	}
+	if res := inst.Call("idx", Msg{}, 0); res.Err == nil {
+		t.Error("index out of bounds should fail")
+	}
+	if res := inst.Call("undef", Msg{}, 0); res.Err == nil {
+		t.Error("undefined identifier should fail")
+	}
+	if res := inst.Call("missing", Msg{}, 0); res.Err == nil {
+		t.Error("unknown function should fail")
+	}
+	if res := inst.Call("div", Msg{}, 0, Int(1)); res.Err == nil {
+		t.Error("arity mismatch should fail")
+	}
+}
+
+func TestSourceLineCount(t *testing.T) {
+	prog, err := Compile(counterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := prog.File.Contracts[0].SourceLines
+	// The counter contract body is about 26 meaningful lines.
+	if lines < 20 || lines > 35 {
+		t.Errorf("SourceLines = %d", lines)
+	}
+}
+
+func TestDeployErrors(t *testing.T) {
+	prog, err := Compile(counterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Deploy(prog, "Nope", DefaultGasTable(), Msg{}); err == nil {
+		t.Error("deploying unknown contract should fail")
+	}
+}

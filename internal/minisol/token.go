@@ -1,0 +1,67 @@
+// Package minisol implements a Solidity-subset language — lexer,
+// parser, and gas-metered tree-walking interpreter — standing in for
+// the Ethereum smart-contract runtime of the paper's baseline (ETH-SC).
+// The reverse-auction marketplace contract of Figure 1 is written in
+// this language; executing it under an EVM-style gas schedule
+// reproduces the cost behaviour the paper measures: storage-dominated
+// CREATE/REQUEST costs that grow with payload size, and the quadratic
+// capability-matching loop that makes BID validation explode.
+package minisol
+
+import "fmt"
+
+// TokenKind enumerates lexical token classes.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokString
+	TokPunct   // operators and delimiters
+	TokKeyword // reserved words
+)
+
+// Token is one lexeme with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	return fmt.Sprintf("%s %q at %d:%d", t.Kind, t.Text, t.Line, t.Col)
+}
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "identifier"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokPunct:
+		return "punctuation"
+	case TokKeyword:
+		return "keyword"
+	}
+	return "unknown"
+}
+
+var keywords = map[string]bool{
+	"contract": true, "struct": true, "mapping": true, "function": true,
+	"returns": true, "return": true, "if": true, "else": true, "for": true,
+	"while": true, "break": true, "continue": true, "require": true,
+	"revert": true, "emit": true, "event": true, "true": true, "false": true,
+	"public": true, "private": true, "internal": true, "external": true,
+	"view": true, "pure": true, "payable": true, "memory": true,
+	"storage": true, "calldata": true, "uint": true, "uint256": true,
+	"int": true, "int256": true, "bool": true, "string": true,
+	"address": true, "bytes32": true, "constructor": true, "new": true,
+	"delete": true,
+}

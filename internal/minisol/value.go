@@ -1,0 +1,250 @@
+package minisol
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Value is a runtime value: Int, Bool, Str, Addr, *Array, *Struct, or
+// *Map.
+type Value interface{ valueKind() string }
+
+// Int is the uint/int runtime value (int64 suffices for simulation).
+type Int int64
+
+// Bool is the boolean runtime value.
+type Bool bool
+
+// Str is the string runtime value.
+type Str string
+
+// Addr is an address value (base58/hex account string).
+type Addr string
+
+// Array is a dynamic array value.
+type Array struct {
+	Elems    []Value
+	ElemType *Type
+}
+
+// Struct is a struct instance.
+type Struct struct {
+	TypeName string
+	Fields   map[string]Value
+}
+
+// Map is a mapping instance. Keys are rendered to strings.
+type Map struct {
+	Entries map[string]Value
+	ValType *Type
+}
+
+func (Int) valueKind() string     { return "uint" }
+func (Bool) valueKind() string    { return "bool" }
+func (Str) valueKind() string     { return "string" }
+func (Addr) valueKind() string    { return "address" }
+func (*Array) valueKind() string  { return "array" }
+func (*Struct) valueKind() string { return "struct" }
+func (*Map) valueKind() string    { return "mapping" }
+
+// mapKey renders a value as a mapping key.
+func mapKey(v Value) (string, error) {
+	switch x := v.(type) {
+	case Int:
+		return fmt.Sprintf("i:%d", int64(x)), nil
+	case Bool:
+		return fmt.Sprintf("b:%t", bool(x)), nil
+	case Str:
+		return "s:" + string(x), nil
+	case Addr:
+		return "a:" + string(x), nil
+	}
+	return "", fmt.Errorf("minisol: %s values cannot key a mapping", v.valueKind())
+}
+
+// zeroValue constructs the zero value of a type, resolving struct
+// definitions against the contract.
+func zeroValue(ty *Type, c *ContractDecl) (Value, error) {
+	if ty == nil {
+		return Int(0), nil
+	}
+	switch ty.Kind {
+	case "uint":
+		return Int(0), nil
+	case "bool":
+		return Bool(false), nil
+	case "string", "bytes32":
+		return Str(""), nil
+	case "address":
+		return Addr(""), nil
+	case "array":
+		return &Array{ElemType: ty.Elem}, nil
+	case "mapping":
+		return &Map{Entries: map[string]Value{}, ValType: ty.Elem}, nil
+	case "struct":
+		sd, ok := c.Structs[ty.Name]
+		if !ok {
+			return nil, fmt.Errorf("minisol: unknown struct %q", ty.Name)
+		}
+		s := &Struct{TypeName: ty.Name, Fields: make(map[string]Value, len(sd.Fields))}
+		for _, f := range sd.Fields {
+			fv, err := zeroValue(f.Type, c)
+			if err != nil {
+				return nil, err
+			}
+			s.Fields[f.Name] = fv
+		}
+		return s, nil
+	}
+	return nil, fmt.Errorf("minisol: cannot zero type %q", ty.Kind)
+}
+
+// isZero reports whether a value equals its type's zero (used to pick
+// the SSTORE new-vs-update gas price).
+func isZero(v Value) bool {
+	switch x := v.(type) {
+	case nil:
+		return true
+	case Int:
+		return x == 0
+	case Bool:
+		return !bool(x)
+	case Str:
+		return x == ""
+	case Addr:
+		return x == ""
+	case *Array:
+		return len(x.Elems) == 0
+	case *Struct:
+		for _, f := range x.Fields {
+			if !isZero(f) {
+				return false
+			}
+		}
+		return true
+	case *Map:
+		return len(x.Entries) == 0
+	}
+	return false
+}
+
+// slotsOf estimates the number of 32-byte storage slots a value
+// occupies — the unit SLOAD/SSTORE gas is charged in.
+func slotsOf(v Value) uint64 {
+	switch x := v.(type) {
+	case nil:
+		return 1
+	case Int, Bool, Addr:
+		return 1
+	case Str:
+		return 1 + uint64(len(x))/32
+	case *Array:
+		n := uint64(1) // length slot
+		for _, e := range x.Elems {
+			n += slotsOf(e)
+		}
+		return n
+	case *Struct:
+		n := uint64(0)
+		for _, f := range x.Fields {
+			n += slotsOf(f)
+		}
+		if n == 0 {
+			n = 1
+		}
+		return n
+	case *Map:
+		n := uint64(0)
+		for _, e := range x.Entries {
+			n += slotsOf(e)
+		}
+		return n
+	}
+	return 1
+}
+
+// byteSizeOf estimates the serialized byte size of a value — the unit
+// calldata and log gas is charged in.
+func byteSizeOf(v Value) uint64 {
+	switch x := v.(type) {
+	case nil:
+		return 0
+	case Int, Bool, Addr:
+		return 32
+	case Str:
+		return uint64(len(x))
+	case *Array:
+		var n uint64 = 32
+		for _, e := range x.Elems {
+			n += byteSizeOf(e)
+		}
+		return n
+	case *Struct:
+		var n uint64
+		for _, f := range x.Fields {
+			n += byteSizeOf(f)
+		}
+		return n
+	case *Map:
+		var n uint64
+		for _, e := range x.Entries {
+			n += byteSizeOf(e)
+		}
+		return n
+	}
+	return 32
+}
+
+// copyValue deep-copies a value (assignment semantics for memory
+// values keep storage and locals from aliasing).
+func copyValue(v Value) Value {
+	switch x := v.(type) {
+	case *Array:
+		elems := make([]Value, len(x.Elems))
+		for i, e := range x.Elems {
+			elems[i] = copyValue(e)
+		}
+		return &Array{Elems: elems, ElemType: x.ElemType}
+	case *Struct:
+		fields := make(map[string]Value, len(x.Fields))
+		for k, f := range x.Fields {
+			fields[k] = copyValue(f)
+		}
+		return &Struct{TypeName: x.TypeName, Fields: fields}
+	case *Map:
+		entries := make(map[string]Value, len(x.Entries))
+		for k, e := range x.Entries {
+			entries[k] = copyValue(e)
+		}
+		return &Map{Entries: entries, ValType: x.ValType}
+	default:
+		return v
+	}
+}
+
+// FormatValue renders a value for logs and debugging.
+func FormatValue(v Value) string {
+	switch x := v.(type) {
+	case nil:
+		return "null"
+	case Int:
+		return fmt.Sprintf("%d", int64(x))
+	case Bool:
+		return fmt.Sprintf("%t", bool(x))
+	case Str:
+		return fmt.Sprintf("%q", string(x))
+	case Addr:
+		return "addr:" + string(x)
+	case *Array:
+		parts := make([]string, len(x.Elems))
+		for i, e := range x.Elems {
+			parts[i] = FormatValue(e)
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	case *Struct:
+		return x.TypeName + "{...}"
+	case *Map:
+		return fmt.Sprintf("mapping(%d entries)", len(x.Entries))
+	}
+	return "?"
+}

@@ -1,0 +1,158 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"smartchaindb/internal/simclock"
+)
+
+func newNet(seed int64, nodes int, record func(id NodeID, msg Message)) (*Network, *simclock.Scheduler) {
+	sched := simclock.NewScheduler(seed)
+	net := New(sched, UniformLatency{Base: 10 * time.Millisecond, Jitter: 5 * time.Millisecond})
+	for i := 0; i < nodes; i++ {
+		id := NodeID(i)
+		net.AddNode(id, func(msg Message) { record(id, msg) })
+	}
+	return net, sched
+}
+
+func TestSendDeliversAfterLatency(t *testing.T) {
+	var got []Message
+	var at time.Duration
+	var sched *simclock.Scheduler
+	var net *Network
+	net, sched = newNet(1, 2, func(id NodeID, msg Message) {
+		got = append(got, msg)
+		at = sched.Now()
+	})
+	net.Send(0, 1, "hello")
+	sched.Run()
+	if len(got) != 1 || got[0].Payload != "hello" || got[0].From != 0 {
+		t.Fatalf("got %v", got)
+	}
+	if at < 10*time.Millisecond || at >= 15*time.Millisecond {
+		t.Errorf("delivered at %v, want within [10ms, 15ms)", at)
+	}
+}
+
+func TestLoopbackIsFree(t *testing.T) {
+	at := time.Duration(-1)
+	var sched *simclock.Scheduler
+	var net *Network
+	net, sched = newNet(1, 1, func(id NodeID, msg Message) { at = sched.Now() })
+	net.Send(0, 0, "self")
+	sched.Run()
+	if at != 0 {
+		t.Errorf("loopback delivered at %v, want 0", at)
+	}
+}
+
+func TestBroadcastReachesAllButSender(t *testing.T) {
+	counts := make(map[NodeID]int)
+	net, sched := newNet(1, 5, func(id NodeID, msg Message) { counts[id]++ })
+	net.Broadcast(2, "x")
+	sched.Run()
+	if counts[2] != 0 {
+		t.Error("sender should not receive its own broadcast")
+	}
+	for _, id := range []NodeID{0, 1, 3, 4} {
+		if counts[id] != 1 {
+			t.Errorf("node %d received %d messages", id, counts[id])
+		}
+	}
+}
+
+func TestCrashedNodesDropTraffic(t *testing.T) {
+	counts := make(map[NodeID]int)
+	net, sched := newNet(1, 3, func(id NodeID, msg Message) { counts[id]++ })
+	net.Crash(1)
+	if !net.IsDown(1) || net.DownCount() != 1 {
+		t.Fatal("crash bookkeeping wrong")
+	}
+	net.Send(0, 1, "to crashed")   // dropped at delivery
+	net.Send(1, 2, "from crashed") // dropped at send
+	sched.Run()
+	if counts[1] != 0 || counts[2] != 0 {
+		t.Errorf("counts = %v, want no deliveries", counts)
+	}
+	_, _, dropped := net.Stats()
+	if dropped != 2 {
+		t.Errorf("dropped = %d, want 2", dropped)
+	}
+
+	net.Restart(1)
+	net.Send(0, 1, "after restart")
+	sched.Run()
+	if counts[1] != 1 {
+		t.Errorf("restarted node received %d", counts[1])
+	}
+}
+
+func TestCrashDuringFlightDropsMessage(t *testing.T) {
+	counts := make(map[NodeID]int)
+	net, sched := newNet(1, 2, func(id NodeID, msg Message) { counts[id]++ })
+	net.Send(0, 1, "in flight")
+	// Crash the receiver before delivery time.
+	sched.After(time.Millisecond, func() { net.Crash(1) })
+	sched.Run()
+	if counts[1] != 0 {
+		t.Error("message delivered to node that crashed mid-flight")
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	counts := make(map[NodeID]int)
+	net, sched := newNet(1, 4, func(id NodeID, msg Message) { counts[id]++ })
+	net.Partition([]NodeID{0, 1}, []NodeID{2, 3})
+	net.Send(0, 2, "across")
+	net.Send(2, 0, "back")
+	net.Send(0, 1, "within")
+	sched.Run()
+	if counts[2] != 0 || counts[0] != 0 {
+		t.Errorf("partition leaked: %v", counts)
+	}
+	if counts[1] != 1 {
+		t.Errorf("intra-partition traffic should flow: %v", counts)
+	}
+	net.Heal()
+	net.Send(0, 2, "healed")
+	sched.Run()
+	if counts[2] != 1 {
+		t.Errorf("healed link should deliver: %v", counts)
+	}
+}
+
+func TestDeterministicDelivery(t *testing.T) {
+	run := func() []time.Duration {
+		var times []time.Duration
+		sched := simclock.NewScheduler(7)
+		net := New(sched, UniformLatency{Base: 5 * time.Millisecond, Jitter: 10 * time.Millisecond})
+		for i := 0; i < 3; i++ {
+			net.AddNode(NodeID(i), func(msg Message) { times = append(times, sched.Now()) })
+		}
+		net.Broadcast(0, "a")
+		net.Broadcast(1, "b")
+		sched.Run()
+		return times
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate node")
+		}
+	}()
+	net, _ := newNet(1, 1, func(NodeID, Message) {})
+	net.AddNode(0, func(Message) {})
+}

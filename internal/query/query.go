@@ -1,0 +1,198 @@
+// Package query is the marketplace analytics layer: the queries §2.1 of
+// the paper argues smart contracts cannot answer because transactional
+// state hides inside contract storage. Because SmartchainDB keeps
+// transaction behaviour, asset metadata, and ownership in queryable
+// collections, questions like "which open service requests ask for
+// 3-D printing capability?" become index-backed document queries.
+package query
+
+import (
+	"sort"
+
+	"smartchaindb/internal/docstore"
+	"smartchaindb/internal/ledger"
+	"smartchaindb/internal/txn"
+)
+
+// Engine answers marketplace queries over one node's chain state.
+type Engine struct {
+	state *ledger.State
+}
+
+// New creates a query engine over a chain state.
+func New(state *ledger.State) *Engine { return &Engine{state: state} }
+
+// OpenRequests lists committed REQUESTs with no ACCEPT_BID yet.
+func (e *Engine) OpenRequests() []*txn.Transaction {
+	var open []*txn.Transaction
+	for _, rfq := range e.state.TxsByOperation(txn.OpRequest) {
+		if _, accepted := e.state.AcceptForRFQ(rfq.ID); !accepted {
+			open = append(open, rfq)
+		}
+	}
+	return open
+}
+
+// OpenRequestsWithCapability filters open requests by one required
+// capability — the motivating query of the paper's introduction, posed
+// by a manufacturing provider looking for work.
+func (e *Engine) OpenRequestsWithCapability(capability string) []*txn.Transaction {
+	var out []*txn.Transaction
+	for _, rfq := range e.OpenRequests() {
+		if rfq.Asset == nil {
+			continue
+		}
+		if caps, ok := rfq.Asset.Data["capabilities"].([]any); ok {
+			for _, c := range caps {
+				if c == capability {
+					out = append(out, rfq)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// BidsForRequest lists every BID ever placed for a REQUEST, locked or
+// settled.
+func (e *Engine) BidsForRequest(rfqID string) []*txn.Transaction {
+	docs := e.state.Store().Collection(ledger.ColTransactions).Find(docstore.And(
+		docstore.Eq("operation", txn.OpBid),
+		docstore.Contains("refs", rfqID),
+	))
+	out := make([]*txn.Transaction, 0, len(docs))
+	for _, d := range docs {
+		if t, err := txn.FromDoc(d); err == nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// BidsByAccount lists the BIDs a given account has placed (its inputs
+// carry the account as owner-before).
+func (e *Engine) BidsByAccount(pub string) []*txn.Transaction {
+	docs := e.state.Store().Collection(ledger.ColTransactions).Find(docstore.And(
+		docstore.Eq("operation", txn.OpBid),
+		docstore.Eq("inputs.owners_before", pub),
+	))
+	out := make([]*txn.Transaction, 0, len(docs))
+	for _, d := range docs {
+		if t, err := txn.FromDoc(d); err == nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Outcome describes a settled auction.
+type Outcome struct {
+	RFQID      string
+	AcceptID   string
+	WinningBid string
+	Winner     string   // winning bidder's public key
+	Losers     []string // losing bidders' public keys
+	Settled    bool     // all children committed
+}
+
+// AuctionOutcome reconstructs who won a REQUEST and whether every
+// escrow return has settled — the workflow-provenance query.
+func (e *Engine) AuctionOutcome(rfqID string) (*Outcome, bool) {
+	accept, ok := e.state.AcceptForRFQ(rfqID)
+	if !ok {
+		return nil, false
+	}
+	out := &Outcome{RFQID: rfqID, AcceptID: accept.ID, WinningBid: accept.AssetID()}
+	if win, err := e.state.GetTx(accept.AssetID()); err == nil && len(win.Outputs) > 0 && len(win.Outputs[0].PrevOwners) > 0 {
+		out.Winner = win.Outputs[0].PrevOwners[0]
+	}
+	for i, o := range accept.Outputs {
+		if i == 0 || len(o.PrevOwners) == 0 {
+			continue
+		}
+		out.Losers = append(out.Losers, o.PrevOwners[0])
+	}
+	if rec, err := e.state.RecoveryFor(accept.ID); err == nil {
+		out.Settled = rec.Status == ledger.RecoveryComplete
+	}
+	return out, true
+}
+
+// ProvenanceStep is one hop in an asset's ownership history.
+type ProvenanceStep struct {
+	TxID      string
+	Operation string
+	Owners    []string
+}
+
+// AssetProvenance walks an asset's ownership chain from its CREATE to
+// the current unspent holder — the audit/fraud-analysis query class.
+func (e *Engine) AssetProvenance(assetID string) []ProvenanceStep {
+	var steps []ProvenanceStep
+	cur := assetID
+	seen := make(map[string]bool)
+	for !seen[cur] {
+		seen[cur] = true
+		t, err := e.state.GetTx(cur)
+		if err != nil {
+			break
+		}
+		steps = append(steps, ProvenanceStep{TxID: t.ID, Operation: t.Operation, Owners: t.OwnerSet()})
+		// Follow the spender of this transaction's first output.
+		spender, ok := e.state.SpenderOf(txn.OutputRef{TxID: t.ID, Index: 0})
+		if !ok {
+			break
+		}
+		cur = spender
+	}
+	return steps
+}
+
+// HolderOf reports who currently holds unspent shares of an asset.
+func (e *Engine) HolderOf(assetID string) map[string]uint64 {
+	utxos := e.state.Store().Collection(ledger.ColUTXOs).Find(docstore.And(
+		docstore.Eq("asset_id", assetID),
+		docstore.Eq("spent", false),
+	))
+	holders := make(map[string]uint64)
+	for _, d := range utxos {
+		owners, _ := d["owner"].([]any)
+		amt, _ := d["amount"].(float64)
+		for _, o := range owners {
+			if pub, ok := o.(string); ok {
+				holders[pub] += uint64(amt)
+			}
+		}
+	}
+	return holders
+}
+
+// AssetsWithCapability finds registered assets advertising a
+// capability — the provider-side discovery query.
+func (e *Engine) AssetsWithCapability(capability string) []string {
+	docs := e.state.Store().Collection(ledger.ColAssets).Find(docstore.And(
+		docstore.Eq("operation", txn.OpCreate),
+		docstore.Contains("data.capabilities", capability),
+	))
+	ids := make([]string, 0, len(docs))
+	for _, d := range docs {
+		if id, ok := d["id"].(string); ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// OperationCounts tallies committed transactions per operation — the
+// basic business-intelligence rollup.
+func (e *Engine) OperationCounts() map[string]int {
+	counts := make(map[string]int)
+	for _, op := range txn.Operations() {
+		if n := e.state.Store().Collection(ledger.ColTransactions).Count(docstore.Eq("operation", op)); n > 0 {
+			counts[op] = n
+		}
+	}
+	return counts
+}

@@ -1,0 +1,188 @@
+package schema
+
+import (
+	"embed"
+	"fmt"
+	"strings"
+	"sync"
+
+	"smartchaindb/internal/txn"
+	"smartchaindb/internal/yamlite"
+)
+
+//go:embed schemas/*.yaml
+var schemaFS embed.FS
+
+var opFiles = map[string]string{
+	txn.OpCreate:    "schemas/create.yaml",
+	txn.OpTransfer:  "schemas/transfer.yaml",
+	txn.OpRequest:   "schemas/request.yaml",
+	txn.OpBid:       "schemas/bid.yaml",
+	txn.OpReturn:    "schemas/return.yaml",
+	txn.OpAcceptBid: "schemas/accept_bid.yaml",
+	"WITHDRAW_BID":  "schemas/withdraw_bid.yaml",
+}
+
+// Registry maps operation names to compiled schemas and implements
+// Algorithm 1 (validateT-schema) over incoming transaction documents.
+// New transaction types can be added at runtime with Register — the
+// extensibility point the declarative model promises.
+type Registry struct {
+	mu   sync.RWMutex
+	byOp map[string]*Schema
+}
+
+// NewRegistry loads and compiles the embedded schemas for all native
+// transaction types.
+func NewRegistry() (*Registry, error) {
+	commonSrc, err := schemaFS.ReadFile("schemas/common.yaml")
+	if err != nil {
+		return nil, fmt.Errorf("schema: read common.yaml: %w", err)
+	}
+	common, err := yamlite.ParseMap(string(commonSrc))
+	if err != nil {
+		return nil, fmt.Errorf("schema: parse common.yaml: %w", err)
+	}
+	commonDefs, _ := common["definitions"].(map[string]any)
+
+	r := &Registry{byOp: make(map[string]*Schema, len(opFiles))}
+	for op, file := range opFiles {
+		src, err := schemaFS.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("schema: read %s: %w", file, err)
+		}
+		doc, err := yamlite.ParseMap(string(src))
+		if err != nil {
+			return nil, fmt.Errorf("schema: parse %s: %w", file, err)
+		}
+		merged := mergeDefinitions(doc, commonDefs)
+		s, err := Compile(merged)
+		if err != nil {
+			return nil, fmt.Errorf("schema: compile %s: %w", file, err)
+		}
+		r.byOp[op] = s
+	}
+	return r, nil
+}
+
+// MustNewRegistry is NewRegistry that panics on failure; the embedded
+// schemas are compiled into the binary, so failure is a build defect.
+func MustNewRegistry() *Registry {
+	r, err := NewRegistry()
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func mergeDefinitions(doc map[string]any, commonDefs map[string]any) map[string]any {
+	defs, _ := doc["definitions"].(map[string]any)
+	if defs == nil {
+		defs = make(map[string]any, len(commonDefs))
+	}
+	for k, v := range commonDefs {
+		if _, exists := defs[k]; !exists {
+			defs[k] = v
+		}
+	}
+	out := make(map[string]any, len(doc)+1)
+	for k, v := range doc {
+		out[k] = v
+	}
+	out["definitions"] = defs
+	return out
+}
+
+// Register installs a schema for a (possibly new) operation name.
+func (r *Registry) Register(op string, s *Schema) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.byOp[op] = s
+}
+
+// ForOperation returns the compiled schema for an operation.
+func (r *Registry) ForOperation(op string) (*Schema, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.byOp[op]
+	return s, ok
+}
+
+// Operations lists the registered operation names.
+func (r *Registry) Operations() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ops := make([]string, 0, len(r.byOp))
+	for op := range r.byOp {
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// ValidateDoc implements Algorithm 1: it dispatches the document to the
+// schema for its operation, rejects unknown operations outright, and
+// applies the language-key checks on asset data and metadata
+// (validateTxObj / validateLanguageKey in the paper's pseudocode).
+func (r *Registry) ValidateDoc(doc map[string]any) error {
+	op, ok := doc["operation"].(string)
+	if !ok {
+		return &txn.SchemaError{Op: "?", Path: "$.operation", Msg: "missing or non-string operation"}
+	}
+	s, ok := r.ForOperation(op)
+	if !ok {
+		return &txn.SchemaError{Op: op, Path: "$.operation", Msg: fmt.Sprintf("unknown operation %q", op)}
+	}
+	if err := s.Validate(doc); err != nil {
+		if v, ok := err.(Violation); ok {
+			return &txn.SchemaError{Op: op, Path: v.Path, Msg: v.Msg}
+		}
+		return &txn.SchemaError{Op: op, Path: "$", Msg: err.Error()}
+	}
+	if asset, ok := doc["asset"].(map[string]any); ok {
+		if data, ok := asset["data"].(map[string]any); ok {
+			if err := validateKeys(op, data, "$.asset.data"); err != nil {
+				return err
+			}
+		}
+	}
+	if meta, ok := doc["metadata"].(map[string]any); ok {
+		if err := validateKeys(op, meta, "$.metadata"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ValidateTx runs ValidateDoc over a Transaction value.
+func (r *Registry) ValidateTx(t *txn.Transaction) error {
+	return r.ValidateDoc(t.ToDoc())
+}
+
+// validateKeys rejects document keys the storage layer cannot index:
+// empty keys and keys containing '$', '.', or NUL (the same constraint
+// BigchainDB inherits from MongoDB).
+func validateKeys(op string, m map[string]any, path string) error {
+	for k, v := range m {
+		if k == "" {
+			return &txn.SchemaError{Op: op, Path: path, Msg: "empty key"}
+		}
+		if strings.ContainsAny(k, "$.\x00") {
+			return &txn.SchemaError{Op: op, Path: path + "." + k, Msg: "key contains reserved character ($, ., or NUL)"}
+		}
+		if child, ok := v.(map[string]any); ok {
+			if err := validateKeys(op, child, path+"."+k); err != nil {
+				return err
+			}
+		}
+		if list, ok := v.([]any); ok {
+			for i, e := range list {
+				if child, ok := e.(map[string]any); ok {
+					if err := validateKeys(op, child, fmt.Sprintf("%s.%s[%d]", path, k, i)); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,449 @@
+// Package schema implements SmartchainDB's declarative structural
+// validation layer (Algorithm 1, validateT-schema). Each transaction
+// type ships a YAML schema document — a JSON-Schema-subset blueprint —
+// and every incoming payload is checked against the schema for its
+// operation before semantic validation runs.
+//
+// Supported keywords: type (single or list), properties, required,
+// additionalProperties (boolean), items, pattern, enum, anyOf,
+// minimum/maximum, minLength/maxLength, minItems/maxItems,
+// definitions and local $ref ("#/definitions/name").
+package schema
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"smartchaindb/internal/yamlite"
+)
+
+// Schema is a compiled schema node.
+type Schema struct {
+	name string // for error messages; set on the root
+
+	types      []string // empty means any
+	properties map[string]*Schema
+	required   []string
+	additional *bool // nil = allow, false = forbid extra properties
+	items      *Schema
+	pattern    *regexp.Regexp
+	patternSrc string
+	enum       []any
+	anyOf      []*Schema
+	minimum    *float64
+	maximum    *float64
+	minLength  *int
+	maxLength  *int
+	minItems   *int
+	maxItems   *int
+
+	defs map[string]*Schema // only on the root
+	ref  string             // unresolved local $ref
+	root *Schema
+}
+
+// Compile builds a Schema from a parsed YAML/JSON document.
+func Compile(doc map[string]any) (*Schema, error) {
+	root := &Schema{defs: map[string]*Schema{}}
+	root.root = root
+	if defs, ok := doc["definitions"].(map[string]any); ok {
+		for name, d := range defs {
+			dm, ok := d.(map[string]any)
+			if !ok {
+				return nil, fmt.Errorf("schema: definition %q is %T, want mapping", name, d)
+			}
+			ds, err := compileNode(dm, root)
+			if err != nil {
+				return nil, fmt.Errorf("schema: definition %q: %w", name, err)
+			}
+			root.defs[name] = ds
+		}
+	}
+	node, err := compileNode(doc, root)
+	if err != nil {
+		return nil, err
+	}
+	node.defs = root.defs
+	node.root = node
+	// Re-point children compiled with the temporary root.
+	repoint(node, node)
+	for _, d := range node.defs {
+		repoint(d, node)
+	}
+	if title, ok := doc["title"].(string); ok {
+		node.name = title
+	}
+	return node, nil
+}
+
+func repoint(s, root *Schema) {
+	if s == nil {
+		return
+	}
+	s.root = root
+	for _, c := range s.properties {
+		repoint(c, root)
+	}
+	repoint(s.items, root)
+	for _, c := range s.anyOf {
+		repoint(c, root)
+	}
+}
+
+// CompileYAML parses a YAML document and compiles it.
+func CompileYAML(src string) (*Schema, error) {
+	doc, err := yamlite.ParseMap(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(doc)
+}
+
+func compileNode(doc map[string]any, root *Schema) (*Schema, error) {
+	s := &Schema{root: root}
+	if ref, ok := doc["$ref"].(string); ok {
+		name, found := strings.CutPrefix(ref, "#/definitions/")
+		if !found {
+			return nil, fmt.Errorf("unsupported $ref %q (only #/definitions/... is supported)", ref)
+		}
+		s.ref = name
+		return s, nil
+	}
+	switch t := doc["type"].(type) {
+	case string:
+		s.types = []string{t}
+	case []any:
+		for _, e := range t {
+			ts, ok := e.(string)
+			if !ok {
+				return nil, fmt.Errorf("type list contains %T", e)
+			}
+			s.types = append(s.types, ts)
+		}
+	case nil:
+	default:
+		return nil, fmt.Errorf("type is %T", t)
+	}
+	for _, ty := range s.types {
+		switch ty {
+		case "object", "array", "string", "integer", "number", "boolean", "null":
+		default:
+			return nil, fmt.Errorf("unknown type %q", ty)
+		}
+	}
+	if props, ok := doc["properties"].(map[string]any); ok {
+		s.properties = make(map[string]*Schema, len(props))
+		for k, v := range props {
+			vm, ok := v.(map[string]any)
+			if !ok {
+				return nil, fmt.Errorf("property %q is %T, want mapping", k, v)
+			}
+			c, err := compileNode(vm, root)
+			if err != nil {
+				return nil, fmt.Errorf("property %q: %w", k, err)
+			}
+			s.properties[k] = c
+		}
+	}
+	if req, ok := doc["required"].([]any); ok {
+		for _, e := range req {
+			rs, ok := e.(string)
+			if !ok {
+				return nil, fmt.Errorf("required contains %T", e)
+			}
+			s.required = append(s.required, rs)
+		}
+	}
+	if ap, ok := doc["additionalProperties"].(bool); ok {
+		s.additional = &ap
+	}
+	if items, ok := doc["items"].(map[string]any); ok {
+		c, err := compileNode(items, root)
+		if err != nil {
+			return nil, fmt.Errorf("items: %w", err)
+		}
+		s.items = c
+	}
+	if pat, ok := doc["pattern"].(string); ok {
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			return nil, fmt.Errorf("pattern %q: %w", pat, err)
+		}
+		s.pattern, s.patternSrc = re, pat
+	}
+	if enum, ok := doc["enum"].([]any); ok {
+		s.enum = enum
+	}
+	if any_, ok := doc["anyOf"].([]any); ok {
+		for i, e := range any_ {
+			em, ok := e.(map[string]any)
+			if !ok {
+				return nil, fmt.Errorf("anyOf[%d] is %T", i, e)
+			}
+			c, err := compileNode(em, root)
+			if err != nil {
+				return nil, fmt.Errorf("anyOf[%d]: %w", i, err)
+			}
+			s.anyOf = append(s.anyOf, c)
+		}
+	}
+	var err error
+	if s.minimum, err = floatKey(doc, "minimum"); err != nil {
+		return nil, err
+	}
+	if s.maximum, err = floatKey(doc, "maximum"); err != nil {
+		return nil, err
+	}
+	if s.minLength, err = intKey(doc, "minLength"); err != nil {
+		return nil, err
+	}
+	if s.maxLength, err = intKey(doc, "maxLength"); err != nil {
+		return nil, err
+	}
+	if s.minItems, err = intKey(doc, "minItems"); err != nil {
+		return nil, err
+	}
+	if s.maxItems, err = intKey(doc, "maxItems"); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func floatKey(doc map[string]any, key string) (*float64, error) {
+	v, ok := doc[key]
+	if !ok {
+		return nil, nil
+	}
+	switch x := v.(type) {
+	case int64:
+		f := float64(x)
+		return &f, nil
+	case float64:
+		return &x, nil
+	}
+	return nil, fmt.Errorf("%s is %T, want number", key, v)
+}
+
+func intKey(doc map[string]any, key string) (*int, error) {
+	v, ok := doc[key]
+	if !ok {
+		return nil, nil
+	}
+	if x, ok := v.(int64); ok {
+		i := int(x)
+		return &i, nil
+	}
+	return nil, fmt.Errorf("%s is %T, want integer", key, v)
+}
+
+// Violation describes one schema violation with its document path.
+type Violation struct {
+	Path string
+	Msg  string
+}
+
+func (v Violation) Error() string { return fmt.Sprintf("%s: %s", v.Path, v.Msg) }
+
+// Validate checks value against the schema and returns the first
+// violation found, or nil.
+func (s *Schema) Validate(value any) error {
+	return s.validate(value, "$")
+}
+
+func (s *Schema) resolve() (*Schema, error) {
+	if s.ref == "" {
+		return s, nil
+	}
+	d, ok := s.root.defs[s.ref]
+	if !ok {
+		return nil, fmt.Errorf("schema: unresolved $ref %q", s.ref)
+	}
+	return d, nil
+}
+
+func (s *Schema) validate(value any, path string) error {
+	rs, err := s.resolve()
+	if err != nil {
+		return err
+	}
+	s = rs
+	if len(s.anyOf) > 0 {
+		var firstErr error
+		for _, alt := range s.anyOf {
+			if err := alt.validate(value, path); err == nil {
+				firstErr = nil
+				break
+			} else if firstErr == nil {
+				firstErr = err
+			}
+		}
+		if firstErr != nil {
+			return Violation{Path: path, Msg: fmt.Sprintf("no anyOf alternative matched (first failure: %v)", firstErr)}
+		}
+	}
+	if len(s.types) > 0 {
+		ok := false
+		for _, t := range s.types {
+			if typeMatches(t, value) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return Violation{Path: path, Msg: fmt.Sprintf("is %s, want %s", jsonTypeName(value), strings.Join(s.types, " or "))}
+		}
+	}
+	if s.enum != nil {
+		found := false
+		for _, e := range s.enum {
+			if scalarEqual(e, value) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return Violation{Path: path, Msg: fmt.Sprintf("value %v not in enum %v", value, s.enum)}
+		}
+	}
+	switch v := value.(type) {
+	case string:
+		if s.pattern != nil && !s.pattern.MatchString(v) {
+			return Violation{Path: path, Msg: fmt.Sprintf("%q does not match pattern %q", truncate(v), s.patternSrc)}
+		}
+		if s.minLength != nil && len(v) < *s.minLength {
+			return Violation{Path: path, Msg: fmt.Sprintf("length %d < minLength %d", len(v), *s.minLength)}
+		}
+		if s.maxLength != nil && len(v) > *s.maxLength {
+			return Violation{Path: path, Msg: fmt.Sprintf("length %d > maxLength %d", len(v), *s.maxLength)}
+		}
+	case map[string]any:
+		for _, r := range s.required {
+			if _, ok := v[r]; !ok {
+				return Violation{Path: path, Msg: fmt.Sprintf("missing required property %q", r)}
+			}
+		}
+		for k, e := range v {
+			child, ok := s.properties[k]
+			if !ok {
+				if s.additional != nil && !*s.additional {
+					return Violation{Path: path, Msg: fmt.Sprintf("unexpected property %q", k)}
+				}
+				continue
+			}
+			if err := child.validate(e, path+"."+k); err != nil {
+				return err
+			}
+		}
+	case []any:
+		if s.minItems != nil && len(v) < *s.minItems {
+			return Violation{Path: path, Msg: fmt.Sprintf("has %d items, want at least %d", len(v), *s.minItems)}
+		}
+		if s.maxItems != nil && len(v) > *s.maxItems {
+			return Violation{Path: path, Msg: fmt.Sprintf("has %d items, want at most %d", len(v), *s.maxItems)}
+		}
+		if s.items != nil {
+			for i, e := range v {
+				if err := s.items.validate(e, fmt.Sprintf("%s[%d]", path, i)); err != nil {
+					return err
+				}
+			}
+		}
+	case float64:
+		if s.minimum != nil && v < *s.minimum {
+			return Violation{Path: path, Msg: fmt.Sprintf("%v < minimum %v", v, *s.minimum)}
+		}
+		if s.maximum != nil && v > *s.maximum {
+			return Violation{Path: path, Msg: fmt.Sprintf("%v > maximum %v", v, *s.maximum)}
+		}
+	case int64:
+		f := float64(v)
+		if s.minimum != nil && f < *s.minimum {
+			return Violation{Path: path, Msg: fmt.Sprintf("%v < minimum %v", v, *s.minimum)}
+		}
+		if s.maximum != nil && f > *s.maximum {
+			return Violation{Path: path, Msg: fmt.Sprintf("%v > maximum %v", v, *s.maximum)}
+		}
+	}
+	return nil
+}
+
+func typeMatches(t string, v any) bool {
+	switch t {
+	case "object":
+		_, ok := v.(map[string]any)
+		return ok
+	case "array":
+		_, ok := v.([]any)
+		return ok
+	case "string":
+		_, ok := v.(string)
+		return ok
+	case "boolean":
+		_, ok := v.(bool)
+		return ok
+	case "null":
+		return v == nil
+	case "number":
+		return isNumber(v)
+	case "integer":
+		switch x := v.(type) {
+		case int64:
+			return true
+		case float64:
+			return x == float64(int64(x))
+		}
+		return false
+	}
+	return false
+}
+
+func isNumber(v any) bool {
+	switch v.(type) {
+	case int64, float64:
+		return true
+	}
+	return false
+}
+
+func scalarEqual(a, b any) bool {
+	if isNumber(a) && isNumber(b) {
+		return toFloat(a) == toFloat(b)
+	}
+	return a == b
+}
+
+func toFloat(v any) float64 {
+	switch x := v.(type) {
+	case int64:
+		return float64(x)
+	case float64:
+		return x
+	}
+	return 0
+}
+
+func jsonTypeName(v any) string {
+	switch v.(type) {
+	case nil:
+		return "null"
+	case bool:
+		return "boolean"
+	case string:
+		return "string"
+	case float64, int64:
+		return "number"
+	case map[string]any:
+		return "object"
+	case []any:
+		return "array"
+	}
+	return fmt.Sprintf("%T", v)
+}
+
+func truncate(s string) string {
+	if len(s) > 40 {
+		return s[:40] + "..."
+	}
+	return s
+}

@@ -1,0 +1,402 @@
+package schema
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"smartchaindb/internal/keys"
+	"smartchaindb/internal/txn"
+)
+
+func TestCompileAndValidateBasics(t *testing.T) {
+	s, err := CompileYAML(`
+type: object
+required: [name, age]
+additionalProperties: false
+properties:
+  name:
+    type: string
+    minLength: 1
+    maxLength: 10
+  age:
+    type: integer
+    minimum: 0
+    maximum: 150
+  tags:
+    type: array
+    minItems: 1
+    items:
+      type: string
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := map[string]any{"name": "ada", "age": int64(36), "tags": []any{"x"}}
+	if err := s.Validate(ok); err != nil {
+		t.Errorf("valid doc rejected: %v", err)
+	}
+	cases := []map[string]any{
+		{"name": "ada"},                                           // missing age
+		{"name": "", "age": int64(1)},                             // minLength
+		{"name": "ada", "age": int64(-1)},                         // minimum
+		{"name": "ada", "age": int64(200)},                        // maximum
+		{"name": "ada", "age": "old"},                             // type
+		{"name": "ada", "age": int64(1), "extra": true},           // additionalProperties
+		{"name": "ada", "age": int64(1), "tags": []any{}},         // minItems
+		{"name": "ada", "age": int64(1), "tags": []any{int64(1)}}, // items type
+		{"name": strings.Repeat("x", 11), "age": int64(1)},        // maxLength
+	}
+	for i, c := range cases {
+		if err := s.Validate(c); err == nil {
+			t.Errorf("case %d should be rejected: %v", i, c)
+		}
+	}
+}
+
+func TestValidatePatternEnumAnyOf(t *testing.T) {
+	s, err := CompileYAML(`
+type: object
+properties:
+  id:
+    type: string
+    pattern: "^[0-9a-f]{4}$"
+  op:
+    enum: [CREATE, TRANSFER, 3]
+  val:
+    anyOf:
+      - type: string
+      - type: integer
+        minimum: 10
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := []map[string]any{
+		{"id": "ab12"},
+		{"op": "CREATE"},
+		{"op": int64(3)},
+		{"val": "str"},
+		{"val": int64(11)},
+	}
+	for _, g := range good {
+		if err := s.Validate(g); err != nil {
+			t.Errorf("%v rejected: %v", g, err)
+		}
+	}
+	bad := []map[string]any{
+		{"id": "zzzz"},
+		{"id": "ab123"},
+		{"op": "DELETE"},
+		{"val": int64(5)},
+		{"val": true},
+	}
+	for _, b := range bad {
+		if err := s.Validate(b); err == nil {
+			t.Errorf("%v should be rejected", b)
+		}
+	}
+}
+
+func TestValidateTypeList(t *testing.T) {
+	s, err := CompileYAML(`
+type: object
+properties:
+  meta:
+    type: [object, "null"]
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(map[string]any{"meta": nil}); err != nil {
+		t.Errorf("null should pass: %v", err)
+	}
+	if err := s.Validate(map[string]any{"meta": map[string]any{}}); err != nil {
+		t.Errorf("object should pass: %v", err)
+	}
+	if err := s.Validate(map[string]any{"meta": "s"}); err == nil {
+		t.Error("string should fail")
+	}
+}
+
+func TestIntegerAcceptsWholeFloat(t *testing.T) {
+	s, err := CompileYAML("type: integer\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(float64(5)); err != nil {
+		t.Errorf("5.0 should be a valid integer: %v", err)
+	}
+	if err := s.Validate(5.5); err == nil {
+		t.Error("5.5 should not be a valid integer")
+	}
+}
+
+func TestRefResolution(t *testing.T) {
+	s, err := CompileYAML(`
+definitions:
+  hexid:
+    type: string
+    pattern: "^[0-9a-f]+$"
+type: object
+properties:
+  a:
+    $ref: "#/definitions/hexid"
+  list:
+    type: array
+    items:
+      $ref: "#/definitions/hexid"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(map[string]any{"a": "ff", "list": []any{"aa", "bb"}}); err != nil {
+		t.Errorf("valid refs rejected: %v", err)
+	}
+	if err := s.Validate(map[string]any{"a": "XYZ"}); err == nil {
+		t.Error("bad ref value should fail")
+	}
+	if err := s.Validate(map[string]any{"list": []any{"GG"}}); err == nil {
+		t.Error("bad ref item should fail")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		"type: zebra\n",
+		"type: 3\n",
+		"pattern: \"[\"\ntype: string\n",
+		"properties:\n  a: 3\n",
+		"$ref: \"http://remote\"\n",
+		"required: [1]\n",
+		"anyOf: [3]\n",
+		"minLength: x\n",
+	}
+	for _, src := range bad {
+		if _, err := CompileYAML(src); err == nil {
+			t.Errorf("CompileYAML(%q) should fail", src)
+		}
+	}
+}
+
+func TestUnresolvedRefSurfacesAtValidation(t *testing.T) {
+	s, err := CompileYAML(`
+type: object
+properties:
+  a:
+    $ref: "#/definitions/missing"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(map[string]any{"a": 1}); err == nil {
+		t.Error("unresolved ref should error at validation")
+	}
+}
+
+func newTestRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r, err := NewRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func signedCreate(t *testing.T, kp *keys.KeyPair) *txn.Transaction {
+	t.Helper()
+	tx := txn.NewCreate(kp.PublicBase58(), map[string]any{"capabilities": []any{"cnc"}}, 3, map[string]any{"k": "v"})
+	if err := txn.Sign(tx, kp); err != nil {
+		t.Fatal(err)
+	}
+	return tx
+}
+
+func TestRegistryValidatesAllNativeTypes(t *testing.T) {
+	r := newTestRegistry(t)
+	if got := len(r.Operations()); got != 7 {
+		t.Fatalf("registry has %d operations, want 7 (6 paper types + WITHDRAW_BID)", got)
+	}
+	issuer := keys.MustGenerate()
+	escrow := keys.MustGenerate()
+	requester := keys.MustGenerate()
+
+	create := signedCreate(t, issuer)
+	if err := r.ValidateTx(create); err != nil {
+		t.Errorf("CREATE: %v", err)
+	}
+
+	request := txn.NewRequest(requester.PublicBase58(),
+		map[string]any{"capabilities": []any{"cnc", "3d-printing"}}, nil)
+	if err := txn.Sign(request, requester); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ValidateTx(request); err != nil {
+		t.Errorf("REQUEST: %v", err)
+	}
+
+	transfer := txn.NewTransfer(create.ID,
+		[]txn.Spend{{Ref: txn.OutputRef{TxID: create.ID, Index: 0}, Owners: []string{issuer.PublicBase58()}}},
+		[]*txn.Output{{PublicKeys: []string{requester.PublicBase58()}, Amount: 3}}, nil)
+	if err := txn.Sign(transfer, issuer); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ValidateTx(transfer); err != nil {
+		t.Errorf("TRANSFER: %v", err)
+	}
+
+	bid := txn.NewBid(issuer.PublicBase58(), create.ID,
+		txn.Spend{Ref: txn.OutputRef{TxID: create.ID, Index: 0}, Owners: []string{issuer.PublicBase58()}},
+		3, escrow.PublicBase58(), request.ID, nil)
+	if err := txn.Sign(bid, issuer); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ValidateTx(bid); err != nil {
+		t.Errorf("BID: %v", err)
+	}
+
+	accept, err := txn.NewAcceptBid(requester.PublicBase58(), escrow.PublicBase58(), request.ID, bid, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Sign(accept, escrow, requester); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ValidateTx(accept); err != nil {
+		t.Errorf("ACCEPT_BID: %v", err)
+	}
+
+	ret := txn.NewReturn(escrow.PublicBase58(), accept.ID, 0, issuer.PublicBase58(), 3, create.ID, nil)
+	if err := txn.Sign(ret, escrow); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ValidateTx(ret); err != nil {
+		t.Errorf("RETURN: %v", err)
+	}
+}
+
+func TestRegistryRejectsUnknownOperation(t *testing.T) {
+	r := newTestRegistry(t)
+	err := r.ValidateDoc(map[string]any{"operation": "DESTROY"})
+	var se *txn.SchemaError
+	if !errors.As(err, &se) {
+		t.Fatalf("want SchemaError, got %v", err)
+	}
+	if err := r.ValidateDoc(map[string]any{}); err == nil {
+		t.Error("missing operation should fail")
+	}
+	if err := r.ValidateDoc(map[string]any{"operation": 5.0}); err == nil {
+		t.Error("non-string operation should fail")
+	}
+}
+
+func TestRegistryRejectsStructuralViolations(t *testing.T) {
+	r := newTestRegistry(t)
+	issuer := keys.MustGenerate()
+	base := signedCreate(t, issuer)
+
+	mutate := func(f func(doc map[string]any)) map[string]any {
+		doc := base.ToDoc()
+		f(doc)
+		return doc
+	}
+	cases := map[string]map[string]any{
+		"bad id":          mutate(func(d map[string]any) { d["id"] = "xyz" }),
+		"missing outputs": mutate(func(d map[string]any) { delete(d, "outputs") }),
+		"empty outputs":   mutate(func(d map[string]any) { d["outputs"] = []any{} }),
+		"two create inputs": mutate(func(d map[string]any) {
+			ins := d["inputs"].([]any)
+			d["inputs"] = append(ins, ins[0])
+		}),
+		"create with refs": mutate(func(d map[string]any) { d["refs"] = []any{base.ID} }),
+		"bad version":      mutate(func(d map[string]any) { d["version"] = "9.9" }),
+		"zero amount": mutate(func(d map[string]any) {
+			d["outputs"].([]any)[0].(map[string]any)["amount"] = 0.0
+		}),
+		"extra field": mutate(func(d map[string]any) { d["bonus"] = 1.0 }),
+		"create with asset link": mutate(func(d map[string]any) {
+			d["asset"] = map[string]any{"id": strings.Repeat("a", 64)}
+		}),
+	}
+	for name, doc := range cases {
+		if err := r.ValidateDoc(doc); err == nil {
+			t.Errorf("%s: should be rejected", name)
+		}
+	}
+}
+
+func TestRegistryRejectsReservedKeys(t *testing.T) {
+	r := newTestRegistry(t)
+	issuer := keys.MustGenerate()
+	for _, data := range []map[string]any{
+		{"$where": "1"},
+		{"a.b": "1"},
+		{"nested": map[string]any{"$bad": true}},
+		{"list": []any{map[string]any{"x.y": 1}}},
+	} {
+		tx := txn.NewCreate(issuer.PublicBase58(), data, 1, nil)
+		if err := txn.Sign(tx, issuer); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.ValidateTx(tx); err == nil {
+			t.Errorf("data %v should be rejected", data)
+		}
+	}
+	// Reserved keys in metadata too.
+	tx := txn.NewCreate(issuer.PublicBase58(), nil, 1, map[string]any{"a.b": 1})
+	if err := txn.Sign(tx, issuer); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ValidateTx(tx); err == nil {
+		t.Error("reserved metadata key should be rejected")
+	}
+}
+
+func TestRequestSchemaRequiresCapabilities(t *testing.T) {
+	r := newTestRegistry(t)
+	requester := keys.MustGenerate()
+	req := txn.NewRequest(requester.PublicBase58(), map[string]any{"item": "widget"}, nil)
+	if err := txn.Sign(req, requester); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ValidateTx(req); err == nil {
+		t.Error("REQUEST without capabilities should fail schema validation")
+	}
+}
+
+func TestBidSchemaRequiresReference(t *testing.T) {
+	r := newTestRegistry(t)
+	bidder, escrow := keys.MustGenerate(), keys.MustGenerate()
+	asset := signedCreate(t, bidder)
+	bid := txn.NewBid(bidder.PublicBase58(), asset.ID,
+		txn.Spend{Ref: txn.OutputRef{TxID: asset.ID, Index: 0}, Owners: []string{bidder.PublicBase58()}},
+		3, escrow.PublicBase58(), strings.Repeat("a", 64), nil)
+	bid.Refs = nil // violates BID.2
+	if err := txn.Sign(bid, bidder); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.ValidateTx(bid); err == nil {
+		t.Error("BID without refs should fail schema validation")
+	}
+}
+
+func TestRegisterCustomOperation(t *testing.T) {
+	r := newTestRegistry(t)
+	s, err := CompileYAML(`
+type: object
+required: [operation]
+properties:
+  operation:
+    enum: [INTEREST]
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Register("INTEREST", s)
+	if err := r.ValidateDoc(map[string]any{"operation": "INTEREST"}); err != nil {
+		t.Errorf("custom operation rejected: %v", err)
+	}
+	if len(r.Operations()) != 8 {
+		t.Errorf("Operations() = %v", r.Operations())
+	}
+}

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"time"
+
+	"smartchaindb/internal/consensus"
+	"smartchaindb/internal/netsim"
+	"smartchaindb/internal/txn"
+)
+
+// ClusterConfig parameterizes a full SmartchainDB validator cluster.
+type ClusterConfig struct {
+	// Nodes is the validator count (4–32 in the paper's experiments).
+	Nodes int
+	// Node configures each server node.
+	Node Config
+	// BlockInterval paces block production.
+	BlockInterval time.Duration
+	// MaxBlockTxs caps block size.
+	MaxBlockTxs int
+	// Pipelined enables BigchainDB-style block pipelining.
+	Pipelined bool
+	// Latency models inter-validator network delay.
+	Latency netsim.LatencyModel
+	// ChildDelay is the queue delay before a nested child re-enters the
+	// network (the asynchronous return-queue worker hop).
+	ChildDelay time.Duration
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Cluster is a simulated SmartchainDB network: n server nodes replicated
+// over BFT consensus, with the nested-transaction pipeline wired back
+// into the cluster's submission path.
+type Cluster struct {
+	*consensus.Cluster
+	nodes []*Node
+	cfg   ClusterConfig
+}
+
+// NewCluster builds the cluster. Pipelining defaults on, matching
+// BigchainDB.
+func NewCluster(cfg ClusterConfig) *Cluster {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 4
+	}
+	if cfg.ChildDelay <= 0 {
+		cfg.ChildDelay = time.Millisecond
+	}
+	cfg.Node.ReservedSeed = cfg.Seed + 1000 // shared by all nodes
+	c := &Cluster{cfg: cfg}
+	c.nodes = make([]*Node, cfg.Nodes)
+	cc := consensus.NewCluster(consensus.Config{
+		Nodes:         cfg.Nodes,
+		BlockInterval: cfg.BlockInterval,
+		MaxBlockTxs:   cfg.MaxBlockTxs,
+		Pipelined:     cfg.Pipelined,
+		Latency:       cfg.Latency,
+		Seed:          cfg.Seed,
+	}, func(i int) consensus.App {
+		n := NewNode(cfg.Node)
+		c.nodes[i] = n
+		return n
+	})
+	c.Cluster = cc
+	// Nested children re-enter the network asynchronously. Every node
+	// submits deterministically identical children, so duplicates
+	// coalesce at the cluster's submission layer.
+	for _, n := range c.nodes {
+		n.SetChildSubmitter(func(child *txn.Transaction) {
+			cc.SubmitAt(cc.Sched().Now()+c.cfg.ChildDelay, child)
+		})
+	}
+	return c
+}
+
+// ServerNode returns validator i's server node.
+func (c *Cluster) ServerNode(i int) *Node { return c.nodes[i] }
+
+// Escrow returns the cluster-wide escrow account.
+func (c *Cluster) Escrow() string { return c.nodes[0].Escrow().PublicBase58() }
+
+// Submit schedules a client submission now.
+func (c *Cluster) Submit(t *txn.Transaction) { c.SubmitAt(c.Sched().Now(), t) }
+
+// RestartNode brings a crashed validator back and replays its nested
+// recovery log, the crash-handling path of §4.2.1.
+func (c *Cluster) RestartNode(i int) {
+	c.Cluster.Restart(i)
+	n := c.nodes[i]
+	c.Sched().After(0, func() { n.Recover() })
+}

@@ -1,0 +1,168 @@
+// Package simclock is a deterministic discrete-event scheduler: a
+// virtual clock plus an event queue. Both consensus simulators (the
+// SmartchainDB Tendermint-style engine and the baseline IBFT chain) run
+// on it, so cluster-size and crash experiments are reproducible and
+// complete in milliseconds of wall time regardless of the simulated
+// network latencies.
+package simclock
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// EventID identifies a scheduled event for cancellation.
+type EventID int64
+
+type event struct {
+	at       time.Duration
+	seq      int64 // tie-break: FIFO among simultaneous events
+	id       EventID
+	fn       func()
+	canceled bool
+	index    int
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Scheduler owns the virtual clock and the pending events. It is not
+// safe for concurrent use: simulations are single-threaded by design so
+// runs are reproducible.
+type Scheduler struct {
+	now     time.Duration
+	queue   eventQueue
+	nextSeq int64
+	nextID  EventID
+	byID    map[EventID]*event
+	rng     *rand.Rand
+}
+
+// NewScheduler creates a scheduler whose random source is seeded for
+// reproducibility.
+func NewScheduler(seed int64) *Scheduler {
+	return &Scheduler{
+		byID: make(map[EventID]*event),
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Rand exposes the scheduler's seeded random source so every stochastic
+// choice in a simulation flows from one seed.
+func (s *Scheduler) Rand() *rand.Rand { return s.rng }
+
+// After schedules fn to run d from now. Negative delays run "now".
+func (s *Scheduler) After(d time.Duration, fn func()) EventID {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// At schedules fn at absolute virtual time t (clamped to now).
+func (s *Scheduler) At(t time.Duration, fn func()) EventID {
+	if t < s.now {
+		t = s.now
+	}
+	s.nextSeq++
+	s.nextID++
+	e := &event{at: t, seq: s.nextSeq, id: s.nextID, fn: fn}
+	heap.Push(&s.queue, e)
+	s.byID[e.id] = e
+	return e.id
+}
+
+// Cancel prevents a pending event from firing. Canceling an already
+// fired or unknown event is a no-op.
+func (s *Scheduler) Cancel(id EventID) {
+	if e, ok := s.byID[id]; ok {
+		e.canceled = true
+		delete(s.byID, id)
+	}
+}
+
+// Step fires the next event, advancing the clock. It reports whether an
+// event fired.
+func (s *Scheduler) Step() bool {
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(*event)
+		if e.canceled {
+			continue
+		}
+		delete(s.byID, e.id)
+		s.now = e.at
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= t, then advances the clock
+// to t.
+func (s *Scheduler) RunUntil(t time.Duration) {
+	for s.queue.Len() > 0 {
+		next := s.peek()
+		if next == nil {
+			break
+		}
+		if next.at > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// RunFor is RunUntil(now + d).
+func (s *Scheduler) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
+
+// Pending returns the number of scheduled (non-canceled) events.
+func (s *Scheduler) Pending() int { return len(s.byID) }
+
+func (s *Scheduler) peek() *event {
+	for s.queue.Len() > 0 {
+		e := s.queue[0]
+		if !e.canceled {
+			return e
+		}
+		heap.Pop(&s.queue)
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := NewScheduler(1)
+	var fired []int
+	s.After(30*time.Millisecond, func() { fired = append(fired, 3) })
+	s.After(10*time.Millisecond, func() { fired = append(fired, 1) })
+	s.After(20*time.Millisecond, func() { fired = append(fired, 2) })
+	s.Run()
+	if len(fired) != 3 || fired[0] != 1 || fired[1] != 2 || fired[2] != 3 {
+		t.Errorf("fired = %v", fired)
+	}
+	if s.Now() != 30*time.Millisecond {
+		t.Errorf("Now = %v", s.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := NewScheduler(1)
+	var fired []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.After(time.Millisecond, func() { fired = append(fired, i) })
+	}
+	s.Run()
+	for i, v := range fired {
+		if v != i {
+			t.Fatalf("fired = %v, want FIFO order", fired)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := NewScheduler(1)
+	var log []string
+	s.After(time.Millisecond, func() {
+		log = append(log, "a")
+		s.After(time.Millisecond, func() { log = append(log, "c") })
+	})
+	s.After(2*time.Millisecond, func() { log = append(log, "b") })
+	s.Run()
+	// a at 1ms, then b and c both at 2ms, b scheduled first.
+	if len(log) != 3 || log[0] != "a" || log[1] != "b" || log[2] != "c" {
+		t.Errorf("log = %v", log)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := NewScheduler(1)
+	fired := false
+	id := s.After(time.Millisecond, func() { fired = true })
+	s.Cancel(id)
+	s.Cancel(id) // double-cancel is a no-op
+	s.Run()
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d", s.Pending())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewScheduler(1)
+	var fired []int
+	s.After(10*time.Millisecond, func() { fired = append(fired, 1) })
+	s.After(30*time.Millisecond, func() { fired = append(fired, 2) })
+	s.RunUntil(20 * time.Millisecond)
+	if len(fired) != 1 {
+		t.Errorf("fired = %v", fired)
+	}
+	if s.Now() != 20*time.Millisecond {
+		t.Errorf("Now = %v", s.Now())
+	}
+	s.RunFor(10 * time.Millisecond)
+	if len(fired) != 2 {
+		t.Errorf("fired = %v", fired)
+	}
+}
+
+func TestPastEventsClampToNow(t *testing.T) {
+	s := NewScheduler(1)
+	s.RunUntil(time.Second)
+	fired := false
+	s.At(0, func() { fired = true })
+	s.After(-time.Hour, func() {})
+	s.Run()
+	if !fired {
+		t.Error("past-scheduled event should fire at now")
+	}
+	if s.Now() != time.Second {
+		t.Errorf("clock moved backwards: %v", s.Now())
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a, b := NewScheduler(42), NewScheduler(42)
+	for i := 0; i < 10; i++ {
+		if a.Rand().Float64() != b.Rand().Float64() {
+			t.Fatal("same seed should give same sequence")
+		}
+	}
+}
+
+func TestStepReportsActivity(t *testing.T) {
+	s := NewScheduler(1)
+	if s.Step() {
+		t.Error("empty scheduler should not step")
+	}
+	s.After(time.Millisecond, func() {})
+	if !s.Step() {
+		t.Error("scheduler with event should step")
+	}
+}

@@ -1,0 +1,160 @@
+package txn
+
+import "fmt"
+
+// Builders construct unsigned transactions following the per-type
+// templates the SmartchainDB driver ships ("Prepare" in the paper's
+// Figure 4). Callers fill in signatures with Sign, which also stamps
+// the transaction ID.
+
+// Spend names an unspent output and the keys that control it.
+type Spend struct {
+	Ref    OutputRef
+	Owners []string
+}
+
+// NewCreate builds a CREATE transaction: issuer mints an asset with the
+// given data document and number of divisible shares, initially owned
+// by the issuer.
+func NewCreate(issuer string, data map[string]any, shares uint64, meta map[string]any) *Transaction {
+	if shares == 0 {
+		shares = 1
+	}
+	return &Transaction{
+		Operation: OpCreate,
+		Asset:     &Asset{Data: data, Shares: shares},
+		Inputs:    []*Input{{OwnersBefore: []string{issuer}}},
+		Outputs:   []*Output{{PublicKeys: []string{issuer}, Amount: shares}},
+		Metadata:  meta,
+		Version:   Version,
+	}
+}
+
+// NewRequest builds a REQUEST (request-for-quote) transaction: the
+// requester publishes requirements — typically a "capabilities" list —
+// that bidding assets must satisfy. Like CREATE it mints a new
+// on-chain object (the RFQ) owned by the requester.
+func NewRequest(requester string, requirements map[string]any, meta map[string]any) *Transaction {
+	return &Transaction{
+		Operation: OpRequest,
+		Asset:     &Asset{Data: requirements, Shares: 1},
+		Inputs:    []*Input{{OwnersBefore: []string{requester}}},
+		Outputs:   []*Output{{PublicKeys: []string{requester}, Amount: 1}},
+		Metadata:  meta,
+		Version:   Version,
+	}
+}
+
+// NewTransfer builds a TRANSFER moving shares of asset assetID from the
+// spent outputs to the new outputs.
+func NewTransfer(assetID string, spends []Spend, outputs []*Output, meta map[string]any) *Transaction {
+	t := &Transaction{
+		Operation: OpTransfer,
+		Asset:     &Asset{ID: assetID},
+		Outputs:   outputs,
+		Metadata:  meta,
+		Version:   Version,
+	}
+	for _, s := range spends {
+		ref := s.Ref
+		t.Inputs = append(t.Inputs, &Input{Fulfills: &ref, OwnersBefore: s.Owners})
+	}
+	return t
+}
+
+// NewBid builds a BID transaction answering REQUEST rfqID: the bidder
+// moves amount shares of the backing asset into the escrow account
+// escrowPub, recording themself as previous owner so an unsuccessful
+// bid can be returned. The REQUEST is referenced (R), not spent.
+func NewBid(bidder, assetID string, spend Spend, amount uint64, escrowPub, rfqID string, meta map[string]any) *Transaction {
+	ref := spend.Ref
+	return &Transaction{
+		Operation: OpBid,
+		Asset:     &Asset{ID: assetID},
+		Inputs:    []*Input{{Fulfills: &ref, OwnersBefore: spend.Owners}},
+		Outputs: []*Output{{
+			PublicKeys: []string{escrowPub},
+			Amount:     amount,
+			PrevOwners: []string{bidder},
+		}},
+		Refs:     []string{rfqID},
+		Metadata: meta,
+		Version:  Version,
+	}
+}
+
+// NewAcceptBid builds the nested ACCEPT_BID parent. Its inputs spend
+// every escrow-held bid output for the REQUEST, winner first; its
+// outputs mirror the inputs one-to-one and all stay under escrow, each
+// recording the original bidder as previous owner. The server realizes
+// them at commit with |I| children (Algorithm 3): one TRANSFER handing
+// output 0 — the winning bid's shares — to the REQUEST's owner, and
+// n-1 RETURNs handing each remaining output back to its recorded
+// previous owner. The parent is committed first (non-locking) and the
+// children follow asynchronously with eventual-commit semantics.
+//
+// The transaction's asset anchors to the winning bid id and R
+// references the REQUEST. Inputs carry both the escrow and the
+// requester as owners-before: the escrow signature proves custody and
+// the requester signature proves the acceptance was authorized by the
+// REQUEST's owner (Algorithm 3, line 6).
+func NewAcceptBid(requesterPub, escrowPub, rfqID string, winBid *Transaction, losingBids []*Transaction, meta map[string]any) (*Transaction, error) {
+	t := &Transaction{
+		Operation: OpAcceptBid,
+		Asset:     &Asset{ID: winBid.ID},
+		Refs:      []string{rfqID},
+		Metadata:  meta,
+		Version:   Version,
+	}
+	appendBid := func(bid *Transaction) error {
+		if len(bid.Outputs) == 0 {
+			return fmt.Errorf("txn: bid %s has no outputs", abbrev(bid.ID))
+		}
+		out := bid.Outputs[0]
+		if len(out.PrevOwners) == 0 {
+			return fmt.Errorf("txn: bid %s output records no previous owner", abbrev(bid.ID))
+		}
+		t.Inputs = append(t.Inputs, &Input{
+			Fulfills:     &OutputRef{TxID: bid.ID, Index: 0},
+			OwnersBefore: []string{escrowPub, requesterPub},
+		})
+		t.Outputs = append(t.Outputs, &Output{
+			PublicKeys: []string{escrowPub},
+			Amount:     out.Amount,
+			PrevOwners: append([]string(nil), out.PrevOwners...),
+		})
+		return nil
+	}
+	if err := appendBid(winBid); err != nil {
+		return nil, err
+	}
+	for _, bid := range losingBids {
+		if err := appendBid(bid); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// NewReturn builds the child RETURN transaction realizing one pending
+// escrow output of a committed ACCEPT_BID: it spends parent output
+// (acceptID, index) — held by escrowPub — and hands the shares back to
+// the original bidder recorded there.
+func NewReturn(escrowPub string, acceptID string, index int, recipient string, amount uint64, assetID string, meta map[string]any) *Transaction {
+	return &Transaction{
+		Operation: OpReturn,
+		Asset:     &Asset{ID: assetID},
+		Inputs: []*Input{{
+			Fulfills:     &OutputRef{TxID: acceptID, Index: index},
+			OwnersBefore: []string{escrowPub},
+		}},
+		Outputs: []*Output{{
+			PublicKeys: []string{recipient},
+			Amount:     amount,
+			PrevOwners: []string{escrowPub},
+		}},
+		Refs:     []string{acceptID},
+		Metadata: meta,
+		Version:  Version,
+	}
+}

@@ -1,0 +1,139 @@
+package txn
+
+import (
+	"crypto/sha3"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// ToDoc converts the transaction into a plain document
+// (map[string]any) suitable for schema validation and storage. Numbers
+// become float64 where JSON would produce float64, except share amounts
+// which are kept as uint64-compatible json.Number-free float64 values;
+// the docstore treats them uniformly.
+func (t *Transaction) ToDoc() map[string]any {
+	raw, err := json.Marshal(t)
+	if err != nil {
+		// Transaction contains only JSON-safe types; a failure here is
+		// a programming error.
+		panic(fmt.Sprintf("txn: marshal: %v", err))
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		panic(fmt.Sprintf("txn: unmarshal: %v", err))
+	}
+	return doc
+}
+
+// FromDoc parses a document produced by ToDoc (or received as a JSON
+// payload) back into a Transaction.
+func FromDoc(doc map[string]any) (*Transaction, error) {
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		return nil, fmt.Errorf("txn: encode doc: %w", err)
+	}
+	var t Transaction
+	if err := json.Unmarshal(raw, &t); err != nil {
+		return nil, fmt.Errorf("txn: decode doc: %w", err)
+	}
+	return &t, nil
+}
+
+// MarshalCanonical renders the transaction as canonical JSON: keys
+// sorted lexicographically at every level, no insignificant whitespace.
+// Two transactions with equal content always produce identical bytes,
+// which is what makes SHA3-256 identifiers and signatures stable across
+// nodes and languages.
+func (t *Transaction) MarshalCanonical() []byte {
+	return canonicalize(t.ToDoc())
+}
+
+// SigningPayload returns the canonical bytes that identify and are
+// signed for this transaction: the canonical JSON with the ID zeroed
+// and every input fulfillment removed (a signature cannot cover
+// itself). Children are also excluded because a nested parent's child
+// IDs are assigned by the server after signing.
+func (t *Transaction) SigningPayload() []byte {
+	doc := t.ToDoc()
+	doc["id"] = ""
+	delete(doc, "children")
+	if ins, ok := doc["inputs"].([]any); ok {
+		for _, in := range ins {
+			if m, ok := in.(map[string]any); ok {
+				delete(m, "fulfillment")
+			}
+		}
+	}
+	return canonicalize(doc)
+}
+
+// ComputeID returns the transaction identifier: lowercase hex SHA3-256
+// of the signing payload.
+func (t *Transaction) ComputeID() string {
+	sum := sha3.Sum256(t.SigningPayload())
+	return hex.EncodeToString(sum[:])
+}
+
+// SetID stamps the computed identifier onto the transaction.
+func (t *Transaction) SetID() { t.ID = t.ComputeID() }
+
+// VerifyID reports whether the stored ID matches the recomputed one.
+func (t *Transaction) VerifyID() bool { return t.ID != "" && t.ID == t.ComputeID() }
+
+// canonicalize writes any JSON-safe value with sorted keys and no
+// whitespace. encoding/json already sorts map keys, but we write our
+// own encoder so the canonical form is explicit, stable, and immune to
+// struct-field ordering.
+func canonicalize(v any) []byte {
+	var buf []byte
+	buf = appendCanonical(buf, v)
+	return buf
+}
+
+func appendCanonical(buf []byte, v any) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(buf, "null"...)
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		buf = append(buf, '{')
+		for i, k := range keys {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = appendJSONString(buf, k)
+			buf = append(buf, ':')
+			buf = appendCanonical(buf, x[k])
+		}
+		return append(buf, '}')
+	case []any:
+		buf = append(buf, '[')
+		for i, e := range x {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = appendCanonical(buf, e)
+		}
+		return append(buf, ']')
+	default:
+		b, err := json.Marshal(x)
+		if err != nil {
+			panic(fmt.Sprintf("txn: canonicalize %T: %v", v, err))
+		}
+		return append(buf, b...)
+	}
+}
+
+func appendJSONString(buf []byte, s string) []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic(err)
+	}
+	return append(buf, b...)
+}

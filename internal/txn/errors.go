@@ -1,0 +1,86 @@
+package txn
+
+import "fmt"
+
+// The error taxonomy mirrors the exceptions raised by the paper's
+// validation algorithms (Algorithms 1–3): schema violations, semantic
+// validation failures, missing inputs, double spends, duplicate
+// nested parents, and insufficient bid capabilities.
+
+// SchemaError reports a structural violation found by Algorithm 1.
+type SchemaError struct {
+	Op   string // operation whose schema was checked
+	Path string // JSON-pointer-ish location of the offending field
+	Msg  string
+}
+
+func (e *SchemaError) Error() string {
+	return fmt.Sprintf("schema validation failed for %s at %s: %s", e.Op, e.Path, e.Msg)
+}
+
+// ValidationError reports a semantic validation condition failure.
+type ValidationError struct {
+	Op     string // operation being validated
+	Cond   string // which condition of C_α failed, e.g. "BID.6"
+	Reason string
+}
+
+func (e *ValidationError) Error() string {
+	if e.Cond != "" {
+		return fmt.Sprintf("validation failed for %s (condition %s): %s", e.Op, e.Cond, e.Reason)
+	}
+	return fmt.Sprintf("validation failed for %s: %s", e.Op, e.Reason)
+}
+
+// InputDoesNotExistError reports that a referenced or spent transaction
+// is not committed (Algorithm 2, line 4; Algorithm 3, line 5).
+type InputDoesNotExistError struct {
+	TxID string
+}
+
+func (e *InputDoesNotExistError) Error() string {
+	return fmt.Sprintf("input transaction %s does not exist or is not committed", abbrev(e.TxID))
+}
+
+// DoubleSpendError reports an attempt to spend an already-spent output.
+type DoubleSpendError struct {
+	Ref     OutputRef
+	SpentBy string // ID of the transaction that already spent it
+}
+
+func (e *DoubleSpendError) Error() string {
+	return fmt.Sprintf("output %s already spent by %s", e.Ref, abbrev(e.SpentBy))
+}
+
+// DuplicateTransactionError reports a second ACCEPT_BID for the same
+// REQUEST (Algorithm 3, line 10) or a resubmitted transaction ID.
+type DuplicateTransactionError struct {
+	TxID   string
+	Reason string
+}
+
+func (e *DuplicateTransactionError) Error() string {
+	return fmt.Sprintf("duplicate transaction %s: %s", abbrev(e.TxID), e.Reason)
+}
+
+// InsufficientCapabilitiesError reports that a BID's asset capabilities
+// do not cover the REQUEST's required capabilities (Algorithm 2,
+// line 11; validation condition BID.7).
+type InsufficientCapabilitiesError struct {
+	Missing []string
+}
+
+func (e *InsufficientCapabilitiesError) Error() string {
+	return fmt.Sprintf("bid asset lacks required capabilities %v", e.Missing)
+}
+
+// AmountError reports share-conservation violations.
+type AmountError struct {
+	Op   string
+	Want uint64
+	Got  uint64
+}
+
+func (e *AmountError) Error() string {
+	return fmt.Sprintf("%s amount mismatch: inputs hold %d shares, outputs claim %d", e.Op, e.Want, e.Got)
+}

@@ -1,0 +1,96 @@
+package txn
+
+import (
+	"fmt"
+	"strings"
+
+	"smartchaindb/internal/keys"
+)
+
+// Sign fulfills every input of the transaction with signatures from the
+// supplied key pairs and stamps the transaction ID. Each input needs a
+// signature from every key listed in its OwnersBefore; signers not
+// relevant to an input are ignored. Sign must be called after the
+// transaction is otherwise complete — any later mutation invalidates
+// both the signatures and the ID.
+func Sign(t *Transaction, signers ...*keys.KeyPair) error {
+	byPub := make(map[string]*keys.KeyPair, len(signers))
+	for _, kp := range signers {
+		byPub[kp.PublicBase58()] = kp
+	}
+	payload := t.SigningPayload()
+	for i, in := range t.Inputs {
+		if len(in.OwnersBefore) == 0 {
+			return fmt.Errorf("txn: input %d has no owners_before", i)
+		}
+		need := make([]*keys.KeyPair, 0, len(in.OwnersBefore))
+		for _, pub := range in.OwnersBefore {
+			kp, ok := byPub[pub]
+			if !ok {
+				return fmt.Errorf("txn: input %d: no private key for owner %s", i, abbrev(pub))
+			}
+			need = append(need, kp)
+		}
+		if len(need) == 1 {
+			in.Fulfillment = need[0].Sign(payload)
+		} else {
+			in.Fulfillment = keys.SignMulti(payload, len(need), need...).String()
+		}
+	}
+	t.SetID()
+	return nil
+}
+
+// VerifyFulfillments checks validation condition C(5) shared by all
+// types: for every input, verify(s_i, pb_i, m_i) must hold. It also
+// re-verifies the transaction ID so a tampered payload fails closed.
+func VerifyFulfillments(t *Transaction) error {
+	if !t.VerifyID() {
+		return &ValidationError{Op: t.Operation, Reason: "transaction id does not match payload"}
+	}
+	payload := t.SigningPayload()
+	for i, in := range t.Inputs {
+		if err := verifyInput(in, payload); err != nil {
+			return &ValidationError{Op: t.Operation, Reason: fmt.Sprintf("input %d: %v", i, err)}
+		}
+	}
+	return nil
+}
+
+func verifyInput(in *Input, payload []byte) error {
+	if in.Fulfillment == "" {
+		return fmt.Errorf("missing fulfillment")
+	}
+	if strings.HasPrefix(in.Fulfillment, "ms:") {
+		ms, err := keys.ParseMultiSig(in.Fulfillment)
+		if err != nil {
+			return err
+		}
+		// Every listed previous owner must have contributed a valid
+		// signature.
+		for _, pub := range in.OwnersBefore {
+			sig, ok := ms.Sigs[pub]
+			if !ok || !keys.Verify(sig, pub, payload) {
+				return fmt.Errorf("missing or invalid signature from owner %s", abbrev(pub))
+			}
+		}
+		if !ms.Verify(payload) {
+			return fmt.Errorf("multisig threshold not met")
+		}
+		return nil
+	}
+	if len(in.OwnersBefore) != 1 {
+		return fmt.Errorf("single signature but %d owners", len(in.OwnersBefore))
+	}
+	if !keys.Verify(in.Fulfillment, in.OwnersBefore[0], payload) {
+		return fmt.Errorf("invalid signature from owner %s", abbrev(in.OwnersBefore[0]))
+	}
+	return nil
+}
+
+func abbrev(s string) string {
+	if len(s) <= 8 {
+		return s
+	}
+	return s[:8] + "..."
+}

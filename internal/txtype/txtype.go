@@ -1,0 +1,224 @@
+// Package txtype is the declarative heart of SmartchainDB: it defines
+// transaction types as data. A type τ_α = ⟨T_α, C_α⟩ couples an
+// operation name with an ordered set of named boolean validation
+// conditions over the transaction and chain state (Section 3.2 of the
+// paper). A transaction is valid with respect to its type iff every
+// condition holds. New types are added by registering a new condition
+// set — no validator code changes, which is the extensibility claim of
+// the declarative model.
+package txtype
+
+import (
+	"fmt"
+	"sync"
+
+	"smartchaindb/internal/txn"
+)
+
+// ChainState is the read view of committed chain state a condition may
+// consult. *ledger.State implements it.
+type ChainState interface {
+	GetTx(id string) (*txn.Transaction, error)
+	IsCommitted(id string) bool
+	OutputAt(ref txn.OutputRef) (*txn.Output, error)
+	OutputAssetID(ref txn.OutputRef) (string, bool)
+	IsUnspent(ref txn.OutputRef) bool
+	SpenderOf(ref txn.OutputRef) (string, bool)
+	LockedBidsForRFQ(rfqID string) []*txn.Transaction
+	AcceptForRFQ(rfqID string) (*txn.Transaction, bool)
+}
+
+// ReservedSet answers membership in PBPK-Res, the reserved system
+// accounts. *keys.Reserved implements it.
+type ReservedSet interface {
+	IsReserved(pub string) bool
+}
+
+// Context carries everything a condition can see: committed state, the
+// reserved-account set, and the batch of transactions already approved
+// in the block being built (the CurrentTxs parameter of Algorithms 2
+// and 3, needed to catch conflicts between in-flight transactions).
+type Context struct {
+	State    ChainState
+	Reserved ReservedSet
+	Batch    *Batch
+}
+
+// ResolveTx finds a transaction in the current batch first, then in
+// committed state — the lookup validators use for dependencies that may
+// land in the same block.
+func (c *Context) ResolveTx(id string) (*txn.Transaction, error) {
+	if c.Batch != nil {
+		if t, ok := c.Batch.Get(id); ok {
+			return t, nil
+		}
+	}
+	return c.State.GetTx(id)
+}
+
+// SpentBy reports which transaction — committed or batched — spends ref.
+func (c *Context) SpentBy(ref txn.OutputRef) (string, bool) {
+	if c.Batch != nil {
+		if id, ok := c.Batch.SpentBy(ref); ok {
+			return id, true
+		}
+	}
+	return c.State.SpenderOf(ref)
+}
+
+// Batch tracks the transactions approved so far for the block under
+// construction, detecting intra-block double spends and duplicates.
+type Batch struct {
+	mu    sync.RWMutex
+	txs   map[string]*txn.Transaction
+	order []string
+	spent map[string]string // OutputRef.String() -> spender tx ID
+}
+
+// NewBatch creates an empty batch.
+func NewBatch() *Batch {
+	return &Batch{txs: make(map[string]*txn.Transaction), spent: make(map[string]string)}
+}
+
+// Add admits a transaction into the batch. It fails if the batch
+// already contains the same ID or a transaction spending one of the
+// same outputs.
+func (b *Batch) Add(t *txn.Transaction) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.txs[t.ID]; dup {
+		return &txn.DuplicateTransactionError{TxID: t.ID, Reason: "already in current block"}
+	}
+	for _, ref := range t.SpentRefs() {
+		if spender, clash := b.spent[ref.String()]; clash {
+			return &txn.DoubleSpendError{Ref: ref, SpentBy: spender}
+		}
+	}
+	b.txs[t.ID] = t
+	b.order = append(b.order, t.ID)
+	for _, ref := range t.SpentRefs() {
+		b.spent[ref.String()] = t.ID
+	}
+	return nil
+}
+
+// Get returns a batched transaction by ID.
+func (b *Batch) Get(id string) (*txn.Transaction, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	t, ok := b.txs[id]
+	return t, ok
+}
+
+// SpentBy reports the batched transaction spending ref, if any.
+func (b *Batch) SpentBy(ref txn.OutputRef) (string, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	id, ok := b.spent[ref.String()]
+	return id, ok
+}
+
+// Len returns the number of batched transactions.
+func (b *Batch) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.txs)
+}
+
+// Transactions returns the batched transactions in admission order.
+func (b *Batch) Transactions() []*txn.Transaction {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]*txn.Transaction, 0, len(b.order))
+	for _, id := range b.order {
+		out = append(out, b.txs[id])
+	}
+	return out
+}
+
+// CheckFunc evaluates one validation condition. A nil return means the
+// condition holds.
+type CheckFunc func(ctx *Context, t *txn.Transaction) error
+
+// Condition is one named element of a type's condition set C_α.
+type Condition struct {
+	// Name identifies the condition, e.g. "BID.6".
+	Name string
+	// Doc states the condition in prose, mirroring the paper.
+	Doc string
+	// Check evaluates the condition.
+	Check CheckFunc
+}
+
+// Type is a declarative transaction type τ_α = ⟨T_α, C_α⟩.
+type Type struct {
+	// Op is the operation name α.
+	Op string
+	// Nested marks types whose commit spawns child transactions.
+	Nested bool
+	// Conditions is the ordered condition set C_α.
+	Conditions []Condition
+}
+
+// Validate runs the full condition set against t, wrapping the first
+// failure with the condition's name.
+func (ty *Type) Validate(ctx *Context, t *txn.Transaction) error {
+	for _, c := range ty.Conditions {
+		if err := c.Check(ctx, t); err != nil {
+			if ve, ok := err.(*txn.ValidationError); ok && ve.Cond == "" {
+				ve.Cond = c.Name
+				return ve
+			}
+			return fmt.Errorf("condition %s (%s): %w", c.Name, c.Doc, err)
+		}
+	}
+	return nil
+}
+
+// Registry maps operation names to types.
+type Registry struct {
+	mu    sync.RWMutex
+	types map[string]*Type
+}
+
+// NewRegistry creates an empty type registry.
+func NewRegistry() *Registry {
+	return &Registry{types: make(map[string]*Type)}
+}
+
+// Register installs (or replaces) a type.
+func (r *Registry) Register(ty *Type) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.types[ty.Op] = ty
+}
+
+// Type returns the registered type for op.
+func (r *Registry) Type(op string) (*Type, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ty, ok := r.types[op]
+	return ty, ok
+}
+
+// Operations lists the registered operation names.
+func (r *Registry) Operations() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ops := make([]string, 0, len(r.types))
+	for op := range r.types {
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// Validate dispatches t to its type's condition set. Unknown
+// operations are rejected, mirroring Algorithm 1's enum check at the
+// semantic layer.
+func (r *Registry) Validate(ctx *Context, t *txn.Transaction) error {
+	ty, ok := r.Type(t.Operation)
+	if !ok {
+		return &txn.ValidationError{Op: t.Operation, Reason: "no transaction type registered for operation"}
+	}
+	return ty.Validate(ctx, t)
+}

@@ -1,0 +1,175 @@
+package txtype
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"smartchaindb/internal/keys"
+	"smartchaindb/internal/ledger"
+	"smartchaindb/internal/txn"
+)
+
+func signedCreate(t *testing.T, owner *keys.KeyPair, seq int) *txn.Transaction {
+	t.Helper()
+	tx := txn.NewCreate(owner.PublicBase58(), map[string]any{"seq": seq}, 1, nil)
+	if err := txn.Sign(tx, owner); err != nil {
+		t.Fatal(err)
+	}
+	return tx
+}
+
+func TestBatchDuplicateAndConflict(t *testing.T) {
+	owner := keys.MustGenerate()
+	create := signedCreate(t, owner, 1)
+	b := NewBatch()
+	if err := b.Add(create); err != nil {
+		t.Fatal(err)
+	}
+	var dup *txn.DuplicateTransactionError
+	if err := b.Add(create); !errors.As(err, &dup) {
+		t.Fatalf("want DuplicateTransactionError, got %v", err)
+	}
+	mkSpend := func(to string) *txn.Transaction {
+		tr := txn.NewTransfer(create.ID,
+			[]txn.Spend{{Ref: txn.OutputRef{TxID: create.ID, Index: 0}, Owners: []string{owner.PublicBase58()}}},
+			[]*txn.Output{{PublicKeys: []string{to}, Amount: 1}}, nil)
+		if err := txn.Sign(tr, owner); err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	first := mkSpend(keys.MustGenerate().PublicBase58())
+	second := mkSpend(keys.MustGenerate().PublicBase58())
+	if err := b.Add(first); err != nil {
+		t.Fatal(err)
+	}
+	var ds *txn.DoubleSpendError
+	if err := b.Add(second); !errors.As(err, &ds) {
+		t.Fatalf("want DoubleSpendError, got %v", err)
+	}
+	if b.Len() != 2 {
+		t.Errorf("Len = %d", b.Len())
+	}
+	if got := b.Transactions(); len(got) != 2 || got[0].ID != create.ID {
+		t.Errorf("Transactions order wrong")
+	}
+	if spender, ok := b.SpentBy(txn.OutputRef{TxID: create.ID, Index: 0}); !ok || spender != first.ID {
+		t.Errorf("SpentBy = %q, %v", spender, ok)
+	}
+	if _, ok := b.Get(first.ID); !ok {
+		t.Error("Get should find batched tx")
+	}
+}
+
+func TestContextResolveOrder(t *testing.T) {
+	owner := keys.MustGenerate()
+	committed := signedCreate(t, owner, 1)
+	batched := signedCreate(t, owner, 2)
+	state := ledger.NewState()
+	if err := state.CommitTx(committed); err != nil {
+		t.Fatal(err)
+	}
+	batch := NewBatch()
+	if err := batch.Add(batched); err != nil {
+		t.Fatal(err)
+	}
+	ctx := &Context{State: state, Batch: batch}
+	if got, err := ctx.ResolveTx(committed.ID); err != nil || got.ID != committed.ID {
+		t.Errorf("resolve committed: %v, %v", got, err)
+	}
+	if got, err := ctx.ResolveTx(batched.ID); err != nil || got.ID != batched.ID {
+		t.Errorf("resolve batched: %v, %v", got, err)
+	}
+	if _, err := ctx.ResolveTx("missing"); err == nil {
+		t.Error("missing tx should error")
+	}
+	// SpentBy consults both layers.
+	tr := txn.NewTransfer(committed.ID,
+		[]txn.Spend{{Ref: txn.OutputRef{TxID: committed.ID, Index: 0}, Owners: []string{owner.PublicBase58()}}},
+		[]*txn.Output{{PublicKeys: []string{owner.PublicBase58()}, Amount: 1}}, nil)
+	if err := txn.Sign(tr, owner); err != nil {
+		t.Fatal(err)
+	}
+	if err := batch.Add(tr); err != nil {
+		t.Fatal(err)
+	}
+	if spender, ok := ctx.SpentBy(txn.OutputRef{TxID: committed.ID, Index: 0}); !ok || spender != tr.ID {
+		t.Errorf("SpentBy through batch = %q, %v", spender, ok)
+	}
+}
+
+func TestRegistryDispatchAndConditionNaming(t *testing.T) {
+	r := NewRegistry()
+	calls := []string{}
+	r.Register(&Type{
+		Op: "PING",
+		Conditions: []Condition{
+			{Name: "PING.1", Doc: "always holds", Check: func(*Context, *txn.Transaction) error {
+				calls = append(calls, "1")
+				return nil
+			}},
+			{Name: "PING.2", Doc: "fails with a bare error", Check: func(*Context, *txn.Transaction) error {
+				calls = append(calls, "2")
+				return fmt.Errorf("boom")
+			}},
+			{Name: "PING.3", Doc: "never reached", Check: func(*Context, *txn.Transaction) error {
+				calls = append(calls, "3")
+				return nil
+			}},
+		},
+	})
+	ctx := &Context{State: ledger.NewState()}
+	err := r.Validate(ctx, &txn.Transaction{Operation: "PING"})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	// The failing condition's name and doc are woven into the error.
+	if got := err.Error(); got == "" || !contains(got, "PING.2") || !contains(got, "bare error") {
+		t.Errorf("error = %q", got)
+	}
+	if len(calls) != 2 {
+		t.Errorf("conditions evaluated = %v, want short-circuit after failure", calls)
+	}
+	// Unknown operations are rejected.
+	if err := r.Validate(ctx, &txn.Transaction{Operation: "NOPE"}); err == nil {
+		t.Error("unknown op should fail")
+	}
+	if _, ok := r.Type("PING"); !ok {
+		t.Error("Type lookup failed")
+	}
+	if ops := r.Operations(); len(ops) != 1 || ops[0] != "PING" {
+		t.Errorf("Operations = %v", ops)
+	}
+}
+
+func TestValidationErrorGetsConditionName(t *testing.T) {
+	ty := &Type{
+		Op: "X",
+		Conditions: []Condition{
+			{Name: "X.7", Doc: "doc", Check: func(*Context, *txn.Transaction) error {
+				return &txn.ValidationError{Op: "X", Reason: "nope"}
+			}},
+		},
+	}
+	err := ty.Validate(&Context{}, &txn.Transaction{Operation: "X"})
+	var ve *txn.ValidationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("want ValidationError, got %T", err)
+	}
+	if ve.Cond != "X.7" {
+		t.Errorf("Cond = %q, want X.7", ve.Cond)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		func() bool {
+			for i := 0; i+len(sub) <= len(s); i++ {
+				if s[i:i+len(sub)] == sub {
+					return true
+				}
+			}
+			return false
+		}())
+}

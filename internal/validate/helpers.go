@@ -1,0 +1,231 @@
+// Package validate implements the semantic validation algorithms of
+// SmartchainDB: the concrete condition sets C_α for the six native
+// transaction types (Definitions 3–4 and Algorithms 2–3 of the paper),
+// registered into the declarative txtype framework. The server runs
+// these conditions at each of the three validation points of the
+// transaction life cycle (receiver node, CheckTx, DeliverTx).
+package validate
+
+import (
+	"fmt"
+
+	"smartchaindb/internal/txn"
+	"smartchaindb/internal/txtype"
+)
+
+// spentOutput resolves an input's reference to the source transaction
+// and the output object being spent, looking at the current batch
+// first and committed state second.
+func spentOutput(ctx *txtype.Context, ref txn.OutputRef) (*txn.Transaction, *txn.Output, error) {
+	source, err := ctx.ResolveTx(ref.TxID)
+	if err != nil {
+		return nil, nil, &txn.InputDoesNotExistError{TxID: ref.TxID}
+	}
+	if ref.Index < 0 || ref.Index >= len(source.Outputs) {
+		return nil, nil, &txn.ValidationError{
+			Op:     source.Operation,
+			Reason: fmt.Sprintf("output index %d out of range (tx %s has %d outputs)", ref.Index, short(ref.TxID), len(source.Outputs)),
+		}
+	}
+	return source, source.Outputs[ref.Index], nil
+}
+
+// outputAssetID resolves the asset whose shares an output holds,
+// following nested parents down to the underlying bid asset.
+func outputAssetID(ctx *txtype.Context, ref txn.OutputRef) (string, error) {
+	if id, ok := ctx.State.OutputAssetID(ref); ok {
+		return id, nil
+	}
+	// Not committed yet: resolve through the batch.
+	source, _, err := spentOutput(ctx, ref)
+	if err != nil {
+		return "", err
+	}
+	if source.Operation == txn.OpAcceptBid {
+		if ref.Index >= len(source.Inputs) || source.Inputs[ref.Index].Fulfills == nil {
+			return "", &txn.ValidationError{Op: source.Operation, Reason: fmt.Sprintf("nested parent output %d has no mirroring input", ref.Index)}
+		}
+		return outputAssetID(ctx, *source.Inputs[ref.Index].Fulfills)
+	}
+	return source.AssetID(), nil
+}
+
+// inputOpts selects which shared checks apply for a transaction type.
+type inputOpts struct {
+	sameAsset    bool // every spent output must hold shares of t's asset
+	reservedOnly bool // every spent output must be owned by PBPK-Res
+}
+
+// checkTransferInputs is the shared validateTransferInputs routine:
+// every input must spend an existing, committed (or same-block),
+// unspent output whose owners are covered by the input's owners-before
+// set.
+func checkTransferInputs(ctx *txtype.Context, t *txn.Transaction, opts inputOpts) error {
+	if len(t.Inputs) == 0 {
+		return &txn.ValidationError{Op: t.Operation, Reason: "no inputs"}
+	}
+	for i, in := range t.Inputs {
+		if in.Fulfills == nil {
+			return &txn.ValidationError{Op: t.Operation, Reason: fmt.Sprintf("input %d spends nothing", i)}
+		}
+		ref := *in.Fulfills
+		_, out, err := spentOutput(ctx, ref)
+		if err != nil {
+			return err
+		}
+		// Owner coverage: every controlling key of the spent output must
+		// appear among owners-before (extra co-signers, e.g. the
+		// requester on ACCEPT_BID, are permitted).
+		owners := make(map[string]bool, len(in.OwnersBefore))
+		for _, k := range in.OwnersBefore {
+			owners[k] = true
+		}
+		for _, k := range out.PublicKeys {
+			if !owners[k] {
+				return &txn.ValidationError{Op: t.Operation, Reason: fmt.Sprintf("input %d does not carry owner %s of the spent output", i, short(k))}
+			}
+		}
+		if spender, spent := ctx.SpentBy(ref); spent && spender != t.ID {
+			return &txn.DoubleSpendError{Ref: ref, SpentBy: spender}
+		}
+		if opts.reservedOnly {
+			for _, k := range out.PublicKeys {
+				if !ctx.Reserved.IsReserved(k) {
+					return &txn.ValidationError{Op: t.Operation, Reason: fmt.Sprintf("input %d spends an output not held by a reserved account", i)}
+				}
+			}
+		}
+		if opts.sameAsset {
+			assetID, err := outputAssetID(ctx, ref)
+			if err != nil {
+				return err
+			}
+			if t.Asset == nil || t.Asset.ID != assetID {
+				want := "<nil>"
+				if t.Asset != nil {
+					want = short(t.Asset.ID)
+				}
+				return &txn.ValidationError{Op: t.Operation, Reason: fmt.Sprintf("input %d spends asset %s but transaction manipulates %s", i, short(assetID), want)}
+			}
+		}
+	}
+	return nil
+}
+
+// inputTotal sums the shares held by all spent outputs.
+func inputTotal(ctx *txtype.Context, t *txn.Transaction) (uint64, error) {
+	var sum uint64
+	for _, in := range t.Inputs {
+		if in.Fulfills == nil {
+			continue
+		}
+		_, out, err := spentOutput(ctx, *in.Fulfills)
+		if err != nil {
+			return 0, err
+		}
+		sum += out.Amount
+	}
+	return sum, nil
+}
+
+// checkConservation enforces sum(inputs) == sum(outputs).
+func checkConservation(ctx *txtype.Context, t *txn.Transaction) error {
+	in, err := inputTotal(ctx, t)
+	if err != nil {
+		return err
+	}
+	if out := t.OutputAmount(); out != in {
+		return &txn.AmountError{Op: t.Operation, Want: in, Got: out}
+	}
+	return nil
+}
+
+// checkNotDuplicate rejects a transaction already committed or already
+// admitted to the block being built.
+func checkNotDuplicate(ctx *txtype.Context, t *txn.Transaction) error {
+	if ctx.State.IsCommitted(t.ID) {
+		return &txn.DuplicateTransactionError{TxID: t.ID, Reason: "already committed"}
+	}
+	if ctx.Batch != nil {
+		if _, ok := ctx.Batch.Get(t.ID); ok {
+			return &txn.DuplicateTransactionError{TxID: t.ID, Reason: "already in current block"}
+		}
+	}
+	return nil
+}
+
+// checkSignatures verifies the transaction ID and every fulfillment —
+// condition (5) shared by all types.
+func checkSignatures(_ *txtype.Context, t *txn.Transaction) error {
+	return txn.VerifyFulfillments(t)
+}
+
+// capabilities extracts the "capabilities" string list from an asset
+// data document (getCapsFromRFQ / getCapsFromAsset in Algorithm 2).
+func capabilities(data map[string]any) []string {
+	raw, ok := data["capabilities"].([]any)
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(raw))
+	for _, e := range raw {
+		if s, ok := e.(string); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// missingCapabilities returns the requested capabilities not covered by
+// the offered set.
+func missingCapabilities(requested, offered []string) []string {
+	have := make(map[string]bool, len(offered))
+	for _, c := range offered {
+		have[c] = true
+	}
+	var missing []string
+	for _, c := range requested {
+		if !have[c] {
+			missing = append(missing, c)
+		}
+	}
+	return missing
+}
+
+// requestOwner resolves the public key that owns a REQUEST transaction
+// (getPubKey(RFQTx) in Algorithm 3).
+func requestOwner(rfq *txn.Transaction) (string, error) {
+	if len(rfq.Outputs) == 0 || len(rfq.Outputs[0].PublicKeys) == 0 {
+		return "", &txn.ValidationError{Op: rfq.Operation, Reason: "REQUEST has no owner output"}
+	}
+	return rfq.Outputs[0].PublicKeys[0], nil
+}
+
+// theRequest resolves and checks the single committed REQUEST named in
+// a transaction's reference vector.
+func theRequest(ctx *txtype.Context, t *txn.Transaction) (*txn.Transaction, error) {
+	var rfq *txn.Transaction
+	for _, id := range t.Refs {
+		ref, err := ctx.ResolveTx(id)
+		if err != nil {
+			return nil, &txn.InputDoesNotExistError{TxID: id}
+		}
+		if ref.Operation == txn.OpRequest {
+			if rfq != nil {
+				return nil, &txn.ValidationError{Op: t.Operation, Reason: "reference vector names more than one REQUEST"}
+			}
+			rfq = ref
+		}
+	}
+	if rfq == nil {
+		return nil, &txn.ValidationError{Op: t.Operation, Reason: "reference vector names no REQUEST"}
+	}
+	return rfq, nil
+}
+
+func short(s string) string {
+	if len(s) <= 8 {
+		return s
+	}
+	return s[:8] + "..."
+}

@@ -1,0 +1,121 @@
+package validate
+
+import (
+	"fmt"
+
+	"smartchaindb/internal/txn"
+	"smartchaindb/internal/txtype"
+)
+
+// OpWithdrawBid is the extension transaction type of the repository:
+// a bidder retracts an escrow-held BID before acceptance. The paper
+// lists bid withdrawal among the behaviours smart contracts must
+// hand-code ("managing bid withdrawals and deletions by authorized
+// parties only"); in the declarative model it is one schema and one
+// condition set. It composes with ACCEPT_BID automatically: a
+// withdrawn bid's escrow output is spent, so it no longer counts as a
+// locked bid and condition ACCEPT_BID.1 excludes it with no changes.
+const OpWithdrawBid = "WITHDRAW_BID"
+
+// WithdrawBidType builds the condition set C_WITHDRAW_BID.
+func WithdrawBidType() *txtype.Type {
+	return &txtype.Type{
+		Op: OpWithdrawBid,
+		Conditions: []txtype.Condition{
+			{Name: "WITHDRAW.dup", Doc: "transaction is not a duplicate", Check: checkNotDuplicate},
+			{Name: "WITHDRAW.1", Doc: "exactly one input and one output", Check: func(ctx *txtype.Context, t *txn.Transaction) error {
+				if len(t.Inputs) != 1 || len(t.Outputs) != 1 {
+					return &txn.ValidationError{Op: t.Operation, Reason: "WITHDRAW_BID must have exactly one input and one output"}
+				}
+				return nil
+			}},
+			{Name: "WITHDRAW.2", Doc: "all fulfillments verify", Check: checkSignatures},
+			{Name: "WITHDRAW.3", Doc: "spends the escrow-held output of a committed BID", Check: func(ctx *txtype.Context, t *txn.Transaction) error {
+				if err := checkTransferInputs(ctx, t, inputOpts{reservedOnly: true, sameAsset: true}); err != nil {
+					return err
+				}
+				bid, _, err := spentOutput(ctx, *t.Inputs[0].Fulfills)
+				if err != nil {
+					return err
+				}
+				if bid.Operation != txn.OpBid {
+					return &txn.ValidationError{Op: t.Operation, Reason: "WITHDRAW_BID must spend a BID output"}
+				}
+				if !t.HasRef(bid.ID) {
+					return &txn.ValidationError{Op: t.Operation, Reason: "WITHDRAW_BID must reference the withdrawn BID"}
+				}
+				return nil
+			}},
+			{Name: "WITHDRAW.4", Doc: "only the original bidder may withdraw, receiving all shares back", Check: func(ctx *txtype.Context, t *txn.Transaction) error {
+				_, spent, err := spentOutput(ctx, *t.Inputs[0].Fulfills)
+				if err != nil {
+					return err
+				}
+				if len(spent.PrevOwners) == 0 {
+					return &txn.ValidationError{Op: t.Operation, Reason: "escrowed bid records no previous owner"}
+				}
+				out := t.Outputs[0]
+				if out.Amount != spent.Amount {
+					return &txn.AmountError{Op: t.Operation, Want: spent.Amount, Got: out.Amount}
+				}
+				for _, prev := range spent.PrevOwners {
+					if !out.OwnedBy(prev) {
+						return &txn.ValidationError{Op: t.Operation, Reason: fmt.Sprintf("shares must return to the original bidder %s", short(prev))}
+					}
+				}
+				// Authorization: the bidder co-signs the withdrawal (the
+				// escrow alone must not be able to re-route a bid).
+				bidder := spent.PrevOwners[0]
+				signed := false
+				for _, k := range t.Inputs[0].OwnersBefore {
+					if k == bidder {
+						signed = true
+						break
+					}
+				}
+				if !signed {
+					return &txn.ValidationError{Op: t.Operation, Reason: "withdrawal is not authorized by the bidder"}
+				}
+				return nil
+			}},
+			{Name: "WITHDRAW.5", Doc: "the auction is still open: no ACCEPT_BID exists for the REQUEST", Check: func(ctx *txtype.Context, t *txn.Transaction) error {
+				bid, _, err := spentOutput(ctx, *t.Inputs[0].Fulfills)
+				if err != nil {
+					return err
+				}
+				rfq, err := theRequest(ctx, bid)
+				if err != nil {
+					return err
+				}
+				if acc, accepted := ctx.State.AcceptForRFQ(rfq.ID); accepted {
+					return &txn.ValidationError{Op: t.Operation, Reason: fmt.Sprintf("auction already settled by %s", short(acc.ID))}
+				}
+				return nil
+			}},
+		},
+	}
+}
+
+// NewWithdrawBid builds the withdrawal transaction: the escrow-held
+// bid output returns to the bidder, co-signed by escrow and bidder.
+func NewWithdrawBid(escrowPub, bidderPub string, bid *txn.Transaction) (*txn.Transaction, error) {
+	if len(bid.Outputs) == 0 {
+		return nil, fmt.Errorf("validate: bid %s has no outputs", short(bid.ID))
+	}
+	out := bid.Outputs[0]
+	return &txn.Transaction{
+		Operation: OpWithdrawBid,
+		Asset:     &txn.Asset{ID: bid.AssetID()},
+		Inputs: []*txn.Input{{
+			Fulfills:     &txn.OutputRef{TxID: bid.ID, Index: 0},
+			OwnersBefore: []string{escrowPub, bidderPub},
+		}},
+		Outputs: []*txn.Output{{
+			PublicKeys: []string{bidderPub},
+			Amount:     out.Amount,
+			PrevOwners: []string{escrowPub},
+		}},
+		Refs:    []string{bid.ID},
+		Version: txn.Version,
+	}, nil
+}

@@ -1,0 +1,204 @@
+// Package workflow implements blockchain transaction workflows
+// (Definition 5 of the paper): named sequences of transaction types
+// composing marketplace processes, e.g. the reverse auction
+// CREATE → REQUEST → BID → ACCEPT_BID → TRANSFER. A Spec declares the
+// legal op sequences as data; a Tracker follows live instances against
+// chain state; and Trace reconstructs a completed workflow from the
+// spend/reference graph — the queryability the paper contrasts with
+// smart contracts, whose workflow state hides inside program storage.
+package workflow
+
+import (
+	"fmt"
+
+	"smartchaindb/internal/txn"
+)
+
+// Spec declares a workflow as an op transition relation.
+type Spec struct {
+	// Name identifies the workflow.
+	Name string
+	// Heads are the operations allowed to initiate an instance. Per
+	// Definition 5 a head transaction has no spending inputs.
+	Heads []string
+	// Transitions maps an operation to its legal successors.
+	Transitions map[string][]string
+	// Terminals are operations that may end an instance.
+	Terminals []string
+}
+
+// ReverseAuction is the procurement workflow of the evaluation:
+// CREATE and REQUEST initiate; bids respond to requests; an accepted
+// bid triggers the closing transfers/returns.
+func ReverseAuction() *Spec {
+	return &Spec{
+		Name:  "reverse-auction",
+		Heads: []string{txn.OpCreate, txn.OpRequest},
+		Transitions: map[string][]string{
+			txn.OpCreate:    {txn.OpTransfer, txn.OpBid},
+			txn.OpRequest:   {txn.OpBid},
+			txn.OpBid:       {txn.OpAcceptBid},
+			txn.OpAcceptBid: {txn.OpTransfer, txn.OpReturn},
+			txn.OpTransfer:  {txn.OpTransfer, txn.OpBid},
+			txn.OpReturn:    {txn.OpTransfer, txn.OpBid},
+		},
+		Terminals: []string{txn.OpCreate, txn.OpTransfer, txn.OpReturn, txn.OpAcceptBid},
+	}
+}
+
+// SimpleTransfer is the minimal workflow CREATE or CREATE → TRANSFER*.
+func SimpleTransfer() *Spec {
+	return &Spec{
+		Name:  "simple-transfer",
+		Heads: []string{txn.OpCreate},
+		Transitions: map[string][]string{
+			txn.OpCreate:   {txn.OpTransfer},
+			txn.OpTransfer: {txn.OpTransfer},
+		},
+		Terminals: []string{txn.OpCreate, txn.OpTransfer},
+	}
+}
+
+// IsHead reports whether op may initiate an instance.
+func (s *Spec) IsHead(op string) bool { return contains(s.Heads, op) }
+
+// IsTerminal reports whether op may end an instance.
+func (s *Spec) IsTerminal(op string) bool { return contains(s.Terminals, op) }
+
+// ValidStep reports whether to may follow from.
+func (s *Spec) ValidStep(from, to string) bool { return contains(s.Transitions[from], to) }
+
+// ValidSequence checks a full op sequence against the spec: the head
+// initiates, every step is a legal transition, and the tail terminates.
+func (s *Spec) ValidSequence(ops []string) error {
+	if len(ops) == 0 {
+		return fmt.Errorf("workflow %s: empty sequence", s.Name)
+	}
+	if !s.IsHead(ops[0]) {
+		return fmt.Errorf("workflow %s: %s cannot initiate", s.Name, ops[0])
+	}
+	for i := 1; i < len(ops); i++ {
+		if !s.ValidStep(ops[i-1], ops[i]) {
+			return fmt.Errorf("workflow %s: illegal step %s -> %s", s.Name, ops[i-1], ops[i])
+		}
+	}
+	if !s.IsTerminal(ops[len(ops)-1]) {
+		return fmt.Errorf("workflow %s: %s cannot terminate", s.Name, ops[len(ops)-1])
+	}
+	return nil
+}
+
+func contains(list []string, v string) bool {
+	for _, e := range list {
+		if e == v {
+			return true
+		}
+	}
+	return false
+}
+
+// ChainState is the read view Trace and Tracker need.
+type ChainState interface {
+	GetTx(id string) (*txn.Transaction, error)
+	IsCommitted(id string) bool
+}
+
+// ValidateChain checks Definition 5 over concrete transactions: the
+// head spends nothing, and every later transaction's inputs come from
+// committed transactions.
+func ValidateChain(state ChainState, seq []*txn.Transaction) error {
+	if len(seq) == 0 {
+		return fmt.Errorf("workflow: empty chain")
+	}
+	head := seq[0]
+	for _, in := range head.Inputs {
+		if in.Fulfills != nil {
+			return fmt.Errorf("workflow: head %s spends an output; heads must have null input", short(head.ID))
+		}
+	}
+	for _, t := range seq[1:] {
+		for _, in := range t.Inputs {
+			if in.Fulfills == nil {
+				continue
+			}
+			if !state.IsCommitted(in.Fulfills.TxID) {
+				return fmt.Errorf("workflow: %s input spends uncommitted %s", short(t.ID), short(in.Fulfills.TxID))
+			}
+		}
+	}
+	return nil
+}
+
+// Trace reconstructs the op path ending at txID by walking spending
+// inputs backwards to the workflow head. It demonstrates that workflow
+// provenance is a chain query in the declarative model.
+func Trace(state ChainState, txID string) ([]string, []string, error) {
+	var ops, ids []string
+	cur := txID
+	for depth := 0; depth < 1024; depth++ {
+		t, err := state.GetTx(cur)
+		if err != nil {
+			return nil, nil, err
+		}
+		ops = append([]string{t.Operation}, ops...)
+		ids = append([]string{t.ID}, ids...)
+		var next string
+		for _, in := range t.Inputs {
+			if in.Fulfills != nil {
+				next = in.Fulfills.TxID
+				break
+			}
+		}
+		if next == "" {
+			return ops, ids, nil
+		}
+		cur = next
+	}
+	return nil, nil, fmt.Errorf("workflow: trace exceeded depth limit at %s", short(txID))
+}
+
+// Tracker follows live workflow instances keyed by an instance ID
+// (the REQUEST transaction for reverse auctions).
+type Tracker struct {
+	spec      *Spec
+	instances map[string][]string // instance -> op path so far
+}
+
+// NewTracker creates a tracker for one spec.
+func NewTracker(spec *Spec) *Tracker {
+	return &Tracker{spec: spec, instances: make(map[string][]string)}
+}
+
+// Advance records the next transaction of an instance, rejecting
+// illegal transitions.
+func (tr *Tracker) Advance(instanceID string, op string) error {
+	path := tr.instances[instanceID]
+	if len(path) == 0 {
+		if !tr.spec.IsHead(op) {
+			return fmt.Errorf("workflow %s: instance %s cannot start with %s", tr.spec.Name, short(instanceID), op)
+		}
+	} else if !tr.spec.ValidStep(path[len(path)-1], op) {
+		return fmt.Errorf("workflow %s: instance %s illegal step %s -> %s", tr.spec.Name, short(instanceID), path[len(path)-1], op)
+	}
+	tr.instances[instanceID] = append(path, op)
+	return nil
+}
+
+// Path returns the op path of an instance so far.
+func (tr *Tracker) Path(instanceID string) []string {
+	return append([]string(nil), tr.instances[instanceID]...)
+}
+
+// Completed reports whether the instance currently ends on a terminal
+// operation.
+func (tr *Tracker) Completed(instanceID string) bool {
+	path := tr.instances[instanceID]
+	return len(path) > 0 && tr.spec.IsTerminal(path[len(path)-1])
+}
+
+func short(s string) string {
+	if len(s) <= 8 {
+		return s
+	}
+	return s[:8] + "..."
+}

@@ -1,0 +1,495 @@
+// Package yamlite is a small YAML-subset parser used to load the
+// declarative transaction schemas of SmartchainDB. Schemas are data,
+// not code: keeping them in YAML documents (as the paper's Figure 5
+// shows) means new transaction types can ship as configuration.
+//
+// The supported subset covers what the schema documents need:
+//
+//   - block mappings (indentation based) with string keys
+//   - block sequences ("- item")
+//   - flow sequences ([a, b, c]) and flow mappings ({a: b})
+//   - plain, single-quoted, and double-quoted scalars
+//   - ints, floats, booleans, null (~ / null / empty)
+//   - comments (# ...) and blank lines
+//   - literal block scalars (|) preserving newlines
+//
+// Anchors, aliases, tags, multi-document streams, and folded scalars
+// are intentionally not supported; the loader reports an error rather
+// than guessing.
+package yamlite
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses a YAML document into nested Go values:
+// map[string]any, []any, string, int64, float64, bool, or nil.
+func Parse(src string) (any, error) {
+	p := &parser{}
+	p.split(src)
+	if len(p.lines) == 0 {
+		return nil, nil
+	}
+	v, next, err := p.parseBlock(0, p.lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if next != len(p.lines) {
+		return nil, fmt.Errorf("yamlite: line %d: unexpected content %q", p.lines[next].num, p.lines[next].text)
+	}
+	return v, nil
+}
+
+// ParseMap parses a document whose top level must be a mapping.
+func ParseMap(src string) (map[string]any, error) {
+	v, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if v == nil {
+		return map[string]any{}, nil
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("yamlite: document is %T, want mapping", v)
+	}
+	return m, nil
+}
+
+type line struct {
+	num    int // 1-based source line number
+	indent int
+	text   string // content with indentation stripped
+}
+
+type parser struct {
+	lines []line
+}
+
+// split prepares the logical, non-empty, comment-stripped lines.
+func (p *parser) split(src string) {
+	for i, raw := range strings.Split(src, "\n") {
+		trimmedRight := strings.TrimRight(raw, " \t\r")
+		content := strings.TrimLeft(trimmedRight, " ")
+		if content == "" {
+			continue
+		}
+		if strings.HasPrefix(content, "#") {
+			continue
+		}
+		if strings.HasPrefix(content, "---") && strings.TrimSpace(content) == "---" {
+			continue // single-document marker
+		}
+		indent := len(trimmedRight) - len(content)
+		p.lines = append(p.lines, line{num: i + 1, indent: indent, text: content})
+	}
+}
+
+// parseBlock parses the block starting at line index i whose items are
+// at exactly indentation indent. It returns the value and the index of
+// the first line not consumed.
+func (p *parser) parseBlock(i, indent int) (any, int, error) {
+	if i >= len(p.lines) || p.lines[i].indent != indent {
+		return nil, i, fmt.Errorf("yamlite: internal: bad block start")
+	}
+	if strings.HasPrefix(p.lines[i].text, "- ") || p.lines[i].text == "-" {
+		return p.parseSequence(i, indent)
+	}
+	return p.parseMapping(i, indent)
+}
+
+func (p *parser) parseSequence(i, indent int) (any, int, error) {
+	var seq []any
+	for i < len(p.lines) {
+		ln := p.lines[i]
+		if ln.indent != indent {
+			if ln.indent > indent {
+				return nil, i, fmt.Errorf("yamlite: line %d: unexpected indentation", ln.num)
+			}
+			break
+		}
+		if !strings.HasPrefix(ln.text, "-") {
+			break
+		}
+		rest := strings.TrimPrefix(ln.text, "-")
+		if rest != "" && !strings.HasPrefix(rest, " ") {
+			return nil, i, fmt.Errorf("yamlite: line %d: expected space after '-'", ln.num)
+		}
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			// Nested block item on following lines.
+			if i+1 < len(p.lines) && p.lines[i+1].indent > indent {
+				v, next, err := p.parseBlock(i+1, p.lines[i+1].indent)
+				if err != nil {
+					return nil, i, err
+				}
+				seq = append(seq, v)
+				i = next
+				continue
+			}
+			seq = append(seq, nil)
+			i++
+			continue
+		}
+		// Inline item. "- key: value" begins a nested mapping whose
+		// further keys sit at the indentation of that key.
+		if k, v, isMap := splitKeyValue(rest); isMap {
+			itemIndent := indent + (len(ln.text) - len(rest))
+			m, next, err := p.parseInlineMapItem(i, itemIndent, k, v)
+			if err != nil {
+				return nil, i, err
+			}
+			seq = append(seq, m)
+			i = next
+			continue
+		}
+		sv, err := parseScalar(rest, ln.num)
+		if err != nil {
+			return nil, i, err
+		}
+		seq = append(seq, sv)
+		i++
+	}
+	return seq, i, nil
+}
+
+// parseInlineMapItem handles "- key: value" plus any continuation keys
+// indented to keyIndent on following lines.
+func (p *parser) parseInlineMapItem(i, keyIndent int, firstKey, firstVal string) (map[string]any, int, error) {
+	m := make(map[string]any)
+	ln := p.lines[i]
+	v, next, err := p.parseValueFor(i, keyIndent, firstVal, ln.num)
+	if err != nil {
+		return nil, i, err
+	}
+	m[firstKey] = v
+	i = next
+	for i < len(p.lines) && p.lines[i].indent == keyIndent && !strings.HasPrefix(p.lines[i].text, "- ") {
+		ln := p.lines[i]
+		k, val, isMap := splitKeyValue(ln.text)
+		if !isMap {
+			return nil, i, fmt.Errorf("yamlite: line %d: expected key: value", ln.num)
+		}
+		if _, dup := m[k]; dup {
+			return nil, i, fmt.Errorf("yamlite: line %d: duplicate key %q", ln.num, k)
+		}
+		v, next, err := p.parseValueFor(i, keyIndent, val, ln.num)
+		if err != nil {
+			return nil, i, err
+		}
+		m[k] = v
+		i = next
+	}
+	return m, i, nil
+}
+
+func (p *parser) parseMapping(i, indent int) (any, int, error) {
+	m := make(map[string]any)
+	for i < len(p.lines) {
+		ln := p.lines[i]
+		if ln.indent != indent {
+			if ln.indent > indent {
+				return nil, i, fmt.Errorf("yamlite: line %d: unexpected indentation", ln.num)
+			}
+			break
+		}
+		k, val, isMap := splitKeyValue(ln.text)
+		if !isMap {
+			return nil, i, fmt.Errorf("yamlite: line %d: expected key: value, got %q", ln.num, ln.text)
+		}
+		if _, dup := m[k]; dup {
+			return nil, i, fmt.Errorf("yamlite: line %d: duplicate key %q", ln.num, k)
+		}
+		v, next, err := p.parseValueFor(i, indent, val, ln.num)
+		if err != nil {
+			return nil, i, err
+		}
+		m[k] = v
+		i = next
+	}
+	return m, i, nil
+}
+
+// parseValueFor resolves the value text following "key:" at line i.
+// Empty value text means a nested block (or null). It returns the value
+// and the next unconsumed line index.
+func (p *parser) parseValueFor(i, indent int, val string, lineNum int) (any, int, error) {
+	if val == "|" {
+		return p.parseLiteralBlock(i+1, indent)
+	}
+	if val != "" {
+		v, err := parseScalar(val, lineNum)
+		return v, i + 1, err
+	}
+	if i+1 < len(p.lines) && p.lines[i+1].indent > indent {
+		return p.parseBlockAt(i + 1)
+	}
+	return nil, i + 1, nil
+}
+
+func (p *parser) parseBlockAt(i int) (any, int, error) {
+	return p.parseBlock(i, p.lines[i].indent)
+}
+
+// parseLiteralBlock consumes a "|" literal scalar: all following lines
+// with indentation greater than parentIndent, joined with newlines.
+func (p *parser) parseLiteralBlock(i, parentIndent int) (any, int, error) {
+	if i >= len(p.lines) || p.lines[i].indent <= parentIndent {
+		return "", i, nil
+	}
+	blockIndent := p.lines[i].indent
+	var sb strings.Builder
+	first := true
+	for i < len(p.lines) && p.lines[i].indent >= blockIndent {
+		if !first {
+			sb.WriteByte('\n')
+		}
+		first = false
+		// Preserve deeper indentation relative to the block.
+		sb.WriteString(strings.Repeat(" ", p.lines[i].indent-blockIndent))
+		sb.WriteString(p.lines[i].text)
+		i++
+	}
+	return sb.String(), i, nil
+}
+
+// splitKeyValue splits "key: value" respecting quotes. It reports
+// whether the text is a mapping entry at all.
+func splitKeyValue(text string) (key, value string, ok bool) {
+	inSingle, inDouble := false, false
+	for idx := 0; idx < len(text); idx++ {
+		c := text[idx]
+		switch {
+		case c == '\'' && !inDouble:
+			inSingle = !inSingle
+		case c == '"' && !inSingle:
+			inDouble = !inDouble
+		case c == ':' && !inSingle && !inDouble:
+			if idx+1 == len(text) {
+				return unquoteKey(text[:idx]), "", true
+			}
+			if text[idx+1] == ' ' {
+				return unquoteKey(text[:idx]), strings.TrimSpace(text[idx+2:]), true
+			}
+		}
+	}
+	return "", "", false
+}
+
+func unquoteKey(k string) string {
+	k = strings.TrimSpace(k)
+	if len(k) >= 2 {
+		if (k[0] == '\'' && k[len(k)-1] == '\'') || (k[0] == '"' && k[len(k)-1] == '"') {
+			return k[1 : len(k)-1]
+		}
+	}
+	return k
+}
+
+// parseScalar interprets a scalar or flow collection.
+func parseScalar(s string, lineNum int) (any, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "":
+		return nil, nil
+	case strings.HasPrefix(s, "["):
+		v, rest, err := parseFlow(s)
+		if err != nil {
+			return nil, fmt.Errorf("yamlite: line %d: %w", lineNum, err)
+		}
+		if strings.TrimSpace(rest) != "" {
+			return nil, fmt.Errorf("yamlite: line %d: trailing content after flow sequence", lineNum)
+		}
+		return v, nil
+	case strings.HasPrefix(s, "{"):
+		v, rest, err := parseFlow(s)
+		if err != nil {
+			return nil, fmt.Errorf("yamlite: line %d: %w", lineNum, err)
+		}
+		if strings.TrimSpace(rest) != "" {
+			return nil, fmt.Errorf("yamlite: line %d: trailing content after flow mapping", lineNum)
+		}
+		return v, nil
+	case strings.HasPrefix(s, "&") || strings.HasPrefix(s, "*") || strings.HasPrefix(s, "!"):
+		return nil, fmt.Errorf("yamlite: line %d: anchors, aliases and tags are not supported", lineNum)
+	}
+	return plainScalar(stripTrailingComment(s)), nil
+}
+
+// stripTrailingComment removes " # ..." outside quotes.
+func stripTrailingComment(s string) string {
+	inSingle, inDouble := false, false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '\'' && !inDouble:
+			inSingle = !inSingle
+		case s[i] == '"' && !inSingle:
+			inDouble = !inDouble
+		case s[i] == '#' && !inSingle && !inDouble && i > 0 && s[i-1] == ' ':
+			return strings.TrimSpace(s[:i])
+		}
+	}
+	return s
+}
+
+// plainScalar applies YAML's core-schema typing rules to a scalar.
+func plainScalar(s string) any {
+	if len(s) >= 2 {
+		if s[0] == '\'' && s[len(s)-1] == '\'' {
+			return strings.ReplaceAll(s[1:len(s)-1], "''", "'")
+		}
+		if s[0] == '"' && s[len(s)-1] == '"' {
+			if uq, err := strconv.Unquote(s); err == nil {
+				return uq
+			}
+			return s[1 : len(s)-1]
+		}
+	}
+	switch s {
+	case "null", "~", "Null", "NULL":
+		return nil
+	case "true", "True", "TRUE":
+		return true
+	case "false", "False", "FALSE":
+		return false
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i
+	}
+	if strings.HasPrefix(s, "0x") {
+		if i, err := strconv.ParseInt(s[2:], 16, 64); err == nil {
+			return i
+		}
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil &&
+		(strings.ContainsAny(s, ".eE") && !strings.ContainsAny(s, ":/")) {
+		return f
+	}
+	return s
+}
+
+// parseFlow parses a flow collection starting at s[0] ('[' or '{'),
+// returning the value and the unconsumed remainder.
+func parseFlow(s string) (any, string, error) {
+	switch s[0] {
+	case '[':
+		rest := strings.TrimLeft(s[1:], " ")
+		var seq []any
+		if strings.HasPrefix(rest, "]") {
+			return []any{}, rest[1:], nil
+		}
+		for {
+			var (
+				item any
+				err  error
+			)
+			item, rest, err = parseFlowItem(rest)
+			if err != nil {
+				return nil, "", err
+			}
+			seq = append(seq, item)
+			rest = strings.TrimLeft(rest, " ")
+			if strings.HasPrefix(rest, ",") {
+				rest = strings.TrimLeft(rest[1:], " ")
+				continue
+			}
+			if strings.HasPrefix(rest, "]") {
+				return seq, rest[1:], nil
+			}
+			return nil, "", fmt.Errorf("unterminated flow sequence")
+		}
+	case '{':
+		rest := strings.TrimLeft(s[1:], " ")
+		m := make(map[string]any)
+		if strings.HasPrefix(rest, "}") {
+			return m, rest[1:], nil
+		}
+		for {
+			colon := indexOutsideQuotes(rest, ':')
+			if colon < 0 {
+				return nil, "", fmt.Errorf("flow mapping entry missing ':'")
+			}
+			key := unquoteKey(rest[:colon])
+			rest = strings.TrimLeft(rest[colon+1:], " ")
+			var (
+				val any
+				err error
+			)
+			val, rest, err = parseFlowItem(rest)
+			if err != nil {
+				return nil, "", err
+			}
+			m[key] = val
+			rest = strings.TrimLeft(rest, " ")
+			if strings.HasPrefix(rest, ",") {
+				rest = strings.TrimLeft(rest[1:], " ")
+				continue
+			}
+			if strings.HasPrefix(rest, "}") {
+				return m, rest[1:], nil
+			}
+			return nil, "", fmt.Errorf("unterminated flow mapping")
+		}
+	}
+	return nil, "", fmt.Errorf("not a flow collection")
+}
+
+func parseFlowItem(s string) (any, string, error) {
+	s = strings.TrimLeft(s, " ")
+	if s == "" {
+		return nil, "", fmt.Errorf("unexpected end of flow collection")
+	}
+	if s[0] == '[' || s[0] == '{' {
+		return parseFlow(s)
+	}
+	if s[0] == '\'' || s[0] == '"' {
+		end := closingQuote(s)
+		if end < 0 {
+			return nil, "", fmt.Errorf("unterminated quoted scalar")
+		}
+		return plainScalar(s[:end+1]), s[end+1:], nil
+	}
+	// Plain scalar up to , ] or }.
+	end := len(s)
+	for i := 0; i < len(s); i++ {
+		if s[i] == ',' || s[i] == ']' || s[i] == '}' {
+			end = i
+			break
+		}
+	}
+	return plainScalar(strings.TrimSpace(s[:end])), s[end:], nil
+}
+
+func closingQuote(s string) int {
+	q := s[0]
+	for i := 1; i < len(s); i++ {
+		if s[i] == q {
+			if q == '\'' && i+1 < len(s) && s[i+1] == '\'' {
+				i++ // escaped ''
+				continue
+			}
+			if q == '"' && s[i-1] == '\\' {
+				continue
+			}
+			return i
+		}
+	}
+	return -1
+}
+
+func indexOutsideQuotes(s string, c byte) int {
+	inSingle, inDouble := false, false
+	for i := 0; i < len(s); i++ {
+		switch {
+		case s[i] == '\'' && !inDouble:
+			inSingle = !inSingle
+		case s[i] == '"' && !inSingle:
+			inDouble = !inDouble
+		case s[i] == c && !inSingle && !inDouble:
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,273 @@
+package yamlite
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseScalars(t *testing.T) {
+	doc := `
+string: hello world
+quoted: "a: b"
+single: 'it''s'
+int: 42
+neg: -7
+float: 3.14
+exp: 1e3
+boolTrue: true
+boolFalse: False
+nul: null
+tilde: ~
+empty:
+hex: 0xff
+versionish: 2.0.1
+`
+	m, err := ParseMap(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"string": "hello world", "quoted": "a: b", "single": "it's",
+		"int": int64(42), "neg": int64(-7), "float": 3.14, "exp": 1e3,
+		"boolTrue": true, "boolFalse": false, "nul": nil, "tilde": nil,
+		"empty": nil, "hex": int64(255), "versionish": "2.0.1",
+	}
+	for k, w := range want {
+		if got := m[k]; !reflect.DeepEqual(got, w) {
+			t.Errorf("%s = %#v (%T), want %#v", k, got, got, w)
+		}
+	}
+}
+
+func TestParseNestedMapping(t *testing.T) {
+	doc := `
+properties:
+  id:
+    type: string
+    pattern: "^[a-f0-9]{64}$"
+  outputs:
+    type: array
+`
+	m, err := ParseMap(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	props, ok := m["properties"].(map[string]any)
+	if !ok {
+		t.Fatalf("properties is %T", m["properties"])
+	}
+	id := props["id"].(map[string]any)
+	if id["type"] != "string" || id["pattern"] != "^[a-f0-9]{64}$" {
+		t.Errorf("id = %#v", id)
+	}
+	if props["outputs"].(map[string]any)["type"] != "array" {
+		t.Errorf("outputs = %#v", props["outputs"])
+	}
+}
+
+func TestParseBlockSequence(t *testing.T) {
+	doc := `
+required:
+  - id
+  - inputs
+  - outputs
+nested:
+  - name: a
+    amount: 1
+  - name: b
+    amount: 2
+`
+	m, err := ParseMap(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, ok := m["required"].([]any)
+	if !ok || len(req) != 3 || req[0] != "id" || req[2] != "outputs" {
+		t.Fatalf("required = %#v", m["required"])
+	}
+	nested := m["nested"].([]any)
+	first := nested[0].(map[string]any)
+	if first["name"] != "a" || first["amount"] != int64(1) {
+		t.Errorf("nested[0] = %#v", first)
+	}
+	second := nested[1].(map[string]any)
+	if second["name"] != "b" || second["amount"] != int64(2) {
+		t.Errorf("nested[1] = %#v", second)
+	}
+}
+
+func TestParseFlowCollections(t *testing.T) {
+	doc := `
+enum: [CREATE, TRANSFER, "BID", 3]
+emptyList: []
+emptyMap: {}
+point: {x: 1, y: -2, label: "a, b"}
+nestedFlow: [[1, 2], {k: v}]
+`
+	m, err := ParseMap(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enum := m["enum"].([]any)
+	if !reflect.DeepEqual(enum, []any{"CREATE", "TRANSFER", "BID", int64(3)}) {
+		t.Errorf("enum = %#v", enum)
+	}
+	if len(m["emptyList"].([]any)) != 0 {
+		t.Errorf("emptyList = %#v", m["emptyList"])
+	}
+	if len(m["emptyMap"].(map[string]any)) != 0 {
+		t.Errorf("emptyMap = %#v", m["emptyMap"])
+	}
+	pt := m["point"].(map[string]any)
+	if pt["x"] != int64(1) || pt["y"] != int64(-2) || pt["label"] != "a, b" {
+		t.Errorf("point = %#v", pt)
+	}
+	nf := m["nestedFlow"].([]any)
+	if !reflect.DeepEqual(nf[0], []any{int64(1), int64(2)}) {
+		t.Errorf("nestedFlow[0] = %#v", nf[0])
+	}
+	if nf[1].(map[string]any)["k"] != "v" {
+		t.Errorf("nestedFlow[1] = %#v", nf[1])
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	doc := `
+# top comment
+a: 1 # trailing
+# middle
+b: "x # not a comment"
+`
+	m, err := ParseMap(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["a"] != int64(1) {
+		t.Errorf("a = %#v", m["a"])
+	}
+	if m["b"] != "x # not a comment" {
+		t.Errorf("b = %#v", m["b"])
+	}
+}
+
+func TestParseLiteralBlock(t *testing.T) {
+	doc := `
+description: |
+  line one
+  line two
+    indented
+next: 1
+`
+	m, err := ParseMap(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "line one\nline two\n  indented"
+	if m["description"] != want {
+		t.Errorf("description = %q, want %q", m["description"], want)
+	}
+	if m["next"] != int64(1) {
+		t.Errorf("next = %#v", m["next"])
+	}
+}
+
+func TestParseTopLevelSequence(t *testing.T) {
+	v, err := Parse("- a\n- b\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(v, []any{"a", "b"}) {
+		t.Errorf("got %#v", v)
+	}
+}
+
+func TestParseDocumentMarker(t *testing.T) {
+	m, err := ParseMap("---\na: 1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["a"] != int64(1) {
+		t.Errorf("a = %#v", m["a"])
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	v, err := Parse("")
+	if err != nil || v != nil {
+		t.Errorf("Parse(\"\") = %#v, %v", v, err)
+	}
+	m, err := ParseMap("  \n# only a comment\n")
+	if err != nil || len(m) != 0 {
+		t.Errorf("ParseMap(comment-only) = %#v, %v", m, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"duplicate key":    "a: 1\na: 2\n",
+		"anchor":           "a: &x 1\n",
+		"alias":            "a: *x\n",
+		"tag":              "a: !!str hi\n",
+		"bad flow":         "a: [1, 2\n",
+		"scalar top then?": "a: 1\n  b: 2\n",
+		"non-map doc":      "- 1\nk: v\n",
+		"trailing flow":    "a: [1] extra\n",
+	}
+	for name, doc := range cases {
+		if _, err := Parse(doc); err == nil {
+			t.Errorf("%s: expected error for %q", name, doc)
+		}
+	}
+}
+
+func TestParseMapRejectsSequence(t *testing.T) {
+	if _, err := ParseMap("- a\n"); err == nil {
+		t.Error("ParseMap of a sequence should fail")
+	}
+}
+
+func TestParseDeepNesting(t *testing.T) {
+	doc := `
+a:
+  b:
+    c:
+      - d: 1
+        e:
+          f: [x]
+`
+	m, err := ParseMap(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m["a"].(map[string]any)["b"].(map[string]any)["c"].([]any)
+	item := c[0].(map[string]any)
+	if item["d"] != int64(1) {
+		t.Errorf("d = %#v", item["d"])
+	}
+	f := item["e"].(map[string]any)["f"].([]any)
+	if f[0] != "x" {
+		t.Errorf("f = %#v", f)
+	}
+}
+
+func TestSequenceOfSequences(t *testing.T) {
+	doc := `
+matrix:
+  -
+    - 1
+    - 2
+  -
+    - 3
+`
+	m, err := ParseMap(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := m["matrix"].([]any)
+	if !reflect.DeepEqual(rows[0], []any{int64(1), int64(2)}) {
+		t.Errorf("rows[0] = %#v", rows[0])
+	}
+	if !reflect.DeepEqual(rows[1], []any{int64(3)}) {
+		t.Errorf("rows[1] = %#v", rows[1])
+	}
+}
