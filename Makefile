@@ -1,0 +1,26 @@
+# Tier-1 verification targets. `make test` is the gate every PR must
+# keep green; `make test-race` runs the concurrency-sensitive packages
+# (the parallel validation pipeline and everything it touches) under
+# the race detector.
+
+GO ?= go
+
+.PHONY: all build test test-race bench-parallel ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./internal/parallel ./internal/ledger ./internal/consensus ./internal/server ./internal/bench
+
+# Reproduce the parallel-validation experiment (wall-clock sweep plus
+# the virtual-time consensus leg).
+bench-parallel:
+	$(GO) run ./cmd/scdb-bench -exp parallel
+
+ci: test test-race

@@ -9,6 +9,7 @@
 //	scdb-bench -exp fig8 -nodes 4,8,16,32
 //	scdb-bench -exp fig2
 //	scdb-bench -exp usability
+//	scdb-bench -exp parallel -parallel 1,2,4,8 -batchtxs 256 -conflict 0.1
 package main
 
 import (
@@ -23,13 +24,17 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2 | fig7 | fig8 | usability | mix | recovery | all")
+		exp      = flag.String("exp", "all", "experiment: fig2 | fig7 | fig8 | usability | mix | recovery | parallel | all")
 		auctions = flag.Int("auctions", 4, "auctions per run")
 		bidders  = flag.Int("bidders", 10, "bidders per auction")
 		seed     = flag.Int64("seed", 42, "simulation seed")
 		sizes    = flag.String("sizes", "", "comma-separated payload sizes in bytes (default: the paper's 0.11-1.74 KB sweep)")
 		nodes    = flag.String("nodes", "", "comma-separated validator counts (default 4,8,16,32)")
 		mixScale = flag.Int("scale", 1000, "mix experiment: divide the paper's 110k-tx mix by this factor")
+		workers  = flag.String("parallel", "1,2,4,8", "parallel experiment: comma-separated validation worker counts (1 = sequential baseline)")
+		batchTxs = flag.Int("batchtxs", 256, "parallel experiment: transactions per block")
+		batches  = flag.Int("batches", 4, "parallel experiment: blocks per measurement")
+		conflict = flag.Float64("conflict", 0.1, "parallel experiment: fraction of conflicting transactions per block")
 	)
 	flag.Parse()
 
@@ -91,6 +96,19 @@ func main() {
 		}
 		bench.PrintRecovery(os.Stdout, r)
 	}
+	runParallel := func() {
+		workerList, err := parseInts(*workers)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintParallel(os.Stdout, bench.RunParallel(bench.ParallelParams{
+			Batches:      *batches,
+			BatchTxs:     *batchTxs,
+			Workers:      workerList,
+			ConflictRate: *conflict,
+			Seed:         *seed,
+		}))
+	}
 
 	switch *exp {
 	case "fig2":
@@ -105,6 +123,8 @@ func main() {
 		runMix()
 	case "recovery":
 		runRecovery()
+	case "parallel":
+		runParallel()
 	case "all":
 		runFig2()
 		runFig7()
@@ -112,6 +132,7 @@ func main() {
 		runUsability()
 		runMix()
 		runRecovery()
+		runParallel()
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
 	}

@@ -1,0 +1,3 @@
+module smartchaindb
+
+go 1.24

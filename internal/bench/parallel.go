@@ -1,0 +1,358 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"smartchaindb/internal/keys"
+	"smartchaindb/internal/ledger"
+	"smartchaindb/internal/netsim"
+	"smartchaindb/internal/parallel"
+	"smartchaindb/internal/server"
+	"smartchaindb/internal/txn"
+	"smartchaindb/internal/validate"
+	"smartchaindb/internal/workload"
+)
+
+// ParallelParams configures the parallel-validation experiment: the
+// wall-clock throughput of the DeliverTx-stage batch validation,
+// sequential vs the dependency-aware parallel scheduler, across worker
+// counts and conflict rates.
+type ParallelParams struct {
+	// Batches is the number of blocks validated per measurement.
+	Batches int
+	// BatchTxs is the number of transactions per block.
+	BatchTxs int
+	// Workers are the worker counts to sweep; 1 is the sequential
+	// baseline every speedup is computed against.
+	Workers []int
+	// ConflictRate is the fraction of batch slots filled with a
+	// conflicting transaction: alternately a double-spend of the
+	// previous slot's output and a BID on the block's shared REQUEST.
+	ConflictRate float64
+	// Reps repeats each measurement, keeping the fastest run.
+	Reps int
+	// Seed drives workload generation.
+	Seed int64
+}
+
+func (p *ParallelParams) fill() {
+	if p.Batches <= 0 {
+		p.Batches = 4
+	}
+	if p.BatchTxs <= 0 {
+		p.BatchTxs = 256
+	}
+	if len(p.Workers) == 0 {
+		p.Workers = []int{1, 2, 4, 8}
+	}
+	// Every sweep carries the sequential baseline: speedups and the
+	// determinism cross-check are defined against workers=1.
+	hasSeq := false
+	for _, w := range p.Workers {
+		if w <= 1 {
+			hasSeq = true
+			break
+		}
+	}
+	if !hasSeq {
+		p.Workers = append([]int{1}, p.Workers...)
+	}
+	if p.Reps <= 0 {
+		p.Reps = 3
+	}
+}
+
+// ParallelRow is one worker-count measurement.
+type ParallelRow struct {
+	Workers int
+	Elapsed time.Duration
+	TPS     float64
+	Speedup float64 // vs the workers=1 row
+	Valid   int
+	Invalid int
+}
+
+// SimRow is one worker-count point of the consensus-simulation leg:
+// the same reverse-auction workload driven through a validation-bound
+// SmartchainDB cluster, with DeliverTx block validation costed at the
+// parallel plan's makespan. Virtual-time results are deterministic and
+// independent of the host's core count.
+type SimRow struct {
+	Workers    int
+	Throughput float64 // committed tx per simulated second
+	MeanMs     float64 // mean commit latency, simulated ms
+	Committed  int
+}
+
+// ParallelResult is the full sweep.
+type ParallelResult struct {
+	Params      ParallelParams
+	TotalTxs    int
+	MeanGroups  float64 // conflict groups per batch
+	MeanLargest float64 // critical-path length per batch
+	Rows        []ParallelRow
+	// SimRows is the consensus-simulation leg, one row per worker
+	// count.
+	SimRows []SimRow
+	// Agree reports that every worker count produced the identical
+	// valid-transaction sequence — the determinism guarantee.
+	Agree bool
+}
+
+// parallelWorkload pre-commits the backing state and builds the
+// batches. Returned state holds the committed CREATEs and REQUESTs the
+// batch transactions depend on.
+func parallelWorkload(p ParallelParams) (*ledger.State, *keys.Reserved, [][]*txn.Transaction) {
+	reserved := keys.NewReservedWithDefaults(p.Seed + 9000)
+	state := ledger.NewState()
+	gen := workload.NewGenerator(p.Seed, reserved.Escrow())
+	rng := rand.New(rand.NewSource(p.Seed + 17))
+
+	const payload = 128
+	batches := make([][]*txn.Transaction, p.Batches)
+	slot := 0
+	for b := range batches {
+		// One shared REQUEST per block: every conflicting BID references
+		// it, forming one conflict group.
+		requester := gen.Account(1_000_000 + b)
+		rfq := gen.Request(requester, []string{"cnc"}, payload)
+		if err := state.CommitTx(rfq); err != nil {
+			panic(fmt.Sprintf("bench: commit rfq: %v", err))
+		}
+		batch := make([]*txn.Transaction, 0, p.BatchTxs)
+		var prev *txn.Transaction   // previous independent transfer, for double-spends
+		var prevOwner *keys.KeyPair // its spender, who must co-sign the duplicate
+		dsTurn := true
+		for j := 0; j < p.BatchTxs; j++ {
+			owner := gen.Account(slot)
+			asset := gen.Create(owner, []string{"cnc"}, payload)
+			if err := state.CommitTx(asset); err != nil {
+				panic(fmt.Sprintf("bench: commit asset: %v", err))
+			}
+			conflicting := rng.Float64() < p.ConflictRate
+			switch {
+			case conflicting && dsTurn && prev != nil:
+				// Double-spend: respend the previous transfer's input to a
+				// different recipient. Same conflict group; invalid.
+				dup := txn.NewTransfer(prev.Asset.ID,
+					[]txn.Spend{{Ref: *prev.Inputs[0].Fulfills, Owners: prev.Inputs[0].OwnersBefore}},
+					[]*txn.Output{{PublicKeys: []string{gen.Account(2_000_000 + slot).PublicBase58()}, Amount: 1}},
+					nil)
+				if err := txn.Sign(dup, prevOwner); err != nil {
+					panic(fmt.Sprintf("bench: sign dup: %v", err))
+				}
+				batch = append(batch, dup)
+				dsTurn = false
+			case conflicting:
+				// BID on the block's shared REQUEST: valid but conflicting
+				// with every other bid on the same REQUEST.
+				batch = append(batch, gen.Bid(owner, asset, rfq, payload))
+				dsTurn = true
+			default:
+				recipient := gen.Account(3_000_000 + slot)
+				tr := txn.NewTransfer(asset.ID,
+					[]txn.Spend{{Ref: txn.OutputRef{TxID: asset.ID, Index: 0}, Owners: []string{owner.PublicBase58()}}},
+					[]*txn.Output{{PublicKeys: []string{recipient.PublicBase58()}, Amount: 1}},
+					nil)
+				if err := txn.Sign(tr, owner); err != nil {
+					panic(fmt.Sprintf("bench: sign transfer: %v", err))
+				}
+				batch = append(batch, tr)
+				prev, prevOwner = tr, owner
+			}
+			slot++
+		}
+		batches[b] = batch
+	}
+	return state, reserved, batches
+}
+
+// runSimValidation drives one auction workload through a
+// validation-bound cluster (large blocks, expensive per-transaction
+// DeliverTx checks) and reports its virtual-time summary.
+func runSimValidation(workers int, seed int64) SimRow {
+	cluster := server.NewCluster(server.ClusterConfig{
+		Nodes:         4,
+		Seed:          seed,
+		BlockInterval: 50 * time.Millisecond,
+		MaxBlockTxs:   64,
+		Pipelined:     true,
+		Latency:       netsim.UniformLatency{Base: 5 * time.Millisecond, Jitter: 2 * time.Millisecond},
+		// Children re-enter the network only after every replica has
+		// applied the parent block; an early child hitting a lagging
+		// receiver would be rejected permanently.
+		ChildDelay: 100 * time.Millisecond,
+		Node: server.Config{
+			ReceiverTime:        2 * time.Millisecond,
+			ValidationTimePerTx: 2 * time.Millisecond,
+			ParallelWorkers:     workers,
+		},
+	})
+	gen := workload.NewGenerator(seed+7, cluster.ServerNode(0).Escrow())
+	const auctions, bidders = 6, 8
+	groups := make([]*workload.AuctionGroup, 0, auctions)
+	base := 0
+	for i := 0; i < auctions; i++ {
+		groups = append(groups, gen.NewAuctionGroup(base, workload.AuctionGroupSpec{
+			BiddersPerAuction: bidders, PayloadBytes: 128,
+		}))
+		base += bidders + 1
+	}
+	driveAuctionPhases(cluster, groups, 2*time.Millisecond)
+	sum := cluster.Summarize()
+	return SimRow{
+		Workers:    workers,
+		Throughput: sum.Throughput,
+		MeanMs:     float64(sum.MeanLatency) / float64(time.Millisecond),
+		Committed:  sum.Committed,
+	}
+}
+
+// driveAuctionPhases submits the auction groups' transactions in the
+// three dependency phases (requests+creates, bids, accepts), letting
+// every replica settle between phases — a dependent transaction
+// hitting a lagging receiver would be rejected permanently — and runs
+// the cluster until every client transaction and nested child commits.
+// It returns the client-transaction and child counts driven.
+func driveAuctionPhases(cluster *server.Cluster, groups []*workload.AuctionGroup, gap time.Duration) (count, children int) {
+	at := cluster.Sched().Now()
+	submit := func(t *txn.Transaction) {
+		cluster.SubmitAt(at, t)
+		at += gap
+		count++
+	}
+	settle := func() {
+		cluster.RunUntil(cluster.Sched().Now() + time.Second)
+		at = cluster.Sched().Now()
+	}
+	for _, g := range groups {
+		submit(g.Request)
+		for _, c := range g.Creates {
+			submit(c)
+		}
+	}
+	cluster.RunUntilCommitted(count, at+time.Hour)
+	settle()
+	for _, g := range groups {
+		for _, b := range g.Bids {
+			submit(b)
+		}
+	}
+	cluster.RunUntilCommitted(count, at+time.Hour)
+	settle()
+	for _, g := range groups {
+		submit(g.Accept)
+		children += len(g.Bids)
+	}
+	cluster.RunUntilCommitted(count+children, at+time.Hour)
+	cluster.RunUntil(cluster.Sched().Now() + time.Second)
+	return count, children
+}
+
+// RunParallel measures sequential vs parallel validation throughput on
+// identical batches and verifies the outcomes agree.
+func RunParallel(p ParallelParams) ParallelResult {
+	p.fill()
+	state, reserved, batches := parallelWorkload(p)
+	reg := validate.NewRegistry()
+
+	res := ParallelResult{Params: p, Agree: true}
+	for _, batch := range batches {
+		res.TotalTxs += len(batch)
+		plan := parallel.BuildPlan(batch)
+		res.MeanGroups += float64(len(plan.Groups))
+		res.MeanLargest += float64(plan.Largest())
+	}
+	if p.Batches > 0 {
+		res.MeanGroups /= float64(p.Batches)
+		res.MeanLargest /= float64(p.Batches)
+	}
+
+	rowValid := make([][]string, len(p.Workers))
+	baseline := 0 // index of the sequential reference row (fill guarantees one)
+	for i, w := range p.Workers {
+		if w <= 1 {
+			baseline = i
+			break
+		}
+	}
+	for wi, w := range p.Workers {
+		sched := &parallel.Scheduler{Workers: w}
+		row := ParallelRow{Workers: w, Elapsed: time.Duration(1<<62 - 1)}
+		var validIDs []string
+		for rep := 0; rep < p.Reps; rep++ {
+			validIDs = validIDs[:0]
+			valid, invalid := 0, 0
+			start := time.Now()
+			for _, batch := range batches {
+				r := sched.ValidateBatch(reg, state, reserved, batch)
+				valid += len(r.Valid)
+				invalid += len(r.Invalid)
+				for _, t := range r.Valid {
+					validIDs = append(validIDs, t.ID)
+				}
+			}
+			if el := time.Since(start); el < row.Elapsed {
+				row.Elapsed = el
+			}
+			row.Valid, row.Invalid = valid, invalid
+		}
+		if row.Elapsed > 0 {
+			row.TPS = float64(res.TotalTxs) / row.Elapsed.Seconds()
+		}
+		rowValid[wi] = append([]string(nil), validIDs...)
+		res.Rows = append(res.Rows, row)
+	}
+	for wi := range res.Rows {
+		if !sameIDs(rowValid[baseline], rowValid[wi]) {
+			res.Agree = false
+		}
+		if res.Rows[baseline].TPS > 0 {
+			res.Rows[wi].Speedup = res.Rows[wi].TPS / res.Rows[baseline].TPS
+		}
+	}
+	for _, w := range p.Workers {
+		res.SimRows = append(res.SimRows, runSimValidation(w, p.Seed))
+	}
+	return res
+}
+
+func sameIDs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PrintParallel renders the parallel-validation sweep.
+func PrintParallel(w io.Writer, r ParallelResult) {
+	fmt.Fprintf(w, "Parallel validation — %d blocks x %d txs, conflict rate %.0f%%\n",
+		r.Params.Batches, r.Params.BatchTxs, r.Params.ConflictRate*100)
+	fmt.Fprintf(w, "  conflict groups per block: %.1f (critical path %.1f txs)\n",
+		r.MeanGroups, r.MeanLargest)
+	fmt.Fprintf(w, "  %-8s %12s %12s %9s %8s %8s\n", "workers", "elapsed(ms)", "tps", "speedup", "valid", "invalid")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-8d %12.1f %12.0f %8.2fx %8d %8d\n",
+			row.Workers, ms(row.Elapsed), row.TPS, row.Speedup, row.Valid, row.Invalid)
+	}
+	if !r.Agree {
+		fmt.Fprintln(w, "  WARNING: worker counts disagreed on the valid set")
+	}
+	fmt.Fprintf(w, "  (wall-clock rows depend on host cores: GOMAXPROCS=%d)\n", runtime.GOMAXPROCS(0))
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Parallel validation — consensus simulation (validation-bound cluster, virtual time)")
+	fmt.Fprintf(w, "  %-8s %12s %14s %10s\n", "workers", "tps", "latency(ms)", "committed")
+	for _, row := range r.SimRows {
+		fmt.Fprintf(w, "  %-8d %12.1f %14.1f %10d\n", row.Workers, row.Throughput, row.MeanMs, row.Committed)
+	}
+	fmt.Fprintln(w)
+}

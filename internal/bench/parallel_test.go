@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestParallelValidationAgrees runs the wall-clock sweep at a small
+// scale and checks every worker count admits the identical valid set,
+// with the injected conflicts actually rejected.
+func TestParallelValidationAgrees(t *testing.T) {
+	r := RunParallel(ParallelParams{
+		Batches: 2, BatchTxs: 64, Workers: []int{1, 2, 8},
+		ConflictRate: 0.25, Reps: 1, Seed: 11,
+	})
+	if !r.Agree {
+		t.Fatal("worker counts disagreed on the valid set")
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Valid == 0 {
+			t.Errorf("workers=%d admitted nothing", row.Workers)
+		}
+		if row.Invalid == 0 {
+			t.Errorf("workers=%d rejected nothing despite injected double-spends", row.Workers)
+		}
+		if row.Valid != r.Rows[0].Valid || row.Invalid != r.Rows[0].Invalid {
+			t.Errorf("workers=%d counts differ from baseline", row.Workers)
+		}
+	}
+	if r.MeanGroups <= 1 {
+		t.Errorf("mean groups = %.1f, expected many independent groups", r.MeanGroups)
+	}
+	var buf bytes.Buffer
+	PrintParallel(&buf, r)
+	if !strings.Contains(buf.String(), "Parallel validation") {
+		t.Error("printout missing header")
+	}
+}
+
+// TestSimulatedParallelThroughput checks the consensus-simulation leg:
+// with DeliverTx validation costed at the plan makespan, 4 workers
+// must beat the sequential baseline on the low-conflict auction
+// workload. Virtual time makes this deterministic on any host.
+func TestSimulatedParallelThroughput(t *testing.T) {
+	seq := runSimValidation(1, 21)
+	par := runSimValidation(4, 21)
+	if seq.Committed != par.Committed {
+		t.Fatalf("committed counts differ: seq=%d par=%d", seq.Committed, par.Committed)
+	}
+	if par.Throughput < seq.Throughput {
+		t.Errorf("parallel throughput %.1f tps below sequential %.1f tps",
+			par.Throughput, seq.Throughput)
+	}
+	if par.MeanMs > seq.MeanMs {
+		t.Errorf("parallel latency %.1f ms above sequential %.1f ms", par.MeanMs, seq.MeanMs)
+	}
+	t.Logf("sequential: %.1f tps / %.1f ms; 4 workers: %.1f tps / %.1f ms",
+		seq.Throughput, seq.MeanMs, par.Throughput, par.MeanMs)
+}
+
+// TestParallelWallClockSpeedup checks real-core speedup of the
+// validation worker pool on a low-conflict workload. It needs physical
+// parallelism, so it only runs on hosts with enough cores.
+func TestParallelWallClockSpeedup(t *testing.T) {
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs for wall-clock speedup, have %d", runtime.NumCPU())
+	}
+	r := RunParallel(ParallelParams{
+		Batches: 3, BatchTxs: 256, Workers: []int{1, 4},
+		ConflictRate: 0.05, Reps: 3, Seed: 33,
+	})
+	if !r.Agree {
+		t.Fatal("worker counts disagreed on the valid set")
+	}
+	seq, par := r.Rows[0], r.Rows[1]
+	if par.TPS < seq.TPS {
+		t.Errorf("4-worker wall-clock throughput %.0f tps below sequential %.0f tps", par.TPS, seq.TPS)
+	}
+	t.Logf("sequential %.0f tps, 4 workers %.0f tps (%.2fx)", seq.TPS, par.TPS, par.Speedup)
+}

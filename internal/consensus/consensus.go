@@ -35,6 +35,11 @@ type App interface {
 	// prevotes it (the DeliverTx-stage checks). It returns the invalid
 	// transactions; an empty result means the block is acceptable.
 	// Proposers also use it to filter their mempool before packing.
+	// Implementations may validate the batch internally in parallel
+	// (the SmartchainDB app dispatches conflict groups derived from
+	// declarative footprints to a worker pool); the engine only
+	// requires that the returned set be deterministic in the block's
+	// transaction order, so every honest validator votes identically.
 	ValidateBlock(txs []Tx) []Tx
 	// ReceiverTime is the simulated time the receiver node spends
 	// validating one incoming transaction ("Prepare and Sign" +

@@ -1,0 +1,199 @@
+// Marketplace is the hand-written ETH-SC baseline of the paper's
+// evaluation (§5.2.2): everything SmartchainDB offers as native
+// declarative transaction types — asset registration, requests for
+// quotes, escrowed bids, withdrawal, and acceptance with automatic
+// refunds — re-implemented as ~175 lines of user smart-contract code.
+// Capability matching compares strings pairwise, so BID validation is
+// O(n²) in payload size, and every stored capability word is an
+// SSTORE: the two cost drivers behind the ETH-SC curves of Figure 7.
+contract Marketplace {
+    struct Asset {
+        uint id;
+        address owner;
+        bool exists;
+        bool locked;
+        string[] caps;
+    }
+    struct Rfq {
+        uint id;
+        address buyer;
+        bool exists;
+        bool open;
+        string[] caps;
+        uint[] bids;
+    }
+    struct Bid {
+        uint id;
+        address bidder;
+        uint rfqId;
+        uint assetId;
+        bool exists;
+        bool active;
+        bool won;
+    }
+
+    uint assetCount;
+    uint rfqCount;
+    uint bidCount;
+    mapping(uint => Asset) assets;
+    mapping(uint => Rfq) rfqs;
+    mapping(uint => Bid) bids;
+
+    event AssetCreated(uint id, address owner);
+    event RfqCreated(uint id, address buyer);
+    event BidPlaced(uint id, uint rfqId, uint assetId, address bidder);
+    event BidWithdrawn(uint id, address bidder);
+    event BidAccepted(uint id, uint rfqId, address buyer);
+    event BidRefunded(uint id, address bidder);
+
+    // createAsset registers a manufacturing asset advertising caps.
+    function createAsset(string[] caps) public returns (uint) {
+        require(caps.length > 0, "asset must advertise a capability");
+        assetCount += 1;
+        Asset a;
+        a.id = assetCount;
+        a.owner = msg.sender;
+        a.exists = true;
+        a.locked = false;
+        a.caps = caps;
+        assets[assetCount] = a;
+        emit AssetCreated(assetCount, msg.sender);
+        return assetCount;
+    }
+
+    // createRfq posts a request for quotes demanding caps.
+    function createRfq(string[] caps) public returns (uint) {
+        require(caps.length > 0, "rfq must demand a capability");
+        rfqCount += 1;
+        Rfq r;
+        r.id = rfqCount;
+        r.buyer = msg.sender;
+        r.exists = true;
+        r.open = true;
+        r.caps = caps;
+        rfqs[rfqCount] = r;
+        emit RfqCreated(rfqCount, msg.sender);
+        return rfqCount;
+    }
+
+    // hasCap scans the offered capability list for one needed string.
+    function hasCap(string[] offered, string needed) internal view returns (bool) {
+        for (uint i = 0; i < offered.length; i++) {
+            if (offered[i] == needed) {
+                return true;
+            }
+        }
+        return false;
+    }
+
+    // coversAll checks every requested capability pairwise — the
+    // quadratic matching loop the paper measures.
+    function coversAll(string[] needed, string[] offered) internal view returns (bool) {
+        for (uint i = 0; i < needed.length; i++) {
+            if (!hasCap(offered, needed[i])) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    // createBid escrows the bidder's asset against an open rfq.
+    function createBid(uint rfqId, uint assetId) public returns (uint) {
+        require(rfqs[rfqId].exists, "no such rfq");
+        require(rfqs[rfqId].open, "rfq is closed");
+        require(assets[assetId].exists, "no such asset");
+        require(assets[assetId].owner == msg.sender, "bidder does not own the asset");
+        require(!assets[assetId].locked, "asset is escrowed by another bid");
+        require(coversAll(rfqs[rfqId].caps, assets[assetId].caps), "asset lacks a required capability");
+        bidCount += 1;
+        Bid b;
+        b.id = bidCount;
+        b.bidder = msg.sender;
+        b.rfqId = rfqId;
+        b.assetId = assetId;
+        b.exists = true;
+        b.active = true;
+        b.won = false;
+        bids[bidCount] = b;
+        assets[assetId].locked = true;
+        rfqs[rfqId].bids.push(bidCount);
+        emit BidPlaced(bidCount, rfqId, assetId, msg.sender);
+        return bidCount;
+    }
+
+    // withdrawBid lets the bidder retract an active bid while the
+    // auction is open, unlocking the escrowed asset.
+    function withdrawBid(uint bidId) public {
+        require(bids[bidId].exists, "no such bid");
+        require(bids[bidId].active, "bid is not active");
+        require(bids[bidId].bidder == msg.sender, "only the bidder may withdraw");
+        require(rfqs[bids[bidId].rfqId].open, "auction already settled");
+        bids[bidId].active = false;
+        assets[bids[bidId].assetId].locked = false;
+        emit BidWithdrawn(bidId, msg.sender);
+    }
+
+    // acceptBid settles the auction: the winning asset moves to the
+    // buyer, every losing bid is refunded, and the rfq closes.
+    function acceptBid(uint rfqId, uint bidId) public {
+        require(rfqs[rfqId].exists, "no such rfq");
+        require(rfqs[rfqId].open, "rfq already settled");
+        require(rfqs[rfqId].buyer == msg.sender, "only the rfq buyer may accept");
+        require(bids[bidId].exists, "no such bid");
+        require(bids[bidId].active, "bid is not active");
+        require(bids[bidId].rfqId == rfqId, "bid answers a different rfq");
+        uint winAsset = bids[bidId].assetId;
+        assets[winAsset].owner = msg.sender;
+        assets[winAsset].locked = false;
+        bids[bidId].active = false;
+        bids[bidId].won = true;
+        uint[] list = rfqs[rfqId].bids;
+        for (uint i = 0; i < list.length; i++) {
+            uint other = list[i];
+            if (other != bidId && bids[other].active) {
+                bids[other].active = false;
+                assets[bids[other].assetId].locked = false;
+                emit BidRefunded(other, bids[other].bidder);
+            }
+        }
+        rfqs[rfqId].open = false;
+        emit BidAccepted(bidId, rfqId, msg.sender);
+    }
+
+    // Read-only views used by the harness and the tests.
+    function assetOwner(uint assetId) public view returns (address) {
+        return assets[assetId].owner;
+    }
+
+    function assetLocked(uint assetId) public view returns (bool) {
+        return assets[assetId].locked;
+    }
+
+    function rfqBuyer(uint rfqId) public view returns (address) {
+        return rfqs[rfqId].buyer;
+    }
+
+    function rfqOpen(uint rfqId) public view returns (bool) {
+        return rfqs[rfqId].open;
+    }
+
+    function bidCountFor(uint rfqId) public view returns (uint) {
+        return rfqs[rfqId].bids.length;
+    }
+
+    function bidAt(uint rfqId, uint index) public view returns (uint) {
+        return rfqs[rfqId].bids[index];
+    }
+
+    function bidWon(uint bidId) public view returns (bool) {
+        return bids[bidId].won;
+    }
+
+    function bidActive(uint bidId) public view returns (bool) {
+        return bids[bidId].active;
+    }
+
+    function bidBidder(uint bidId) public view returns (address) {
+        return bids[bidId].bidder;
+    }
+}

@@ -61,6 +61,34 @@ func utxoKey(ref txn.OutputRef) string { return ref.String() }
 func (s *State) CommitTx(t *txn.Transaction) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.commitTxLocked(t)
+}
+
+// CommitBlock applies a validated batch in order under a single lock
+// acquisition — the batched commit the consensus DeliverTx path uses
+// instead of per-transaction locking. Each transaction still applies
+// atomically: a failing one (duplicate delivered through catch-up, or
+// an input raced by an earlier batch entry) is skipped without side
+// effects and reported in skipped, and the rest of the batch proceeds.
+// It returns the transactions actually committed, in block order.
+func (s *State) CommitBlock(batch []*txn.Transaction) (committed []*txn.Transaction, skipped map[string]error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	committed = make([]*txn.Transaction, 0, len(batch))
+	for _, t := range batch {
+		if err := s.commitTxLocked(t); err != nil {
+			if skipped == nil {
+				skipped = make(map[string]error)
+			}
+			skipped[t.ID] = err
+			continue
+		}
+		committed = append(committed, t)
+	}
+	return committed, skipped
+}
+
+func (s *State) commitTxLocked(t *txn.Transaction) error {
 	txs := s.store.Collection(ColTransactions)
 	if txs.Has(t.ID) {
 		return &txn.DuplicateTransactionError{TxID: t.ID, Reason: "already committed"}

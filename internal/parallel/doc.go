@@ -1,0 +1,35 @@
+// Package parallel implements dependency-aware parallel validation for
+// the SmartchainDB commit path — the DeliverTx-stage block check that
+// every validator runs before voting.
+//
+// The declarative transaction model is what makes this possible without
+// speculative execution: a transaction's read/write footprint is fully
+// determined by its document alone (Definition 1), so no execution is
+// needed to discover it. The footprint rules are:
+//
+//   - every transaction WRITES its own identity key ("tx:<id>") — the
+//     transaction-log insert, and the asset registration for
+//     CREATE/REQUEST, which mint their asset under their own ID;
+//   - every spent input WRITES the UTXO key of the output it consumes
+//     ("utxo:<txid>:<index>") and READS the producing transaction
+//     ("tx:<txid>"), ordering a spender after an in-block producer;
+//   - every entry of the reference vector R WRITES the auction-state
+//     key of the referenced transaction ("ref:<id>") — a BID adds to
+//     the REQUEST's locked-bid set, an ACCEPT_BID consumes it and
+//     closes the auction, a WITHDRAW_BID removes from it — and READS
+//     the referenced transaction itself;
+//   - an asset link READS the creating transaction ("tx:<assetid>").
+//
+// Two transactions conflict when one's writes intersect the other's
+// reads or writes (the commutativity criterion of Bartoletti et al.'s
+// transaction-parallelism theory). BuildPlan partitions a block's batch
+// into connected components of the conflict graph with a union-find;
+// Scheduler.ValidateBatch then dispatches the components to a worker
+// pool. Within a component transactions are validated strictly in
+// block order, so every condition set observes exactly the same batch
+// prefix it would under sequential validation, and the valid/invalid
+// partition — and therefore the committed state — is byte-identical to
+// the sequential path. Across components no condition can observe a
+// difference, because condition sets only consult batch state through
+// the keys the footprint covers.
+package parallel

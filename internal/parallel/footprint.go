@@ -1,0 +1,197 @@
+package parallel
+
+import (
+	"sort"
+
+	"smartchaindb/internal/txn"
+)
+
+// Footprint is the declaratively-derived read/write set of one
+// transaction over chain state. Keys are opaque strings; two
+// transactions conflict iff one's Writes intersect the other's Writes
+// or Reads.
+type Footprint struct {
+	// Writes are the state keys the transaction mutates at commit:
+	// its own identity, the UTXOs it spends, and the auction state of
+	// every transaction it references.
+	Writes []string
+	// Reads are the state keys the transaction's condition set
+	// consults without mutating: the producers of its spent outputs
+	// and its linked asset.
+	Reads []string
+}
+
+// FootprintOf computes the footprint directly from the transaction
+// document — no execution, per the declarative model.
+func FootprintOf(t *txn.Transaction) Footprint {
+	var f Footprint
+	f.Writes = append(f.Writes, "tx:"+t.ID)
+	for _, ref := range t.SpentRefs() {
+		f.Writes = append(f.Writes, "utxo:"+ref.String())
+		f.Reads = append(f.Reads, "tx:"+ref.TxID)
+	}
+	for _, id := range t.Refs {
+		f.Writes = append(f.Writes, "ref:"+id)
+		f.Reads = append(f.Reads, "tx:"+id)
+	}
+	if t.Asset != nil && t.Asset.ID != "" {
+		f.Reads = append(f.Reads, "tx:"+t.Asset.ID)
+	}
+	return f
+}
+
+// Conflicts reports whether the two footprints may not run
+// concurrently: write/write or write/read intersection.
+func (f Footprint) Conflicts(g Footprint) bool {
+	return intersects(f.Writes, g.Writes) ||
+		intersects(f.Writes, g.Reads) ||
+		intersects(f.Reads, g.Writes)
+}
+
+func intersects(a, b []string) bool {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	set := make(map[string]struct{}, len(a))
+	for _, k := range a {
+		set[k] = struct{}{}
+	}
+	for _, k := range b {
+		if _, ok := set[k]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Plan partitions a batch into conflict groups: connected components
+// of the conflict graph, each listed in ascending block order.
+type Plan struct {
+	// Groups are disjoint index sets covering the whole batch. Each
+	// group is sorted ascending (block order); groups are ordered by
+	// their first member.
+	Groups [][]int
+	// Footprints holds the per-transaction footprints, batch-indexed.
+	Footprints []Footprint
+}
+
+// BuildPlan computes the conflict groups for a batch with a union-find
+// over the shared footprint keys. Cost is linear in the total number
+// of footprint keys.
+func BuildPlan(txs []*txn.Transaction) *Plan {
+	n := len(txs)
+	p := &Plan{Footprints: make([]Footprint, n)}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	// For every key, remember one writer; every later writer or reader
+	// of the key is unioned with it. Readers sharing a key with no
+	// writer stay independent (read/read is not a conflict).
+	writerOf := make(map[string]int)
+	readersOf := make(map[string][]int)
+	for i, t := range txs {
+		p.Footprints[i] = FootprintOf(t)
+		for _, k := range p.Footprints[i].Writes {
+			if w, ok := writerOf[k]; ok {
+				union(w, i)
+			} else {
+				writerOf[k] = i
+				// Earlier readers of the key join the writer's group.
+				for _, r := range readersOf[k] {
+					union(i, r)
+				}
+			}
+		}
+		for _, k := range p.Footprints[i].Reads {
+			if w, ok := writerOf[k]; ok {
+				union(w, i)
+			} else {
+				readersOf[k] = append(readersOf[k], i)
+			}
+		}
+	}
+	byRoot := make(map[int][]int, n)
+	var roots []int
+	for i := 0; i < n; i++ {
+		r := find(i)
+		if _, seen := byRoot[r]; !seen {
+			roots = append(roots, r)
+		}
+		byRoot[r] = append(byRoot[r], i)
+	}
+	// Groups in order of first member: iterating roots in first-seen
+	// order yields exactly that, since members are appended ascending.
+	sort.Slice(roots, func(a, b int) bool { return byRoot[roots[a]][0] < byRoot[roots[b]][0] })
+	for _, r := range roots {
+		p.Groups = append(p.Groups, byRoot[r])
+	}
+	return p
+}
+
+// Largest returns the size of the biggest conflict group — the
+// critical path of the plan.
+func (p *Plan) Largest() int {
+	max := 0
+	for _, g := range p.Groups {
+		if len(g) > max {
+			max = len(g)
+		}
+	}
+	return max
+}
+
+// Makespan estimates the parallel validation length in transaction
+// units on w workers: greedy longest-processing-time list scheduling
+// of the conflict groups. With w <= 1 it is the batch size.
+func (p *Plan) Makespan(workers int) int {
+	if workers <= 1 {
+		total := 0
+		for _, g := range p.Groups {
+			total += len(g)
+		}
+		return total
+	}
+	sizes := make([]int, len(p.Groups))
+	for i, g := range p.Groups {
+		sizes[i] = len(g)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	if workers > len(sizes) {
+		workers = len(sizes)
+	}
+	if workers == 0 {
+		return 0
+	}
+	load := make([]int, workers)
+	for _, sz := range sizes {
+		least := 0
+		for i := 1; i < workers; i++ {
+			if load[i] < load[least] {
+				least = i
+			}
+		}
+		load[least] += sz
+	}
+	max := 0
+	for _, l := range load {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}

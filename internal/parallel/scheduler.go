@@ -1,0 +1,139 @@
+package parallel
+
+import (
+	"sort"
+	"sync"
+
+	"smartchaindb/internal/txn"
+	"smartchaindb/internal/txtype"
+)
+
+// Scheduler validates a block's batch across a worker pool, conflict
+// group by conflict group. The zero value (or Workers <= 1) validates
+// sequentially, which is the reference behaviour the parallel path
+// must reproduce exactly.
+type Scheduler struct {
+	// Workers is the number of concurrent validation workers. Values
+	// below 2 select the sequential path.
+	Workers int
+
+	// onValidate, when set, is invoked with entering=true immediately
+	// before a transaction's condition set runs and with
+	// entering=false right after. Test instrumentation for the
+	// "conflicting transactions never validate concurrently" property.
+	onValidate func(t *txn.Transaction, entering bool)
+}
+
+// Result is the outcome of validating one batch.
+type Result struct {
+	// Valid holds the admitted transactions in block order.
+	Valid []*txn.Transaction
+	// Invalid holds the rejected transactions in block order.
+	Invalid []*txn.Transaction
+	// Errs maps rejected transaction IDs to their first validation
+	// error.
+	Errs map[string]error
+	// Batch is the admission batch built during validation; it
+	// contains exactly the transactions in Valid.
+	Batch *txtype.Batch
+	// Groups and Largest describe the conflict plan: the number of
+	// independent groups and the critical-path length. Both are zero
+	// on the sequential path, which never computes a plan.
+	Groups  int
+	Largest int
+}
+
+// ValidateBatch runs the registry's condition sets over the batch
+// against committed state. Non-conflicting transactions validate
+// concurrently; transactions within one conflict group validate
+// sequentially in block order, so the valid/invalid partition is
+// identical to a fully sequential pass.
+func (s *Scheduler) ValidateBatch(reg *txtype.Registry, state txtype.ChainState, reserved txtype.ReservedSet, txs []*txn.Transaction) *Result {
+	return s.ValidateBatchPlan(reg, state, reserved, txs, nil)
+}
+
+// ValidateBatchPlan is ValidateBatch with a precomputed conflict plan,
+// letting a caller that already planned the block (e.g. to model its
+// validation time) avoid planning it twice. A nil plan is computed on
+// demand; the sequential path never needs one.
+func (s *Scheduler) ValidateBatchPlan(reg *txtype.Registry, state txtype.ChainState, reserved txtype.ReservedSet, txs []*txn.Transaction, plan *Plan) *Result {
+	parallelPath := s.Workers > 1
+	if parallelPath && plan == nil {
+		plan = BuildPlan(txs)
+	}
+	res := &Result{
+		Errs:  make(map[string]error),
+		Batch: txtype.NewBatch(),
+	}
+	if plan != nil {
+		res.Groups = len(plan.Groups)
+		res.Largest = plan.Largest()
+	}
+	errAt := make([]error, len(txs))
+	validate := func(i int) {
+		t := txs[i]
+		if s.onValidate != nil {
+			s.onValidate(t, true)
+			defer s.onValidate(t, false)
+		}
+		ctx := &txtype.Context{State: state, Reserved: reserved, Batch: res.Batch}
+		if err := reg.Validate(ctx, t); err != nil {
+			errAt[i] = err
+			return
+		}
+		// Batch admission is the last line of defence: it re-checks
+		// duplicates and intra-block double spends.
+		if err := res.Batch.Add(t); err != nil {
+			errAt[i] = err
+		}
+	}
+
+	if parallelPath && len(plan.Groups) > 1 {
+		// Dispatch largest group first (LPT list scheduling) — the
+		// order Makespan models, and the one that keeps the critical
+		// path from starting last. Ties keep block order.
+		order := make([]int, len(plan.Groups))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return len(plan.Groups[order[a]]) > len(plan.Groups[order[b]])
+		})
+		groups := make(chan []int, len(plan.Groups))
+		for _, gi := range order {
+			groups <- plan.Groups[gi]
+		}
+		close(groups)
+		workers := s.Workers
+		if workers > len(plan.Groups) {
+			workers = len(plan.Groups)
+		}
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for g := range groups {
+					for _, i := range g {
+						validate(i)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i := range txs {
+			validate(i)
+		}
+	}
+
+	for i, t := range txs {
+		if errAt[i] != nil {
+			res.Invalid = append(res.Invalid, t)
+			res.Errs[t.ID] = errAt[i]
+		} else {
+			res.Valid = append(res.Valid, t)
+		}
+	}
+	return res
+}

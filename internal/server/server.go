@@ -9,12 +9,14 @@ package server
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"smartchaindb/internal/consensus"
 	"smartchaindb/internal/keys"
 	"smartchaindb/internal/ledger"
 	"smartchaindb/internal/nested"
+	"smartchaindb/internal/parallel"
 	"smartchaindb/internal/schema"
 	"smartchaindb/internal/txn"
 	"smartchaindb/internal/txtype"
@@ -34,6 +36,14 @@ type Config struct {
 	// ValidationTimePerTx is the simulated per-transaction cost of the
 	// DeliverTx-stage block validation.
 	ValidationTimePerTx time.Duration
+	// ParallelWorkers selects the dependency-aware parallel validation
+	// pipeline for DeliverTx-stage block checks: a block's batch is
+	// partitioned into conflict groups from the transactions'
+	// declarative footprints and non-conflicting groups validate
+	// concurrently. Values below 2 keep the sequential path. The
+	// valid/invalid partition is identical either way; only the
+	// validation latency changes.
+	ParallelWorkers int
 }
 
 func (c *Config) fill() {
@@ -53,6 +63,14 @@ type Node struct {
 	state    *ledger.State
 	reserved *keys.Reserved
 	nested   *nested.Engine
+	sched    *parallel.Scheduler
+
+	// One-entry conflict-plan memo: the consensus engine asks for a
+	// block's ValidationTime and then validates the same batch, so
+	// the plan built for the first call is reused by the second.
+	planMu  sync.Mutex
+	planTxs []*txn.Transaction
+	plan    *parallel.Plan
 
 	submitChild nested.Submitter
 }
@@ -66,6 +84,7 @@ func NewNode(cfg Config) *Node {
 		types:    validate.NewRegistry(),
 		state:    ledger.NewState(),
 		reserved: keys.NewReservedWithDefaults(cfg.ReservedSeed),
+		sched:    &parallel.Scheduler{Workers: cfg.ParallelWorkers},
 	}
 	n.submitChild = func(child *txn.Transaction) {
 		// Standalone default: apply children locally and synchronously.
@@ -178,22 +197,25 @@ func (n *Node) CheckTx(tx consensus.Tx) error {
 
 // ValidateBlock re-validates a proposed block with intra-block conflict
 // detection (the CurrentTxs context of Algorithms 2–3) and returns the
-// transactions that must not be included.
+// transactions that must not be included. With ParallelWorkers > 1 the
+// batch is validated by the dependency-aware parallel scheduler;
+// transactions in one conflict group keep block order, so the result
+// is identical to the sequential pass.
 func (n *Node) ValidateBlock(txs []consensus.Tx) []consensus.Tx {
-	batch := txtype.NewBatch()
-	ctx := &txtype.Context{State: n.state, Reserved: n.reserved, Batch: batch}
+	batch := asTransactions(txs)
+	var plan *parallel.Plan
+	if n.cfg.ParallelWorkers > 1 {
+		plan = n.planFor(batch)
+	}
+	res := n.sched.ValidateBatchPlan(n.types, n.state, n.reserved, batch, plan)
+	rejected := make(map[*txn.Transaction]bool, len(res.Invalid))
+	for _, t := range res.Invalid {
+		rejected[t] = true
+	}
 	var invalid []consensus.Tx
 	for _, tx := range txs {
 		t, ok := tx.(*txn.Transaction)
-		if !ok {
-			invalid = append(invalid, tx)
-			continue
-		}
-		if err := n.types.Validate(ctx, t); err != nil {
-			invalid = append(invalid, tx)
-			continue
-		}
-		if err := batch.Add(t); err != nil {
+		if !ok || rejected[t] {
 			invalid = append(invalid, tx)
 		}
 	}
@@ -203,24 +225,61 @@ func (n *Node) ValidateBlock(txs []consensus.Tx) []consensus.Tx {
 // ReceiverTime reports the simulated receiver-node validation cost.
 func (n *Node) ReceiverTime(consensus.Tx) time.Duration { return n.cfg.ReceiverTime }
 
-// ValidationTime reports the simulated block validation cost.
+// ValidationTime reports the simulated block validation cost. Under
+// parallel validation the cost is the makespan of scheduling the
+// block's conflict groups on the worker pool rather than the batch
+// size — the simulated counterpart of the wall-clock speedup.
 func (n *Node) ValidationTime(txs []consensus.Tx) time.Duration {
-	return time.Duration(len(txs)) * n.cfg.ValidationTimePerTx
+	batch := asTransactions(txs)
+	if n.cfg.ParallelWorkers > 1 {
+		span := n.planFor(batch).Makespan(n.cfg.ParallelWorkers)
+		return time.Duration(span) * n.cfg.ValidationTimePerTx
+	}
+	return time.Duration(len(batch)) * n.cfg.ValidationTimePerTx
 }
 
-// Commit applies a decided block and fires the nested pipeline.
-func (n *Node) Commit(height int64, txs []consensus.Tx) {
+// planFor returns the conflict plan for a batch, reusing the last
+// computed one when the batch holds the same transactions.
+func (n *Node) planFor(batch []*txn.Transaction) *parallel.Plan {
+	n.planMu.Lock()
+	defer n.planMu.Unlock()
+	if n.plan != nil && len(batch) == len(n.planTxs) {
+		same := true
+		for i := range batch {
+			if batch[i] != n.planTxs[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return n.plan
+		}
+	}
+	n.planTxs = append(n.planTxs[:0], batch...)
+	n.plan = parallel.BuildPlan(batch)
+	return n.plan
+}
+
+// asTransactions filters the consensus batch down to the SmartchainDB
+// transactions it carries; foreign entries are handled by the callers.
+func asTransactions(txs []consensus.Tx) []*txn.Transaction {
+	batch := make([]*txn.Transaction, 0, len(txs))
 	for _, tx := range txs {
-		t, ok := tx.(*txn.Transaction)
-		if !ok {
-			continue
+		if t, ok := tx.(*txn.Transaction); ok {
+			batch = append(batch, t)
 		}
-		if err := n.state.CommitTx(t); err != nil {
-			// The block was validated; a commit failure indicates a
-			// duplicate delivered through catch-up, which is safe to
-			// skip.
-			continue
-		}
+	}
+	return batch
+}
+
+// Commit applies a decided block through the ledger's batched commit —
+// one lock acquisition per block instead of per transaction — and
+// fires the nested pipeline for each committed transaction in block
+// order. Commit failures indicate duplicates delivered through
+// catch-up, which are safe to skip.
+func (n *Node) Commit(height int64, txs []consensus.Tx) {
+	committed, _ := n.state.CommitBlock(asTransactions(txs))
+	for _, t := range committed {
 		n.afterCommit(t)
 	}
 }
