@@ -1,26 +1,52 @@
 # Tier-1 verification targets. `make test` is the gate every PR must
-# keep green; `make test-race` runs the concurrency-sensitive packages
-# (the parallel validation pipeline and everything it touches) under
-# the race detector.
+# keep green: build, go vet, the full suite on the memory backend, the
+# storage-sensitive suites again over the disk engine
+# (SCDB_BACKEND=disk swaps every ledger.NewState onto a throwaway
+# WAL+segment engine), and a seconds-scale bench smoke run.
+# `make test-race` runs the concurrency-sensitive packages under the
+# race detector on both backends.
 
 GO ?= go
 
-.PHONY: all build test test-race bench-parallel ci
+.PHONY: all build vet test test-disk test-race bench-parallel bench-storage bench-smoke ci
 
 all: build test
 
 build:
 	$(GO) build ./...
 
-test: build
+vet:
+	$(GO) vet ./...
+
+test: build vet
 	$(GO) test ./...
+	$(MAKE) test-disk
+	$(MAKE) bench-smoke
+
+# The tier-1 suites that touch chain state (ledger, server/cluster,
+# nested recovery, bench differential, query) re-run over the disk
+# backend. -count=1 forces a fresh run under the env switch.
+test-disk:
+	SCDB_BACKEND=disk $(GO) test -count=1 ./internal/ledger ./internal/server ./internal/consensus ./internal/nested ./internal/bench ./internal/query
 
 test-race:
-	$(GO) test -race ./internal/parallel ./internal/ledger ./internal/consensus ./internal/server ./internal/bench
+	$(GO) test -race ./internal/parallel ./internal/ledger ./internal/consensus ./internal/server ./internal/bench ./internal/storage ./internal/docstore
+	SCDB_BACKEND=disk $(GO) test -race -count=1 ./internal/ledger ./internal/server
 
 # Reproduce the parallel-validation experiment (wall-clock sweep plus
 # the virtual-time consensus leg).
 bench-parallel:
 	$(GO) run ./cmd/scdb-bench -exp parallel
+
+# Storage-engine experiment: commit throughput and reopen/recovery
+# time, memory vs disk, across block sizes.
+bench-storage:
+	$(GO) run ./cmd/scdb-bench -exp storage
+
+# Seconds-scale smoke run of the parallel and storage experiments —
+# part of the default `make test` gate so a broken experiment path
+# fails the build, not the next benchmarking session.
+bench-smoke:
+	$(GO) run ./cmd/scdb-bench -exp parallel,storage -batches 1 -batchtxs 64 -parallel 1,4 -storageblocks 2 -storagesizes 64
 
 ci: test test-race

@@ -10,6 +10,8 @@
 //	scdb-bench -exp fig2
 //	scdb-bench -exp usability
 //	scdb-bench -exp parallel -parallel 1,2,4,8 -batchtxs 256 -conflict 0.1
+//	scdb-bench -exp storage -storageblocks 8 -storagesizes 64,256,1024
+//	scdb-bench -exp parallel,storage    # comma-separated subsets
 package main
 
 import (
@@ -24,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig2 | fig7 | fig8 | usability | mix | recovery | parallel | all")
+		exp      = flag.String("exp", "all", "comma-separated experiments: fig2 | fig7 | fig8 | usability | mix | recovery | parallel | storage | all")
 		auctions = flag.Int("auctions", 4, "auctions per run")
 		bidders  = flag.Int("bidders", 10, "bidders per auction")
 		seed     = flag.Int64("seed", 42, "simulation seed")
@@ -35,6 +37,8 @@ func main() {
 		batchTxs = flag.Int("batchtxs", 256, "parallel experiment: transactions per block")
 		batches  = flag.Int("batches", 4, "parallel experiment: blocks per measurement")
 		conflict = flag.Float64("conflict", 0.1, "parallel experiment: fraction of conflicting transactions per block")
+		stBlocks = flag.Int("storageblocks", 8, "storage experiment: blocks per measurement")
+		stSizes  = flag.String("storagesizes", "64,256,1024", "storage experiment: comma-separated transactions per block")
 	)
 	flag.Parse()
 
@@ -109,32 +113,59 @@ func main() {
 			Seed:         *seed,
 		}))
 	}
+	runStorage := func() {
+		sizeList, err := parseInts(*stSizes)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintStorage(os.Stdout, bench.RunStorage(bench.StorageParams{
+			Blocks:     *stBlocks,
+			BlockSizes: sizeList,
+			Seed:       *seed,
+		}))
+	}
 
-	switch *exp {
-	case "fig2":
-		runFig2()
-	case "fig7":
-		runFig7()
-	case "fig8":
-		runFig8()
-	case "usability":
-		runUsability()
-	case "mix":
-		runMix()
-	case "recovery":
-		runRecovery()
-	case "parallel":
-		runParallel()
-	case "all":
-		runFig2()
-		runFig7()
-		runFig8()
-		runUsability()
-		runMix()
-		runRecovery()
-		runParallel()
-	default:
-		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	experiments := map[string]func(){
+		"fig2":      runFig2,
+		"fig7":      runFig7,
+		"fig8":      runFig8,
+		"usability": runUsability,
+		"mix":       runMix,
+		"recovery":  runRecovery,
+		"parallel":  runParallel,
+		"storage":   runStorage,
+	}
+	order := []string{"fig2", "fig7", "fig8", "usability", "mix", "recovery", "parallel", "storage"}
+
+	var selected []string
+	seen := make(map[string]bool)
+	add := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			selected = append(selected, name)
+		}
+	}
+	for _, name := range strings.Split(*exp, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if name == "all" {
+			for _, n := range order {
+				add(n)
+			}
+			continue
+		}
+		if _, ok := experiments[name]; !ok {
+			fatal(fmt.Errorf("unknown experiment %q", name))
+		}
+		add(name)
+	}
+	if len(selected) == 0 {
+		fatal(fmt.Errorf("no experiment selected"))
+	}
+	for _, name := range selected {
+		experiments[name]()
 	}
 }
 

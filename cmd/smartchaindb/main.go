@@ -27,6 +27,7 @@ func main() {
 		nodes   = flag.Int("nodes", 4, "validator count")
 		bidders = flag.Int("bidders", 3, "bidders in the auction")
 		seed    = flag.Int64("seed", 7, "simulation seed")
+		datadir = flag.String("datadir", "", "persist each validator's chain state under this directory (WAL + segments per node); empty keeps state in memory")
 	)
 	flag.Parse()
 
@@ -36,7 +37,13 @@ func main() {
 		BlockInterval: 70 * time.Millisecond,
 		MaxBlockTxs:   8,
 		Pipelined:     true,
+		DataDir:       *datadir,
 	})
+	defer cluster.Close()
+	if *datadir != "" {
+		h := cluster.ServerNode(0).State().Height()
+		fmt.Printf("persistent storage: %s (validator 0 recovered at height %d)\n", *datadir, h)
+	}
 	escrow := cluster.ServerNode(0).Escrow()
 	fmt.Printf("SmartchainDB cluster: %d validators, escrow account %s\n\n",
 		*nodes, escrow.PublicBase58()[:12]+"...")

@@ -1,0 +1,29 @@
+package bench
+
+import "testing"
+
+// TestRunStorageDiskRecoversEverything smoke-runs the storage
+// experiment and requires both disk recovery legs (WAL replay and
+// segment load) to reproduce the committed state exactly.
+func TestRunStorageDiskRecoversEverything(t *testing.T) {
+	res := RunStorage(StorageParams{Blocks: 2, BlockSizes: []int{16, 64}, Seed: 11})
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (memory+disk per size)", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.Txs != 2*row.BlockTxs {
+			t.Errorf("%s/%d committed %d txs, want %d", row.Backend, row.BlockTxs, row.Txs, 2*row.BlockTxs)
+		}
+		if row.TPS <= 0 {
+			t.Errorf("%s/%d reported tps %f", row.Backend, row.BlockTxs, row.TPS)
+		}
+		if row.Backend == "disk" {
+			if !row.Match {
+				t.Errorf("disk/%d recovery mismatch: recovered %d of %d", row.BlockTxs, row.Recovered, row.Txs)
+			}
+			if row.WALBytes == 0 {
+				t.Errorf("disk/%d reported empty WAL", row.BlockTxs)
+			}
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package docstore
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"smartchaindb/internal/storage"
+)
+
+// forEachBackend runs the sub-test over both storage backends so the
+// docstore contract is pinned to the interface, not the memory
+// implementation.
+func forEachBackend(t *testing.T, fn func(t *testing.T, s *Store)) {
+	t.Run("memory", func(t *testing.T) { fn(t, NewStore()) })
+	t.Run("disk", func(t *testing.T) {
+		eng, err := storage.Open(t.TempDir(), storage.Options{NoSync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewStoreWith(eng)
+		t.Cleanup(func() { s.Close() })
+		fn(t, s)
+	})
+}
+
+func TestBackendsAgreeOnCoreOperations(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, s *Store) {
+		c := s.Collection("txs")
+		c.CreateIndex("op")
+		for i := 0; i < 8; i++ {
+			if err := c.Insert(fmt.Sprintf("k%d", i), map[string]any{
+				"op": []any{"CREATE", "TRANSFER"}[i%2].(string), "i": float64(i),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.Insert("k0", nil); !errors.As(err, new(*ErrDuplicateKey)) {
+			t.Fatalf("duplicate insert: %v", err)
+		}
+		if err := c.Delete("k3"); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Update("k4", func(d map[string]any) error {
+			d["op"] = "BID"
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if got := c.Count(Eq("op", "CREATE")); got != 3 {
+			t.Errorf("CREATE count = %d, want 3", got)
+		}
+		if got := c.Count(Eq("op", "BID")); got != 1 {
+			t.Errorf("BID count = %d, want 1", got)
+		}
+		wantKeys := []string{"k0", "k1", "k2", "k4", "k5", "k6", "k7"}
+		if got := c.Keys(); !reflect.DeepEqual(got, wantKeys) {
+			t.Errorf("keys = %v, want %v", got, wantKeys)
+		}
+		docs := c.Find(Eq("op", "TRANSFER"))
+		if len(docs) != 3 {
+			t.Fatalf("TRANSFER docs = %d, want 3", len(docs))
+		}
+		// Returned documents are copies, never aliases of stored state.
+		docs[0]["op"] = "mutated"
+		if got := c.Count(Eq("op", "mutated")); got != 0 {
+			t.Error("Find leaked a reference into the store")
+		}
+	})
+}
+
+// TestDiskStoreReopenPreservesDocstoreState checks the full docstore
+// view (documents, iteration order, index-backed queries) survives a
+// close/reopen of the disk backend.
+func TestDiskStoreReopenPreservesDocstoreState(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := storage.Open(dir, storage.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStoreWith(eng)
+	c := s.Collection("txs")
+	for i := 0; i < 12; i++ {
+		if err := c.Insert(fmt.Sprintf("t%02d", i), map[string]any{
+			"operation": []string{"CREATE", "BID", "TRANSFER"}[i%3],
+			"n":         float64(i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Delete("t07")
+	wantKeys := c.Keys()
+	wantDocs := c.Find(nil)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	eng2, err := storage.Open(dir, storage.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewStoreWith(eng2)
+	defer s2.Close()
+	c2 := s2.Collection("txs")
+	c2.CreateIndex("operation") // rebuilt over recovered documents
+	if got := c2.Keys(); !reflect.DeepEqual(got, wantKeys) {
+		t.Fatalf("keys after reopen = %v, want %v", got, wantKeys)
+	}
+	if got := c2.Find(nil); !reflect.DeepEqual(got, wantDocs) {
+		t.Fatalf("docs after reopen differ:\ngot  %v\nwant %v", got, wantDocs)
+	}
+	if got := c2.Count(Eq("operation", "BID")); got != 3 {
+		t.Errorf("indexed count after reopen = %d, want 3", got)
+	}
+}
+
+// TestStoreCollectionDropRace hammers concurrent create/insert/drop of
+// one collection name; run under -race it pins the shared
+// Collection/Drop critical section, and the final state must be
+// either absent or a live collection that accepted writes after its
+// re-creation — never resurrected pre-drop documents.
+func TestStoreCollectionDropRace(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, s *Store) {
+		const goroutines = 8
+		const iters = 200
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < iters; i++ {
+					switch (g + i) % 4 {
+					case 0:
+						s.Drop("contended")
+					case 1:
+						c := s.Collection("contended")
+						// A stale handle may race a Drop; the only
+						// acceptable failures are dropped/duplicate.
+						err := c.Insert(fmt.Sprintf("g%d-i%d", g, i), map[string]any{"g": float64(g)})
+						if err != nil {
+							var dropped *ErrCollectionDropped
+							var dup *ErrDuplicateKey
+							if !errors.As(err, &dropped) && !errors.As(err, &dup) {
+								panic(err)
+							}
+						}
+					case 2:
+						s.Collection("contended").Get(fmt.Sprintf("g%d-i%d", g, i-1))
+					default:
+						s.Collection("contended").Find(nil)
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		// Every surviving document must be readable and well-formed.
+		c := s.Collection("contended")
+		for _, key := range c.Keys() {
+			if _, err := c.Get(key); err != nil {
+				t.Fatalf("surviving key %s unreadable: %v", key, err)
+			}
+		}
+	})
+}
+
+// TestDropInvalidatesStaleHandles pins the double-checked-locking fix:
+// a handle that outlives Drop must not write into the re-created
+// collection's backend behind the store's back.
+func TestDropInvalidatesStaleHandles(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, s *Store) {
+		stale := s.Collection("c")
+		if err := stale.Insert("old", map[string]any{"v": 1.0}); err != nil {
+			t.Fatal(err)
+		}
+		s.Drop("c")
+		if err := stale.Insert("ghost", map[string]any{"v": 2.0}); !errors.As(err, new(*ErrCollectionDropped)) {
+			t.Fatalf("stale insert after drop: err = %v, want ErrCollectionDropped", err)
+		}
+		if err := stale.Upsert("ghost", map[string]any{"v": 2.0}); !errors.As(err, new(*ErrCollectionDropped)) {
+			t.Fatalf("stale upsert after drop: err = %v", err)
+		}
+		if stale.Has("old") {
+			t.Error("stale handle still reads dropped documents")
+		}
+		fresh := s.Collection("c")
+		if fresh.Len() != 0 {
+			t.Fatalf("re-created collection has %d documents, want 0", fresh.Len())
+		}
+		if err := fresh.Insert("new", map[string]any{"v": 3.0}); err != nil {
+			t.Fatal(err)
+		}
+		// The stale handle stays inert even after the name is
+		// re-created — reads miss on both backends.
+		if stale.Has("new") || stale.Len() != 0 {
+			t.Error("stale handle reads the re-created collection")
+		}
+		if _, err := stale.Get("new"); err == nil {
+			t.Error("stale Get sees the re-created collection")
+		}
+		if docs := stale.Find(nil); len(docs) != 0 {
+			t.Errorf("stale Find returned %d docs", len(docs))
+		}
+	})
+}

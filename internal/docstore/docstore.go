@@ -6,41 +6,73 @@
 // secondary hash indexes, and deterministic iteration — enough to
 // implement the validators' lookups (getTxFromDB, getLockedBids,
 // getAcceptTxForRFQ) and the marketplace queryability study.
+//
+// The store runs over a pluggable storage.Backend: the volatile
+// memory backend (the default) or the disk engine, which makes every
+// mutation durable through a write-ahead log and recovers it on
+// reopen. Filters, secondary indexes, deep-copy isolation, and
+// iteration order behave identically on both; Group exposes the
+// backend's atomic-durability batches to the ledger's block commit.
 package docstore
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+
+	"smartchaindb/internal/storage"
 )
 
-// Store is a set of named collections. The zero value is not usable;
-// call NewStore.
+// Store is a set of named collections over one storage backend. The
+// zero value is not usable; call NewStore or NewStoreWith.
 type Store struct {
 	mu          sync.RWMutex
+	backend     storage.Backend
 	collections map[string]*Collection
 }
 
-// NewStore creates an empty store.
-func NewStore() *Store {
-	return &Store{collections: make(map[string]*Collection)}
+// NewStore creates an empty store over the in-memory backend.
+func NewStore() *Store { return NewStoreWith(storage.NewMemory()) }
+
+// NewStoreWith creates a store over b, adopting every collection the
+// backend already holds (a disk backend recovers them at open).
+// Secondary indexes are not persisted; callers re-create them after
+// open and CreateIndex rebuilds from the recovered documents.
+func NewStoreWith(b storage.Backend) *Store {
+	s := &Store{backend: b, collections: make(map[string]*Collection)}
+	for _, name := range b.CollectionNames() {
+		s.collections[name] = newCollection(name, b.Collection(name))
+	}
+	return s
 }
 
 // Collection returns the named collection, creating it on first use —
 // the same lazy semantics MongoDB gives drivers.
 func (s *Store) Collection(name string) *Collection {
 	s.mu.RLock()
-	c, ok := s.collections[name]
+	c := s.collections[name]
 	s.mu.RUnlock()
-	if ok {
+	if c != nil {
 		return c
 	}
+	return s.locked(name, func() *Collection {
+		return newCollection(name, s.backend.Collection(name))
+	})
+}
+
+// locked is the one critical section Collection and Drop share: every
+// create and every drop of a collection happens under the store lock,
+// so a create/drop race can neither hand out a collection that
+// survives its own drop nor resurrect dropped documents through a
+// stale handle.
+func (s *Store) locked(name string, create func() *Collection) *Collection {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if c, ok := s.collections[name]; ok {
+	if c := s.collections[name]; c != nil {
 		return c
 	}
-	c = newCollection(name)
+	c := create()
 	s.collections[name] = c
 	return c
 }
@@ -49,39 +81,63 @@ func (s *Store) Collection(name string) *Collection {
 func (s *Store) CollectionNames() []string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	names := make([]string, 0, len(s.collections))
-	for n := range s.collections {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
+	return s.backend.CollectionNames()
 }
 
-// Drop removes a collection and its indexes.
+// Drop removes a collection, its documents, and its indexes. Handles
+// held across the drop become inert: reads miss, writes fail with
+// ErrCollectionDropped. Storage failure while logging the drop is
+// fatal, like any other lost write.
 func (s *Store) Drop(name string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	delete(s.collections, name)
+	if c := s.collections[name]; c != nil {
+		// Mark under the collection's writer lock so any mutation
+		// that raced the drop either completed before it or observes
+		// the flag — never lands after the backend wiped the data.
+		c.mu.Lock()
+		c.dropped.Store(true)
+		c.mu.Unlock()
+		delete(s.collections, name)
+	}
+	if err := s.backend.Drop(name); err != nil {
+		panic(fmt.Sprintf("docstore: drop %q: %v", name, err))
+	}
 }
+
+// Group runs fn and commits every mutation it makes as one atomic,
+// durable unit — on the disk backend a single fsynced WAL record, the
+// all-or-nothing boundary crash recovery restores. The ledger wraps
+// each block commit in one Group.
+func (s *Store) Group(fn func() error) error { return s.backend.Group(fn) }
+
+// Compact folds the backend's log into fresh segment files.
+func (s *Store) Compact() error { return s.backend.Compact() }
+
+// Close flushes and releases the backend.
+func (s *Store) Close() error { return s.backend.Close() }
 
 // Collection is a concurrency-safe set of documents keyed by a string
 // primary key. Documents are deep-copied on the way in and out so
-// callers can never alias stored state.
+// callers can never alias stored state. Point reads (Get, Has) lock
+// only the key's backend shard; scans and writers coordinate through
+// the collection lock.
 type Collection struct {
 	name string
 
+	// mu guards the secondary indexes, iteration consistency, and the
+	// dropped flag. Writers hold it exclusively; scans hold it shared;
+	// point reads skip it entirely (the sharded backend makes them
+	// safe), which is what keeps parallel validation's lookups from
+	// contending with the commit writer.
 	mu      sync.RWMutex
-	docs    map[string]map[string]any
-	order   []string // insertion order of live keys
+	be      storage.Collection
 	indexes map[string]*hashIndex
+	dropped atomic.Bool
 }
 
-func newCollection(name string) *Collection {
-	return &Collection{
-		name:    name,
-		docs:    make(map[string]map[string]any),
-		indexes: make(map[string]*hashIndex),
-	}
+func newCollection(name string, be storage.Collection) *Collection {
+	return &Collection{name: name, be: be, indexes: make(map[string]*hashIndex)}
 }
 
 // Name returns the collection name.
@@ -101,6 +157,14 @@ func (e *ErrNotFound) Error() string {
 	return fmt.Sprintf("docstore: key %q not found in collection %q", e.Key, e.Collection)
 }
 
+// ErrCollectionDropped reports a write through a handle that outlived
+// its collection's Drop.
+type ErrCollectionDropped struct{ Collection string }
+
+func (e *ErrCollectionDropped) Error() string {
+	return fmt.Sprintf("docstore: collection %q was dropped", e.Collection)
+}
+
 // Insert stores doc under key. It fails if the key already exists.
 func (c *Collection) Insert(key string, doc map[string]any) error {
 	if key == "" {
@@ -109,11 +173,15 @@ func (c *Collection) Insert(key string, doc map[string]any) error {
 	cp := deepCopyMap(doc)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, exists := c.docs[key]; exists {
+	if c.dropped.Load() {
+		return &ErrCollectionDropped{Collection: c.name}
+	}
+	if c.be.Has(key) {
 		return &ErrDuplicateKey{Collection: c.name, Key: key}
 	}
-	c.docs[key] = cp
-	c.order = append(c.order, key)
+	if err := c.be.Put(key, cp); err != nil {
+		return err
+	}
 	for _, idx := range c.indexes {
 		idx.add(key, cp)
 	}
@@ -121,33 +189,35 @@ func (c *Collection) Insert(key string, doc map[string]any) error {
 }
 
 // Upsert stores doc under key, replacing any existing document.
-func (c *Collection) Upsert(key string, doc map[string]any) {
+func (c *Collection) Upsert(key string, doc map[string]any) error {
 	if key == "" {
-		return
+		return nil
 	}
 	cp := deepCopyMap(doc)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if old, exists := c.docs[key]; exists {
-		for _, idx := range c.indexes {
-			idx.remove(key, old)
-			idx.add(key, cp)
-		}
-		c.docs[key] = cp
-		return
+	if c.dropped.Load() {
+		return &ErrCollectionDropped{Collection: c.name}
 	}
-	c.docs[key] = cp
-	c.order = append(c.order, key)
+	old, existed := c.be.Get(key)
+	if err := c.be.Put(key, cp); err != nil {
+		return err
+	}
 	for _, idx := range c.indexes {
+		if existed {
+			idx.remove(key, old)
+		}
 		idx.add(key, cp)
 	}
+	return nil
 }
 
 // Get returns a copy of the document stored under key.
 func (c *Collection) Get(key string) (map[string]any, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	doc, ok := c.docs[key]
+	if c.dropped.Load() {
+		return nil, &ErrNotFound{Collection: c.name, Key: key}
+	}
+	doc, ok := c.be.Get(key)
 	if !ok {
 		return nil, &ErrNotFound{Collection: c.name, Key: key}
 	}
@@ -155,32 +225,27 @@ func (c *Collection) Get(key string) (map[string]any, error) {
 }
 
 // Has reports whether key exists.
-func (c *Collection) Has(key string) bool {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	_, ok := c.docs[key]
-	return ok
-}
+func (c *Collection) Has(key string) bool { return !c.dropped.Load() && c.be.Has(key) }
 
 // Delete removes the document under key. Deleting a missing key is a
 // no-op, matching MongoDB's deleteOne semantics.
-func (c *Collection) Delete(key string) {
+func (c *Collection) Delete(key string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	old, ok := c.docs[key]
-	if !ok {
-		return
+	if c.dropped.Load() {
+		return &ErrCollectionDropped{Collection: c.name}
 	}
-	delete(c.docs, key)
-	for i, k := range c.order {
-		if k == key {
-			c.order = append(c.order[:i], c.order[i+1:]...)
-			break
-		}
+	old, ok := c.be.Get(key)
+	if !ok {
+		return nil
+	}
+	if err := c.be.Delete(key); err != nil {
+		return err
 	}
 	for _, idx := range c.indexes {
 		idx.remove(key, old)
 	}
+	return nil
 }
 
 // Update applies fn to a copy of the document under key and stores the
@@ -188,7 +253,10 @@ func (c *Collection) Delete(key string) {
 func (c *Collection) Update(key string, fn func(doc map[string]any) error) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	old, ok := c.docs[key]
+	if c.dropped.Load() {
+		return &ErrCollectionDropped{Collection: c.name}
+	}
+	old, ok := c.be.Get(key)
 	if !ok {
 		return &ErrNotFound{Collection: c.name, Key: key}
 	}
@@ -196,7 +264,9 @@ func (c *Collection) Update(key string, fn func(doc map[string]any) error) error
 	if err := fn(next); err != nil {
 		return err
 	}
-	c.docs[key] = next
+	if err := c.be.Put(key, next); err != nil {
+		return err
+	}
 	for _, idx := range c.indexes {
 		idx.remove(key, old)
 		idx.add(key, next)
@@ -206,16 +276,18 @@ func (c *Collection) Update(key string, fn func(doc map[string]any) error) error
 
 // Len returns the number of documents.
 func (c *Collection) Len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.docs)
+	if c.dropped.Load() {
+		return 0
+	}
+	return c.be.Len()
 }
 
 // Keys returns the live keys in insertion order.
 func (c *Collection) Keys() []string {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return append([]string(nil), c.order...)
+	if c.dropped.Load() {
+		return nil
+	}
+	return c.be.Keys()
 }
 
 // CreateIndex builds (or rebuilds) a hash index over the dot-path
@@ -226,9 +298,10 @@ func (c *Collection) CreateIndex(path string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	idx := newHashIndex(path)
-	for key, doc := range c.docs {
+	c.be.Scan(func(key string, doc map[string]any) bool {
 		idx.add(key, doc)
-	}
+		return true
+	})
 	c.indexes[path] = idx
 }
 
@@ -252,38 +325,38 @@ func (c *Collection) Find(filter Filter) []map[string]any {
 
 // FindLimit is Find with a result cap; limit <= 0 means unlimited.
 func (c *Collection) FindLimit(filter Filter, limit int) []map[string]any {
+	if c.dropped.Load() {
+		return nil
+	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	var out []map[string]any
-	for _, key := range c.candidateKeys(filter) {
-		doc, ok := c.docs[key]
-		if !ok {
-			continue
-		}
+	c.forEachCandidate(filter, func(_ string, doc map[string]any) bool {
 		if filter == nil || filter.Matches(doc) {
 			out = append(out, deepCopyMap(doc))
 			if limit > 0 && len(out) >= limit {
-				break
+				return false
 			}
 		}
-	}
+		return true
+	})
 	return out
 }
 
 // FindKeys returns the keys of matching documents in insertion order.
 func (c *Collection) FindKeys(filter Filter) []string {
+	if c.dropped.Load() {
+		return nil
+	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	var out []string
-	for _, key := range c.candidateKeys(filter) {
-		doc, ok := c.docs[key]
-		if !ok {
-			continue
-		}
+	c.forEachCandidate(filter, func(key string, doc map[string]any) bool {
 		if filter == nil || filter.Matches(doc) {
 			out = append(out, key)
 		}
-	}
+		return true
+	})
 	return out
 }
 
@@ -298,65 +371,70 @@ func (c *Collection) FindOne(filter Filter) (map[string]any, error) {
 
 // Count returns the number of matching documents.
 func (c *Collection) Count(filter Filter) int {
+	if c.dropped.Load() {
+		return 0
+	}
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	n := 0
-	for _, key := range c.candidateKeys(filter) {
-		doc, ok := c.docs[key]
-		if !ok {
-			continue
-		}
+	c.forEachCandidate(filter, func(_ string, doc map[string]any) bool {
 		if filter == nil || filter.Matches(doc) {
 			n++
 		}
-	}
+		return true
+	})
 	return n
 }
 
-// candidateKeys consults indexes for an equality term in the filter and
-// falls back to a full scan. Caller holds at least a read lock.
-func (c *Collection) candidateKeys(filter Filter) []string {
+// forEachCandidate visits candidate documents in insertion order,
+// consulting indexes for an equality term in the filter and falling
+// back to a full backend scan. Caller holds at least a read lock.
+func (c *Collection) forEachCandidate(filter Filter, fn func(key string, doc map[string]any) bool) {
+	if keys, ok := c.indexCandidates(filter); ok {
+		// One ordered scan filtered by the index hits: preserves
+		// insertion order without copying the collection's key list.
+		set := make(map[string]struct{}, len(keys))
+		for _, k := range keys {
+			set[k] = struct{}{}
+		}
+		remaining := len(set)
+		c.be.Scan(func(key string, doc map[string]any) bool {
+			if remaining == 0 {
+				return false
+			}
+			if _, hit := set[key]; !hit {
+				return true
+			}
+			remaining--
+			return fn(key, doc)
+		})
+		return
+	}
+	c.be.Scan(fn)
+}
+
+// indexCandidates answers an indexable equality term from a secondary
+// index: the filter itself, or the first indexable conjunct of an AND.
+func (c *Collection) indexCandidates(filter Filter) ([]string, bool) {
 	if eqf, ok := filter.(*fieldFilter); ok {
 		if idx, exists := c.indexes[eqf.path]; exists {
 			if keys, usable := idx.lookup(eqf); usable {
-				// Preserve insertion order for determinism.
-				set := make(map[string]struct{}, len(keys))
-				for _, k := range keys {
-					set[k] = struct{}{}
-				}
-				ordered := make([]string, 0, len(keys))
-				for _, k := range c.order {
-					if _, ok := set[k]; ok {
-						ordered = append(ordered, k)
-					}
-				}
-				return ordered
+				return keys, true
 			}
 		}
 	}
 	if andf, ok := filter.(andFilter); ok {
-		// Use the first indexable conjunct.
 		for _, sub := range andf {
 			if eqf, ok := sub.(*fieldFilter); ok {
 				if idx, exists := c.indexes[eqf.path]; exists {
 					if keys, usable := idx.lookup(eqf); usable {
-						set := make(map[string]struct{}, len(keys))
-						for _, k := range keys {
-							set[k] = struct{}{}
-						}
-						ordered := make([]string, 0, len(keys))
-						for _, k := range c.order {
-							if _, ok := set[k]; ok {
-								ordered = append(ordered, k)
-							}
-						}
-						return ordered
+						return keys, true
 					}
 				}
 			}
 		}
 	}
-	return c.order
+	return nil, false
 }
 
 func deepCopyMap(m map[string]any) map[string]any {

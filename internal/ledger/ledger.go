@@ -8,9 +8,11 @@ package ledger
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 
 	"smartchaindb/internal/docstore"
+	"smartchaindb/internal/storage"
 	"smartchaindb/internal/txn"
 )
 
@@ -26,14 +28,24 @@ const (
 
 // State is one node's committed chain state.
 type State struct {
-	mu    sync.RWMutex
-	store *docstore.Store
+	mu         sync.RWMutex
+	store      *docstore.Store
+	lastHeight int64
 }
 
-// NewState creates an empty chain state with the standard collections
-// and indexes.
-func NewState() *State {
-	s := &State{store: docstore.NewStore()}
+// NewState creates a chain state over the backend selected by the
+// SCDB_BACKEND environment variable — in-memory by default, or a
+// throwaway disk engine under SCDB_BACKEND=disk, the switch the
+// Makefile flips to run the entire tier-1 suite over both backends.
+// Nodes with a real data directory use NewStateWith directly.
+func NewState() *State { return NewStateWith(defaultBackend()) }
+
+// NewStateWith creates (or, for a disk backend with existing data,
+// reopens) the chain state over b: the standard collections and
+// indexes, with the committed block height recovered from the blocks
+// collection.
+func NewStateWith(b storage.Backend) *State {
+	s := &State{store: docstore.NewStoreWith(b)}
 	txs := s.store.Collection(ColTransactions)
 	txs.CreateIndex("operation")
 	txs.CreateIndex("refs")
@@ -43,7 +55,11 @@ func NewState() *State {
 	utxos.CreateIndex("spent")
 	s.store.Collection(ColAssets)
 	s.store.Collection(ColRecovery)
-	s.store.Collection(ColBlocks)
+	for _, key := range s.store.Collection(ColBlocks).Keys() {
+		if h, err := strconv.ParseInt(key, 10, 64); err == nil && h > s.lastHeight {
+			s.lastHeight = h
+		}
+	}
 	return s
 }
 
@@ -51,41 +67,102 @@ func NewState() *State {
 // (the marketplace query layer).
 func (s *State) Store() *docstore.Store { return s.store }
 
+// Height returns the highest committed block height (0 before any
+// block commit). It survives restarts on the disk backend: the block
+// record rides the same atomic WAL batch as the block's effects.
+func (s *State) Height() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.lastHeight
+}
+
+// Close flushes and releases the underlying storage backend.
+func (s *State) Close() error { return s.store.Close() }
+
+func blockKey(height int64) string { return fmt.Sprintf("%016d", height) }
+
 func utxoKey(ref txn.OutputRef) string { return ref.String() }
 
 // CommitTx atomically applies a validated transaction: it appends the
 // transaction document, marks every spent output, and registers the new
 // outputs as unspent. It fails without side effects if the transaction
 // is a duplicate or any input is already spent — the last line of
-// defence behind the validators.
+// defence behind the validators. On a disk backend the transaction's
+// mutations land as one durable WAL group.
 func (s *State) CommitTx(t *txn.Transaction) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.commitTxLocked(t)
+	var txErr error
+	if err := s.store.Group(func() error {
+		txErr = s.commitTxLocked(t)
+		return nil
+	}); err != nil {
+		return fmt.Errorf("ledger: durable commit: %w", err)
+	}
+	return txErr
 }
 
 // CommitBlock applies a validated batch in order under a single lock
 // acquisition — the batched commit the consensus DeliverTx path uses
-// instead of per-transaction locking. Each transaction still applies
-// atomically: a failing one (duplicate delivered through catch-up, or
-// an input raced by an earlier batch entry) is skipped without side
-// effects and reported in skipped, and the rest of the batch proceeds.
-// It returns the transactions actually committed, in block order.
+// instead of per-transaction locking — at the next block height. A
+// storage failure is fatal: the node's disk state can no longer be
+// trusted. See CommitBlockAt for the semantics.
 func (s *State) CommitBlock(batch []*txn.Transaction) (committed []*txn.Transaction, skipped map[string]error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	committed = make([]*txn.Transaction, 0, len(batch))
-	for _, t := range batch {
-		if err := s.commitTxLocked(t); err != nil {
-			if skipped == nil {
-				skipped = make(map[string]error)
-			}
-			skipped[t.ID] = err
-			continue
-		}
-		committed = append(committed, t)
+	committed, skipped, err := s.commitBlockLocked(s.lastHeight+1, batch)
+	if err != nil {
+		panic(fmt.Sprintf("ledger: block commit lost durability: %v", err))
 	}
 	return committed, skipped
+}
+
+// CommitBlockAt applies a validated batch in order as the block at
+// height. Each transaction still applies atomically: a failing one
+// (duplicate delivered through catch-up, or an input raced by an
+// earlier batch entry) is skipped without side effects and reported in
+// skipped, and the rest of the batch proceeds. The whole block —
+// every transaction's effects plus the height record — is committed
+// as one atomic WAL group on the disk backend, so a node killed
+// mid-block reopens at the previous height with no partial effects.
+// It returns the transactions actually committed, in block order; a
+// non-nil error means the backend could not make the block durable.
+func (s *State) CommitBlockAt(height int64, batch []*txn.Transaction) (committed []*txn.Transaction, skipped map[string]error, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.commitBlockLocked(height, batch)
+}
+
+func (s *State) commitBlockLocked(height int64, batch []*txn.Transaction) (committed []*txn.Transaction, skipped map[string]error, err error) {
+	committed = make([]*txn.Transaction, 0, len(batch))
+	err = s.store.Group(func() error {
+		for _, t := range batch {
+			if cerr := s.commitTxLocked(t); cerr != nil {
+				if skipped == nil {
+					skipped = make(map[string]error)
+				}
+				skipped[t.ID] = cerr
+				continue
+			}
+			committed = append(committed, t)
+		}
+		ids := make([]any, len(committed))
+		for i, t := range committed {
+			ids[i] = t.ID
+		}
+		return s.store.Collection(ColBlocks).Upsert(blockKey(height), map[string]any{
+			"height": float64(height),
+			"count":  float64(len(committed)),
+			"txids":  ids,
+		})
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if height > s.lastHeight {
+		s.lastHeight = height
+	}
+	return committed, skipped, nil
 }
 
 func (s *State) commitTxLocked(t *txn.Transaction) error {
@@ -122,6 +199,14 @@ func (s *State) commitTxLocked(t *txn.Transaction) error {
 			}
 		}
 	}
+	// Insert the transaction document first: it is the only mutation
+	// that can fail on a user-controlled payload (a document the
+	// storage backend cannot encode), and failing here keeps the
+	// "no side effects on failure" contract. The spent-marks and UTXO
+	// records below are system-built documents that always encode.
+	if err := txs.Insert(t.ID, t.ToDoc()); err != nil {
+		return fmt.Errorf("ledger: insert tx: %w", err)
+	}
 	for _, ref := range t.SpentRefs() {
 		if err := utxos.Update(utxoKey(ref), func(doc map[string]any) error {
 			doc["spent"] = true
@@ -130,9 +215,6 @@ func (s *State) commitTxLocked(t *txn.Transaction) error {
 		}); err != nil {
 			return fmt.Errorf("ledger: mark spent %s: %w", ref, err)
 		}
-	}
-	if err := txs.Insert(t.ID, t.ToDoc()); err != nil {
-		return fmt.Errorf("ledger: insert tx: %w", err)
 	}
 	for i, out := range t.Outputs {
 		ref := txn.OutputRef{TxID: t.ID, Index: i}
@@ -163,11 +245,16 @@ func (s *State) commitTxLocked(t *txn.Transaction) error {
 		if t.Asset != nil && t.Asset.Data != nil {
 			data = t.Asset.Data
 		}
-		s.store.Collection(ColAssets).Upsert(t.ID, map[string]any{
+		// The asset document is a subset of the transaction document
+		// inserted above, so encoding cannot fail here; propagate
+		// anyway rather than swallow a lost write.
+		if err := s.store.Collection(ColAssets).Upsert(t.ID, map[string]any{
 			"id":        t.ID,
 			"data":      data,
 			"operation": t.Operation,
-		})
+		}); err != nil {
+			return fmt.Errorf("ledger: upsert asset: %w", err)
+		}
 	}
 	return nil
 }

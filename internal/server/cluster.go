@@ -1,6 +1,8 @@
 package server
 
 import (
+	"fmt"
+	"path/filepath"
 	"time"
 
 	"smartchaindb/internal/consensus"
@@ -25,6 +27,10 @@ type ClusterConfig struct {
 	// ChildDelay is the queue delay before a nested child re-enters the
 	// network (the asynchronous return-queue worker hop).
 	ChildDelay time.Duration
+	// DataDir, when set, gives every validator a persistent storage
+	// engine under DataDir/node-<i>; each node's committed blocks land
+	// as atomic WAL batches it recovers from on reopen.
+	DataDir string
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -58,7 +64,11 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		Latency:       cfg.Latency,
 		Seed:          cfg.Seed,
 	}, func(i int) consensus.App {
-		n := NewNode(cfg.Node)
+		nodeCfg := cfg.Node
+		if cfg.DataDir != "" {
+			nodeCfg.DataDir = filepath.Join(cfg.DataDir, fmt.Sprintf("node-%02d", i))
+		}
+		n := NewNode(nodeCfg)
 		c.nodes[i] = n
 		return n
 	})
@@ -79,6 +89,17 @@ func (c *Cluster) ServerNode(i int) *Node { return c.nodes[i] }
 
 // Escrow returns the cluster-wide escrow account.
 func (c *Cluster) Escrow() string { return c.nodes[0].Escrow().PublicBase58() }
+
+// Close flushes and releases every validator's storage backend.
+func (c *Cluster) Close() error {
+	var first error
+	for _, n := range c.nodes {
+		if err := n.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
 
 // Submit schedules a client submission now.
 func (c *Cluster) Submit(t *txn.Transaction) { c.SubmitAt(c.Sched().Now(), t) }

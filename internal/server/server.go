@@ -18,6 +18,7 @@ import (
 	"smartchaindb/internal/nested"
 	"smartchaindb/internal/parallel"
 	"smartchaindb/internal/schema"
+	"smartchaindb/internal/storage"
 	"smartchaindb/internal/txn"
 	"smartchaindb/internal/txtype"
 	"smartchaindb/internal/validate"
@@ -44,6 +45,17 @@ type Config struct {
 	// valid/invalid partition is identical either way; only the
 	// validation latency changes.
 	ParallelWorkers int
+	// DataDir selects the persistent storage engine: the node's chain
+	// state lives in a write-ahead log plus segment files under this
+	// directory, every committed block lands as one atomic fsynced WAL
+	// batch, and a restarted node recovers to its exact committed
+	// height. Empty keeps the in-memory backend (state dies with the
+	// process).
+	DataDir string
+	// NoSync keeps the disk backend's files but skips fsync — the
+	// crash-consistency formats without the per-block flush cost.
+	// Only meaningful with DataDir set.
+	NoSync bool
 }
 
 func (c *Config) fill() {
@@ -65,6 +77,12 @@ type Node struct {
 	nested   *nested.Engine
 	sched    *parallel.Scheduler
 
+	// baseHeight is the ledger height recovered at open; consensus
+	// heights (always starting at 1 per run) are committed relative
+	// to it so a restarted node extends its chain instead of
+	// overwriting historical block records.
+	baseHeight int64
+
 	// One-entry conflict-plan memo: the consensus engine asks for a
 	// block's ValidationTime and then validates the same batch, so
 	// the plan built for the first call is reused by the second.
@@ -76,13 +94,30 @@ type Node struct {
 }
 
 // NewNode builds a node with fresh state and the native type registry.
+// It panics if cfg.DataDir is set but cannot be opened; use OpenNode
+// to handle storage errors.
 func NewNode(cfg Config) *Node {
+	n, err := OpenNode(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("server: open node: %v", err))
+	}
+	return n
+}
+
+// OpenNode builds a node, opening (or recovering) the persistent
+// storage engine when cfg.DataDir is set. A node reopened over an
+// existing data directory resumes from its last committed block.
+func OpenNode(cfg Config) (*Node, error) {
 	cfg.fill()
+	state, err := openState(cfg)
+	if err != nil {
+		return nil, err
+	}
 	n := &Node{
 		cfg:      cfg,
 		schemas:  schema.MustNewRegistry(),
 		types:    validate.NewRegistry(),
-		state:    ledger.NewState(),
+		state:    state,
 		reserved: keys.NewReservedWithDefaults(cfg.ReservedSeed),
 		sched:    &parallel.Scheduler{Workers: cfg.ParallelWorkers},
 	}
@@ -90,11 +125,30 @@ func NewNode(cfg Config) *Node {
 		// Standalone default: apply children locally and synchronously.
 		_ = n.Apply(child)
 	}
+	// The simulated consensus engine numbers blocks from 1 in every
+	// process; a node recovered from disk keeps counting the ledger
+	// from where it stopped.
+	n.baseHeight = state.Height()
 	n.nested = nested.NewEngine(n.state, n.reserved.Escrow(), func(child *txn.Transaction) {
 		n.submitChild(child)
 	})
-	return n
+	return n, nil
 }
+
+// openState builds the node's chain state over the configured backend.
+func openState(cfg Config) (*ledger.State, error) {
+	if cfg.DataDir == "" {
+		return ledger.NewState(), nil
+	}
+	eng, err := storage.Open(cfg.DataDir, storage.Options{NoSync: cfg.NoSync})
+	if err != nil {
+		return nil, err
+	}
+	return ledger.NewStateWith(eng), nil
+}
+
+// Close flushes and releases the node's storage backend.
+func (n *Node) Close() error { return n.state.Close() }
 
 // SetChildSubmitter routes child transactions produced by the nested
 // engine (e.g. into a consensus cluster instead of local apply).
@@ -273,12 +327,17 @@ func asTransactions(txs []consensus.Tx) []*txn.Transaction {
 }
 
 // Commit applies a decided block through the ledger's batched commit —
-// one lock acquisition per block instead of per transaction — and
-// fires the nested pipeline for each committed transaction in block
-// order. Commit failures indicate duplicates delivered through
-// catch-up, which are safe to skip.
+// one lock acquisition and one atomic WAL batch per block instead of
+// per transaction — and fires the nested pipeline for each committed
+// transaction in block order. Per-transaction commit failures indicate
+// duplicates delivered through catch-up, which are safe to skip; a
+// storage failure means the node's durable state can no longer be
+// trusted and is fatal.
 func (n *Node) Commit(height int64, txs []consensus.Tx) {
-	committed, _ := n.state.CommitBlock(asTransactions(txs))
+	committed, _, err := n.state.CommitBlockAt(n.baseHeight+height, asTransactions(txs))
+	if err != nil {
+		panic(fmt.Sprintf("server: block %d lost durability: %v", height, err))
+	}
 	for _, t := range committed {
 		n.afterCommit(t)
 	}

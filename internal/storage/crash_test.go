@@ -1,0 +1,108 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestCrashAtRandomWALOffset is the torn-write property test: commit
+// a sequence of mutation groups ("blocks"), kill the writer by
+// truncating the WAL at a random byte offset, reopen, and require the
+// recovered store to equal the state after the last group whose bytes
+// fully survived — never a partial group.
+func TestCrashAtRandomWALOffset(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260726))
+	for trial := 0; trial < 25; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			dir := t.TempDir()
+			e, err := Open(dir, Options{NoSync: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := e.Collection("txs")
+			u := e.Collection("utxos")
+
+			walPath := filepath.Join(dir, walName(0))
+			nGroups := 5 + rng.Intn(6)
+			// snapshots[i] is the full state after group i; ends[i] the
+			// WAL length once group i is on disk.
+			snapshots := make([]map[string]map[string]map[string]any, 0, nGroups+1)
+			ends := make([]int64, 0, nGroups+1)
+			snapshots = append(snapshots, dump(e))
+			ends = append(ends, walSize(t, walPath))
+			key := 0
+			for g := 0; g < nGroups; g++ {
+				err := e.Group(func() error {
+					n := 1 + rng.Intn(8)
+					for j := 0; j < n; j++ {
+						k := fmt.Sprintf("k%04d", key)
+						key++
+						if err := c.Put(k, doc("g", float64(g), "j", float64(j))); err != nil {
+							return err
+						}
+						if err := u.Put("u-"+k, doc("spent", false)); err != nil {
+							return err
+						}
+						if j%3 == 2 {
+							// Mutate an earlier document inside the group.
+							if err := u.Put("u-"+k, doc("spent", true, "spent_by", k)); err != nil {
+								return err
+							}
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				snapshots = append(snapshots, dump(e))
+				ends = append(ends, walSize(t, walPath))
+			}
+
+			// Kill: drop the directory lock as the kernel would for a
+			// dead process, then truncate the WAL at a uniformly
+			// random offset.
+			e.unlock()
+			full := ends[len(ends)-1]
+			cut := int64(rng.Int63n(full + 1))
+			if err := os.Truncate(walPath, cut); err != nil {
+				t.Fatal(err)
+			}
+			// The expected survivor is the last group fully on disk.
+			survivor := 0
+			for i, end := range ends {
+				if end <= cut {
+					survivor = i
+				}
+			}
+
+			e2, err := Open(dir, Options{NoSync: true})
+			if err != nil {
+				t.Fatalf("reopen after cut at %d/%d: %v", cut, full, err)
+			}
+			got := dump(e2)
+			e2.Close()
+			if !reflect.DeepEqual(got, snapshots[survivor]) {
+				t.Fatalf("cut at byte %d of %d: recovered state is not the last fully-committed group %d",
+					cut, full, survivor)
+			}
+		})
+	}
+}
+
+func walSize(t *testing.T, path string) int64 {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if os.IsNotExist(err) {
+		return 0
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}

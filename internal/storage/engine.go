@@ -1,0 +1,416 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Options tunes a disk Engine.
+type Options struct {
+	// NoSync skips fsync on WAL commits. Writes still reach the file
+	// (crash recovery from the file's bytes keeps working); only
+	// power-loss durability is traded away. The test suites use it to
+	// run the full tier-1 battery over the disk backend at memory
+	// speed.
+	NoSync bool
+	// CompactWALBytes triggers an automatic compaction once the WAL
+	// grows past this size. <= 0 means DefaultCompactWALBytes.
+	CompactWALBytes int64
+}
+
+// DefaultCompactWALBytes is the automatic-compaction threshold.
+const DefaultCompactWALBytes = 64 << 20
+
+// Engine is the disk backend: the shared sharded memtable as the
+// resident working set, a group-fsynced WAL for durability, and
+// sorted segment files written by Compact. See the package comment
+// for the on-disk formats.
+type Engine struct {
+	dir  string
+	opts Options
+
+	// compactMu is held shared by every logger and exclusively by
+	// Compact, so a WAL-generation swap never races an append.
+	compactMu sync.RWMutex
+
+	// stageMu guards the open-group state. While a Group is open,
+	// mutations from any goroutine stage into it and become durable
+	// when the group commits as one WAL record.
+	stageMu   sync.Mutex
+	groupOpen bool
+	staged    []mutation
+
+	// groupMu serializes Groups.
+	groupMu sync.Mutex
+
+	mu     sync.Mutex // guards wal/gen swaps and closed
+	wal    *wal
+	gen    uint64
+	closed bool
+
+	lock *os.File // flock on <dir>/LOCK for the engine's lifetime
+	mem  *Memory
+}
+
+// Open loads (or creates) the engine at dir: newest segment
+// generation first, then the WAL tail, truncating a torn final
+// record. The returned engine serves reads from memory and appends
+// every mutation group to the WAL.
+func Open(dir string, opts Options) (*Engine, error) {
+	if opts.CompactWALBytes <= 0 {
+		opts.CompactWALBytes = DefaultCompactWALBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	// One engine per directory: two writers appending to the same WAL
+	// would silently corrupt each other's acknowledged records.
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{dir: dir, opts: opts, lock: lock, mem: NewMemory()}
+	man, err := readManifest(dir)
+	if err != nil {
+		e.unlock()
+		return nil, err
+	}
+	e.gen = man.Gen
+	for _, seg := range man.Segments {
+		if err := loadSegment(filepath.Join(dir, seg), e.mem); err != nil {
+			e.unlock()
+			return nil, err
+		}
+	}
+	walPath := filepath.Join(dir, man.WAL)
+	size, err := replayWAL(walPath, func(payload []byte) error {
+		return decodeGroup(payload, e.applyToMem)
+	})
+	if err != nil {
+		e.unlock()
+		return nil, err
+	}
+	e.wal, err = openWALForAppend(walPath, size, opts.NoSync)
+	if err != nil {
+		e.unlock()
+		return nil, err
+	}
+	if e.wal.bytes() > opts.CompactWALBytes {
+		if err := e.Compact(); err != nil {
+			e.wal.close()
+			e.unlock()
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// applyToMem replays one recovered mutation into the memtable.
+func (e *Engine) applyToMem(m mutation) error {
+	switch m.op {
+	case opPut:
+		doc, err := unmarshalDoc(m.doc)
+		if err != nil {
+			return err
+		}
+		return e.mem.coll(m.coll).Put(m.key, doc)
+	case opDelete:
+		return e.mem.coll(m.coll).Delete(m.key)
+	case opDrop:
+		return e.mem.Drop(m.coll)
+	}
+	return fmt.Errorf("storage: unknown op %d", m.op)
+}
+
+// Dir returns the engine's data directory.
+func (e *Engine) Dir() string { return e.dir }
+
+// apply makes one mutation durable and applies it to the memtable.
+// While a group is open the mutation stages into it (the open Group
+// holds the compaction lock, covering the memtable update); otherwise
+// it commits as its own WAL record, group-fsynced with any concurrent
+// committers, under the compaction lock so a WAL-generation swap can
+// never separate the log append from the memtable update.
+func (e *Engine) apply(m mutation, memApply func() error) error {
+	e.stageMu.Lock()
+	if e.groupOpen {
+		// Stage and update the memtable in one stageMu critical
+		// section: the group cannot close (and compaction cannot
+		// snapshot) between the WAL staging and the memtable write,
+		// and same-key mutations hit both logs in the same order.
+		e.staged = append(e.staged, m)
+		err := memApply()
+		e.stageMu.Unlock()
+		return err
+	}
+	e.stageMu.Unlock()
+	e.compactMu.RLock()
+	defer e.compactMu.RUnlock()
+	if err := e.commitPayload(encodeGroup([]mutation{m})); err != nil {
+		return err
+	}
+	return memApply()
+}
+
+func (e *Engine) commitPayload(payload []byte) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return fmt.Errorf("storage: engine is closed")
+	}
+	w := e.wal
+	e.mu.Unlock()
+	return w.commit(payload)
+}
+
+// Group commits every mutation fn issues as one atomic WAL record.
+// Reads inside fn see the group's writes immediately; durability is
+// all-or-nothing at the record boundary, which is how a block commit
+// survives (or wholly vanishes across) a crash.
+func (e *Engine) Group(fn func() error) error {
+	if err := e.group(fn); err != nil {
+		return err
+	}
+	// A node that cannot fold its WAL must hear about it: surfacing
+	// the compaction failure here (even though the group itself is
+	// already durable) stops the engine before the log grows without
+	// bound on a sick disk.
+	return e.maybeCompact()
+}
+
+func (e *Engine) group(fn func() error) (err error) {
+	e.groupMu.Lock()
+	defer e.groupMu.Unlock()
+	e.compactMu.RLock()
+	defer e.compactMu.RUnlock()
+
+	e.stageMu.Lock()
+	e.groupOpen = true
+	e.staged = e.staged[:0]
+	e.stageMu.Unlock()
+
+	// Closing the group is deferred so a panicking fn cannot leave
+	// groupOpen set — which would silently route every later
+	// mutation into a stage buffer nobody flushes. Mutations issued
+	// by fn already reached the memtable, so the record must land
+	// even when fn failed part-way: the callers' per-item atomicity
+	// (a failing transaction mutates nothing) decides what got
+	// staged, the group decides crash atomicity.
+	flushed := false
+	flush := func() error {
+		if flushed {
+			return nil
+		}
+		flushed = true
+		e.stageMu.Lock()
+		e.groupOpen = false
+		staged := e.staged
+		e.staged = nil
+		e.stageMu.Unlock()
+		if len(staged) == 0 {
+			return nil
+		}
+		return e.commitPayload(encodeGroup(staged))
+	}
+	defer func() {
+		// A flush failure outranks fn's error: it means acknowledged
+		// memtable state never became durable.
+		if ferr := flush(); ferr != nil {
+			err = ferr
+		}
+	}()
+	return fn()
+}
+
+// maybeCompact compacts when the WAL outgrew the threshold. Called
+// without any engine lock held.
+func (e *Engine) maybeCompact() error {
+	e.mu.Lock()
+	w := e.wal
+	e.mu.Unlock()
+	if w != nil && w.bytes() > e.opts.CompactWALBytes {
+		return e.Compact()
+	}
+	return nil
+}
+
+// Collection returns the named backend collection, creating it on
+// first use. Handles resolve the live memtable collection per
+// operation, so a handle held across a Drop sees the re-created
+// collection exactly as a WAL replay would.
+func (e *Engine) Collection(name string) Collection {
+	e.mem.coll(name)
+	return &engineColl{e: e, name: name}
+}
+
+// CollectionNames lists existing collections, sorted.
+func (e *Engine) CollectionNames() []string { return e.mem.CollectionNames() }
+
+// Drop removes a collection and logs the removal.
+func (e *Engine) Drop(name string) error {
+	return e.apply(mutation{op: opDrop, coll: name}, func() error {
+		return e.mem.Drop(name)
+	})
+}
+
+// Compact snapshots every collection into a fresh generation of
+// sorted segment files, atomically swaps the manifest, starts an
+// empty WAL, and removes the previous generation's files.
+func (e *Engine) Compact() error {
+	e.compactMu.Lock()
+	defer e.compactMu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("storage: engine is closed")
+	}
+
+	oldGen := e.gen
+	newGen := e.gen + 1
+	names := e.mem.CollectionNames()
+	segs := make([]string, 0, len(names))
+	for i, name := range names {
+		seg := segName(newGen, i)
+		if err := writeSegment(filepath.Join(e.dir, seg), e.mem.coll(name)); err != nil {
+			return fmt.Errorf("storage: compact %s: %w", name, err)
+		}
+		segs = append(segs, seg)
+	}
+	newWAL, err := createWAL(filepath.Join(e.dir, walName(newGen)), e.opts.NoSync)
+	if err != nil {
+		return err
+	}
+	if err := writeManifest(e.dir, manifest{Version: 1, Gen: newGen, WAL: walName(newGen), Segments: segs}); err != nil {
+		newWAL.close()
+		return err
+	}
+	oldWAL := e.wal
+	e.wal = newWAL
+	e.gen = newGen
+	if oldWAL != nil {
+		oldWAL.close()
+	}
+	// The manifest no longer references the old generation; removal
+	// is best-effort cleanup.
+	os.Remove(filepath.Join(e.dir, walName(oldGen)))
+	if olds, err := filepath.Glob(filepath.Join(e.dir, fmt.Sprintf("seg-%06d-*.seg", oldGen))); err == nil {
+		for _, p := range olds {
+			os.Remove(p)
+		}
+	}
+	return nil
+}
+
+// Stats reports the engine's on-disk shape.
+type Stats struct {
+	Gen      uint64
+	WALBytes int64
+	Segments int
+}
+
+// Stats returns current generation, WAL size, and segment count.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := Stats{Gen: e.gen}
+	if e.wal != nil {
+		s.WALBytes = e.wal.bytes()
+	}
+	segs, _ := filepath.Glob(filepath.Join(e.dir, fmt.Sprintf("seg-%06d-*.seg", e.gen)))
+	s.Segments = len(segs)
+	return s
+}
+
+// Close flushes and closes the WAL. The directory can be reopened.
+func (e *Engine) Close() error {
+	e.compactMu.Lock()
+	defer e.compactMu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	var err error
+	if e.wal != nil {
+		err = e.wal.close()
+	}
+	e.unlock()
+	return err
+}
+
+// unlock releases the directory lock (closing the fd drops the flock).
+func (e *Engine) unlock() {
+	if e.lock != nil {
+		e.lock.Close()
+		e.lock = nil
+	}
+}
+
+// engineColl is one collection handle: memtable for reads, WAL for
+// durability. Writes resolve (re-creating if needed) the live
+// memtable collection, mirroring what a WAL replay of the same ops
+// would produce; reads peek without re-registering, so a stale handle
+// held across a Drop stays inert like the memory backend's.
+type engineColl struct {
+	e    *Engine
+	name string
+}
+
+func (c *engineColl) mem() *MemCollection { return c.e.mem.coll(c.name) }
+
+// memRead returns the live memtable collection or nil after a Drop.
+func (c *engineColl) memRead() *MemCollection { return c.e.mem.peek(c.name) }
+
+func (c *engineColl) Get(key string) (map[string]any, bool) {
+	if m := c.memRead(); m != nil {
+		return m.Get(key)
+	}
+	return nil, false
+}
+
+func (c *engineColl) Has(key string) bool {
+	_, ok := c.Get(key)
+	return ok
+}
+
+func (c *engineColl) Len() int {
+	if m := c.memRead(); m != nil {
+		return m.Len()
+	}
+	return 0
+}
+
+func (c *engineColl) Keys() []string {
+	if m := c.memRead(); m != nil {
+		return m.Keys()
+	}
+	return nil
+}
+
+func (c *engineColl) Scan(fn func(key string, doc map[string]any) bool) {
+	if m := c.memRead(); m != nil {
+		m.Scan(fn)
+	}
+}
+
+func (c *engineColl) Put(key string, doc map[string]any) error {
+	data, err := marshalDoc(doc)
+	if err != nil {
+		return err
+	}
+	return c.e.apply(mutation{op: opPut, coll: c.name, key: key, doc: data}, func() error {
+		return c.mem().Put(key, doc)
+	})
+}
+
+func (c *engineColl) Delete(key string) error {
+	if m := c.memRead(); m == nil || !m.Has(key) {
+		return nil
+	}
+	return c.e.apply(mutation{op: opDelete, coll: c.name, key: key}, func() error {
+		return c.mem().Delete(key)
+	})
+}

@@ -1,0 +1,24 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory lock on <dir>/LOCK for the
+// engine's lifetime. A second Open of the same directory — another
+// process, or a stray second engine in this one — fails immediately
+// instead of corrupting the shared WAL.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s is locked by another engine: %w", dir, err)
+	}
+	return f, nil
+}

@@ -1,0 +1,266 @@
+package storage
+
+import (
+	"sort"
+	"sync"
+)
+
+// NumShards is the per-collection lock-shard count. Point reads and
+// writes lock one shard, so parallel validation's Get storm stops
+// contending on a single collection-wide mutex with the commit writer.
+const NumShards = 16
+
+// memShard is one lock shard of a collection's document map.
+type memShard struct {
+	mu   sync.RWMutex
+	docs map[string]map[string]any
+}
+
+// MemCollection is the sharded in-memory collection both backends use:
+// the memory backend stores documents here directly, and the disk
+// engine keeps it as the always-resident working set in front of the
+// WAL and segments.
+type MemCollection struct {
+	name   string
+	shards [NumShards]memShard
+
+	// orderMu guards insertion order. Writers take it exclusively, so
+	// a Scan/Keys holding it shared sees a stable collection; point
+	// Gets never touch it.
+	orderMu sync.RWMutex
+	order   []string
+	ords    map[string]uint64 // key -> insertion counter
+	nextOrd uint64
+}
+
+func newMemCollection(name string) *MemCollection {
+	c := &MemCollection{name: name, ords: make(map[string]uint64)}
+	for i := range c.shards {
+		c.shards[i].docs = make(map[string]map[string]any)
+	}
+	return c
+}
+
+func (c *MemCollection) shard(key string) *memShard {
+	// Inline FNV-1a: the hasher interface would allocate on every
+	// point read, the very path sharding exists to make cheap.
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[h%NumShards]
+}
+
+// Get returns the stored document, locking only the key's shard.
+func (c *MemCollection) Get(key string) (map[string]any, bool) {
+	sh := c.shard(key)
+	sh.mu.RLock()
+	doc, ok := sh.docs[key]
+	sh.mu.RUnlock()
+	return doc, ok
+}
+
+// Has reports whether key exists, locking only the key's shard.
+func (c *MemCollection) Has(key string) bool {
+	_, ok := c.Get(key)
+	return ok
+}
+
+// Put stores doc under key.
+func (c *MemCollection) Put(key string, doc map[string]any) error {
+	c.orderMu.Lock()
+	if _, exists := c.ords[key]; !exists {
+		c.ords[key] = c.nextOrd
+		c.nextOrd++
+		c.order = append(c.order, key)
+	}
+	c.putShard(key, doc)
+	c.orderMu.Unlock()
+	return nil
+}
+
+// putLoaded stores a document recovered from a segment with its
+// original insertion counter. The caller finishes with finishLoad.
+func (c *MemCollection) putLoaded(key string, doc map[string]any, ord uint64) {
+	c.orderMu.Lock()
+	if _, exists := c.ords[key]; !exists {
+		c.order = append(c.order, key)
+	}
+	c.ords[key] = ord
+	if ord >= c.nextOrd {
+		c.nextOrd = ord + 1
+	}
+	c.putShard(key, doc)
+	c.orderMu.Unlock()
+}
+
+// finishLoad restores insertion order after segment loading (segments
+// are key-sorted, iteration order is ord-sorted).
+func (c *MemCollection) finishLoad() {
+	c.orderMu.Lock()
+	sort.Slice(c.order, func(i, j int) bool { return c.ords[c.order[i]] < c.ords[c.order[j]] })
+	c.orderMu.Unlock()
+}
+
+func (c *MemCollection) putShard(key string, doc map[string]any) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	sh.docs[key] = doc
+	sh.mu.Unlock()
+}
+
+// Delete removes key; missing keys are a no-op.
+func (c *MemCollection) Delete(key string) error {
+	c.orderMu.Lock()
+	if _, exists := c.ords[key]; exists {
+		delete(c.ords, key)
+		for i, k := range c.order {
+			if k == key {
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				break
+			}
+		}
+		sh := c.shard(key)
+		sh.mu.Lock()
+		delete(sh.docs, key)
+		sh.mu.Unlock()
+	}
+	c.orderMu.Unlock()
+	return nil
+}
+
+// Len returns the number of documents.
+func (c *MemCollection) Len() int {
+	c.orderMu.RLock()
+	n := len(c.order)
+	c.orderMu.RUnlock()
+	return n
+}
+
+// Keys returns the live keys in insertion order.
+func (c *MemCollection) Keys() []string {
+	c.orderMu.RLock()
+	out := append([]string(nil), c.order...)
+	c.orderMu.RUnlock()
+	return out
+}
+
+// Scan visits documents in insertion order until fn returns false.
+// Writers are excluded for the duration, point reads are not.
+func (c *MemCollection) Scan(fn func(key string, doc map[string]any) bool) {
+	c.orderMu.RLock()
+	defer c.orderMu.RUnlock()
+	for _, key := range c.order {
+		sh := c.shard(key)
+		sh.mu.RLock()
+		doc := sh.docs[key]
+		sh.mu.RUnlock()
+		if !fn(key, doc) {
+			return
+		}
+	}
+}
+
+// ordOf returns the insertion counter for key (segment writing).
+func (c *MemCollection) ordOf(key string) uint64 {
+	c.orderMu.RLock()
+	ord := c.ords[key]
+	c.orderMu.RUnlock()
+	return ord
+}
+
+// clear empties the collection in place so stale handles held across a
+// Drop read nothing instead of resurrecting dropped documents.
+func (c *MemCollection) clear() {
+	c.orderMu.Lock()
+	c.order = nil
+	c.ords = make(map[string]uint64)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.docs = make(map[string]map[string]any)
+		sh.mu.Unlock()
+	}
+	c.orderMu.Unlock()
+}
+
+// Memory is the volatile backend: the sharded memtable with no
+// durability. It is the default a plain docstore.NewStore runs over.
+type Memory struct {
+	mu      sync.RWMutex
+	groupMu sync.Mutex
+	colls   map[string]*MemCollection
+}
+
+// NewMemory creates an empty memory backend.
+func NewMemory() *Memory {
+	return &Memory{colls: make(map[string]*MemCollection)}
+}
+
+func (m *Memory) coll(name string) *MemCollection {
+	m.mu.RLock()
+	c := m.colls[name]
+	m.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c := m.colls[name]; c != nil {
+		return c
+	}
+	c = newMemCollection(name)
+	m.colls[name] = c
+	return c
+}
+
+// peek returns the named collection without creating it.
+func (m *Memory) peek(name string) *MemCollection {
+	m.mu.RLock()
+	c := m.colls[name]
+	m.mu.RUnlock()
+	return c
+}
+
+// Collection returns the named collection, creating it on first use.
+func (m *Memory) Collection(name string) Collection { return m.coll(name) }
+
+// CollectionNames lists existing collections, sorted.
+func (m *Memory) CollectionNames() []string {
+	m.mu.RLock()
+	names := make([]string, 0, len(m.colls))
+	for n := range m.colls {
+		names = append(names, n)
+	}
+	m.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Drop removes a collection, emptying it in place for stale handles.
+func (m *Memory) Drop(name string) error {
+	m.mu.Lock()
+	c := m.colls[name]
+	delete(m.colls, name)
+	m.mu.Unlock()
+	if c != nil {
+		c.clear()
+	}
+	return nil
+}
+
+// Group runs fn. Memory has no durability to batch, but Groups still
+// serialize against each other so callers written against the Backend
+// contract behave the same over both backends.
+func (m *Memory) Group(fn func() error) error {
+	m.groupMu.Lock()
+	defer m.groupMu.Unlock()
+	return fn()
+}
+
+// Compact is a no-op for the memory backend.
+func (m *Memory) Compact() error { return nil }
+
+// Close is a no-op; the memory backend's state dies with the process.
+func (m *Memory) Close() error { return nil }

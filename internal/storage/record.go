@@ -1,0 +1,157 @@
+package storage
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+)
+
+// Mutation ops inside a WAL payload.
+const (
+	opPut    = 1
+	opDelete = 2
+	opDrop   = 3 // drop a whole collection
+)
+
+const walPayloadVersion = 1
+
+// mutation is one durable document change staged into a WAL group.
+type mutation struct {
+	op   byte
+	coll string
+	key  string
+	doc  []byte // canonical JSON, opPut only
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(b, tmp[:n]...)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBytes(b, p []byte) []byte {
+	b = appendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+// byteReader walks an encoded payload.
+type byteReader struct {
+	b   []byte
+	off int
+}
+
+func (r *byteReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("storage: bad uvarint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *byteReader) bytes() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(r.b)-r.off) < n {
+		return nil, fmt.Errorf("storage: short field at offset %d", r.off)
+	}
+	p := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	return p, nil
+}
+
+func (r *byteReader) readString() (string, error) {
+	p, err := r.bytes()
+	return string(p), err
+}
+
+func (r *byteReader) readByte() (byte, error) {
+	if r.off >= len(r.b) {
+		return 0, fmt.Errorf("storage: short payload")
+	}
+	b := r.b[r.off]
+	r.off++
+	return b, nil
+}
+
+// encodeGroup renders a mutation group into one WAL payload.
+func encodeGroup(muts []mutation) []byte {
+	b := []byte{walPayloadVersion}
+	b = appendUvarint(b, uint64(len(muts)))
+	for _, m := range muts {
+		b = append(b, m.op)
+		b = appendString(b, m.coll)
+		b = appendString(b, m.key)
+		if m.op == opPut {
+			b = appendBytes(b, m.doc)
+		}
+	}
+	return b
+}
+
+// decodeGroup parses one WAL payload, calling fn per mutation. The
+// doc slice aliases the payload; fn must not retain it.
+func decodeGroup(payload []byte, fn func(m mutation) error) error {
+	r := &byteReader{b: payload}
+	ver, err := r.readByte()
+	if err != nil {
+		return err
+	}
+	if ver != walPayloadVersion {
+		return fmt.Errorf("storage: unknown wal payload version %d", ver)
+	}
+	count, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < count; i++ {
+		var m mutation
+		if m.op, err = r.readByte(); err != nil {
+			return err
+		}
+		if m.coll, err = r.readString(); err != nil {
+			return err
+		}
+		if m.key, err = r.readString(); err != nil {
+			return err
+		}
+		switch m.op {
+		case opPut:
+			if m.doc, err = r.bytes(); err != nil {
+				return err
+			}
+		case opDelete, opDrop:
+		default:
+			return fmt.Errorf("storage: unknown wal op %d", m.op)
+		}
+		if err := fn(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// marshalDoc renders a document into canonical JSON (object keys are
+// sorted by encoding/json, so identical documents encode identically).
+func marshalDoc(doc map[string]any) ([]byte, error) {
+	data, err := json.Marshal(doc)
+	if err != nil {
+		return nil, fmt.Errorf("storage: document not JSON-representable: %w", err)
+	}
+	return data, nil
+}
+
+func unmarshalDoc(data []byte) (map[string]any, error) {
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("storage: corrupt document: %w", err)
+	}
+	return doc, nil
+}

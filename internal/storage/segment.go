@@ -1,0 +1,239 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Segment files are the log-structured half of the engine: Compact
+// snapshots each collection into one immutable, key-sorted segment
+// file and starts a fresh WAL generation, so the recovery cost of a
+// long-lived node stays proportional to the traffic since its last
+// compaction rather than its whole history.
+
+var segMagic = [8]byte{'S', 'C', 'D', 'B', 'S', 'E', 'G', '1'}
+
+const segVersion = 1
+
+const manifestName = "MANIFEST"
+
+// manifest is the engine's atomically swapped root pointer: which
+// generation is current, its WAL file, and its segment files.
+type manifest struct {
+	Version  int      `json:"version"`
+	Gen      uint64   `json:"gen"`
+	WAL      string   `json:"wal"`
+	Segments []string `json:"segments"`
+}
+
+func walName(gen uint64) string { return fmt.Sprintf("wal-%06d.log", gen) }
+
+func segName(gen uint64, idx int) string { return fmt.Sprintf("seg-%06d-%03d.seg", gen, idx) }
+
+// readManifest loads dir's manifest; a missing file means generation 0
+// with no segments.
+func readManifest(dir string) (manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return manifest{Version: 1, Gen: 0, WAL: walName(0)}, nil
+	}
+	if err != nil {
+		return manifest{}, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return manifest{}, fmt.Errorf("storage: corrupt manifest: %w", err)
+	}
+	if m.WAL == "" {
+		m.WAL = walName(m.Gen)
+	}
+	return m, nil
+}
+
+// writeManifest atomically replaces dir's manifest (tmp + fsync +
+// rename + directory fsync).
+func writeManifest(dir string, m manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	if err := writeFileSync(tmp, data); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// crcWriter feeds everything written through a running CRC32-C.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	cw.crc = crc32.Update(cw.crc, castagnoli, p)
+	return cw.w.Write(p)
+}
+
+// writeSegment snapshots one collection into the segment file at path:
+// records sorted by key, each carrying its insertion counter so the
+// loader can rebuild iteration order. The file is fsynced into place
+// via a temporary name.
+func writeSegment(path string, c *MemCollection) error {
+	keys := c.Keys()
+	sort.Strings(keys)
+
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp) // no-op after the rename succeeds
+	bw := bufio.NewWriterSize(f, 1<<16)
+	if _, err := bw.Write(segMagic[:]); err != nil {
+		f.Close()
+		return err
+	}
+	cw := &crcWriter{w: bw}
+	var scratch []byte
+	emit := func(p []byte) error {
+		_, err := cw.Write(p)
+		return err
+	}
+	scratch = append(scratch[:0], segVersion)
+	scratch = appendString(scratch, c.name)
+	scratch = appendUvarint(scratch, uint64(len(keys)))
+	if err := emit(scratch); err != nil {
+		f.Close()
+		return err
+	}
+	for _, key := range keys {
+		doc, ok := c.Get(key)
+		if !ok {
+			continue
+		}
+		data, err := marshalDoc(doc)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		scratch = appendString(scratch[:0], key)
+		scratch = appendUvarint(scratch, c.ordOf(key))
+		scratch = appendBytes(scratch, data)
+		if err := emit(scratch); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	var footer [4]byte
+	binary.BigEndian.PutUint32(footer[:], cw.crc)
+	if _, err := bw.Write(footer[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadSegment reads the segment file at path into mem, verifying the
+// whole-file checksum before handing documents out.
+func loadSegment(path string, mem *Memory) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) < len(segMagic)+4 || [8]byte(data[:8]) != segMagic {
+		return fmt.Errorf("storage: %s: not a segment file", filepath.Base(path))
+	}
+	body := data[len(segMagic) : len(data)-4]
+	want := binary.BigEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, castagnoli) != want {
+		return fmt.Errorf("storage: %s: checksum mismatch", filepath.Base(path))
+	}
+	r := &byteReader{b: body}
+	ver, err := r.readByte()
+	if err != nil {
+		return err
+	}
+	if ver != segVersion {
+		return fmt.Errorf("storage: %s: unknown segment version %d", filepath.Base(path), ver)
+	}
+	name, err := r.readString()
+	if err != nil {
+		return err
+	}
+	count, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	coll := mem.coll(name)
+	for i := uint64(0); i < count; i++ {
+		key, err := r.readString()
+		if err != nil {
+			return err
+		}
+		ord, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		raw, err := r.bytes()
+		if err != nil {
+			return err
+		}
+		doc, err := unmarshalDoc(raw)
+		if err != nil {
+			return err
+		}
+		coll.putLoaded(key, doc, ord)
+	}
+	coll.finishLoad()
+	return nil
+}

@@ -1,0 +1,103 @@
+// Package storage is the persistence layer under the document store: a
+// dependency-free embedded storage engine in the spirit of the
+// log-structured stores (bbolt, pebble) real blockchain databases sit
+// on. It offers two backends behind one interface:
+//
+//   - Memory (NewMemory): the original volatile backend — sharded
+//     in-memory maps, no files. A restarted node starts empty.
+//   - Engine (Open): a disk backend combining an append-only
+//     write-ahead log with immutable sorted segment files. Every
+//     mutation is framed into the WAL ([length][CRC32-C][payload])
+//     and group-fsynced; Compact snapshots the live state into sorted
+//     per-collection segment files and starts a fresh WAL generation.
+//     Open replays segments then the WAL tail, truncating a torn
+//     final record, so a killed node recovers to its last durable
+//     group — for the ledger, the last fully committed block.
+//
+// File layout of an Engine directory:
+//
+//	MANIFEST                 current generation (JSON, atomically renamed)
+//	wal-<gen>.log            append-only log of mutation groups
+//	seg-<gen>-<idx>.seg      one sorted immutable segment per collection
+//
+// WAL record frame (big endian):
+//
+//	[4B payload length][4B CRC32-C of payload][payload]
+//
+// WAL payload:
+//
+//	[1B version][count uvarint] then per mutation:
+//	[1B op (1=put 2=delete 3=drop-collection)]
+//	[collection uvarint len + bytes][key uvarint len + bytes]
+//	[doc uvarint len + canonical JSON]   (op=put only)
+//
+// Segment file:
+//
+//	"SCDBSEG1" [1B version][collection][count uvarint]
+//	records sorted by key: [key][ord uvarint][doc len uvarint][doc JSON]
+//	[4B CRC32-C of everything after the magic]
+//
+// ord is the document's insertion counter; reloading sorts keys by ord
+// so iteration order survives restarts byte-for-byte.
+package storage
+
+// Backend is the persistence layer a docstore.Store runs over. It was
+// extracted from the document store's collection primitives so the
+// same Store (filters, indexes, deep-copy semantics) runs unchanged
+// over volatile memory or the durable disk engine.
+//
+// Concurrency contract: Collection handles are safe for concurrent
+// use. A Group serializes against other Groups; mutations issued
+// outside an open Group while one is active join that group's
+// atomicity (they become durable when the group commits).
+type Backend interface {
+	// Collection returns the named backend collection, creating it on
+	// first use. Creation alone is not durable: an empty collection
+	// that never receives a document is not persisted until Compact.
+	Collection(name string) Collection
+	// CollectionNames lists existing collections, sorted.
+	CollectionNames() []string
+	// Drop removes a collection and its documents.
+	Drop(name string) error
+	// Group runs fn and commits every mutation it issues as one
+	// atomic, durable unit — on disk, a single WAL record covering
+	// the whole group, fsynced once. Reads inside fn observe the
+	// group's own writes. If fn returns an error the error is
+	// returned, but mutations already applied stay applied in memory;
+	// atomicity is a durability guarantee (all-or-nothing on disk
+	// after a crash), not a rollback mechanism.
+	Group(fn func() error) error
+	// Compact folds the log into fresh segment files (disk) or is a
+	// no-op (memory).
+	Compact() error
+	// Close flushes and releases the backend. The memory backend
+	// forgets everything; the disk engine can be reopened.
+	Close() error
+}
+
+// Collection is one backend collection: an ordered, concurrency-safe
+// key → document map. Iteration (Keys, Scan) is in insertion order —
+// the determinism the validators' queries rely on. Documents are
+// stored by reference; callers own copy-in/copy-out semantics.
+type Collection interface {
+	// Get returns the stored document (not a copy) and whether it
+	// exists. Point reads lock only the key's shard, never the whole
+	// collection.
+	Get(key string) (map[string]any, bool)
+	// Put stores doc under key (insert or replace). An insert appends
+	// to the iteration order; a replace keeps the original position.
+	// Documents must be JSON-representable (string/float64/bool/nil/
+	// []any/map[string]any) — the canonical document shape everywhere
+	// in this repo — or durability round-trips will change types.
+	Put(key string, doc map[string]any) error
+	// Delete removes key; deleting a missing key is a no-op.
+	Delete(key string) error
+	// Has reports whether key exists.
+	Has(key string) bool
+	// Len returns the number of documents.
+	Len() int
+	// Keys returns the live keys in insertion order.
+	Keys() []string
+	// Scan visits documents in insertion order until fn returns false.
+	Scan(fn func(key string, doc map[string]any) bool)
+}

@@ -1,0 +1,220 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// WAL framing. Each commit appends one frame:
+//
+//	[4B big-endian payload length][4B CRC32-C of payload][payload]
+//
+// The file starts with an 8-byte magic. Recovery reads frames until
+// EOF or the first bad length/CRC and truncates the file there — a
+// torn final record (the process died mid-write) rolls back to the
+// last fully durable group.
+
+var walMagic = [8]byte{'S', 'C', 'D', 'B', 'W', 'A', 'L', '1'}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+const (
+	walHeaderLen     = 8
+	walFrameOverhead = 8
+	// maxWALPayload bounds a single record; anything larger in the
+	// length field is treated as corruption during replay.
+	maxWALPayload = 256 << 20
+)
+
+// wal is an append-only log with leader-based group fsync: concurrent
+// committers append frames under the mutex, then the first one to
+// reach the sync point fsyncs once for every frame written so far and
+// wakes the rest — one fsync per batch of concurrent commits.
+type wal struct {
+	noSync bool
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	f         *os.File
+	size      int64 // bytes written (header included)
+	syncedEnd int64 // bytes known durable
+	syncing   bool
+	err       error // sticky I/O failure; the engine is dead once set
+}
+
+// createWAL makes a fresh, empty, synced WAL file at path.
+func createWAL(path string, noSync bool) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(walMagic[:]); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if !noSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	w := &wal{f: f, size: walHeaderLen, syncedEnd: walHeaderLen, noSync: noSync}
+	w.cond = sync.NewCond(&w.mu)
+	return w, nil
+}
+
+// openWALForAppend opens an existing (already replayed and truncated)
+// WAL file for appending. size is the validated byte length.
+func openWALForAppend(path string, size int64, noSync bool) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if size < walHeaderLen {
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := f.Write(walMagic[:]); err != nil {
+			f.Close()
+			return nil, err
+		}
+		size = walHeaderLen
+	} else if _, err := f.Seek(size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w := &wal{f: f, size: size, syncedEnd: size, noSync: noSync}
+	w.cond = sync.NewCond(&w.mu)
+	return w, nil
+}
+
+// commit appends one payload frame and waits until it is durable.
+// Concurrent commits share fsyncs (group commit).
+func (w *wal) commit(payload []byte) error {
+	if len(payload) > maxWALPayload {
+		// Replay treats anything past this bound as corruption, so
+		// acknowledging it would be silent data loss on restart.
+		return fmt.Errorf("storage: wal record of %d bytes exceeds the %d-byte limit", len(payload), maxWALPayload)
+	}
+	frame := make([]byte, walFrameOverhead+len(payload))
+	binary.BigEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.Checksum(payload, castagnoli))
+	copy(frame[8:], payload)
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return w.err
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		w.err = fmt.Errorf("storage: wal append: %w", err)
+		w.cond.Broadcast()
+		return w.err
+	}
+	w.size += int64(len(frame))
+	myEnd := w.size
+	if w.noSync {
+		return nil
+	}
+	for w.syncedEnd < myEnd {
+		if w.err != nil {
+			return w.err
+		}
+		if w.syncing {
+			// Another committer is fsyncing; wait for its result.
+			w.cond.Wait()
+			continue
+		}
+		w.syncing = true
+		target := w.size // everything appended so far rides this fsync
+		w.mu.Unlock()
+		err := w.f.Sync()
+		w.mu.Lock()
+		w.syncing = false
+		if err != nil {
+			w.err = fmt.Errorf("storage: wal fsync: %w", err)
+		} else if target > w.syncedEnd {
+			w.syncedEnd = target
+		}
+		w.cond.Broadcast()
+	}
+	return w.err
+}
+
+// bytes reports the current WAL length.
+func (w *wal) bytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.size
+}
+
+// close syncs and closes the file.
+func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	var err error
+	if !w.noSync && w.err == nil {
+		err = w.f.Sync()
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// replayWAL reads every intact frame of the file at path, calling
+// apply for each payload in append order, and truncates the file at
+// the first torn or corrupt frame. It returns the validated length.
+// A missing file is an empty log.
+func replayWAL(path string, apply func(payload []byte) error) (int64, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	data, err := io.ReadAll(f)
+	f.Close()
+	if err != nil {
+		return 0, err
+	}
+	valid := int64(0)
+	if len(data) >= walHeaderLen && [8]byte(data[:8]) == walMagic {
+		valid = walHeaderLen
+		for {
+			rest := data[valid:]
+			if len(rest) < walFrameOverhead {
+				break
+			}
+			n := int64(binary.BigEndian.Uint32(rest[0:4]))
+			if n > maxWALPayload || int64(len(rest)) < walFrameOverhead+n {
+				break // torn or corrupt tail
+			}
+			payload := rest[walFrameOverhead : walFrameOverhead+n]
+			if binary.BigEndian.Uint32(rest[4:8]) != crc32.Checksum(payload, castagnoli) {
+				break
+			}
+			if err := apply(payload); err != nil {
+				return valid, err
+			}
+			valid += walFrameOverhead + n
+		}
+	}
+	if valid < int64(len(data)) {
+		if err := os.Truncate(path, valid); err != nil {
+			return valid, fmt.Errorf("storage: truncate torn wal tail: %w", err)
+		}
+	}
+	return valid, nil
+}
