@@ -30,23 +30,29 @@ test-disk:
 	SCDB_BACKEND=disk $(GO) test -count=1 ./internal/ledger ./internal/server ./internal/consensus ./internal/nested ./internal/bench ./internal/query
 
 test-race:
-	$(GO) test -race ./internal/parallel ./internal/ledger ./internal/consensus ./internal/server ./internal/bench ./internal/storage ./internal/docstore
+	$(GO) test -race ./internal/mempool ./internal/parallel ./internal/ledger ./internal/consensus ./internal/server ./internal/bench ./internal/storage ./internal/docstore
 	SCDB_BACKEND=disk $(GO) test -race -count=1 ./internal/ledger ./internal/server
 
 # Reproduce the parallel-validation experiment (wall-clock sweep plus
-# the virtual-time consensus leg).
+# the virtual-time consensus leg) at the paper-mix scale: ~110k
+# transactions through the validation sweep.
 bench-parallel:
-	$(GO) run ./cmd/scdb-bench -exp parallel
+	$(GO) run ./cmd/scdb-bench -exp parallel -paper
 
 # Storage-engine experiment: commit throughput and reopen/recovery
 # time, memory vs disk, across block sizes.
 bench-storage:
 	$(GO) run ./cmd/scdb-bench -exp storage
 
-# Seconds-scale smoke run of the parallel and storage experiments —
-# part of the default `make test` gate so a broken experiment path
-# fails the build, not the next benchmarking session.
+# Mempool-subsystem experiment: batched parallel admission vs serial
+# CheckTx, plus conflict-aware vs FIFO block packing.
+bench-mempool:
+	$(GO) run ./cmd/scdb-bench -exp mempool
+
+# Seconds-scale smoke run of the parallel, storage, and mempool
+# experiments — part of the default `make test` gate so a broken
+# experiment path fails the build, not the next benchmarking session.
 bench-smoke:
-	$(GO) run ./cmd/scdb-bench -exp parallel,storage -batches 1 -batchtxs 64 -parallel 1,4 -storageblocks 2 -storagesizes 64
+	$(GO) run ./cmd/scdb-bench -exp parallel,storage,mempool -batches 1 -batchtxs 64 -parallel 1,4 -storageblocks 2 -storagesizes 64 -mempooltxs 256 -conflicts 0.25,0.5
 
 ci: test test-race

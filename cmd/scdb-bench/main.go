@@ -10,7 +10,10 @@
 //	scdb-bench -exp fig2
 //	scdb-bench -exp usability
 //	scdb-bench -exp parallel -parallel 1,2,4,8 -batchtxs 256 -conflict 0.1
+//	scdb-bench -exp parallel -paper     # paper-mix scale: ~110k transactions
 //	scdb-bench -exp storage -storageblocks 8 -storagesizes 64,256,1024
+//	scdb-bench -exp mempool -mempooltxs 2048 -conflicts 0.1,0.25,0.5
+//	scdb-bench -exp fig7 -valworkers 4  # headline curves on the parallel pipeline
 //	scdb-bench -exp parallel,storage    # comma-separated subsets
 package main
 
@@ -26,19 +29,26 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "comma-separated experiments: fig2 | fig7 | fig8 | usability | mix | recovery | parallel | storage | all")
-		auctions = flag.Int("auctions", 4, "auctions per run")
-		bidders  = flag.Int("bidders", 10, "bidders per auction")
-		seed     = flag.Int64("seed", 42, "simulation seed")
-		sizes    = flag.String("sizes", "", "comma-separated payload sizes in bytes (default: the paper's 0.11-1.74 KB sweep)")
-		nodes    = flag.String("nodes", "", "comma-separated validator counts (default 4,8,16,32)")
-		mixScale = flag.Int("scale", 1000, "mix experiment: divide the paper's 110k-tx mix by this factor")
-		workers  = flag.String("parallel", "1,2,4,8", "parallel experiment: comma-separated validation worker counts (1 = sequential baseline)")
-		batchTxs = flag.Int("batchtxs", 256, "parallel experiment: transactions per block")
-		batches  = flag.Int("batches", 4, "parallel experiment: blocks per measurement")
-		conflict = flag.Float64("conflict", 0.1, "parallel experiment: fraction of conflicting transactions per block")
-		stBlocks = flag.Int("storageblocks", 8, "storage experiment: blocks per measurement")
-		stSizes  = flag.String("storagesizes", "64,256,1024", "storage experiment: comma-separated transactions per block")
+		exp        = flag.String("exp", "all", "comma-separated experiments: fig2 | fig7 | fig8 | usability | mix | recovery | parallel | storage | mempool | all")
+		auctions   = flag.Int("auctions", 4, "auctions per run")
+		bidders    = flag.Int("bidders", 10, "bidders per auction")
+		seed       = flag.Int64("seed", 42, "simulation seed")
+		sizes      = flag.String("sizes", "", "comma-separated payload sizes in bytes (default: the paper's 0.11-1.74 KB sweep)")
+		nodes      = flag.String("nodes", "", "comma-separated validator counts (default 4,8,16,32)")
+		mixScale   = flag.Int("scale", 1000, "mix experiment: divide the paper's 110k-tx mix by this factor")
+		workers    = flag.String("parallel", "1,2,4,8", "parallel/mempool experiments: comma-separated worker counts (1 = sequential baseline)")
+		batchTxs   = flag.Int("batchtxs", 256, "parallel experiment: transactions per block")
+		batches    = flag.Int("batches", 4, "parallel experiment: blocks per measurement")
+		conflict   = flag.Float64("conflict", 0.1, "parallel experiment: fraction of conflicting transactions per block")
+		paper      = flag.Bool("paper", false, "parallel experiment: paper-mix scale — ~110k transactions (430 blocks x 256 txs, single rep)")
+		valWorkers = flag.Int("valworkers", 4, "fig7/fig8: per-validator parallel-pipeline workers (0 = sequential paths)")
+		stBlocks   = flag.Int("storageblocks", 8, "storage experiment: blocks per measurement")
+		stSizes    = flag.String("storagesizes", "64,256,1024", "storage experiment: comma-separated transactions per block")
+		mpTxs      = flag.Int("mempooltxs", 2048, "mempool experiment: admission stream length")
+		mpBatch    = flag.Int("mempoolbatch", 64, "mempool experiment: admission batch size")
+		mpBlock    = flag.Int("packblock", 64, "mempool experiment: packed block size")
+		mpPackW    = flag.Int("packworkers", 8, "mempool experiment: validation workers the packer balances for")
+		mpRates    = flag.String("conflicts", "0.1,0.25,0.5", "mempool experiment: comma-separated conflict rates for the packing sweep")
 	)
 	flag.Parse()
 
@@ -58,7 +68,7 @@ func main() {
 			fatal(err)
 		}
 	}
-	scale := bench.Fig7Scale{Auctions: *auctions, Bidders: *bidders}
+	scale := bench.Fig7Scale{Auctions: *auctions, Bidders: *bidders, Workers: *valWorkers}
 
 	runFig2 := func() {
 		r, err := bench.RunFig2(*seed)
@@ -105,13 +115,29 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		bench.PrintParallel(os.Stdout, bench.RunParallel(bench.ParallelParams{
+		params := bench.ParallelParams{
 			Batches:      *batches,
 			BatchTxs:     *batchTxs,
 			Workers:      workerList,
 			ConflictRate: *conflict,
 			Seed:         *seed,
-		}))
+		}
+		if *paper {
+			// The paper's E4 mix size: 110,000 transactions through the
+			// wall-clock validation sweep (430 x 256 = 110,080). One rep:
+			// at this scale the run is minutes, not milliseconds.
+			// Explicitly passed -batches/-batchtxs still win.
+			explicit := map[string]bool{}
+			flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+			if !explicit["batches"] {
+				params.Batches = 430
+			}
+			if !explicit["batchtxs"] {
+				params.BatchTxs = 256
+			}
+			params.Reps = 1
+		}
+		bench.PrintParallel(os.Stdout, bench.RunParallel(params))
 	}
 	runStorage := func() {
 		sizeList, err := parseInts(*stSizes)
@@ -124,6 +150,25 @@ func main() {
 			Seed:       *seed,
 		}))
 	}
+	runMempool := func() {
+		workerList, err := parseInts(*workers)
+		if err != nil {
+			fatal(err)
+		}
+		rateList, err := parseFloats(*mpRates)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintMempool(os.Stdout, bench.RunMempool(bench.MempoolParams{
+			Txs:           *mpTxs,
+			Batch:         *mpBatch,
+			Workers:       workerList,
+			ConflictRates: rateList,
+			BlockTxs:      *mpBlock,
+			PackWorkers:   *mpPackW,
+			Seed:          *seed,
+		}))
+	}
 
 	experiments := map[string]func(){
 		"fig2":      runFig2,
@@ -134,8 +179,9 @@ func main() {
 		"recovery":  runRecovery,
 		"parallel":  runParallel,
 		"storage":   runStorage,
+		"mempool":   runMempool,
 	}
-	order := []string{"fig2", "fig7", "fig8", "usability", "mix", "recovery", "parallel", "storage"}
+	order := []string{"fig2", "fig7", "fig8", "usability", "mix", "recovery", "parallel", "storage", "mempool"}
 
 	var selected []string
 	seen := make(map[string]bool)
@@ -176,6 +222,19 @@ func parseInts(s string) ([]int, error) {
 		v, err := strconv.Atoi(strings.TrimSpace(p))
 		if err != nil {
 			return nil, fmt.Errorf("bad integer %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad float %q", p)
 		}
 		out = append(out, v)
 	}

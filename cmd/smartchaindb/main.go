@@ -24,12 +24,20 @@ import (
 
 func main() {
 	var (
-		nodes   = flag.Int("nodes", 4, "validator count")
-		bidders = flag.Int("bidders", 3, "bidders in the auction")
-		seed    = flag.Int64("seed", 7, "simulation seed")
-		datadir = flag.String("datadir", "", "persist each validator's chain state under this directory (WAL + segments per node); empty keeps state in memory")
+		nodes        = flag.Int("nodes", 4, "validator count")
+		bidders      = flag.Int("bidders", 3, "bidders in the auction")
+		seed         = flag.Int64("seed", 7, "simulation seed")
+		datadir      = flag.String("datadir", "", "persist each validator's chain state under this directory (WAL + segments per node); empty keeps state in memory")
+		packing      = flag.String("packing", "makespan", "block packing policy off the footprint-indexed mempool: makespan (conflict-aware) or fifo (arrival order)")
+		admitBatch   = flag.Int("admitbatch", 64, "admission batch size: arrivals buffered while the receiver is busy join the next CheckTx batch")
+		admitWorkers = flag.Int("admitworkers", 4, "CheckTx-stage admission workers per node (<2 validates each batch sequentially)")
+		valWorkers   = flag.Int("valworkers", 4, "DeliverTx-stage block-validation workers per node (<2 = sequential)")
 	)
 	flag.Parse()
+	if _, err := server.ParsePacking(*packing); err != nil {
+		fmt.Fprintln(os.Stderr, "smartchaindb:", err)
+		os.Exit(2)
+	}
 
 	cluster := server.NewCluster(server.ClusterConfig{
 		Nodes:         *nodes,
@@ -38,6 +46,12 @@ func main() {
 		MaxBlockTxs:   8,
 		Pipelined:     true,
 		DataDir:       *datadir,
+		Packing:       *packing,
+		Node: server.Config{
+			ParallelWorkers:  *valWorkers,
+			AdmissionWorkers: *admitWorkers,
+			MempoolBatch:     *admitBatch,
+		},
 	})
 	defer cluster.Close()
 	if *datadir != "" {

@@ -105,9 +105,13 @@ type Fig7Row struct {
 }
 
 // Fig7Scale shrinks the workload for quick runs; 1 = bench default.
+// Workers > 1 runs every SmartchainDB validator with the parallel
+// pipeline (admission, validation, packing) on that many workers, so
+// the headline curves reflect it; zero keeps the sequential paths.
 type Fig7Scale struct {
 	Auctions int
 	Bidders  int
+	Workers  int
 }
 
 // RunFig7 sweeps payload sizes on both systems.
@@ -123,7 +127,8 @@ func RunFig7(sizes []int, scale Fig7Scale, seed int64) ([]Fig7Row, error) {
 		scdb := RunSCDB(SCDBParams{
 			Nodes: 4, PayloadBytes: size,
 			Auctions: scale.Auctions, Bidders: scale.Bidders,
-			Seed: seed + int64(i),
+			Workers: scale.Workers,
+			Seed:    seed + int64(i),
 		})
 		eth, err := RunETH(ETHParams{
 			Nodes: 4, PayloadBytes: size,
@@ -158,7 +163,8 @@ func RunFig8(nodeCounts []int, scale Fig7Scale, seed int64) ([]Fig8Row, error) {
 		scdb := RunSCDB(SCDBParams{
 			Nodes: n, PayloadBytes: Fig8PayloadBytes,
 			Auctions: scale.Auctions, Bidders: scale.Bidders,
-			Seed: seed + int64(i),
+			Workers: scale.Workers,
+			Seed:    seed + int64(i),
 		})
 		eth, err := RunETH(ETHParams{
 			Nodes: n, PayloadBytes: Fig8PayloadBytes,

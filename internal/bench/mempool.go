@@ -1,0 +1,458 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"smartchaindb/internal/consensus"
+	"smartchaindb/internal/keys"
+	"smartchaindb/internal/mempool"
+	"smartchaindb/internal/netsim"
+	"smartchaindb/internal/parallel"
+	"smartchaindb/internal/server"
+	"smartchaindb/internal/txn"
+	"smartchaindb/internal/workload"
+)
+
+// MempoolParams configures the mempool-subsystem experiment: the
+// ingest leg of the parallel pipeline. Three measurements:
+//
+//   - Admission (wall clock): one transaction stream — with the
+//     resubmitted duplicates and pending double-spends a live receiver
+//     sees — admitted one-at-a-time through seed-style CheckTx vs in
+//     batches through the footprint-indexed pool, whose O(1) structural
+//     screen drops duplicates and claimed spends before any signature
+//     is verified and whose CheckFn validates each batch over the
+//     conflict-group scheduler.
+//   - Admission (virtual time): the same comparison end-to-end through
+//     a receiver-bound consensus cluster, deterministic and
+//     independent of host cores.
+//   - Packing: pending pools at several conflict rates, packed FIFO vs
+//     makespan-aware; the packed block's Plan.Makespan on the
+//     validators' workers is the metric.
+type MempoolParams struct {
+	// Txs is the admission stream length (default 2048).
+	Txs int
+	// Batch is the admission batch size (default 64).
+	Batch int
+	// Workers are the admission worker counts for the batched rows;
+	// the serial CheckTx baseline is always measured.
+	Workers []int
+	// ConflictRates sweeps the packing leg (default 0.10, 0.25, 0.50).
+	ConflictRates []float64
+	// BlockTxs is the packed block size (default 64).
+	BlockTxs int
+	// PackWorkers is the validation worker count the packer balances
+	// for (default 8).
+	PackWorkers int
+	// PoolFactor sizes the pending pool for the packing leg as a
+	// multiple of BlockTxs (default 4).
+	PoolFactor int
+	// Reps repeats wall-clock measurements, keeping the fastest.
+	Reps int
+	// Seed drives workload generation.
+	Seed int64
+}
+
+func (p *MempoolParams) fill() {
+	if p.Txs <= 0 {
+		p.Txs = 2048
+	}
+	if p.Batch <= 0 {
+		p.Batch = 64
+	}
+	if len(p.Workers) == 0 {
+		p.Workers = []int{1, 2, 4, 8}
+	}
+	if len(p.ConflictRates) == 0 {
+		p.ConflictRates = []float64{0.10, 0.25, 0.50}
+	}
+	if p.BlockTxs <= 0 {
+		p.BlockTxs = 64
+	}
+	if p.PackWorkers <= 0 {
+		p.PackWorkers = 8
+	}
+	if p.PoolFactor <= 0 {
+		p.PoolFactor = 4
+	}
+	if p.Reps <= 0 {
+		p.Reps = 3
+	}
+}
+
+// MempoolAdmissionRow is one wall-clock admission measurement.
+type MempoolAdmissionRow struct {
+	Label    string // "serial CheckTx" or "batched wN"
+	Workers  int
+	Elapsed  time.Duration
+	TPS      float64 // stream transactions per second
+	Speedup  float64 // vs the serial row
+	Admitted int
+	Screened int // structural skips: duplicate IDs, claimed spends
+	Rejected int // semantic rejections
+}
+
+// MempoolSimRow is one virtual-time point: a receiver-bound cluster
+// with the given admission worker count.
+type MempoolSimRow struct {
+	Workers    int
+	Throughput float64 // committed tx per simulated second
+	MeanMs     float64
+	Committed  int
+}
+
+// MempoolPackRow compares the two packing policies at one conflict
+// rate. Makespans are in transaction units on PackWorkers workers.
+type MempoolPackRow struct {
+	ConflictRate   float64
+	FIFOMakespan   int
+	PackedMakespan int
+	FIFOGroups     int
+	PackedGroups   int
+	Improvement    float64 // FIFO / packed
+}
+
+// MempoolResult is the full experiment.
+type MempoolResult struct {
+	Params        MempoolParams
+	AdmissionRows []MempoolAdmissionRow
+	SimRows       []MempoolSimRow
+	PackRows      []MempoolPackRow
+	// Agree reports that every batched worker count admitted the same
+	// transaction count (wall clock) and committed the same set
+	// (virtual time). The serial baseline is deliberately outside the
+	// check: it admits pending double-spend rivals the index screens,
+	// so its admitted count legitimately differs.
+	Agree bool
+}
+
+// admissionWorkload builds the backing transactions (one shared
+// REQUEST plus the assets) and a stream of p.Txs admissions:
+// independent transfers, bids on the shared REQUEST, resubmitted
+// duplicates (~15%), and double-spends of pending transfers (~10%) —
+// the traffic shape the structural screen exists for.
+func admissionWorkload(p MempoolParams) (backing, stream []*txn.Transaction) {
+	reserved := keys.NewReservedWithDefaults(p.Seed + 9100)
+	gen := workload.NewGenerator(p.Seed+11, reserved.Escrow())
+	rng := rand.New(rand.NewSource(p.Seed + 23))
+
+	const payload = 128
+	requester := gen.Account(4_000_000)
+	rfq := gen.Request(requester, []string{"cnc"}, payload)
+	backing = append(backing, rfq)
+	stream = make([]*txn.Transaction, 0, p.Txs)
+	fresh := make([]*txn.Transaction, 0, p.Txs) // originals eligible for duplication
+	var prev *txn.Transaction
+	var prevOwner *keys.KeyPair
+	for i := 0; i < p.Txs; i++ {
+		r := rng.Float64()
+		switch {
+		case r < 0.15 && len(fresh) > 0:
+			// Resubmitted duplicate (client retry storm).
+			stream = append(stream, fresh[rng.Intn(len(fresh))])
+			continue
+		case r < 0.25 && prev != nil:
+			// Double-spend of a pending transfer's input.
+			dup := txn.NewTransfer(prev.Asset.ID,
+				[]txn.Spend{{Ref: *prev.Inputs[0].Fulfills, Owners: prev.Inputs[0].OwnersBefore}},
+				[]*txn.Output{{PublicKeys: []string{gen.Account(5_000_000 + i).PublicBase58()}, Amount: 1}},
+				nil)
+			if err := txn.Sign(dup, prevOwner); err != nil {
+				panic(fmt.Sprintf("bench: sign dup: %v", err))
+			}
+			stream = append(stream, dup)
+			continue
+		}
+		owner := gen.Account(4_100_000 + i)
+		asset := gen.Create(owner, []string{"cnc"}, payload)
+		backing = append(backing, asset)
+		if r < 0.35 {
+			// Bid on the shared REQUEST: valid, conflicting with every
+			// other bid on it.
+			bid := gen.Bid(owner, asset, rfq, payload)
+			stream = append(stream, bid)
+			fresh = append(fresh, bid)
+			continue
+		}
+		recipient := gen.Account(6_000_000 + i)
+		tr := txn.NewTransfer(asset.ID,
+			[]txn.Spend{{Ref: txn.OutputRef{TxID: asset.ID, Index: 0}, Owners: []string{owner.PublicBase58()}}},
+			[]*txn.Output{{PublicKeys: []string{recipient.PublicBase58()}, Amount: 1}},
+			nil)
+		if err := txn.Sign(tr, owner); err != nil {
+			panic(fmt.Sprintf("bench: sign transfer: %v", err))
+		}
+		stream = append(stream, tr)
+		fresh = append(fresh, tr)
+		prev, prevOwner = tr, owner
+	}
+	return backing, stream
+}
+
+// newAdmissionNode builds a server node with the backing transactions
+// committed.
+func newAdmissionNode(backing []*txn.Transaction, seed int64, workers int) *server.Node {
+	n := server.NewNode(server.Config{ReservedSeed: seed + 9100, AdmissionWorkers: workers})
+	for _, t := range backing {
+		if err := n.State().CommitTx(t); err != nil {
+			panic(fmt.Sprintf("bench: commit backing tx: %v", err))
+		}
+	}
+	return n
+}
+
+// runSerialAdmission is the seed receiver path: full CheckTx per
+// stream entry, one at a time, with the arrival-order dedup map.
+func runSerialAdmission(node *server.Node, stream []*txn.Transaction) MempoolAdmissionRow {
+	row := MempoolAdmissionRow{Label: "serial CheckTx", Workers: 1}
+	inMempool := make(map[string]bool, len(stream))
+	for _, t := range stream {
+		if err := node.ValidateTx(t); err != nil {
+			row.Rejected++
+			continue
+		}
+		if inMempool[t.ID] {
+			row.Screened++ // paid full validation before the dedup
+			continue
+		}
+		inMempool[t.ID] = true
+		row.Admitted++
+	}
+	return row
+}
+
+// runBatchedAdmission pushes the stream through the pool in batches.
+func runBatchedAdmission(node *server.Node, stream []*txn.Transaction, batch int) MempoolAdmissionRow {
+	var row MempoolAdmissionRow
+	pool := mempool.New(mempool.Config{
+		BatchSize: batch,
+		Footprint: mempool.ForTransaction,
+		Check: func(txs []mempool.Tx) map[string]error {
+			batchTxs := make([]consensus.Tx, len(txs))
+			for i, tx := range txs {
+				batchTxs[i] = tx.(consensus.Tx)
+			}
+			return node.CheckTxBatch(batchTxs)
+		},
+	})
+	for start := 0; start < len(stream); start += batch {
+		end := start + batch
+		if end > len(stream) {
+			end = len(stream)
+		}
+		in := make([]mempool.Tx, end-start)
+		for i, t := range stream[start:end] {
+			in[i] = t
+		}
+		res := pool.AdmitBatch(in)
+		row.Admitted += len(res.Admitted)
+		row.Screened += len(res.Skipped)
+		row.Rejected += len(res.Rejected)
+	}
+	return row
+}
+
+// runMempoolSim drives a receiver-bound cluster (fast submissions,
+// expensive receiver validation) with the given admission worker
+// count and reports its virtual-time summary.
+func runMempoolSim(workers int, seed int64) MempoolSimRow {
+	cluster := server.NewCluster(server.ClusterConfig{
+		Nodes:         4,
+		Seed:          seed,
+		BlockInterval: 40 * time.Millisecond,
+		MaxBlockTxs:   64,
+		Pipelined:     true,
+		Latency:       netsim.UniformLatency{Base: 3 * time.Millisecond, Jitter: 2 * time.Millisecond},
+		ChildDelay:    100 * time.Millisecond,
+		Node: server.Config{
+			ReceiverTime:        8 * time.Millisecond,
+			ValidationTimePerTx: 200 * time.Microsecond,
+			ParallelWorkers:     4,
+			AdmissionWorkers:    workers,
+			MempoolBatch:        32,
+		},
+	})
+	gen := workload.NewGenerator(seed+7, cluster.ServerNode(0).Escrow())
+	const auctions, bidders = 8, 6
+	groups := make([]*workload.AuctionGroup, 0, auctions)
+	base := 0
+	for i := 0; i < auctions; i++ {
+		groups = append(groups, gen.NewAuctionGroup(base, workload.AuctionGroupSpec{
+			BiddersPerAuction: bidders, PayloadBytes: 128,
+		}))
+		base += bidders + 1
+	}
+	driveAuctionPhases(cluster, groups, time.Millisecond)
+	sum := cluster.Summarize()
+	return MempoolSimRow{
+		Workers:    workers,
+		Throughput: sum.Throughput,
+		MeanMs:     float64(sum.MeanLatency) / float64(time.Millisecond),
+		Committed:  sum.Committed,
+	}
+}
+
+// packingWorkload fills a pending pool at one conflict rate:
+// conflicting slots are bids on one shared REQUEST (a single growing
+// conflict group), the rest independent transfers.
+func packingWorkload(p MempoolParams, rate float64) []*txn.Transaction {
+	reserved := keys.NewReservedWithDefaults(p.Seed + 9200)
+	gen := workload.NewGenerator(p.Seed+31, reserved.Escrow())
+	rng := rand.New(rand.NewSource(p.Seed + 37))
+
+	// The packing leg measures conflict structure only (admission is
+	// structural, Check-free), so the backing CREATEs/REQUEST need not
+	// be committed anywhere.
+	const payload = 128
+	requester := gen.Account(7_000_000)
+	rfq := gen.Request(requester, []string{"cnc"}, payload)
+	total := p.PoolFactor * p.BlockTxs
+	pending := make([]*txn.Transaction, 0, total)
+	for i := 0; i < total; i++ {
+		owner := gen.Account(7_100_000 + i)
+		asset := gen.Create(owner, []string{"cnc"}, payload)
+		if rng.Float64() < rate {
+			pending = append(pending, gen.Bid(owner, asset, rfq, payload))
+			continue
+		}
+		recipient := gen.Account(7_200_000 + i)
+		tr := txn.NewTransfer(asset.ID,
+			[]txn.Spend{{Ref: txn.OutputRef{TxID: asset.ID, Index: 0}, Owners: []string{owner.PublicBase58()}}},
+			[]*txn.Output{{PublicKeys: []string{recipient.PublicBase58()}, Amount: 1}},
+			nil)
+		if err := txn.Sign(tr, owner); err != nil {
+			panic(fmt.Sprintf("bench: sign transfer: %v", err))
+		}
+		pending = append(pending, tr)
+	}
+	return pending
+}
+
+// packWith admits the pending set into a pool with the given policy
+// and packs one block.
+func packWith(pending []*txn.Transaction, policy mempool.Policy, blockTxs, workers int) []*txn.Transaction {
+	pool := mempool.New(mempool.Config{Policy: policy, PackWorkers: workers})
+	in := make([]mempool.Tx, len(pending))
+	for i, t := range pending {
+		in[i] = t
+	}
+	pool.AdmitBatch(in)
+	packed := pool.Pack(blockTxs, workers)
+	out := make([]*txn.Transaction, len(packed))
+	for i, tx := range packed {
+		out[i] = tx.(*txn.Transaction)
+	}
+	return out
+}
+
+// RunMempool runs the full experiment.
+func RunMempool(p MempoolParams) MempoolResult {
+	p.fill()
+	res := MempoolResult{Params: p, Agree: true}
+
+	// --- Admission, wall clock ---------------------------------------
+	backing, stream := admissionWorkload(p)
+	measure := func(run func() MempoolAdmissionRow) MempoolAdmissionRow {
+		best := MempoolAdmissionRow{Elapsed: time.Duration(1<<62 - 1)}
+		for rep := 0; rep < p.Reps; rep++ {
+			start := time.Now()
+			row := run()
+			row.Elapsed = time.Since(start)
+			row.TPS = float64(len(stream)) / row.Elapsed.Seconds()
+			if row.Elapsed < best.Elapsed {
+				best = row
+			}
+		}
+		return best
+	}
+	node1 := newAdmissionNode(backing, p.Seed, 1)
+	serial := measure(func() MempoolAdmissionRow { return runSerialAdmission(node1, stream) })
+	serial.Speedup = 1
+	res.AdmissionRows = append(res.AdmissionRows, serial)
+	admittedWant := -1
+	for _, w := range p.Workers {
+		node := newAdmissionNode(backing, p.Seed, w)
+		row := measure(func() MempoolAdmissionRow { return runBatchedAdmission(node, stream, p.Batch) })
+		row.Label = fmt.Sprintf("batched w%d", w)
+		row.Workers = w
+		if serial.Elapsed > 0 {
+			row.Speedup = float64(serial.Elapsed) / float64(row.Elapsed)
+		}
+		if admittedWant < 0 {
+			admittedWant = row.Admitted
+		} else if row.Admitted != admittedWant {
+			res.Agree = false // worker counts must admit identical sets
+		}
+		res.AdmissionRows = append(res.AdmissionRows, row)
+	}
+
+	// --- Admission, virtual time -------------------------------------
+	committedWant := -1
+	for _, w := range p.Workers {
+		row := runMempoolSim(w, p.Seed)
+		if committedWant < 0 {
+			committedWant = row.Committed
+		} else if row.Committed != committedWant {
+			res.Agree = false
+		}
+		res.SimRows = append(res.SimRows, row)
+	}
+
+	// --- Packing ------------------------------------------------------
+	for _, rate := range p.ConflictRates {
+		pending := packingWorkload(p, rate)
+		fifo := packWith(pending, mempool.PackFIFO, p.BlockTxs, p.PackWorkers)
+		packed := packWith(pending, mempool.PackMakespan, p.BlockTxs, p.PackWorkers)
+		fifoPlan := parallel.BuildPlan(fifo)
+		packedPlan := parallel.BuildPlan(packed)
+		row := MempoolPackRow{
+			ConflictRate:   rate,
+			FIFOMakespan:   fifoPlan.Makespan(p.PackWorkers),
+			PackedMakespan: packedPlan.Makespan(p.PackWorkers),
+			FIFOGroups:     len(fifoPlan.Groups),
+			PackedGroups:   len(packedPlan.Groups),
+		}
+		if row.PackedMakespan > 0 {
+			row.Improvement = float64(row.FIFOMakespan) / float64(row.PackedMakespan)
+		}
+		res.PackRows = append(res.PackRows, row)
+	}
+	return res
+}
+
+// PrintMempool renders the experiment.
+func PrintMempool(w io.Writer, r MempoolResult) {
+	p := r.Params
+	fmt.Fprintf(w, "Mempool — batched admission, %d-tx stream (~15%% duplicates, ~10%% double-spends), batch %d\n",
+		p.Txs, p.Batch)
+	fmt.Fprintf(w, "  %-16s %12s %12s %9s %9s %9s %9s\n",
+		"path", "elapsed(ms)", "tps", "speedup", "admitted", "screened", "rejected")
+	for _, row := range r.AdmissionRows {
+		fmt.Fprintf(w, "  %-16s %12.1f %12.0f %8.2fx %9d %9d %9d\n",
+			row.Label, ms(row.Elapsed), row.TPS, row.Speedup, row.Admitted, row.Screened, row.Rejected)
+	}
+	fmt.Fprintf(w, "  (screened = O(1) index skips before any signature check; wall-clock rows depend on host cores: GOMAXPROCS=%d)\n\n",
+		runtime.GOMAXPROCS(0))
+	fmt.Fprintln(w, "Mempool — batched admission, receiver-bound consensus cluster (virtual time)")
+	fmt.Fprintf(w, "  %-10s %12s %14s %10s\n", "workers", "tps", "latency(ms)", "committed")
+	for _, row := range r.SimRows {
+		fmt.Fprintf(w, "  %-10d %12.1f %14.1f %10d\n", row.Workers, row.Throughput, row.MeanMs, row.Committed)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "Mempool — block packing, %d-tx blocks from a %d-tx pool, makespan on %d workers\n",
+		p.BlockTxs, p.PoolFactor*p.BlockTxs, p.PackWorkers)
+	fmt.Fprintf(w, "  %-10s %14s %14s %14s %14s %9s\n",
+		"conflict", "fifo span", "packed span", "fifo groups", "packed groups", "gain")
+	for _, row := range r.PackRows {
+		fmt.Fprintf(w, "  %-10.0f %14d %14d %14d %14d %8.2fx\n",
+			row.ConflictRate*100, row.FIFOMakespan, row.PackedMakespan, row.FIFOGroups, row.PackedGroups, row.Improvement)
+	}
+	if !r.Agree {
+		fmt.Fprintln(w, "  WARNING: admission paths disagreed")
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"smartchaindb/internal/consensus"
+	"smartchaindb/internal/server"
+	"smartchaindb/internal/workload"
+)
+
+// TestPackingPolicyDifferential drives the identical conflict-heavy
+// auction workload through two full consensus clusters — one packing
+// blocks in arrival order, one with the makespan-aware policy — and
+// requires them to commit exactly the same transaction set and
+// byte-identical chain state on every validator. Packing may reshape
+// blocks; it must never reshape state.
+func TestPackingPolicyDifferential(t *testing.T) {
+	const auctions, bidders = 3, 5
+
+	type outcome struct {
+		committed    []string
+		fingerprints []string
+	}
+	run := func(packing string) outcome {
+		cluster := server.NewCluster(server.ClusterConfig{
+			Nodes:         4,
+			Seed:          4242, // same seed: identical scheduling and workload
+			BlockInterval: 40 * time.Millisecond,
+			MaxBlockTxs:   8,
+			Pipelined:     true,
+			ChildDelay:    100 * time.Millisecond,
+			Packing:       packing,
+			Node: server.Config{
+				ReceiverTime:        2 * time.Millisecond,
+				ValidationTimePerTx: time.Millisecond,
+				ParallelWorkers:     4,
+				AdmissionWorkers:    4,
+				MempoolBatch:        16,
+			},
+		})
+		var committed []string
+		cluster.OnCommit(func(tx consensus.Tx, _ time.Duration) {
+			committed = append(committed, tx.Hash())
+		})
+		gen := workload.NewGenerator(55, cluster.ServerNode(0).Escrow())
+		groups := make([]*workload.AuctionGroup, 0, auctions)
+		base := 0
+		for i := 0; i < auctions; i++ {
+			groups = append(groups, gen.NewAuctionGroup(base, workload.AuctionGroupSpec{
+				BiddersPerAuction: bidders, PayloadBytes: 96,
+			}))
+			base += bidders + 1
+		}
+		driveAuctionPhases(cluster, groups, 3*time.Millisecond)
+		sort.Strings(committed)
+		var fps []string
+		for i := 0; i < 4; i++ {
+			fps = append(fps, cluster.ServerNode(i).State().Fingerprint())
+		}
+		return outcome{committed: committed, fingerprints: fps}
+	}
+
+	fifo := run("fifo")
+	packed := run("makespan")
+
+	if len(fifo.committed) == 0 {
+		t.Fatal("FIFO cluster committed nothing")
+	}
+	if len(fifo.committed) != len(packed.committed) {
+		t.Fatalf("committed counts differ: fifo=%d makespan=%d", len(fifo.committed), len(packed.committed))
+	}
+	for i := range fifo.committed {
+		if fifo.committed[i] != packed.committed[i] {
+			t.Fatalf("committed sets differ at %d: %.8s vs %.8s", i, fifo.committed[i], packed.committed[i])
+		}
+	}
+	// Replicas agree within each cluster...
+	for i, fp := range fifo.fingerprints {
+		if fp != fifo.fingerprints[0] {
+			t.Fatalf("FIFO node %d state diverged", i)
+		}
+	}
+	for i, fp := range packed.fingerprints {
+		if fp != packed.fingerprints[0] {
+			t.Fatalf("makespan node %d state diverged", i)
+		}
+	}
+	// ...and across the two policies, byte for byte.
+	if fifo.fingerprints[0] != packed.fingerprints[0] {
+		t.Fatal("packing policy changed committed state")
+	}
+}
+
+// TestRunMempoolSmoke pins the experiment's acceptance shape on a
+// small instance: the packing leg must strictly beat FIFO's makespan
+// at conflict rates >= 25%, the virtual-time admission leg must speed
+// up with workers, and every admission path must agree on verdicts.
+func TestRunMempoolSmoke(t *testing.T) {
+	r := RunMempool(MempoolParams{
+		Txs:           256,
+		Batch:         32,
+		Workers:       []int{1, 4},
+		ConflictRates: []float64{0.25, 0.5},
+		BlockTxs:      64,
+		PackWorkers:   8,
+		Reps:          1,
+		Seed:          99,
+	})
+	if !r.Agree {
+		t.Fatal("admission paths disagreed")
+	}
+	for _, row := range r.PackRows {
+		if row.PackedMakespan >= row.FIFOMakespan {
+			t.Errorf("conflict %.0f%%: packed makespan %d not strictly below FIFO %d",
+				row.ConflictRate*100, row.PackedMakespan, row.FIFOMakespan)
+		}
+	}
+	if len(r.SimRows) != 2 {
+		t.Fatalf("sim rows = %d", len(r.SimRows))
+	}
+	if r.SimRows[1].Throughput <= r.SimRows[0].Throughput {
+		t.Errorf("batched parallel admission did not raise virtual-time throughput: w1=%.1f w4=%.1f",
+			r.SimRows[0].Throughput, r.SimRows[1].Throughput)
+	}
+	for _, row := range r.AdmissionRows {
+		if row.TPS <= 0 || row.Admitted == 0 {
+			t.Errorf("degenerate admission row: %+v", row)
+		}
+	}
+	// The structural screen must be doing the work the index exists
+	// for: duplicates and double-spends skipped before validation.
+	batched := r.AdmissionRows[len(r.AdmissionRows)-1]
+	if batched.Screened == 0 {
+		t.Error("batched admission screened nothing")
+	}
+}

@@ -26,6 +26,11 @@ type SCDBParams struct {
 	Seed         int64
 	// SubmitGap spaces client submissions (offered load pacing).
 	SubmitGap time.Duration
+	// Workers enables the parallel pipeline on every validator:
+	// DeliverTx-stage block validation, CheckTx-stage batched
+	// admission, and makespan-aware packing all run on this many
+	// workers. Zero keeps the sequential paths.
+	Workers int
 }
 
 func (p *SCDBParams) fill() {
@@ -57,6 +62,8 @@ func newSCDBCluster(p SCDBParams) *server.Cluster {
 		Node: server.Config{
 			ReceiverTime:        20 * time.Millisecond,
 			ValidationTimePerTx: 500 * time.Microsecond,
+			ParallelWorkers:     p.Workers,
+			AdmissionWorkers:    p.Workers,
 		},
 	})
 }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"smartchaindb/internal/mempool"
 	"smartchaindb/internal/netsim"
 	"smartchaindb/internal/simclock"
 )
@@ -52,6 +53,25 @@ type App interface {
 	Commit(height int64, txs []Tx)
 }
 
+// BatchApp is optionally implemented by Apps whose CheckTx-stage
+// validation handles a whole admission batch as one unit. The node's
+// receiver path accumulates arrivals while its execution resource is
+// busy and admits them in batches; a BatchApp validates each batch
+// internally in parallel (the SmartchainDB app dispatches conflict
+// groups to a worker pool) and returns per-transaction verdicts, so one
+// bad transaction never poisons its batch. Apps without it fall back to
+// per-transaction CheckTx inside the batch.
+type BatchApp interface {
+	// CheckTxBatch validates an admission batch against committed
+	// state, returning the errors keyed by transaction hash;
+	// transactions absent from the result are admitted.
+	CheckTxBatch(txs []Tx) map[string]error
+	// ReceiverBatchTime is the simulated receiver cost of one batched
+	// admission (the makespan of the batch's conflict groups on the
+	// admission workers, not the per-transaction sum).
+	ReceiverBatchTime(txs []Tx) time.Duration
+}
+
 // Config parameterizes a cluster.
 type Config struct {
 	// Nodes is the number of validators.
@@ -75,6 +95,14 @@ type Config struct {
 	// committed nor been rejected — the driver-side re-trigger of
 	// §4.2.1 that rescues transactions lost to a crashing receiver.
 	RetryTimeout time.Duration
+	// Mempool configures each node's footprint-indexed admission pool:
+	// batch size, spend-index sharding, packing policy, and the
+	// footprint function. The zero value keeps the seed behaviour
+	// (FIFO packing, declarative footprints for SmartchainDB
+	// transactions, independent footprints for foreign ones). The
+	// semantic Check hook is wired per node to its App and must stay
+	// nil here.
+	Mempool mempool.Config
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -98,6 +126,8 @@ func (c *Config) fill() {
 	if c.RetryTimeout <= 0 {
 		c.RetryTimeout = 2 * time.Second
 	}
+	// Mempool defaults (Shards, BatchSize, the ForTransaction
+	// footprint function) apply inside mempool.New.
 }
 
 // Quorum returns the vote threshold: more than 2/3 of n validators.

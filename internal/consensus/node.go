@@ -3,8 +3,10 @@ package consensus
 import (
 	"crypto/sha3"
 	"encoding/hex"
+	"errors"
 	"time"
 
+	"smartchaindb/internal/mempool"
 	"smartchaindb/internal/netsim"
 	"smartchaindb/internal/simclock"
 )
@@ -54,16 +56,34 @@ type hrKey struct {
 	r int
 }
 
+// admitItem is one transaction awaiting batched admission, tagged with
+// its origin: client submissions are re-gossiped and get their
+// rejections recorded; gossiped copies are neither.
+type admitItem struct {
+	tx     Tx
+	client bool
+}
+
 // node is one validator's consensus state machine.
 type node struct {
 	c   *Cluster
 	id  netsim.NodeID
 	app App
+	// batchApp is non-nil when the app validates admission batches as
+	// one parallel unit (see BatchApp).
+	batchApp BatchApp
 
 	height int64 // height currently being decided
 
-	mempool   []Tx
-	inMempool map[string]bool
+	// pool is the footprint-indexed mempool: pending transactions,
+	// their spend claims, and the packing policy live here.
+	pool *mempool.Pool
+	// admitQueue buffers arrivals while an admission batch occupies
+	// the node's execution resource; queued dedups it.
+	admitQueue []admitItem
+	queued     map[string]bool
+	admitting  bool
+
 	committed map[string]bool // tx hashes applied locally
 	reserved  map[string]bool // txs in a precommitted-but-unfinalized block (pipelining)
 
@@ -92,12 +112,12 @@ type node struct {
 }
 
 func newNode(c *Cluster, id netsim.NodeID, app App) *node {
-	return &node{
+	n := &node{
 		c:             c,
 		id:            id,
 		app:           app,
 		height:        1,
-		inMempool:     make(map[string]bool),
+		queued:        make(map[string]bool),
 		committed:     make(map[string]bool),
 		reserved:      make(map[string]bool),
 		proposals:     make(map[hrKey]*msgProposal),
@@ -111,13 +131,18 @@ func newNode(c *Cluster, id netsim.NodeID, app App) *node {
 		appliedBlocks: make(map[int64][]Tx),
 		round:         make(map[int64]int),
 	}
+	n.batchApp, _ = app.(BatchApp)
+	poolCfg := c.cfg.Mempool
+	poolCfg.Check = n.checkBatch
+	n.pool = mempool.New(poolCfg)
+	return n
 }
 
 // Height returns the height the node is currently deciding.
 func (n *node) Height() int64 { return n.height }
 
 // MempoolSize returns the node's pending transaction count.
-func (n *node) MempoolSize() int { return len(n.mempool) }
+func (n *node) MempoolSize() int { return n.pool.Len() }
 
 func (n *node) proposerFor(h int64, r int) netsim.NodeID {
 	return netsim.NodeID((int(h) + r) % n.c.cfg.Nodes)
@@ -136,46 +161,200 @@ func (n *node) charge(d time.Duration) time.Duration {
 }
 
 // receiveClientTx is the receiver-node path of Figure 4: semantic
-// validation on one randomly selected node, then gossip.
-func (n *node) receiveClientTx(tx Tx) {
-	done := n.charge(n.app.ReceiverTime(tx))
+// validation on one randomly selected node, then gossip. Arrivals are
+// funneled through the batched admission pipeline.
+func (n *node) receiveClientTx(tx Tx) { n.enqueueAdmission(tx, true) }
+
+// enqueueAdmission queues one transaction for the next admission batch.
+func (n *node) enqueueAdmission(tx Tx, client bool) {
+	h := tx.Hash()
+	if n.queued[h] {
+		// Already awaiting admission. A client copy arriving on top of
+		// a queued gossip copy upgrades the item: the client is owed
+		// the rejection verdict and the re-broadcast.
+		if client {
+			for i := range n.admitQueue {
+				if n.admitQueue[i].tx.Hash() == h {
+					n.admitQueue[i].client = true
+					break
+				}
+			}
+		}
+		return
+	}
+	if n.committed[h] {
+		return
+	}
+	if n.pool.Contains(h) {
+		// Already pending: a resubmitted client copy is still gossiped
+		// (the original receiver may have crashed before broadcasting)
+		// and may still trigger a proposal; a gossiped duplicate is
+		// dropped.
+		if client {
+			n.c.net.Broadcast(n.id, msgTx{Tx: tx})
+			n.maybePropose()
+		}
+		return
+	}
+	n.queued[h] = true
+	n.admitQueue = append(n.admitQueue, admitItem{tx: tx, client: client})
+	n.maybeAdmit()
+}
+
+// maybeAdmit starts the next admission batch unless one is in flight.
+// Client transactions occupy the node's execution resource for the
+// batch's receiver-validation time ("Prepare and Sign" + semantic
+// validation); gossiped copies ride along free, as in the
+// one-at-a-time path, where only the receiver node pays validation
+// time. Arrivals during the in-flight batch accumulate into the next
+// one — batching by backpressure.
+func (n *node) maybeAdmit() {
+	if n.admitting || len(n.admitQueue) == 0 {
+		return
+	}
+	size := n.pool.BatchSize()
+	if size > len(n.admitQueue) {
+		size = len(n.admitQueue)
+	}
+	batch := make([]admitItem, size)
+	copy(batch, n.admitQueue[:size])
+	n.admitQueue = n.admitQueue[size:]
+	for _, it := range batch {
+		delete(n.queued, it.tx.Hash())
+	}
+	n.admitting = true
+	var clientTxs []Tx
+	for _, it := range batch {
+		if it.client {
+			clientTxs = append(clientTxs, it.tx)
+		}
+	}
+	done := n.c.sched.Now()
+	if len(clientTxs) > 0 {
+		done = n.charge(n.receiverTime(clientTxs))
+	}
 	n.c.sched.At(done, func() {
+		n.admitting = false
 		if n.c.net.IsDown(n.id) {
-			return // crashed while validating; client driver will retry
+			return // crashed while validating; the batch is lost and client drivers retry
 		}
-		if err := n.app.CheckTx(tx); err != nil {
-			n.c.rejected[tx.Hash()] = err
-			return
-		}
-		n.addToMempool(tx)
-		n.c.net.Broadcast(n.id, msgTx{Tx: tx})
-		n.maybePropose()
+		n.processAdmission(batch)
+		n.maybeAdmit()
 	})
 }
 
-func (n *node) addToMempool(tx Tx) {
-	h := tx.Hash()
-	if n.inMempool[h] || n.committed[h] {
+// receiverTime models the receiver validation cost of one admission
+// batch: the parallel batch cost for BatchApps, the per-transaction sum
+// otherwise.
+func (n *node) receiverTime(txs []Tx) time.Duration {
+	if n.batchApp != nil {
+		return n.batchApp.ReceiverBatchTime(txs)
+	}
+	var d time.Duration
+	for _, tx := range txs {
+		d += n.app.ReceiverTime(tx)
+	}
+	return d
+}
+
+// checkBatch is the pool's semantic admission hook: the CheckTx-stage
+// schema + semantic validation (the first and second validations of
+// Fig. 4), batched through the app.
+func (n *node) checkBatch(txs []mempool.Tx) map[string]error {
+	batch := make([]Tx, len(txs))
+	for i, tx := range txs {
+		batch[i] = tx.(Tx)
+	}
+	if n.batchApp != nil {
+		return n.batchApp.CheckTxBatch(batch)
+	}
+	var errs map[string]error
+	for _, tx := range batch {
+		if err := n.app.CheckTx(tx); err != nil {
+			if errs == nil {
+				errs = make(map[string]error)
+			}
+			errs[tx.Hash()] = err
+		}
+	}
+	return errs
+}
+
+// processAdmission runs one batch through the pool and handles the
+// per-transaction outcomes: admitted client transactions are gossiped,
+// semantic rejections of client transactions are recorded as permanent
+// (stopping the client's retry loop), and structural skips — duplicate
+// IDs, spend keys claimed by a pending rival — are dropped without a
+// verdict, since the rival may still be evicted and a retry succeed.
+func (n *node) processAdmission(batch []admitItem) {
+	txs := make([]mempool.Tx, 0, len(batch))
+	clientOf := make(map[string]bool, len(batch))
+	for _, it := range batch {
+		h := it.tx.Hash()
+		if n.committed[h] {
+			continue // committed while queued (catch-up race)
+		}
+		txs = append(txs, it.tx)
+		if it.client {
+			clientOf[h] = true
+		}
+	}
+	if len(txs) == 0 {
 		return
 	}
-	n.inMempool[h] = true
-	n.mempool = append(n.mempool, tx)
-	// Arm the liveness timer: if the proposer for this height is down,
-	// the timeout moves every node to the next round and proposer.
-	if !n.hasTimer {
-		n.armRoundTimer(n.height, n.round[n.height])
+	res := n.pool.AdmitBatch(txs)
+	var lateReserved []mempool.Tx
+	for _, tx := range res.Admitted {
+		if clientOf[tx.Hash()] {
+			n.c.net.Broadcast(n.id, msgTx{Tx: tx})
+		}
+		// The transaction may already sit in a precommitted block whose
+		// gossip beat it here (pipelining): keep it unpackable so the
+		// next height cannot include it a second time — the reserved
+		// filter the pre-mempool pendingTxs applied.
+		if n.reserved[tx.Hash()] {
+			lateReserved = append(lateReserved, tx)
+		}
+	}
+	if len(lateReserved) > 0 {
+		n.pool.Reserve(lateReserved)
+	}
+	for h, err := range res.Rejected {
+		if clientOf[h] {
+			n.c.rejected[h] = err
+		}
+	}
+	// A client copy racing an in-flight gossip copy of the same
+	// transaction lands here as a duplicate skip: still gossip it, as
+	// the one-at-a-time path did.
+	for h, err := range res.Skipped {
+		var dup *mempool.ErrDuplicate
+		if clientOf[h] && errors.As(err, &dup) {
+			for _, tx := range txs {
+				if tx.Hash() == h {
+					n.c.net.Broadcast(n.id, msgTx{Tx: tx.(Tx)})
+					break
+				}
+			}
+		}
+	}
+	if len(res.Admitted) > 0 {
+		// Arm the liveness timer: if the proposer for this height is
+		// down, the timeout moves every node to the next round and
+		// proposer.
+		if !n.hasTimer {
+			n.armRoundTimer(n.height, n.round[n.height])
+		}
+		n.maybePropose()
 	}
 }
 
 func (n *node) handle(msg netsim.Message) {
 	switch m := msg.Payload.(type) {
 	case msgTx:
-		// CheckTx at the validator (the second validation of Fig. 4).
-		if err := n.app.CheckTx(m.Tx); err != nil {
-			return
-		}
-		n.addToMempool(m.Tx)
-		n.maybePropose()
+		// CheckTx at the validator (the second validation of Fig. 4),
+		// through the same batched admission pipeline.
+		n.enqueueAdmission(m.Tx, false)
 	case msgProposal:
 		key := hrKey{m.Height, m.Round}
 		if _, dup := n.proposals[key]; dup {
@@ -253,8 +432,7 @@ func (n *node) maybePropose() {
 	if _, already := n.proposals[hrKey{h, r}]; already {
 		return
 	}
-	pending := n.pendingTxs()
-	if len(pending) == 0 {
+	if n.pool.PendingCount() == 0 {
 		return
 	}
 	// Block production is paced globally: the next block follows the
@@ -272,14 +450,12 @@ func (n *node) maybePropose() {
 	n.c.sched.At(earliest, func() { n.propose(h, r) })
 }
 
+// pendingTxs snapshots the packable pool in arrival order.
 func (n *node) pendingTxs() []Tx {
-	out := make([]Tx, 0, len(n.mempool))
-	for _, tx := range n.mempool {
-		h := tx.Hash()
-		if n.committed[h] || n.reserved[h] {
-			continue
-		}
-		out = append(out, tx)
+	pending := n.pool.Pending()
+	out := make([]Tx, len(pending))
+	for i, tx := range pending {
+		out[i] = tx.(Tx)
 	}
 	return out
 }
@@ -305,17 +481,17 @@ func (n *node) propose(h int64, r int) {
 		// so voters see clean blocks.
 		if bad := n.app.ValidateBlock(pending); len(bad) > 0 {
 			n.evict(bad)
-			pending = n.pendingTxs()
-			if len(pending) == 0 {
-				return
-			}
 		}
 		if n.c.cfg.Packer != nil {
-			block = n.c.cfg.Packer(pending)
-		} else if len(pending) > n.c.cfg.MaxBlockTxs {
-			block = pending[:n.c.cfg.MaxBlockTxs]
+			block = n.c.cfg.Packer(n.pendingTxs())
 		} else {
-			block = pending
+			// Conflict-aware (or FIFO, per the configured policy)
+			// selection straight off the footprint index.
+			packed := n.pool.Pack(n.c.cfg.MaxBlockTxs, n.c.cfg.Mempool.PackWorkers)
+			block = make([]Tx, len(packed))
+			for i, tx := range packed {
+				block[i] = tx.(Tx)
+			}
 		}
 	}
 	if len(block) == 0 {
@@ -362,17 +538,14 @@ func (n *node) maybePrevote(h int64, r int) {
 	})
 }
 
+// evict drops transactions that failed block validation; the pool
+// releases their spend claims so a later valid spender can be admitted.
 func (n *node) evict(txs []Tx) {
-	for _, tx := range txs {
-		delete(n.inMempool, tx.Hash())
+	out := make([]mempool.Tx, len(txs))
+	for i, tx := range txs {
+		out[i] = tx
 	}
-	kept := n.mempool[:0]
-	for _, tx := range n.mempool {
-		if n.inMempool[tx.Hash()] {
-			kept = append(kept, tx)
-		}
-	}
-	n.mempool = kept
+	n.pool.Remove(out)
 }
 
 func (n *node) recordVote(v msgVote) {
@@ -423,9 +596,12 @@ func (n *node) checkQuorum(h int64, r int) {
 		if n.c.cfg.Pipelined {
 			// Pipelining: reserve the block's transactions and let the
 			// next height start before this one finalizes.
-			for _, tx := range prop.Txs {
+			reserve := make([]mempool.Tx, len(prop.Txs))
+			for i, tx := range prop.Txs {
 				n.reserved[tx.Hash()] = true
+				reserve[i] = tx
 			}
+			n.pool.Reserve(reserve)
 			if n.height == h {
 				n.advanceTo(h + 1)
 			}
@@ -464,22 +640,17 @@ func (n *node) applyBlock(h int64, txs []Tx) {
 	n.applied = h
 	n.appliedBlocks[h] = txs
 	n.lastBlockTime = n.c.sched.Now()
-	for _, tx := range txs {
+	removed := make([]mempool.Tx, len(txs))
+	for i, tx := range txs {
 		hash := tx.Hash()
 		n.committed[hash] = true
 		delete(n.reserved, hash)
-		if n.inMempool[hash] {
-			delete(n.inMempool, hash)
-		}
+		removed[i] = tx
 	}
-	// Compact the mempool.
-	kept := n.mempool[:0]
-	for _, tx := range n.mempool {
-		if !n.committed[tx.Hash()] {
-			kept = append(kept, tx)
-		}
-	}
-	n.mempool = kept
+	// Mempool compaction is an index sweep: each committed transaction
+	// leaves the pool, and each spend key it consumed evicts the
+	// pending rival claiming it — no rescan of the pending set.
+	n.pool.RemoveCommitted(removed)
 	n.app.Commit(h, txs)
 	n.c.recordCommit(txs)
 }
@@ -500,6 +671,7 @@ func (n *node) enterHeight(h int64) {
 		n.hasTimer = false
 	}
 	n.armRoundTimer(h, n.round[h])
+	n.maybeAdmit() // drain arrivals buffered across a crash/restart
 	n.maybePropose()
 	// A proposal or votes for this height may already be buffered.
 	n.maybePrevote(h, n.round[h])
@@ -509,7 +681,7 @@ func (n *node) enterHeight(h int64) {
 func (n *node) armRoundTimer(h int64, r int) {
 	// Only keep the liveness timer while there is work outstanding;
 	// otherwise the simulation would never quiesce.
-	if len(n.pendingTxs()) == 0 {
+	if n.pool.PendingCount() == 0 {
 		return
 	}
 	n.hasTimer = true

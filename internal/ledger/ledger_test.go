@@ -2,6 +2,8 @@ package ledger
 
 import (
 	"errors"
+	"fmt"
+	"reflect"
 	"testing"
 
 	"smartchaindb/internal/keys"
@@ -331,6 +333,53 @@ func TestMarkReturnDoneErrors(t *testing.T) {
 	}
 	if err := f.state.MarkReturnDone("acc", 5, "c"); err == nil {
 		t.Error("unknown output index should error")
+	}
+}
+
+func TestRecoveryDoneOrderAndLegacyFormat(t *testing.T) {
+	f := newFixture(t)
+	specs := []ReturnSpec{
+		{Kind: ChildTransfer, AcceptID: "acc", OutputIndex: 0, Recipient: "r", Amount: 1},
+		{Kind: ChildReturn, AcceptID: "acc", OutputIndex: 1, Recipient: "a", Amount: 1},
+		{Kind: ChildReturn, AcceptID: "acc", OutputIndex: 2, Recipient: "b", Amount: 1},
+	}
+	if err := f.state.LogAcceptRecovery("acc", "rfq", specs); err != nil {
+		t.Fatal(err)
+	}
+	// Children commit out of output order; Done must come back in
+	// output order regardless — that determinism is what keeps parent
+	// children vectors identical across packing policies.
+	for _, idx := range []int{2, 0, 1} {
+		if err := f.state.MarkReturnDone("acc", idx, fmt.Sprintf("child%d", idx)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec, err := f.state.RecoveryFor("acc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"child0", "child1", "child2"}
+	if !reflect.DeepEqual(rec.Done, want) {
+		t.Fatalf("Done = %v, want %v", rec.Done, want)
+	}
+	// Legacy records (plain child-ID strings persisted by older
+	// binaries) must survive an upgrade: kept in stored order, after
+	// any indexed entries.
+	col := f.state.Store().Collection(ColRecovery)
+	if err := col.Update("acc", func(doc map[string]any) error {
+		done, _ := doc["done"].([]any)
+		doc["done"] = append(done, "legacyA", "legacyB")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err = f.state.RecoveryFor("acc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []string{"child0", "child1", "child2", "legacyA", "legacyB"}
+	if !reflect.DeepEqual(rec.Done, want) {
+		t.Fatalf("mixed-format Done = %v, want %v", rec.Done, want)
 	}
 }
 

@@ -2,6 +2,7 @@ package ledger
 
 import (
 	"fmt"
+	"sort"
 
 	"smartchaindb/internal/docstore"
 	"smartchaindb/internal/txn"
@@ -43,7 +44,12 @@ type RecoveryRecord struct {
 	RFQID    string
 	Status   string
 	Pending  []ReturnSpec // children not yet committed
-	Done     []string     // committed child transaction IDs
+	// Done lists the committed child transaction IDs ordered by the
+	// parent output they realize — not by commit time, so the vector
+	// (and the parent's children field derived from it) is identical
+	// on every replica regardless of how block packing interleaved the
+	// children.
+	Done []string
 }
 
 // LogAcceptRecovery writes the recovery record for a freshly committed
@@ -115,7 +121,12 @@ func (s *State) MarkReturnDone(acceptID string, outputIndex int, childID string)
 		}
 		doc["pending"] = next
 		done, _ := doc["done"].([]any)
-		doc["done"] = append(done, childID)
+		// Keyed by output index (not append order) so the derived Done
+		// vector is replica- and packing-order independent.
+		doc["done"] = append(done, map[string]any{
+			"output_index": float64(outputIndex),
+			"child_id":     childID,
+		})
 		if len(next) == 0 {
 			doc["status"] = RecoveryComplete
 		}
@@ -157,10 +168,28 @@ func recoveryFromDoc(doc map[string]any) *RecoveryRecord {
 		}
 	}
 	if done, ok := doc["done"].([]any); ok {
+		type doneEntry struct {
+			idx int
+			id  string
+		}
+		entries := make([]doneEntry, 0, len(done))
 		for _, d := range done {
-			if id, ok := d.(string); ok {
-				rec.Done = append(rec.Done, id)
+			switch dd := d.(type) {
+			case map[string]any:
+				idx, _ := dd["output_index"].(float64)
+				id, _ := dd["child_id"].(string)
+				entries = append(entries, doneEntry{idx: int(idx), id: id})
+			case string:
+				// Legacy format (pre output-index keying): plain child
+				// IDs in commit order. Keep them, trailing the indexed
+				// entries in their stored order, so records persisted
+				// by older binaries survive an upgrade intact.
+				entries = append(entries, doneEntry{idx: int(^uint(0) >> 1), id: dd})
 			}
+		}
+		sort.SliceStable(entries, func(a, b int) bool { return entries[a].idx < entries[b].idx })
+		for _, e := range entries {
+			rec.Done = append(rec.Done, e.id)
 		}
 	}
 	return rec

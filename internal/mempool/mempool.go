@@ -1,0 +1,444 @@
+package mempool
+
+import (
+	"fmt"
+	"sync"
+)
+
+// CheckFn validates an admission batch semantically and returns the
+// per-transaction errors, keyed by transaction hash. Transactions
+// absent from the result are admitted. The server wires this to its
+// CheckTx-stage pipeline (schema validation plus the condition sets,
+// dispatched over the dependency-aware parallel scheduler); a nil
+// CheckFn admits every structurally sound transaction, which the
+// synthetic engine tests and packing benchmarks use.
+type CheckFn func(txs []Tx) map[string]error
+
+// Policy selects how Pack composes blocks.
+type Policy int
+
+const (
+	// PackFIFO packs in arrival order — the pre-mempool behaviour and
+	// the baseline every makespan improvement is measured against.
+	PackFIFO Policy = iota
+	// PackMakespan balances conflict-group chains across the
+	// validators' workers so the packed block's parallel-validation
+	// makespan is minimized. With PackWorkers <= 1 there is nothing to
+	// balance and it degenerates to FIFO.
+	PackMakespan
+)
+
+// Config parameterizes a pool. The zero value is usable: FIFO packing,
+// per-transaction batches, default sharding, independent footprints.
+type Config struct {
+	// Shards is the spend-index shard count (default 16). Point
+	// lookups and claims lock a single shard.
+	Shards int
+	// BatchSize caps one admission batch (default 64). The consensus
+	// receiver path accumulates arrivals up to this size while the
+	// node's execution resource is busy with the previous batch.
+	BatchSize int
+	// Policy selects the packing policy.
+	Policy Policy
+	// PackWorkers is the validation worker count PackMakespan balances
+	// for — the proposers' model of the validators' parallelism.
+	PackWorkers int
+	// Footprint derives declarative footprints (default: ForTransaction).
+	Footprint FootprintFn
+	// Check is the semantic admission validator (may be nil; see CheckFn).
+	Check CheckFn
+}
+
+func (c *Config) fill() {
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.Footprint == nil {
+		c.Footprint = ForTransaction
+	}
+}
+
+// ErrDuplicate rejects a transaction whose ID the pool already holds.
+type ErrDuplicate struct{ TxHash string }
+
+func (e *ErrDuplicate) Error() string {
+	return fmt.Sprintf("mempool: transaction %.12s already pending", e.TxHash)
+}
+
+// ErrSpendClaimed rejects a transaction that spends an output another
+// pending transaction already claims — at most one of the two can ever
+// commit, and the pool keeps the first.
+type ErrSpendClaimed struct {
+	TxHash    string
+	Key       string
+	ClaimedBy string
+}
+
+func (e *ErrSpendClaimed) Error() string {
+	return fmt.Sprintf("mempool: %s already claimed by pending transaction %.12s", e.Key, e.ClaimedBy)
+}
+
+// entry is one pooled transaction. Arrival order is the order slice's
+// order; entries carry no sequence number of their own.
+type entry struct {
+	tx       Tx
+	fp       Footprint
+	reserved bool
+	gone     bool
+}
+
+// indexShard is one slice of the spend index: spend key -> hash of the
+// pending claimant.
+type indexShard struct {
+	mu     sync.Mutex
+	claims map[string]string
+}
+
+// Pool is the footprint-indexed mempool.
+type Pool struct {
+	cfg Config
+
+	mu     sync.RWMutex
+	byHash map[string]*entry
+	order  []*entry // arrival order, with tombstones compacted lazily
+	live   int
+
+	shards []*indexShard
+}
+
+// New builds an empty pool.
+func New(cfg Config) *Pool {
+	cfg.fill()
+	p := &Pool{
+		cfg:    cfg,
+		byHash: make(map[string]*entry),
+		shards: make([]*indexShard, cfg.Shards),
+	}
+	for i := range p.shards {
+		p.shards[i] = &indexShard{claims: make(map[string]string)}
+	}
+	return p
+}
+
+func (p *Pool) shardFor(key string) *indexShard {
+	// Inline FNV-1a: the spend index is the O(1) hot path, and
+	// hash/fnv would allocate a hasher plus a []byte copy per lookup.
+	const offset32, prime32 = 2166136261, 16777619
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return p.shards[h%uint32(len(p.shards))]
+}
+
+// claimant returns the pending transaction holding a spend key, if any.
+func (p *Pool) claimant(key string) (string, bool) {
+	s := p.shardFor(key)
+	s.mu.Lock()
+	owner, ok := s.claims[key]
+	s.mu.Unlock()
+	return owner, ok
+}
+
+// Contains reports whether the pool holds a transaction.
+func (p *Pool) Contains(hash string) bool {
+	p.mu.RLock()
+	_, ok := p.byHash[hash]
+	p.mu.RUnlock()
+	return ok
+}
+
+// Len returns the pooled transaction count, including reserved ones.
+func (p *Pool) Len() int {
+	p.mu.RLock()
+	n := p.live
+	p.mu.RUnlock()
+	return n
+}
+
+// PendingCount returns the packable transaction count (unreserved).
+func (p *Pool) PendingCount() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	n := 0
+	for _, e := range p.order {
+		if !e.gone && !e.reserved {
+			n++
+		}
+	}
+	return n
+}
+
+// Pending returns the packable transactions in arrival order.
+func (p *Pool) Pending() []Tx {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]Tx, 0, p.live)
+	for _, e := range p.order {
+		if !e.gone && !e.reserved {
+			out = append(out, e.tx)
+		}
+	}
+	return out
+}
+
+// BatchSize exposes the configured admission batch cap.
+func (p *Pool) BatchSize() int { return p.cfg.BatchSize }
+
+// AdmitResult reports one admission batch's outcome.
+type AdmitResult struct {
+	// Admitted holds the transactions now in the pool, batch order.
+	Admitted []Tx
+	// Rejected holds semantic CheckFn failures — the rejections a
+	// receiver reports back to the client as permanent.
+	Rejected map[string]error
+	// Skipped holds structural screen-outs: duplicate IDs and spend
+	// claims already held by a pending rival. These are not permanent
+	// verdicts (the rival may yet be evicted), so callers treat them
+	// as "drop and let the client retry".
+	Skipped map[string]error
+}
+
+// Add admits a single transaction; it is AdmitBatch of one, returning
+// that transaction's rejection (semantic or structural), if any.
+func (p *Pool) Add(tx Tx) error {
+	res := p.AdmitBatch([]Tx{tx})
+	if err, ok := res.Rejected[tx.Hash()]; ok {
+		return err
+	}
+	if err, ok := res.Skipped[tx.Hash()]; ok {
+		return err
+	}
+	return nil
+}
+
+// AdmitBatch pushes one batch through the admission pipeline:
+//
+//  1. Structural screen against the indexes — duplicate IDs (in the
+//     pool or earlier in the batch) and already-claimed spend keys are
+//     skipped in O(1) per key, before any semantic work.
+//  2. Semantic validation of the survivors through CheckFn (the
+//     expensive stage — signature checks and condition sets — which
+//     the server runs concurrently over conflict groups).
+//  3. Insertion under the pool lock, re-verifying the structural
+//     claims that may have been lost to a concurrent batch.
+func (p *Pool) AdmitBatch(txs []Tx) AdmitResult {
+	res := AdmitResult{
+		Rejected: make(map[string]error),
+		Skipped:  make(map[string]error),
+	}
+	type candidate struct {
+		tx Tx
+		fp Footprint
+	}
+	cands := make([]candidate, 0, len(txs))
+	batchSeen := make(map[string]bool, len(txs))
+	batchClaims := make(map[string]string)
+	for _, tx := range txs {
+		h := tx.Hash()
+		if batchSeen[h] || p.Contains(h) {
+			res.Skipped[h] = &ErrDuplicate{TxHash: h}
+			continue
+		}
+		fp := p.cfg.Footprint(tx)
+		var clash error
+		for _, key := range fp.Spends {
+			if owner, ok := batchClaims[key]; ok {
+				clash = &ErrSpendClaimed{TxHash: h, Key: key, ClaimedBy: owner}
+				break
+			}
+			if owner, ok := p.claimant(key); ok {
+				clash = &ErrSpendClaimed{TxHash: h, Key: key, ClaimedBy: owner}
+				break
+			}
+		}
+		if clash != nil {
+			res.Skipped[h] = clash
+			continue
+		}
+		batchSeen[h] = true
+		for _, key := range fp.Spends {
+			batchClaims[key] = h
+		}
+		cands = append(cands, candidate{tx: tx, fp: fp})
+	}
+
+	if p.cfg.Check != nil && len(cands) > 0 {
+		checked := make([]Tx, len(cands))
+		for i, c := range cands {
+			checked[i] = c.tx
+		}
+		errs := p.cfg.Check(checked)
+		kept := cands[:0]
+		for _, c := range cands {
+			if err, bad := errs[c.tx.Hash()]; bad {
+				res.Rejected[c.tx.Hash()] = err
+				continue
+			}
+			kept = append(kept, c)
+		}
+		cands = kept
+	}
+
+	// Rescue round: a transaction screened out because a same-batch
+	// rival claimed its spend key is admittable after all if that
+	// rival just failed semantic validation — re-admit it after the
+	// survivors instead of making the client wait out a retry
+	// round-trip. Recursion terminates: each round's input is strictly
+	// smaller than the batch that produced it.
+	var rescues []Tx
+	for _, tx := range txs {
+		h := tx.Hash()
+		clash, ok := res.Skipped[h].(*ErrSpendClaimed)
+		if !ok {
+			continue
+		}
+		if _, rejected := res.Rejected[clash.ClaimedBy]; rejected {
+			rescues = append(rescues, tx)
+			delete(res.Skipped, h)
+		}
+	}
+
+	if len(cands) > 0 {
+		p.mu.Lock()
+		for _, c := range cands {
+			h := c.tx.Hash()
+			if _, dup := p.byHash[h]; dup {
+				res.Skipped[h] = &ErrDuplicate{TxHash: h}
+				continue
+			}
+			// Re-verify the claims under the pool lock: a concurrent
+			// batch may have taken one between the screen and here.
+			lost := false
+			for _, key := range c.fp.Spends {
+				if owner, ok := p.claimant(key); ok {
+					res.Skipped[h] = &ErrSpendClaimed{TxHash: h, Key: key, ClaimedBy: owner}
+					lost = true
+					break
+				}
+			}
+			if lost {
+				continue
+			}
+			e := &entry{tx: c.tx, fp: c.fp}
+			p.byHash[h] = e
+			p.order = append(p.order, e)
+			p.live++
+			for _, key := range c.fp.Spends {
+				s := p.shardFor(key)
+				s.mu.Lock()
+				s.claims[key] = h
+				s.mu.Unlock()
+			}
+			res.Admitted = append(res.Admitted, c.tx)
+		}
+		p.mu.Unlock()
+	}
+
+	if len(rescues) > 0 {
+		sub := p.AdmitBatch(rescues)
+		res.Admitted = append(res.Admitted, sub.Admitted...)
+		for h, err := range sub.Rejected {
+			res.Rejected[h] = err
+		}
+		for h, err := range sub.Skipped {
+			res.Skipped[h] = err
+		}
+	}
+	return res
+}
+
+// Reserve marks transactions as belonging to a precommitted-but-not-
+// finalized block (consensus pipelining); Pack and Pending skip them.
+// Unknown hashes are ignored.
+func (p *Pool) Reserve(txs []Tx) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, tx := range txs {
+		if e, ok := p.byHash[tx.Hash()]; ok {
+			e.reserved = true
+		}
+	}
+}
+
+// Remove evicts transactions (e.g. ones block validation rejected) and
+// releases their spend claims. Unknown hashes are ignored.
+func (p *Pool) Remove(txs []Tx) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, tx := range txs {
+		if e, ok := p.byHash[tx.Hash()]; ok {
+			p.dropLocked(e)
+		}
+	}
+	p.compactLocked()
+}
+
+// RemoveCommitted is the block-commit compaction: an index sweep, not a
+// rescan. Each committed transaction is dropped from the pool, and each
+// of its spend keys evicts the pending rival claiming it (that rival
+// spends an output the chain just consumed, so it can never commit).
+// Cost is linear in the block's footprint keys, independent of pool
+// size.
+func (p *Pool) RemoveCommitted(txs []Tx) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, tx := range txs {
+		h := tx.Hash()
+		if e, ok := p.byHash[h]; ok {
+			// Pooled entry: dropping it releases its cached claims, and
+			// no rival can have held a key it held — no footprint
+			// re-derivation, no rival sweep needed.
+			p.dropLocked(e)
+			continue
+		}
+		// Committed through catch-up without ever entering this pool:
+		// derive its spends and evict any pending rival per key.
+		for _, key := range p.cfg.Footprint(tx).Spends {
+			if owner, ok := p.claimant(key); ok && owner != h {
+				if rival, live := p.byHash[owner]; live {
+					p.dropLocked(rival)
+				}
+			}
+		}
+	}
+	p.compactLocked()
+}
+
+// dropLocked removes one entry and releases its claims. Caller holds p.mu.
+func (p *Pool) dropLocked(e *entry) {
+	if e.gone {
+		return
+	}
+	h := e.tx.Hash()
+	e.gone = true
+	p.live--
+	delete(p.byHash, h)
+	for _, key := range e.fp.Spends {
+		s := p.shardFor(key)
+		s.mu.Lock()
+		if s.claims[key] == h {
+			delete(s.claims, key)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// compactLocked rewrites the arrival list once tombstones dominate,
+// keeping removal amortized O(1). Caller holds p.mu.
+func (p *Pool) compactLocked() {
+	if len(p.order) < 32 || len(p.order) < 2*p.live {
+		return
+	}
+	kept := make([]*entry, 0, p.live)
+	for _, e := range p.order {
+		if !e.gone {
+			kept = append(kept, e)
+		}
+	}
+	p.order = kept
+}

@@ -1,0 +1,162 @@
+package mempool
+
+import (
+	"sort"
+
+	"smartchaindb/internal/parallel"
+)
+
+// Pack selects up to maxTxs pending, unreserved transactions for the
+// next block. maxTxs <= 0 means no cap. workers is the validation
+// worker count the proposer assumes on the validators (PackMakespan
+// balances for it; zero falls back to Config.PackWorkers).
+//
+// PackFIFO returns the arrival-order prefix. PackMakespan computes the
+// pending set's conflict groups (union-find over footprint keys, the
+// same relation parallel.BuildPlan uses) and fills the block small
+// groups first, each group capped at one worker's fair share, so the
+// packed block's conflict-group chains list-schedule onto the workers
+// with minimal makespan. Within a group, arrival order is preserved —
+// a prefix of a group never separates a transaction from a pending
+// dependency, because a dependency always shares a footprint key and
+// arrived earlier.
+//
+// Liveness: the group holding the oldest pending transaction is always
+// selected first, so no conflict chain is starved by a stream of
+// fresher independent work.
+func (p *Pool) Pack(maxTxs, workers int) []Tx {
+	if workers <= 0 {
+		workers = p.cfg.PackWorkers
+	}
+	entries := p.snapshot()
+	if len(entries) == 0 {
+		return nil
+	}
+	if maxTxs <= 0 || maxTxs > len(entries) {
+		maxTxs = len(entries)
+	}
+	if p.cfg.Policy != PackMakespan || workers <= 1 {
+		out := make([]Tx, maxTxs)
+		for i := range out {
+			out[i] = entries[i].tx
+		}
+		return out
+	}
+	return packMakespan(entries, maxTxs, workers)
+}
+
+// packEntry is an immutable snapshot of one pooled transaction.
+type packEntry struct {
+	tx Tx
+	fp Footprint
+}
+
+// snapshot copies the packable entries in arrival order.
+func (p *Pool) snapshot() []packEntry {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]packEntry, 0, p.live)
+	for _, e := range p.order {
+		if !e.gone && !e.reserved {
+			out = append(out, packEntry{tx: e.tx, fp: e.fp})
+		}
+	}
+	return out
+}
+
+// groupEntries partitions a snapshot into conflict groups through the
+// system's single grouping relation, parallel.GroupFootprints — so the
+// packer's groups are exactly the groups validators will plan with.
+// Each group lists its members in arrival order; groups are ordered by
+// first member.
+func groupEntries(entries []packEntry) [][]int {
+	fps := make([]parallel.Footprint, len(entries))
+	for i, e := range entries {
+		fps[i] = parallel.Footprint{Writes: e.fp.Writes, Reads: e.fp.Reads}
+	}
+	return parallel.GroupFootprints(fps)
+}
+
+// packMakespan is the greedy group-balancing selection.
+func packMakespan(entries []packEntry, maxTxs, workers int) []Tx {
+	if len(entries) <= maxTxs {
+		// Everything fits: block composition is fixed, so keep arrival
+		// order (identical to FIFO; validators re-plan the groups).
+		out := make([]Tx, len(entries))
+		for i, e := range entries {
+			out[i] = e.tx
+		}
+		return out
+	}
+	groups := groupEntries(entries)
+	// fair is one worker's share of the block: a group contributing
+	// more than this forms a chain longer than the schedule's lower
+	// bound, so the first pass never takes more.
+	fair := (maxTxs + workers - 1) / workers
+
+	// Selection order: the group holding the oldest pending transaction
+	// first (liveness), then ascending size — small independent groups
+	// balance across workers, big chains dilute the block last.
+	order := make([]int, len(groups))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ga, gb := groups[order[a]], groups[order[b]]
+		oldestA, oldestB := ga[0] == 0, gb[0] == 0
+		if oldestA != oldestB {
+			return oldestA
+		}
+		if len(ga) != len(gb) {
+			return len(ga) < len(gb)
+		}
+		return ga[0] < gb[0]
+	})
+
+	budget := maxTxs
+	taken := make([]int, len(groups)) // prefix length taken per group
+	for _, gi := range order {
+		if budget == 0 {
+			break
+		}
+		take := len(groups[gi])
+		if take > fair {
+			take = fair
+		}
+		if take > budget {
+			take = budget
+		}
+		taken[gi] = take
+		budget -= take
+	}
+	// Second pass: only big groups have untapped capacity (all small
+	// ones are exhausted). Extend one transaction at a time onto the
+	// currently shortest chain so the leftover budget stays balanced —
+	// dumping it into one group could hand FIFO the better schedule.
+	for budget > 0 {
+		best := -1
+		for _, gi := range order {
+			if taken[gi] < len(groups[gi]) && (best < 0 || taken[gi] < taken[best]) {
+				best = gi
+			}
+		}
+		if best < 0 {
+			break
+		}
+		taken[best]++
+		budget--
+	}
+	// Emit the selected prefixes in global arrival order —
+	// deterministic, and a pick never precedes a same-group
+	// dependency.
+	picks := make([]int, 0, maxTxs)
+	for gi, g := range groups {
+		picks = append(picks, g[:taken[gi]]...)
+	}
+	sort.Ints(picks)
+	out := make([]Tx, len(picks))
+	for i, idx := range picks {
+		out[i] = entries[idx].tx
+	}
+	return out
+}

@@ -40,6 +40,23 @@ func FootprintOf(t *txn.Transaction) Footprint {
 	return f
 }
 
+// SpendKeys returns the exclusive spent-output keys of a transaction —
+// the "utxo:" subset of its write footprint. No two pending
+// transactions may hold the same spend key: exactly one of them can
+// ever commit, which is what lets the mempool reject the rival at
+// admission instead of at block validation.
+func SpendKeys(t *txn.Transaction) []string {
+	refs := t.SpentRefs()
+	if len(refs) == 0 {
+		return nil
+	}
+	keys := make([]string, len(refs))
+	for i, ref := range refs {
+		keys[i] = "utxo:" + ref.String()
+	}
+	return keys
+}
+
 // Conflicts reports whether the two footprints may not run
 // concurrently: write/write or write/read intersection.
 func (f Footprint) Conflicts(g Footprint) bool {
@@ -79,8 +96,23 @@ type Plan struct {
 // over the shared footprint keys. Cost is linear in the total number
 // of footprint keys.
 func BuildPlan(txs []*txn.Transaction) *Plan {
-	n := len(txs)
-	p := &Plan{Footprints: make([]Footprint, n)}
+	p := &Plan{Footprints: make([]Footprint, len(txs))}
+	for i, t := range txs {
+		p.Footprints[i] = FootprintOf(t)
+	}
+	p.Groups = GroupFootprints(p.Footprints)
+	return p
+}
+
+// GroupFootprints partitions a batch of footprints into conflict
+// groups — connected components of the conflict graph — with a
+// union-find over the shared keys. Each group lists its members in
+// ascending batch order; groups are ordered by first member. This is
+// the single grouping relation in the system: block validation plans
+// with it, and the mempool's makespan-aware packer predicts those
+// plans through it.
+func GroupFootprints(fps []Footprint) [][]int {
+	n := len(fps)
 	parent := make([]int, n)
 	for i := range parent {
 		parent[i] = i
@@ -104,9 +136,8 @@ func BuildPlan(txs []*txn.Transaction) *Plan {
 	// writer stay independent (read/read is not a conflict).
 	writerOf := make(map[string]int)
 	readersOf := make(map[string][]int)
-	for i, t := range txs {
-		p.Footprints[i] = FootprintOf(t)
-		for _, k := range p.Footprints[i].Writes {
+	for i, fp := range fps {
+		for _, k := range fp.Writes {
 			if w, ok := writerOf[k]; ok {
 				union(w, i)
 			} else {
@@ -117,7 +148,7 @@ func BuildPlan(txs []*txn.Transaction) *Plan {
 				}
 			}
 		}
-		for _, k := range p.Footprints[i].Reads {
+		for _, k := range fp.Reads {
 			if w, ok := writerOf[k]; ok {
 				union(w, i)
 			} else {
@@ -137,10 +168,11 @@ func BuildPlan(txs []*txn.Transaction) *Plan {
 	// Groups in order of first member: iterating roots in first-seen
 	// order yields exactly that, since members are appended ascending.
 	sort.Slice(roots, func(a, b int) bool { return byRoot[roots[a]][0] < byRoot[roots[b]][0] })
+	groups := make([][]int, 0, len(roots))
 	for _, r := range roots {
-		p.Groups = append(p.Groups, byRoot[r])
+		groups = append(groups, byRoot[r])
 	}
-	return p
+	return groups
 }
 
 // Largest returns the size of the biggest conflict group — the

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"smartchaindb/internal/consensus"
+	"smartchaindb/internal/mempool"
 	"smartchaindb/internal/netsim"
 	"smartchaindb/internal/txn"
 )
@@ -31,8 +32,30 @@ type ClusterConfig struct {
 	// engine under DataDir/node-<i>; each node's committed blocks land
 	// as atomic WAL batches it recovers from on reopen.
 	DataDir string
+	// Packing selects the proposers' block-packing policy off the
+	// footprint-indexed mempool: "makespan" (the default) balances
+	// conflict-group chains across the validators' ParallelWorkers so
+	// packed blocks validate with minimal makespan; "fifo" keeps
+	// arrival order. With ParallelWorkers < 2 the two are identical.
+	Packing string
+	// MempoolShards is the spend-index shard count (default 16).
+	MempoolShards int
 	// Seed drives all randomness.
 	Seed int64
+}
+
+// ParsePacking maps a ClusterConfig.Packing string to the mempool
+// policy — the one place the valid policy names live. Command-line
+// front ends validate flags through it; NewCluster panics on what it
+// rejects (programmatic misuse, like NewNode on an unopenable DataDir).
+func ParsePacking(s string) (mempool.Policy, error) {
+	switch s {
+	case "", "makespan":
+		return mempool.PackMakespan, nil
+	case "fifo":
+		return mempool.PackFIFO, nil
+	}
+	return 0, fmt.Errorf("server: unknown packing policy %q (want fifo or makespan)", s)
 }
 
 // Cluster is a simulated SmartchainDB network: n server nodes replicated
@@ -54,6 +77,10 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		cfg.ChildDelay = time.Millisecond
 	}
 	cfg.Node.ReservedSeed = cfg.Seed + 1000 // shared by all nodes
+	policy, err := ParsePacking(cfg.Packing)
+	if err != nil {
+		panic(err)
+	}
 	c := &Cluster{cfg: cfg}
 	c.nodes = make([]*Node, cfg.Nodes)
 	cc := consensus.NewCluster(consensus.Config{
@@ -62,7 +89,13 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		MaxBlockTxs:   cfg.MaxBlockTxs,
 		Pipelined:     cfg.Pipelined,
 		Latency:       cfg.Latency,
-		Seed:          cfg.Seed,
+		Mempool: mempool.Config{
+			Shards:      cfg.MempoolShards,
+			BatchSize:   cfg.Node.MempoolBatch,
+			Policy:      policy,
+			PackWorkers: cfg.Node.ParallelWorkers,
+		},
+		Seed: cfg.Seed,
 	}, func(i int) consensus.App {
 		nodeCfg := cfg.Node
 		if cfg.DataDir != "" {

@@ -82,6 +82,11 @@ func (t *Transaction) SetID() { t.ID = t.ComputeID() }
 // VerifyID reports whether the stored ID matches the recomputed one.
 func (t *Transaction) VerifyID() bool { return t.ID != "" && t.ID == t.ComputeID() }
 
+// CanonicalizeDoc renders any JSON-safe document in the same canonical
+// form as MarshalCanonical — sorted keys, no whitespace — so byte-wise
+// comparisons and fingerprints over stored documents are stable.
+func CanonicalizeDoc(doc map[string]any) []byte { return canonicalize(doc) }
+
 // canonicalize writes any JSON-safe value with sorted keys and no
 // whitespace. encoding/json already sorts map keys, but we write our
 // own encoder so the canonical form is explicit, stable, and immune to
