@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-disk test-race bench-parallel bench-storage bench-smoke ci
+.PHONY: all build vet test test-disk test-race bench-parallel bench-storage bench-mempool bench-commit bench-smoke ci
 
 all: build test
 
@@ -29,9 +29,13 @@ test: build vet
 test-disk:
 	SCDB_BACKEND=disk $(GO) test -count=1 ./internal/ledger ./internal/server ./internal/consensus ./internal/nested ./internal/bench ./internal/query
 
+# The race gate covers the commit pipeline end to end: the ledger's
+# per-conflict-group appliers, the server's commit fence (incl. the
+# h+1-reads-race-h's-appliers stress test), the docstore's sharded
+# find path, and the consensus overlap — on both backends.
 test-race:
 	$(GO) test -race ./internal/mempool ./internal/parallel ./internal/ledger ./internal/consensus ./internal/server ./internal/bench ./internal/storage ./internal/docstore
-	SCDB_BACKEND=disk $(GO) test -race -count=1 ./internal/ledger ./internal/server
+	SCDB_BACKEND=disk $(GO) test -race -count=1 ./internal/ledger ./internal/server ./internal/consensus
 
 # Reproduce the parallel-validation experiment (wall-clock sweep plus
 # the virtual-time consensus leg) at the paper-mix scale: ~110k
@@ -49,10 +53,18 @@ bench-storage:
 bench-mempool:
 	$(GO) run ./cmd/scdb-bench -exp mempool
 
-# Seconds-scale smoke run of the parallel, storage, and mempool
-# experiments — part of the default `make test` gate so a broken
-# experiment path fails the build, not the next benchmarking session.
+# Commit-stage experiment: serial apply vs per-conflict-group
+# appliers, the serialized validate→commit loop vs the overlapped
+# pipeline (wall clock, both backends), and the commit-bound consensus
+# simulation (virtual time, deterministic).
+bench-commit:
+	$(GO) run ./cmd/scdb-bench -exp commit
+
+# Seconds-scale smoke run of the parallel, storage, mempool, and
+# commit experiments — part of the default `make test` gate so a
+# broken experiment path fails the build, not the next benchmarking
+# session.
 bench-smoke:
-	$(GO) run ./cmd/scdb-bench -exp parallel,storage,mempool -batches 1 -batchtxs 64 -parallel 1,4 -storageblocks 2 -storagesizes 64 -mempooltxs 256 -conflicts 0.25,0.5
+	$(GO) run ./cmd/scdb-bench -exp parallel,storage,mempool,commit -batches 1 -batchtxs 64 -parallel 1,4 -storageblocks 2 -storagesizes 64 -mempooltxs 256 -commitblocks 3 -committxs 96 -conflicts 0.25,0.5
 
 ci: test test-race

@@ -13,6 +13,7 @@
 //	scdb-bench -exp parallel -paper     # paper-mix scale: ~110k transactions
 //	scdb-bench -exp storage -storageblocks 8 -storagesizes 64,256,1024
 //	scdb-bench -exp mempool -mempooltxs 2048 -conflicts 0.1,0.25,0.5
+//	scdb-bench -exp commit -commitblocks 6 -committxs 256 -conflicts 0.25,0.5
 //	scdb-bench -exp fig7 -valworkers 4  # headline curves on the parallel pipeline
 //	scdb-bench -exp parallel,storage    # comma-separated subsets
 package main
@@ -29,7 +30,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "comma-separated experiments: fig2 | fig7 | fig8 | usability | mix | recovery | parallel | storage | mempool | all")
+		exp        = flag.String("exp", "all", "comma-separated experiments: fig2 | fig7 | fig8 | usability | mix | recovery | parallel | storage | mempool | commit | all")
 		auctions   = flag.Int("auctions", 4, "auctions per run")
 		bidders    = flag.Int("bidders", 10, "bidders per auction")
 		seed       = flag.Int64("seed", 42, "simulation seed")
@@ -48,7 +49,9 @@ func main() {
 		mpBatch    = flag.Int("mempoolbatch", 64, "mempool experiment: admission batch size")
 		mpBlock    = flag.Int("packblock", 64, "mempool experiment: packed block size")
 		mpPackW    = flag.Int("packworkers", 8, "mempool experiment: validation workers the packer balances for")
-		mpRates    = flag.String("conflicts", "0.1,0.25,0.5", "mempool experiment: comma-separated conflict rates for the packing sweep")
+		mpRates    = flag.String("conflicts", "0.1,0.25,0.5", "mempool/commit experiments: comma-separated conflict rates")
+		cmBlocks   = flag.Int("commitblocks", 6, "commit experiment: blocks per measurement")
+		cmTxs      = flag.Int("committxs", 256, "commit experiment: transactions per block")
 	)
 	flag.Parse()
 
@@ -170,6 +173,24 @@ func main() {
 		}))
 	}
 
+	runCommit := func() {
+		workerList, err := parseInts(*workers)
+		if err != nil {
+			fatal(err)
+		}
+		rateList, err := parseFloats(*mpRates)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintCommit(os.Stdout, bench.RunCommit(bench.CommitParams{
+			Blocks:        *cmBlocks,
+			BlockTxs:      *cmTxs,
+			Workers:       workerList,
+			ConflictRates: rateList,
+			Seed:          *seed,
+		}))
+	}
+
 	experiments := map[string]func(){
 		"fig2":      runFig2,
 		"fig7":      runFig7,
@@ -180,8 +201,9 @@ func main() {
 		"parallel":  runParallel,
 		"storage":   runStorage,
 		"mempool":   runMempool,
+		"commit":    runCommit,
 	}
-	order := []string{"fig2", "fig7", "fig8", "usability", "mix", "recovery", "parallel", "storage", "mempool"}
+	order := []string{"fig2", "fig7", "fig8", "usability", "mix", "recovery", "parallel", "storage", "mempool", "commit"}
 
 	var selected []string
 	seen := make(map[string]bool)

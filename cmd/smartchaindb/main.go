@@ -32,6 +32,8 @@ func main() {
 		admitBatch   = flag.Int("admitbatch", 64, "admission batch size: arrivals buffered while the receiver is busy join the next CheckTx batch")
 		admitWorkers = flag.Int("admitworkers", 4, "CheckTx-stage admission workers per node (<2 validates each batch sequentially)")
 		valWorkers   = flag.Int("valworkers", 4, "DeliverTx-stage block-validation workers per node (<2 = sequential)")
+		commitW      = flag.Int("commitworkers", 4, "commit-stage per-conflict-group apply workers per node (<2 = sequential commit)")
+		asyncCommit  = flag.Bool("asynccommit", true, "overlap block h's commit with height h+1's validation behind the commit fence")
 	)
 	flag.Parse()
 	if _, err := server.ParsePacking(*packing); err != nil {
@@ -51,6 +53,8 @@ func main() {
 			ParallelWorkers:  *valWorkers,
 			AdmissionWorkers: *admitWorkers,
 			MempoolBatch:     *admitBatch,
+			CommitWorkers:    *commitW,
+			AsyncCommit:      *asyncCommit,
 		},
 	})
 	defer cluster.Close()

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"io"
+	"runtime"
+	"testing"
+)
+
+// TestRunCommitSmoke pins the commit experiment's acceptance shape on
+// a small instance: every worker count must land on the serial
+// commit's exact state bytes, and the overlapped pipeline must beat
+// the serialized validate→commit loop. The deterministic anchor is
+// the virtual-time consensus leg (a commit-bound cluster where the
+// serialized commit occupies the execution resource and the
+// overlapped one runs on the commit resource) — host-independent. The
+// wall-clock pipeline rows must additionally win outright on
+// multi-core hosts, where overlapping two stages can actually use a
+// second core; on a single-core host they only need to stay within
+// noise of the serialized loop.
+func TestRunCommitSmoke(t *testing.T) {
+	r := RunCommit(CommitParams{
+		Blocks:        4,
+		BlockTxs:      128,
+		Workers:       []int{1, 4},
+		ConflictRates: []float64{0.25},
+		Reps:          2,
+		Seed:          77,
+	})
+	if len(r.Rows) == 0 || len(r.Pipeline) == 0 {
+		t.Fatal("empty commit sweep")
+	}
+	for _, row := range r.Rows {
+		if !row.Match {
+			t.Errorf("%s conflict %.0f%% workers %d: pipelined commit diverged from serial state",
+				row.Backend, row.Conflict*100, row.Workers)
+		}
+		if row.Elapsed <= 0 || row.TPS <= 0 {
+			t.Errorf("degenerate commit row: %+v", row)
+		}
+	}
+	multiCore := runtime.GOMAXPROCS(0) > 1
+	for _, row := range r.Pipeline {
+		if !row.Match {
+			t.Errorf("%s conflict %.0f%%: overlapped pipeline diverged from serialized state", row.Backend, row.Conflict*100)
+		}
+		if multiCore && row.Overlapped >= row.Serialized {
+			t.Errorf("%s conflict %.0f%%: overlapped pipeline (%v) did not beat serialized (%v)",
+				row.Backend, row.Conflict*100, row.Overlapped, row.Serialized)
+		}
+		if !multiCore && float64(row.Overlapped) > 1.25*float64(row.Serialized) {
+			t.Errorf("%s conflict %.0f%%: overlapped pipeline regressed past noise on one core (%v vs %v)",
+				row.Backend, row.Conflict*100, row.Overlapped, row.Serialized)
+		}
+	}
+	if len(r.SimRows) != 2 {
+		t.Fatalf("sim rows = %d, want 2", len(r.SimRows))
+	}
+	if !r.SimMatch {
+		t.Fatal("sim leg: overlapped commit changed committed state")
+	}
+	ser, ovl := r.SimRows[0], r.SimRows[1]
+	if ovl.Throughput <= ser.Throughput {
+		t.Errorf("overlapped commit did not raise virtual-time throughput: serialized=%.1f overlapped=%.1f",
+			ser.Throughput, ovl.Throughput)
+	}
+	PrintCommit(io.Discard, r)
+}

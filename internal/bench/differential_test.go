@@ -193,6 +193,7 @@ func TestClusterDifferentialSequentialVsParallel(t *testing.T) {
 				ParallelWorkers:     workers,
 			},
 		})
+		defer cluster.Close()
 		var committed []string
 		cluster.OnCommit(func(tx consensus.Tx, _ time.Duration) {
 			committed = append(committed, tx.Hash())

@@ -276,6 +276,7 @@ func runMempoolSim(workers int, seed int64) MempoolSimRow {
 			MempoolBatch:        32,
 		},
 	})
+	defer cluster.Close()
 	gen := workload.NewGenerator(seed+7, cluster.ServerNode(0).Escrow())
 	const auctions, bidders = 8, 6
 	groups := make([]*workload.AuctionGroup, 0, auctions)

@@ -40,6 +40,7 @@ func TestPackingPolicyDifferential(t *testing.T) {
 				MempoolBatch:        16,
 			},
 		})
+		defer cluster.Close()
 		var committed []string
 		cluster.OnCommit(func(tx consensus.Tx, _ time.Duration) {
 			committed = append(committed, tx.Hash())

@@ -192,6 +192,7 @@ func runSimValidation(workers int, seed int64) SimRow {
 			ParallelWorkers:     workers,
 		},
 	})
+	defer cluster.Close()
 	gen := workload.NewGenerator(seed+7, cluster.ServerNode(0).Escrow())
 	const auctions, bidders = 6, 8
 	groups := make([]*workload.AuctionGroup, 0, auctions)

@@ -72,6 +72,48 @@ type BatchApp interface {
 	ReceiverBatchTime(txs []Tx) time.Duration
 }
 
+// AsyncApp is optionally implemented by Apps that apply decided blocks
+// on a background commit resource, so block h's commit overlaps with
+// height h+1's validation and admission. The app is responsible for
+// its own safety: reads that touch the in-flight block's write
+// footprint must wait for the seal (the SmartchainDB app orders them
+// through a commit fence), and commits must seal in height order. The
+// engine only uses it when Config.AsyncCommit is set.
+type AsyncApp interface {
+	// CommitStart begins applying the decided block and returns a
+	// join function that blocks until the block is fully sealed and
+	// runs the app's post-commit hooks (e.g. the nested-transaction
+	// pipeline). The engine calls the join on the simulation thread
+	// once the block's slot on the commit resource elapses; it must be
+	// idempotent.
+	CommitStart(height int64, txs []Tx) (join func())
+	// CommitTime is the simulated duration the block occupies the
+	// commit resource — the commit-stage counterpart of
+	// ValidationTime. It does not occupy the node's validation
+	// resource: that is the overlap.
+	CommitTime(txs []Tx) time.Duration
+}
+
+// VerdictReuseApp is optionally implemented by Apps that can re-use
+// admission verdicts at block validation: fresh[i] marks a
+// transaction whose CheckTx-stage verdict was computed against
+// committed state alone and has not been conflicted by any commit
+// since (the pool tracks this through the transactions' declarative
+// footprints). Implementations skip the semantic condition sets for
+// fresh transactions and re-run only the structural intra-block
+// checks, which closes the propose-time O(pending) re-validation
+// gap. Soundness rests on the declarative contract: a transaction's
+// validity depends only on the state keys in its footprint.
+type VerdictReuseApp interface {
+	// ValidateBlockFresh is ValidateBlock with freshness flags
+	// (aligned with txs).
+	ValidateBlockFresh(txs []Tx, fresh []bool) []Tx
+	// ValidationTimeFresh is ValidationTime with freshness flags:
+	// fresh transactions cost nothing, so a mostly-fresh block votes
+	// in the time of its stale remainder.
+	ValidationTimeFresh(txs []Tx, fresh []bool) time.Duration
+}
+
 // Config parameterizes a cluster.
 type Config struct {
 	// Nodes is the number of validators.
@@ -89,6 +131,12 @@ type Config struct {
 	Packer func(pending []Tx) []Tx
 	// Pipelined enables voting on block h+1 before h is finalized.
 	Pipelined bool
+	// AsyncCommit overlaps block h's commit with height h+1's
+	// validation on Apps implementing AsyncApp: Commit is replaced by
+	// CommitStart on a dedicated commit resource, and the join runs
+	// when the block's CommitTime elapses. Apps without AsyncApp (or
+	// with this flag off) keep the synchronous Commit.
+	AsyncCommit bool
 	// Latency is the network latency model.
 	Latency netsim.LatencyModel
 	// RetryTimeout re-submits a client transaction that has neither

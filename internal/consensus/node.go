@@ -4,6 +4,7 @@ import (
 	"crypto/sha3"
 	"encoding/hex"
 	"errors"
+	"slices"
 	"time"
 
 	"smartchaindb/internal/mempool"
@@ -72,6 +73,12 @@ type node struct {
 	// batchApp is non-nil when the app validates admission batches as
 	// one parallel unit (see BatchApp).
 	batchApp BatchApp
+	// asyncApp is non-nil when the app commits blocks on a background
+	// commit resource (see AsyncApp); used only under cfg.AsyncCommit.
+	asyncApp AsyncApp
+	// vrApp is non-nil when the app can re-use admission verdicts at
+	// block validation (see VerdictReuseApp).
+	vrApp VerdictReuseApp
 
 	height int64 // height currently being decided
 
@@ -109,6 +116,11 @@ type node struct {
 	lastProposal  time.Duration // pacing for this node's proposer role
 	lastBlockTime time.Duration // when the last block was applied locally
 	busyUntil     time.Duration // the node's single execution resource
+	// commitBusyUntil is the node's commit resource: under async
+	// commit, decided blocks occupy it instead of the execution
+	// resource, which is what lets height h+1's validation overlap
+	// block h's apply.
+	commitBusyUntil time.Duration
 }
 
 func newNode(c *Cluster, id netsim.NodeID, app App) *node {
@@ -132,6 +144,8 @@ func newNode(c *Cluster, id netsim.NodeID, app App) *node {
 		round:         make(map[int64]int),
 	}
 	n.batchApp, _ = app.(BatchApp)
+	n.asyncApp, _ = app.(AsyncApp)
+	n.vrApp, _ = app.(VerdictReuseApp)
 	poolCfg := c.cfg.Mempool
 	poolCfg.Check = n.checkBatch
 	n.pool = mempool.New(poolCfg)
@@ -472,25 +486,48 @@ func (n *node) propose(h int64, r int) {
 		// Locked: re-propose the locked block in this round.
 		block = locked.Txs
 	} else {
-		pending := n.pendingTxs()
-		if len(pending) == 0 {
-			return
-		}
-		// Proposers pre-filter: transactions that would invalidate the
-		// block (stale inputs, intra-block conflicts) are evicted here
-		// so voters see clean blocks.
-		if bad := n.app.ValidateBlock(pending); len(bad) > 0 {
-			n.evict(bad)
-		}
+		// Pack first, validate only the packed block: propose-time
+		// validation is O(block), never O(pending). Transactions the
+		// block check rejects (stale inputs, intra-block conflicts)
+		// are evicted and packing retries over the shrunken pool, so
+		// repeated proposals converge exactly as the old full-pending
+		// pre-filter did — without re-validating work that will not be
+		// proposed this round.
 		if n.c.cfg.Packer != nil {
-			block = n.c.cfg.Packer(n.pendingTxs())
+			// Custom packers may hand back transactions the pool does
+			// not hold, so eviction cannot guarantee a shrinking retry
+			// set: validate once and propose the clean filtrate.
+			packed := n.c.cfg.Packer(n.pendingTxs())
+			if bad := n.blockInvalid(packed); len(bad) > 0 {
+				n.evict(bad)
+				drop := make(map[Tx]bool, len(bad))
+				for _, tx := range bad {
+					drop[tx] = true
+				}
+				packed = slices.DeleteFunc(packed, func(tx Tx) bool { return drop[tx] })
+			}
+			block = packed
 		} else {
-			// Conflict-aware (or FIFO, per the configured policy)
-			// selection straight off the footprint index.
-			packed := n.pool.Pack(n.c.cfg.MaxBlockTxs, n.c.cfg.Mempool.PackWorkers)
-			block = make([]Tx, len(packed))
-			for i, tx := range packed {
-				block[i] = tx.(Tx)
+			for len(block) == 0 {
+				// Conflict-aware (or FIFO, per the configured policy)
+				// selection straight off the footprint index.
+				picks := n.pool.Pack(n.c.cfg.MaxBlockTxs, n.c.cfg.Mempool.PackWorkers)
+				if len(picks) == 0 {
+					return
+				}
+				packed := make([]Tx, len(picks))
+				for i, tx := range picks {
+					packed[i] = tx.(Tx)
+				}
+				bad := n.blockInvalid(packed)
+				if len(bad) == 0 {
+					block = packed
+					break
+				}
+				// Every rejected transaction came out of the pool, so
+				// each retry evicts at least one and the loop
+				// terminates with a clean block or an empty pool.
+				n.evict(bad)
 			}
 		}
 	}
@@ -520,12 +557,12 @@ func (n *node) maybePrevote(h int64, r int) {
 		return
 	}
 	n.sentPrevote[key] = true
-	done := n.charge(n.app.ValidationTime(prop.Txs))
+	done := n.charge(n.blockValidationTime(prop.Txs))
 	n.c.sched.At(done, func() {
 		if n.c.net.IsDown(n.id) {
 			return
 		}
-		if bad := n.app.ValidateBlock(prop.Txs); len(bad) > 0 {
+		if bad := n.blockInvalid(prop.Txs); len(bad) > 0 {
 			// Withhold the vote and evict the offending transactions
 			// locally so repeated rounds converge instead of
 			// re-proposing the same invalid block forever.
@@ -536,6 +573,40 @@ func (n *node) maybePrevote(h int64, r int) {
 		n.recordVote(vote)
 		n.c.net.Broadcast(n.id, vote)
 	})
+}
+
+// freshFlags asks the pool which of the block's transactions still
+// hold a reusable admission verdict.
+func (n *node) freshFlags(txs []Tx) []bool {
+	pooled := make([]mempool.Tx, len(txs))
+	for i, tx := range txs {
+		pooled[i] = tx
+	}
+	return n.pool.Fresh(pooled)
+}
+
+// blockInvalid re-validates a packed block, re-using still-fresh
+// admission verdicts when the app supports it: the pool's freshness
+// flags let the app skip semantic condition sets for transactions
+// whose CheckTx verdict still describes committed state. Freshness is
+// deliberately re-derived here rather than reused from the earlier
+// blockValidationTime call: a block may commit between pricing the
+// validation and running it, and skipping a semantic check on a
+// since-staled verdict would be unsound — the cost model may
+// undercharge, the verdicts may not.
+func (n *node) blockInvalid(txs []Tx) []Tx {
+	if n.vrApp != nil {
+		return n.vrApp.ValidateBlockFresh(txs, n.freshFlags(txs))
+	}
+	return n.app.ValidateBlock(txs)
+}
+
+// blockValidationTime is the simulated cost of blockInvalid.
+func (n *node) blockValidationTime(txs []Tx) time.Duration {
+	if n.vrApp != nil {
+		return n.vrApp.ValidationTimeFresh(txs, n.freshFlags(txs))
+	}
+	return n.app.ValidationTime(txs)
 }
 
 // evict drops transactions that failed block validation; the pool
@@ -648,10 +719,35 @@ func (n *node) applyBlock(h int64, txs []Tx) {
 		removed[i] = tx
 	}
 	// Mempool compaction is an index sweep: each committed transaction
-	// leaves the pool, and each spend key it consumed evicts the
-	// pending rival claiming it — no rescan of the pending set.
+	// leaves the pool, each spend key it consumed evicts the pending
+	// rival claiming it, and each write key stales the conflicting
+	// admission verdicts — no rescan of the pending set.
 	n.pool.RemoveCommitted(removed)
-	n.app.Commit(h, txs)
+	if n.asyncApp != nil && n.c.cfg.AsyncCommit {
+		// Overlapped commit: the block starts applying immediately on
+		// the app's background commit path, occupies the node's commit
+		// resource (not the execution resource validation charges),
+		// and joins — sealing plus post-commit hooks — when its slot
+		// elapses. Height h+1's validation proceeds meanwhile; reads
+		// into h's write footprint wait on the app's commit fence.
+		join := n.asyncApp.CommitStart(h, txs)
+		now := n.c.sched.Now()
+		start := n.commitBusyUntil
+		if start < now {
+			start = now
+		}
+		n.commitBusyUntil = start + n.asyncApp.CommitTime(txs)
+		n.c.sched.At(n.commitBusyUntil, join)
+	} else {
+		if n.asyncApp != nil {
+			// Serialized commit: the block occupies the node's single
+			// execution resource, delaying the next height's validation
+			// and admission — the cost the overlapped pipeline hides on
+			// its separate commit resource.
+			n.charge(n.asyncApp.CommitTime(txs))
+		}
+		n.app.Commit(h, txs)
+	}
 	n.c.recordCommit(txs)
 }
 

@@ -325,13 +325,8 @@ func (c *Collection) Find(filter Filter) []map[string]any {
 
 // FindLimit is Find with a result cap; limit <= 0 means unlimited.
 func (c *Collection) FindLimit(filter Filter, limit int) []map[string]any {
-	if c.dropped.Load() {
-		return nil
-	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	var out []map[string]any
-	c.forEachCandidate(filter, func(_ string, doc map[string]any) bool {
+	c.visitCandidates(filter, func(_ string, doc map[string]any) bool {
 		if filter == nil || filter.Matches(doc) {
 			out = append(out, deepCopyMap(doc))
 			if limit > 0 && len(out) >= limit {
@@ -345,13 +340,8 @@ func (c *Collection) FindLimit(filter Filter, limit int) []map[string]any {
 
 // FindKeys returns the keys of matching documents in insertion order.
 func (c *Collection) FindKeys(filter Filter) []string {
-	if c.dropped.Load() {
-		return nil
-	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	var out []string
-	c.forEachCandidate(filter, func(key string, doc map[string]any) bool {
+	c.visitCandidates(filter, func(key string, doc map[string]any) bool {
 		if filter == nil || filter.Matches(doc) {
 			out = append(out, key)
 		}
@@ -371,13 +361,8 @@ func (c *Collection) FindOne(filter Filter) (map[string]any, error) {
 
 // Count returns the number of matching documents.
 func (c *Collection) Count(filter Filter) int {
-	if c.dropped.Load() {
-		return 0
-	}
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	n := 0
-	c.forEachCandidate(filter, func(_ string, doc map[string]any) bool {
+	c.visitCandidates(filter, func(_ string, doc map[string]any) bool {
 		if filter == nil || filter.Matches(doc) {
 			n++
 		}
@@ -386,50 +371,95 @@ func (c *Collection) Count(filter Filter) int {
 	return n
 }
 
-// forEachCandidate visits candidate documents in insertion order,
-// consulting indexes for an equality term in the filter and falling
-// back to a full backend scan. Caller holds at least a read lock.
-func (c *Collection) forEachCandidate(filter Filter, fn func(key string, doc map[string]any) bool) {
-	if keys, ok := c.indexCandidates(filter); ok {
-		// One ordered scan filtered by the index hits: preserves
-		// insertion order without copying the collection's key list.
-		set := make(map[string]struct{}, len(keys))
-		for _, k := range keys {
-			set[k] = struct{}{}
-		}
-		remaining := len(set)
-		c.be.Scan(func(key string, doc map[string]any) bool {
-			if remaining == 0 {
-				return false
-			}
-			if _, hit := set[key]; !hit {
-				return true
-			}
-			remaining--
-			return fn(key, doc)
-		})
+// visitCandidates is the single dispatch every query path shares: a
+// dropped collection yields nothing; an index-answerable filter goes
+// through the sharded scan path (no collection lock); everything else
+// full-scans under the collection read lock. fn must apply the filter
+// itself — candidates from an index hit are a superset of matches.
+func (c *Collection) visitCandidates(filter Filter, fn func(key string, doc map[string]any) bool) {
+	if c.dropped.Load() {
 		return
 	}
+	if keys, ok := c.indexCandidates(filter); ok {
+		c.shardedVisit(keys, fn)
+		return
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	c.be.Scan(fn)
+}
+
+// shardedVisit is the sharded scan path: it resolves index candidate
+// keys through shard-locked point reads, restores insertion order
+// from the backend's ord counters, and streams the documents to fn —
+// never taking the collection lock, so index-backed queries (the
+// UTXO / spent-set lookups of block validation) no longer serialize
+// behind the commit writer. The view is per-document consistent:
+// each fetched document is a committed version, but a query racing a
+// writer may miss (or see) that writer's in-flight keys. Readers that
+// need stability against an in-flight block commit order themselves
+// through the commit fence, which holds conflicting footprints back
+// until the block seals.
+func (c *Collection) shardedVisit(keys []string, fn func(key string, doc map[string]any) bool) {
+	type cand struct {
+		key string
+		ord uint64
+	}
+	seen := make(map[string]struct{}, len(keys))
+	unique := make([]string, 0, len(keys))
+	for _, k := range keys {
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		unique = append(unique, k)
+	}
+	ords := c.be.Ords(unique) // one order-lock acquisition for the whole candidate set
+	cands := make([]cand, 0, len(ords))
+	for _, k := range unique {
+		if ord, ok := ords[k]; ok {
+			cands = append(cands, cand{key: k, ord: ord})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].ord < cands[j].ord })
+	// Documents fetch lazily inside the streaming loop, so a limited
+	// query (FindOne, FindLimit) that stops early skips the remaining
+	// point reads — the early exit the ordered scan used to provide.
+	for _, it := range cands {
+		doc, ok := c.be.Get(it.key)
+		if !ok {
+			continue
+		}
+		if !fn(it.key, doc) {
+			return
+		}
+	}
 }
 
 // indexCandidates answers an indexable equality term from a secondary
 // index: the filter itself, or the first indexable conjunct of an AND.
+// It takes the collection lock only to resolve the index handle; the
+// lookup itself runs under the index's own lock.
 func (c *Collection) indexCandidates(filter Filter) ([]string, bool) {
+	lookup := func(eqf *fieldFilter) ([]string, bool) {
+		c.mu.RLock()
+		idx, exists := c.indexes[eqf.path]
+		c.mu.RUnlock()
+		if !exists {
+			return nil, false
+		}
+		return idx.lookup(eqf)
+	}
 	if eqf, ok := filter.(*fieldFilter); ok {
-		if idx, exists := c.indexes[eqf.path]; exists {
-			if keys, usable := idx.lookup(eqf); usable {
-				return keys, true
-			}
+		if keys, usable := lookup(eqf); usable {
+			return keys, true
 		}
 	}
 	if andf, ok := filter.(andFilter); ok {
 		for _, sub := range andf {
 			if eqf, ok := sub.(*fieldFilter); ok {
-				if idx, exists := c.indexes[eqf.path]; exists {
-					if keys, usable := idx.lookup(eqf); usable {
-						return keys, true
-					}
+				if keys, usable := lookup(eqf); usable {
+					return keys, true
 				}
 			}
 		}

@@ -1,11 +1,20 @@
 package docstore
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // hashIndex is a multikey equality index over one dot path: each value
 // reached at the path maps to the set of document keys holding it.
+// The index carries its own lock so index-backed readers can answer
+// candidate lookups without the collection-wide lock — writers mutate
+// it under the collection lock as before, but a scan no longer
+// serializes behind them (the sharded scan path).
 type hashIndex struct {
-	path    string
+	path string
+
+	mu      sync.RWMutex
 	entries map[string]map[string]struct{} // indexKey -> doc keys
 }
 
@@ -34,6 +43,8 @@ func (ix *hashIndex) add(docKey string, doc map[string]any) {
 	if !found {
 		return
 	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	for _, v := range vals {
 		ix.addValue(docKey, v)
 	}
@@ -63,6 +74,8 @@ func (ix *hashIndex) remove(docKey string, doc map[string]any) {
 	if !found {
 		return
 	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	for _, v := range vals {
 		ix.removeValue(docKey, v)
 	}
@@ -90,6 +103,8 @@ func (ix *hashIndex) removeValue(docKey string, v any) {
 // lookup answers an equality-style filter from the index. It reports
 // the candidate keys and whether the filter shape was answerable.
 func (ix *hashIndex) lookup(f *fieldFilter) ([]string, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	collect := func(arg any) []string {
 		k, ok := indexKey(arg)
 		if !ok {

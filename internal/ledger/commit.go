@@ -1,0 +1,279 @@
+package ledger
+
+import (
+	"fmt"
+
+	"smartchaindb/internal/parallel"
+	"smartchaindb/internal/storage"
+	"smartchaindb/internal/txn"
+)
+
+// The pipelined block commit splits CommitBlockAt into three stages:
+//
+//	plan  — partition the batch into conflict groups from the
+//	        transactions' declarative footprints (parallel.BuildPlan,
+//	        the same relation validation and packing use);
+//	apply — per-group appliers run concurrently, each checking its
+//	        group's transactions in block order against committed
+//	        state plus a group-local overlay of the group's own staged
+//	        writes, and emitting the write ops each transaction would
+//	        perform;
+//	seal  — a single pass applies the staged ops in block order inside
+//	        one storage Group, then writes the height record, so the
+//	        whole block is still one atomic WAL record and both the
+//	        document iteration order and the WAL byte stream are
+//	        identical to the sequential commit.
+//
+// Cross-group independence is what makes the apply phase sound: a
+// transaction's checks only read keys in its own footprint, and two
+// transactions in different groups share no footprint key, so each
+// group sees exactly the state the sequential pass would have shown
+// it. The differential tests pin this byte for byte via
+// State.Fingerprint.
+
+// SetCommitWorkers selects the per-conflict-group parallel apply phase
+// for block commits. Values below 2 keep the sequential reference
+// path. Safe to call only while no commit is running.
+func (s *State) SetCommitWorkers(w int) { s.commitWorkers = w }
+
+// CommitWorkers reports the configured apply-phase worker count.
+func (s *State) CommitWorkers() int { return s.commitWorkers }
+
+// stagedOp kinds, in the exact order commitTxLocked mutates state.
+const (
+	opInsertTx = iota
+	opMarkSpent
+	opInsertUTXO
+	opUpsertAsset
+)
+
+// stagedOp is one deferred docstore mutation produced by an applier.
+type stagedOp struct {
+	kind    int
+	key     string
+	doc     map[string]any // opInsertTx, opInsertUTXO, opUpsertAsset
+	spender string         // opMarkSpent
+}
+
+// stagedTx is one transaction's apply-phase outcome: either the ops to
+// seal, or the error that skips it.
+type stagedTx struct {
+	err error
+	ops []stagedOp
+}
+
+// groupOverlay is an applier's read view: the group's own staged
+// writes over committed state. Only the keys a transaction's checks
+// consult are tracked — transaction existence and UTXO records.
+type groupOverlay struct {
+	s     *State
+	txIDs map[string]bool
+	utxos map[string]map[string]any
+}
+
+func newGroupOverlay(s *State) *groupOverlay {
+	return &groupOverlay{s: s, txIDs: make(map[string]bool), utxos: make(map[string]map[string]any)}
+}
+
+func (o *groupOverlay) hasTx(id string) bool {
+	return o.txIDs[id] || o.s.store.Collection(ColTransactions).Has(id)
+}
+
+// getUTXO returns the staged or committed UTXO record. Staged records
+// are returned by reference; callers must not mutate them.
+func (o *groupOverlay) getUTXO(key string) (map[string]any, bool) {
+	if doc, ok := o.utxos[key]; ok {
+		return doc, true
+	}
+	doc, err := o.s.store.Collection(ColUTXOs).Get(key)
+	if err != nil {
+		return nil, false
+	}
+	return doc, true
+}
+
+// stageTx performs commitTxLocked's checks against the overlay and
+// stages the write ops instead of performing them. On success the
+// overlay absorbs the transaction's effects so later group members
+// observe them.
+func (o *groupOverlay) stageTx(t *txn.Transaction) *stagedTx {
+	if o.hasTx(t.ID) {
+		return &stagedTx{err: &txn.DuplicateTransactionError{TxID: t.ID, Reason: "already committed"}}
+	}
+	// Check all spends first so failure stages nothing.
+	for _, ref := range t.SpentRefs() {
+		doc, ok := o.getUTXO(utxoKey(ref))
+		if !ok {
+			return &stagedTx{err: &txn.InputDoesNotExistError{TxID: ref.TxID}}
+		}
+		if spender, _ := doc["spent_by"].(string); spender != "" {
+			return &stagedTx{err: &txn.DoubleSpendError{Ref: ref, SpentBy: spender}}
+		}
+	}
+	outputAsset := make([]string, len(t.Outputs))
+	for i := range t.Outputs {
+		outputAsset[i] = t.AssetID()
+	}
+	if t.Operation == txn.OpAcceptBid {
+		for i := range t.Outputs {
+			if i < len(t.Inputs) && t.Inputs[i].Fulfills != nil {
+				if doc, ok := o.getUTXO(utxoKey(*t.Inputs[i].Fulfills)); ok {
+					if aid, aok := doc["asset_id"].(string); aok {
+						outputAsset[i] = aid
+					}
+				}
+			}
+		}
+	}
+	txDoc := t.ToDoc()
+	// The transaction document is the only user-controlled payload; a
+	// doc the durable encoding rejects is skipped here, before any
+	// mutation stages. Both commit paths (sequential and pipelined)
+	// share this check, so the canonical-document contract is enforced
+	// identically on every backend and worker count.
+	if err := storage.EncodableDoc(txDoc); err != nil {
+		return &stagedTx{err: fmt.Errorf("ledger: insert tx: %w", err)}
+	}
+	st := &stagedTx{}
+	st.ops = append(st.ops, stagedOp{kind: opInsertTx, key: t.ID, doc: txDoc})
+	for _, ref := range t.SpentRefs() {
+		key := utxoKey(ref)
+		st.ops = append(st.ops, stagedOp{kind: opMarkSpent, key: key, spender: t.ID})
+		// Absorb the spent mark so a same-group rival sees the double
+		// spend exactly as the sequential pass would.
+		prev, _ := o.getUTXO(key)
+		next := make(map[string]any, len(prev)+2)
+		for k, v := range prev {
+			next[k] = v
+		}
+		next["spent"] = true
+		next["spent_by"] = t.ID
+		o.utxos[key] = next
+	}
+	for i, out := range t.Outputs {
+		ref := txn.OutputRef{TxID: t.ID, Index: i}
+		owners := make([]any, len(out.PublicKeys))
+		for j, k := range out.PublicKeys {
+			owners[j] = k
+		}
+		prev := make([]any, len(out.PrevOwners))
+		for j, k := range out.PrevOwners {
+			prev[j] = k
+		}
+		doc := map[string]any{
+			"transaction_id": t.ID,
+			"output_index":   float64(i),
+			"owner":          owners,
+			"prev_owners":    prev,
+			"amount":         float64(out.Amount),
+			"asset_id":       outputAsset[i],
+			"operation":      t.Operation,
+			"spent":          false,
+			"spent_by":       "",
+		}
+		st.ops = append(st.ops, stagedOp{kind: opInsertUTXO, key: utxoKey(ref), doc: doc})
+		o.utxos[utxoKey(ref)] = doc
+	}
+	if t.Operation == txn.OpCreate || t.Operation == txn.OpRequest {
+		data := map[string]any{}
+		if t.Asset != nil && t.Asset.Data != nil {
+			data = t.Asset.Data
+		}
+		st.ops = append(st.ops, stagedOp{kind: opUpsertAsset, key: t.ID, doc: map[string]any{
+			"id":        t.ID,
+			"data":      data,
+			"operation": t.Operation,
+		}})
+	}
+	o.txIDs[t.ID] = true
+	return st
+}
+
+// sealTx applies one staged transaction's ops through the docstore —
+// the same mutations, in the same order, as commitTxLocked.
+func (s *State) sealTx(st *stagedTx) error {
+	txs := s.store.Collection(ColTransactions)
+	utxos := s.store.Collection(ColUTXOs)
+	for _, op := range st.ops {
+		switch op.kind {
+		case opInsertTx:
+			if err := txs.Insert(op.key, op.doc); err != nil {
+				return fmt.Errorf("ledger: insert tx: %w", err)
+			}
+		case opMarkSpent:
+			spender := op.spender
+			if err := utxos.Update(op.key, func(doc map[string]any) error {
+				doc["spent"] = true
+				doc["spent_by"] = spender
+				return nil
+			}); err != nil {
+				return fmt.Errorf("ledger: mark spent %s: %w", op.key, err)
+			}
+		case opInsertUTXO:
+			if err := utxos.Insert(op.key, op.doc); err != nil {
+				return fmt.Errorf("ledger: insert utxo: %w", err)
+			}
+		case opUpsertAsset:
+			if err := s.store.Collection(ColAssets).Upsert(op.key, op.doc); err != nil {
+				return fmt.Errorf("ledger: upsert asset: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// commitBlockPipelined is the plan/apply/seal commit. It holds the
+// state lock like the sequential path; only the internal apply phase
+// is parallel. Byte-identical outcome to commitBlockLocked.
+func (s *State) commitBlockPipelined(height int64, batch []*txn.Transaction, workers int) (committed []*txn.Transaction, skipped map[string]error, err error) {
+	plan := parallel.BuildPlan(batch)
+	staged := make([]*stagedTx, len(batch))
+
+	// Apply: per-conflict-group appliers over the shared LPT dispatch
+	// (largest group first, so the critical path never starts last).
+	plan.RunGroups(workers, func(g []int) {
+		overlay := newGroupOverlay(s)
+		for _, i := range g {
+			staged[i] = overlay.stageTx(batch[i])
+		}
+	})
+
+	// Seal: block-order application inside one atomic WAL group, then
+	// the height record — nothing of the block is durable before
+	// everything is.
+	committed = make([]*txn.Transaction, 0, len(batch))
+	err = s.store.Group(func() error {
+		for i, t := range batch {
+			st := staged[i]
+			if st.err != nil {
+				if skipped == nil {
+					skipped = make(map[string]error)
+				}
+				skipped[t.ID] = st.err
+				continue
+			}
+			if serr := s.sealTx(st); serr != nil {
+				// The apply phase vouched for these ops; a failure here
+				// means the backend lost a write mid-block.
+				return serr
+			}
+			committed = append(committed, t)
+		}
+		ids := make([]any, len(committed))
+		for i, t := range committed {
+			ids[i] = t.ID
+		}
+		return s.store.Collection(ColBlocks).Upsert(blockKey(height), map[string]any{
+			"height": float64(height),
+			"count":  float64(len(committed)),
+			"txids":  ids,
+		})
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if height > s.lastHeight {
+		s.lastHeight = height
+	}
+	return committed, skipped, nil
+}

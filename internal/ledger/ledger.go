@@ -31,6 +31,12 @@ type State struct {
 	mu         sync.RWMutex
 	store      *docstore.Store
 	lastHeight int64
+	// commitWorkers selects the pipelined (plan/apply/seal) block
+	// commit: conflict groups from declarative footprints apply
+	// concurrently on this many workers, then seal in block order as
+	// one WAL group. Below 2, block commits run the sequential
+	// reference path. See commit.go.
+	commitWorkers int
 }
 
 // NewState creates a chain state over the backend selected by the
@@ -134,6 +140,9 @@ func (s *State) CommitBlockAt(height int64, batch []*txn.Transaction) (committed
 }
 
 func (s *State) commitBlockLocked(height int64, batch []*txn.Transaction) (committed []*txn.Transaction, skipped map[string]error, err error) {
+	if s.commitWorkers > 1 && len(batch) > 1 {
+		return s.commitBlockPipelined(height, batch, s.commitWorkers)
+	}
 	committed = make([]*txn.Transaction, 0, len(batch))
 	err = s.store.Group(func() error {
 		for _, t := range batch {
@@ -165,98 +174,17 @@ func (s *State) commitBlockLocked(height int64, batch []*txn.Transaction) (commi
 	return committed, skipped, nil
 }
 
+// commitTxLocked applies one transaction through the shared
+// stage/seal machinery (commit.go): checks against committed state,
+// then the exact mutation sequence, so the sequential path and the
+// pipelined per-group appliers can never drift apart. Failure stages
+// nothing and leaves no partial state.
 func (s *State) commitTxLocked(t *txn.Transaction) error {
-	txs := s.store.Collection(ColTransactions)
-	if txs.Has(t.ID) {
-		return &txn.DuplicateTransactionError{TxID: t.ID, Reason: "already committed"}
+	st := newGroupOverlay(s).stageTx(t)
+	if st.err != nil {
+		return st.err
 	}
-	utxos := s.store.Collection(ColUTXOs)
-	// Check all spends first so failure leaves no partial state.
-	for _, ref := range t.SpentRefs() {
-		doc, err := utxos.Get(utxoKey(ref))
-		if err != nil {
-			return &txn.InputDoesNotExistError{TxID: ref.TxID}
-		}
-		if spender, _ := doc["spent_by"].(string); spender != "" {
-			return &txn.DoubleSpendError{Ref: ref, SpentBy: spender}
-		}
-	}
-	// For nested parents the outputs mirror the inputs one-to-one, each
-	// carrying the asset of the bid its input spends; resolve those
-	// before mutating anything.
-	outputAsset := make([]string, len(t.Outputs))
-	for i := range t.Outputs {
-		outputAsset[i] = t.AssetID()
-	}
-	if t.Operation == txn.OpAcceptBid {
-		for i := range t.Outputs {
-			if i < len(t.Inputs) && t.Inputs[i].Fulfills != nil {
-				if doc, err := utxos.Get(utxoKey(*t.Inputs[i].Fulfills)); err == nil {
-					if aid, ok := doc["asset_id"].(string); ok {
-						outputAsset[i] = aid
-					}
-				}
-			}
-		}
-	}
-	// Insert the transaction document first: it is the only mutation
-	// that can fail on a user-controlled payload (a document the
-	// storage backend cannot encode), and failing here keeps the
-	// "no side effects on failure" contract. The spent-marks and UTXO
-	// records below are system-built documents that always encode.
-	if err := txs.Insert(t.ID, t.ToDoc()); err != nil {
-		return fmt.Errorf("ledger: insert tx: %w", err)
-	}
-	for _, ref := range t.SpentRefs() {
-		if err := utxos.Update(utxoKey(ref), func(doc map[string]any) error {
-			doc["spent"] = true
-			doc["spent_by"] = t.ID
-			return nil
-		}); err != nil {
-			return fmt.Errorf("ledger: mark spent %s: %w", ref, err)
-		}
-	}
-	for i, out := range t.Outputs {
-		ref := txn.OutputRef{TxID: t.ID, Index: i}
-		owners := make([]any, len(out.PublicKeys))
-		for j, k := range out.PublicKeys {
-			owners[j] = k
-		}
-		prev := make([]any, len(out.PrevOwners))
-		for j, k := range out.PrevOwners {
-			prev[j] = k
-		}
-		if err := utxos.Insert(utxoKey(ref), map[string]any{
-			"transaction_id": t.ID,
-			"output_index":   float64(i),
-			"owner":          owners,
-			"prev_owners":    prev,
-			"amount":         float64(out.Amount),
-			"asset_id":       outputAsset[i],
-			"operation":      t.Operation,
-			"spent":          false,
-			"spent_by":       "",
-		}); err != nil {
-			return fmt.Errorf("ledger: insert utxo: %w", err)
-		}
-	}
-	if t.Operation == txn.OpCreate || t.Operation == txn.OpRequest {
-		data := map[string]any{}
-		if t.Asset != nil && t.Asset.Data != nil {
-			data = t.Asset.Data
-		}
-		// The asset document is a subset of the transaction document
-		// inserted above, so encoding cannot fail here; propagate
-		// anyway rather than swallow a lost write.
-		if err := s.store.Collection(ColAssets).Upsert(t.ID, map[string]any{
-			"id":        t.ID,
-			"data":      data,
-			"operation": t.Operation,
-		}); err != nil {
-			return fmt.Errorf("ledger: upsert asset: %w", err)
-		}
-	}
-	return nil
+	return s.sealTx(st)
 }
 
 // SetChildren records the child transaction IDs assigned to a nested

@@ -1,0 +1,109 @@
+package mempool
+
+import "testing"
+
+// reader builds a transaction that reads a key without writing it.
+func reader(hash string, reads ...string) *fakeTx {
+	return &fakeTx{hash: hash, fp: Footprint{Writes: []string{"tx:" + hash}, Reads: reads}}
+}
+
+func freshOf(t *testing.T, p *Pool, txs ...Tx) []bool {
+	t.Helper()
+	return p.Fresh(txs)
+}
+
+// TestFreshLifecycle pins the verdict-reuse state machine: independent
+// admissions start fresh, batch-conflicting admissions start stale,
+// commits staling exactly the pending transactions whose footprints
+// they write into, and unknown transactions never reporting fresh.
+func TestFreshLifecycle(t *testing.T) {
+	p := newPool(t, Config{})
+
+	// a and b are independent: both admitted fresh.
+	a, b := indep("a"), indep("b")
+	admit(t, p, a, b)
+	if got := freshOf(t, p, a, b); !got[0] || !got[1] {
+		t.Fatalf("independent admissions not fresh: %v", got)
+	}
+
+	// c reads a key d writes in the same batch: both enter stale —
+	// their verdicts may have consulted each other, not committed
+	// state.
+	c := reader("c", "k:shared")
+	d := &fakeTx{hash: "d", fp: Footprint{Writes: []string{"tx:d", "k:shared"}}}
+	admit(t, p, c, d)
+	if got := freshOf(t, p, c, d); got[0] || got[1] {
+		t.Fatalf("batch-dependent admissions must start stale: %v", got)
+	}
+
+	// The same pair admitted in separate batches stays fresh... until a
+	// commit writes into the shared key.
+	p2 := newPool(t, Config{})
+	admit(t, p2, c)
+	admit(t, p2, indep("x"))
+	if got := p2.Fresh([]Tx{c}); !got[0] {
+		t.Fatal("solo admission must be fresh")
+	}
+	// A foreign commit (never pooled here) writing k:shared stales c.
+	p2.RemoveCommitted([]Tx{d})
+	if got := p2.Fresh([]Tx{c}); got[0] {
+		t.Fatal("commit into read footprint must stale the reader")
+	}
+	// x is untouched by d's writes and stays fresh.
+	if got := p2.Fresh([]Tx{indep("x")}); !got[0] {
+		t.Fatal("disjoint pending transaction must stay fresh")
+	}
+
+	// Unknown transactions are never fresh.
+	if got := p.Fresh([]Tx{indep("nope")}); got[0] {
+		t.Fatal("unknown transaction reported fresh")
+	}
+}
+
+// TestFreshCommitSweepScope checks the sweep uses write keys only:
+// committing a pure reader of a key must not stale other readers
+// (read/read is not a conflict), while committing a writer must.
+func TestFreshCommitSweepScope(t *testing.T) {
+	p := newPool(t, Config{})
+	r1 := reader("r1", "k:a")
+	admit(t, p, r1)
+	admit(t, p, reader("r2", "k:a")) // separate batch: both fresh
+	if got := p.Fresh([]Tx{r1}); !got[0] {
+		t.Fatal("reader not fresh after solo admission")
+	}
+	// r2 commits (say, through another node's block): it only read
+	// k:a, so r1's verdict still stands.
+	p.RemoveCommitted([]Tx{reader("r2", "k:a")})
+	if got := p.Fresh([]Tx{r1}); !got[0] {
+		t.Fatal("committing a reader staled a co-reader")
+	}
+	// A writer of k:a commits: r1 goes stale.
+	p.RemoveCommitted([]Tx{&fakeTx{hash: "w", fp: Footprint{Writes: []string{"tx:w", "k:a"}}}})
+	if got := p.Fresh([]Tx{r1}); got[0] {
+		t.Fatal("committing a writer did not stale the reader")
+	}
+}
+
+// TestFreshEvictionReleasesIndex checks evicted entries leave the key
+// index: a later commit sweeping their keys must not resurrect or
+// touch them, and re-admission starts a clean verdict.
+func TestFreshEvictionReleasesIndex(t *testing.T) {
+	p := newPool(t, Config{})
+	s := spender("s", "utxo:1")
+	admit(t, p, s)
+	p.Remove([]Tx{s})
+	if p.Contains("s") {
+		t.Fatal("evicted entry still pooled")
+	}
+	if len(p.keyIndex) != 0 {
+		t.Fatalf("key index leaked %d keys after eviction", len(p.keyIndex))
+	}
+	admit(t, p, s)
+	if got := p.Fresh([]Tx{s}); !got[0] {
+		t.Fatal("re-admitted entry must start fresh")
+	}
+	p.RemoveCommitted([]Tx{s})
+	if len(p.keyIndex) != 0 {
+		t.Fatalf("key index leaked %d keys after commit", len(p.keyIndex))
+	}
+}

@@ -3,6 +3,8 @@ package mempool
 import (
 	"fmt"
 	"sync"
+
+	"smartchaindb/internal/parallel"
 )
 
 // CheckFn validates an admission batch semantically and returns the
@@ -88,6 +90,15 @@ type entry struct {
 	fp       Footprint
 	reserved bool
 	gone     bool
+	// stale is the verdict-reuse flag: false means the admission
+	// verdict was computed against committed state alone and no block
+	// committed since has written into this transaction's footprint —
+	// so block validation may skip its semantic re-check. It starts
+	// true for transactions whose admission batch contained a
+	// footprint-conflicting member (their verdict may have leaned on
+	// in-flight, not-yet-committed state) and flips true whenever the
+	// commit sweep observes a conflicting write.
+	stale bool
 }
 
 // indexShard is one slice of the spend index: spend key -> hash of the
@@ -105,6 +116,18 @@ type Pool struct {
 	byHash map[string]*entry
 	order  []*entry // arrival order, with tombstones compacted lazily
 	live   int
+	// keyIndex maps every footprint key (reads and writes) of every
+	// live entry to its holders — the staleness sweep: when a block
+	// commits, each of its write keys marks the pending holders stale
+	// in O(holders), independent of pool size. Guarded by mu (all
+	// writers already hold it), unlike the lock-free spend shards.
+	keyIndex map[string]map[*entry]struct{}
+	// sweepEpoch counts RemoveCommitted sweeps. An admission batch
+	// records it before semantic validation; candidates inserted after
+	// the epoch moved enter stale — their verdict raced a commit whose
+	// write keys could not have marked them (they were not indexed
+	// yet), so freshness must not be assumed.
+	sweepEpoch uint64
 
 	shards []*indexShard
 }
@@ -113,9 +136,10 @@ type Pool struct {
 func New(cfg Config) *Pool {
 	cfg.fill()
 	p := &Pool{
-		cfg:    cfg,
-		byHash: make(map[string]*entry),
-		shards: make([]*indexShard, cfg.Shards),
+		cfg:      cfg,
+		byHash:   make(map[string]*entry),
+		keyIndex: make(map[string]map[*entry]struct{}),
+		shards:   make([]*indexShard, cfg.Shards),
 	}
 	for i := range p.shards {
 		p.shards[i] = &indexShard{claims: make(map[string]string)}
@@ -234,8 +258,18 @@ func (p *Pool) AdmitBatch(txs []Tx) AdmitResult {
 	type candidate struct {
 		tx Tx
 		fp Footprint
+		// dep marks a candidate that footprint-conflicts with another
+		// member of this batch: its semantic verdict may have consulted
+		// in-flight batch state (ResolveTx/SpentBy hit the admission
+		// batch before committed state), so it enters the pool stale —
+		// ineligible for verdict reuse until block validation re-proves
+		// it.
+		dep bool
 	}
 	cands := make([]candidate, 0, len(txs))
+	p.mu.RLock()
+	epoch := p.sweepEpoch
+	p.mu.RUnlock()
 	batchSeen := make(map[string]bool, len(txs))
 	batchClaims := make(map[string]string)
 	for _, tx := range txs {
@@ -265,6 +299,20 @@ func (p *Pool) AdmitBatch(txs []Tx) AdmitResult {
 			batchClaims[key] = h
 		}
 		cands = append(cands, candidate{tx: tx, fp: fp})
+	}
+
+	if len(cands) > 1 {
+		fps := make([]parallel.Footprint, len(cands))
+		for i, c := range cands {
+			fps[i] = parallel.Footprint{Writes: c.fp.Writes, Reads: c.fp.Reads}
+		}
+		for _, g := range parallel.GroupFootprints(fps) {
+			if len(g) > 1 {
+				for _, i := range g {
+					cands[i].dep = true
+				}
+			}
+		}
 	}
 
 	if p.cfg.Check != nil && len(cands) > 0 {
@@ -324,10 +372,14 @@ func (p *Pool) AdmitBatch(txs []Tx) AdmitResult {
 			if lost {
 				continue
 			}
-			e := &entry{tx: c.tx, fp: c.fp}
+			// A commit sweep that ran while this batch validated could
+			// not see these entries in the key index; treat the whole
+			// batch's verdicts as conservatively stale in that case.
+			e := &entry{tx: c.tx, fp: c.fp, stale: c.dep || p.sweepEpoch != epoch}
 			p.byHash[h] = e
 			p.order = append(p.order, e)
 			p.live++
+			p.indexKeysLocked(e)
 			for _, key := range c.fp.Spends {
 				s := p.shardFor(key)
 				s.mu.Lock()
@@ -379,34 +431,102 @@ func (p *Pool) Remove(txs []Tx) {
 }
 
 // RemoveCommitted is the block-commit compaction: an index sweep, not a
-// rescan. Each committed transaction is dropped from the pool, and each
-// of its spend keys evicts the pending rival claiming it (that rival
-// spends an output the chain just consumed, so it can never commit).
+// rescan. Each committed transaction is dropped from the pool, each of
+// its spend keys evicts the pending rival claiming it (that rival
+// spends an output the chain just consumed, so it can never commit),
+// and each of its write keys marks the pending transactions whose
+// footprints it touches stale — their admission verdicts no longer
+// describe committed state and block validation must re-prove them.
 // Cost is linear in the block's footprint keys, independent of pool
 // size.
 func (p *Pool) RemoveCommitted(txs []Tx) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.sweepEpoch++
 	for _, tx := range txs {
 		h := tx.Hash()
-		if e, ok := p.byHash[h]; ok {
-			// Pooled entry: dropping it releases its cached claims, and
-			// no rival can have held a key it held — no footprint
-			// re-derivation, no rival sweep needed.
-			p.dropLocked(e)
-			continue
+		e, pooled := p.byHash[h]
+		var writes []string
+		if pooled {
+			writes = e.fp.Writes
+		} else {
+			// Committed through catch-up without ever entering this
+			// pool: derive the footprint to sweep by.
+			fp := p.cfg.Footprint(tx)
+			writes = fp.Writes
+			for _, key := range fp.Spends {
+				if owner, ok := p.claimant(key); ok && owner != h {
+					if rival, live := p.byHash[owner]; live {
+						p.dropLocked(rival)
+					}
+				}
+			}
 		}
-		// Committed through catch-up without ever entering this pool:
-		// derive its spends and evict any pending rival per key.
-		for _, key := range p.cfg.Footprint(tx).Spends {
-			if owner, ok := p.claimant(key); ok && owner != h {
-				if rival, live := p.byHash[owner]; live {
-					p.dropLocked(rival)
+		// Staleness sweep: every pending holder of a key this commit
+		// wrote loses its cached verdict.
+		for _, key := range writes {
+			for holder := range p.keyIndex[key] {
+				if !holder.gone {
+					holder.stale = true
+				}
+			}
+		}
+		if pooled {
+			// Dropping the entry releases its cached claims, and no
+			// rival can have held a spend key it held — no rival sweep
+			// needed.
+			p.dropLocked(e)
+		}
+	}
+	p.compactLocked()
+}
+
+// Fresh reports, per transaction, whether the pool holds it with a
+// still-valid admission verdict: validated against committed state
+// alone, with no conflicting write committed since. Block validation
+// uses the flags to skip semantic re-checks for the fresh ones
+// (structural intra-block checks always re-run). Unknown transactions
+// report false.
+func (p *Pool) Fresh(txs []Tx) []bool {
+	out := make([]bool, len(txs))
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for i, tx := range txs {
+		if e, ok := p.byHash[tx.Hash()]; ok {
+			out[i] = !e.stale
+		}
+	}
+	return out
+}
+
+// indexKeysLocked registers an entry under every footprint key the
+// staleness sweep may probe. Caller holds p.mu.
+func (p *Pool) indexKeysLocked(e *entry) {
+	for _, keys := range [][]string{e.fp.Writes, e.fp.Reads} {
+		for _, key := range keys {
+			set, ok := p.keyIndex[key]
+			if !ok {
+				set = make(map[*entry]struct{})
+				p.keyIndex[key] = set
+			}
+			set[e] = struct{}{}
+		}
+	}
+}
+
+// unindexKeysLocked removes an entry from the key index. Caller holds
+// p.mu.
+func (p *Pool) unindexKeysLocked(e *entry) {
+	for _, keys := range [][]string{e.fp.Writes, e.fp.Reads} {
+		for _, key := range keys {
+			if set, ok := p.keyIndex[key]; ok {
+				delete(set, e)
+				if len(set) == 0 {
+					delete(p.keyIndex, key)
 				}
 			}
 		}
 	}
-	p.compactLocked()
 }
 
 // dropLocked removes one entry and releases its claims. Caller holds p.mu.
@@ -418,6 +538,7 @@ func (p *Pool) dropLocked(e *entry) {
 	e.gone = true
 	p.live--
 	delete(p.byHash, h)
+	p.unindexKeysLocked(e)
 	for _, key := range e.fp.Spends {
 		s := p.shardFor(key)
 		s.mu.Lock()

@@ -1,0 +1,94 @@
+package parallel
+
+import "sync"
+
+// Fence is the commit fence of the pipelined commit path: while one
+// block's apply phase runs on the commit resource, its declarative
+// write footprint is published here, and readers at the next height
+// consult it before touching state. A reader whose own footprint
+// intersects the in-flight write set blocks until the block seals; a
+// disjoint reader proceeds immediately — the declarative counterpart
+// of the snapshot the pipelined-execution literature isolates
+// concurrent blocks with.
+//
+// At most one commit is in flight at a time: Begin for block h+1
+// waits for block h's End, so blocks seal in height order. The zero
+// value is an idle fence and every method on it returns immediately.
+type Fence struct {
+	mu   sync.Mutex
+	keys map[string]struct{}
+	done chan struct{}
+}
+
+// Begin arms the fence with the in-flight block's write keys. If a
+// previous commit is still in flight it waits for that commit's End
+// first, which is what serializes commits in height order.
+func (f *Fence) Begin(writeKeys []string) {
+	for {
+		f.mu.Lock()
+		if f.done == nil {
+			f.keys = make(map[string]struct{}, len(writeKeys))
+			for _, k := range writeKeys {
+				f.keys[k] = struct{}{}
+			}
+			f.done = make(chan struct{})
+			f.mu.Unlock()
+			return
+		}
+		ch := f.done
+		f.mu.Unlock()
+		<-ch
+	}
+}
+
+// End seals the in-flight commit and releases every waiter.
+func (f *Fence) End() {
+	f.mu.Lock()
+	ch := f.done
+	f.done = nil
+	f.keys = nil
+	f.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+// WaitKeys blocks while an in-flight commit's write set intersects
+// keys — the reads-at-h+1-wait-on-h rule. Disjoint key sets return
+// immediately, concurrent with the appliers.
+func (f *Fence) WaitKeys(keys []string) {
+	for {
+		f.mu.Lock()
+		if f.done == nil {
+			f.mu.Unlock()
+			return
+		}
+		hit := false
+		for _, k := range keys {
+			if _, ok := f.keys[k]; ok {
+				hit = true
+				break
+			}
+		}
+		ch := f.done
+		f.mu.Unlock()
+		if !hit {
+			return
+		}
+		<-ch
+	}
+}
+
+// Drain blocks until no commit is in flight — the full barrier node
+// shutdown and state-wide reads (fingerprints, snapshots) use.
+func (f *Fence) Drain() {
+	for {
+		f.mu.Lock()
+		ch := f.done
+		f.mu.Unlock()
+		if ch == nil {
+			return
+		}
+		<-ch
+	}
+}

@@ -1,0 +1,103 @@
+package parallel_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"smartchaindb/internal/parallel"
+)
+
+// TestFenceDisjointProceedsConflictWaits pins the fence contract:
+// while a commit is in flight, a reader with disjoint keys returns
+// immediately and a conflicting reader blocks until End.
+func TestFenceDisjointProceedsConflictWaits(t *testing.T) {
+	var f parallel.Fence
+	f.Begin([]string{"tx:a", "utxo:a:0"})
+
+	// Disjoint: must not block.
+	done := make(chan struct{})
+	go func() {
+		f.WaitKeys([]string{"tx:b", "utxo:b:0"})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("disjoint reader blocked on the fence")
+	}
+
+	// Conflicting: must block until End.
+	var sealed atomic.Bool
+	waited := make(chan struct{})
+	go func() {
+		f.WaitKeys([]string{"utxo:a:0"})
+		if !sealed.Load() {
+			t.Error("conflicting reader proceeded before the seal")
+		}
+		close(waited)
+	}()
+	time.Sleep(20 * time.Millisecond) // give the waiter time to park
+	sealed.Store(true)
+	f.End()
+	select {
+	case <-waited:
+	case <-time.After(5 * time.Second):
+		t.Fatal("conflicting reader never released")
+	}
+
+	// Idle fence: everything passes straight through.
+	f.WaitKeys([]string{"utxo:a:0"})
+	f.Drain()
+}
+
+// TestFenceBeginSerializesCommits checks Begin's height ordering: a
+// second Begin waits for the first End, so two in-flight commits can
+// never coexist.
+func TestFenceBeginSerializesCommits(t *testing.T) {
+	var f parallel.Fence
+	var inFlight atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f.Begin([]string{"k"})
+			if n := inFlight.Add(1); n != 1 {
+				t.Errorf("%d commits in flight", n)
+			}
+			time.Sleep(time.Millisecond)
+			inFlight.Add(-1)
+			f.End()
+		}()
+	}
+	wg.Wait()
+	f.Drain()
+}
+
+// TestMakespanWeighted pins the verdict-reuse cost model: fresh
+// transactions weigh zero, so a group's chain costs only its stale
+// members.
+func TestMakespanWeighted(t *testing.T) {
+	p := &parallel.Plan{Groups: [][]int{{0, 1, 2, 3}, {4, 5}, {6}}}
+	stale := map[int]bool{1: true, 4: true, 5: true, 6: true}
+	weight := func(i int) int {
+		if stale[i] {
+			return 1
+		}
+		return 0
+	}
+	// Sequential: total stale count.
+	if got := p.MakespanWeighted(1, weight); got != 4 {
+		t.Errorf("sequential weighted makespan = %d, want 4", got)
+	}
+	// Two workers: chains weigh {1, 2, 1} -> LPT makespan 2.
+	if got := p.MakespanWeighted(2, weight); got != 2 {
+		t.Errorf("2-worker weighted makespan = %d, want 2", got)
+	}
+	// Nil weight degenerates to plain Makespan.
+	if got, want := p.MakespanWeighted(2, nil), p.Makespan(2); got != want {
+		t.Errorf("nil-weight makespan = %d, want %d", got, want)
+	}
+}

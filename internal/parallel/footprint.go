@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"sort"
+	"sync"
 
 	"smartchaindb/internal/txn"
 )
@@ -53,6 +54,30 @@ func SpendKeys(t *txn.Transaction) []string {
 	keys := make([]string, len(refs))
 	for i, ref := range refs {
 		keys[i] = "utxo:" + ref.String()
+	}
+	return keys
+}
+
+// WriteKeys unions the write footprints of a batch — the key set a
+// commit fence publishes while the batch's apply phase is in flight.
+// Duplicates are kept (the fence stores a set anyway).
+func WriteKeys(txs []*txn.Transaction) []string {
+	var keys []string
+	for _, t := range txs {
+		keys = append(keys, FootprintOf(t).Writes...)
+	}
+	return keys
+}
+
+// TouchKeys unions the full footprints (reads and writes) of a batch —
+// the key set a reader presents to the commit fence: any overlap with
+// an in-flight block's write set must wait for the seal.
+func TouchKeys(txs []*txn.Transaction) []string {
+	var keys []string
+	for _, t := range txs {
+		fp := FootprintOf(t)
+		keys = append(keys, fp.Writes...)
+		keys = append(keys, fp.Reads...)
 	}
 	return keys
 }
@@ -175,6 +200,60 @@ func GroupFootprints(fps []Footprint) [][]int {
 	return groups
 }
 
+// RunGroups dispatches the plan's conflict groups across a worker
+// pool, largest group first (LPT list scheduling — the order Makespan
+// models, and the one that keeps the critical path from starting
+// last; ties keep block order), calling run once per group. run
+// executes each group's members in its own goroutine; members of one
+// group must be processed in the given (block) order by the caller.
+// workers <= 1 runs the groups sequentially in plan order.
+func (p *Plan) RunGroups(workers int, run func(group []int)) {
+	if workers > len(p.Groups) {
+		workers = len(p.Groups)
+	}
+	if workers <= 1 {
+		for _, g := range p.Groups {
+			run(g)
+		}
+		return
+	}
+	order := make([]int, len(p.Groups))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(p.Groups[order[a]]) > len(p.Groups[order[b]])
+	})
+	groups := make(chan []int, len(p.Groups))
+	for _, gi := range order {
+		groups <- p.Groups[gi]
+	}
+	close(groups)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for g := range groups {
+				run(g)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TouchKeys unions the plan's full footprints (reads and writes) —
+// the fence key set of a batch whose plan is already built, saving
+// the footprint re-derivation TouchKeys-on-transactions would do.
+func (p *Plan) TouchKeys() []string {
+	var keys []string
+	for _, fp := range p.Footprints {
+		keys = append(keys, fp.Writes...)
+		keys = append(keys, fp.Reads...)
+	}
+	return keys
+}
+
 // Largest returns the size of the biggest conflict group — the
 // critical path of the plan.
 func (p *Plan) Largest() int {
@@ -191,16 +270,36 @@ func (p *Plan) Largest() int {
 // units on w workers: greedy longest-processing-time list scheduling
 // of the conflict groups. With w <= 1 it is the batch size.
 func (p *Plan) Makespan(workers int) int {
+	return p.MakespanWeighted(workers, nil)
+}
+
+// MakespanWeighted is Makespan with a per-transaction cost: weight(i)
+// is the cost of batch index i in transaction units (nil means 1 —
+// plain Makespan). Verdict reuse models it with weight 0 for
+// transactions whose admission verdict still stands: they ride a
+// group's chain for free, so a block of mostly-fresh transactions
+// schedules in the time of its stale remainder.
+func (p *Plan) MakespanWeighted(workers int, weight func(i int) int) int {
+	w := func(i int) int {
+		if weight == nil {
+			return 1
+		}
+		return weight(i)
+	}
 	if workers <= 1 {
 		total := 0
 		for _, g := range p.Groups {
-			total += len(g)
+			for _, i := range g {
+				total += w(i)
+			}
 		}
 		return total
 	}
 	sizes := make([]int, len(p.Groups))
-	for i, g := range p.Groups {
-		sizes[i] = len(g)
+	for gi, g := range p.Groups {
+		for _, i := range g {
+			sizes[gi] += w(i)
+		}
 	}
 	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
 	if workers > len(sizes) {

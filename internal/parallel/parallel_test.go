@@ -1,4 +1,4 @@
-package parallel
+package parallel_test
 
 import (
 	"fmt"
@@ -9,6 +9,7 @@ import (
 
 	"smartchaindb/internal/keys"
 	"smartchaindb/internal/ledger"
+	"smartchaindb/internal/parallel"
 	"smartchaindb/internal/txn"
 	"smartchaindb/internal/txtype"
 	"smartchaindb/internal/validate"
@@ -34,7 +35,7 @@ func TestFootprintConflictPairs(t *testing.T) {
 		return tr
 	}
 	t1, t2 := transferTo(10), transferTo(11)
-	if !FootprintOf(t1).Conflicts(FootprintOf(t2)) {
+	if !parallel.FootprintOf(t1).Conflicts(parallel.FootprintOf(t2)) {
 		t.Error("double-spending transfers must conflict")
 	}
 
@@ -42,16 +43,16 @@ func TestFootprintConflictPairs(t *testing.T) {
 	asset2 := gen.Create(bidder2, []string{"cnc"}, 64)
 	bid1 := gen.Bid(owner, asset, rfq, 64)
 	bid2 := gen.Bid(bidder2, asset2, rfq, 64)
-	if !FootprintOf(bid1).Conflicts(FootprintOf(bid2)) {
+	if !parallel.FootprintOf(bid1).Conflicts(parallel.FootprintOf(bid2)) {
 		t.Error("two BIDs on the same REQUEST must conflict")
 	}
 
 	// Producer/consumer: a transfer spending an in-block CREATE.
-	if !FootprintOf(asset).Conflicts(FootprintOf(t1)) {
+	if !parallel.FootprintOf(asset).Conflicts(parallel.FootprintOf(t1)) {
 		t.Error("a transaction must conflict with the producer of its input")
 	}
 	// A BID and the REQUEST it references must order.
-	if !FootprintOf(rfq).Conflicts(FootprintOf(bid1)) {
+	if !parallel.FootprintOf(rfq).Conflicts(parallel.FootprintOf(bid1)) {
 		t.Error("a BID must conflict with its in-block REQUEST")
 	}
 
@@ -62,14 +63,14 @@ func TestFootprintConflictPairs(t *testing.T) {
 	if err := txn.Sign(tr2, bidder2); err != nil {
 		t.Fatal(err)
 	}
-	if FootprintOf(t1).Conflicts(FootprintOf(tr2)) {
+	if parallel.FootprintOf(t1).Conflicts(parallel.FootprintOf(tr2)) {
 		t.Error("independent transfers must not conflict")
 	}
 }
 
 func TestBuildPlanGroupsAndOrder(t *testing.T) {
 	_, _, batch := scenario(t, 3, 4, 42)
-	plan := BuildPlan(batch)
+	plan := parallel.BuildPlan(batch)
 	// Every index appears exactly once, groups sorted ascending.
 	seen := make(map[int]bool)
 	for _, g := range plan.Groups {
@@ -105,8 +106,8 @@ func TestBuildPlanGroupsAndOrder(t *testing.T) {
 }
 
 func TestMakespan(t *testing.T) {
-	mk := func(sizes ...int) *Plan {
-		p := &Plan{}
+	mk := func(sizes ...int) *parallel.Plan {
+		p := &parallel.Plan{}
 		next := 0
 		for _, s := range sizes {
 			var g []int
@@ -242,8 +243,8 @@ func TestDifferentialSequentialVsParallel(t *testing.T) {
 				t.Fatal("scenario construction is not deterministic")
 			}
 
-			seq := (&Scheduler{Workers: 1}).ValidateBatch(reg, seqState, seqReserved, seqBatch)
-			par := (&Scheduler{Workers: 8}).ValidateBatch(reg, parState, parReserved, parBatch)
+			seq := (&parallel.Scheduler{Workers: 1}).ValidateBatch(reg, seqState, seqReserved, seqBatch)
+			par := (&parallel.Scheduler{Workers: 8}).ValidateBatch(reg, parState, parReserved, parBatch)
 
 			if !reflect.DeepEqual(ids(seq.Valid), ids(par.Valid)) {
 				t.Fatalf("valid sets differ:\n seq=%v\n par=%v", ids(seq.Valid), ids(par.Valid))
@@ -286,15 +287,15 @@ func TestConflictingPairsNeverConcurrent(t *testing.T) {
 	state, reserved, batch := scenario(t, 4, 6, 77)
 
 	var mu sync.Mutex
-	inflight := make(map[*txn.Transaction]Footprint)
+	inflight := make(map[*txn.Transaction]parallel.Footprint)
 	maxInflight := 0
 	violations := 0
-	sched := &Scheduler{Workers: 8}
-	sched.onValidate = func(tx *txn.Transaction, entering bool) {
+	sched := &parallel.Scheduler{Workers: 8}
+	sched.OnValidate = func(tx *txn.Transaction, entering bool) {
 		mu.Lock()
 		defer mu.Unlock()
 		if entering {
-			fp := FootprintOf(tx)
+			fp := parallel.FootprintOf(tx)
 			for other, ofp := range inflight {
 				if other != tx && fp.Conflicts(ofp) {
 					violations++
@@ -340,7 +341,7 @@ func TestSchedulerMatchesLegacySequentialLoop(t *testing.T) {
 		legacyValid = append(legacyValid, tx.ID)
 	}
 
-	res := (&Scheduler{}).ValidateBatch(reg, state, reserved, batch)
+	res := (&parallel.Scheduler{}).ValidateBatch(reg, state, reserved, batch)
 	if !reflect.DeepEqual(ids(res.Valid), legacyValid) {
 		t.Errorf("valid mismatch:\n got %v\nwant %v", ids(res.Valid), legacyValid)
 	}

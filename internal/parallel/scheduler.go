@@ -1,9 +1,6 @@
 package parallel
 
 import (
-	"sort"
-	"sync"
-
 	"smartchaindb/internal/txn"
 	"smartchaindb/internal/txtype"
 )
@@ -17,11 +14,12 @@ type Scheduler struct {
 	// below 2 select the sequential path.
 	Workers int
 
-	// onValidate, when set, is invoked with entering=true immediately
+	// OnValidate, when set, is invoked with entering=true immediately
 	// before a transaction's condition set runs and with
 	// entering=false right after. Test instrumentation for the
-	// "conflicting transactions never validate concurrently" property.
-	onValidate func(t *txn.Transaction, entering bool)
+	// "conflicting transactions never validate concurrently" property;
+	// leave it nil in production paths.
+	OnValidate func(t *txn.Transaction, entering bool)
 }
 
 // Result is the outcome of validating one batch.
@@ -57,6 +55,18 @@ func (s *Scheduler) ValidateBatch(reg *txtype.Registry, state txtype.ChainState,
 // validation time) avoid planning it twice. A nil plan is computed on
 // demand; the sequential path never needs one.
 func (s *Scheduler) ValidateBatchPlan(reg *txtype.Registry, state txtype.ChainState, reserved txtype.ReservedSet, txs []*txn.Transaction, plan *Plan) *Result {
+	return s.ValidateBatchFresh(reg, state, reserved, txs, plan, nil)
+}
+
+// ValidateBatchFresh is ValidateBatchPlan with verdict reuse: fresh[i]
+// marks a transaction whose admission verdict (computed against
+// committed state, and not conflicted by any commit since) still
+// stands. Fresh transactions skip their semantic condition sets and
+// only re-run the structural batch admission — duplicate and
+// intra-block double-spend checks — so the valid/invalid partition is
+// identical to a full pass whenever the freshness flags are sound. A
+// nil fresh validates everything.
+func (s *Scheduler) ValidateBatchFresh(reg *txtype.Registry, state txtype.ChainState, reserved txtype.ReservedSet, txs []*txn.Transaction, plan *Plan, fresh []bool) *Result {
 	parallelPath := s.Workers > 1
 	if parallelPath && plan == nil {
 		plan = BuildPlan(txs)
@@ -72,14 +82,16 @@ func (s *Scheduler) ValidateBatchPlan(reg *txtype.Registry, state txtype.ChainSt
 	errAt := make([]error, len(txs))
 	validate := func(i int) {
 		t := txs[i]
-		if s.onValidate != nil {
-			s.onValidate(t, true)
-			defer s.onValidate(t, false)
+		if s.OnValidate != nil {
+			s.OnValidate(t, true)
+			defer s.OnValidate(t, false)
 		}
-		ctx := &txtype.Context{State: state, Reserved: reserved, Batch: res.Batch}
-		if err := reg.Validate(ctx, t); err != nil {
-			errAt[i] = err
-			return
+		if i >= len(fresh) || !fresh[i] {
+			ctx := &txtype.Context{State: state, Reserved: reserved, Batch: res.Batch}
+			if err := reg.Validate(ctx, t); err != nil {
+				errAt[i] = err
+				return
+			}
 		}
 		// Batch admission is the last line of defence: it re-checks
 		// duplicates and intra-block double spends.
@@ -89,38 +101,11 @@ func (s *Scheduler) ValidateBatchPlan(reg *txtype.Registry, state txtype.ChainSt
 	}
 
 	if parallelPath && len(plan.Groups) > 1 {
-		// Dispatch largest group first (LPT list scheduling) — the
-		// order Makespan models, and the one that keeps the critical
-		// path from starting last. Ties keep block order.
-		order := make([]int, len(plan.Groups))
-		for i := range order {
-			order[i] = i
-		}
-		sort.SliceStable(order, func(a, b int) bool {
-			return len(plan.Groups[order[a]]) > len(plan.Groups[order[b]])
+		plan.RunGroups(s.Workers, func(g []int) {
+			for _, i := range g {
+				validate(i)
+			}
 		})
-		groups := make(chan []int, len(plan.Groups))
-		for _, gi := range order {
-			groups <- plan.Groups[gi]
-		}
-		close(groups)
-		workers := s.Workers
-		if workers > len(plan.Groups) {
-			workers = len(plan.Groups)
-		}
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for w := 0; w < workers; w++ {
-			go func() {
-				defer wg.Done()
-				for g := range groups {
-					for _, i := range g {
-						validate(i)
-					}
-				}
-			}()
-		}
-		wg.Wait()
 	} else {
 		for i := range txs {
 			validate(i)

@@ -88,6 +88,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		BlockInterval: cfg.BlockInterval,
 		MaxBlockTxs:   cfg.MaxBlockTxs,
 		Pipelined:     cfg.Pipelined,
+		AsyncCommit:   cfg.Node.AsyncCommit,
 		Latency:       cfg.Latency,
 		Mempool: mempool.Config{
 			Shards:      cfg.MempoolShards,

@@ -376,6 +376,13 @@ func (c *engineColl) Has(key string) bool {
 	return ok
 }
 
+func (c *engineColl) Ords(keys []string) map[string]uint64 {
+	if m := c.memRead(); m != nil {
+		return m.Ords(keys)
+	}
+	return nil
+}
+
 func (c *engineColl) Len() int {
 	if m := c.memRead(); m != nil {
 		return m.Len()

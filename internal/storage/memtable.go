@@ -170,6 +170,20 @@ func (c *MemCollection) ordOf(key string) uint64 {
 	return ord
 }
 
+// Ords returns the insertion counters for keys (missing keys absent)
+// under one order-lock acquisition.
+func (c *MemCollection) Ords(keys []string) map[string]uint64 {
+	out := make(map[string]uint64, len(keys))
+	c.orderMu.RLock()
+	for _, key := range keys {
+		if ord, ok := c.ords[key]; ok {
+			out[key] = ord
+		}
+	}
+	c.orderMu.RUnlock()
+	return out
+}
+
 // clear empties the collection in place so stale handles held across a
 // Drop read nothing instead of resurrecting dropped documents.
 func (c *MemCollection) clear() {

@@ -138,6 +138,16 @@ func decodeGroup(payload []byte, fn func(m mutation) error) error {
 	return nil
 }
 
+// EncodableDoc reports whether doc survives the durability round-trip
+// — the same canonical-JSON encoding a disk backend's Put performs.
+// The pipelined block commit checks user-controlled documents in its
+// parallel apply phase, so an unencodable transaction is skipped with
+// no side effects before the seal ever touches the WAL.
+func EncodableDoc(doc map[string]any) error {
+	_, err := marshalDoc(doc)
+	return err
+}
+
 // marshalDoc renders a document into canonical JSON (object keys are
 // sorted by encoding/json, so identical documents encode identically).
 func marshalDoc(doc map[string]any) ([]byte, error) {

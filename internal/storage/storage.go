@@ -94,6 +94,14 @@ type Collection interface {
 	Delete(key string) error
 	// Has reports whether key exists.
 	Has(key string) bool
+	// Ords returns the insertion counters for the given keys (missing
+	// keys are absent from the result), acquired in one shot so a
+	// candidate set costs a single order-lock acquisition. Ords are
+	// unique per live key and ascend in insertion order (a replace
+	// keeps the original counter), so index-backed readers can
+	// reassemble insertion order from point reads without scanning
+	// under any collection-wide lock.
+	Ords(keys []string) map[string]uint64
 	// Len returns the number of documents.
 	Len() int
 	// Keys returns the live keys in insertion order.

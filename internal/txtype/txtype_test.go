@@ -1,4 +1,4 @@
-package txtype
+package txtype_test
 
 import (
 	"errors"
@@ -8,6 +8,7 @@ import (
 	"smartchaindb/internal/keys"
 	"smartchaindb/internal/ledger"
 	"smartchaindb/internal/txn"
+	"smartchaindb/internal/txtype"
 )
 
 func signedCreate(t *testing.T, owner *keys.KeyPair, seq int) *txn.Transaction {
@@ -22,7 +23,7 @@ func signedCreate(t *testing.T, owner *keys.KeyPair, seq int) *txn.Transaction {
 func TestBatchDuplicateAndConflict(t *testing.T) {
 	owner := keys.MustGenerate()
 	create := signedCreate(t, owner, 1)
-	b := NewBatch()
+	b := txtype.NewBatch()
 	if err := b.Add(create); err != nil {
 		t.Fatal(err)
 	}
@@ -70,11 +71,11 @@ func TestContextResolveOrder(t *testing.T) {
 	if err := state.CommitTx(committed); err != nil {
 		t.Fatal(err)
 	}
-	batch := NewBatch()
+	batch := txtype.NewBatch()
 	if err := batch.Add(batched); err != nil {
 		t.Fatal(err)
 	}
-	ctx := &Context{State: state, Batch: batch}
+	ctx := &txtype.Context{State: state, Batch: batch}
 	if got, err := ctx.ResolveTx(committed.ID); err != nil || got.ID != committed.ID {
 		t.Errorf("resolve committed: %v, %v", got, err)
 	}
@@ -100,26 +101,26 @@ func TestContextResolveOrder(t *testing.T) {
 }
 
 func TestRegistryDispatchAndConditionNaming(t *testing.T) {
-	r := NewRegistry()
+	r := txtype.NewRegistry()
 	calls := []string{}
-	r.Register(&Type{
+	r.Register(&txtype.Type{
 		Op: "PING",
-		Conditions: []Condition{
-			{Name: "PING.1", Doc: "always holds", Check: func(*Context, *txn.Transaction) error {
+		Conditions: []txtype.Condition{
+			{Name: "PING.1", Doc: "always holds", Check: func(*txtype.Context, *txn.Transaction) error {
 				calls = append(calls, "1")
 				return nil
 			}},
-			{Name: "PING.2", Doc: "fails with a bare error", Check: func(*Context, *txn.Transaction) error {
+			{Name: "PING.2", Doc: "fails with a bare error", Check: func(*txtype.Context, *txn.Transaction) error {
 				calls = append(calls, "2")
 				return fmt.Errorf("boom")
 			}},
-			{Name: "PING.3", Doc: "never reached", Check: func(*Context, *txn.Transaction) error {
+			{Name: "PING.3", Doc: "never reached", Check: func(*txtype.Context, *txn.Transaction) error {
 				calls = append(calls, "3")
 				return nil
 			}},
 		},
 	})
-	ctx := &Context{State: ledger.NewState()}
+	ctx := &txtype.Context{State: ledger.NewState()}
 	err := r.Validate(ctx, &txn.Transaction{Operation: "PING"})
 	if err == nil {
 		t.Fatal("want error")
@@ -144,15 +145,15 @@ func TestRegistryDispatchAndConditionNaming(t *testing.T) {
 }
 
 func TestValidationErrorGetsConditionName(t *testing.T) {
-	ty := &Type{
+	ty := &txtype.Type{
 		Op: "X",
-		Conditions: []Condition{
-			{Name: "X.7", Doc: "doc", Check: func(*Context, *txn.Transaction) error {
+		Conditions: []txtype.Condition{
+			{Name: "X.7", Doc: "doc", Check: func(*txtype.Context, *txn.Transaction) error {
 				return &txn.ValidationError{Op: "X", Reason: "nope"}
 			}},
 		},
 	}
-	err := ty.Validate(&Context{}, &txn.Transaction{Operation: "X"})
+	err := ty.Validate(&txtype.Context{}, &txn.Transaction{Operation: "X"})
 	var ve *txn.ValidationError
 	if !errors.As(err, &ve) {
 		t.Fatalf("want ValidationError, got %T", err)
