@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-disk test-race bench-parallel bench-storage bench-mempool bench-commit bench-smoke ci
+.PHONY: all build vet test test-disk test-race bench-parallel bench-storage bench-mempool bench-commit bench-query bench-smoke ci
 
 all: build test
 
@@ -31,11 +31,15 @@ test-disk:
 
 # The race gate covers the commit pipeline end to end: the ledger's
 # per-conflict-group appliers, the server's commit fence (incl. the
-# h+1-reads-race-h's-appliers stress test), the docstore's sharded
-# find path, and the consensus overlap — on both backends.
+# h+1-reads-race-h's-appliers stress test), the docstore's planner —
+# planned point/range/intersect/union reads racing writers (the
+# docstore suites self-parameterize over both backends) — and the
+# consensus overlap. The SCDB_BACKEND=disk leg re-runs the
+# ledger-backed suites, incl. the query-engine-vs-block-commit race,
+# over the WAL engine.
 test-race:
-	$(GO) test -race ./internal/mempool ./internal/parallel ./internal/ledger ./internal/consensus ./internal/server ./internal/bench ./internal/storage ./internal/docstore
-	SCDB_BACKEND=disk $(GO) test -race -count=1 ./internal/ledger ./internal/server ./internal/consensus
+	$(GO) test -race ./internal/mempool ./internal/parallel ./internal/ledger ./internal/consensus ./internal/server ./internal/bench ./internal/storage ./internal/docstore ./internal/query
+	SCDB_BACKEND=disk $(GO) test -race -count=1 ./internal/ledger ./internal/server ./internal/consensus ./internal/query
 
 # Reproduce the parallel-validation experiment (wall-clock sweep plus
 # the virtual-time consensus leg) at the paper-mix scale: ~110k
@@ -60,11 +64,18 @@ bench-mempool:
 bench-commit:
 	$(GO) run ./cmd/scdb-bench -exp commit
 
-# Seconds-scale smoke run of the parallel, storage, mempool, and
-# commit experiments — part of the default `make test` gate so a
+# Query-planner experiment: planned (index point/range/intersect/
+# union) reads vs forced full scans across collection sizes, plus
+# sustained query throughput concurrent with block commits on both
+# backends.
+bench-query:
+	$(GO) run ./cmd/scdb-bench -exp query
+
+# Seconds-scale smoke run of the parallel, storage, mempool, commit,
+# and query experiments — part of the default `make test` gate so a
 # broken experiment path fails the build, not the next benchmarking
 # session.
 bench-smoke:
-	$(GO) run ./cmd/scdb-bench -exp parallel,storage,mempool,commit -batches 1 -batchtxs 64 -parallel 1,4 -storageblocks 2 -storagesizes 64 -mempooltxs 256 -commitblocks 3 -committxs 96 -conflicts 0.25,0.5
+	$(GO) run ./cmd/scdb-bench -exp parallel,storage,mempool,commit,query -batches 1 -batchtxs 64 -parallel 1,4 -storageblocks 2 -storagesizes 64 -mempooltxs 256 -commitblocks 3 -committxs 96 -conflicts 0.25,0.5 -querydocs 512,4096 -queryreps 16 -queryblocks 2 -querytxs 64 -queryreaders 2
 
 ci: test test-race

@@ -14,6 +14,7 @@
 //	scdb-bench -exp storage -storageblocks 8 -storagesizes 64,256,1024
 //	scdb-bench -exp mempool -mempooltxs 2048 -conflicts 0.1,0.25,0.5
 //	scdb-bench -exp commit -commitblocks 6 -committxs 256 -conflicts 0.25,0.5
+//	scdb-bench -exp query -querydocs 1000,10000,50000 -queryreps 64
 //	scdb-bench -exp fig7 -valworkers 4  # headline curves on the parallel pipeline
 //	scdb-bench -exp parallel,storage    # comma-separated subsets
 package main
@@ -30,7 +31,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "comma-separated experiments: fig2 | fig7 | fig8 | usability | mix | recovery | parallel | storage | mempool | commit | all")
+		exp        = flag.String("exp", "all", "comma-separated experiments: fig2 | fig7 | fig8 | usability | mix | recovery | parallel | storage | mempool | commit | query | all")
 		auctions   = flag.Int("auctions", 4, "auctions per run")
 		bidders    = flag.Int("bidders", 10, "bidders per auction")
 		seed       = flag.Int64("seed", 42, "simulation seed")
@@ -52,6 +53,11 @@ func main() {
 		mpRates    = flag.String("conflicts", "0.1,0.25,0.5", "mempool/commit experiments: comma-separated conflict rates")
 		cmBlocks   = flag.Int("commitblocks", 6, "commit experiment: blocks per measurement")
 		cmTxs      = flag.Int("committxs", 256, "commit experiment: transactions per block")
+		qDocs      = flag.String("querydocs", "1000,10000,50000", "query experiment: comma-separated collection sizes for the planner-vs-scan latency sweep")
+		qReps      = flag.Int("queryreps", 64, "query experiment: queries per shape per measurement")
+		qBlocks    = flag.Int("queryblocks", 8, "query experiment: blocks committed during the concurrent-throughput leg")
+		qTxs       = flag.Int("querytxs", 256, "query experiment: transactions per concurrent-leg block")
+		qReaders   = flag.Int("queryreaders", 4, "query experiment: concurrent query goroutines")
 	)
 	flag.Parse()
 
@@ -191,6 +197,21 @@ func main() {
 		}))
 	}
 
+	runQuery := func() {
+		docList, err := parseInts(*qDocs)
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintQuery(os.Stdout, bench.RunQuery(bench.QueryParams{
+			Docs:     docList,
+			Reps:     *qReps,
+			Blocks:   *qBlocks,
+			BlockTxs: *qTxs,
+			Readers:  *qReaders,
+			Seed:     *seed,
+		}))
+	}
+
 	experiments := map[string]func(){
 		"fig2":      runFig2,
 		"fig7":      runFig7,
@@ -202,8 +223,9 @@ func main() {
 		"storage":   runStorage,
 		"mempool":   runMempool,
 		"commit":    runCommit,
+		"query":     runQuery,
 	}
-	order := []string{"fig2", "fig7", "fig8", "usability", "mix", "recovery", "parallel", "storage", "mempool", "commit"}
+	order := []string{"fig2", "fig7", "fig8", "usability", "mix", "recovery", "parallel", "storage", "mempool", "commit", "query"}
 
 	var selected []string
 	seen := make(map[string]bool)

@@ -1,0 +1,368 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"smartchaindb/internal/docstore"
+	"smartchaindb/internal/keys"
+	"smartchaindb/internal/ledger"
+	"smartchaindb/internal/storage"
+	"smartchaindb/internal/txn"
+)
+
+// QueryParams configures the query-planner experiment: the
+// planner-vs-full-scan latency sweep over collection sizes, and query
+// throughput concurrent with block commits on both backends.
+type QueryParams struct {
+	// Docs sweeps the latency leg's collection sizes.
+	Docs []int
+	// Reps is the number of queries per shape per measurement.
+	Reps int
+	// Blocks/BlockTxs size the concurrent leg's commit load.
+	Blocks   int
+	BlockTxs int
+	// Readers is the concurrent leg's query goroutine count.
+	Readers int
+	// Seed drives workload generation.
+	Seed int64
+}
+
+func (p *QueryParams) fill() {
+	if len(p.Docs) == 0 {
+		p.Docs = []int{1000, 10000, 50000}
+	}
+	if p.Reps <= 0 {
+		p.Reps = 64
+	}
+	if p.Blocks <= 0 {
+		p.Blocks = 8
+	}
+	if p.BlockTxs <= 0 {
+		p.BlockTxs = 256
+	}
+	if p.Readers <= 0 {
+		p.Readers = 4
+	}
+}
+
+// QueryLatencyRow is one (collection size, query shape) point of the
+// latency sweep: mean planned latency vs mean forced-full-scan latency
+// for identical results.
+type QueryLatencyRow struct {
+	Docs    int
+	Shape   string // point | intersect | range | union
+	Plan    string // Explain rendering of the planned access
+	Planned time.Duration
+	Scan    time.Duration
+	Speedup float64
+	Match   bool // planned and scan returned identical result counts
+}
+
+// QueryThroughputRow is one (backend, mode) measurement of the
+// concurrent leg: queries running against a state while blocks commit.
+type QueryThroughputRow struct {
+	Backend string
+	Mode    string // planned | full-scan
+	Commit  time.Duration
+	Queries int
+	QPS     float64
+}
+
+// QueryResult is the full experiment.
+type QueryResult struct {
+	Params     QueryParams
+	Latency    []QueryLatencyRow
+	Throughput []QueryThroughputRow
+}
+
+// queryShape is one query template of the latency sweep; the filter
+// varies with the rep counter so repeated measurements do not replay
+// one cached candidate set.
+type queryShape struct {
+	name   string
+	filter func(rep int) docstore.Filter
+}
+
+// queryCollection builds a UTXO-shaped collection of n documents with
+// the chain registry's index mix: hash indexes on owner/asset_id,
+// ordered indexes on spent/amount.
+func queryCollection(s *docstore.Store, n int) (*docstore.Collection, []queryShape) {
+	owners := n / 256
+	if owners < 8 {
+		owners = 8
+	}
+	assets := n / 128
+	if assets < 8 {
+		assets = 8
+	}
+	c := s.Collection("utxos")
+	c.CreateIndex("owner")
+	c.CreateIndex("asset_id")
+	c.CreateOrderedIndex("spent")
+	c.CreateOrderedIndex("amount")
+	for i := 0; i < n; i++ {
+		doc := map[string]any{
+			"owner":    fmt.Sprintf("owner-%04d", i%owners),
+			"asset_id": fmt.Sprintf("asset-%05d", i%assets),
+			"amount":   float64(i % 1000),
+			"spent":    i%8 == 0,
+		}
+		if err := c.Insert(fmt.Sprintf("u%07d", i), doc); err != nil {
+			panic(fmt.Sprintf("bench: query insert: %v", err))
+		}
+	}
+	shapes := []queryShape{
+		{"point", func(rep int) docstore.Filter {
+			return docstore.Eq("owner", fmt.Sprintf("owner-%04d", rep%owners))
+		}},
+		{"intersect", func(rep int) docstore.Filter {
+			return docstore.And(
+				docstore.Eq("asset_id", fmt.Sprintf("asset-%05d", rep%assets)),
+				docstore.Eq("spent", false))
+		}},
+		// A selective band at the top of the value domain (the
+		// "high-value holdings" query). The driving Gte side covers at
+		// most 10% of the collection and the planner drops the wide Lt
+		// side onto the residual filter; a band in the middle of a
+		// uniform domain has ~50% selectivity per side, where no index
+		// can beat a sequential scan.
+		{"range", func(rep int) docstore.Filter {
+			lo := float64(900 + (rep*7)%90)
+			return docstore.And(docstore.Gte("amount", lo), docstore.Lt("amount", lo+10))
+		}},
+		{"union", func(rep int) docstore.Filter {
+			return docstore.Or(
+				docstore.Eq("owner", fmt.Sprintf("owner-%04d", rep%owners)),
+				docstore.Eq("owner", fmt.Sprintf("owner-%04d", (rep+1)%owners)))
+		}},
+	}
+	return c, shapes
+}
+
+// runQueryLatency measures each shape through the planner and through
+// the forced full scan on identical data.
+func runQueryLatency(p QueryParams) []QueryLatencyRow {
+	var rows []QueryLatencyRow
+	for _, n := range p.Docs {
+		s := docstore.NewStore()
+		c, shapes := queryCollection(s, n)
+		for _, shape := range shapes {
+			row := QueryLatencyRow{Docs: n, Shape: shape.name, Match: true,
+				Plan: c.Explain(shape.filter(0))}
+			start := time.Now()
+			plannedCounts := make([]int, p.Reps)
+			for r := 0; r < p.Reps; r++ {
+				plannedCounts[r] = len(c.Find(shape.filter(r)))
+			}
+			row.Planned = time.Since(start) / time.Duration(p.Reps)
+			start = time.Now()
+			for r := 0; r < p.Reps; r++ {
+				if got := len(c.FindScan(shape.filter(r))); got != plannedCounts[r] {
+					row.Match = false
+				}
+			}
+			row.Scan = time.Since(start) / time.Duration(p.Reps)
+			if row.Planned > 0 {
+				row.Speedup = float64(row.Scan) / float64(row.Planned)
+			}
+			rows = append(rows, row)
+		}
+		s.Close()
+	}
+	return rows
+}
+
+// queryChurnBlocks builds the concurrent leg's commit load: CREATEs
+// with varying share amounts and the TRANSFERs spending them, rotating
+// a small owner population so the measured queries stay selective.
+func queryChurnBlocks(p QueryParams) (blocks [][]*txn.Transaction, ownerPubs []string) {
+	const ownerCount = 8
+	owners := make([]*keys.KeyPair, ownerCount)
+	ownerPubs = make([]string, ownerCount)
+	for i := range owners {
+		owners[i] = keys.DeterministicKeyPair(p.Seed + int64(i))
+		ownerPubs[i] = owners[i].PublicBase58()
+	}
+	blocks = make([][]*txn.Transaction, p.Blocks)
+	for b := range blocks {
+		block := make([]*txn.Transaction, 0, p.BlockTxs)
+		for j := 0; j < p.BlockTxs/2; j++ {
+			owner := owners[(b+j)%ownerCount]
+			to := owners[(b+j+1)%ownerCount]
+			amount := uint64((b*31+j)%97 + 1)
+			c := txn.NewCreate(owner.PublicBase58(), map[string]any{
+				"b": float64(b), "j": float64(j),
+			}, amount, nil)
+			if err := txn.Sign(c, owner); err != nil {
+				panic(fmt.Sprintf("bench: sign create: %v", err))
+			}
+			tr := txn.NewTransfer(c.ID,
+				[]txn.Spend{{Ref: txn.OutputRef{TxID: c.ID, Index: 0}, Owners: []string{owner.PublicBase58()}}},
+				[]*txn.Output{{PublicKeys: []string{to.PublicBase58()}, Amount: amount}}, nil)
+			if err := txn.Sign(tr, owner); err != nil {
+				panic(fmt.Sprintf("bench: sign transfer: %v", err))
+			}
+			block = append(block, c, tr)
+		}
+		blocks[b] = block
+	}
+	return blocks, ownerPubs
+}
+
+// runQueryThroughput measures sustained query throughput while blocks
+// commit, planned vs forced full scan, on one backend. Planned reads
+// resolve off the indexes' locks and shard reads; full scans serialize
+// behind the commit writer on the collection lock — the gap is what
+// the experiment quantifies.
+func runQueryThroughput(p QueryParams, backend string, newBackend func() storage.Backend) []QueryThroughputRow {
+	blocks, ownerPubs := queryChurnBlocks(p)
+	warm := len(blocks) / 2
+	var rows []QueryThroughputRow
+	for _, mode := range []string{"planned", "full-scan"} {
+		state := ledger.NewStateWith(newBackend())
+		for i := 0; i < warm; i++ {
+			if _, skipped, err := state.CommitBlockAt(int64(i+1), blocks[i]); err != nil || len(skipped) != 0 {
+				panic(fmt.Sprintf("bench: warm commit: err=%v skipped=%d", err, len(skipped)))
+			}
+		}
+		utxos := state.Store().Collection(ledger.ColUTXOs)
+		txs := state.Store().Collection(ledger.ColTransactions)
+		find := utxos.Find
+		findTx := txs.Find
+		if mode == "full-scan" {
+			find = utxos.FindScan
+			findTx = txs.FindScan
+		}
+
+		var queries atomic.Int64
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(p.Readers)
+		for r := 0; r < p.Readers; r++ {
+			r := r
+			go func() {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					owner := ownerPubs[(r+i)%len(ownerPubs)]
+					find(docstore.And(docstore.Eq("owner", owner), docstore.Eq("spent", false)))
+					lo := float64(80 + (i*13)%17)
+					find(docstore.And(docstore.Eq("spent", false),
+						docstore.Gte("amount", lo), docstore.Lte("amount", lo+5)))
+					findTx(docstore.And(docstore.Eq("operation", txn.OpTransfer),
+						docstore.Eq("inputs.owners_before", owner)))
+					queries.Add(3)
+				}
+			}()
+		}
+		start := time.Now()
+		for i := warm; i < len(blocks); i++ {
+			if _, skipped, err := state.CommitBlockAt(int64(i+1), blocks[i]); err != nil || len(skipped) != 0 {
+				panic(fmt.Sprintf("bench: churn commit: err=%v skipped=%d", err, len(skipped)))
+			}
+		}
+		// Commit wall-clock ends here — the reader-interference signal
+		// must not include the padding below.
+		commitElapsed := time.Since(start)
+		// Floor the QPS measurement window so smoke-scale commit loads
+		// (a couple of in-memory blocks) still observe at least one
+		// full query round per reader and enough wall time for a
+		// stable rate; real runs are commit-bound far past the floor.
+		floor := start.Add(100 * time.Millisecond)
+		for deadline := start.Add(2 * time.Second); (queries.Load() < int64(3*p.Readers) || time.Now().Before(floor)) && time.Now().Before(deadline); {
+			time.Sleep(time.Millisecond)
+		}
+		window := time.Since(start)
+		close(done)
+		wg.Wait()
+		state.Close()
+		n := int(queries.Load())
+		rows = append(rows, QueryThroughputRow{
+			Backend: backend, Mode: mode, Commit: commitElapsed,
+			Queries: n, QPS: float64(n) / window.Seconds(),
+		})
+	}
+	return rows
+}
+
+// RunQuery runs the query-planner experiment.
+func RunQuery(p QueryParams) QueryResult {
+	p.fill()
+	res := QueryResult{Params: p}
+	res.Latency = runQueryLatency(p)
+	res.Throughput = append(res.Throughput,
+		runQueryThroughput(p, "memory", func() storage.Backend { return storage.NewMemory() })...)
+	var dirs []string
+	res.Throughput = append(res.Throughput,
+		runQueryThroughput(p, "disk", func() storage.Backend {
+			dir, err := os.MkdirTemp("", "scdb-bench-query-*")
+			if err != nil {
+				panic(fmt.Sprintf("bench: temp dir: %v", err))
+			}
+			dirs = append(dirs, dir)
+			eng, err := storage.Open(dir, storage.Options{})
+			if err != nil {
+				panic(fmt.Sprintf("bench: open disk engine: %v", err))
+			}
+			return eng
+		})...)
+	for _, dir := range dirs {
+		os.RemoveAll(dir)
+	}
+	return res
+}
+
+// PrintQuery renders the experiment.
+func PrintQuery(w io.Writer, r QueryResult) {
+	fmt.Fprintln(w, "Query planner — planned (index) reads vs forced full scans")
+	fmt.Fprintf(w, "  latency per query (%d reps per point)\n", r.Params.Reps)
+	fmt.Fprintf(w, "  %-8s %-10s %12s %12s %9s %7s  %s\n",
+		"docs", "shape", "planned(us)", "scan(us)", "speedup", "match", "plan")
+	for _, row := range r.Latency {
+		plan := row.Plan
+		if len(plan) > 56 {
+			plan = plan[:53] + "..."
+		}
+		fmt.Fprintf(w, "  %-8d %-10s %12.1f %12.1f %8.1fx %7t  %s\n",
+			row.Docs, row.Shape,
+			float64(row.Planned)/float64(time.Microsecond),
+			float64(row.Scan)/float64(time.Microsecond),
+			row.Speedup, row.Match, plan)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  query throughput concurrent with block commits (%d blocks x %d txs, %d readers)\n",
+		r.Params.Blocks, r.Params.BlockTxs, r.Params.Readers)
+	fmt.Fprintf(w, "  %-8s %-10s %12s %10s %12s\n", "backend", "reads", "commit(ms)", "queries", "queries/s")
+	for _, row := range r.Throughput {
+		fmt.Fprintf(w, "  %-8s %-10s %12.1f %10d %12.0f\n",
+			row.Backend, row.Mode, ms(row.Commit), row.Queries, row.QPS)
+	}
+	for _, backend := range []string{"memory", "disk"} {
+		var planned, scanned *QueryThroughputRow
+		for i := range r.Throughput {
+			row := &r.Throughput[i]
+			if row.Backend != backend {
+				continue
+			}
+			if row.Mode == "planned" {
+				planned = row
+			} else {
+				scanned = row
+			}
+		}
+		if planned != nil && scanned != nil && scanned.QPS > 0 {
+			fmt.Fprintf(w, "  %s: planned reads sustain %.1fx the full-scan query rate under commit load\n",
+				backend, planned.QPS/scanned.QPS)
+		}
+	}
+	fmt.Fprintln(w)
+}

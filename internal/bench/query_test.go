@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunQuerySmoke runs a miniature query experiment end to end: the
+// latency sweep must produce planned (non-full-scan) access plans with
+// scan-identical result counts, and both backends must report
+// throughput rows for both read modes.
+func TestRunQuerySmoke(t *testing.T) {
+	res := RunQuery(QueryParams{
+		Docs:     []int{256, 1024},
+		Reps:     8,
+		Blocks:   2,
+		BlockTxs: 32,
+		Readers:  2,
+		Seed:     5,
+	})
+	if len(res.Latency) != 8 { // 2 sizes x 4 shapes
+		t.Fatalf("latency rows = %d, want 8", len(res.Latency))
+	}
+	for _, row := range res.Latency {
+		if !row.Match {
+			t.Errorf("%s@%d: planned and scan results diverged", row.Shape, row.Docs)
+		}
+		if strings.Contains(row.Plan, "full-scan") {
+			t.Errorf("%s@%d compiled to a full scan: %s", row.Shape, row.Docs, row.Plan)
+		}
+		if row.Planned <= 0 || row.Scan <= 0 {
+			t.Errorf("%s@%d: non-positive timings %v / %v", row.Shape, row.Docs, row.Planned, row.Scan)
+		}
+	}
+	if len(res.Throughput) != 4 { // 2 backends x 2 modes
+		t.Fatalf("throughput rows = %d, want 4", len(res.Throughput))
+	}
+	for _, row := range res.Throughput {
+		if row.Queries <= 0 || row.QPS <= 0 {
+			t.Errorf("%s/%s: no queries completed", row.Backend, row.Mode)
+		}
+	}
+	var buf bytes.Buffer
+	PrintQuery(&buf, res)
+	if !strings.Contains(buf.String(), "Query planner") {
+		t.Error("print output missing header")
+	}
+}

@@ -594,9 +594,25 @@ func (n *node) freshFlags(txs []Tx) []bool {
 // validation and running it, and skipping a semantic check on a
 // since-staled verdict would be unsound — the cost model may
 // undercharge, the verdicts may not.
+//
+// A clean validation flows back into the pool: it re-proved every
+// member against committed state (pinned by the pre-validation epoch),
+// so singleton-conflict-group members become fresh again and the next
+// round — the proposer's own prevote, or a re-proposal after a round
+// change — skips their semantic checks instead of re-validating the
+// same verdicts every round.
 func (n *node) blockInvalid(txs []Tx) []Tx {
 	if n.vrApp != nil {
-		return n.vrApp.ValidateBlockFresh(txs, n.freshFlags(txs))
+		pooled := make([]mempool.Tx, len(txs))
+		for i, tx := range txs {
+			pooled[i] = tx
+		}
+		epoch := n.pool.Epoch()
+		bad := n.vrApp.ValidateBlockFresh(txs, n.pool.Fresh(pooled))
+		if len(bad) == 0 {
+			n.pool.MarkValidated(pooled, epoch)
+		}
+		return bad
 	}
 	return n.app.ValidateBlock(txs)
 }

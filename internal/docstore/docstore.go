@@ -1,18 +1,3 @@
-// Package docstore is an embedded document store playing the role
-// MongoDB plays in BigchainDB/SmartchainDB: each node keeps its
-// transaction, asset, metadata, UTXO, and recovery collections in one.
-// It supports JSON-style documents (map[string]any), dot-path filter
-// queries with Mongo-flavoured operators ($gt, $in, $elemMatch, ...),
-// secondary hash indexes, and deterministic iteration — enough to
-// implement the validators' lookups (getTxFromDB, getLockedBids,
-// getAcceptTxForRFQ) and the marketplace queryability study.
-//
-// The store runs over a pluggable storage.Backend: the volatile
-// memory backend (the default) or the disk engine, which makes every
-// mutation durable through a write-ahead log and recovers it on
-// reopen. Filters, secondary indexes, deep-copy isolation, and
-// iteration order behave identically on both; Group exposes the
-// backend's atomic-durability batches to the ledger's block commit.
 package docstore
 
 import (
@@ -126,18 +111,23 @@ type Collection struct {
 	name string
 
 	// mu guards the secondary indexes, iteration consistency, and the
-	// dropped flag. Writers hold it exclusively; scans hold it shared;
-	// point reads skip it entirely (the sharded backend makes them
-	// safe), which is what keeps parallel validation's lookups from
-	// contending with the commit writer.
+	// dropped flag. Writers hold it exclusively; full scans hold it
+	// shared; point reads and planned (index-backed) reads skip it
+	// entirely (the sharded backend and the indexes' own locks make
+	// them safe), which is what keeps parallel validation's lookups
+	// and the marketplace queries from contending with the commit
+	// writer.
 	mu      sync.RWMutex
 	be      storage.Collection
-	indexes map[string]*hashIndex
+	indexes map[string]secondaryIndex
 	dropped atomic.Bool
+	// scans counts executed full collection scans — the observable
+	// tests use to assert a hot path resolves through the planner.
+	scans atomic.Uint64
 }
 
 func newCollection(name string, be storage.Collection) *Collection {
-	return &Collection{name: name, be: be, indexes: make(map[string]*hashIndex)}
+	return &Collection{name: name, be: be, indexes: make(map[string]secondaryIndex)}
 }
 
 // Name returns the collection name.
@@ -295,9 +285,24 @@ func (c *Collection) Keys() []string {
 // collection scan. Array values index every element, like MongoDB
 // multikey indexes.
 func (c *Collection) CreateIndex(path string) {
+	c.buildIndex(path, newHashIndex(path))
+}
+
+// CreateOrderedIndex builds (or rebuilds) a sorted multikey index over
+// the dot-path field. On top of everything a hash index answers, it
+// serves the comparison operators (Gt, Gte, Lt, Lte) as range scans
+// and value-ordered iteration (FindOrdered). It replaces any existing
+// index on the path.
+func (c *Collection) CreateOrderedIndex(path string) {
+	c.buildIndex(path, newOrderedIndex(path))
+}
+
+// buildIndex populates idx from the current documents and installs it
+// under the collection's writer lock, so no mutation can slip between
+// the backfill scan and the index going live.
+func (c *Collection) buildIndex(path string, idx secondaryIndex) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	idx := newHashIndex(path)
 	c.be.Scan(func(key string, doc map[string]any) bool {
 		idx.add(key, doc)
 		return true
@@ -372,22 +377,36 @@ func (c *Collection) Count(filter Filter) int {
 }
 
 // visitCandidates is the single dispatch every query path shares: a
-// dropped collection yields nothing; an index-answerable filter goes
-// through the sharded scan path (no collection lock); everything else
-// full-scans under the collection read lock. fn must apply the filter
-// itself — candidates from an index hit are a superset of matches.
+// dropped collection yields nothing; a filter the planner can compile
+// onto indexes goes through the sharded scan path (no collection
+// lock); everything else full-scans under the collection read lock.
+// fn must apply the filter itself — candidates from a plan are a
+// superset of matches.
 func (c *Collection) visitCandidates(filter Filter, fn func(key string, doc map[string]any) bool) {
 	if c.dropped.Load() {
 		return
 	}
-	if keys, ok := c.indexCandidates(filter); ok {
+	if keys, ok := resolveAccess(c.Plan(filter)); ok {
 		c.shardedVisit(keys, fn)
 		return
 	}
+	c.scanVisit(fn)
+}
+
+// scanVisit is the full-scan path: the whole collection in insertion
+// order under the collection read lock — serialized, like every write,
+// behind the commit writer.
+func (c *Collection) scanVisit(fn func(key string, doc map[string]any) bool) {
+	c.scans.Add(1)
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	c.be.Scan(fn)
 }
+
+// FullScans reports how many queries executed the full-scan path since
+// the collection was created — the counter hot-path tests assert stays
+// flat while planned queries run.
+func (c *Collection) FullScans() uint64 { return c.scans.Load() }
 
 // shardedVisit is the sharded scan path: it resolves index candidate
 // keys through shard-locked point reads, restores insertion order
@@ -436,35 +455,161 @@ func (c *Collection) shardedVisit(keys []string, fn func(key string, doc map[str
 	}
 }
 
-// indexCandidates answers an indexable equality term from a secondary
-// index: the filter itself, or the first indexable conjunct of an AND.
-// It takes the collection lock only to resolve the index handle; the
-// lookup itself runs under the index's own lock.
-func (c *Collection) indexCandidates(filter Filter) ([]string, bool) {
-	lookup := func(eqf *fieldFilter) ([]string, bool) {
-		c.mu.RLock()
-		idx, exists := c.indexes[eqf.path]
-		c.mu.RUnlock()
-		if !exists {
-			return nil, false
-		}
-		return idx.lookup(eqf)
+// FindScan is Find forced down the full-scan path, bypassing the
+// planner — the reference implementation the planner/scan differential
+// tests and the query benchmarks compare against. Results are
+// byte-identical to Find in content and order.
+func (c *Collection) FindScan(filter Filter) []map[string]any {
+	if c.dropped.Load() {
+		return nil
 	}
-	if eqf, ok := filter.(*fieldFilter); ok {
-		if keys, usable := lookup(eqf); usable {
-			return keys, true
+	var out []map[string]any
+	c.scanVisit(func(_ string, doc map[string]any) bool {
+		if filter == nil || filter.Matches(doc) {
+			out = append(out, deepCopyMap(doc))
 		}
+		return true
+	})
+	return out
+}
+
+// FindOrdered returns copies of the documents matching filter in
+// index-value order over orderPath — ascending, or fully reversed when
+// desc — with ties broken by insertion order; limit <= 0 means
+// unlimited. Documents with no scalar value at orderPath are excluded,
+// and a multikey document sorts at its smallest (largest when desc)
+// value.
+//
+// With an ordered index on orderPath the walk streams straight off the
+// index plus shard-locked point reads — no collection lock, and an
+// early limit skips the remaining reads entirely. Without one it falls
+// back to a full scan plus sort.
+func (c *Collection) FindOrdered(filter Filter, orderPath string, desc bool, limit int) []map[string]any {
+	if c.dropped.Load() {
+		return nil
 	}
-	if andf, ok := filter.(andFilter); ok {
-		for _, sub := range andf {
-			if eqf, ok := sub.(*fieldFilter); ok {
-				if keys, usable := lookup(eqf); usable {
-					return keys, true
+	c.mu.RLock()
+	idx := c.indexes[orderPath]
+	c.mu.RUnlock()
+	ord, ok := idx.(*orderedIndex)
+	if !ok {
+		return c.findOrderedScan(filter, orderPath, desc, limit)
+	}
+	var out []map[string]any
+	seen := make(map[string]struct{}) // multikey docs appear under several values
+	for _, group := range ord.valueGroups(desc) {
+		fresh := group[:0]
+		for _, k := range group {
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			fresh = append(fresh, k)
+		}
+		ords := c.be.Ords(fresh)
+		kept := fresh[:0]
+		for _, k := range fresh {
+			if _, live := ords[k]; live {
+				kept = append(kept, k)
+			}
+		}
+		sort.Slice(kept, func(i, j int) bool {
+			if desc {
+				return ords[kept[i]] > ords[kept[j]]
+			}
+			return ords[kept[i]] < ords[kept[j]]
+		})
+		for _, k := range kept {
+			doc, live := c.be.Get(k)
+			if !live {
+				continue
+			}
+			if filter == nil || filter.Matches(doc) {
+				out = append(out, deepCopyMap(doc))
+				if limit > 0 && len(out) >= limit {
+					return out
 				}
 			}
 		}
 	}
-	return nil, false
+	return out
+}
+
+// findOrderedScan is FindOrdered's no-index fallback: scan, sort by
+// the extreme scalar value at orderPath, then cut to limit.
+func (c *Collection) findOrderedScan(filter Filter, orderPath string, desc bool, limit int) []map[string]any {
+	type item struct {
+		doc map[string]any
+		val ordValue
+		seq int
+	}
+	var items []item
+	seq := 0
+	c.scanVisit(func(_ string, doc map[string]any) bool {
+		seq++
+		if filter != nil && !filter.Matches(doc) {
+			return true
+		}
+		val, ok := extremeOrdValue(doc, orderPath, desc)
+		if !ok {
+			return true
+		}
+		items = append(items, item{doc: deepCopyMap(doc), val: val, seq: seq})
+		return true
+	})
+	sort.SliceStable(items, func(i, j int) bool {
+		cmp := items[i].val.compare(items[j].val)
+		if cmp == 0 {
+			cmp = items[i].seq - items[j].seq
+		}
+		if desc {
+			return cmp > 0
+		}
+		return cmp < 0
+	})
+	if limit > 0 && len(items) > limit {
+		items = items[:limit]
+	}
+	out := make([]map[string]any, len(items))
+	for i, it := range items {
+		out[i] = it.doc
+	}
+	return out
+}
+
+// extremeOrdValue finds the smallest (largest when max) scalar value a
+// document reaches at path, flattening arrays like the indexes do.
+func extremeOrdValue(doc map[string]any, path string, max bool) (ordValue, bool) {
+	vals, found := lookupPath(doc, path)
+	if !found {
+		return ordValue{}, false
+	}
+	var best ordValue
+	have := false
+	var visit func(v any)
+	visit = func(v any) {
+		if arr, isArr := v.([]any); isArr {
+			for _, e := range arr {
+				visit(e)
+			}
+			return
+		}
+		ov, ok := ordValueOf(v)
+		if !ok {
+			return
+		}
+		if !have {
+			best, have = ov, true
+			return
+		}
+		if cmp := ov.compare(best); (max && cmp > 0) || (!max && cmp < 0) {
+			best = ov
+		}
+	}
+	for _, v := range vals {
+		visit(v)
+	}
+	return best, have
 }
 
 func deepCopyMap(m map[string]any) map[string]any {

@@ -30,13 +30,30 @@ func Lt(path string, v any) Filter { return &fieldFilter{path: path, op: opLt, a
 // Lte matches values less than or equal to v.
 func Lte(path string, v any) Filter { return &fieldFilter{path: path, op: opLte, arg: normalize(v)} }
 
-// In matches documents whose value at path equals any of vs.
+// In matches documents whose value at path equals any of vs. With an
+// all-scalar value list the membership test is a hash probe, so a
+// large list (e.g. the accepted-RFQ ids of the open-requests indexed
+// difference) costs O(1) per candidate document, not O(len(vs)).
 func In(path string, vs ...any) Filter {
 	norm := make([]any, len(vs))
+	set := make(map[string]struct{}, len(vs))
 	for i, v := range vs {
 		norm[i] = normalize(v)
+		if set != nil {
+			if f, isF := norm[i].(float64); isF && f != f {
+				// NaN equals nothing under valuesEqual (and indexKey
+				// would happily render it); leaving it out of the set
+				// is exact.
+				continue
+			}
+			if k, ok := indexKey(norm[i]); ok {
+				set[k] = struct{}{}
+			} else {
+				set = nil // non-scalar member: fall back to the linear scan
+			}
+		}
 	}
-	return &fieldFilter{path: path, op: opIn, list: norm}
+	return &fieldFilter{path: path, op: opIn, list: norm, inSet: set}
 }
 
 // Exists matches documents that have (or lack) any value at path.
@@ -103,7 +120,11 @@ type fieldFilter struct {
 	op   fieldOp
 	arg  any
 	list []any
-	re   *regexp.Regexp
+	// inSet is the hash form of an all-scalar In list (nil otherwise):
+	// membership keyed by indexKey, which equates values exactly like
+	// valuesEqual does for scalars.
+	inSet map[string]struct{}
+	re    *regexp.Regexp
 }
 
 func (f *fieldFilter) Matches(doc map[string]any) bool {
@@ -165,6 +186,15 @@ func (f *fieldFilter) matchOne(v any) bool {
 			return cmp <= 0
 		}
 	case opIn:
+		if f.inSet != nil {
+			// A non-scalar document value can never equal a scalar
+			// list member, so missing the key map is a definitive no.
+			if k, ok := indexKey(v); ok {
+				_, hit := f.inSet[k]
+				return hit
+			}
+			return false
+		}
 		for _, e := range f.list {
 			if valuesEqual(v, e) {
 				return true
@@ -237,6 +267,95 @@ type allFilter struct{}
 
 func (allFilter) Matches(map[string]any) bool { return true }
 
+// Introspection ------------------------------------------------------
+//
+// Analyze converts any filter built from this package's constructors
+// into a structural tree the query planner (planner.go) can reason
+// about. It replaces the old approach of type-sniffing concrete filter
+// types at the call sites: every consumer that needs to know what a
+// filter *is* — rather than merely what it matches — goes through the
+// Node view.
+
+// NodeKind classifies one node of an analyzed filter tree.
+type NodeKind int
+
+const (
+	// KindField is a leaf testing one dot path against an operator.
+	KindField NodeKind = iota
+	// KindAnd / KindOr / KindNot are the boolean combinators.
+	KindAnd
+	KindOr
+	KindNot
+	// KindAll matches every document (All(), or a nil filter).
+	KindAll
+	// KindOpaque is a foreign Filter implementation: only Matches is
+	// known, so the planner must fall back to a full scan.
+	KindOpaque
+)
+
+// Field-node operator names reported by Analyze.
+const (
+	OpEq          = "eq"
+	OpNe          = "ne"
+	OpGt          = "gt"
+	OpGte         = "gte"
+	OpLt          = "lt"
+	OpLte         = "lte"
+	OpIn          = "in"
+	OpExists      = "exists"
+	OpContains    = "contains"
+	OpContainsAll = "contains-all"
+	OpRegex       = "regex"
+	OpNever       = "never"
+)
+
+var fieldOpNames = map[fieldOp]string{
+	opEq: OpEq, opNe: OpNe, opGt: OpGt, opGte: OpGte, opLt: OpLt,
+	opLte: OpLte, opIn: OpIn, opExists: OpExists, opContains: OpContains,
+	opContainsAll: OpContainsAll, opRegex: OpRegex, opNever: OpNever,
+}
+
+// Node is the introspectable view of one filter-tree node. Field nodes
+// carry the tested path, the operator name, and the (normalized)
+// argument; combinator nodes carry their children. Arg and List alias
+// the filter's own storage and must not be mutated.
+type Node struct {
+	Kind     NodeKind
+	Path     string // KindField: the tested dot path
+	Op       string // KindField: one of the Op* operator names
+	Arg      any    // KindField: scalar argument (eq, gt, ..., exists)
+	List     []any  // KindField: list argument (in, contains-all)
+	Children []Node // KindAnd / KindOr / KindNot
+}
+
+// Analyze returns the structural tree of a filter. A nil filter
+// analyzes as KindAll (match everything), mirroring Find's treatment.
+func Analyze(f Filter) Node {
+	switch x := f.(type) {
+	case nil:
+		return Node{Kind: KindAll}
+	case *fieldFilter:
+		return Node{Kind: KindField, Path: x.path, Op: fieldOpNames[x.op], Arg: x.arg, List: x.list}
+	case andFilter:
+		children := make([]Node, len(x))
+		for i, sub := range x {
+			children[i] = Analyze(sub)
+		}
+		return Node{Kind: KindAnd, Children: children}
+	case orFilter:
+		children := make([]Node, len(x))
+		for i, sub := range x {
+			children[i] = Analyze(sub)
+		}
+		return Node{Kind: KindOr, Children: children}
+	case notFilter:
+		return Node{Kind: KindNot, Children: []Node{Analyze(x.f)}}
+	case allFilter:
+		return Node{Kind: KindAll}
+	}
+	return Node{Kind: KindOpaque}
+}
+
 // lookupPath navigates a dot path through nested maps. Arrays fan out:
 // each element is tried for the remaining path, like MongoDB. It
 // returns all values reached and whether any path resolved.
@@ -269,7 +388,9 @@ func lookupPath(doc map[string]any, path string) ([]any, bool) {
 	return vals, true
 }
 
-// normalize converts ints to float64 so filters compare like JSON.
+// normalize converts ints to float64 so filters compare like JSON,
+// and folds negative zero into +0 so hash keys (indexKey) equate
+// values exactly like float equality does.
 func normalize(v any) any {
 	switch x := v.(type) {
 	case int:
@@ -282,6 +403,11 @@ func normalize(v any) any {
 		return float64(x)
 	case float32:
 		return float64(x)
+	case float64:
+		if x == 0 {
+			return float64(0)
+		}
+		return v
 	default:
 		return v
 	}

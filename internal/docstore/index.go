@@ -5,6 +5,26 @@ import (
 	"sync"
 )
 
+// secondaryIndex is the maintenance-and-probe surface the collection
+// keeps per indexed dot path. Two implementations exist: hashIndex
+// (equality probes only) and orderedIndex (equality probes plus range
+// scans and value-ordered iteration; see ordindex.go). The planner
+// type-switches for the capabilities beyond this interface.
+type secondaryIndex interface {
+	// add / remove maintain the index for one document mutation. They
+	// are called under the collection's writer lock.
+	add(docKey string, doc map[string]any)
+	remove(docKey string, doc map[string]any)
+	// lookupEq returns the candidate document keys holding arg at the
+	// indexed path (a superset for multikey paths; callers re-apply
+	// the filter). estimateEq is its cost-free cardinality estimate,
+	// and containsDoc the O(1) membership probe the planner uses to
+	// intersect without materializing non-driving candidate sets.
+	lookupEq(arg any) []string
+	estimateEq(arg any) int
+	containsDoc(arg any, docKey string) bool
+}
+
 // hashIndex is a multikey equality index over one dot path: each value
 // reached at the path maps to the set of document keys holding it.
 // The index carries its own lock so index-backed readers can answer
@@ -100,38 +120,42 @@ func (ix *hashIndex) removeValue(docKey string, v any) {
 	}
 }
 
-// lookup answers an equality-style filter from the index. It reports
-// the candidate keys and whether the filter shape was answerable.
-func (ix *hashIndex) lookup(f *fieldFilter) ([]string, bool) {
+// lookupEq answers an equality probe (Eq / Contains candidates).
+func (ix *hashIndex) lookupEq(arg any) []string {
+	k, ok := indexKey(arg)
+	if !ok {
+		return nil
+	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	collect := func(arg any) []string {
-		k, ok := indexKey(arg)
-		if !ok {
-			return nil
-		}
-		set := ix.entries[k]
-		keys := make([]string, 0, len(set))
-		for dk := range set {
-			keys = append(keys, dk)
-		}
-		return keys
+	set := ix.entries[k]
+	keys := make([]string, 0, len(set))
+	for dk := range set {
+		keys = append(keys, dk)
 	}
-	switch f.op {
-	case opEq, opContains:
-		return collect(f.arg), true
-	case opIn:
-		seen := make(map[string]struct{})
-		var out []string
-		for _, arg := range f.list {
-			for _, dk := range collect(arg) {
-				if _, dup := seen[dk]; !dup {
-					seen[dk] = struct{}{}
-					out = append(out, dk)
-				}
-			}
-		}
-		return out, true
+	return keys
+}
+
+// estimateEq reports the candidate count of an equality probe without
+// materializing it — the planner's selectivity estimate.
+func (ix *hashIndex) estimateEq(arg any) int {
+	k, ok := indexKey(arg)
+	if !ok {
+		return 0
 	}
-	return nil, false
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.entries[k])
+}
+
+// containsDoc reports whether docKey is among the candidates for arg.
+func (ix *hashIndex) containsDoc(arg any, docKey string) bool {
+	k, ok := indexKey(arg)
+	if !ok {
+		return false
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	_, held := ix.entries[k][docKey]
+	return held
 }

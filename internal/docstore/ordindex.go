@@ -1,0 +1,447 @@
+package docstore
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+)
+
+// orderedIndex is a sorted multikey index over one dot path: a skip
+// list of distinct values, each holding the set of document keys that
+// reach the value at the path. On top of the point lookups a hash
+// index answers (Eq, Contains, In), it serves ordered range scans for
+// the comparison operators (Gt/Gte/Lt/Lte) and value-ordered document
+// iteration (Collection.FindOrdered).
+//
+// Like hashIndex, it carries its own RWMutex: writers mutate it under
+// the collection lock as part of every Insert/Update/Delete, but
+// planned readers take only this lock plus shard-locked point reads —
+// a range scan never serializes behind the commit writer on the
+// collection lock.
+//
+// Ordering follows the filter comparison semantics (compareValues):
+// only numbers compare with numbers and strings with strings, so a
+// range scan is confined to the bound's class and values of any other
+// class can never leak into a comparison result. Across classes the
+// skip list still needs a total order for storage; it uses
+// nil < bool < number < string.
+type orderedIndex struct {
+	path string
+
+	mu    sync.RWMutex
+	head  *ordNode            // sentinel; head.next[0] is the first value
+	byKey map[string]*ordNode // indexKey(value) -> node, for point lookups
+	size  int                 // total (value, document) pairs
+	rng   uint64              // deterministic xorshift state for levels
+}
+
+const ordMaxLevel = 16
+
+// ordNode is one distinct indexed value and its document keys.
+type ordNode struct {
+	val  ordValue
+	docs map[string]struct{}
+	next []*ordNode
+}
+
+// ordValue is a scalar rendered into the index's total order.
+type ordValue struct {
+	class uint8 // 0 nil, 1 bool, 2 number, 3 string
+	num   float64
+	str   string
+}
+
+const (
+	ordClassNil    = 0
+	ordClassBool   = 1
+	ordClassNumber = 2
+	ordClassString = 3
+)
+
+// ordValueOf renders a scalar into the index order; non-scalars
+// (maps, arrays — arrays fan out before this point) are not indexable.
+func ordValueOf(v any) (ordValue, bool) {
+	switch x := normalize(v).(type) {
+	case nil:
+		return ordValue{class: ordClassNil}, true
+	case bool:
+		n := 0.0
+		if x {
+			n = 1
+		}
+		return ordValue{class: ordClassBool, num: n}, true
+	case float64:
+		return ordValue{class: ordClassNumber, num: x}, true
+	case string:
+		return ordValue{class: ordClassString, str: x}, true
+	}
+	return ordValue{}, false
+}
+
+func (a ordValue) compare(b ordValue) int {
+	if a.class != b.class {
+		return int(a.class) - int(b.class)
+	}
+	switch a.class {
+	case ordClassString:
+		return strings.Compare(a.str, b.str)
+	case ordClassNil:
+		return 0
+	default:
+		switch {
+		case a.num < b.num:
+			return -1
+		case a.num > b.num:
+			return 1
+		}
+		return 0
+	}
+}
+
+// classFloor is the smallest ordValue of a class — the range-scan
+// start for an unbounded-below comparison like Lt.
+func classFloor(class uint8) ordValue {
+	switch class {
+	case ordClassNumber:
+		return ordValue{class: ordClassNumber, num: math.Inf(-1)}
+	case ordClassString:
+		return ordValue{class: ordClassString, str: ""}
+	}
+	return ordValue{class: class}
+}
+
+func newOrderedIndex(path string) *orderedIndex {
+	return &orderedIndex{
+		path:  path,
+		head:  &ordNode{next: make([]*ordNode, ordMaxLevel)},
+		byKey: make(map[string]*ordNode),
+		rng:   0x9e3779b97f4a7c15, // fixed seed: levels are reproducible
+	}
+}
+
+// randLevel draws a skip-list level from a deterministic xorshift64
+// stream (p = 1/2 per level), so index structure — and therefore
+// performance — is identical across runs and nodes.
+func (ix *orderedIndex) randLevel() int {
+	ix.rng ^= ix.rng << 13
+	ix.rng ^= ix.rng >> 7
+	ix.rng ^= ix.rng << 17
+	lvl := 1
+	for v := ix.rng; v&1 == 1 && lvl < ordMaxLevel; v >>= 1 {
+		lvl++
+	}
+	return lvl
+}
+
+// preds fills the per-level predecessors of the first node >= v.
+func (ix *orderedIndex) preds(v ordValue, out *[ordMaxLevel]*ordNode) {
+	n := ix.head
+	for lvl := ordMaxLevel - 1; lvl >= 0; lvl-- {
+		for n.next[lvl] != nil && n.next[lvl].val.compare(v) < 0 {
+			n = n.next[lvl]
+		}
+		out[lvl] = n
+	}
+}
+
+// seekGE returns the first node whose value is >= v.
+func (ix *orderedIndex) seekGE(v ordValue) *ordNode {
+	n := ix.head
+	for lvl := ordMaxLevel - 1; lvl >= 0; lvl-- {
+		for n.next[lvl] != nil && n.next[lvl].val.compare(v) < 0 {
+			n = n.next[lvl]
+		}
+	}
+	return n.next[0]
+}
+
+// add indexes every scalar reached at the path, fanning arrays out to
+// their elements like a MongoDB multikey index.
+func (ix *orderedIndex) add(docKey string, doc map[string]any) {
+	vals, found := lookupPath(doc, ix.path)
+	if !found {
+		return
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, v := range vals {
+		ix.addValue(docKey, v)
+	}
+}
+
+func (ix *orderedIndex) addValue(docKey string, v any) {
+	if arr, ok := v.([]any); ok {
+		for _, e := range arr {
+			ix.addValue(docKey, e)
+		}
+		return
+	}
+	k, ok := indexKey(v)
+	if !ok {
+		return
+	}
+	if n, exists := ix.byKey[k]; exists {
+		if _, dup := n.docs[docKey]; !dup {
+			n.docs[docKey] = struct{}{}
+			ix.size++
+		}
+		return
+	}
+	ov, ok := ordValueOf(v)
+	if !ok {
+		return
+	}
+	var pred [ordMaxLevel]*ordNode
+	ix.preds(ov, &pred)
+	n := &ordNode{val: ov, docs: map[string]struct{}{docKey: {}}, next: make([]*ordNode, ix.randLevel())}
+	for lvl := range n.next {
+		n.next[lvl] = pred[lvl].next[lvl]
+		pred[lvl].next[lvl] = n
+	}
+	ix.byKey[k] = n
+	ix.size++
+}
+
+func (ix *orderedIndex) remove(docKey string, doc map[string]any) {
+	vals, found := lookupPath(doc, ix.path)
+	if !found {
+		return
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, v := range vals {
+		ix.removeValue(docKey, v)
+	}
+}
+
+func (ix *orderedIndex) removeValue(docKey string, v any) {
+	if arr, ok := v.([]any); ok {
+		for _, e := range arr {
+			ix.removeValue(docKey, e)
+		}
+		return
+	}
+	k, ok := indexKey(v)
+	if !ok {
+		return
+	}
+	n, exists := ix.byKey[k]
+	if !exists {
+		return
+	}
+	if _, held := n.docs[docKey]; !held {
+		return
+	}
+	delete(n.docs, docKey)
+	ix.size--
+	if len(n.docs) > 0 {
+		return
+	}
+	var pred [ordMaxLevel]*ordNode
+	ix.preds(n.val, &pred)
+	for lvl := 0; lvl < len(n.next); lvl++ {
+		if pred[lvl].next[lvl] == n {
+			pred[lvl].next[lvl] = n.next[lvl]
+		}
+	}
+	delete(ix.byKey, k)
+}
+
+// lookupEq answers an equality probe (Eq / Contains candidates).
+func (ix *orderedIndex) lookupEq(arg any) []string {
+	k, ok := indexKey(arg)
+	if !ok {
+		return nil
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return docSetKeys(ix.byKey[k])
+}
+
+// estimateEq reports the candidate count of an equality probe without
+// materializing it — the planner's selectivity estimate.
+func (ix *orderedIndex) estimateEq(arg any) int {
+	k, ok := indexKey(arg)
+	if !ok {
+		return 0
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if n := ix.byKey[k]; n != nil {
+		return len(n.docs)
+	}
+	return 0
+}
+
+// containsDoc reports whether docKey is among the candidates for arg.
+func (ix *orderedIndex) containsDoc(arg any, docKey string) bool {
+	k, ok := indexKey(arg)
+	if !ok {
+		return false
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if n := ix.byKey[k]; n != nil {
+		_, held := n.docs[docKey]
+		return held
+	}
+	return false
+}
+
+// ordRange is a planner-compiled range over one class of values:
+// lo/hi bounds (either side optional), inclusive or strict.
+type ordRange struct {
+	class              uint8
+	lo, hi             ordValue
+	hasLo, hasHi       bool
+	loStrict, hiStrict bool
+}
+
+// empty reports a provably empty range (lo above hi).
+func (r ordRange) empty() bool {
+	if !r.hasLo || !r.hasHi {
+		return false
+	}
+	cmp := r.lo.compare(r.hi)
+	return cmp > 0 || (cmp == 0 && (r.loStrict || r.hiStrict))
+}
+
+func (r ordRange) String() string {
+	var b strings.Builder
+	if r.hasLo {
+		if r.loStrict {
+			b.WriteString(">")
+		} else {
+			b.WriteString(">=")
+		}
+		b.WriteString(r.lo.render())
+	}
+	if r.hasHi {
+		if r.hasLo {
+			b.WriteString(" ")
+		}
+		if r.hiStrict {
+			b.WriteString("<")
+		} else {
+			b.WriteString("<=")
+		}
+		b.WriteString(r.hi.render())
+	}
+	return b.String()
+}
+
+func (v ordValue) render() string {
+	switch v.class {
+	case ordClassString:
+		return fmt.Sprintf("%q", v.str)
+	case ordClassNumber:
+		return fmt.Sprintf("%g", v.num)
+	case ordClassBool:
+		return fmt.Sprintf("%t", v.num != 0)
+	}
+	return "null"
+}
+
+// lookupRange materializes the candidate keys of a range scan: the
+// walk starts at the lower bound (or the class floor) and stops at the
+// upper bound or the end of the class. Keys may repeat across values
+// for multikey documents; callers dedup (shardedVisit does).
+func (ix *orderedIndex) lookupRange(r ordRange) []string {
+	start := classFloor(r.class)
+	if r.hasLo {
+		start = r.lo
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	n := ix.seekGE(start)
+	if r.hasLo && r.loStrict {
+		for n != nil && n.val.compare(r.lo) == 0 {
+			n = n.next[0]
+		}
+	}
+	var out []string
+	for ; n != nil && n.val.class == r.class; n = n.next[0] {
+		if r.hasHi {
+			cmp := n.val.compare(r.hi)
+			if cmp > 0 || (cmp == 0 && r.hiStrict) {
+				break
+			}
+		}
+		for dk := range n.docs {
+			out = append(out, dk)
+		}
+	}
+	return out
+}
+
+// ordEstimateNodeBudget caps the estimation walk: selectivity only has
+// to be exact for ranges narrow enough to be worth driving a plan.
+const ordEstimateNodeBudget = 512
+
+// estimateRange counts the (value, document) pairs a range scan would
+// visit — the planner's selectivity estimate for comparisons. The walk
+// is exact up to a fixed node budget; a range still open after that
+// many distinct values saturates to the index's total size. The
+// pessimistic saturation biases the planner toward point-driven plans
+// for sweeping comparisons (a half-bounded Gte over a large index),
+// without paying an O(distinct values) walk just to learn the range is
+// wide — mis-ranking only shifts work onto the residual filter, never
+// the results.
+func (ix *orderedIndex) estimateRange(r ordRange) int {
+	start := classFloor(r.class)
+	if r.hasLo {
+		start = r.lo
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	n := ix.seekGE(start)
+	if r.hasLo && r.loStrict {
+		for n != nil && n.val.compare(r.lo) == 0 {
+			n = n.next[0]
+		}
+	}
+	est := 0
+	for nodes := 0; n != nil && n.val.class == r.class; n = n.next[0] {
+		if r.hasHi {
+			cmp := n.val.compare(r.hi)
+			if cmp > 0 || (cmp == 0 && r.hiStrict) {
+				break
+			}
+		}
+		if nodes++; nodes > ordEstimateNodeBudget {
+			return ix.size
+		}
+		est += len(n.docs)
+	}
+	return est
+}
+
+// valueGroups snapshots the document-key sets in value order (reversed
+// when desc) — the backbone of Collection.FindOrdered. The snapshot is
+// taken under the index lock; point reads resolve afterwards.
+func (ix *orderedIndex) valueGroups(desc bool) [][]string {
+	ix.mu.RLock()
+	groups := make([][]string, 0, len(ix.byKey))
+	for n := ix.head.next[0]; n != nil; n = n.next[0] {
+		groups = append(groups, docSetKeys(n))
+	}
+	ix.mu.RUnlock()
+	if desc {
+		for i, j := 0, len(groups)-1; i < j; i, j = i+1, j-1 {
+			groups[i], groups[j] = groups[j], groups[i]
+		}
+	}
+	return groups
+}
+
+func docSetKeys(n *ordNode) []string {
+	if n == nil {
+		return nil
+	}
+	out := make([]string, 0, len(n.docs))
+	for dk := range n.docs {
+		out = append(out, dk)
+	}
+	return out
+}

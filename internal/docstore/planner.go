@@ -1,0 +1,438 @@
+package docstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The query planner compiles a filter tree (via Analyze) into an
+// access plan: which secondary indexes can produce a candidate key
+// set, and how their answers combine. Executed plans resolve
+// candidates through the indexes' own locks plus shard-locked point
+// reads — never the collection lock — so every planned read stays off
+// the commit writer's critical section. Only filters no index can
+// answer fall back to the full collection scan.
+//
+// Plan shapes:
+//
+//	point      an equality-class probe (Eq, Contains, In) on any index
+//	range      an ordered-index scan for Gt/Gte/Lt/Lte, confined to the
+//	           bound's comparison class (numbers or strings)
+//	intersect  an AND of indexable children: the lowest-estimate child
+//	           drives (its candidates are materialized) and the others
+//	           shrink the set, by O(1) index probes where possible
+//	union      an OR whose branches are all indexable
+//	none       a provably empty result (Never, In with no values,
+//	           comparisons against non-comparable arguments)
+//	full-scan  the fallback: scan under the collection read lock
+//
+// Candidate sets are supersets of the matching documents (multikey
+// indexes fan arrays out), so executors always re-apply the full
+// filter to each fetched document; correctness never depends on the
+// plan, only performance does. Notably, comparisons on one path are
+// NOT merged into a single bounded scan: with multikey values,
+// Gte(p,5) AND Lte(p,10) matches a document whose values are {3, 20},
+// which no [5,10] scan would surface — each comparison materializes
+// its own candidates and the intersection keeps the superset property.
+
+// AccessKind classifies one node of a compiled access plan.
+type AccessKind int
+
+const (
+	// AccessFullScan scans the whole collection under its read lock.
+	AccessFullScan AccessKind = iota
+	// AccessNone yields no candidates: the filter probably cannot
+	// match any document (Never, empty In, class-mismatched range).
+	AccessNone
+	// AccessPoint probes an index for equality-class candidates.
+	AccessPoint
+	// AccessRange walks an ordered index between comparison bounds.
+	AccessRange
+	// AccessIntersect combines indexable AND-conjuncts.
+	AccessIntersect
+	// AccessUnion combines indexable OR-branches.
+	AccessUnion
+)
+
+// Access is one node of a compiled access plan. Est is the planner's
+// selectivity estimate from index cardinalities — for an intersect it
+// is the driving (smallest) child's estimate, and children are ordered
+// ascending by estimate, so Children[0] is always the driving index.
+type Access struct {
+	Kind     AccessKind
+	Path     string    // leaf: the indexed dot path
+	Op       string    // leaf: the operator (OpEq, OpIn, OpGt, ...)
+	Detail   string    // leaf: rendered argument or range bounds
+	Reason   string    // AccessFullScan: why the planner gave up
+	Est      int       // estimated candidate count
+	Children []*Access // intersect / union members
+
+	materialize func() []string        // leaves: produce candidates
+	probe       func(docKey string) bool // nil when not probe-capable
+}
+
+// FullScan reports whether executing this plan takes the collection
+// lock. Composite plans never contain a full-scan child (the planner
+// prunes AND-conjuncts and refuses OR-branches), so the root decides.
+func (a *Access) FullScan() bool { return a.Kind == AccessFullScan }
+
+// String renders the plan for Explain output and test assertions.
+func (a *Access) String() string {
+	switch a.Kind {
+	case AccessFullScan:
+		return fmt.Sprintf("full-scan(%s)", a.Reason)
+	case AccessNone:
+		return "none"
+	case AccessPoint:
+		return fmt.Sprintf("point(%s %s %s)[%d]", a.Path, a.Op, a.Detail, a.Est)
+	case AccessRange:
+		return fmt.Sprintf("range(%s %s)[%d]", a.Path, a.Detail, a.Est)
+	case AccessIntersect, AccessUnion:
+		name := "intersect"
+		if a.Kind == AccessUnion {
+			name = "union"
+		}
+		parts := make([]string, len(a.Children))
+		for i, ch := range a.Children {
+			parts[i] = ch.String()
+		}
+		return fmt.Sprintf("%s[%d](%s)", name, a.Est, strings.Join(parts, ", "))
+	}
+	return "invalid"
+}
+
+// Plan compiles filter against the collection's current indexes. It
+// takes the collection lock only to snapshot the index handles; all
+// estimation runs under the indexes' own locks. The plan is a
+// point-in-time compilation: it does not follow later CreateIndex
+// calls.
+func (c *Collection) Plan(f Filter) *Access {
+	p := planner{idx: make(map[string]secondaryIndex)}
+	c.mu.RLock()
+	for path, ix := range c.indexes {
+		p.idx[path] = ix
+	}
+	c.mu.RUnlock()
+	return p.compile(Analyze(f))
+}
+
+// Explain renders the access plan Find (and every other query entry
+// point) would execute for filter — the planner's debugging and test
+// surface. A plan containing "full-scan" takes the collection lock;
+// anything else resolves entirely through index and shard locks.
+func (c *Collection) Explain(f Filter) string { return c.Plan(f).String() }
+
+type planner struct {
+	idx map[string]secondaryIndex
+}
+
+func fullScan(reason string) *Access { return &Access{Kind: AccessFullScan, Reason: reason} }
+
+func noneAccess() *Access {
+	a := &Access{Kind: AccessNone}
+	a.materialize = func() []string { return nil }
+	a.probe = func(string) bool { return false }
+	return a
+}
+
+func (p planner) compile(n Node) *Access {
+	switch n.Kind {
+	case KindField:
+		return p.compileField(n)
+	case KindAnd:
+		return p.compileAnd(n.Children)
+	case KindOr:
+		return p.compileOr(n.Children)
+	case KindAll:
+		return fullScan("match-all")
+	case KindNot:
+		return fullScan("negation")
+	}
+	return fullScan("opaque filter")
+}
+
+func (p planner) compileField(n Node) *Access {
+	if n.Op == OpNever {
+		return noneAccess()
+	}
+	ix, indexed := p.idx[n.Path]
+	if !indexed {
+		// Comparisons against non-comparable arguments match nothing
+		// regardless of any index: compareValues only relates numbers
+		// to numbers and strings to strings.
+		if isComparison(n.Op) && !comparableArg(n.Arg) {
+			return noneAccess()
+		}
+		if n.Op == OpIn && len(n.List) == 0 {
+			return noneAccess()
+		}
+		return fullScan(fmt.Sprintf("no index on %q", n.Path))
+	}
+	switch n.Op {
+	case OpEq, OpContains:
+		if _, ok := indexKey(n.Arg); !ok {
+			return fullScan(fmt.Sprintf("non-scalar %s argument on %q", n.Op, n.Path))
+		}
+		return p.pointAccess(ix, n.Path, n.Op, renderArg(n.Arg), []any{n.Arg})
+	case OpIn:
+		if len(n.List) == 0 {
+			return noneAccess()
+		}
+		for _, arg := range n.List {
+			if _, ok := indexKey(arg); !ok {
+				return fullScan(fmt.Sprintf("non-scalar in argument on %q", n.Path))
+			}
+		}
+		return p.pointAccess(ix, n.Path, n.Op, fmt.Sprintf("%d values", len(n.List)), n.List)
+	case OpGt, OpGte, OpLt, OpLte:
+		return p.rangeAccess(ix, n)
+	case OpContainsAll:
+		// Candidates must hold every element, so the point probes
+		// intersect — a superset even for elements spread across
+		// distinct arrays of a multikey path (the residual filter
+		// rejects those).
+		if len(n.List) == 0 {
+			return fullScan(fmt.Sprintf("contains-all without values on %q", n.Path))
+		}
+		children := make([]*Access, 0, len(n.List))
+		for _, arg := range n.List {
+			if _, ok := indexKey(arg); !ok {
+				return fullScan(fmt.Sprintf("non-scalar contains-all argument on %q", n.Path))
+			}
+			children = append(children, p.pointAccess(ix, n.Path, OpContains, renderArg(arg), []any{arg}))
+		}
+		return intersectAccess(children)
+	}
+	return fullScan(fmt.Sprintf("index on %q cannot answer %s", n.Path, n.Op))
+}
+
+// pointAccess builds an equality-class leaf over one or more probe
+// arguments (one for Eq/Contains, the list for In).
+func (p planner) pointAccess(ix secondaryIndex, path, op, detail string, args []any) *Access {
+	est := 0
+	for _, arg := range args {
+		est += ix.estimateEq(arg)
+	}
+	a := &Access{Kind: AccessPoint, Path: path, Op: op, Detail: detail, Est: est}
+	a.materialize = func() []string {
+		if len(args) == 1 {
+			return ix.lookupEq(args[0])
+		}
+		var out []string
+		for _, arg := range args {
+			out = append(out, ix.lookupEq(arg)...)
+		}
+		return out
+	}
+	a.probe = func(docKey string) bool {
+		for _, arg := range args {
+			if ix.containsDoc(arg, docKey) {
+				return true
+			}
+		}
+		return false
+	}
+	return a
+}
+
+func (p planner) rangeAccess(ix secondaryIndex, n Node) *Access {
+	ov, ok := ordValueOf(n.Arg)
+	if !ok || (ov.class != ordClassNumber && ov.class != ordClassString) {
+		// The comparison can never hold (wrong class), whatever the
+		// index could answer.
+		return noneAccess()
+	}
+	ord, isOrdered := ix.(*orderedIndex)
+	if !isOrdered {
+		return fullScan(fmt.Sprintf("hash index on %q cannot answer %s", n.Path, n.Op))
+	}
+	r := ordRange{class: ov.class}
+	switch n.Op {
+	case OpGt:
+		r.lo, r.hasLo, r.loStrict = ov, true, true
+	case OpGte:
+		r.lo, r.hasLo = ov, true
+	case OpLt:
+		r.hi, r.hasHi, r.hiStrict = ov, true, true
+	case OpLte:
+		r.hi, r.hasHi = ov, true
+	}
+	a := &Access{Kind: AccessRange, Path: n.Path, Op: n.Op, Detail: r.String(), Est: ord.estimateRange(r)}
+	a.materialize = func() []string { return ord.lookupRange(r) }
+	return a
+}
+
+func (p planner) compileAnd(children []Node) *Access {
+	indexable := make([]*Access, 0, len(children))
+	for _, ch := range children {
+		a := p.compile(ch)
+		switch a.Kind {
+		case AccessNone:
+			// One impossible conjunct empties the whole AND.
+			return a
+		case AccessFullScan:
+			// Unindexable conjuncts are pruned: the residual filter
+			// re-checks them on every candidate anyway.
+			continue
+		default:
+			indexable = append(indexable, a)
+		}
+	}
+	if len(indexable) == 0 {
+		return fullScan("no indexed conjunct")
+	}
+	return intersectAccess(indexable)
+}
+
+func intersectAccess(children []*Access) *Access {
+	if len(children) == 1 {
+		return children[0]
+	}
+	// Ascending estimate: the smallest (driving) index materializes,
+	// the rest only shrink its candidates.
+	sort.SliceStable(children, func(i, j int) bool { return children[i].Est < children[j].Est })
+	a := &Access{Kind: AccessIntersect, Est: children[0].Est, Children: children}
+	a.materialize = func() []string {
+		keys := dedupKeys(children[0].materialize())
+		for _, ch := range children[1:] {
+			if len(keys) == 0 {
+				return nil
+			}
+			probe := ch.probe
+			if probe == nil {
+				// A probe-less child (a range) intersects by
+				// materializing its whole candidate set. When that set
+				// dwarfs the driving one — a half-bounded comparison
+				// like Gte(amount, 0) covers most of the collection —
+				// building it costs more than letting the residual
+				// filter reject the few extra candidates, so skip it:
+				// the result stays a superset either way.
+				if ch.Est > 4*len(keys) {
+					continue
+				}
+				set := make(map[string]struct{})
+				for _, k := range ch.materialize() {
+					set[k] = struct{}{}
+				}
+				probe = func(docKey string) bool {
+					_, ok := set[docKey]
+					return ok
+				}
+			}
+			kept := keys[:0]
+			for _, k := range keys {
+				if probe(k) {
+					kept = append(kept, k)
+				}
+			}
+			keys = kept
+		}
+		return keys
+	}
+	a.probe = composeProbes(children, true)
+	return a
+}
+
+func (p planner) compileOr(children []Node) *Access {
+	accesses := make([]*Access, 0, len(children))
+	est := 0
+	for _, ch := range children {
+		a := p.compile(ch)
+		switch a.Kind {
+		case AccessNone:
+			continue
+		case AccessFullScan:
+			// One unindexable branch may match documents no index
+			// knows about: the whole OR must scan.
+			return fullScan(fmt.Sprintf("unindexable or-branch: %s", a.Reason))
+		}
+		accesses = append(accesses, a)
+		est += a.Est
+	}
+	if len(accesses) == 0 {
+		return noneAccess()
+	}
+	if len(accesses) == 1 {
+		return accesses[0]
+	}
+	a := &Access{Kind: AccessUnion, Est: est, Children: accesses}
+	a.materialize = func() []string {
+		var out []string
+		for _, ch := range accesses {
+			out = append(out, ch.materialize()...)
+		}
+		return out
+	}
+	a.probe = composeProbes(accesses, false)
+	return a
+}
+
+// composeProbes builds a composite O(1) membership probe when every
+// child supports one (ranges do not — they cannot answer "does this
+// document hold a value in range" without the document).
+func composeProbes(children []*Access, all bool) func(string) bool {
+	probes := make([]func(string) bool, len(children))
+	for i, ch := range children {
+		if ch.probe == nil {
+			return nil
+		}
+		probes[i] = ch.probe
+	}
+	return func(docKey string) bool {
+		for _, pr := range probes {
+			if pr(docKey) != all {
+				return !all
+			}
+		}
+		return all
+	}
+}
+
+func isComparison(op string) bool {
+	switch op {
+	case OpGt, OpGte, OpLt, OpLte:
+		return true
+	}
+	return false
+}
+
+// comparableArg reports whether any document value can ever compare
+// against arg (compareValues relates numbers and strings only).
+func comparableArg(arg any) bool {
+	switch normalize(arg).(type) {
+	case float64, string:
+		return true
+	}
+	return false
+}
+
+func renderArg(arg any) string {
+	if s, ok := arg.(string); ok {
+		return fmt.Sprintf("%q", s)
+	}
+	return fmt.Sprintf("%v", arg)
+}
+
+func dedupKeys(keys []string) []string {
+	seen := make(map[string]struct{}, len(keys))
+	out := keys[:0]
+	for _, k := range keys {
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, k)
+	}
+	return out
+}
+
+// resolveAccess executes a plan: the candidate keys and whether the
+// plan avoided a full scan. Candidates may repeat (multikey unions);
+// the sharded visit dedups.
+func resolveAccess(a *Access) ([]string, bool) {
+	if a.Kind == AccessFullScan {
+		return nil, false
+	}
+	return a.materialize(), true
+}

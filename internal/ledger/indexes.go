@@ -1,0 +1,64 @@
+package ledger
+
+import "smartchaindb/internal/docstore"
+
+// IndexSpec declares one secondary index on a chain-state collection.
+type IndexSpec struct {
+	Collection string
+	Path       string
+	// Ordered selects a sorted multikey index (range scans, ordered
+	// iteration) instead of a hash index (equality probes only).
+	Ordered bool
+}
+
+// ChainIndexes is the chain state's index registry: the declarative
+// list NewStateWith applies when a state opens — including a disk
+// reopen, where every index is rebuilt from the documents recovered by
+// WAL replay (secondary indexes are never persisted). The hot read
+// paths it covers:
+//
+//   - transactions.operation / refs: the validator queries
+//     (getAcceptTxForRFQ, getLockedBids) and every per-operation
+//     marketplace rollup — their conjunction is an index intersection.
+//   - transactions.asset.data.capabilities: the paper's motivating
+//     "open requests demanding a capability" query.
+//   - transactions.metadata.timestamp (ordered): recency queries —
+//     most-recent open requests first.
+//   - transactions.outputs.amount (ordered): price-band queries over
+//     escrowed bid amounts.
+//   - utxos.owner / asset_id: balance, holder, and unspent-output
+//     lookups.
+//   - utxos.spent (ordered) and utxos.amount (ordered): the spent-set
+//     screens of block validation and value-band analytics.
+//   - assets.operation / data.capabilities: provider-side asset
+//     discovery.
+func ChainIndexes() []IndexSpec {
+	return []IndexSpec{
+		{Collection: ColTransactions, Path: "operation"},
+		{Collection: ColTransactions, Path: "refs"},
+		{Collection: ColTransactions, Path: "asset.id"},
+		{Collection: ColTransactions, Path: "asset.data.capabilities"},
+		{Collection: ColTransactions, Path: "metadata.timestamp", Ordered: true},
+		{Collection: ColTransactions, Path: "outputs.amount", Ordered: true},
+		{Collection: ColUTXOs, Path: "owner"},
+		{Collection: ColUTXOs, Path: "asset_id"},
+		{Collection: ColUTXOs, Path: "spent", Ordered: true},
+		{Collection: ColUTXOs, Path: "amount", Ordered: true},
+		{Collection: ColAssets, Path: "operation"},
+		{Collection: ColAssets, Path: "data.capabilities"},
+	}
+}
+
+// applyIndexes builds every registry index over the store's current
+// documents — a no-op backfill on a fresh state, a full rebuild after
+// a disk recovery.
+func applyIndexes(store *docstore.Store, specs []IndexSpec) {
+	for _, spec := range specs {
+		c := store.Collection(spec.Collection)
+		if spec.Ordered {
+			c.CreateOrderedIndex(spec.Path)
+		} else {
+			c.CreateIndex(spec.Path)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package ledger
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"smartchaindb/internal/docstore"
+	"smartchaindb/internal/keys"
+	"smartchaindb/internal/storage"
+	"smartchaindb/internal/txn"
+	"smartchaindb/internal/workload"
+)
+
+// hotPathFilters are the validator and marketplace query shapes the
+// registry exists for; each must compile to a planned access on a
+// fresh state and on a reopened one.
+func hotPathFilters(rfqID, owner string) map[string]struct {
+	col    string
+	filter docstore.Filter
+} {
+	return map[string]struct {
+		col    string
+		filter docstore.Filter
+	}{
+		"accept-for-rfq": {ColTransactions, docstore.And(
+			docstore.Eq("operation", txn.OpAcceptBid),
+			docstore.Contains("refs", rfqID))},
+		"bids-for-rfq": {ColTransactions, docstore.And(
+			docstore.Eq("operation", txn.OpBid),
+			docstore.Contains("refs", rfqID))},
+		"recent": {ColTransactions, docstore.And(
+			docstore.Eq("operation", txn.OpRequest),
+			docstore.Gt("metadata.timestamp", 0))},
+		"price-band": {ColTransactions, docstore.And(
+			docstore.Eq("operation", txn.OpBid),
+			docstore.Gte("outputs.amount", 1),
+			docstore.Lte("outputs.amount", 2))},
+		"unspent-by-owner": {ColUTXOs, docstore.And(
+			docstore.Eq("owner", owner),
+			docstore.Eq("spent", false))},
+		"amount-band": {ColUTXOs, docstore.And(
+			docstore.Eq("spent", false),
+			docstore.Gte("amount", 1))},
+	}
+}
+
+// TestChainIndexRegistryPlansHotPaths: every registry-covered query
+// shape must plan without a full scan on a fresh state.
+func TestChainIndexRegistryPlansHotPaths(t *testing.T) {
+	state := NewState()
+	defer state.Close()
+	for name, probe := range hotPathFilters("rfq", "owner") {
+		ex := state.Store().Collection(probe.col).Explain(probe.filter)
+		if strings.Contains(ex, "full-scan") {
+			t.Errorf("%s not planned: %s", name, ex)
+		}
+	}
+}
+
+// TestChainIndexesRebuiltOnReopen commits a marketplace workload on
+// the disk engine, reopens it, and checks the registry rebuilt every
+// index over the WAL-recovered documents: identical planned results
+// and plans, and an intact ordered recency walk.
+func TestChainIndexesRebuiltOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *State {
+		eng, err := storage.Open(dir, storage.Options{NoSync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewStateWith(eng)
+	}
+	state := open()
+	gen := workload.NewGenerator(11, keys.DeterministicKeyPair(404))
+	g := gen.NewAuctionGroup(0, workload.AuctionGroupSpec{BiddersPerAuction: 3})
+	blocks := [][]*txn.Transaction{
+		append([]*txn.Transaction{g.Request}, g.Creates...),
+		g.Bids,
+		{g.Accept},
+	}
+	for i, b := range blocks {
+		if _, skipped, err := state.CommitBlockAt(int64(i+1), b); err != nil || len(skipped) != 0 {
+			t.Fatalf("commit %d: err=%v skipped=%v", i, err, skipped)
+		}
+	}
+	owner := g.Bidders[0].PublicBase58()
+	probes := hotPathFilters(g.Request.ID, owner)
+	want := make(map[string][]map[string]any)
+	plans := make(map[string]string)
+	for name, probe := range probes {
+		c := state.Store().Collection(probe.col)
+		want[name] = c.Find(probe.filter)
+		plans[name] = c.Explain(probe.filter)
+		if strings.Contains(plans[name], "full-scan") {
+			t.Fatalf("%s not planned before reopen: %s", name, plans[name])
+		}
+	}
+	wantRecent := state.Store().Collection(ColTransactions).FindOrdered(
+		docstore.Eq("operation", txn.OpBid), "metadata.timestamp", true, 0)
+	if len(wantRecent) != 3 {
+		t.Fatalf("recency walk found %d bids, want 3", len(wantRecent))
+	}
+	wantHeight := state.Height()
+	if err := state.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	state2 := open()
+	defer state2.Close()
+	if got := state2.Height(); got != wantHeight {
+		t.Fatalf("reopened height = %d, want %d", got, wantHeight)
+	}
+	for name, probe := range probes {
+		c := state2.Store().Collection(probe.col)
+		if got := c.Explain(probe.filter); got != plans[name] {
+			t.Errorf("%s plan changed across reopen: %s -> %s", name, plans[name], got)
+		}
+		if got := c.Find(probe.filter); !reflect.DeepEqual(got, want[name]) {
+			t.Errorf("%s results changed across reopen (%d vs %d docs)", name, len(got), len(want[name]))
+		}
+	}
+	if got := state2.Store().Collection(ColTransactions).FindOrdered(
+		docstore.Eq("operation", txn.OpBid), "metadata.timestamp", true, 0); !reflect.DeepEqual(got, wantRecent) {
+		t.Error("ordered recency walk changed across reopen")
+	}
+	// And the rebuilt indexes keep following new commits.
+	g2 := gen.NewAuctionGroup(50, workload.AuctionGroupSpec{BiddersPerAuction: 2})
+	if _, skipped, err := state2.CommitBlockAt(wantHeight+1,
+		append([]*txn.Transaction{g2.Request}, g2.Creates...)); err != nil || len(skipped) != 0 {
+		t.Fatalf("post-reopen commit: err=%v skipped=%v", err, skipped)
+	}
+	reqs := state2.Store().Collection(ColTransactions).Find(docstore.Eq("operation", txn.OpRequest))
+	if len(reqs) != 2 {
+		t.Errorf("requests after post-reopen commit = %d, want 2", len(reqs))
+	}
+}

@@ -47,19 +47,14 @@ type State struct {
 func NewState() *State { return NewStateWith(defaultBackend()) }
 
 // NewStateWith creates (or, for a disk backend with existing data,
-// reopens) the chain state over b: the standard collections and
-// indexes, with the committed block height recovered from the blocks
+// reopens) the chain state over b: the standard collections and the
+// registry's secondary indexes (see ChainIndexes — on a disk reopen
+// every index is rebuilt from the documents WAL replay recovered),
+// with the committed block height recovered from the blocks
 // collection.
 func NewStateWith(b storage.Backend) *State {
 	s := &State{store: docstore.NewStoreWith(b)}
-	txs := s.store.Collection(ColTransactions)
-	txs.CreateIndex("operation")
-	txs.CreateIndex("refs")
-	txs.CreateIndex("asset.id")
-	utxos := s.store.Collection(ColUTXOs)
-	utxos.CreateIndex("owner")
-	utxos.CreateIndex("spent")
-	s.store.Collection(ColAssets)
+	applyIndexes(s.store, ChainIndexes())
 	s.store.Collection(ColRecovery)
 	for _, key := range s.store.Collection(ColBlocks).Keys() {
 		if h, err := strconv.ParseInt(key, 10, 64); err == nil && h > s.lastHeight {

@@ -84,6 +84,74 @@ func TestFreshCommitSweepScope(t *testing.T) {
 	}
 }
 
+// TestMarkValidatedRefreshesSingletons pins the post-validation
+// re-arming: a clean block validation makes singleton-conflict-group
+// members fresh again, leaves multi-member groups stale, and is voided
+// by an interleaved commit sweep.
+func TestMarkValidatedRefreshesSingletons(t *testing.T) {
+	p := newPool(t, Config{})
+	// c reads what d writes: admitted in one batch, both start stale.
+	c := reader("c", "k:shared")
+	d := &fakeTx{hash: "d", fp: Footprint{Writes: []string{"tx:d", "k:shared"}}}
+	admit(t, p, c, d)
+	if got := p.Fresh([]Tx{c, d}); got[0] || got[1] {
+		t.Fatalf("batch-dependent admissions not stale: %v", got)
+	}
+
+	// A clean validation of a block holding both: they conflict within
+	// the block too, so neither may become fresh.
+	epoch := p.Epoch()
+	p.MarkValidated([]Tx{c, d}, epoch)
+	if got := p.Fresh([]Tx{c, d}); got[0] || got[1] {
+		t.Fatalf("multi-member group re-marked fresh: %v", got)
+	}
+
+	// A clean validation of a block holding only c: singleton group,
+	// verdict re-proven against committed state — fresh again.
+	p.MarkValidated([]Tx{c}, p.Epoch())
+	if got := p.Fresh([]Tx{c, d}); !got[0] || got[1] {
+		t.Fatalf("singleton not refreshed (or rival leaked): %v", got)
+	}
+
+	// A foreign block member sharing a footprint key keeps the pooled
+	// member's group multi-sized even though the foreigner is unknown.
+	e := reader("e", "k:other")
+	admit(t, p, e)
+	p.RemoveCommitted([]Tx{&fakeTx{hash: "w", fp: Footprint{Writes: []string{"tx:w", "k:other"}}}})
+	if got := p.Fresh([]Tx{e}); got[0] {
+		t.Fatal("commit sweep did not stale the reader")
+	}
+	foreign := &fakeTx{hash: "f", fp: Footprint{Writes: []string{"tx:f", "k:other"}}}
+	p.MarkValidated([]Tx{e, foreign}, p.Epoch())
+	if got := p.Fresh([]Tx{e}); got[0] {
+		t.Fatal("member of a group with a foreign writer re-marked fresh")
+	}
+	p.MarkValidated([]Tx{e}, p.Epoch())
+	if got := p.Fresh([]Tx{e}); !got[0] {
+		t.Fatal("singleton not refreshed after foreign-writer round")
+	}
+}
+
+// TestMarkValidatedEpochGuard: a commit sweep between the epoch
+// snapshot and the marking voids it — the sweep's staling wins.
+func TestMarkValidatedEpochGuard(t *testing.T) {
+	p := newPool(t, Config{})
+	r := reader("r", "k:a")
+	admit(t, p, r)
+	epoch := p.Epoch() // validation starts here...
+	// ...but a block writing k:a commits before the marking lands.
+	p.RemoveCommitted([]Tx{&fakeTx{hash: "w", fp: Footprint{Writes: []string{"tx:w", "k:a"}}}})
+	p.MarkValidated([]Tx{r}, epoch)
+	if got := p.Fresh([]Tx{r}); got[0] {
+		t.Fatal("stale epoch marking overwrote the commit sweep")
+	}
+	// With a current epoch the same marking sticks.
+	p.MarkValidated([]Tx{r}, p.Epoch())
+	if got := p.Fresh([]Tx{r}); !got[0] {
+		t.Fatal("current-epoch marking did not stick")
+	}
+}
+
 // TestFreshEvictionReleasesIndex checks evicted entries leave the key
 // index: a later commit sweeping their keys must not resurrect or
 // touch them, and re-admission starts a clean verdict.

@@ -499,6 +499,60 @@ func (p *Pool) Fresh(txs []Tx) []bool {
 	return out
 }
 
+// Epoch returns the current commit-sweep epoch. Callers that intend to
+// MarkValidated snapshot it before validation begins; a sweep in
+// between moves the epoch and voids the marking.
+func (p *Pool) Epoch() uint64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.sweepEpoch
+}
+
+// MarkValidated re-arms verdict reuse after a clean block validation:
+// a ValidateBlock pass that rejected nothing re-proved every member
+// against committed state, so pooled members whose conflict group
+// *within the block* is a singleton get their stale flag cleared —
+// their re-proven verdict depends on committed state alone. Members of
+// multi-transaction groups stay stale: their clean verdict leaned on
+// in-block prior state (an intra-block spend chain), which is not
+// committed state until the block itself commits.
+//
+// epoch is the Epoch() snapshot taken before validation started. If a
+// commit sweep ran since, the marking is dropped wholesale — the
+// sweep's staling must not be overwritten by a verdict proven against
+// pre-sweep state. This closes the PR 4 follow-up: without it, only
+// admission granted freshness, so conflict-heavy pools re-validated
+// every propose round even after a clean validation.
+func (p *Pool) MarkValidated(txs []Tx, epoch uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.sweepEpoch != epoch {
+		return
+	}
+	entries := make([]*entry, len(txs))
+	fps := make([]parallel.Footprint, len(txs))
+	for i, tx := range txs {
+		// Non-pooled members (e.g. from a foreign proposer) still
+		// contribute their footprints: they decide whether a pooled
+		// member's group is a singleton.
+		if e, ok := p.byHash[tx.Hash()]; ok {
+			entries[i] = e
+			fps[i] = parallel.Footprint{Writes: e.fp.Writes, Reads: e.fp.Reads}
+		} else {
+			fp := p.cfg.Footprint(tx)
+			fps[i] = parallel.Footprint{Writes: fp.Writes, Reads: fp.Reads}
+		}
+	}
+	for _, g := range parallel.GroupFootprints(fps) {
+		if len(g) != 1 {
+			continue
+		}
+		if e := entries[g[0]]; e != nil && !e.gone {
+			e.stale = false
+		}
+	}
+}
+
 // indexKeysLocked registers an entry under every footprint key the
 // staleness sweep may probe. Caller holds p.mu.
 func (p *Pool) indexKeysLocked(e *entry) {

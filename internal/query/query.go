@@ -4,6 +4,17 @@
 // transaction behaviour, asset metadata, and ownership in queryable
 // collections, questions like "which open service requests ask for
 // 3-D printing capability?" become index-backed document queries.
+//
+// Every Engine method resolves through the docstore query planner over
+// the ledger's index registry (ledger.ChainIndexes): candidate sets
+// come from index points, ordered-index range scans, intersections,
+// and unions — never a collection-lock full scan on the transactions,
+// UTXO, or asset collections, so analytics keep running while the
+// commit writer holds the collection locks. The open-requests
+// anti-join is an indexed difference (all REQUESTs minus the RFQ ids
+// the committed ACCEPT_BIDs reference) instead of a per-RFQ probe
+// loop, and the recency/price-band queries stream off the ordered
+// timestamp and amount indexes.
 package query
 
 import (
@@ -22,45 +33,17 @@ type Engine struct {
 // New creates a query engine over a chain state.
 func New(state *ledger.State) *Engine { return &Engine{state: state} }
 
-// OpenRequests lists committed REQUESTs with no ACCEPT_BID yet.
-func (e *Engine) OpenRequests() []*txn.Transaction {
-	var open []*txn.Transaction
-	for _, rfq := range e.state.TxsByOperation(txn.OpRequest) {
-		if _, accepted := e.state.AcceptForRFQ(rfq.ID); !accepted {
-			open = append(open, rfq)
-		}
-	}
-	return open
+func (e *Engine) transactions() *docstore.Collection {
+	return e.state.Store().Collection(ledger.ColTransactions)
 }
 
-// OpenRequestsWithCapability filters open requests by one required
-// capability — the motivating query of the paper's introduction, posed
-// by a manufacturing provider looking for work.
-func (e *Engine) OpenRequestsWithCapability(capability string) []*txn.Transaction {
-	var out []*txn.Transaction
-	for _, rfq := range e.OpenRequests() {
-		if rfq.Asset == nil {
-			continue
-		}
-		if caps, ok := rfq.Asset.Data["capabilities"].([]any); ok {
-			for _, c := range caps {
-				if c == capability {
-					out = append(out, rfq)
-					break
-				}
-			}
-		}
-	}
-	return out
+func (e *Engine) utxos() *docstore.Collection {
+	return e.state.Store().Collection(ledger.ColUTXOs)
 }
 
-// BidsForRequest lists every BID ever placed for a REQUEST, locked or
-// settled.
-func (e *Engine) BidsForRequest(rfqID string) []*txn.Transaction {
-	docs := e.state.Store().Collection(ledger.ColTransactions).Find(docstore.And(
-		docstore.Eq("operation", txn.OpBid),
-		docstore.Contains("refs", rfqID),
-	))
+// txsFromDocs decodes stored documents, skipping any that fail to
+// parse (foreign documents cannot round-trip the transaction shape).
+func txsFromDocs(docs []map[string]any) []*txn.Transaction {
 	out := make([]*txn.Transaction, 0, len(docs))
 	for _, d := range docs {
 		if t, err := txn.FromDoc(d); err == nil {
@@ -68,22 +51,87 @@ func (e *Engine) BidsForRequest(rfqID string) []*txn.Transaction {
 		}
 	}
 	return out
+}
+
+// acceptedRFQs collects the RFQ ids every committed ACCEPT_BID
+// references — one planned point query on the operation index, and the
+// left side of the open-requests indexed difference.
+func (e *Engine) acceptedRFQs() []any {
+	docs := e.transactions().Find(docstore.Eq("operation", txn.OpAcceptBid))
+	var ids []any
+	for _, d := range docs {
+		refs, _ := d["refs"].([]any)
+		ids = append(ids, refs...)
+	}
+	return ids
+}
+
+// openRequestsFilter is the anti-join as one declarative filter:
+// committed REQUESTs whose id is not among the accepted RFQ ids. The
+// operation index drives; the Not(In(...)) difference is a residual
+// check on the candidates, never a scan.
+func (e *Engine) openRequestsFilter(extra ...docstore.Filter) docstore.Filter {
+	fs := append([]docstore.Filter{
+		docstore.Eq("operation", txn.OpRequest),
+		docstore.Not(docstore.In("id", e.acceptedRFQs()...)),
+	}, extra...)
+	return docstore.And(fs...)
+}
+
+// OpenRequests lists committed REQUESTs with no ACCEPT_BID yet — the
+// indexed difference between the REQUEST set and the accepted-RFQ set.
+func (e *Engine) OpenRequests() []*txn.Transaction {
+	return txsFromDocs(e.transactions().Find(e.openRequestsFilter()))
+}
+
+// OpenRequestsWithCapability filters open requests by one required
+// capability — the motivating query of the paper's introduction, posed
+// by a manufacturing provider looking for work. The capability index
+// intersects with the operation index before any document is fetched.
+func (e *Engine) OpenRequestsWithCapability(capability string) []*txn.Transaction {
+	return txsFromDocs(e.transactions().Find(e.openRequestsFilter(
+		docstore.Contains("asset.data.capabilities", capability),
+	)))
+}
+
+// RecentOpenRequests lists up to limit open requests, most recently
+// submitted first (by the client-stamped metadata.timestamp), streamed
+// off the ordered timestamp index — the "what just arrived?" feed a
+// provider polls. Requests without a timestamp are not listed.
+func (e *Engine) RecentOpenRequests(limit int) []*txn.Transaction {
+	return txsFromDocs(e.transactions().FindOrdered(
+		e.openRequestsFilter(), "metadata.timestamp", true, limit,
+	))
+}
+
+// BidsForRequest lists every BID ever placed for a REQUEST, locked or
+// settled — the intersection of the operation and reference indexes.
+func (e *Engine) BidsForRequest(rfqID string) []*txn.Transaction {
+	return txsFromDocs(e.transactions().Find(docstore.And(
+		docstore.Eq("operation", txn.OpBid),
+		docstore.Contains("refs", rfqID),
+	)))
 }
 
 // BidsByAccount lists the BIDs a given account has placed (its inputs
 // carry the account as owner-before).
 func (e *Engine) BidsByAccount(pub string) []*txn.Transaction {
-	docs := e.state.Store().Collection(ledger.ColTransactions).Find(docstore.And(
+	return txsFromDocs(e.transactions().Find(docstore.And(
 		docstore.Eq("operation", txn.OpBid),
 		docstore.Eq("inputs.owners_before", pub),
-	))
-	out := make([]*txn.Transaction, 0, len(docs))
-	for _, d := range docs {
-		if t, err := txn.FromDoc(d); err == nil {
-			out = append(out, t)
-		}
-	}
-	return out
+	)))
+}
+
+// BidsInPriceBand lists committed BIDs escrowing an amount within
+// [lo, hi] — an ordered-index range scan over outputs.amount
+// intersected with the operation index, the price-discovery query a
+// requester runs before accepting.
+func (e *Engine) BidsInPriceBand(lo, hi uint64) []*txn.Transaction {
+	return txsFromDocs(e.transactions().Find(docstore.And(
+		docstore.Eq("operation", txn.OpBid),
+		docstore.Gte("outputs.amount", lo),
+		docstore.Lte("outputs.amount", hi),
+	)))
 }
 
 // Outcome describes a settled auction.
@@ -128,6 +176,7 @@ type ProvenanceStep struct {
 
 // AssetProvenance walks an asset's ownership chain from its CREATE to
 // the current unspent holder — the audit/fraud-analysis query class.
+// Every hop is a shard-locked point read.
 func (e *Engine) AssetProvenance(assetID string) []ProvenanceStep {
 	var steps []ProvenanceStep
 	cur := assetID
@@ -149,9 +198,10 @@ func (e *Engine) AssetProvenance(assetID string) []ProvenanceStep {
 	return steps
 }
 
-// HolderOf reports who currently holds unspent shares of an asset.
+// HolderOf reports who currently holds unspent shares of an asset —
+// the asset-id index intersected with the unspent set.
 func (e *Engine) HolderOf(assetID string) map[string]uint64 {
-	utxos := e.state.Store().Collection(ledger.ColUTXOs).Find(docstore.And(
+	utxos := e.utxos().Find(docstore.And(
 		docstore.Eq("asset_id", assetID),
 		docstore.Eq("spent", false),
 	))
@@ -168,8 +218,27 @@ func (e *Engine) HolderOf(assetID string) map[string]uint64 {
 	return holders
 }
 
+// HoldingsInBand lists the unspent outputs whose amount lies within
+// [lo, hi] — the value-band analytics sweep over the ordered amount
+// index, intersected with the unspent set.
+func (e *Engine) HoldingsInBand(lo, hi uint64) []txn.OutputRef {
+	docs := e.utxos().Find(docstore.And(
+		docstore.Eq("spent", false),
+		docstore.Gte("amount", lo),
+		docstore.Lte("amount", hi),
+	))
+	refs := make([]txn.OutputRef, 0, len(docs))
+	for _, d := range docs {
+		id, _ := d["transaction_id"].(string)
+		idx, _ := d["output_index"].(float64)
+		refs = append(refs, txn.OutputRef{TxID: id, Index: int(idx)})
+	}
+	return refs
+}
+
 // AssetsWithCapability finds registered assets advertising a
-// capability — the provider-side discovery query.
+// capability — the provider-side discovery query, driven by the
+// capability index on the asset collection.
 func (e *Engine) AssetsWithCapability(capability string) []string {
 	docs := e.state.Store().Collection(ledger.ColAssets).Find(docstore.And(
 		docstore.Eq("operation", txn.OpCreate),
@@ -186,11 +255,11 @@ func (e *Engine) AssetsWithCapability(capability string) []string {
 }
 
 // OperationCounts tallies committed transactions per operation — the
-// basic business-intelligence rollup.
+// basic business-intelligence rollup, one index point count each.
 func (e *Engine) OperationCounts() map[string]int {
 	counts := make(map[string]int)
 	for _, op := range txn.Operations() {
-		if n := e.state.Store().Collection(ledger.ColTransactions).Count(docstore.Eq("operation", op)); n > 0 {
+		if n := e.transactions().Count(docstore.Eq("operation", op)); n > 0 {
 			counts[op] = n
 		}
 	}

@@ -1,8 +1,11 @@
 package query
 
 import (
+	"strings"
 	"testing"
 
+	"smartchaindb/internal/docstore"
+	"smartchaindb/internal/ledger"
 	"smartchaindb/internal/server"
 	"smartchaindb/internal/txn"
 	"smartchaindb/internal/workload"
@@ -180,6 +183,111 @@ func TestAssetsWithCapability(t *testing.T) {
 	if len(cnc) != 5 { // settled + open groups share the default caps? settled has only 3d-printing
 		// settled group's assets advertise only 3d-printing; open's both.
 		t.Logf("cnc assets = %v", cnc)
+	}
+}
+
+// TestEngineNeverFullScans is the planner acceptance gate: running
+// every Engine method must execute zero full collection scans on the
+// transactions, UTXO, and asset collections — every read resolves
+// through the index planner, off the collection lock.
+func TestEngineNeverFullScans(t *testing.T) {
+	m := newMarketplace(t)
+	e := New(m.node.State())
+	store := m.node.State().Store()
+	cols := []*docstore.Collection{
+		store.Collection(ledger.ColTransactions),
+		store.Collection(ledger.ColUTXOs),
+		store.Collection(ledger.ColAssets),
+	}
+	base := make([]uint64, len(cols))
+	for i, c := range cols {
+		base[i] = c.FullScans()
+	}
+
+	e.OpenRequests()
+	e.OpenRequestsWithCapability("3d-printing")
+	e.RecentOpenRequests(2)
+	e.BidsForRequest(m.settled.Request.ID)
+	e.BidsByAccount(m.settled.Bidders[0].PublicBase58())
+	e.BidsInPriceBand(1, 2)
+	e.AuctionOutcome(m.settled.Request.ID)
+	e.AssetProvenance(m.settled.Bids[0].AssetID())
+	e.HolderOf(m.settled.Bids[0].AssetID())
+	e.HoldingsInBand(1, 5)
+	e.AssetsWithCapability("3d-printing")
+	e.OperationCounts()
+
+	for i, c := range cols {
+		if got := c.FullScans(); got != base[i] {
+			t.Errorf("collection %q executed %d full scans under the query engine", c.Name(), got-base[i])
+		}
+	}
+
+	// The canonical filters also explain to planned access shapes.
+	txs := store.Collection(ledger.ColTransactions)
+	for name, f := range map[string]docstore.Filter{
+		"open-requests": e.openRequestsFilter(),
+		"bids-for-request": docstore.And(
+			docstore.Eq("operation", txn.OpBid),
+			docstore.Contains("refs", m.settled.Request.ID)),
+		"price-band": docstore.And(
+			docstore.Eq("operation", txn.OpBid),
+			docstore.Gte("outputs.amount", 1),
+			docstore.Lte("outputs.amount", 2)),
+	} {
+		if ex := txs.Explain(f); strings.Contains(ex, "full-scan") {
+			t.Errorf("%s not planned: %s", name, ex)
+		}
+	}
+}
+
+func TestRecentOpenRequests(t *testing.T) {
+	m := newMarketplace(t)
+	e := New(m.node.State())
+	// Most recent first: the welding RFQ was submitted after the open
+	// auction's; the settled RFQ must not appear at all.
+	recent := e.RecentOpenRequests(0)
+	if len(recent) != 2 {
+		t.Fatalf("recent open requests = %d, want 2", len(recent))
+	}
+	if recent[0].ID != m.openExtra.ID || recent[1].ID != m.open.Request.ID {
+		t.Errorf("recency order = [%s %s], want [%s %s]",
+			recent[0].ID[:8], recent[1].ID[:8], m.openExtra.ID[:8], m.open.Request.ID[:8])
+	}
+	if top := e.RecentOpenRequests(1); len(top) != 1 || top[0].ID != m.openExtra.ID {
+		t.Errorf("limit 1 returned %d results", len(top))
+	}
+}
+
+func TestBidsInPriceBand(t *testing.T) {
+	m := newMarketplace(t)
+	e := New(m.node.State())
+	// Every generated bid escrows exactly 1 share.
+	all := e.BidsInPriceBand(1, 1)
+	if len(all) != 5 {
+		t.Errorf("band [1,1] = %d bids, want 5", len(all))
+	}
+	for _, b := range all {
+		if b.Operation != txn.OpBid {
+			t.Errorf("band returned a %s", b.Operation)
+		}
+	}
+	if out := e.BidsInPriceBand(2, 10); len(out) != 0 {
+		t.Errorf("band [2,10] = %d bids, want 0", len(out))
+	}
+}
+
+func TestHoldingsInBand(t *testing.T) {
+	m := newMarketplace(t)
+	e := New(m.node.State())
+	refs := e.HoldingsInBand(1, 1)
+	if len(refs) == 0 {
+		t.Fatal("no unspent holdings in band")
+	}
+	for _, ref := range refs {
+		if !m.node.State().IsUnspent(ref) {
+			t.Errorf("band returned spent output %s", ref)
+		}
 	}
 }
 

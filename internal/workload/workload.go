@@ -88,6 +88,19 @@ func (g *Generator) nextSeq() int {
 	return g.seq
 }
 
+// meta builds the standard transaction metadata: the size padding plus
+// a monotone client timestamp. The timestamp is the generator's
+// logical clock — deterministic per seed, so fingerprint differentials
+// stay byte-identical — and feeds the ledger's ordered
+// metadata.timestamp index (recency queries like "most recent open
+// requests").
+func (g *Generator) meta(payloadBytes int) map[string]any {
+	return map[string]any{
+		"pad":       anyStrings(g.CapabilityStrings(4, payloadBytes)),
+		"timestamp": g.nextSeq(),
+	}
+}
+
 func mustSign(t *txn.Transaction, signers ...*keys.KeyPair) *txn.Transaction {
 	if err := txn.Sign(t, signers...); err != nil {
 		// Generator inputs are all locally produced; failure is a defect.
@@ -103,7 +116,7 @@ func (g *Generator) Create(owner *keys.KeyPair, caps []string, payloadBytes int)
 		"capabilities": anyStrings(caps),
 		"seq":          g.nextSeq(),
 	}
-	meta := map[string]any{"pad": anyStrings(g.CapabilityStrings(4, payloadBytes))}
+	meta := g.meta(payloadBytes)
 	return mustSign(txn.NewCreate(owner.PublicBase58(), data, 1, meta), owner)
 }
 
@@ -113,13 +126,13 @@ func (g *Generator) Request(requester *keys.KeyPair, caps []string, payloadBytes
 		"capabilities": anyStrings(caps),
 		"seq":          g.nextSeq(),
 	}
-	meta := map[string]any{"pad": anyStrings(g.CapabilityStrings(4, payloadBytes))}
+	meta := g.meta(payloadBytes)
 	return mustSign(txn.NewRequest(requester.PublicBase58(), data, meta), requester)
 }
 
 // Bid answers rfq with bidder's asset, with payloadBytes of metadata.
 func (g *Generator) Bid(bidder *keys.KeyPair, asset, rfq *txn.Transaction, payloadBytes int) *txn.Transaction {
-	meta := map[string]any{"pad": anyStrings(g.CapabilityStrings(4, payloadBytes))}
+	meta := g.meta(payloadBytes)
 	return mustSign(txn.NewBid(bidder.PublicBase58(), asset.ID,
 		txn.Spend{Ref: txn.OutputRef{TxID: asset.ID, Index: 0}, Owners: []string{bidder.PublicBase58()}},
 		1, g.escrow.PublicBase58(), rfq.ID, meta), bidder)
