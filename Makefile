@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-disk test-race bench-parallel bench-storage bench-mempool bench-commit bench-query bench-smoke ci
+.PHONY: all build vet test test-disk test-race bench-parallel bench-storage bench-mempool bench-commit bench-query bench-mvcc bench-smoke ci
 
 all: build test
 
@@ -25,18 +25,21 @@ test: build vet
 
 # The tier-1 suites that touch chain state (ledger, server/cluster,
 # nested recovery, bench differential, query) re-run over the disk
-# backend. -count=1 forces a fresh run under the env switch.
+# backend — including the MVCC snapshot suites (storage version
+# chains, docstore snapshot isolation, ledger StateAt differentials).
+# -count=1 forces a fresh run under the env switch.
 test-disk:
-	SCDB_BACKEND=disk $(GO) test -count=1 ./internal/ledger ./internal/server ./internal/consensus ./internal/nested ./internal/bench ./internal/query
+	SCDB_BACKEND=disk $(GO) test -count=1 ./internal/ledger ./internal/server ./internal/consensus ./internal/nested ./internal/bench ./internal/query ./internal/docstore
 
 # The race gate covers the commit pipeline end to end: the ledger's
 # per-conflict-group appliers, the server's commit fence (incl. the
 # h+1-reads-race-h's-appliers stress test), the docstore's planner —
 # planned point/range/intersect/union reads racing writers (the
-# docstore suites self-parameterize over both backends) — and the
-# consensus overlap. The SCDB_BACKEND=disk leg re-runs the
-# ledger-backed suites, incl. the query-engine-vs-block-commit race,
-# over the WAL engine.
+# docstore suites self-parameterize over both backends) — the MVCC
+# snapshot suites (lock-free snapshot readers racing block appliers
+# at every layer), and the consensus overlap. The SCDB_BACKEND=disk
+# leg re-runs the ledger-backed suites, incl. the
+# query-engine-vs-block-commit race, over the WAL engine.
 test-race:
 	$(GO) test -race ./internal/mempool ./internal/parallel ./internal/ledger ./internal/consensus ./internal/server ./internal/bench ./internal/storage ./internal/docstore ./internal/query
 	SCDB_BACKEND=disk $(GO) test -race -count=1 ./internal/ledger ./internal/server ./internal/consensus ./internal/query
@@ -71,11 +74,18 @@ bench-commit:
 bench-query:
 	$(GO) run ./cmd/scdb-bench -exp query
 
+# MVCC snapshot-read experiment: the marketplace query mix on
+# height-pinned snapshots, idle vs concurrent with block commits, both
+# backends — quantifies query-vs-commit interference on the fence-free
+# read path.
+bench-mvcc:
+	$(GO) run ./cmd/scdb-bench -exp mvcc
+
 # Seconds-scale smoke run of the parallel, storage, mempool, commit,
-# and query experiments — part of the default `make test` gate so a
-# broken experiment path fails the build, not the next benchmarking
-# session.
+# query, and mvcc experiments — part of the default `make test` gate
+# so a broken experiment path fails the build, not the next
+# benchmarking session.
 bench-smoke:
-	$(GO) run ./cmd/scdb-bench -exp parallel,storage,mempool,commit,query -batches 1 -batchtxs 64 -parallel 1,4 -storageblocks 2 -storagesizes 64 -mempooltxs 256 -commitblocks 3 -committxs 96 -conflicts 0.25,0.5 -querydocs 512,4096 -queryreps 16 -queryblocks 2 -querytxs 64 -queryreaders 2
+	$(GO) run ./cmd/scdb-bench -exp parallel,storage,mempool,commit,query,mvcc -batches 1 -batchtxs 64 -parallel 1,4 -storageblocks 2 -storagesizes 64 -mempooltxs 256 -commitblocks 3 -committxs 96 -conflicts 0.25,0.5 -querydocs 512,4096 -queryreps 16 -queryblocks 2 -querytxs 64 -queryreaders 2 -mvccblocks 4 -mvcctxs 64 -mvccreaders 2
 
 ci: test test-race

@@ -15,8 +15,12 @@
 //	scdb-bench -exp mempool -mempooltxs 2048 -conflicts 0.1,0.25,0.5
 //	scdb-bench -exp commit -commitblocks 6 -committxs 256 -conflicts 0.25,0.5
 //	scdb-bench -exp query -querydocs 1000,10000,50000 -queryreps 64
+//	scdb-bench -exp mvcc -mvccblocks 8 -mvcctxs 256 -mvccreaders 4
 //	scdb-bench -exp fig7 -valworkers 4  # headline curves on the parallel pipeline
 //	scdb-bench -exp parallel,storage    # comma-separated subsets
+//
+// An unrecognized experiment name fails fast with the known set; it is
+// never silently skipped.
 package main
 
 import (
@@ -31,7 +35,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "comma-separated experiments: fig2 | fig7 | fig8 | usability | mix | recovery | parallel | storage | mempool | commit | query | all")
+		exp        = flag.String("exp", "all", "comma-separated experiments: fig2 | fig7 | fig8 | usability | mix | recovery | parallel | storage | mempool | commit | query | mvcc | all")
 		auctions   = flag.Int("auctions", 4, "auctions per run")
 		bidders    = flag.Int("bidders", 10, "bidders per auction")
 		seed       = flag.Int64("seed", 42, "simulation seed")
@@ -58,6 +62,9 @@ func main() {
 		qBlocks    = flag.Int("queryblocks", 8, "query experiment: blocks committed during the concurrent-throughput leg")
 		qTxs       = flag.Int("querytxs", 256, "query experiment: transactions per concurrent-leg block")
 		qReaders   = flag.Int("queryreaders", 4, "query experiment: concurrent query goroutines")
+		mvBlocks   = flag.Int("mvccblocks", 8, "mvcc experiment: commit-load blocks (half warm the state)")
+		mvTxs      = flag.Int("mvcctxs", 256, "mvcc experiment: transactions per commit-load block")
+		mvReaders  = flag.Int("mvccreaders", 4, "mvcc experiment: concurrent snapshot-query goroutines")
 	)
 	flag.Parse()
 
@@ -212,6 +219,15 @@ func main() {
 		}))
 	}
 
+	runMVCC := func() {
+		bench.PrintMVCC(os.Stdout, bench.RunMVCC(bench.MVCCParams{
+			Blocks:   *mvBlocks,
+			BlockTxs: *mvTxs,
+			Readers:  *mvReaders,
+			Seed:     *seed,
+		}))
+	}
+
 	experiments := map[string]func(){
 		"fig2":      runFig2,
 		"fig7":      runFig7,
@@ -224,9 +240,32 @@ func main() {
 		"mempool":   runMempool,
 		"commit":    runCommit,
 		"query":     runQuery,
+		"mvcc":      runMVCC,
 	}
-	order := []string{"fig2", "fig7", "fig8", "usability", "mix", "recovery", "parallel", "storage", "mempool", "commit", "query"}
+	selected, err := selectExperiments(*exp, experimentOrder)
+	if err != nil {
+		fatal(err)
+	}
+	for _, name := range selected {
+		experiments[name]()
+	}
+}
 
+// experimentOrder is the canonical run order; "all" expands to it and
+// selectExperiments validates against it.
+var experimentOrder = []string{"fig2", "fig7", "fig8", "usability", "mix", "recovery", "parallel", "storage", "mempool", "commit", "query", "mvcc"}
+
+// selectExperiments expands a comma-separated -exp value against the
+// known experiment names: "all" expands to every experiment in
+// canonical order, duplicates collapse (first mention wins), and an
+// unrecognized name is an error naming the known set — never a silent
+// skip, so a typo cannot masquerade as a clean run that measured
+// nothing.
+func selectExperiments(spec string, known []string) ([]string, error) {
+	isKnown := make(map[string]bool, len(known))
+	for _, n := range known {
+		isKnown[n] = true
+	}
 	var selected []string
 	seen := make(map[string]bool)
 	add := func(name string) {
@@ -235,28 +274,26 @@ func main() {
 			selected = append(selected, name)
 		}
 	}
-	for _, name := range strings.Split(*exp, ",") {
+	for _, name := range strings.Split(spec, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
 		}
 		if name == "all" {
-			for _, n := range order {
+			for _, n := range known {
 				add(n)
 			}
 			continue
 		}
-		if _, ok := experiments[name]; !ok {
-			fatal(fmt.Errorf("unknown experiment %q", name))
+		if !isKnown[name] {
+			return nil, fmt.Errorf("unknown experiment %q (known: %s, all)", name, strings.Join(known, ", "))
 		}
 		add(name)
 	}
 	if len(selected) == 0 {
-		fatal(fmt.Errorf("no experiment selected"))
+		return nil, fmt.Errorf("no experiment selected (known: %s, all)", strings.Join(known, ", "))
 	}
-	for _, name := range selected {
-		experiments[name]()
-	}
+	return selected, nil
 }
 
 func parseInts(s string) ([]int, error) {

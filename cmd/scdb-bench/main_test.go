@@ -1,0 +1,74 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestSelectExperimentsSubset(t *testing.T) {
+	got, err := selectExperiments("parallel, storage ,parallel", experimentOrder)
+	if err != nil {
+		t.Fatalf("selectExperiments: %v", err)
+	}
+	if want := []string{"parallel", "storage"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("selected %v, want %v", got, want)
+	}
+}
+
+func TestSelectExperimentsAll(t *testing.T) {
+	got, err := selectExperiments("all", experimentOrder)
+	if err != nil {
+		t.Fatalf("selectExperiments: %v", err)
+	}
+	if !reflect.DeepEqual(got, experimentOrder) {
+		t.Fatalf("all expanded to %v, want %v", got, experimentOrder)
+	}
+	// "all" plus an explicit name stays deduplicated.
+	got, err = selectExperiments("query,all", experimentOrder)
+	if err != nil {
+		t.Fatalf("selectExperiments: %v", err)
+	}
+	if len(got) != len(experimentOrder) || got[0] != "query" {
+		t.Fatalf("query,all selected %v", got)
+	}
+}
+
+func TestSelectExperimentsUnknown(t *testing.T) {
+	for _, spec := range []string{"bogus", "parallel,bogus", "quer"} {
+		_, err := selectExperiments(spec, experimentOrder)
+		if err == nil {
+			t.Fatalf("spec %q: expected an error, got none", spec)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "unknown experiment") {
+			t.Fatalf("spec %q: error %q does not flag the unknown name", spec, msg)
+		}
+		// The error teaches the valid set instead of just rejecting.
+		for _, name := range experimentOrder {
+			if !strings.Contains(msg, name) {
+				t.Fatalf("spec %q: error %q does not list known experiment %q", spec, msg, name)
+			}
+		}
+	}
+}
+
+func TestSelectExperimentsEmpty(t *testing.T) {
+	for _, spec := range []string{"", " , ,"} {
+		if _, err := selectExperiments(spec, experimentOrder); err == nil {
+			t.Fatalf("spec %q: expected an error, got none", spec)
+		}
+	}
+}
+
+func TestExperimentOrderRegistersMVCC(t *testing.T) {
+	found := false
+	for _, n := range experimentOrder {
+		if n == "mvcc" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("mvcc experiment not registered in experimentOrder")
+	}
+}

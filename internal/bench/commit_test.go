@@ -12,11 +12,13 @@ import (
 // the serialized validate→commit loop. The deterministic anchor is
 // the virtual-time consensus leg (a commit-bound cluster where the
 // serialized commit occupies the execution resource and the
-// overlapped one runs on the commit resource) — host-independent. The
-// wall-clock pipeline rows must additionally win outright on
-// multi-core hosts, where overlapping two stages can actually use a
-// second core; on a single-core host they only need to stay within
-// noise of the serialized loop.
+// overlapped one runs on the commit resource) — host-independent, and
+// the leg that must win outright. The wall-clock pipeline rows only
+// assert no-regression within noise: at smoke scale the overlap
+// window is a few percent of the loop, and the gate runs test
+// packages concurrently, so a spare core is not guaranteed even when
+// GOMAXPROCS > 1. A real serialization regression adds the entire
+// commit stage back to the loop, far outside the band.
 func TestRunCommitSmoke(t *testing.T) {
 	r := RunCommit(CommitParams{
 		Blocks:        4,
@@ -38,17 +40,16 @@ func TestRunCommitSmoke(t *testing.T) {
 			t.Errorf("degenerate commit row: %+v", row)
 		}
 	}
-	multiCore := runtime.GOMAXPROCS(0) > 1
+	noise := 1.10
+	if runtime.GOMAXPROCS(0) == 1 {
+		noise = 1.25 // no second core: overlap can only cost
+	}
 	for _, row := range r.Pipeline {
 		if !row.Match {
 			t.Errorf("%s conflict %.0f%%: overlapped pipeline diverged from serialized state", row.Backend, row.Conflict*100)
 		}
-		if multiCore && row.Overlapped >= row.Serialized {
-			t.Errorf("%s conflict %.0f%%: overlapped pipeline (%v) did not beat serialized (%v)",
-				row.Backend, row.Conflict*100, row.Overlapped, row.Serialized)
-		}
-		if !multiCore && float64(row.Overlapped) > 1.25*float64(row.Serialized) {
-			t.Errorf("%s conflict %.0f%%: overlapped pipeline regressed past noise on one core (%v vs %v)",
+		if float64(row.Overlapped) > noise*float64(row.Serialized) {
+			t.Errorf("%s conflict %.0f%%: overlapped pipeline regressed past noise (%v vs serialized %v)",
 				row.Backend, row.Conflict*100, row.Overlapped, row.Serialized)
 		}
 	}

@@ -69,6 +69,10 @@ type QueryThroughputRow struct {
 	Backend string
 	Mode    string // planned | full-scan
 	Commit  time.Duration
+	// Window is the effective measurement window: Queries counts only
+	// the queries completed inside it, so QPS = Queries / Window by
+	// construction — setup and reader spin-up are excluded from both.
+	Window  time.Duration
 	Queries int
 	QPS     float64
 }
@@ -264,7 +268,12 @@ func runQueryThroughput(p QueryParams, backend string, newBackend func() storage
 				}
 			}()
 		}
+		// The measurement window opens here: queries completed before
+		// this point (readers spin up and run during setup) belong to
+		// warm-up, not the rate, so the counter is snapshotted at both
+		// edges and only the in-window delta enters the QPS numerator.
 		start := time.Now()
+		q0 := queries.Load()
 		for i := warm; i < len(blocks); i++ {
 			if _, skipped, err := state.CommitBlockAt(int64(i+1), blocks[i]); err != nil || len(skipped) != 0 {
 				panic(fmt.Sprintf("bench: churn commit: err=%v skipped=%d", err, len(skipped)))
@@ -278,16 +287,19 @@ func runQueryThroughput(p QueryParams, backend string, newBackend func() storage
 		// full query round per reader and enough wall time for a
 		// stable rate; real runs are commit-bound far past the floor.
 		floor := start.Add(100 * time.Millisecond)
-		for deadline := start.Add(2 * time.Second); (queries.Load() < int64(3*p.Readers) || time.Now().Before(floor)) && time.Now().Before(deadline); {
+		for deadline := start.Add(2 * time.Second); (queries.Load()-q0 < int64(3*p.Readers) || time.Now().Before(floor)) && time.Now().Before(deadline); {
 			time.Sleep(time.Millisecond)
 		}
+		// Close the window before stopping the readers: queries that
+		// finish during teardown would otherwise inflate the numerator
+		// against a denominator that stopped growing.
 		window := time.Since(start)
+		n := int(queries.Load() - q0)
 		close(done)
 		wg.Wait()
 		state.Close()
-		n := int(queries.Load())
 		rows = append(rows, QueryThroughputRow{
-			Backend: backend, Mode: mode, Commit: commitElapsed,
+			Backend: backend, Mode: mode, Commit: commitElapsed, Window: window,
 			Queries: n, QPS: float64(n) / window.Seconds(),
 		})
 	}
@@ -341,10 +353,10 @@ func PrintQuery(w io.Writer, r QueryResult) {
 	fmt.Fprintln(w)
 	fmt.Fprintf(w, "  query throughput concurrent with block commits (%d blocks x %d txs, %d readers)\n",
 		r.Params.Blocks, r.Params.BlockTxs, r.Params.Readers)
-	fmt.Fprintf(w, "  %-8s %-10s %12s %10s %12s\n", "backend", "reads", "commit(ms)", "queries", "queries/s")
+	fmt.Fprintf(w, "  %-8s %-10s %12s %12s %10s %12s\n", "backend", "reads", "commit(ms)", "window(ms)", "queries", "queries/s")
 	for _, row := range r.Throughput {
-		fmt.Fprintf(w, "  %-8s %-10s %12.1f %10d %12.0f\n",
-			row.Backend, row.Mode, ms(row.Commit), row.Queries, row.QPS)
+		fmt.Fprintf(w, "  %-8s %-10s %12.1f %12.1f %10d %12.0f\n",
+			row.Backend, row.Mode, ms(row.Commit), ms(row.Window), row.Queries, row.QPS)
 	}
 	for _, backend := range []string{"memory", "disk"} {
 		var planned, scanned *QueryThroughputRow

@@ -27,10 +27,15 @@ func NewStore() *Store { return NewStoreWith(storage.NewMemory()) }
 func NewStoreWith(b storage.Backend) *Store {
 	s := &Store{backend: b, collections: make(map[string]*Collection)}
 	for _, name := range b.CollectionNames() {
-		s.collections[name] = newCollection(name, b.Collection(name))
+		s.collections[name] = newCollection(name, b.Collection(name), b)
 	}
 	return s
 }
+
+// Backend returns the storage backend the store runs over — the
+// handle for block-height bracketing (BeginBlock/SealBlock) and the
+// snapshot clock (Visible/Floor).
+func (s *Store) Backend() storage.Backend { return s.backend }
 
 // Collection returns the named collection, creating it on first use —
 // the same lazy semantics MongoDB gives drivers.
@@ -42,7 +47,7 @@ func (s *Store) Collection(name string) *Collection {
 		return c
 	}
 	return s.locked(name, func() *Collection {
-		return newCollection(name, s.backend.Collection(name))
+		return newCollection(name, s.backend.Collection(name), s.backend)
 	})
 }
 
@@ -104,30 +109,49 @@ func (s *Store) Close() error { return s.backend.Close() }
 
 // Collection is a concurrency-safe set of documents keyed by a string
 // primary key. Documents are deep-copied on the way in and out so
-// callers can never alias stored state. Point reads (Get, Has) lock
-// only the key's backend shard; scans and writers coordinate through
-// the collection lock.
+// callers can never alias stored state.
+//
+// Reads come in two flavours. The plain methods (Get, Find, ...) read
+// the writer view — the newest version of every document, including
+// an in-flight block's writes — which is what writers (read-modify-
+// write, duplicate checks) and intra-group readers need. Snapshot /
+// SnapshotAt return an immutable as-of-height view whose reads take
+// no collection lock and no fence: the MVCC read path.
 type Collection struct {
 	name string
 
-	// mu guards the secondary indexes, iteration consistency, and the
-	// dropped flag. Writers hold it exclusively; full scans hold it
-	// shared; point reads and planned (index-backed) reads skip it
-	// entirely (the sharded backend and the indexes' own locks make
-	// them safe), which is what keeps parallel validation's lookups
-	// and the marketplace queries from contending with the commit
-	// writer.
-	mu      sync.RWMutex
-	be      storage.Collection
-	indexes map[string]secondaryIndex
+	// mu guards writers (who must see their own collection's index
+	// maintenance atomically) and the dropped flag. Full scans of the
+	// writer view hold it shared so they see a stable iteration;
+	// point reads, planned (index-backed) reads, and every snapshot
+	// read skip it entirely.
+	mu sync.RWMutex
+	be storage.Collection
+	bk storage.Backend
+
+	// indexes is copy-on-write: writers swap a fresh map under mu,
+	// readers (Plan, FindOrdered) load it with one atomic read.
+	indexes atomic.Pointer[map[string]secondaryIndex]
+
 	dropped atomic.Bool
 	// scans counts executed full collection scans — the observable
 	// tests use to assert a hot path resolves through the planner.
+	// Snapshot full scans count too: they are lock-free but still
+	// O(collection).
 	scans atomic.Uint64
 }
 
-func newCollection(name string, be storage.Collection) *Collection {
-	return &Collection{name: name, be: be, indexes: make(map[string]secondaryIndex)}
+func newCollection(name string, be storage.Collection, bk storage.Backend) *Collection {
+	c := &Collection{name: name, be: be, bk: bk}
+	empty := make(map[string]secondaryIndex)
+	c.indexes.Store(&empty)
+	return c
+}
+
+// indexMap returns the current index handles (copy-on-write; never
+// mutated in place).
+func (c *Collection) indexMap() map[string]secondaryIndex {
+	return *c.indexes.Load()
 }
 
 // Name returns the collection name.
@@ -172,8 +196,9 @@ func (c *Collection) Insert(key string, doc map[string]any) error {
 	if err := c.be.Put(key, cp); err != nil {
 		return err
 	}
-	for _, idx := range c.indexes {
-		idx.add(key, cp)
+	h := c.bk.StampHeight()
+	for _, idx := range c.indexMap() {
+		idx.add(key, cp, h)
 	}
 	return nil
 }
@@ -193,16 +218,17 @@ func (c *Collection) Upsert(key string, doc map[string]any) error {
 	if err := c.be.Put(key, cp); err != nil {
 		return err
 	}
-	for _, idx := range c.indexes {
+	h := c.bk.StampHeight()
+	for _, idx := range c.indexMap() {
 		if existed {
-			idx.remove(key, old)
+			idx.remove(key, old, h)
 		}
-		idx.add(key, cp)
+		idx.add(key, cp, h)
 	}
 	return nil
 }
 
-// Get returns a copy of the document stored under key.
+// Get returns a copy of the document stored under key (writer view).
 func (c *Collection) Get(key string) (map[string]any, error) {
 	if c.dropped.Load() {
 		return nil, &ErrNotFound{Collection: c.name, Key: key}
@@ -214,7 +240,7 @@ func (c *Collection) Get(key string) (map[string]any, error) {
 	return deepCopyMap(doc), nil
 }
 
-// Has reports whether key exists.
+// Has reports whether key exists (writer view).
 func (c *Collection) Has(key string) bool { return !c.dropped.Load() && c.be.Has(key) }
 
 // Delete removes the document under key. Deleting a missing key is a
@@ -232,8 +258,9 @@ func (c *Collection) Delete(key string) error {
 	if err := c.be.Delete(key); err != nil {
 		return err
 	}
-	for _, idx := range c.indexes {
-		idx.remove(key, old)
+	h := c.bk.StampHeight()
+	for _, idx := range c.indexMap() {
+		idx.remove(key, old, h)
 	}
 	return nil
 }
@@ -257,14 +284,15 @@ func (c *Collection) Update(key string, fn func(doc map[string]any) error) error
 	if err := c.be.Put(key, next); err != nil {
 		return err
 	}
-	for _, idx := range c.indexes {
-		idx.remove(key, old)
-		idx.add(key, next)
+	h := c.bk.StampHeight()
+	for _, idx := range c.indexMap() {
+		idx.remove(key, old, h)
+		idx.add(key, next, h)
 	}
 	return nil
 }
 
-// Len returns the number of documents.
+// Len returns the number of documents (writer view).
 func (c *Collection) Len() int {
 	if c.dropped.Load() {
 		return 0
@@ -272,7 +300,7 @@ func (c *Collection) Len() int {
 	return c.be.Len()
 }
 
-// Keys returns the live keys in insertion order.
+// Keys returns the live keys in insertion order (writer view).
 func (c *Collection) Keys() []string {
 	if c.dropped.Load() {
 		return nil
@@ -285,7 +313,7 @@ func (c *Collection) Keys() []string {
 // collection scan. Array values index every element, like MongoDB
 // multikey indexes.
 func (c *Collection) CreateIndex(path string) {
-	c.buildIndex(path, newHashIndex(path))
+	c.buildIndex(path, newHashIndex(path, c.bk.Floor))
 }
 
 // CreateOrderedIndex builds (or rebuilds) a sorted multikey index over
@@ -294,44 +322,72 @@ func (c *Collection) CreateIndex(path string) {
 // and value-ordered iteration (FindOrdered). It replaces any existing
 // index on the path.
 func (c *Collection) CreateOrderedIndex(path string) {
-	c.buildIndex(path, newOrderedIndex(path))
+	c.buildIndex(path, newOrderedIndex(path, c.bk.Floor))
 }
 
 // buildIndex populates idx from the current documents and installs it
 // under the collection's writer lock, so no mutation can slip between
-// the backfill scan and the index going live.
+// the backfill scan and the index going live. Backfilled lifespans
+// are born at height 0 — a deliberate over-claim: snapshot reads
+// re-resolve every candidate against version chains and re-apply the
+// filter, so an over-inclusive candidate set can never produce a
+// wrong result, while documents deleted before the index existed are
+// unreachable below the backend floor anyway (the chain-state indexes
+// are built at open, when floor == visible).
 func (c *Collection) buildIndex(path string, idx secondaryIndex) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.be.Scan(func(key string, doc map[string]any) bool {
-		idx.add(key, doc)
+		idx.add(key, doc, 0)
 		return true
 	})
-	c.indexes[path] = idx
+	cur := c.indexMap()
+	next := make(map[string]secondaryIndex, len(cur)+1)
+	for p, ix := range cur {
+		next[p] = ix
+	}
+	next[path] = idx
+	c.indexes.Store(&next)
 }
 
 // IndexedPaths lists the indexed dot-paths, sorted.
 func (c *Collection) IndexedPaths() []string {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	paths := make([]string, 0, len(c.indexes))
-	for p := range c.indexes {
+	m := c.indexMap()
+	paths := make([]string, 0, len(m))
+	for p := range m {
 		paths = append(paths, p)
 	}
 	sort.Strings(paths)
 	return paths
 }
 
+// Snapshot returns an immutable read view of the collection at the
+// backend's current visible height — the newest committed snapshot.
+func (c *Collection) Snapshot() *Snapshot { return c.SnapshotAt(c.bk.Visible()) }
+
+// SnapshotAt returns an immutable read view of the collection as of
+// block height h. Every read through the view resolves against
+// height-stamped version chains and per-version index lifespans with
+// no fence wait and no collection or shard lock; an in-flight block's
+// writes are invisible until that block seals. Heights must lie in
+// [Backend().Floor(), Backend().Visible()] for exact results; older
+// heights may miss garbage-collected versions ("snapshot too old").
+func (c *Collection) SnapshotAt(h int64) *Snapshot { return &Snapshot{c: c, h: h} }
+
 // Find returns copies of all documents matching filter, in insertion
-// order. A nil filter matches everything.
+// order (writer view). A nil filter matches everything.
 func (c *Collection) Find(filter Filter) []map[string]any {
 	return c.FindLimit(filter, 0)
 }
 
 // FindLimit is Find with a result cap; limit <= 0 means unlimited.
 func (c *Collection) FindLimit(filter Filter, limit int) []map[string]any {
+	return c.findLimitAt(storage.HeightLatest, filter, limit)
+}
+
+func (c *Collection) findLimitAt(h int64, filter Filter, limit int) []map[string]any {
 	var out []map[string]any
-	c.visitCandidates(filter, func(_ string, doc map[string]any) bool {
+	c.visitCandidatesAt(h, filter, func(_ string, doc map[string]any) bool {
 		if filter == nil || filter.Matches(doc) {
 			out = append(out, deepCopyMap(doc))
 			if limit > 0 && len(out) >= limit {
@@ -345,8 +401,12 @@ func (c *Collection) FindLimit(filter Filter, limit int) []map[string]any {
 
 // FindKeys returns the keys of matching documents in insertion order.
 func (c *Collection) FindKeys(filter Filter) []string {
+	return c.findKeysAt(storage.HeightLatest, filter)
+}
+
+func (c *Collection) findKeysAt(h int64, filter Filter) []string {
 	var out []string
-	c.visitCandidates(filter, func(key string, doc map[string]any) bool {
+	c.visitCandidatesAt(h, filter, func(key string, doc map[string]any) bool {
 		if filter == nil || filter.Matches(doc) {
 			out = append(out, key)
 		}
@@ -366,8 +426,12 @@ func (c *Collection) FindOne(filter Filter) (map[string]any, error) {
 
 // Count returns the number of matching documents.
 func (c *Collection) Count(filter Filter) int {
+	return c.countAt(storage.HeightLatest, filter)
+}
+
+func (c *Collection) countAt(h int64, filter Filter) int {
 	n := 0
-	c.visitCandidates(filter, func(_ string, doc map[string]any) bool {
+	c.visitCandidatesAt(h, filter, func(_ string, doc map[string]any) bool {
 		if filter == nil || filter.Matches(doc) {
 			n++
 		}
@@ -376,31 +440,37 @@ func (c *Collection) Count(filter Filter) int {
 	return n
 }
 
-// visitCandidates is the single dispatch every query path shares: a
+// visitCandidatesAt is the single dispatch every query path shares: a
 // dropped collection yields nothing; a filter the planner can compile
-// onto indexes goes through the sharded scan path (no collection
-// lock); everything else full-scans under the collection read lock.
-// fn must apply the filter itself — candidates from a plan are a
-// superset of matches.
-func (c *Collection) visitCandidates(filter Filter, fn func(key string, doc map[string]any) bool) {
+// onto indexes goes through the sharded visit path (no collection
+// lock); everything else full-scans — under the collection read lock
+// for the writer view, lock-free over the version chains for a
+// snapshot height. fn must apply the filter itself — candidates from
+// a plan are a superset of matches.
+func (c *Collection) visitCandidatesAt(h int64, filter Filter, fn func(key string, doc map[string]any) bool) {
 	if c.dropped.Load() {
 		return
 	}
-	if keys, ok := resolveAccess(c.Plan(filter)); ok {
-		c.shardedVisit(keys, fn)
+	if keys, ok := resolveAccess(c.Plan(filter), h); ok {
+		c.shardedVisitAt(h, keys, fn)
 		return
 	}
-	c.scanVisit(fn)
+	c.scanVisitAt(h, fn)
 }
 
-// scanVisit is the full-scan path: the whole collection in insertion
-// order under the collection read lock — serialized, like every write,
-// behind the commit writer.
-func (c *Collection) scanVisit(fn func(key string, doc map[string]any) bool) {
+// scanVisitAt is the full-scan path. At HeightLatest it scans the
+// writer view under the collection read lock — serialized, like every
+// write, behind the commit writer. At a snapshot height it walks the
+// iteration log and version chains with no lock at all.
+func (c *Collection) scanVisitAt(h int64, fn func(key string, doc map[string]any) bool) {
 	c.scans.Add(1)
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	c.be.Scan(fn)
+	if h == storage.HeightLatest {
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+		c.be.Scan(fn)
+		return
+	}
+	c.be.ScanAt(h, fn)
 }
 
 // FullScans reports how many queries executed the full-scan path since
@@ -408,18 +478,16 @@ func (c *Collection) scanVisit(fn func(key string, doc map[string]any) bool) {
 // flat while planned queries run.
 func (c *Collection) FullScans() uint64 { return c.scans.Load() }
 
-// shardedVisit is the sharded scan path: it resolves index candidate
-// keys through shard-locked point reads, restores insertion order
-// from the backend's ord counters, and streams the documents to fn —
-// never taking the collection lock, so index-backed queries (the
-// UTXO / spent-set lookups of block validation) no longer serialize
-// behind the commit writer. The view is per-document consistent:
-// each fetched document is a committed version, but a query racing a
-// writer may miss (or see) that writer's in-flight keys. Readers that
-// need stability against an in-flight block commit order themselves
-// through the commit fence, which holds conflicting footprints back
-// until the block seals.
-func (c *Collection) shardedVisit(keys []string, fn func(key string, doc map[string]any) bool) {
+// shardedVisitAt is the planned path: it resolves index candidate
+// keys through lock-free point reads at height h, restores insertion
+// order from the version chains' ord counters, and streams the
+// documents to fn — never taking the collection lock, so index-backed
+// queries (the UTXO / spent-set lookups of block validation) never
+// serialize behind the commit writer. At HeightLatest the view is
+// per-document consistent (a query racing a writer may miss or see
+// the writer's in-flight keys); at a snapshot height it is exactly
+// the sealed state of that block.
+func (c *Collection) shardedVisitAt(h int64, keys []string, fn func(key string, doc map[string]any) bool) {
 	type cand struct {
 		key string
 		ord uint64
@@ -433,7 +501,7 @@ func (c *Collection) shardedVisit(keys []string, fn func(key string, doc map[str
 		seen[k] = struct{}{}
 		unique = append(unique, k)
 	}
-	ords := c.be.Ords(unique) // one order-lock acquisition for the whole candidate set
+	ords := c.be.OrdsAt(unique, h)
 	cands := make([]cand, 0, len(ords))
 	for _, k := range unique {
 		if ord, ok := ords[k]; ok {
@@ -445,7 +513,7 @@ func (c *Collection) shardedVisit(keys []string, fn func(key string, doc map[str
 	// query (FindOne, FindLimit) that stops early skips the remaining
 	// point reads — the early exit the ordered scan used to provide.
 	for _, it := range cands {
-		doc, ok := c.be.Get(it.key)
+		doc, ok := c.be.GetAt(it.key, h)
 		if !ok {
 			continue
 		}
@@ -464,7 +532,7 @@ func (c *Collection) FindScan(filter Filter) []map[string]any {
 		return nil
 	}
 	var out []map[string]any
-	c.scanVisit(func(_ string, doc map[string]any) bool {
+	c.scanVisitAt(storage.HeightLatest, func(_ string, doc map[string]any) bool {
 		if filter == nil || filter.Matches(doc) {
 			out = append(out, deepCopyMap(doc))
 		}
@@ -480,24 +548,31 @@ func (c *Collection) FindScan(filter Filter) []map[string]any {
 // and a multikey document sorts at its smallest (largest when desc)
 // value.
 //
-// With an ordered index on orderPath the walk streams straight off the
-// index plus shard-locked point reads — no collection lock, and an
-// early limit skips the remaining reads entirely. Without one it falls
-// back to a full scan plus sort.
+// With an ordered index on orderPath the walk streams value groups
+// lazily off the index plus lock-free point reads — no collection
+// lock, O(group) index-lock holds, and an early limit stops the walk
+// after O(limit) work. Without one it falls back to a full scan plus
+// sort.
 func (c *Collection) FindOrdered(filter Filter, orderPath string, desc bool, limit int) []map[string]any {
+	return c.findOrderedAt(storage.HeightLatest, filter, orderPath, desc, limit)
+}
+
+func (c *Collection) findOrderedAt(h int64, filter Filter, orderPath string, desc bool, limit int) []map[string]any {
 	if c.dropped.Load() {
 		return nil
 	}
-	c.mu.RLock()
-	idx := c.indexes[orderPath]
-	c.mu.RUnlock()
-	ord, ok := idx.(*orderedIndex)
+	ord, ok := c.indexMap()[orderPath].(*orderedIndex)
 	if !ok {
-		return c.findOrderedScan(filter, orderPath, desc, limit)
+		return c.findOrderedScanAt(h, filter, orderPath, desc, limit)
 	}
 	var out []map[string]any
 	seen := make(map[string]struct{}) // multikey docs appear under several values
-	for _, group := range ord.valueGroups(desc) {
+	cur := ord.groups(desc)
+	for {
+		group, more := cur.next(h)
+		if !more {
+			return out
+		}
 		fresh := group[:0]
 		for _, k := range group {
 			if _, dup := seen[k]; dup {
@@ -506,7 +581,7 @@ func (c *Collection) FindOrdered(filter Filter, orderPath string, desc bool, lim
 			seen[k] = struct{}{}
 			fresh = append(fresh, k)
 		}
-		ords := c.be.Ords(fresh)
+		ords := c.be.OrdsAt(fresh, h)
 		kept := fresh[:0]
 		for _, k := range fresh {
 			if _, live := ords[k]; live {
@@ -520,7 +595,7 @@ func (c *Collection) FindOrdered(filter Filter, orderPath string, desc bool, lim
 			return ords[kept[i]] < ords[kept[j]]
 		})
 		for _, k := range kept {
-			doc, live := c.be.Get(k)
+			doc, live := c.be.GetAt(k, h)
 			if !live {
 				continue
 			}
@@ -532,12 +607,15 @@ func (c *Collection) FindOrdered(filter Filter, orderPath string, desc bool, lim
 			}
 		}
 	}
-	return out
 }
 
 // findOrderedScan is FindOrdered's no-index fallback: scan, sort by
 // the extreme scalar value at orderPath, then cut to limit.
 func (c *Collection) findOrderedScan(filter Filter, orderPath string, desc bool, limit int) []map[string]any {
+	return c.findOrderedScanAt(storage.HeightLatest, filter, orderPath, desc, limit)
+}
+
+func (c *Collection) findOrderedScanAt(h int64, filter Filter, orderPath string, desc bool, limit int) []map[string]any {
 	type item struct {
 		doc map[string]any
 		val ordValue
@@ -545,7 +623,7 @@ func (c *Collection) findOrderedScan(filter Filter, orderPath string, desc bool,
 	}
 	var items []item
 	seq := 0
-	c.scanVisit(func(_ string, doc map[string]any) bool {
+	c.scanVisitAt(h, func(_ string, doc map[string]any) bool {
 		seq++
 		if filter != nil && !filter.Matches(doc) {
 			return true
@@ -575,6 +653,86 @@ func (c *Collection) findOrderedScan(filter Filter, orderPath string, desc bool,
 		out[i] = it.doc
 	}
 	return out
+}
+
+// Snapshot is an immutable as-of-height read view of one collection.
+// Every method resolves documents and index candidates as they stood
+// when the view's block height sealed, touching no fence, collection
+// lock, or shard lock — concurrent block commits can neither block
+// nor be observed by a snapshot read. Views are cheap (two words);
+// take a fresh one per logical read for the newest sealed state.
+type Snapshot struct {
+	c *Collection
+	h int64
+}
+
+// Height returns the block height the view reads as of.
+func (s *Snapshot) Height() int64 { return s.h }
+
+// Get returns a copy of the document under key as of the view height.
+func (s *Snapshot) Get(key string) (map[string]any, error) {
+	if s.c.dropped.Load() {
+		return nil, &ErrNotFound{Collection: s.c.name, Key: key}
+	}
+	doc, ok := s.c.be.GetAt(key, s.h)
+	if !ok {
+		return nil, &ErrNotFound{Collection: s.c.name, Key: key}
+	}
+	return deepCopyMap(doc), nil
+}
+
+// Has reports whether key existed at the view height.
+func (s *Snapshot) Has(key string) bool {
+	if s.c.dropped.Load() {
+		return false
+	}
+	_, ok := s.c.be.GetAt(key, s.h)
+	return ok
+}
+
+// Len returns the number of documents at the view height.
+func (s *Snapshot) Len() int {
+	if s.c.dropped.Load() {
+		return 0
+	}
+	return s.c.be.LenAt(s.h)
+}
+
+// Keys returns the keys at the view height in insertion order.
+func (s *Snapshot) Keys() []string {
+	if s.c.dropped.Load() {
+		return nil
+	}
+	return s.c.be.KeysAt(s.h)
+}
+
+// Find returns copies of all documents matching filter at the view
+// height, in insertion order.
+func (s *Snapshot) Find(filter Filter) []map[string]any { return s.FindLimit(filter, 0) }
+
+// FindLimit is Find with a result cap; limit <= 0 means unlimited.
+func (s *Snapshot) FindLimit(filter Filter, limit int) []map[string]any {
+	return s.c.findLimitAt(s.h, filter, limit)
+}
+
+// FindKeys returns the keys of matching documents in insertion order.
+func (s *Snapshot) FindKeys(filter Filter) []string { return s.c.findKeysAt(s.h, filter) }
+
+// FindOne returns the first matching document, or ErrNotFound.
+func (s *Snapshot) FindOne(filter Filter) (map[string]any, error) {
+	res := s.FindLimit(filter, 1)
+	if len(res) == 0 {
+		return nil, &ErrNotFound{Collection: s.c.name, Key: "<filter>"}
+	}
+	return res[0], nil
+}
+
+// Count returns the number of matching documents at the view height.
+func (s *Snapshot) Count(filter Filter) int { return s.c.countAt(s.h, filter) }
+
+// FindOrdered is Collection.FindOrdered as of the view height.
+func (s *Snapshot) FindOrdered(filter Filter, orderPath string, desc bool, limit int) []map[string]any {
+	return s.c.findOrderedAt(s.h, filter, orderPath, desc, limit)
 }
 
 // extremeOrdValue finds the smallest (largest when max) scalar value a

@@ -3,6 +3,8 @@ package docstore
 import (
 	"fmt"
 	"sync"
+
+	"smartchaindb/internal/storage"
 )
 
 // secondaryIndex is the maintenance-and-probe surface the collection
@@ -10,36 +12,102 @@ import (
 // (equality probes only) and orderedIndex (equality probes plus range
 // scans and value-ordered iteration; see ordindex.go). The planner
 // type-switches for the capabilities beyond this interface.
+//
+// Indexes are height-aware: every (value, document) pairing carries
+// its visibility lifespans, so probes answer "which documents held
+// this value as of block height h". storage.HeightLatest probes the
+// current (writer-view) contents.
 type secondaryIndex interface {
-	// add / remove maintain the index for one document mutation. They
-	// are called under the collection's writer lock.
-	add(docKey string, doc map[string]any)
-	remove(docKey string, doc map[string]any)
+	// add / remove maintain the index for one document mutation at
+	// block height h. They are called under the collection's writer
+	// lock.
+	add(docKey string, doc map[string]any, h int64)
+	remove(docKey string, doc map[string]any, h int64)
 	// lookupEq returns the candidate document keys holding arg at the
-	// indexed path (a superset for multikey paths; callers re-apply
-	// the filter). estimateEq is its cost-free cardinality estimate,
-	// and containsDoc the O(1) membership probe the planner uses to
-	// intersect without materializing non-driving candidate sets.
-	lookupEq(arg any) []string
+	// indexed path as of height h (a superset for multikey paths;
+	// callers re-apply the filter). estimateEq is its cost-free
+	// cardinality estimate (over current contents — plan choice, not
+	// correctness), and containsDoc the O(1) membership probe the
+	// planner uses to intersect without materializing non-driving
+	// candidate sets.
+	lookupEq(arg any, h int64) []string
 	estimateEq(arg any) int
-	containsDoc(arg any, docKey string) bool
+	containsDoc(arg any, docKey string, h int64) bool
 }
+
+// span is one visibility interval of a (value, document) pairing:
+// the pairing is visible at h iff born <= h and h is below died (an
+// open span has died == spanOpen and additionally covers
+// storage.HeightLatest).
+type span struct{ born, died int64 }
+
+const spanOpen = storage.HeightLatest
+
+// spanList holds one document's lifespans under one value, newest
+// last. Zero-width spans (born == died: added and removed at the same
+// height) are naturally invisible at every height.
+type spanList []span
+
+func (s spanList) aliveAt(h int64) bool {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i].born <= h && (s[i].died == spanOpen || h < s[i].died) {
+			return true
+		}
+	}
+	return false
+}
+
+// open reports whether the newest span is still open.
+func (s spanList) open() bool {
+	return len(s) > 0 && s[len(s)-1].died == spanOpen
+}
+
+// sweep drops spans that closed at or below floor — no supported
+// snapshot can see them — returning the survivors and how many
+// closed-but-live spans remain.
+func (s spanList) sweep(floor int64) (spanList, int) {
+	kept := s[:0]
+	dead := 0
+	for _, sp := range s {
+		if sp.died != spanOpen && sp.died <= floor {
+			continue
+		}
+		if sp.died != spanOpen {
+			dead++
+		}
+		kept = append(kept, sp)
+	}
+	return kept, dead
+}
+
+// idxEntry is one indexed value's document set: lifespans per document
+// key plus the open-span count estimates use.
+type idxEntry struct {
+	docs  map[string]spanList
+	alive int
+}
+
+// sweepThreshold is how many closed spans an index accumulates before
+// amortizing a sweep of the ones below the backend's floor.
+const sweepThreshold = 1024
 
 // hashIndex is a multikey equality index over one dot path: each value
-// reached at the path maps to the set of document keys holding it.
-// The index carries its own lock so index-backed readers can answer
-// candidate lookups without the collection-wide lock — writers mutate
-// it under the collection lock as before, but a scan no longer
-// serializes behind them (the sharded scan path).
+// reached at the path maps to the documents that held it, with
+// visibility lifespans. The index carries its own lock so index-backed
+// readers can answer candidate lookups without the collection-wide
+// lock — writers mutate it under the collection lock as before, but a
+// scan no longer serializes behind them (the sharded scan path).
 type hashIndex struct {
-	path string
+	path    string
+	floorFn func() int64 // backend GC floor: spans closed below it are sweepable
 
-	mu      sync.RWMutex
-	entries map[string]map[string]struct{} // indexKey -> doc keys
+	mu        sync.RWMutex
+	entries   map[string]*idxEntry // indexKey -> value entry
+	deadSpans int
 }
 
-func newHashIndex(path string) *hashIndex {
-	return &hashIndex{path: path, entries: make(map[string]map[string]struct{})}
+func newHashIndex(path string, floorFn func() int64) *hashIndex {
+	return &hashIndex{path: path, floorFn: floorFn, entries: make(map[string]*idxEntry)}
 }
 
 // indexKey renders a scalar into a collision-safe string key. Only
@@ -58,7 +126,7 @@ func indexKey(v any) (string, bool) {
 	return "", false
 }
 
-func (ix *hashIndex) add(docKey string, doc map[string]any) {
+func (ix *hashIndex) add(docKey string, doc map[string]any, h int64) {
 	vals, found := lookupPath(doc, ix.path)
 	if !found {
 		return
@@ -66,14 +134,14 @@ func (ix *hashIndex) add(docKey string, doc map[string]any) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	for _, v := range vals {
-		ix.addValue(docKey, v)
+		ix.addValue(docKey, v, h)
 	}
 }
 
-func (ix *hashIndex) addValue(docKey string, v any) {
+func (ix *hashIndex) addValue(docKey string, v any, h int64) {
 	if arr, ok := v.([]any); ok {
 		for _, e := range arr {
-			ix.addValue(docKey, e)
+			ix.addValue(docKey, e, h)
 		}
 		return
 	}
@@ -81,15 +149,21 @@ func (ix *hashIndex) addValue(docKey string, v any) {
 	if !ok {
 		return
 	}
-	set, exists := ix.entries[k]
+	e, exists := ix.entries[k]
 	if !exists {
-		set = make(map[string]struct{})
-		ix.entries[k] = set
+		e = &idxEntry{docs: make(map[string]spanList)}
+		ix.entries[k] = e
 	}
-	set[docKey] = struct{}{}
+	sl := e.docs[docKey]
+	if sl.open() {
+		// Duplicate occurrence (multikey array): already indexed.
+		return
+	}
+	e.docs[docKey] = append(sl, span{born: h, died: spanOpen})
+	e.alive++
 }
 
-func (ix *hashIndex) remove(docKey string, doc map[string]any) {
+func (ix *hashIndex) remove(docKey string, doc map[string]any, h int64) {
 	vals, found := lookupPath(doc, ix.path)
 	if !found {
 		return
@@ -97,14 +171,15 @@ func (ix *hashIndex) remove(docKey string, doc map[string]any) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	for _, v := range vals {
-		ix.removeValue(docKey, v)
+		ix.removeValue(docKey, v, h)
 	}
+	ix.maybeSweep()
 }
 
-func (ix *hashIndex) removeValue(docKey string, v any) {
+func (ix *hashIndex) removeValue(docKey string, v any, h int64) {
 	if arr, ok := v.([]any); ok {
 		for _, e := range arr {
-			ix.removeValue(docKey, e)
+			ix.removeValue(docKey, e, h)
 		}
 		return
 	}
@@ -112,26 +187,64 @@ func (ix *hashIndex) removeValue(docKey string, v any) {
 	if !ok {
 		return
 	}
-	if set, exists := ix.entries[k]; exists {
-		delete(set, docKey)
-		if len(set) == 0 {
+	e, exists := ix.entries[k]
+	if !exists {
+		return
+	}
+	sl := e.docs[docKey]
+	if !sl.open() {
+		return
+	}
+	sl[len(sl)-1].died = h
+	e.docs[docKey] = sl
+	e.alive--
+	ix.deadSpans++
+}
+
+// maybeSweep amortizes lifespan GC: once enough spans have closed,
+// drop every span no supported snapshot height can reach. Caller
+// holds ix.mu.
+func (ix *hashIndex) maybeSweep() {
+	if ix.deadSpans < sweepThreshold {
+		return
+	}
+	floor := ix.floorFn()
+	remaining := 0
+	for k, e := range ix.entries {
+		for dk, sl := range e.docs {
+			kept, dead := sl.sweep(floor)
+			remaining += dead
+			if len(kept) == 0 {
+				delete(e.docs, dk)
+				continue
+			}
+			e.docs[dk] = kept
+		}
+		if len(e.docs) == 0 {
 			delete(ix.entries, k)
 		}
 	}
+	ix.deadSpans = remaining
 }
 
-// lookupEq answers an equality probe (Eq / Contains candidates).
-func (ix *hashIndex) lookupEq(arg any) []string {
+// lookupEq answers an equality probe (Eq / Contains candidates) as of
+// height h.
+func (ix *hashIndex) lookupEq(arg any, h int64) []string {
 	k, ok := indexKey(arg)
 	if !ok {
 		return nil
 	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	set := ix.entries[k]
-	keys := make([]string, 0, len(set))
-	for dk := range set {
-		keys = append(keys, dk)
+	e := ix.entries[k]
+	if e == nil {
+		return nil
+	}
+	keys := make([]string, 0, e.alive)
+	for dk, sl := range e.docs {
+		if sl.aliveAt(h) {
+			keys = append(keys, dk)
+		}
 	}
 	return keys
 }
@@ -145,17 +258,23 @@ func (ix *hashIndex) estimateEq(arg any) int {
 	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return len(ix.entries[k])
+	if e := ix.entries[k]; e != nil {
+		return e.alive
+	}
+	return 0
 }
 
-// containsDoc reports whether docKey is among the candidates for arg.
-func (ix *hashIndex) containsDoc(arg any, docKey string) bool {
+// containsDoc reports whether docKey is among the candidates for arg
+// as of height h.
+func (ix *hashIndex) containsDoc(arg any, docKey string, h int64) bool {
 	k, ok := indexKey(arg)
 	if !ok {
 		return false
 	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	_, held := ix.entries[k][docKey]
-	return held
+	if e := ix.entries[k]; e != nil {
+		return e.docs[docKey].aliveAt(h)
+	}
+	return false
 }

@@ -1,0 +1,205 @@
+package docstore
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mustInsert(t *testing.T, c *Collection, key string, doc map[string]any) {
+	t.Helper()
+	if err := c.Insert(key, doc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotIsolationAcrossSeal pins the core snapshot contract: a
+// snapshot taken before a block opens keeps reading the pre-block
+// state — mid-block and after the seal — while a fresh snapshot picks
+// up the sealed writes.
+func TestSnapshotIsolationAcrossSeal(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, s *Store) {
+		bk := s.Backend()
+		c := s.Collection("docs")
+		c.CreateIndex("kind")
+		c.CreateOrderedIndex("rank")
+		mustInsert(t, c, "a", map[string]any{"kind": "x", "rank": 1.0})
+		mustInsert(t, c, "b", map[string]any{"kind": "y", "rank": 2.0})
+
+		pre := c.Snapshot()
+		if pre.Height() != bk.Visible() {
+			t.Fatalf("Snapshot height %d, want %d", pre.Height(), bk.Visible())
+		}
+
+		h := bk.Visible() + 1
+		bk.BeginBlock(h)
+		mustInsert(t, c, "cc", map[string]any{"kind": "x", "rank": 3.0})
+		if err := c.Delete("b"); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Update("a", func(doc map[string]any) error {
+			doc["rank"] = 9.0
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+
+		check := func(stage string) {
+			t.Helper()
+			if got := pre.Len(); got != 2 {
+				t.Fatalf("%s: pre.Len = %d, want 2", stage, got)
+			}
+			if doc, err := pre.Get("a"); err != nil || doc["rank"] != 1.0 {
+				t.Fatalf("%s: pre a = %v (%v), want rank 1", stage, doc, err)
+			}
+			if !pre.Has("b") {
+				t.Fatalf("%s: pre lost deleted doc b", stage)
+			}
+			if pre.Has("cc") {
+				t.Fatalf("%s: pre sees doc cc from the newer block", stage)
+			}
+			// Index-planned reads honor the same visibility: the hash
+			// index must not leak cc, and the ordered index must surface
+			// a's old rank.
+			if got := len(pre.Find(Eq("kind", "x"))); got != 1 {
+				t.Fatalf("%s: pre Find(kind=x) = %d docs, want 1", stage, got)
+			}
+			ordered := pre.FindOrdered(nil, "rank", true, 1)
+			if len(ordered) != 1 || ordered[0]["rank"] != 2.0 {
+				t.Fatalf("%s: pre FindOrdered top = %v, want rank 2", stage, ordered)
+			}
+		}
+		check("mid-block")
+		bk.SealBlock(h)
+		check("post-seal")
+
+		post := c.Snapshot()
+		if post.Height() != h {
+			t.Fatalf("post snapshot height %d, want %d", post.Height(), h)
+		}
+		if got, want := post.Keys(), []string{"a", "cc"}; !reflect.DeepEqual(got, want) {
+			t.Fatalf("post.Keys = %v, want %v", got, want)
+		}
+		if doc, err := post.Get("a"); err != nil || doc["rank"] != 9.0 {
+			t.Fatalf("post a = %v (%v), want rank 9", doc, err)
+		}
+		ordered := post.FindOrdered(Eq("kind", "x"), "rank", false, 0)
+		if len(ordered) != 2 || ordered[0]["rank"] != 3.0 || ordered[1]["rank"] != 9.0 {
+			t.Fatalf("post FindOrdered(kind=x) = %v", ordered)
+		}
+		// The old snapshot handle is still pinned to its height.
+		check("after-new-snapshot")
+	})
+}
+
+// TestSnapshotReadsTakeNoCollectionLock is the structural pin for the
+// acceptance criterion "zero locks on the read path": snapshot reads
+// must complete while the collection mutex is held exclusively. If any
+// snapshot read path reacquires c.mu, this test deadlocks and fails
+// by timeout.
+func TestSnapshotReadsTakeNoCollectionLock(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, s *Store) {
+		c := s.Collection("docs")
+		c.CreateIndex("kind")
+		c.CreateOrderedIndex("rank")
+		for i := 0; i < 16; i++ {
+			mustInsert(t, c, fmt.Sprintf("k%02d", i), map[string]any{
+				"kind": fmt.Sprintf("t%d", i%3), "rank": float64(i),
+			})
+		}
+		snap := c.Snapshot()
+
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			snap.Get("k03")
+			snap.Has("k07")
+			snap.Len()
+			snap.Keys()
+			snap.Find(Eq("kind", "t1"))
+			snap.FindKeys(And(Eq("kind", "t0"), Gte("rank", 3.0)))
+			snap.Count(Lte("rank", 8.0))
+			snap.FindOrdered(nil, "rank", true, 5)
+			snap.FindOrdered(Eq("kind", "t2"), "rank", false, 0)
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("snapshot read blocked on the collection lock")
+		}
+	})
+}
+
+// TestSnapshotReadersRaceBlockAppliers is the race-gate pin at the
+// docstore layer: each block rewrites every document with a uniform
+// version stamp, and concurrent snapshot readers must always observe
+// one coherent stamp across the whole collection — never a torn mix
+// of two blocks.
+func TestSnapshotReadersRaceBlockAppliers(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, s *Store) {
+		const blocks = 30
+		const docs = 8
+		bk := s.Backend()
+		bk.SetRetain(blocks + 2)
+		c := s.Collection("docs")
+		c.CreateIndex("kind")
+		for i := 0; i < docs; i++ {
+			mustInsert(t, c, fmt.Sprintf("k%d", i), map[string]any{"v": 0.0, "kind": "d"})
+		}
+
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for r := 0; r < 4; r++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					snap := c.Snapshot()
+					want := -1.0
+					for i := 0; i < docs; i++ {
+						doc, err := snap.Get(fmt.Sprintf("k%d", i))
+						if err != nil {
+							panic(err)
+						}
+						v := doc["v"].(float64)
+						if want < 0 {
+							want = v
+						} else if v != want {
+							panic(fmt.Sprintf("torn snapshot at height %d: saw versions %v and %v",
+								snap.Height(), want, v))
+						}
+					}
+					// The indexed path resolves against the same height.
+					if got := len(snap.Find(Eq("kind", "d"))); got != docs {
+						panic(fmt.Sprintf("indexed read at height %d returned %d docs, want %d",
+							snap.Height(), got, docs))
+					}
+				}
+			}()
+		}
+
+		start := bk.Visible()
+		for h := start + 1; h <= start+blocks; h++ {
+			bk.BeginBlock(h)
+			for i := 0; i < docs; i++ {
+				if err := c.Upsert(fmt.Sprintf("k%d", i), map[string]any{
+					"v": float64(h), "kind": "d",
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			bk.SealBlock(h)
+		}
+		close(stop)
+		wg.Wait()
+	})
+}

@@ -8,17 +8,21 @@ import (
 )
 
 // orderedIndex is a sorted multikey index over one dot path: a skip
-// list of distinct values, each holding the set of document keys that
-// reach the value at the path. On top of the point lookups a hash
-// index answers (Eq, Contains, In), it serves ordered range scans for
-// the comparison operators (Gt/Gte/Lt/Lte) and value-ordered document
-// iteration (Collection.FindOrdered).
+// list of distinct values, each holding the documents that reach the
+// value at the path, with visibility lifespans per (value, document)
+// pairing. On top of the point lookups a hash index answers (Eq,
+// Contains, In), it serves ordered range scans for the comparison
+// operators (Gt/Gte/Lt/Lte) and value-ordered document iteration
+// (Collection.FindOrdered), both as-of any supported block height.
 //
 // Like hashIndex, it carries its own RWMutex: writers mutate it under
 // the collection lock as part of every Insert/Update/Delete, but
-// planned readers take only this lock plus shard-locked point reads —
-// a range scan never serializes behind the commit writer on the
-// collection lock.
+// planned readers take only this lock plus lock-free point reads — a
+// range scan never serializes behind the commit writer on the
+// collection lock. Value-group iteration (FindOrdered) is streaming:
+// the cursor copies one node's visible keys per brief lock
+// acquisition, so a limit-k query allocates O(k) and never holds the
+// lock for the whole index.
 //
 // Ordering follows the filter comparison semantics (compareValues):
 // only numbers compare with numbers and strings with strings, so a
@@ -27,22 +31,30 @@ import (
 // skip list still needs a total order for storage; it uses
 // nil < bool < number < string.
 type orderedIndex struct {
-	path string
+	path    string
+	floorFn func() int64
 
-	mu    sync.RWMutex
-	head  *ordNode            // sentinel; head.next[0] is the first value
-	byKey map[string]*ordNode // indexKey(value) -> node, for point lookups
-	size  int                 // total (value, document) pairs
-	rng   uint64              // deterministic xorshift state for levels
+	mu        sync.RWMutex
+	head      *ordNode            // sentinel; head.next[0] is the first value
+	tail      *ordNode            // last value node, head when empty
+	byKey     map[string]*ordNode // indexKey(value) -> node, for point lookups
+	size      int                 // open (value, document) pairs
+	deadSpans int
+	rng       uint64 // deterministic xorshift state for levels
 }
 
 const ordMaxLevel = 16
 
-// ordNode is one distinct indexed value and its document keys.
+// ordNode is one distinct indexed value and its document lifespans.
+// prev links level 0 backwards so descending iteration streams like
+// ascending. An unlinked node keeps its own next/prev pointers, so a
+// cursor parked on it can still step off into the live list.
 type ordNode struct {
-	val  ordValue
-	docs map[string]struct{}
-	next []*ordNode
+	val   ordValue
+	docs  map[string]spanList
+	alive int // docs with an open span
+	next  []*ordNode
+	prev  *ordNode
 }
 
 // ordValue is a scalar rendered into the index's total order.
@@ -111,12 +123,15 @@ func classFloor(class uint8) ordValue {
 	return ordValue{class: class}
 }
 
-func newOrderedIndex(path string) *orderedIndex {
+func newOrderedIndex(path string, floorFn func() int64) *orderedIndex {
+	head := &ordNode{next: make([]*ordNode, ordMaxLevel)}
 	return &orderedIndex{
-		path:  path,
-		head:  &ordNode{next: make([]*ordNode, ordMaxLevel)},
-		byKey: make(map[string]*ordNode),
-		rng:   0x9e3779b97f4a7c15, // fixed seed: levels are reproducible
+		path:    path,
+		floorFn: floorFn,
+		head:    head,
+		tail:    head,
+		byKey:   make(map[string]*ordNode),
+		rng:     0x9e3779b97f4a7c15, // fixed seed: levels are reproducible
 	}
 }
 
@@ -158,7 +173,7 @@ func (ix *orderedIndex) seekGE(v ordValue) *ordNode {
 
 // add indexes every scalar reached at the path, fanning arrays out to
 // their elements like a MongoDB multikey index.
-func (ix *orderedIndex) add(docKey string, doc map[string]any) {
+func (ix *orderedIndex) add(docKey string, doc map[string]any, h int64) {
 	vals, found := lookupPath(doc, ix.path)
 	if !found {
 		return
@@ -166,14 +181,14 @@ func (ix *orderedIndex) add(docKey string, doc map[string]any) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	for _, v := range vals {
-		ix.addValue(docKey, v)
+		ix.addValue(docKey, v, h)
 	}
 }
 
-func (ix *orderedIndex) addValue(docKey string, v any) {
+func (ix *orderedIndex) addValue(docKey string, v any, h int64) {
 	if arr, ok := v.([]any); ok {
 		for _, e := range arr {
-			ix.addValue(docKey, e)
+			ix.addValue(docKey, e, h)
 		}
 		return
 	}
@@ -182,10 +197,13 @@ func (ix *orderedIndex) addValue(docKey string, v any) {
 		return
 	}
 	if n, exists := ix.byKey[k]; exists {
-		if _, dup := n.docs[docKey]; !dup {
-			n.docs[docKey] = struct{}{}
-			ix.size++
+		sl := n.docs[docKey]
+		if sl.open() {
+			return
 		}
+		n.docs[docKey] = append(sl, span{born: h, died: spanOpen})
+		n.alive++
+		ix.size++
 		return
 	}
 	ov, ok := ordValueOf(v)
@@ -194,16 +212,27 @@ func (ix *orderedIndex) addValue(docKey string, v any) {
 	}
 	var pred [ordMaxLevel]*ordNode
 	ix.preds(ov, &pred)
-	n := &ordNode{val: ov, docs: map[string]struct{}{docKey: {}}, next: make([]*ordNode, ix.randLevel())}
+	n := &ordNode{
+		val:   ov,
+		docs:  map[string]spanList{docKey: {span{born: h, died: spanOpen}}},
+		alive: 1,
+		next:  make([]*ordNode, ix.randLevel()),
+	}
 	for lvl := range n.next {
 		n.next[lvl] = pred[lvl].next[lvl]
 		pred[lvl].next[lvl] = n
+	}
+	n.prev = pred[0]
+	if succ := n.next[0]; succ != nil {
+		succ.prev = n
+	} else {
+		ix.tail = n
 	}
 	ix.byKey[k] = n
 	ix.size++
 }
 
-func (ix *orderedIndex) remove(docKey string, doc map[string]any) {
+func (ix *orderedIndex) remove(docKey string, doc map[string]any, h int64) {
 	vals, found := lookupPath(doc, ix.path)
 	if !found {
 		return
@@ -211,14 +240,15 @@ func (ix *orderedIndex) remove(docKey string, doc map[string]any) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	for _, v := range vals {
-		ix.removeValue(docKey, v)
+		ix.removeValue(docKey, v, h)
 	}
+	ix.maybeSweep()
 }
 
-func (ix *orderedIndex) removeValue(docKey string, v any) {
+func (ix *orderedIndex) removeValue(docKey string, v any, h int64) {
 	if arr, ok := v.([]any); ok {
 		for _, e := range arr {
-			ix.removeValue(docKey, e)
+			ix.removeValue(docKey, e, h)
 		}
 		return
 	}
@@ -230,14 +260,51 @@ func (ix *orderedIndex) removeValue(docKey string, v any) {
 	if !exists {
 		return
 	}
-	if _, held := n.docs[docKey]; !held {
+	sl := n.docs[docKey]
+	if !sl.open() {
 		return
 	}
-	delete(n.docs, docKey)
+	sl[len(sl)-1].died = h
+	n.docs[docKey] = sl
+	n.alive--
 	ix.size--
-	if len(n.docs) > 0 {
+	ix.deadSpans++
+}
+
+// maybeSweep amortizes lifespan GC: once enough spans have closed,
+// drop every span below the backend floor and unlink nodes left with
+// no lifespans at all. Caller holds ix.mu.
+func (ix *orderedIndex) maybeSweep() {
+	if ix.deadSpans < sweepThreshold {
 		return
 	}
+	floor := ix.floorFn()
+	remaining := 0
+	var empty []*ordNode
+	for n := ix.head.next[0]; n != nil; n = n.next[0] {
+		for dk, sl := range n.docs {
+			kept, dead := sl.sweep(floor)
+			remaining += dead
+			if len(kept) == 0 {
+				delete(n.docs, dk)
+				continue
+			}
+			n.docs[dk] = kept
+		}
+		if len(n.docs) == 0 {
+			empty = append(empty, n)
+		}
+	}
+	for _, n := range empty {
+		ix.unlink(n)
+	}
+	ix.deadSpans = remaining
+}
+
+// unlink removes n from the skip list. n keeps its own pointers so a
+// parked cursor can still step forward/backward off it. Caller holds
+// ix.mu.
+func (ix *orderedIndex) unlink(n *ordNode) {
 	var pred [ordMaxLevel]*ordNode
 	ix.preds(n.val, &pred)
 	for lvl := 0; lvl < len(n.next); lvl++ {
@@ -245,18 +312,39 @@ func (ix *orderedIndex) removeValue(docKey string, v any) {
 			pred[lvl].next[lvl] = n.next[lvl]
 		}
 	}
+	if succ := n.next[0]; succ != nil {
+		succ.prev = n.prev
+	} else if ix.tail == n {
+		ix.tail = n.prev
+	}
+	k, _ := indexKey(ordValueScalar(n.val))
 	delete(ix.byKey, k)
 }
 
-// lookupEq answers an equality probe (Eq / Contains candidates).
-func (ix *orderedIndex) lookupEq(arg any) []string {
+// ordValueScalar converts an ordValue back into the scalar indexKey
+// expects — the inverse of ordValueOf for keys held by the index.
+func ordValueScalar(v ordValue) any {
+	switch v.class {
+	case ordClassBool:
+		return v.num != 0
+	case ordClassNumber:
+		return v.num
+	case ordClassString:
+		return v.str
+	}
+	return nil
+}
+
+// lookupEq answers an equality probe (Eq / Contains candidates) as of
+// height h.
+func (ix *orderedIndex) lookupEq(arg any, h int64) []string {
 	k, ok := indexKey(arg)
 	if !ok {
 		return nil
 	}
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return docSetKeys(ix.byKey[k])
+	return docKeysAt(ix.byKey[k], h)
 }
 
 // estimateEq reports the candidate count of an equality probe without
@@ -269,13 +357,14 @@ func (ix *orderedIndex) estimateEq(arg any) int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	if n := ix.byKey[k]; n != nil {
-		return len(n.docs)
+		return n.alive
 	}
 	return 0
 }
 
-// containsDoc reports whether docKey is among the candidates for arg.
-func (ix *orderedIndex) containsDoc(arg any, docKey string) bool {
+// containsDoc reports whether docKey is among the candidates for arg
+// as of height h.
+func (ix *orderedIndex) containsDoc(arg any, docKey string, h int64) bool {
 	k, ok := indexKey(arg)
 	if !ok {
 		return false
@@ -283,8 +372,7 @@ func (ix *orderedIndex) containsDoc(arg any, docKey string) bool {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	if n := ix.byKey[k]; n != nil {
-		_, held := n.docs[docKey]
-		return held
+		return n.docs[docKey].aliveAt(h)
 	}
 	return false
 }
@@ -343,11 +431,12 @@ func (v ordValue) render() string {
 	return "null"
 }
 
-// lookupRange materializes the candidate keys of a range scan: the
-// walk starts at the lower bound (or the class floor) and stops at the
-// upper bound or the end of the class. Keys may repeat across values
-// for multikey documents; callers dedup (shardedVisit does).
-func (ix *orderedIndex) lookupRange(r ordRange) []string {
+// lookupRange materializes the candidate keys of a range scan as of
+// height h: the walk starts at the lower bound (or the class floor)
+// and stops at the upper bound or the end of the class. Keys may
+// repeat across values for multikey documents; callers dedup
+// (shardedVisit does).
+func (ix *orderedIndex) lookupRange(r ordRange, h int64) []string {
 	start := classFloor(r.class)
 	if r.hasLo {
 		start = r.lo
@@ -368,8 +457,10 @@ func (ix *orderedIndex) lookupRange(r ordRange) []string {
 				break
 			}
 		}
-		for dk := range n.docs {
-			out = append(out, dk)
+		for dk, sl := range n.docs {
+			if sl.aliveAt(h) {
+				out = append(out, dk)
+			}
 		}
 	}
 	return out
@@ -412,36 +503,77 @@ func (ix *orderedIndex) estimateRange(r ordRange) int {
 		if nodes++; nodes > ordEstimateNodeBudget {
 			return ix.size
 		}
-		est += len(n.docs)
+		est += n.alive
 	}
 	return est
 }
 
-// valueGroups snapshots the document-key sets in value order (reversed
-// when desc) — the backbone of Collection.FindOrdered. The snapshot is
-// taken under the index lock; point reads resolve afterwards.
-func (ix *orderedIndex) valueGroups(desc bool) [][]string {
-	ix.mu.RLock()
-	groups := make([][]string, 0, len(ix.byKey))
-	for n := ix.head.next[0]; n != nil; n = n.next[0] {
-		groups = append(groups, docSetKeys(n))
-	}
-	ix.mu.RUnlock()
-	if desc {
-		for i, j := 0, len(groups)-1; i < j; i, j = i+1, j-1 {
-			groups[i], groups[j] = groups[j], groups[i]
-		}
-	}
-	return groups
+// groupCursor streams FindOrdered's value groups lazily: each next
+// call copies one node's visible document keys under one brief lock
+// acquisition, then releases the lock before the caller resolves
+// documents. A limit-k query therefore allocates O(k) work instead of
+// materializing every value group of the whole index up front, and
+// the index lock is held O(group) per step rather than O(index) per
+// query. The iteration is weakly consistent against concurrent
+// writers: a node inserted or unlinked between steps may be missed,
+// exactly like the point-in-time snapshot it replaces could miss
+// writes landing after it was taken.
+type groupCursor struct {
+	ix      *orderedIndex
+	desc    bool
+	cur     *ordNode
+	started bool
 }
 
-func docSetKeys(n *ordNode) []string {
+// groups starts a value-ordered group cursor (reversed when desc).
+func (ix *orderedIndex) groups(desc bool) *groupCursor {
+	return &groupCursor{ix: ix, desc: desc}
+}
+
+// next returns the next value group's document keys visible at height
+// h. Groups may be empty (every lifespan at the value misses h); a
+// false second result ends the iteration.
+func (gc *groupCursor) next(h int64) ([]string, bool) {
+	gc.ix.mu.RLock()
+	var n *ordNode
+	switch {
+	case !gc.started:
+		gc.started = true
+		if gc.desc {
+			n = gc.ix.tail
+		} else {
+			n = gc.ix.head.next[0]
+		}
+	case gc.cur == nil:
+	case gc.desc:
+		n = gc.cur.prev
+	default:
+		n = gc.cur.next[0]
+	}
+	if n == gc.ix.head {
+		n = nil
+	}
+	gc.cur = n
+	if n == nil {
+		gc.ix.mu.RUnlock()
+		return nil, false
+	}
+	keys := docKeysAt(n, h)
+	gc.ix.mu.RUnlock()
+	return keys, true
+}
+
+// docKeysAt copies the node's document keys visible at height h.
+// Caller holds ix.mu (shared suffices).
+func docKeysAt(n *ordNode, h int64) []string {
 	if n == nil {
 		return nil
 	}
-	out := make([]string, 0, len(n.docs))
-	for dk := range n.docs {
-		out = append(out, dk)
+	out := make([]string, 0, n.alive)
+	for dk, sl := range n.docs {
+		if sl.aliveAt(h) {
+			out = append(out, dk)
+		}
 	}
 	return out
 }

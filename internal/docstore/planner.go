@@ -68,8 +68,8 @@ type Access struct {
 	Est      int       // estimated candidate count
 	Children []*Access // intersect / union members
 
-	materialize func() []string        // leaves: produce candidates
-	probe       func(docKey string) bool // nil when not probe-capable
+	materialize func(h int64) []string             // leaves: produce candidates as of height h
+	probe       func(docKey string, h int64) bool // nil when not probe-capable
 }
 
 // FullScan reports whether executing this plan takes the collection
@@ -102,19 +102,15 @@ func (a *Access) String() string {
 	return "invalid"
 }
 
-// Plan compiles filter against the collection's current indexes. It
-// takes the collection lock only to snapshot the index handles; all
-// estimation runs under the indexes' own locks. The plan is a
-// point-in-time compilation: it does not follow later CreateIndex
-// calls.
+// Plan compiles filter against the collection's current indexes. The
+// index handle map is copy-on-write (an atomic pointer swap per
+// CreateIndex), so compilation takes no lock at all; estimation runs
+// under the indexes' own locks. The plan is a point-in-time
+// compilation: it does not follow later CreateIndex calls, and its
+// materialize/probe closures answer for whatever height the executor
+// passes, so one plan serves the writer view and snapshot reads alike.
 func (c *Collection) Plan(f Filter) *Access {
-	p := planner{idx: make(map[string]secondaryIndex)}
-	c.mu.RLock()
-	for path, ix := range c.indexes {
-		p.idx[path] = ix
-	}
-	c.mu.RUnlock()
-	return p.compile(Analyze(f))
+	return planner{idx: c.indexMap()}.compile(Analyze(f))
 }
 
 // Explain renders the access plan Find (and every other query entry
@@ -131,8 +127,8 @@ func fullScan(reason string) *Access { return &Access{Kind: AccessFullScan, Reas
 
 func noneAccess() *Access {
 	a := &Access{Kind: AccessNone}
-	a.materialize = func() []string { return nil }
-	a.probe = func(string) bool { return false }
+	a.materialize = func(int64) []string { return nil }
+	a.probe = func(string, int64) bool { return false }
 	return a
 }
 
@@ -215,19 +211,19 @@ func (p planner) pointAccess(ix secondaryIndex, path, op, detail string, args []
 		est += ix.estimateEq(arg)
 	}
 	a := &Access{Kind: AccessPoint, Path: path, Op: op, Detail: detail, Est: est}
-	a.materialize = func() []string {
+	a.materialize = func(h int64) []string {
 		if len(args) == 1 {
-			return ix.lookupEq(args[0])
+			return ix.lookupEq(args[0], h)
 		}
 		var out []string
 		for _, arg := range args {
-			out = append(out, ix.lookupEq(arg)...)
+			out = append(out, ix.lookupEq(arg, h)...)
 		}
 		return out
 	}
-	a.probe = func(docKey string) bool {
+	a.probe = func(docKey string, h int64) bool {
 		for _, arg := range args {
-			if ix.containsDoc(arg, docKey) {
+			if ix.containsDoc(arg, docKey, h) {
 				return true
 			}
 		}
@@ -259,7 +255,7 @@ func (p planner) rangeAccess(ix secondaryIndex, n Node) *Access {
 		r.hi, r.hasHi = ov, true
 	}
 	a := &Access{Kind: AccessRange, Path: n.Path, Op: n.Op, Detail: r.String(), Est: ord.estimateRange(r)}
-	a.materialize = func() []string { return ord.lookupRange(r) }
+	a.materialize = func(h int64) []string { return ord.lookupRange(r, h) }
 	return a
 }
 
@@ -293,8 +289,8 @@ func intersectAccess(children []*Access) *Access {
 	// the rest only shrink its candidates.
 	sort.SliceStable(children, func(i, j int) bool { return children[i].Est < children[j].Est })
 	a := &Access{Kind: AccessIntersect, Est: children[0].Est, Children: children}
-	a.materialize = func() []string {
-		keys := dedupKeys(children[0].materialize())
+	a.materialize = func(h int64) []string {
+		keys := dedupKeys(children[0].materialize(h))
 		for _, ch := range children[1:] {
 			if len(keys) == 0 {
 				return nil
@@ -312,17 +308,17 @@ func intersectAccess(children []*Access) *Access {
 					continue
 				}
 				set := make(map[string]struct{})
-				for _, k := range ch.materialize() {
+				for _, k := range ch.materialize(h) {
 					set[k] = struct{}{}
 				}
-				probe = func(docKey string) bool {
+				probe = func(docKey string, _ int64) bool {
 					_, ok := set[docKey]
 					return ok
 				}
 			}
 			kept := keys[:0]
 			for _, k := range keys {
-				if probe(k) {
+				if probe(k, h) {
 					kept = append(kept, k)
 				}
 			}
@@ -357,10 +353,10 @@ func (p planner) compileOr(children []Node) *Access {
 		return accesses[0]
 	}
 	a := &Access{Kind: AccessUnion, Est: est, Children: accesses}
-	a.materialize = func() []string {
+	a.materialize = func(h int64) []string {
 		var out []string
 		for _, ch := range accesses {
-			out = append(out, ch.materialize()...)
+			out = append(out, ch.materialize(h)...)
 		}
 		return out
 	}
@@ -371,17 +367,17 @@ func (p planner) compileOr(children []Node) *Access {
 // composeProbes builds a composite O(1) membership probe when every
 // child supports one (ranges do not — they cannot answer "does this
 // document hold a value in range" without the document).
-func composeProbes(children []*Access, all bool) func(string) bool {
-	probes := make([]func(string) bool, len(children))
+func composeProbes(children []*Access, all bool) func(string, int64) bool {
+	probes := make([]func(string, int64) bool, len(children))
 	for i, ch := range children {
 		if ch.probe == nil {
 			return nil
 		}
 		probes[i] = ch.probe
 	}
-	return func(docKey string) bool {
+	return func(docKey string, h int64) bool {
 		for _, pr := range probes {
-			if pr(docKey) != all {
+			if pr(docKey, h) != all {
 				return !all
 			}
 		}
@@ -427,12 +423,12 @@ func dedupKeys(keys []string) []string {
 	return out
 }
 
-// resolveAccess executes a plan: the candidate keys and whether the
-// plan avoided a full scan. Candidates may repeat (multikey unions);
-// the sharded visit dedups.
-func resolveAccess(a *Access) ([]string, bool) {
+// resolveAccess executes a plan as of height h: the candidate keys
+// and whether the plan avoided a full scan. Candidates may repeat
+// (multikey unions); the sharded visit dedups.
+func resolveAccess(a *Access, h int64) ([]string, bool) {
 	if a.Kind == AccessFullScan {
 		return nil, false
 	}
-	return a.materialize(), true
+	return a.materialize(h), true
 }

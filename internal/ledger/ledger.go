@@ -61,6 +61,14 @@ func NewStateWith(b storage.Backend) *State {
 			s.lastHeight = h
 		}
 	}
+	// Align the snapshot clock with the recovered chain height, so
+	// View() immediately reads as of the last committed block even if
+	// the backend's own recovery saw a lower stamp (e.g. pre-MVCC data
+	// whose WAL records carry no heights).
+	if b.Visible() < s.lastHeight {
+		b.BeginBlock(s.lastHeight)
+		b.SealBlock(s.lastHeight)
+	}
 	return s
 }
 
@@ -135,6 +143,13 @@ func (s *State) CommitBlockAt(height int64, batch []*txn.Transaction) (committed
 }
 
 func (s *State) commitBlockLocked(height int64, batch []*txn.Transaction) (committed []*txn.Transaction, skipped map[string]error, err error) {
+	// Bracket the block: every write between here and the seal is
+	// stamped with this height and stays invisible to snapshot readers
+	// until SealBlock publishes it atomically. Sealing also
+	// garbage-collects versions that fell out of the retained window.
+	bk := s.store.Backend()
+	bk.BeginBlock(height)
+	defer bk.SealBlock(height)
 	if s.commitWorkers > 1 && len(batch) > 1 {
 		return s.commitBlockPipelined(height, batch, s.commitWorkers)
 	}
@@ -196,147 +211,57 @@ func (s *State) SetChildren(parentID string, children []string) error {
 	})
 }
 
+// The State read API delegates to a fresh snapshot view of the newest
+// sealed block (see view.go): reads never take the commit lock or a
+// collection lock and never observe a half-applied block — a racing
+// commit is invisible until it seals. Callers needing several reads
+// against one consistent state pin a view themselves via View() or
+// StateAt().
+
 // GetTx returns a committed transaction by ID.
-func (s *State) GetTx(id string) (*txn.Transaction, error) {
-	doc, err := s.store.Collection(ColTransactions).Get(id)
-	if err != nil {
-		return nil, &txn.InputDoesNotExistError{TxID: id}
-	}
-	return txn.FromDoc(doc)
-}
+func (s *State) GetTx(id string) (*txn.Transaction, error) { return s.View().GetTx(id) }
 
 // IsCommitted reports whether the transaction exists in the log.
-func (s *State) IsCommitted(id string) bool {
-	return s.store.Collection(ColTransactions).Has(id)
-}
+func (s *State) IsCommitted(id string) bool { return s.View().IsCommitted(id) }
 
 // TxCount returns the number of committed transactions.
-func (s *State) TxCount() int {
-	return s.store.Collection(ColTransactions).Len()
-}
+func (s *State) TxCount() int { return s.View().TxCount() }
 
 // OutputAt resolves an output reference against committed state.
-func (s *State) OutputAt(ref txn.OutputRef) (*txn.Output, error) {
-	t, err := s.GetTx(ref.TxID)
-	if err != nil {
-		return nil, err
-	}
-	if ref.Index < 0 || ref.Index >= len(t.Outputs) {
-		return nil, &txn.ValidationError{Op: t.Operation, Reason: fmt.Sprintf("output index %d out of range (tx has %d outputs)", ref.Index, len(t.Outputs))}
-	}
-	return t.Outputs[ref.Index], nil
-}
+func (s *State) OutputAt(ref txn.OutputRef) (*txn.Output, error) { return s.View().OutputAt(ref) }
 
 // OutputAssetID reports the asset whose shares a committed output
 // holds. For nested parents this differs per output (each mirrors the
 // bid its input spends), so the UTXO record, not the transaction's
 // asset link, is authoritative.
-func (s *State) OutputAssetID(ref txn.OutputRef) (string, bool) {
-	doc, err := s.store.Collection(ColUTXOs).Get(utxoKey(ref))
-	if err != nil {
-		return "", false
-	}
-	id, _ := doc["asset_id"].(string)
-	return id, id != ""
-}
+func (s *State) OutputAssetID(ref txn.OutputRef) (string, bool) { return s.View().OutputAssetID(ref) }
 
 // SpenderOf reports which committed transaction spent ref, if any.
-func (s *State) SpenderOf(ref txn.OutputRef) (string, bool) {
-	doc, err := s.store.Collection(ColUTXOs).Get(utxoKey(ref))
-	if err != nil {
-		return "", false
-	}
-	spender, _ := doc["spent_by"].(string)
-	return spender, spender != ""
-}
+func (s *State) SpenderOf(ref txn.OutputRef) (string, bool) { return s.View().SpenderOf(ref) }
 
 // IsUnspent reports whether ref exists and has not been spent.
-func (s *State) IsUnspent(ref txn.OutputRef) bool {
-	doc, err := s.store.Collection(ColUTXOs).Get(utxoKey(ref))
-	if err != nil {
-		return false
-	}
-	spent, _ := doc["spent"].(bool)
-	return !spent
-}
+func (s *State) IsUnspent(ref txn.OutputRef) bool { return s.View().IsUnspent(ref) }
 
 // UnspentOutputs lists the unspent output references owned by pub.
-func (s *State) UnspentOutputs(pub string) []txn.OutputRef {
-	utxos := s.store.Collection(ColUTXOs)
-	docs := utxos.Find(docstore.And(docstore.Eq("owner", pub), docstore.Eq("spent", false)))
-	refs := make([]txn.OutputRef, 0, len(docs))
-	for _, d := range docs {
-		refs = append(refs, txn.OutputRef{
-			TxID:  d["transaction_id"].(string),
-			Index: int(d["output_index"].(float64)),
-		})
-	}
-	return refs
-}
+func (s *State) UnspentOutputs(pub string) []txn.OutputRef { return s.View().UnspentOutputs(pub) }
 
 // Balance sums the unspent shares pub owns of the given asset.
-func (s *State) Balance(pub, assetID string) uint64 {
-	utxos := s.store.Collection(ColUTXOs)
-	docs := utxos.Find(docstore.And(
-		docstore.Eq("owner", pub),
-		docstore.Eq("spent", false),
-		docstore.Eq("asset_id", assetID),
-	))
-	var sum uint64
-	for _, d := range docs {
-		sum += uint64(d["amount"].(float64))
-	}
-	return sum
-}
+func (s *State) Balance(pub, assetID string) uint64 { return s.View().Balance(pub, assetID) }
 
 // LockedBidsForRFQ implements the validator query getLockedBids: all
 // committed BID transactions referencing the REQUEST whose escrow
 // output (index 0) is still unspent.
 func (s *State) LockedBidsForRFQ(rfqID string) []*txn.Transaction {
-	txs := s.store.Collection(ColTransactions)
-	docs := txs.Find(docstore.And(
-		docstore.Eq("operation", txn.OpBid),
-		docstore.Contains("refs", rfqID),
-	))
-	var out []*txn.Transaction
-	for _, d := range docs {
-		t, err := txn.FromDoc(d)
-		if err != nil {
-			continue
-		}
-		if s.IsUnspent(txn.OutputRef{TxID: t.ID, Index: 0}) {
-			out = append(out, t)
-		}
-	}
-	return out
+	return s.View().LockedBidsForRFQ(rfqID)
 }
 
 // AcceptForRFQ implements getAcceptTxForRFQ: the committed ACCEPT_BID
 // referencing the REQUEST, if one exists.
 func (s *State) AcceptForRFQ(rfqID string) (*txn.Transaction, bool) {
-	txs := s.store.Collection(ColTransactions)
-	docs := txs.FindLimit(docstore.And(
-		docstore.Eq("operation", txn.OpAcceptBid),
-		docstore.Contains("refs", rfqID),
-	), 1)
-	if len(docs) == 0 {
-		return nil, false
-	}
-	t, err := txn.FromDoc(docs[0])
-	if err != nil {
-		return nil, false
-	}
-	return t, true
+	return s.View().AcceptForRFQ(rfqID)
 }
 
 // TxsByOperation lists committed transactions of one operation type.
 func (s *State) TxsByOperation(op string) []*txn.Transaction {
-	docs := s.store.Collection(ColTransactions).Find(docstore.Eq("operation", op))
-	out := make([]*txn.Transaction, 0, len(docs))
-	for _, d := range docs {
-		if t, err := txn.FromDoc(d); err == nil {
-			out = append(out, t)
-		}
-	}
-	return out
+	return s.View().TxsByOperation(op)
 }

@@ -1,0 +1,233 @@
+package ledger
+
+import (
+	"crypto/sha3"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"smartchaindb/internal/docstore"
+	"smartchaindb/internal/txn"
+)
+
+// StateView is an immutable read-only view of the chain state as of
+// one committed block height. Every read resolves against the
+// docstore's height-stamped snapshots: no commit fence, no state
+// lock, no collection lock — a view held across a racing block commit
+// keeps answering from its own height, bit-for-bit stable, while the
+// commit proceeds unblocked.
+//
+// StateView implements txtype.ChainState, so validators run against a
+// pinned view instead of the live state: a verdict computed at height
+// h cannot flicker when the commit pipeline seals h+1 mid-validation.
+type StateView struct {
+	s *State
+	h int64
+}
+
+// View returns a snapshot of the newest committed state — the chain
+// as of the last sealed block. Views are two words; take a fresh one
+// per logical read for the newest height.
+func (s *State) View() *StateView {
+	return &StateView{s: s, h: s.store.Backend().Visible()}
+}
+
+// StateAt returns a snapshot of the chain as of block height h. The
+// height must lie within the retained window [Floor, Visible]:
+// heights above Visible have not committed, heights below Floor have
+// had their versions garbage-collected ("snapshot too old").
+func (s *State) StateAt(h int64) (*StateView, error) {
+	bk := s.store.Backend()
+	lo, hi := bk.Floor(), bk.Visible()
+	if h < lo || h > hi {
+		return nil, fmt.Errorf("ledger: no snapshot at height %d (retained window [%d, %d])", h, lo, hi)
+	}
+	return &StateView{s: s, h: h}, nil
+}
+
+// SetRetain sets how many sealed block heights of version history the
+// backend keeps for StateAt; older versions are garbage-collected as
+// blocks seal. Views already taken below the new floor may miss
+// collected versions.
+func (s *State) SetRetain(heights int64) { s.store.Backend().SetRetain(heights) }
+
+// Height returns the block height the view reads as of.
+func (v *StateView) Height() int64 { return v.h }
+
+func (v *StateView) col(name string) *docstore.Snapshot {
+	return v.s.store.Collection(name).SnapshotAt(v.h)
+}
+
+// Collection returns the docstore snapshot of one chain collection at
+// the view height — the handle the analytics layer runs its planned
+// queries through.
+func (v *StateView) Collection(name string) *docstore.Snapshot { return v.col(name) }
+
+// GetTx returns the transaction committed as of the view height.
+func (v *StateView) GetTx(id string) (*txn.Transaction, error) {
+	doc, err := v.col(ColTransactions).Get(id)
+	if err != nil {
+		return nil, &txn.InputDoesNotExistError{TxID: id}
+	}
+	return txn.FromDoc(doc)
+}
+
+// IsCommitted reports whether the transaction was in the log at the
+// view height.
+func (v *StateView) IsCommitted(id string) bool {
+	return v.col(ColTransactions).Has(id)
+}
+
+// TxCount returns the number of transactions committed by the view
+// height.
+func (v *StateView) TxCount() int { return v.col(ColTransactions).Len() }
+
+// OutputAt resolves an output reference at the view height.
+func (v *StateView) OutputAt(ref txn.OutputRef) (*txn.Output, error) {
+	t, err := v.GetTx(ref.TxID)
+	if err != nil {
+		return nil, err
+	}
+	if ref.Index < 0 || ref.Index >= len(t.Outputs) {
+		return nil, &txn.ValidationError{Op: t.Operation, Reason: fmt.Sprintf("output index %d out of range (tx has %d outputs)", ref.Index, len(t.Outputs))}
+	}
+	return t.Outputs[ref.Index], nil
+}
+
+// OutputAssetID reports the asset whose shares the output held at the
+// view height.
+func (v *StateView) OutputAssetID(ref txn.OutputRef) (string, bool) {
+	doc, err := v.col(ColUTXOs).Get(utxoKey(ref))
+	if err != nil {
+		return "", false
+	}
+	id, _ := doc["asset_id"].(string)
+	return id, id != ""
+}
+
+// SpenderOf reports which transaction had spent ref as of the view
+// height, if any.
+func (v *StateView) SpenderOf(ref txn.OutputRef) (string, bool) {
+	doc, err := v.col(ColUTXOs).Get(utxoKey(ref))
+	if err != nil {
+		return "", false
+	}
+	spender, _ := doc["spent_by"].(string)
+	return spender, spender != ""
+}
+
+// IsUnspent reports whether ref existed and was unspent at the view
+// height.
+func (v *StateView) IsUnspent(ref txn.OutputRef) bool {
+	doc, err := v.col(ColUTXOs).Get(utxoKey(ref))
+	if err != nil {
+		return false
+	}
+	spent, _ := doc["spent"].(bool)
+	return !spent
+}
+
+// UnspentOutputs lists the output references pub owned unspent at the
+// view height.
+func (v *StateView) UnspentOutputs(pub string) []txn.OutputRef {
+	docs := v.col(ColUTXOs).Find(docstore.And(docstore.Eq("owner", pub), docstore.Eq("spent", false)))
+	refs := make([]txn.OutputRef, 0, len(docs))
+	for _, d := range docs {
+		refs = append(refs, txn.OutputRef{
+			TxID:  d["transaction_id"].(string),
+			Index: int(d["output_index"].(float64)),
+		})
+	}
+	return refs
+}
+
+// Balance sums the unspent shares pub owned of the asset at the view
+// height.
+func (v *StateView) Balance(pub, assetID string) uint64 {
+	docs := v.col(ColUTXOs).Find(docstore.And(
+		docstore.Eq("owner", pub),
+		docstore.Eq("spent", false),
+		docstore.Eq("asset_id", assetID),
+	))
+	var sum uint64
+	for _, d := range docs {
+		sum += uint64(d["amount"].(float64))
+	}
+	return sum
+}
+
+// LockedBidsForRFQ is State.LockedBidsForRFQ at the view height: both
+// the BID lookup and the escrow-unspent check read the same snapshot,
+// so a commit landing mid-query cannot produce a bid list no single
+// chain state ever held.
+func (v *StateView) LockedBidsForRFQ(rfqID string) []*txn.Transaction {
+	docs := v.col(ColTransactions).Find(docstore.And(
+		docstore.Eq("operation", txn.OpBid),
+		docstore.Contains("refs", rfqID),
+	))
+	var out []*txn.Transaction
+	for _, d := range docs {
+		t, err := txn.FromDoc(d)
+		if err != nil {
+			continue
+		}
+		if v.IsUnspent(txn.OutputRef{TxID: t.ID, Index: 0}) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// AcceptForRFQ returns the ACCEPT_BID referencing the REQUEST as of
+// the view height, if one had committed.
+func (v *StateView) AcceptForRFQ(rfqID string) (*txn.Transaction, bool) {
+	docs := v.col(ColTransactions).FindLimit(docstore.And(
+		docstore.Eq("operation", txn.OpAcceptBid),
+		docstore.Contains("refs", rfqID),
+	), 1)
+	if len(docs) == 0 {
+		return nil, false
+	}
+	t, err := txn.FromDoc(docs[0])
+	if err != nil {
+		return nil, false
+	}
+	return t, true
+}
+
+// TxsByOperation lists the transactions of one operation type
+// committed by the view height.
+func (v *StateView) TxsByOperation(op string) []*txn.Transaction {
+	docs := v.col(ColTransactions).Find(docstore.Eq("operation", op))
+	out := make([]*txn.Transaction, 0, len(docs))
+	for _, d := range docs {
+		if t, err := txn.FromDoc(d); err == nil {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Fingerprint digests the chain state as it stood at the view height —
+// the same canonical encoding as State.Fingerprint, computed from the
+// snapshot with no state lock. A view's fingerprint is byte-identical
+// to the live fingerprint of a node that stopped committing at the
+// view's block, which is exactly what the MVCC differential tests pin.
+func (v *StateView) Fingerprint() string {
+	h := sha3.New256()
+	for _, col := range []string{ColTransactions, ColUTXOs, ColAssets} {
+		snap := v.col(col)
+		keys := snap.Keys()
+		sort.Strings(keys)
+		h.Write([]byte(col))
+		for _, key := range keys {
+			doc, err := snap.Get(key)
+			if err != nil {
+				continue
+			}
+			h.Write([]byte(key))
+			h.Write(txn.CanonicalizeDoc(doc))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

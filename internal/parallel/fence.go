@@ -4,12 +4,21 @@ import "sync"
 
 // Fence is the commit fence of the pipelined commit path: while one
 // block's apply phase runs on the commit resource, its declarative
-// write footprint is published here, and readers at the next height
-// consult it before touching state. A reader whose own footprint
-// intersects the in-flight write set blocks until the block seals; a
-// disjoint reader proceeds immediately — the declarative counterpart
-// of the snapshot the pipelined-execution literature isolates
-// concurrent blocks with.
+// write footprint is published here, and the *validation* paths at
+// the next height consult it before computing verdicts. A validation
+// whose own footprint intersects the in-flight write set blocks until
+// the block seals; a disjoint one proceeds immediately.
+//
+// The fence is a verdict-ordering device, not a read barrier: since
+// the storage layer grew height-stamped MVCC snapshots, plain reads
+// (queries, analytics, fingerprint-at-height) never consult the fence
+// — they resolve against the last sealed block's snapshot and can run
+// concurrently with the appliers no matter whose footprint they
+// touch. What remains fenced is the cross-height data dependency:
+// a verdict for height h+1 whose footprint overlaps block h's writes
+// must be computed *after* h seals, or replicas deciding at different
+// points of the apply phase would disagree. Writer-writer ordering
+// (Begin waits for the previous End) also stays.
 //
 // At most one commit is in flight at a time: Begin for block h+1
 // waits for block h's End, so blocks seal in height order. The zero

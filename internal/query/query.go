@@ -9,12 +9,19 @@
 // the ledger's index registry (ledger.ChainIndexes): candidate sets
 // come from index points, ordered-index range scans, intersections,
 // and unions — never a collection-lock full scan on the transactions,
-// UTXO, or asset collections, so analytics keep running while the
-// commit writer holds the collection locks. The open-requests
-// anti-join is an indexed difference (all REQUESTs minus the RFQ ids
-// the committed ACCEPT_BIDs reference) instead of a per-RFQ probe
-// loop, and the recency/price-band queries stream off the ordered
-// timestamp and amount indexes.
+// UTXO, or asset collections. The open-requests anti-join is an
+// indexed difference (all REQUESTs minus the RFQ ids the committed
+// ACCEPT_BIDs reference) instead of a per-RFQ probe loop, and the
+// recency/price-band queries stream off the ordered timestamp and
+// amount indexes.
+//
+// Each call pins one MVCC snapshot of the last sealed block
+// (ledger.StateView) and runs every read of the query against it:
+// analytics take no commit fence and no collection lock, cannot block
+// — or be blocked by — a concurrent block commit, and can never
+// observe a half-applied block, even for multi-collection queries
+// like the auction outcome. AsOf rewinds the whole engine to an
+// earlier retained height.
 package query
 
 import (
@@ -28,17 +35,39 @@ import (
 // Engine answers marketplace queries over one node's chain state.
 type Engine struct {
 	state *ledger.State
+	asOf  *ledger.StateView // nil: newest sealed block, pinned per call
 }
 
-// New creates a query engine over a chain state.
+// New creates a query engine over a chain state. Every call answers as
+// of the newest sealed block at the time of the call.
 func New(state *ledger.State) *Engine { return &Engine{state: state} }
 
-func (e *Engine) transactions() *docstore.Collection {
-	return e.state.Store().Collection(ledger.ColTransactions)
+// AsOf returns an engine answering every query as of block height h —
+// time-travel analytics over the retained version window. It fails
+// like ledger.StateAt when h is above the last sealed block or below
+// the garbage-collection floor.
+func (e *Engine) AsOf(h int64) (*Engine, error) {
+	v, err := e.state.StateAt(h)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{state: e.state, asOf: v}, nil
 }
 
-func (e *Engine) utxos() *docstore.Collection {
-	return e.state.Store().Collection(ledger.ColUTXOs)
+// view pins the chain snapshot one query call runs against.
+func (e *Engine) view() *ledger.StateView {
+	if e.asOf != nil {
+		return e.asOf
+	}
+	return e.state.View()
+}
+
+func transactions(v *ledger.StateView) *docstore.Snapshot {
+	return v.Collection(ledger.ColTransactions)
+}
+
+func utxos(v *ledger.StateView) *docstore.Snapshot {
+	return v.Collection(ledger.ColUTXOs)
 }
 
 // txsFromDocs decodes stored documents, skipping any that fail to
@@ -56,8 +85,8 @@ func txsFromDocs(docs []map[string]any) []*txn.Transaction {
 // acceptedRFQs collects the RFQ ids every committed ACCEPT_BID
 // references — one planned point query on the operation index, and the
 // left side of the open-requests indexed difference.
-func (e *Engine) acceptedRFQs() []any {
-	docs := e.transactions().Find(docstore.Eq("operation", txn.OpAcceptBid))
+func acceptedRFQs(v *ledger.StateView) []any {
+	docs := transactions(v).Find(docstore.Eq("operation", txn.OpAcceptBid))
 	var ids []any
 	for _, d := range docs {
 		refs, _ := d["refs"].([]any)
@@ -69,11 +98,13 @@ func (e *Engine) acceptedRFQs() []any {
 // openRequestsFilter is the anti-join as one declarative filter:
 // committed REQUESTs whose id is not among the accepted RFQ ids. The
 // operation index drives; the Not(In(...)) difference is a residual
-// check on the candidates, never a scan.
-func (e *Engine) openRequestsFilter(extra ...docstore.Filter) docstore.Filter {
+// check on the candidates, never a scan. Both sides read the same
+// snapshot, so an ACCEPT_BID sealing mid-query cannot yield a REQUEST
+// that is simultaneously open and accepted.
+func openRequestsFilter(v *ledger.StateView, extra ...docstore.Filter) docstore.Filter {
 	fs := append([]docstore.Filter{
 		docstore.Eq("operation", txn.OpRequest),
-		docstore.Not(docstore.In("id", e.acceptedRFQs()...)),
+		docstore.Not(docstore.In("id", acceptedRFQs(v)...)),
 	}, extra...)
 	return docstore.And(fs...)
 }
@@ -81,7 +112,8 @@ func (e *Engine) openRequestsFilter(extra ...docstore.Filter) docstore.Filter {
 // OpenRequests lists committed REQUESTs with no ACCEPT_BID yet — the
 // indexed difference between the REQUEST set and the accepted-RFQ set.
 func (e *Engine) OpenRequests() []*txn.Transaction {
-	return txsFromDocs(e.transactions().Find(e.openRequestsFilter()))
+	v := e.view()
+	return txsFromDocs(transactions(v).Find(openRequestsFilter(v)))
 }
 
 // OpenRequestsWithCapability filters open requests by one required
@@ -89,7 +121,8 @@ func (e *Engine) OpenRequests() []*txn.Transaction {
 // by a manufacturing provider looking for work. The capability index
 // intersects with the operation index before any document is fetched.
 func (e *Engine) OpenRequestsWithCapability(capability string) []*txn.Transaction {
-	return txsFromDocs(e.transactions().Find(e.openRequestsFilter(
+	v := e.view()
+	return txsFromDocs(transactions(v).Find(openRequestsFilter(v,
 		docstore.Contains("asset.data.capabilities", capability),
 	)))
 }
@@ -99,15 +132,16 @@ func (e *Engine) OpenRequestsWithCapability(capability string) []*txn.Transactio
 // off the ordered timestamp index — the "what just arrived?" feed a
 // provider polls. Requests without a timestamp are not listed.
 func (e *Engine) RecentOpenRequests(limit int) []*txn.Transaction {
-	return txsFromDocs(e.transactions().FindOrdered(
-		e.openRequestsFilter(), "metadata.timestamp", true, limit,
+	v := e.view()
+	return txsFromDocs(transactions(v).FindOrdered(
+		openRequestsFilter(v), "metadata.timestamp", true, limit,
 	))
 }
 
 // BidsForRequest lists every BID ever placed for a REQUEST, locked or
 // settled — the intersection of the operation and reference indexes.
 func (e *Engine) BidsForRequest(rfqID string) []*txn.Transaction {
-	return txsFromDocs(e.transactions().Find(docstore.And(
+	return txsFromDocs(transactions(e.view()).Find(docstore.And(
 		docstore.Eq("operation", txn.OpBid),
 		docstore.Contains("refs", rfqID),
 	)))
@@ -116,7 +150,7 @@ func (e *Engine) BidsForRequest(rfqID string) []*txn.Transaction {
 // BidsByAccount lists the BIDs a given account has placed (its inputs
 // carry the account as owner-before).
 func (e *Engine) BidsByAccount(pub string) []*txn.Transaction {
-	return txsFromDocs(e.transactions().Find(docstore.And(
+	return txsFromDocs(transactions(e.view()).Find(docstore.And(
 		docstore.Eq("operation", txn.OpBid),
 		docstore.Eq("inputs.owners_before", pub),
 	)))
@@ -127,7 +161,7 @@ func (e *Engine) BidsByAccount(pub string) []*txn.Transaction {
 // intersected with the operation index, the price-discovery query a
 // requester runs before accepting.
 func (e *Engine) BidsInPriceBand(lo, hi uint64) []*txn.Transaction {
-	return txsFromDocs(e.transactions().Find(docstore.And(
+	return txsFromDocs(transactions(e.view()).Find(docstore.And(
 		docstore.Eq("operation", txn.OpBid),
 		docstore.Gte("outputs.amount", lo),
 		docstore.Lte("outputs.amount", hi),
@@ -145,14 +179,18 @@ type Outcome struct {
 }
 
 // AuctionOutcome reconstructs who won a REQUEST and whether every
-// escrow return has settled — the workflow-provenance query.
+// escrow return has settled — the workflow-provenance query. The
+// auction structure (accept, winning bid, losers) reads one snapshot;
+// settlement status reads the live recovery log, which trails the
+// snapshot by design — children commit in later blocks.
 func (e *Engine) AuctionOutcome(rfqID string) (*Outcome, bool) {
-	accept, ok := e.state.AcceptForRFQ(rfqID)
+	v := e.view()
+	accept, ok := v.AcceptForRFQ(rfqID)
 	if !ok {
 		return nil, false
 	}
 	out := &Outcome{RFQID: rfqID, AcceptID: accept.ID, WinningBid: accept.AssetID()}
-	if win, err := e.state.GetTx(accept.AssetID()); err == nil && len(win.Outputs) > 0 && len(win.Outputs[0].PrevOwners) > 0 {
+	if win, err := v.GetTx(accept.AssetID()); err == nil && len(win.Outputs) > 0 && len(win.Outputs[0].PrevOwners) > 0 {
 		out.Winner = win.Outputs[0].PrevOwners[0]
 	}
 	for i, o := range accept.Outputs {
@@ -176,20 +214,23 @@ type ProvenanceStep struct {
 
 // AssetProvenance walks an asset's ownership chain from its CREATE to
 // the current unspent holder — the audit/fraud-analysis query class.
-// Every hop is a shard-locked point read.
+// Every hop is a lock-free point read against the same snapshot, so
+// the walk can never chase a spender edge into a block that sealed
+// after the walk started.
 func (e *Engine) AssetProvenance(assetID string) []ProvenanceStep {
+	v := e.view()
 	var steps []ProvenanceStep
 	cur := assetID
 	seen := make(map[string]bool)
 	for !seen[cur] {
 		seen[cur] = true
-		t, err := e.state.GetTx(cur)
+		t, err := v.GetTx(cur)
 		if err != nil {
 			break
 		}
 		steps = append(steps, ProvenanceStep{TxID: t.ID, Operation: t.Operation, Owners: t.OwnerSet()})
 		// Follow the spender of this transaction's first output.
-		spender, ok := e.state.SpenderOf(txn.OutputRef{TxID: t.ID, Index: 0})
+		spender, ok := v.SpenderOf(txn.OutputRef{TxID: t.ID, Index: 0})
 		if !ok {
 			break
 		}
@@ -201,12 +242,12 @@ func (e *Engine) AssetProvenance(assetID string) []ProvenanceStep {
 // HolderOf reports who currently holds unspent shares of an asset —
 // the asset-id index intersected with the unspent set.
 func (e *Engine) HolderOf(assetID string) map[string]uint64 {
-	utxos := e.utxos().Find(docstore.And(
+	docs := utxos(e.view()).Find(docstore.And(
 		docstore.Eq("asset_id", assetID),
 		docstore.Eq("spent", false),
 	))
 	holders := make(map[string]uint64)
-	for _, d := range utxos {
+	for _, d := range docs {
 		owners, _ := d["owner"].([]any)
 		amt, _ := d["amount"].(float64)
 		for _, o := range owners {
@@ -222,7 +263,7 @@ func (e *Engine) HolderOf(assetID string) map[string]uint64 {
 // [lo, hi] — the value-band analytics sweep over the ordered amount
 // index, intersected with the unspent set.
 func (e *Engine) HoldingsInBand(lo, hi uint64) []txn.OutputRef {
-	docs := e.utxos().Find(docstore.And(
+	docs := utxos(e.view()).Find(docstore.And(
 		docstore.Eq("spent", false),
 		docstore.Gte("amount", lo),
 		docstore.Lte("amount", hi),
@@ -240,7 +281,7 @@ func (e *Engine) HoldingsInBand(lo, hi uint64) []txn.OutputRef {
 // capability — the provider-side discovery query, driven by the
 // capability index on the asset collection.
 func (e *Engine) AssetsWithCapability(capability string) []string {
-	docs := e.state.Store().Collection(ledger.ColAssets).Find(docstore.And(
+	docs := e.view().Collection(ledger.ColAssets).Find(docstore.And(
 		docstore.Eq("operation", txn.OpCreate),
 		docstore.Contains("data.capabilities", capability),
 	))
@@ -255,11 +296,13 @@ func (e *Engine) AssetsWithCapability(capability string) []string {
 }
 
 // OperationCounts tallies committed transactions per operation — the
-// basic business-intelligence rollup, one index point count each.
+// basic business-intelligence rollup, one index point count each, all
+// against one snapshot so the tallies sum to a real chain state.
 func (e *Engine) OperationCounts() map[string]int {
+	txs := transactions(e.view())
 	counts := make(map[string]int)
 	for _, op := range txn.Operations() {
-		if n := e.transactions().Count(docstore.Eq("operation", op)); n > 0 {
+		if n := txs.Count(docstore.Eq("operation", op)); n > 0 {
 			counts[op] = n
 		}
 	}

@@ -226,7 +226,7 @@ func TestEngineNeverFullScans(t *testing.T) {
 	// The canonical filters also explain to planned access shapes.
 	txs := store.Collection(ledger.ColTransactions)
 	for name, f := range map[string]docstore.Filter{
-		"open-requests": e.openRequestsFilter(),
+		"open-requests": openRequestsFilter(e.view()),
 		"bids-for-request": docstore.And(
 			docstore.Eq("operation", txn.OpBid),
 			docstore.Contains("refs", m.settled.Request.ID)),

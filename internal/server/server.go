@@ -118,10 +118,14 @@ type Node struct {
 	planTxs []*txn.Transaction
 	plan    *parallel.Plan
 
-	// fence orders reads against the in-flight asynchronous block
+	// fence orders validation against the in-flight asynchronous block
 	// commit: while a block applies in the background its write
 	// footprint is published here, and validation paths whose
-	// footprints intersect it wait for the seal.
+	// footprints intersect it wait for the seal — a cross-height data
+	// dependency (a verdict at h+1 must observe h's overlapping
+	// writes), not a memory-safety requirement. Plain reads — queries,
+	// analytics, fingerprints — take no fence at all: they run on MVCC
+	// snapshots of the last sealed block (ledger.StateView).
 	fence parallel.Fence
 
 	submitChild nested.Submitter
@@ -227,13 +231,15 @@ func (n *Node) Nested() *nested.Engine { return n.nested }
 // operation against committed state. If an asynchronous block commit
 // is in flight and this transaction's footprint touches its writes,
 // the check waits for the seal; disjoint transactions validate
-// concurrently with the appliers.
+// concurrently with the appliers. The condition set then runs against
+// a pinned snapshot of the newest sealed block, so a commit landing
+// mid-validation cannot flip individual reads under the verdict.
 func (n *Node) ValidateTx(t *txn.Transaction) error {
 	if err := n.schemas.ValidateTx(t); err != nil {
 		return err
 	}
 	n.fence.WaitKeys(parallel.TouchKeys([]*txn.Transaction{t}))
-	ctx := &txtype.Context{State: n.state, Reserved: n.reserved}
+	ctx := &txtype.Context{State: n.state.View(), Reserved: n.reserved}
 	return n.types.Validate(ctx, t)
 }
 
@@ -334,7 +340,11 @@ func (n *Node) CheckTxBatch(txs []consensus.Tx) map[string]error {
 	} else {
 		n.fence.WaitKeys(parallel.TouchKeys(batch))
 	}
-	res := sched.ValidateBatchPlan(n.types, n.state, n.reserved, batch, plan)
+	// One snapshot for the whole batch: every worker's condition set
+	// reads the same sealed height (the one the fence wait just
+	// guaranteed covers the batch's footprints), so the verdict set is
+	// deterministic even with commits racing in the background.
+	res := sched.ValidateBatchPlan(n.types, n.state.View(), n.reserved, batch, plan)
 	for id, err := range res.Errs {
 		errs[id] = err
 	}
@@ -385,7 +395,7 @@ func (n *Node) ValidateBlockFresh(txs []consensus.Tx, fresh []bool) []consensus.
 	} else {
 		n.fence.WaitKeys(parallel.TouchKeys(batch))
 	}
-	res := n.sched.ValidateBatchFresh(n.types, n.state, n.reserved, batch, plan, freshBatch)
+	res := n.sched.ValidateBatchFresh(n.types, n.state.View(), n.reserved, batch, plan, freshBatch)
 	rejected := make(map[*txn.Transaction]bool, len(res.Invalid))
 	for _, t := range res.Invalid {
 		rejected[t] = true

@@ -78,20 +78,33 @@ func Open(dir string, opts Options) (*Engine, error) {
 		return nil, err
 	}
 	e.gen = man.Gen
+	var maxH int64
 	for _, seg := range man.Segments {
-		if err := loadSegment(filepath.Join(dir, seg), e.mem); err != nil {
+		h, err := loadSegment(filepath.Join(dir, seg), e.mem)
+		if err != nil {
 			e.unlock()
 			return nil, err
+		}
+		if h > maxH {
+			maxH = h
 		}
 	}
 	walPath := filepath.Join(dir, man.WAL)
 	size, err := replayWAL(walPath, func(payload []byte) error {
-		return decodeGroup(payload, e.applyToMem)
+		return decodeGroup(payload, func(h int64, m mutation) error {
+			if h > maxH {
+				maxH = h
+			}
+			return e.applyToMem(h, m)
+		})
 	})
 	if err != nil {
 		e.unlock()
 		return nil, err
 	}
+	// Snapshot visibility starts at the highest recovered height with
+	// no history below it: version history does not survive a restart.
+	e.mem.recoverClock(maxH)
 	e.wal, err = openWALForAppend(walPath, size, opts.NoSync)
 	if err != nil {
 		e.unlock()
@@ -107,17 +120,20 @@ func Open(dir string, opts Options) (*Engine, error) {
 	return e, nil
 }
 
-// applyToMem replays one recovered mutation into the memtable.
-func (e *Engine) applyToMem(m mutation) error {
+// applyToMem replays one recovered mutation into the memtable at its
+// logged block height.
+func (e *Engine) applyToMem(h int64, m mutation) error {
 	switch m.op {
 	case opPut:
 		doc, err := unmarshalDoc(m.doc)
 		if err != nil {
 			return err
 		}
-		return e.mem.coll(m.coll).Put(m.key, doc)
+		e.mem.coll(m.coll).putReplay(m.key, doc, h)
+		return nil
 	case opDelete:
-		return e.mem.coll(m.coll).Delete(m.key)
+		e.mem.coll(m.coll).deleteReplay(m.key, h)
+		return nil
 	case opDrop:
 		return e.mem.Drop(m.coll)
 	}
@@ -148,7 +164,7 @@ func (e *Engine) apply(m mutation, memApply func() error) error {
 	e.stageMu.Unlock()
 	e.compactMu.RLock()
 	defer e.compactMu.RUnlock()
-	if err := e.commitPayload(encodeGroup([]mutation{m})); err != nil {
+	if err := e.commitPayload(encodeGroup(e.mem.StampHeight(), []mutation{m})); err != nil {
 		return err
 	}
 	return memApply()
@@ -212,7 +228,9 @@ func (e *Engine) group(fn func() error) (err error) {
 		if len(staged) == 0 {
 			return nil
 		}
-		return e.commitPayload(encodeGroup(staged))
+		// The group flushes before its block seals, so the stamp still
+		// names the height the staged memtable writes carried.
+		return e.commitPayload(encodeGroup(e.mem.StampHeight(), staged))
 	}
 	defer func() {
 		// A flush failure outranks fn's error: it means acknowledged
@@ -247,6 +265,24 @@ func (e *Engine) Collection(name string) Collection {
 
 // CollectionNames lists existing collections, sorted.
 func (e *Engine) CollectionNames() []string { return e.mem.CollectionNames() }
+
+// BeginBlock opens block h on the engine's height clock.
+func (e *Engine) BeginBlock(h int64) { e.mem.BeginBlock(h) }
+
+// SealBlock publishes block h and garbage-collects stale versions.
+func (e *Engine) SealBlock(h int64) { e.mem.SealBlock(h) }
+
+// Visible returns the highest sealed height.
+func (e *Engine) Visible() int64 { return e.mem.Visible() }
+
+// Floor returns the lowest height snapshot reads are exact for.
+func (e *Engine) Floor() int64 { return e.mem.Floor() }
+
+// StampHeight returns the height the next write is stamped with.
+func (e *Engine) StampHeight() int64 { return e.mem.StampHeight() }
+
+// SetRetain sets K, the number of sealed heights retained.
+func (e *Engine) SetRetain(k int64) { e.mem.SetRetain(k) }
 
 // Drop removes a collection and logs the removal.
 func (e *Engine) Drop(name string) error {
@@ -365,8 +401,12 @@ func (c *engineColl) mem() *MemCollection { return c.e.mem.coll(c.name) }
 func (c *engineColl) memRead() *MemCollection { return c.e.mem.peek(c.name) }
 
 func (c *engineColl) Get(key string) (map[string]any, bool) {
+	return c.GetAt(key, HeightLatest)
+}
+
+func (c *engineColl) GetAt(key string, h int64) (map[string]any, bool) {
 	if m := c.memRead(); m != nil {
-		return m.Get(key)
+		return m.GetAt(key, h)
 	}
 	return nil, false
 }
@@ -377,29 +417,41 @@ func (c *engineColl) Has(key string) bool {
 }
 
 func (c *engineColl) Ords(keys []string) map[string]uint64 {
+	return c.OrdsAt(keys, HeightLatest)
+}
+
+func (c *engineColl) OrdsAt(keys []string, h int64) map[string]uint64 {
 	if m := c.memRead(); m != nil {
-		return m.Ords(keys)
+		return m.OrdsAt(keys, h)
 	}
 	return nil
 }
 
-func (c *engineColl) Len() int {
+func (c *engineColl) Len() int { return c.LenAt(HeightLatest) }
+
+func (c *engineColl) LenAt(h int64) int {
 	if m := c.memRead(); m != nil {
-		return m.Len()
+		return m.LenAt(h)
 	}
 	return 0
 }
 
-func (c *engineColl) Keys() []string {
+func (c *engineColl) Keys() []string { return c.KeysAt(HeightLatest) }
+
+func (c *engineColl) KeysAt(h int64) []string {
 	if m := c.memRead(); m != nil {
-		return m.Keys()
+		return m.KeysAt(h)
 	}
 	return nil
 }
 
 func (c *engineColl) Scan(fn func(key string, doc map[string]any) bool) {
+	c.ScanAt(HeightLatest, fn)
+}
+
+func (c *engineColl) ScanAt(h int64, fn func(key string, doc map[string]any) bool) {
 	if m := c.memRead(); m != nil {
-		m.Scan(fn)
+		m.ScanAt(h, fn)
 	}
 }
 

@@ -13,7 +13,13 @@ const (
 	opDrop   = 3 // drop a whole collection
 )
 
-const walPayloadVersion = 1
+// WAL payload versions. v1 had no height; v2 prefixes the mutation
+// list with the block height the group's writes were stamped with.
+// Decoding accepts both (v1 groups replay at height 0).
+const (
+	walPayloadV1      = 1
+	walPayloadVersion = 2
+)
 
 // mutation is one durable document change staged into a WAL group.
 type mutation struct {
@@ -81,9 +87,11 @@ func (r *byteReader) readByte() (byte, error) {
 	return b, nil
 }
 
-// encodeGroup renders a mutation group into one WAL payload.
-func encodeGroup(muts []mutation) []byte {
+// encodeGroup renders a mutation group into one WAL payload, stamped
+// with the block height the group's memtable writes carried.
+func encodeGroup(height int64, muts []mutation) []byte {
 	b := []byte{walPayloadVersion}
+	b = appendUvarint(b, uint64(height))
 	b = appendUvarint(b, uint64(len(muts)))
 	for _, m := range muts {
 		b = append(b, m.op)
@@ -96,16 +104,25 @@ func encodeGroup(muts []mutation) []byte {
 	return b
 }
 
-// decodeGroup parses one WAL payload, calling fn per mutation. The
-// doc slice aliases the payload; fn must not retain it.
-func decodeGroup(payload []byte, fn func(m mutation) error) error {
+// decodeGroup parses one WAL payload, calling fn per mutation with
+// the group's block height (0 for v1 payloads). The doc slice aliases
+// the payload; fn must not retain it.
+func decodeGroup(payload []byte, fn func(height int64, m mutation) error) error {
 	r := &byteReader{b: payload}
 	ver, err := r.readByte()
 	if err != nil {
 		return err
 	}
-	if ver != walPayloadVersion {
+	if ver != walPayloadV1 && ver != walPayloadVersion {
 		return fmt.Errorf("storage: unknown wal payload version %d", ver)
+	}
+	var height int64
+	if ver >= walPayloadVersion {
+		h, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		height = int64(h)
 	}
 	count, err := r.uvarint()
 	if err != nil {
@@ -131,7 +148,7 @@ func decodeGroup(payload []byte, fn func(m mutation) error) error {
 		default:
 			return fmt.Errorf("storage: unknown wal op %d", m.op)
 		}
-		if err := fn(m); err != nil {
+		if err := fn(height, m); err != nil {
 			return err
 		}
 	}

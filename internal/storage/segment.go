@@ -20,7 +20,13 @@ import (
 
 var segMagic = [8]byte{'S', 'C', 'D', 'B', 'S', 'E', 'G', '1'}
 
-const segVersion = 1
+// Segment versions. v1 records carried [key][ord][doc]; v2 adds the
+// version's birth height between ord and doc. Loading accepts both
+// (v1 records load at height 0).
+const (
+	segVersionV1 = 1
+	segVersion   = 2
+)
 
 const manifestName = "MANIFEST"
 
@@ -118,8 +124,18 @@ func (cw *crcWriter) Write(p []byte) (int, error) {
 // loader can rebuild iteration order. The file is fsynced into place
 // via a temporary name.
 func writeSegment(path string, c *MemCollection) error {
-	keys := c.Keys()
-	sort.Strings(keys)
+	type rec struct {
+		key    string
+		doc    map[string]any
+		ord    uint64
+		height int64
+	}
+	var recs []rec
+	c.scanHead(func(key string, v *docVersion) bool {
+		recs = append(recs, rec{key: key, doc: v.doc, ord: v.ord, height: v.height})
+		return true
+	})
+	sort.Slice(recs, func(i, j int) bool { return recs[i].key < recs[j].key })
 
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
@@ -140,23 +156,20 @@ func writeSegment(path string, c *MemCollection) error {
 	}
 	scratch = append(scratch[:0], segVersion)
 	scratch = appendString(scratch, c.name)
-	scratch = appendUvarint(scratch, uint64(len(keys)))
+	scratch = appendUvarint(scratch, uint64(len(recs)))
 	if err := emit(scratch); err != nil {
 		f.Close()
 		return err
 	}
-	for _, key := range keys {
-		doc, ok := c.Get(key)
-		if !ok {
-			continue
-		}
-		data, err := marshalDoc(doc)
+	for _, rc := range recs {
+		data, err := marshalDoc(rc.doc)
 		if err != nil {
 			f.Close()
 			return err
 		}
-		scratch = appendString(scratch[:0], key)
-		scratch = appendUvarint(scratch, c.ordOf(key))
+		scratch = appendString(scratch[:0], rc.key)
+		scratch = appendUvarint(scratch, rc.ord)
+		scratch = appendUvarint(scratch, uint64(rc.height))
 		scratch = appendBytes(scratch, data)
 		if err := emit(scratch); err != nil {
 			f.Close()
@@ -184,56 +197,69 @@ func writeSegment(path string, c *MemCollection) error {
 }
 
 // loadSegment reads the segment file at path into mem, verifying the
-// whole-file checksum before handing documents out.
-func loadSegment(path string, mem *Memory) error {
+// whole-file checksum before handing documents out. It returns the
+// highest birth height seen, so Open can recover the height clock.
+func loadSegment(path string, mem *Memory) (int64, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if len(data) < len(segMagic)+4 || [8]byte(data[:8]) != segMagic {
-		return fmt.Errorf("storage: %s: not a segment file", filepath.Base(path))
+		return 0, fmt.Errorf("storage: %s: not a segment file", filepath.Base(path))
 	}
 	body := data[len(segMagic) : len(data)-4]
 	want := binary.BigEndian.Uint32(data[len(data)-4:])
 	if crc32.Checksum(body, castagnoli) != want {
-		return fmt.Errorf("storage: %s: checksum mismatch", filepath.Base(path))
+		return 0, fmt.Errorf("storage: %s: checksum mismatch", filepath.Base(path))
 	}
 	r := &byteReader{b: body}
 	ver, err := r.readByte()
 	if err != nil {
-		return err
+		return 0, err
 	}
-	if ver != segVersion {
-		return fmt.Errorf("storage: %s: unknown segment version %d", filepath.Base(path), ver)
+	if ver != segVersionV1 && ver != segVersion {
+		return 0, fmt.Errorf("storage: %s: unknown segment version %d", filepath.Base(path), ver)
 	}
 	name, err := r.readString()
 	if err != nil {
-		return err
+		return 0, err
 	}
 	count, err := r.uvarint()
 	if err != nil {
-		return err
+		return 0, err
 	}
 	coll := mem.coll(name)
+	var maxH int64
 	for i := uint64(0); i < count; i++ {
 		key, err := r.readString()
 		if err != nil {
-			return err
+			return 0, err
 		}
 		ord, err := r.uvarint()
 		if err != nil {
-			return err
+			return 0, err
+		}
+		var height int64
+		if ver >= segVersion {
+			h, err := r.uvarint()
+			if err != nil {
+				return 0, err
+			}
+			height = int64(h)
 		}
 		raw, err := r.bytes()
 		if err != nil {
-			return err
+			return 0, err
 		}
 		doc, err := unmarshalDoc(raw)
 		if err != nil {
-			return err
+			return 0, err
 		}
-		coll.putLoaded(key, doc, ord)
+		coll.putLoaded(key, doc, ord, height)
+		if height > maxH {
+			maxH = height
+		}
 	}
 	coll.finishLoad()
-	return nil
+	return maxH, nil
 }

@@ -24,21 +24,42 @@
 //
 //	[4B payload length][4B CRC32-C of payload][payload]
 //
-// WAL payload:
+// WAL payload (v2; v1 lacked the height and decodes as height 0):
 //
-//	[1B version][count uvarint] then per mutation:
+//	[1B version][height uvarint][count uvarint] then per mutation:
 //	[1B op (1=put 2=delete 3=drop-collection)]
 //	[collection uvarint len + bytes][key uvarint len + bytes]
 //	[doc uvarint len + canonical JSON]   (op=put only)
 //
-// Segment file:
+// Segment file (v2; v1 records lacked the height):
 //
 //	"SCDBSEG1" [1B version][collection][count uvarint]
-//	records sorted by key: [key][ord uvarint][doc len uvarint][doc JSON]
+//	records sorted by key:
+//	[key][ord uvarint][height uvarint][doc len uvarint][doc JSON]
 //	[4B CRC32-C of everything after the magic]
 //
 // ord is the document's insertion counter; reloading sorts keys by ord
-// so iteration order survives restarts byte-for-byte.
+// so iteration order survives restarts byte-for-byte. height is the
+// block height the version was written at (the MVCC stamp).
+//
+// # MVCC snapshot reads
+//
+// Both backends version every document by block height. A caller
+// brackets a block commit with BeginBlock(h) / SealBlock(h): writes in
+// between are stamped h and stay invisible to snapshot reads at
+// heights below h until the seal publishes them. Each key holds an
+// immutable version chain (newest first); reads at height h resolve
+// the newest version with height <= h using atomics only — the read
+// path takes no collection, shard, or order lock. Writes outside a
+// block are stamped with the current visible height and become
+// visible immediately (the standalone relaxation).
+//
+// SealBlock retains the last K sealed heights (SetRetain, default
+// DefaultRetainHeights) and garbage-collects versions no retained
+// height can observe; Floor reports the oldest exact height. Version
+// history does not survive a restart: Open recovers every document at
+// its logged height but pins the floor to the recovered visible
+// height.
 package storage
 
 // Backend is the persistence layer a docstore.Store runs over. It was
@@ -73,6 +94,26 @@ type Backend interface {
 	// Close flushes and releases the backend. The memory backend
 	// forgets everything; the disk engine can be reopened.
 	Close() error
+
+	// BeginBlock opens block h: until SealBlock, writes are stamped h
+	// and stay invisible to snapshot reads at earlier heights. Blocks
+	// are sequential — at most one is open at a time.
+	BeginBlock(h int64)
+	// SealBlock publishes block h (Visible advances to h) and
+	// garbage-collects versions outside the retention window.
+	SealBlock(h int64)
+	// Visible returns the highest sealed height — the height of the
+	// newest committed snapshot.
+	Visible() int64
+	// Floor returns the lowest height snapshot reads are exact for;
+	// reads below it may miss garbage-collected versions.
+	Floor() int64
+	// StampHeight returns the height the next write is stamped with:
+	// the open block's height, or Visible outside a block.
+	StampHeight() int64
+	// SetRetain sets K, the number of sealed heights retained for
+	// snapshot reads (minimum 1, default DefaultRetainHeights).
+	SetRetain(k int64)
 }
 
 // Collection is one backend collection: an ordered, concurrency-safe
@@ -108,4 +149,15 @@ type Collection interface {
 	Keys() []string
 	// Scan visits documents in insertion order until fn returns false.
 	Scan(fn func(key string, doc map[string]any) bool)
+
+	// The At variants answer the same questions as-of block height h,
+	// lock-free: they resolve each key's version chain to the newest
+	// version with height <= h. HeightLatest selects the writer view,
+	// making Get equivalent to GetAt(key, HeightLatest). Heights below
+	// the backend's Floor may miss garbage-collected versions.
+	GetAt(key string, h int64) (map[string]any, bool)
+	OrdsAt(keys []string, h int64) map[string]uint64
+	LenAt(h int64) int
+	KeysAt(h int64) []string
+	ScanAt(h int64, fn func(key string, doc map[string]any) bool)
 }

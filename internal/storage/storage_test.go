@@ -317,7 +317,7 @@ func TestEngineAutoCompactsPastThreshold(t *testing.T) {
 }
 
 func TestMemCollectionConcurrentPointReads(t *testing.T) {
-	c := newMemCollection("x")
+	c := newMemCollection("x", &verClock{})
 	for i := 0; i < 256; i++ {
 		c.Put(fmt.Sprintf("k%d", i), doc("i", float64(i)))
 	}
