@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-disk test-race bench-parallel bench-storage bench-mempool bench-commit bench-query bench-mvcc bench-smoke ci
+.PHONY: all build vet test test-disk test-race bench-parallel bench-storage bench-mempool bench-commit bench-query bench-mvcc bench-obs bench-smoke ci
 
 all: build test
 
@@ -29,7 +29,7 @@ test: build vet
 # chains, docstore snapshot isolation, ledger StateAt differentials).
 # -count=1 forces a fresh run under the env switch.
 test-disk:
-	SCDB_BACKEND=disk $(GO) test -count=1 ./internal/ledger ./internal/server ./internal/consensus ./internal/nested ./internal/bench ./internal/query ./internal/docstore
+	SCDB_BACKEND=disk $(GO) test -count=1 ./internal/ledger ./internal/server ./internal/consensus ./internal/nested ./internal/bench ./internal/query ./internal/docstore ./internal/obs
 
 # The race gate covers the commit pipeline end to end: the ledger's
 # per-conflict-group appliers, the server's commit fence (incl. the
@@ -41,7 +41,7 @@ test-disk:
 # leg re-runs the ledger-backed suites, incl. the
 # query-engine-vs-block-commit race, over the WAL engine.
 test-race:
-	$(GO) test -race ./internal/mempool ./internal/parallel ./internal/ledger ./internal/consensus ./internal/server ./internal/bench ./internal/storage ./internal/docstore ./internal/query
+	$(GO) test -race ./internal/mempool ./internal/parallel ./internal/ledger ./internal/consensus ./internal/server ./internal/bench ./internal/storage ./internal/docstore ./internal/query ./internal/obs
 	SCDB_BACKEND=disk $(GO) test -race -count=1 ./internal/ledger ./internal/server ./internal/consensus ./internal/query
 
 # Reproduce the parallel-validation experiment (wall-clock sweep plus
@@ -81,11 +81,18 @@ bench-query:
 bench-mvcc:
 	$(GO) run ./cmd/scdb-bench -exp mvcc
 
+# Observability overhead: the pipelined commit with a live metrics
+# registry plus per-tx stage tracing vs the no-op (nil-registry)
+# build, gated at 3% — instrumentation must stay within noise of off.
+bench-obs:
+	$(GO) run ./cmd/scdb-bench -exp obs -obsgate 3
+
 # Seconds-scale smoke run of the parallel, storage, mempool, commit,
-# query, and mvcc experiments — part of the default `make test` gate
-# so a broken experiment path fails the build, not the next
-# benchmarking session.
+# query, mvcc, and obs experiments — part of the default `make test`
+# gate so a broken experiment path fails the build, not the next
+# benchmarking session. Writes the machine-readable results alongside
+# the tables (obs is ungated here: the smoke gate is shape, not noise).
 bench-smoke:
-	$(GO) run ./cmd/scdb-bench -exp parallel,storage,mempool,commit,query,mvcc -batches 1 -batchtxs 64 -parallel 1,4 -storageblocks 2 -storagesizes 64 -mempooltxs 256 -commitblocks 3 -committxs 96 -conflicts 0.25,0.5 -querydocs 512,4096 -queryreps 16 -queryblocks 2 -querytxs 64 -queryreaders 2 -mvccblocks 4 -mvcctxs 64 -mvccreaders 2
+	$(GO) run ./cmd/scdb-bench -exp parallel,storage,mempool,commit,query,mvcc,obs -json bench-smoke.json -batches 1 -batchtxs 64 -parallel 1,4 -storageblocks 2 -storagesizes 64 -mempooltxs 256 -commitblocks 3 -committxs 96 -conflicts 0.25,0.5 -querydocs 512,4096 -queryreps 16 -queryblocks 2 -querytxs 64 -queryreaders 2 -mvccblocks 4 -mvcctxs 64 -mvccreaders 2
 
 ci: test test-race

@@ -16,6 +16,8 @@
 //	scdb-bench -exp commit -commitblocks 6 -committxs 256 -conflicts 0.25,0.5
 //	scdb-bench -exp query -querydocs 1000,10000,50000 -queryreps 64
 //	scdb-bench -exp mvcc -mvccblocks 8 -mvcctxs 256 -mvccreaders 4
+//	scdb-bench -exp obs -obsgate 3      # instrumentation overhead vs the no-op registry
+//	scdb-bench -exp commit -json out.json   # machine-readable results alongside the tables
 //	scdb-bench -exp fig7 -valworkers 4  # headline curves on the parallel pipeline
 //	scdb-bench -exp parallel,storage    # comma-separated subsets
 //
@@ -35,7 +37,9 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "comma-separated experiments: fig2 | fig7 | fig8 | usability | mix | recovery | parallel | storage | mempool | commit | query | mvcc | all")
+		exp        = flag.String("exp", "all", "comma-separated experiments: fig2 | fig7 | fig8 | usability | mix | recovery | parallel | storage | mempool | commit | query | mvcc | obs | all")
+		jsonPath   = flag.String("json", "", "also write every selected experiment's full results as JSON to this path")
+		obsGate    = flag.Float64("obsgate", 0, "obs experiment: fail if instrumentation overhead exceeds this percent (0 = report only)")
 		auctions   = flag.Int("auctions", 4, "auctions per run")
 		bidders    = flag.Int("bidders", 10, "bidders per auction")
 		seed       = flag.Int64("seed", 42, "simulation seed")
@@ -86,11 +90,16 @@ func main() {
 	}
 	scale := bench.Fig7Scale{Auctions: *auctions, Bidders: *bidders, Workers: *valWorkers}
 
+	// Every experiment records its full result here; -json writes the
+	// accumulated report after the last one prints.
+	report := bench.NewReport()
+
 	runFig2 := func() {
 		r, err := bench.RunFig2(*seed)
 		if err != nil {
 			fatal(err)
 		}
+		report.Add("fig2", r)
 		bench.PrintFig2(os.Stdout, r)
 	}
 	runFig7 := func() {
@@ -99,6 +108,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		report.Add("fig7", rows)
 		bench.PrintFig7(os.Stdout, rows)
 	}
 	runFig8 := func() {
@@ -107,6 +117,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		report.Add("fig8", rows)
 		bench.PrintFig8(os.Stdout, rows)
 	}
 	runUsability := func() {
@@ -114,16 +125,20 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		report.Add("usability", r)
 		bench.PrintUsability(os.Stdout, r)
 	}
 	runMix := func() {
-		bench.PrintMix(os.Stdout, bench.RunMix(*mixScale, *seed))
+		r := bench.RunMix(*mixScale, *seed)
+		report.Add("mix", r)
+		bench.PrintMix(os.Stdout, r)
 	}
 	runRecovery := func() {
 		r, err := bench.RunRecovery(*bidders, *seed)
 		if err != nil {
 			fatal(err)
 		}
+		report.Add("recovery", r)
 		bench.PrintRecovery(os.Stdout, r)
 	}
 	runParallel := func() {
@@ -153,18 +168,22 @@ func main() {
 			}
 			params.Reps = 1
 		}
-		bench.PrintParallel(os.Stdout, bench.RunParallel(params))
+		r := bench.RunParallel(params)
+		report.Add("parallel", r)
+		bench.PrintParallel(os.Stdout, r)
 	}
 	runStorage := func() {
 		sizeList, err := parseInts(*stSizes)
 		if err != nil {
 			fatal(err)
 		}
-		bench.PrintStorage(os.Stdout, bench.RunStorage(bench.StorageParams{
+		r := bench.RunStorage(bench.StorageParams{
 			Blocks:     *stBlocks,
 			BlockSizes: sizeList,
 			Seed:       *seed,
-		}))
+		})
+		report.Add("storage", r)
+		bench.PrintStorage(os.Stdout, r)
 	}
 	runMempool := func() {
 		workerList, err := parseInts(*workers)
@@ -175,7 +194,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		bench.PrintMempool(os.Stdout, bench.RunMempool(bench.MempoolParams{
+		r := bench.RunMempool(bench.MempoolParams{
 			Txs:           *mpTxs,
 			Batch:         *mpBatch,
 			Workers:       workerList,
@@ -183,7 +202,9 @@ func main() {
 			BlockTxs:      *mpBlock,
 			PackWorkers:   *mpPackW,
 			Seed:          *seed,
-		}))
+		})
+		report.Add("mempool", r)
+		bench.PrintMempool(os.Stdout, r)
 	}
 
 	runCommit := func() {
@@ -195,13 +216,15 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		bench.PrintCommit(os.Stdout, bench.RunCommit(bench.CommitParams{
+		r := bench.RunCommit(bench.CommitParams{
 			Blocks:        *cmBlocks,
 			BlockTxs:      *cmTxs,
 			Workers:       workerList,
 			ConflictRates: rateList,
 			Seed:          *seed,
-		}))
+		})
+		report.Add("commit", r)
+		bench.PrintCommit(os.Stdout, r)
 	}
 
 	runQuery := func() {
@@ -209,23 +232,36 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		bench.PrintQuery(os.Stdout, bench.RunQuery(bench.QueryParams{
+		r := bench.RunQuery(bench.QueryParams{
 			Docs:     docList,
 			Reps:     *qReps,
 			Blocks:   *qBlocks,
 			BlockTxs: *qTxs,
 			Readers:  *qReaders,
 			Seed:     *seed,
-		}))
+		})
+		report.Add("query", r)
+		bench.PrintQuery(os.Stdout, r)
 	}
 
 	runMVCC := func() {
-		bench.PrintMVCC(os.Stdout, bench.RunMVCC(bench.MVCCParams{
+		r := bench.RunMVCC(bench.MVCCParams{
 			Blocks:   *mvBlocks,
 			BlockTxs: *mvTxs,
 			Readers:  *mvReaders,
 			Seed:     *seed,
-		}))
+		})
+		report.Add("mvcc", r)
+		bench.PrintMVCC(os.Stdout, r)
+	}
+
+	runObs := func() {
+		r := bench.RunObs(bench.ObsParams{Seed: *seed})
+		report.Add("obs", r)
+		bench.PrintObs(os.Stdout, r)
+		if *obsGate > 0 && r.OverheadPct > *obsGate {
+			fatal(fmt.Errorf("obs overhead %.2f%% exceeds gate %.2f%%", r.OverheadPct, *obsGate))
+		}
 	}
 
 	experiments := map[string]func(){
@@ -241,6 +277,7 @@ func main() {
 		"commit":    runCommit,
 		"query":     runQuery,
 		"mvcc":      runMVCC,
+		"obs":       runObs,
 	}
 	selected, err := selectExperiments(*exp, experimentOrder)
 	if err != nil {
@@ -249,11 +286,17 @@ func main() {
 	for _, name := range selected {
 		experiments[name]()
 	}
+	if *jsonPath != "" {
+		if err := report.WriteFile(*jsonPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("results written to %s\n", *jsonPath)
+	}
 }
 
 // experimentOrder is the canonical run order; "all" expands to it and
 // selectExperiments validates against it.
-var experimentOrder = []string{"fig2", "fig7", "fig8", "usability", "mix", "recovery", "parallel", "storage", "mempool", "commit", "query", "mvcc"}
+var experimentOrder = []string{"fig2", "fig7", "fig8", "usability", "mix", "recovery", "parallel", "storage", "mempool", "commit", "query", "mvcc", "obs"}
 
 // selectExperiments expands a comma-separated -exp value against the
 // known experiment names: "all" expands to every experiment in

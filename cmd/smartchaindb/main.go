@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"smartchaindb/internal/keys"
+	"smartchaindb/internal/obs"
 	"smartchaindb/internal/query"
 	"smartchaindb/internal/server"
 	"smartchaindb/internal/txn"
@@ -34,11 +35,23 @@ func main() {
 		valWorkers   = flag.Int("valworkers", 4, "DeliverTx-stage block-validation workers per node (<2 = sequential)")
 		commitW      = flag.Int("commitworkers", 4, "commit-stage per-conflict-group apply workers per node (<2 = sequential commit)")
 		asyncCommit  = flag.Bool("asynccommit", true, "overlap block h's commit with height h+1's validation behind the commit fence")
+		opsAddr      = flag.String("opsaddr", "", "serve validator 0's ops endpoint (/metrics, /traces, /debug/pprof) on this address, e.g. localhost:6060 or :0")
 	)
 	flag.Parse()
 	if _, err := server.ParsePacking(*packing); err != nil {
 		fmt.Fprintln(os.Stderr, "smartchaindb:", err)
 		os.Exit(2)
+	}
+
+	// Observability is per-validator: node 0 gets a live registry the ops
+	// endpoint serves; the rest keep the no-op build.
+	var reg *obs.Registry
+	if *opsAddr != "" {
+		reg = obs.New()
+		ops, err := obs.Serve(*opsAddr, reg)
+		must(err)
+		defer ops.Close()
+		fmt.Printf("ops endpoint: http://%s/metrics\n", ops.Addr())
 	}
 
 	cluster := server.NewCluster(server.ClusterConfig{
@@ -49,6 +62,12 @@ func main() {
 		Pipelined:     true,
 		DataDir:       *datadir,
 		Packing:       *packing,
+		ObsFor: func(node int) *obs.Registry {
+			if node == 0 {
+				return reg
+			}
+			return nil
+		},
 		Node: server.Config{
 			ParallelWorkers:  *valWorkers,
 			AdmissionWorkers: *admitWorkers,

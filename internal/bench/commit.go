@@ -11,6 +11,7 @@ import (
 	"smartchaindb/internal/keys"
 	"smartchaindb/internal/ledger"
 	"smartchaindb/internal/netsim"
+	"smartchaindb/internal/obs"
 	"smartchaindb/internal/parallel"
 	"smartchaindb/internal/server"
 	"smartchaindb/internal/storage"
@@ -118,6 +119,22 @@ type CommitResult struct {
 	// transaction set with byte-identical state on every validator.
 	SimRows  []CommitSimRow
 	SimMatch bool
+	// Stages holds the per-stage commit latency distributions
+	// (plan/apply/seal/total, plus WAL fsync) captured off a live obs
+	// registry during one instrumented pass per backend at the highest
+	// worker count and the last conflict rate.
+	Stages []StageDist
+}
+
+// commitStageMetrics are the histograms the instrumented commit pass
+// reports, in pipeline order. fsync stays zero on the memory backend,
+// which has no WAL.
+var commitStageMetrics = []stageMetric{
+	{"plan", "ledger.commit.plan_ns"},
+	{"apply", "ledger.commit.apply_ns"},
+	{"seal", "ledger.commit.seal_ns"},
+	{"total", "ledger.commit.total_ns"},
+	{"fsync", "storage.wal.fsync_ns"},
 }
 
 // commitWorkload builds the measurement blocks without touching any
@@ -244,16 +261,7 @@ func RunCommit(p CommitParams) CommitResult {
 				return el, st.Fingerprint()
 			}
 			measure := func(workers int) (time.Duration, string) {
-				best := time.Duration(1<<62 - 1)
-				var fp string
-				for rep := 0; rep < p.Reps; rep++ {
-					el, f := runCommitOnce(workers)
-					if el < best {
-						best = el
-					}
-					fp = f
-				}
-				return best, fp
+				return fastest(p.Reps, func() (time.Duration, string) { return runCommitOnce(workers) })
 			}
 
 			// Commit-stage sweep, serial baseline first so every row's
@@ -340,6 +348,20 @@ func RunCommit(p CommitParams) CommitResult {
 				prow.Speedup = float64(prow.Serialized) / float64(prow.Overlapped)
 			}
 			res.Pipeline = append(res.Pipeline, prow)
+
+			// Per-stage latency distributions: one instrumented pass per
+			// backend at the last conflict rate, the obs registry timing
+			// plan/apply/seal inside the commit it just measured.
+			if rate == p.ConflictRates[len(p.ConflictRates)-1] {
+				st, cleanup := commitState(backend)
+				commitSetup(st, setup)
+				st.SetCommitWorkers(maxWorkers)
+				oreg := obs.New()
+				st.SetObs(oreg)
+				commitBlocksTimed(st, blocks, 1)
+				cleanup()
+				res.Stages = append(res.Stages, captureStages(oreg, backend, commitStageMetrics)...)
+			}
 		}
 	}
 
@@ -434,5 +456,8 @@ func PrintCommit(w io.Writer, r CommitResult) {
 		fmt.Fprintf(w, "  %-12s %12.1f %14.1f %10d\n", row.Mode, row.Throughput, row.MeanMs, row.Committed)
 	}
 	fmt.Fprintf(w, "  states identical across modes and validators: %t\n", r.SimMatch)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Commit stage latency — instrumented pass (per-block plan/apply/seal, per-group WAL fsync)")
+	printStages(w, r.Stages)
 	fmt.Fprintln(w)
 }

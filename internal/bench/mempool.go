@@ -358,16 +358,13 @@ func RunMempool(p MempoolParams) MempoolResult {
 	// --- Admission, wall clock ---------------------------------------
 	backing, stream := admissionWorkload(p)
 	measure := func(run func() MempoolAdmissionRow) MempoolAdmissionRow {
-		best := MempoolAdmissionRow{Elapsed: time.Duration(1<<62 - 1)}
-		for rep := 0; rep < p.Reps; rep++ {
+		el, best := fastest(p.Reps, func() (time.Duration, MempoolAdmissionRow) {
 			start := time.Now()
 			row := run()
-			row.Elapsed = time.Since(start)
-			row.TPS = float64(len(stream)) / row.Elapsed.Seconds()
-			if row.Elapsed < best.Elapsed {
-				best = row
-			}
-		}
+			return time.Since(start), row
+		})
+		best.Elapsed = el
+		best.TPS = float64(len(stream)) / el.Seconds()
 		return best
 	}
 	node1 := newAdmissionNode(backing, p.Seed, 1)

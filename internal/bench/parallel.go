@@ -283,10 +283,10 @@ func RunParallel(p ParallelParams) ParallelResult {
 	}
 	for wi, w := range p.Workers {
 		sched := &parallel.Scheduler{Workers: w}
-		row := ParallelRow{Workers: w, Elapsed: time.Duration(1<<62 - 1)}
+		row := ParallelRow{Workers: w}
 		var validIDs []string
-		for rep := 0; rep < p.Reps; rep++ {
-			validIDs = validIDs[:0]
+		row.Elapsed, validIDs = fastest(p.Reps, func() (time.Duration, []string) {
+			ids := make([]string, 0, res.TotalTxs)
 			valid, invalid := 0, 0
 			start := time.Now()
 			for _, batch := range batches {
@@ -294,18 +294,17 @@ func RunParallel(p ParallelParams) ParallelResult {
 				valid += len(r.Valid)
 				invalid += len(r.Invalid)
 				for _, t := range r.Valid {
-					validIDs = append(validIDs, t.ID)
+					ids = append(ids, t.ID)
 				}
 			}
-			if el := time.Since(start); el < row.Elapsed {
-				row.Elapsed = el
-			}
+			el := time.Since(start)
 			row.Valid, row.Invalid = valid, invalid
-		}
+			return el, ids
+		})
 		if row.Elapsed > 0 {
 			row.TPS = float64(res.TotalTxs) / row.Elapsed.Seconds()
 		}
-		rowValid[wi] = append([]string(nil), validIDs...)
+		rowValid[wi] = validIDs
 		res.Rows = append(res.Rows, row)
 	}
 	for wi := range res.Rows {

@@ -19,6 +19,7 @@ import (
 
 	"smartchaindb/internal/mempool"
 	"smartchaindb/internal/netsim"
+	"smartchaindb/internal/obs"
 	"smartchaindb/internal/simclock"
 )
 
@@ -92,6 +93,18 @@ type AsyncApp interface {
 	// ValidationTime. It does not occupy the node's validation
 	// resource: that is the overlap.
 	CommitTime(txs []Tx) time.Duration
+}
+
+// ObsApp is optionally implemented by Apps that carry an observability
+// registry. The engine wires each node's mempool to its app's registry
+// (admission counters, stage dwell tracing) and stamps client arrivals
+// into the registry's stage tracer, so a transaction's recv dwell —
+// arrival at the receiver to admission-batch pickup — lands on the
+// same trace its mempool, validation, and commit stages do. A nil
+// registry keeps that node's no-op build.
+type ObsApp interface {
+	// Obs returns the app's registry (nil for the no-op build).
+	Obs() *obs.Registry
 }
 
 // VerdictReuseApp is optionally implemented by Apps that can re-use

@@ -9,6 +9,7 @@ import (
 
 	"smartchaindb/internal/mempool"
 	"smartchaindb/internal/netsim"
+	"smartchaindb/internal/obs"
 	"smartchaindb/internal/simclock"
 )
 
@@ -79,6 +80,10 @@ type node struct {
 	// vrApp is non-nil when the app can re-use admission verdicts at
 	// block validation (see VerdictReuseApp).
 	vrApp VerdictReuseApp
+	// tracer is the app's stage tracer (nil without an ObsApp registry):
+	// client arrivals are stamped here so the recv-stage dwell spans
+	// arrival to admission pickup.
+	tracer *obs.Tracer
 
 	height int64 // height currently being decided
 
@@ -148,6 +153,13 @@ func newNode(c *Cluster, id netsim.NodeID, app App) *node {
 	n.vrApp, _ = app.(VerdictReuseApp)
 	poolCfg := c.cfg.Mempool
 	poolCfg.Check = n.checkBatch
+	if oa, ok := app.(ObsApp); ok {
+		// Per-node registry: the node's mempool and the app's own layers
+		// (ledger, storage, validation fence) record into the same one,
+		// so a transaction's stage trace is complete on this node.
+		poolCfg.Obs = oa.Obs()
+		n.tracer = poolCfg.Obs.Tracer()
+	}
 	n.pool = mempool.New(poolCfg)
 	return n
 }
@@ -177,7 +189,10 @@ func (n *node) charge(d time.Duration) time.Duration {
 // receiveClientTx is the receiver-node path of Figure 4: semantic
 // validation on one randomly selected node, then gossip. Arrivals are
 // funneled through the batched admission pipeline.
-func (n *node) receiveClientTx(tx Tx) { n.enqueueAdmission(tx, true) }
+func (n *node) receiveClientTx(tx Tx) {
+	n.tracer.Arrive(tx.Hash())
+	n.enqueueAdmission(tx, true)
+}
 
 // enqueueAdmission queues one transaction for the next admission batch.
 func (n *node) enqueueAdmission(tx Tx, client bool) {

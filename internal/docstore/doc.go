@@ -47,8 +47,10 @@
 //
 // Explain renders the compiled plan ("point(operation eq "BID")[3]",
 // "intersect[2](...)", "full-scan(no index on "x")") for tests and
-// benchmarks; FullScans counts executed full scans so hot paths can
-// assert they never take the collection lock. FindOrdered streams
+// benchmarks; with a Store.SetObs registry attached, executed full
+// scans, planner decisions, and index probes record into the
+// docstore.* obs counters, so hot paths can assert they never take
+// the collection lock. FindOrdered streams
 // documents in index-value order (ties in insertion order) straight
 // off an ordered index — the "most recent first" query shape.
 package docstore

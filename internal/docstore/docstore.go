@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"smartchaindb/internal/obs"
 	"smartchaindb/internal/storage"
 )
 
@@ -15,6 +16,7 @@ type Store struct {
 	mu          sync.RWMutex
 	backend     storage.Backend
 	collections map[string]*Collection
+	reg         *obs.Registry
 }
 
 // NewStore creates an empty store over the in-memory backend.
@@ -36,6 +38,20 @@ func NewStoreWith(b storage.Backend) *Store {
 // handle for block-height bracketing (BeginBlock/SealBlock) and the
 // snapshot clock (Visible/Floor).
 func (s *Store) Backend() storage.Backend { return s.backend }
+
+// SetObs attaches an observability registry to the store, its backend,
+// and every collection (existing and future): planner decisions, full
+// scans, index probes, snapshot handles, and the backend's WAL / MVCC
+// metrics all record into it. A nil registry detaches.
+func (s *Store) SetObs(reg *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reg = reg
+	s.backend.SetObs(reg)
+	for _, c := range s.collections {
+		c.setObs(reg)
+	}
+}
 
 // Collection returns the named collection, creating it on first use —
 // the same lazy semantics MongoDB gives drivers.
@@ -63,6 +79,7 @@ func (s *Store) locked(name string, create func() *Collection) *Collection {
 		return c
 	}
 	c := create()
+	c.setObs(s.reg)
 	s.collections[name] = c
 	return c
 }
@@ -134,11 +151,46 @@ type Collection struct {
 	indexes atomic.Pointer[map[string]secondaryIndex]
 
 	dropped atomic.Bool
-	// scans counts executed full collection scans — the observable
-	// tests use to assert a hot path resolves through the planner.
-	// Snapshot full scans count too: they are lock-free but still
-	// O(collection).
-	scans atomic.Uint64
+	// ob holds the attached metric handles (nil: observability off;
+	// the zero collObs handles are no-ops either way). Full scans,
+	// planner decisions, and index probes record through it — the
+	// observable the hot-path tests use to assert a query resolves
+	// through the planner. Snapshot full scans count too: they are
+	// lock-free but still O(collection).
+	ob atomic.Pointer[collObs]
+}
+
+// collObs is one collection's bundle of cached metric handles.
+type collObs struct {
+	fullScans   *obs.Counter // docstore.full_scans
+	indexProbes *obs.Counter // docstore.index_probes
+	snapshots   *obs.Counter // docstore.snapshots
+	plan        [AccessUnion + 1]*obs.Counter
+}
+
+// obs returns the collection's handles; detached reads as all-no-op.
+func (c *Collection) obs() collObs {
+	if ob := c.ob.Load(); ob != nil {
+		return *ob
+	}
+	return collObs{}
+}
+
+// setObs attaches (nil: detaches) the collection's metric handles.
+func (c *Collection) setObs(reg *obs.Registry) {
+	if reg == nil {
+		c.ob.Store(nil)
+		return
+	}
+	ob := &collObs{
+		fullScans:   reg.Counter("docstore.full_scans"),
+		indexProbes: reg.Counter("docstore.index_probes"),
+		snapshots:   reg.Counter("docstore.snapshots"),
+	}
+	for k := range ob.plan {
+		ob.plan[k] = reg.Counter("docstore.plan." + AccessKind(k).metricName())
+	}
+	c.ob.Store(ob)
 }
 
 func newCollection(name string, be storage.Collection, bk storage.Backend) *Collection {
@@ -372,7 +424,10 @@ func (c *Collection) Snapshot() *Snapshot { return c.SnapshotAt(c.bk.Visible()) 
 // writes are invisible until that block seals. Heights must lie in
 // [Backend().Floor(), Backend().Visible()] for exact results; older
 // heights may miss garbage-collected versions ("snapshot too old").
-func (c *Collection) SnapshotAt(h int64) *Snapshot { return &Snapshot{c: c, h: h} }
+func (c *Collection) SnapshotAt(h int64) *Snapshot {
+	c.obs().snapshots.Inc()
+	return &Snapshot{c: c, h: h}
+}
 
 // Find returns copies of all documents matching filter, in insertion
 // order (writer view). A nil filter matches everything.
@@ -451,7 +506,11 @@ func (c *Collection) visitCandidatesAt(h int64, filter Filter, fn func(key strin
 	if c.dropped.Load() {
 		return
 	}
-	if keys, ok := resolveAccess(c.Plan(filter), h); ok {
+	plan := c.Plan(filter)
+	if k := int(plan.Kind); k >= 0 && k < len(c.obs().plan) {
+		c.obs().plan[k].Inc()
+	}
+	if keys, ok := resolveAccess(plan, h); ok {
 		c.shardedVisitAt(h, keys, fn)
 		return
 	}
@@ -463,7 +522,7 @@ func (c *Collection) visitCandidatesAt(h int64, filter Filter, fn func(key strin
 // write, behind the commit writer. At a snapshot height it walks the
 // iteration log and version chains with no lock at all.
 func (c *Collection) scanVisitAt(h int64, fn func(key string, doc map[string]any) bool) {
-	c.scans.Add(1)
+	c.obs().fullScans.Inc()
 	if h == storage.HeightLatest {
 		c.mu.RLock()
 		defer c.mu.RUnlock()
@@ -472,11 +531,6 @@ func (c *Collection) scanVisitAt(h int64, fn func(key string, doc map[string]any
 	}
 	c.be.ScanAt(h, fn)
 }
-
-// FullScans reports how many queries executed the full-scan path since
-// the collection was created — the counter hot-path tests assert stays
-// flat while planned queries run.
-func (c *Collection) FullScans() uint64 { return c.scans.Load() }
 
 // shardedVisitAt is the planned path: it resolves index candidate
 // keys through lock-free point reads at height h, restores insertion

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"smartchaindb/internal/obs"
 )
 
 // The query planner compiles a filter tree (via Analyze) into an
@@ -55,6 +57,26 @@ const (
 	AccessUnion
 )
 
+// metricName returns the kind's obs counter suffix
+// (docstore.plan.<name>).
+func (k AccessKind) metricName() string {
+	switch k {
+	case AccessFullScan:
+		return "full_scan"
+	case AccessNone:
+		return "none"
+	case AccessPoint:
+		return "point"
+	case AccessRange:
+		return "range"
+	case AccessIntersect:
+		return "intersect"
+	case AccessUnion:
+		return "union"
+	}
+	return "invalid"
+}
+
 // Access is one node of a compiled access plan. Est is the planner's
 // selectivity estimate from index cardinalities — for an intersect it
 // is the driving (smallest) child's estimate, and children are ordered
@@ -68,7 +90,7 @@ type Access struct {
 	Est      int       // estimated candidate count
 	Children []*Access // intersect / union members
 
-	materialize func(h int64) []string             // leaves: produce candidates as of height h
+	materialize func(h int64) []string            // leaves: produce candidates as of height h
 	probe       func(docKey string, h int64) bool // nil when not probe-capable
 }
 
@@ -110,7 +132,7 @@ func (a *Access) String() string {
 // materialize/probe closures answer for whatever height the executor
 // passes, so one plan serves the writer view and snapshot reads alike.
 func (c *Collection) Plan(f Filter) *Access {
-	return planner{idx: c.indexMap()}.compile(Analyze(f))
+	return planner{idx: c.indexMap(), probes: c.obs().indexProbes}.compile(Analyze(f))
 }
 
 // Explain renders the access plan Find (and every other query entry
@@ -121,6 +143,9 @@ func (c *Collection) Explain(f Filter) string { return c.Plan(f).String() }
 
 type planner struct {
 	idx map[string]secondaryIndex
+	// probes counts executed index lookups and membership probes
+	// (docstore.index_probes); nil is a no-op handle.
+	probes *obs.Counter
 }
 
 func fullScan(reason string) *Access { return &Access{Kind: AccessFullScan, Reason: reason} }
@@ -210,8 +235,10 @@ func (p planner) pointAccess(ix secondaryIndex, path, op, detail string, args []
 	for _, arg := range args {
 		est += ix.estimateEq(arg)
 	}
+	probes := p.probes
 	a := &Access{Kind: AccessPoint, Path: path, Op: op, Detail: detail, Est: est}
 	a.materialize = func(h int64) []string {
+		probes.Add(uint64(len(args)))
 		if len(args) == 1 {
 			return ix.lookupEq(args[0], h)
 		}
@@ -222,6 +249,7 @@ func (p planner) pointAccess(ix secondaryIndex, path, op, detail string, args []
 		return out
 	}
 	a.probe = func(docKey string, h int64) bool {
+		probes.Inc()
 		for _, arg := range args {
 			if ix.containsDoc(arg, docKey, h) {
 				return true

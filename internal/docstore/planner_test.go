@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"smartchaindb/internal/obs"
 )
 
 // plannerFixture builds a small collection with one hash index (op),
@@ -147,20 +149,33 @@ func TestMultikeyRangeIntersection(t *testing.T) {
 }
 
 // TestFullScanCounter pins the observable: planned queries leave the
-// counter flat, unplannable ones bump it.
+// obs registry's full-scan counter flat, unplannable ones bump it,
+// and the planner's decisions land in the plan-kind counters.
 func TestFullScanCounter(t *testing.T) {
 	c := plannerFixture(t)
-	base := c.FullScans()
+	reg := obs.New()
+	c.setObs(reg)
+	scans := reg.Counter("docstore.full_scans")
+	base := scans.Value()
 	c.Find(Eq("op", "A"))
 	c.Count(And(Eq("op", "B"), Gt("n", 0)))
 	c.FindKeys(Or(Eq("op", "C"), Lt("n", 3)))
 	c.FindOrdered(Eq("op", "A"), "n", true, 0)
-	if got := c.FullScans(); got != base {
+	if got := scans.Value(); got != base {
 		t.Fatalf("planned queries executed %d full scans", got-base)
 	}
+	if reg.Counter("docstore.plan.point").Value() == 0 {
+		t.Fatal("point plans not counted")
+	}
+	if reg.Counter("docstore.index_probes").Value() == 0 {
+		t.Fatal("index probes not counted")
+	}
 	c.Find(Eq("u", 10))
-	if got := c.FullScans(); got != base+1 {
+	if got := scans.Value(); got != base+1 {
 		t.Fatalf("full-scan counter = %d, want %d", got, base+1)
+	}
+	if reg.Counter("docstore.plan.full_scan").Value() == 0 {
+		t.Fatal("full-scan plans not counted")
 	}
 }
 

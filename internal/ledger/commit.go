@@ -2,7 +2,10 @@ package ledger
 
 import (
 	"fmt"
+	"sync/atomic"
+	"time"
 
+	"smartchaindb/internal/obs"
 	"smartchaindb/internal/parallel"
 	"smartchaindb/internal/storage"
 	"smartchaindb/internal/txn"
@@ -226,21 +229,31 @@ func (s *State) sealTx(st *stagedTx) error {
 // state lock like the sequential path; only the internal apply phase
 // is parallel. Byte-identical outcome to commitBlockLocked.
 func (s *State) commitBlockPipelined(height int64, batch []*txn.Transaction, workers int) (committed []*txn.Transaction, skipped map[string]error, err error) {
+	t0 := time.Now()
 	plan := parallel.BuildPlan(batch)
+	planD := time.Since(t0)
 	staged := make([]*stagedTx, len(batch))
 
 	// Apply: per-conflict-group appliers over the shared LPT dispatch
 	// (largest group first, so the critical path never starts last).
+	// busy accumulates per-group applier time so busy/(wall*workers)
+	// reports the phase's worker utilization.
+	var busy atomic.Int64
+	applyT := time.Now()
 	plan.RunGroups(workers, func(g []int) {
+		gt := time.Now()
 		overlay := newGroupOverlay(s)
 		for _, i := range g {
 			staged[i] = overlay.stageTx(batch[i])
 		}
+		busy.Add(int64(time.Since(gt)))
 	})
+	applyD := time.Since(applyT)
 
 	// Seal: block-order application inside one atomic WAL group, then
 	// the height record — nothing of the block is durable before
 	// everything is.
+	sealT := time.Now()
 	committed = make([]*txn.Transaction, 0, len(batch))
 	err = s.store.Group(func() error {
 		for i, t := range batch {
@@ -275,5 +288,17 @@ func (s *State) commitBlockPipelined(height int64, batch []*txn.Transaction, wor
 	if height > s.lastHeight {
 		s.lastHeight = height
 	}
+	sealD := time.Since(sealT)
+	if s.ob.tracer != nil { // guard: the id projections allocate
+		cids := txIDs(committed)
+		s.ob.tracer.ObserveEach(txIDs(batch), obs.StageApply, applyD)
+		s.ob.tracer.ObserveEach(cids, obs.StageSeal, sealD)
+		s.ob.sealTraces(height, cids, skipped)
+	}
+	s.ob.recordBlock(height, planD, applyD, sealD, time.Since(t0), len(batch), len(committed), len(skipped))
+	s.ob.applyBusyNs.Add(uint64(busy.Load()))
+	s.ob.applyWallNs.Add(uint64(applyD))
+	s.ob.conflictGroups.Observe(int64(len(plan.Groups)))
+	s.ob.largestGroup.Observe(int64(plan.Largest()))
 	return committed, skipped, nil
 }

@@ -10,8 +10,10 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"time"
 
 	"smartchaindb/internal/docstore"
+	"smartchaindb/internal/obs"
 	"smartchaindb/internal/storage"
 	"smartchaindb/internal/txn"
 )
@@ -37,6 +39,11 @@ type State struct {
 	// one WAL group. Below 2, block commits run the sequential
 	// reference path. See commit.go.
 	commitWorkers int
+	// ob holds the cached observability handles (obs.go). The zero
+	// value is the no-op build; SetObs swaps in live handles. Guarded
+	// by mu, which every commit path already holds.
+	ob  ledgerObs
+	reg *obs.Registry
 }
 
 // NewState creates a chain state over the backend selected by the
@@ -153,6 +160,7 @@ func (s *State) commitBlockLocked(height int64, batch []*txn.Transaction) (commi
 	if s.commitWorkers > 1 && len(batch) > 1 {
 		return s.commitBlockPipelined(height, batch, s.commitWorkers)
 	}
+	t0 := time.Now()
 	committed = make([]*txn.Transaction, 0, len(batch))
 	err = s.store.Group(func() error {
 		for _, t := range batch {
@@ -181,6 +189,16 @@ func (s *State) commitBlockLocked(height int64, batch []*txn.Transaction) (commi
 	if height > s.lastHeight {
 		s.lastHeight = height
 	}
+	// The sequential reference path has no plan/apply phases: the whole
+	// block is one interleaved check-and-seal pass, attributed to seal.
+	total := time.Since(t0)
+	if s.ob.tracer != nil { // guard: the id projection allocates
+		ids := txIDs(committed)
+		s.ob.tracer.ObserveEach(ids, obs.StageApply, 0)
+		s.ob.tracer.ObserveEach(ids, obs.StageSeal, total)
+		s.ob.sealTraces(height, ids, skipped)
+	}
+	s.ob.recordBlock(height, 0, 0, total, total, len(batch), len(committed), len(skipped))
 	return committed, skipped, nil
 }
 

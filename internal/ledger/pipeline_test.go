@@ -132,14 +132,6 @@ func commitDifferential(t *testing.T, seq, par *State, workers int, seed int64) 
 	}
 }
 
-func txIDs(txs []*txn.Transaction) []string {
-	out := make([]string, len(txs))
-	for i, t := range txs {
-		out[i] = t.ID
-	}
-	return out
-}
-
 // TestPipelinedCommitDifferentialMemory pins byte-identical state
 // between the sequential commit and the per-conflict-group pipelined
 // commit across randomized workloads and worker counts, on the

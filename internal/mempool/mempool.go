@@ -3,7 +3,9 @@ package mempool
 import (
 	"fmt"
 	"sync"
+	"time"
 
+	"smartchaindb/internal/obs"
 	"smartchaindb/internal/parallel"
 )
 
@@ -49,6 +51,10 @@ type Config struct {
 	Footprint FootprintFn
 	// Check is the semantic admission validator (may be nil; see CheckFn).
 	Check CheckFn
+	// Obs attaches an observability registry: admission counters and
+	// phase histograms (mempool.*) plus the per-transaction stage
+	// tracer. Nil keeps the no-op build.
+	Obs *obs.Registry
 }
 
 func (c *Config) fill() {
@@ -111,6 +117,7 @@ type indexShard struct {
 // Pool is the footprint-indexed mempool.
 type Pool struct {
 	cfg Config
+	ob  poolObs
 
 	mu     sync.RWMutex
 	byHash map[string]*entry
@@ -137,6 +144,7 @@ func New(cfg Config) *Pool {
 	cfg.fill()
 	p := &Pool{
 		cfg:      cfg,
+		ob:       newPoolObs(cfg.Obs),
 		byHash:   make(map[string]*entry),
 		keyIndex: make(map[string]map[*entry]struct{}),
 		shards:   make([]*indexShard, cfg.Shards),
@@ -255,6 +263,14 @@ func (p *Pool) AdmitBatch(txs []Tx) AdmitResult {
 		Rejected: make(map[string]error),
 		Skipped:  make(map[string]error),
 	}
+	// Close the recv stage for every batch member: dwell is the time
+	// since the receiver's Arrive (zero for transactions that entered
+	// through a path with no arrival stamp).
+	if p.ob.tracer != nil {
+		p.ob.tracer.MarkReceived(p.ob.hashesOf(txs))
+	}
+	p.ob.batchSize.Observe(int64(len(txs)))
+	screenT := time.Now()
 	type candidate struct {
 		tx Tx
 		fp Footprint
@@ -276,6 +292,7 @@ func (p *Pool) AdmitBatch(txs []Tx) AdmitResult {
 		h := tx.Hash()
 		if batchSeen[h] || p.Contains(h) {
 			res.Skipped[h] = &ErrDuplicate{TxHash: h}
+			p.ob.screenDup.Inc()
 			continue
 		}
 		fp := p.cfg.Footprint(tx)
@@ -292,6 +309,7 @@ func (p *Pool) AdmitBatch(txs []Tx) AdmitResult {
 		}
 		if clash != nil {
 			res.Skipped[h] = clash
+			p.ob.screenClaimed.Inc()
 			continue
 		}
 		batchSeen[h] = true
@@ -299,6 +317,15 @@ func (p *Pool) AdmitBatch(txs []Tx) AdmitResult {
 			batchClaims[key] = h
 		}
 		cands = append(cands, candidate{tx: tx, fp: fp})
+	}
+	screenD := time.Since(screenT)
+	p.ob.screenNs.ObserveDuration(screenD)
+	if p.ob.tracer != nil && len(cands) > 0 {
+		ids := make([]string, len(cands))
+		for i, c := range cands {
+			ids[i] = c.tx.Hash()
+		}
+		p.ob.tracer.ObserveEach(ids, obs.StageAdmitScreen, screenD)
 	}
 
 	if len(cands) > 1 {
@@ -315,21 +342,35 @@ func (p *Pool) AdmitBatch(txs []Tx) AdmitResult {
 		}
 	}
 
+	var verifyD time.Duration
 	if p.cfg.Check != nil && len(cands) > 0 {
 		checked := make([]Tx, len(cands))
 		for i, c := range cands {
 			checked[i] = c.tx
 		}
+		verifyT := time.Now()
 		errs := p.cfg.Check(checked)
+		verifyD = time.Since(verifyT)
+		p.ob.verifyNs.ObserveDuration(verifyD)
 		kept := cands[:0]
 		for _, c := range cands {
 			if err, bad := errs[c.tx.Hash()]; bad {
 				res.Rejected[c.tx.Hash()] = err
+				p.ob.rejected.Inc()
 				continue
 			}
 			kept = append(kept, c)
 		}
 		cands = kept
+	}
+	// Surviving candidates carry the semantic phase's latency (zero
+	// when admission runs without a CheckFn).
+	if p.ob.tracer != nil && len(cands) > 0 {
+		ids := make([]string, len(cands))
+		for i, c := range cands {
+			ids[i] = c.tx.Hash()
+		}
+		p.ob.tracer.ObserveEach(ids, obs.StageAdmitVerify, verifyD)
 	}
 
 	// Rescue round: a transaction screened out because a same-batch
@@ -357,6 +398,7 @@ func (p *Pool) AdmitBatch(txs []Tx) AdmitResult {
 			h := c.tx.Hash()
 			if _, dup := p.byHash[h]; dup {
 				res.Skipped[h] = &ErrDuplicate{TxHash: h}
+				p.ob.screenDup.Inc()
 				continue
 			}
 			// Re-verify the claims under the pool lock: a concurrent
@@ -365,6 +407,7 @@ func (p *Pool) AdmitBatch(txs []Tx) AdmitResult {
 			for _, key := range c.fp.Spends {
 				if owner, ok := p.claimant(key); ok {
 					res.Skipped[h] = &ErrSpendClaimed{TxHash: h, Key: key, ClaimedBy: owner}
+					p.ob.screenClaimed.Inc()
 					lost = true
 					break
 				}
@@ -387,7 +430,9 @@ func (p *Pool) AdmitBatch(txs []Tx) AdmitResult {
 				s.mu.Unlock()
 			}
 			res.Admitted = append(res.Admitted, c.tx)
+			p.ob.admitted.Inc()
 		}
+		p.ob.live.Set(int64(p.live))
 		p.mu.Unlock()
 	}
 
@@ -400,6 +445,20 @@ func (p *Pool) AdmitBatch(txs []Tx) AdmitResult {
 		for h, err := range sub.Skipped {
 			res.Skipped[h] = err
 		}
+	}
+	if p.ob.tracer != nil && (len(res.Rejected) > 0 || len(res.Skipped) > 0) {
+		drop := make([]string, 0, len(res.Rejected)+len(res.Skipped))
+		for h := range res.Rejected {
+			drop = append(drop, h)
+		}
+		for h, err := range res.Skipped {
+			// A duplicate shares its hash with the pooled original, whose
+			// live trace must survive the rejection of its copy.
+			if _, dup := err.(*ErrDuplicate); !dup {
+				drop = append(drop, h)
+			}
+		}
+		p.ob.tracer.Drop(drop)
 	}
 	return res
 }
@@ -421,13 +480,18 @@ func (p *Pool) Reserve(txs []Tx) {
 // releases their spend claims. Unknown hashes are ignored.
 func (p *Pool) Remove(txs []Tx) {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	for _, tx := range txs {
 		if e, ok := p.byHash[tx.Hash()]; ok {
 			p.dropLocked(e)
 		}
 	}
 	p.compactLocked()
+	p.ob.live.Set(int64(p.live))
+	p.mu.Unlock()
+	// Evicted transactions leave the pipeline uncommitted.
+	if p.ob.tracer != nil {
+		p.ob.tracer.Drop(p.ob.hashesOf(txs))
+	}
 }
 
 // RemoveCommitted is the block-commit compaction: an index sweep, not a
@@ -479,6 +543,7 @@ func (p *Pool) RemoveCommitted(txs []Tx) {
 		}
 	}
 	p.compactLocked()
+	p.ob.live.Set(int64(p.live))
 }
 
 // Fresh reports, per transaction, whether the pool holds it with a
@@ -494,6 +559,11 @@ func (p *Pool) Fresh(txs []Tx) []bool {
 	for i, tx := range txs {
 		if e, ok := p.byHash[tx.Hash()]; ok {
 			out[i] = !e.stale
+		}
+		if out[i] {
+			p.ob.reuseHits.Inc()
+		} else {
+			p.ob.reuseMisses.Inc()
 		}
 	}
 	return out

@@ -2,7 +2,9 @@ package mempool
 
 import (
 	"sort"
+	"time"
 
+	"smartchaindb/internal/obs"
 	"smartchaindb/internal/parallel"
 )
 
@@ -25,6 +27,19 @@ import (
 // selected first, so no conflict chain is starved by a stream of
 // fresher independent work.
 func (p *Pool) Pack(maxTxs, workers int) []Tx {
+	t0 := time.Now()
+	out := p.pack(maxTxs, workers)
+	if len(out) > 0 {
+		d := time.Since(t0)
+		p.ob.packNs.ObserveDuration(d)
+		if p.ob.tracer != nil {
+			p.ob.tracer.ObserveEach(p.ob.hashesOf(out), obs.StagePack, d)
+		}
+	}
+	return out
+}
+
+func (p *Pool) pack(maxTxs, workers int) []Tx {
 	if workers <= 0 {
 		workers = p.cfg.PackWorkers
 	}

@@ -65,13 +65,21 @@ func (f *Fence) End() {
 // WaitKeys blocks while an in-flight commit's write set intersects
 // keys — the reads-at-h+1-wait-on-h rule. Disjoint key sets return
 // immediately, concurrent with the appliers.
-func (f *Fence) WaitKeys(keys []string) {
+func (f *Fence) WaitKeys(keys []string) { f.WaitKeysReport(keys) }
+
+// WaitKeysReport is WaitKeys reporting what it found: inflight is
+// whether a commit was applying when the call entered, blocked whether
+// the keys intersected its write set (so the call waited for the
+// seal). The two counters behind the commit-overlap metrics — fenced
+// waits lost vs. reads that overlapped the appliers — come from here.
+func (f *Fence) WaitKeysReport(keys []string) (inflight, blocked bool) {
 	for {
 		f.mu.Lock()
 		if f.done == nil {
 			f.mu.Unlock()
-			return
+			return inflight, blocked
 		}
+		inflight = true
 		hit := false
 		for _, k := range keys {
 			if _, ok := f.keys[k]; ok {
@@ -82,8 +90,9 @@ func (f *Fence) WaitKeys(keys []string) {
 		ch := f.done
 		f.mu.Unlock()
 		if !hit {
-			return
+			return inflight, blocked
 		}
+		blocked = true
 		<-ch
 	}
 }

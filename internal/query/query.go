@@ -26,9 +26,11 @@ package query
 
 import (
 	"sort"
+	"time"
 
 	"smartchaindb/internal/docstore"
 	"smartchaindb/internal/ledger"
+	"smartchaindb/internal/obs"
 	"smartchaindb/internal/txn"
 )
 
@@ -36,11 +38,19 @@ import (
 type Engine struct {
 	state *ledger.State
 	asOf  *ledger.StateView // nil: newest sealed block, pinned per call
+	// reg records per-method latency histograms (query.<method>_ns);
+	// inherited from the state's attached registry, nil for the no-op
+	// build.
+	reg *obs.Registry
 }
 
 // New creates a query engine over a chain state. Every call answers as
-// of the newest sealed block at the time of the call.
-func New(state *ledger.State) *Engine { return &Engine{state: state} }
+// of the newest sealed block at the time of the call. When the state
+// carries an observability registry (ledger.State.SetObs), every
+// method records its latency there as query.<method>_ns.
+func New(state *ledger.State) *Engine {
+	return &Engine{state: state, reg: state.ObsRegistry()}
+}
 
 // AsOf returns an engine answering every query as of block height h —
 // time-travel analytics over the retained version window. It fails
@@ -51,7 +61,22 @@ func (e *Engine) AsOf(h int64) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{state: e.state, asOf: v}, nil
+	return &Engine{state: e.state, asOf: v, reg: e.reg}, nil
+}
+
+// noopTimer is the shared stop function handed out when no registry is
+// attached, keeping the no-op path allocation-free.
+var noopTimer = func() {}
+
+// timed starts a latency measurement for one query method; the
+// returned stop function records it into query.<method>_ns.
+func (e *Engine) timed(method string) func() {
+	if e.reg == nil {
+		return noopTimer
+	}
+	h := e.reg.Histogram("query." + method + "_ns")
+	t0 := time.Now()
+	return func() { h.ObserveSince(t0) }
 }
 
 // view pins the chain snapshot one query call runs against.
@@ -112,6 +137,7 @@ func openRequestsFilter(v *ledger.StateView, extra ...docstore.Filter) docstore.
 // OpenRequests lists committed REQUESTs with no ACCEPT_BID yet — the
 // indexed difference between the REQUEST set and the accepted-RFQ set.
 func (e *Engine) OpenRequests() []*txn.Transaction {
+	defer e.timed("open_requests")()
 	v := e.view()
 	return txsFromDocs(transactions(v).Find(openRequestsFilter(v)))
 }
@@ -121,6 +147,7 @@ func (e *Engine) OpenRequests() []*txn.Transaction {
 // by a manufacturing provider looking for work. The capability index
 // intersects with the operation index before any document is fetched.
 func (e *Engine) OpenRequestsWithCapability(capability string) []*txn.Transaction {
+	defer e.timed("open_requests_with_capability")()
 	v := e.view()
 	return txsFromDocs(transactions(v).Find(openRequestsFilter(v,
 		docstore.Contains("asset.data.capabilities", capability),
@@ -132,6 +159,7 @@ func (e *Engine) OpenRequestsWithCapability(capability string) []*txn.Transactio
 // off the ordered timestamp index — the "what just arrived?" feed a
 // provider polls. Requests without a timestamp are not listed.
 func (e *Engine) RecentOpenRequests(limit int) []*txn.Transaction {
+	defer e.timed("recent_open_requests")()
 	v := e.view()
 	return txsFromDocs(transactions(v).FindOrdered(
 		openRequestsFilter(v), "metadata.timestamp", true, limit,
@@ -141,6 +169,7 @@ func (e *Engine) RecentOpenRequests(limit int) []*txn.Transaction {
 // BidsForRequest lists every BID ever placed for a REQUEST, locked or
 // settled — the intersection of the operation and reference indexes.
 func (e *Engine) BidsForRequest(rfqID string) []*txn.Transaction {
+	defer e.timed("bids_for_request")()
 	return txsFromDocs(transactions(e.view()).Find(docstore.And(
 		docstore.Eq("operation", txn.OpBid),
 		docstore.Contains("refs", rfqID),
@@ -150,6 +179,7 @@ func (e *Engine) BidsForRequest(rfqID string) []*txn.Transaction {
 // BidsByAccount lists the BIDs a given account has placed (its inputs
 // carry the account as owner-before).
 func (e *Engine) BidsByAccount(pub string) []*txn.Transaction {
+	defer e.timed("bids_by_account")()
 	return txsFromDocs(transactions(e.view()).Find(docstore.And(
 		docstore.Eq("operation", txn.OpBid),
 		docstore.Eq("inputs.owners_before", pub),
@@ -161,6 +191,7 @@ func (e *Engine) BidsByAccount(pub string) []*txn.Transaction {
 // intersected with the operation index, the price-discovery query a
 // requester runs before accepting.
 func (e *Engine) BidsInPriceBand(lo, hi uint64) []*txn.Transaction {
+	defer e.timed("bids_in_price_band")()
 	return txsFromDocs(transactions(e.view()).Find(docstore.And(
 		docstore.Eq("operation", txn.OpBid),
 		docstore.Gte("outputs.amount", lo),
@@ -184,6 +215,7 @@ type Outcome struct {
 // settlement status reads the live recovery log, which trails the
 // snapshot by design — children commit in later blocks.
 func (e *Engine) AuctionOutcome(rfqID string) (*Outcome, bool) {
+	defer e.timed("auction_outcome")()
 	v := e.view()
 	accept, ok := v.AcceptForRFQ(rfqID)
 	if !ok {
@@ -218,6 +250,7 @@ type ProvenanceStep struct {
 // the walk can never chase a spender edge into a block that sealed
 // after the walk started.
 func (e *Engine) AssetProvenance(assetID string) []ProvenanceStep {
+	defer e.timed("asset_provenance")()
 	v := e.view()
 	var steps []ProvenanceStep
 	cur := assetID
@@ -242,6 +275,7 @@ func (e *Engine) AssetProvenance(assetID string) []ProvenanceStep {
 // HolderOf reports who currently holds unspent shares of an asset —
 // the asset-id index intersected with the unspent set.
 func (e *Engine) HolderOf(assetID string) map[string]uint64 {
+	defer e.timed("holder_of")()
 	docs := utxos(e.view()).Find(docstore.And(
 		docstore.Eq("asset_id", assetID),
 		docstore.Eq("spent", false),
@@ -263,6 +297,7 @@ func (e *Engine) HolderOf(assetID string) map[string]uint64 {
 // [lo, hi] — the value-band analytics sweep over the ordered amount
 // index, intersected with the unspent set.
 func (e *Engine) HoldingsInBand(lo, hi uint64) []txn.OutputRef {
+	defer e.timed("holdings_in_band")()
 	docs := utxos(e.view()).Find(docstore.And(
 		docstore.Eq("spent", false),
 		docstore.Gte("amount", lo),
@@ -281,6 +316,7 @@ func (e *Engine) HoldingsInBand(lo, hi uint64) []txn.OutputRef {
 // capability — the provider-side discovery query, driven by the
 // capability index on the asset collection.
 func (e *Engine) AssetsWithCapability(capability string) []string {
+	defer e.timed("assets_with_capability")()
 	docs := e.view().Collection(ledger.ColAssets).Find(docstore.And(
 		docstore.Eq("operation", txn.OpCreate),
 		docstore.Contains("data.capabilities", capability),
@@ -299,6 +335,7 @@ func (e *Engine) AssetsWithCapability(capability string) []string {
 // basic business-intelligence rollup, one index point count each, all
 // against one snapshot so the tallies sum to a real chain state.
 func (e *Engine) OperationCounts() map[string]int {
+	defer e.timed("operation_counts")()
 	txs := transactions(e.view())
 	counts := make(map[string]int)
 	for _, op := range txn.Operations() {

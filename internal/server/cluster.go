@@ -8,6 +8,7 @@ import (
 	"smartchaindb/internal/consensus"
 	"smartchaindb/internal/mempool"
 	"smartchaindb/internal/netsim"
+	"smartchaindb/internal/obs"
 	"smartchaindb/internal/txn"
 )
 
@@ -40,6 +41,13 @@ type ClusterConfig struct {
 	Packing string
 	// MempoolShards is the spend-index shard count (default 16).
 	MempoolShards int
+	// ObsFor, when set, supplies each validator's observability
+	// registry (nil entries keep that node's no-op build). Registries
+	// are per node — each validator's mempool, stage tracer, and
+	// storage metrics record into its own — so Node.Obs overrides,
+	// when both are set, apply to every node and are almost never what
+	// a cluster wants.
+	ObsFor func(node int) *obs.Registry
 	// Seed drives all randomness.
 	Seed int64
 }
@@ -101,6 +109,9 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		nodeCfg := cfg.Node
 		if cfg.DataDir != "" {
 			nodeCfg.DataDir = filepath.Join(cfg.DataDir, fmt.Sprintf("node-%02d", i))
+		}
+		if cfg.ObsFor != nil {
+			nodeCfg.Obs = cfg.ObsFor(i)
 		}
 		n := NewNode(nodeCfg)
 		c.nodes[i] = n

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"smartchaindb/internal/consensus"
+	"smartchaindb/internal/obs"
+	"smartchaindb/internal/txn"
+	"smartchaindb/internal/workload"
+)
+
+// runTracedWorkload drives a multi-auction workload through a
+// single-validator cluster — proposer == committer, so every pipeline
+// stage of every committed transaction runs on the one instrumented
+// node — and returns the live registry plus the committed hashes.
+func runTracedWorkload(t *testing.T, dataDir string) (*obs.Registry, []string) {
+	t.Helper()
+	reg := obs.New()
+	var committed []string
+	cluster := NewCluster(ClusterConfig{
+		Nodes:         1,
+		Seed:          99,
+		BlockInterval: 30 * time.Millisecond,
+		MaxBlockTxs:   8,
+		Pipelined:     true,
+		DataDir:       dataDir,
+		ChildDelay:    50 * time.Millisecond,
+		ObsFor:        func(int) *obs.Registry { return reg },
+		Node: Config{
+			ParallelWorkers:  2,
+			AdmissionWorkers: 2,
+			MempoolBatch:     8,
+			CommitWorkers:    2,
+			AsyncCommit:      true,
+		},
+	})
+	defer cluster.Close()
+	cluster.OnCommit(func(tx consensus.Tx, _ time.Duration) {
+		committed = append(committed, tx.Hash())
+	})
+
+	const auctions, bidders = 2, 3
+	gen := workload.NewGenerator(7, cluster.ServerNode(0).Escrow())
+	groups := make([]*workload.AuctionGroup, 0, auctions)
+	base := 0
+	for i := 0; i < auctions; i++ {
+		groups = append(groups, gen.NewAuctionGroup(base, workload.AuctionGroupSpec{
+			BiddersPerAuction: bidders, PayloadBytes: 96,
+		}))
+		base += bidders + 1
+	}
+	at := cluster.Sched().Now()
+	count, children := 0, 0
+	submit := func(tx *txn.Transaction) {
+		cluster.SubmitAt(at, tx)
+		at += 2 * time.Millisecond
+		count++
+	}
+	settle := func() {
+		cluster.RunUntil(cluster.Sched().Now() + time.Second)
+		at = cluster.Sched().Now()
+	}
+	for _, g := range groups {
+		submit(g.Request)
+		for _, c := range g.Creates {
+			submit(c)
+		}
+	}
+	cluster.RunUntilCommitted(count, at+time.Hour)
+	settle()
+	for _, g := range groups {
+		for _, b := range g.Bids {
+			submit(b)
+		}
+	}
+	cluster.RunUntilCommitted(count, at+time.Hour)
+	settle()
+	for _, g := range groups {
+		submit(g.Accept)
+		children += len(g.Bids)
+	}
+	if got := cluster.RunUntilCommitted(count+children, at+time.Hour); got != count+children {
+		t.Fatalf("committed %d of %d", got, count+children)
+	}
+	settle()
+	// A decided block may still be applying in the background; drain so
+	// the last block's apply/seal observations and height stamps land.
+	cluster.ServerNode(0).DrainCommits()
+	return reg, committed
+}
+
+// assertTracesComplete is the tentpole's trace acceptance: every
+// committed transaction's trace is height-stamped and reports every
+// pipeline stage. Exactly-once is structural (stages record
+// first-observation-wins), so observed == recorded exactly once.
+func assertTracesComplete(t *testing.T, reg *obs.Registry, committed []string) {
+	t.Helper()
+	if len(committed) == 0 {
+		t.Fatal("no transactions committed")
+	}
+	tracer := reg.Tracer()
+	for _, h := range committed {
+		tr, ok := tracer.Trace(h)
+		if !ok {
+			t.Errorf("committed tx %s has no trace", h)
+			continue
+		}
+		if tr.Height <= 0 {
+			t.Errorf("committed tx %s: trace not height-stamped (height %d)", h, tr.Height)
+		}
+		for s := obs.Stage(0); s < obs.StageCount; s++ {
+			if !tr.Observed(s) {
+				t.Errorf("committed tx %s: stage %s never observed", h, s)
+			}
+		}
+	}
+	if n := tracer.Dropped(); n != 0 {
+		t.Errorf("tracer dropped %d traces at the active bound", n)
+	}
+	// The aggregate seal histogram counts one observation per committed
+	// transaction: stages cannot double-record.
+	if got := tracer.StageHistogram(obs.StageSeal).Snapshot().Count; got != uint64(len(committed)) {
+		t.Errorf("seal stage recorded %d observations for %d committed txs", got, len(committed))
+	}
+}
+
+func TestClusterTracesEveryStage(t *testing.T) {
+	for _, backend := range []string{"memory", "disk"} {
+		t.Run(backend, func(t *testing.T) {
+			dir := ""
+			if backend == "disk" {
+				dir = t.TempDir()
+			}
+			reg, committed := runTracedWorkload(t, dir)
+			assertTracesComplete(t, reg, committed)
+
+			// The registry's snapshot carries the same stages for the ops
+			// endpoint: every stage histogram saw every committed tx.
+			snap := reg.Snapshot()
+			for s := obs.Stage(0); s < obs.StageCount; s++ {
+				d, ok := snap.Stages[s.String()]
+				if !ok || d.Count < uint64(len(committed)) {
+					t.Errorf("snapshot stage %s: %d observations for %d committed txs (present %t)",
+						s, d.Count, len(committed), ok)
+				}
+			}
+		})
+	}
+}
+
+// TestTraceIDsAreTxIDs pins the cross-layer contract every tracer call
+// site relies on: consensus keys traces by Tx.Hash, the ledger by
+// Transaction.ID — they must be the same string or traces split.
+func TestTraceIDsAreTxIDs(t *testing.T) {
+	tx := &txn.Transaction{ID: "abc123"}
+	if got := tx.Hash(); got != tx.ID {
+		t.Fatalf("Transaction.Hash() = %q, want ID %q", got, tx.ID)
+	}
+}

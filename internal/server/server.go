@@ -16,6 +16,7 @@ import (
 	"smartchaindb/internal/keys"
 	"smartchaindb/internal/ledger"
 	"smartchaindb/internal/nested"
+	"smartchaindb/internal/obs"
 	"smartchaindb/internal/parallel"
 	"smartchaindb/internal/schema"
 	"smartchaindb/internal/storage"
@@ -84,6 +85,13 @@ type Config struct {
 	// crash-consistency formats without the per-block flush cost.
 	// Only meaningful with DataDir set.
 	NoSync bool
+	// Obs attaches an observability registry to every layer of the
+	// node: ledger commit histograms, docstore planner counters,
+	// storage WAL/MVCC metrics, the validation fence counters, and the
+	// per-transaction stage tracer. Nil (the default) keeps the no-op
+	// build — instrumentation compiles in but every record is a
+	// nil-receiver no-op.
+	Obs *obs.Registry
 }
 
 func (c *Config) fill() {
@@ -104,6 +112,7 @@ type Node struct {
 	reserved *keys.Reserved
 	nested   *nested.Engine
 	sched    *parallel.Scheduler
+	ob       nodeObs
 
 	// baseHeight is the ledger height recovered at open; consensus
 	// heights (always starting at 1 per run) are committed relative
@@ -158,6 +167,7 @@ func OpenNode(cfg Config) (*Node, error) {
 		state:    state,
 		reserved: keys.NewReservedWithDefaults(cfg.ReservedSeed),
 		sched:    &parallel.Scheduler{Workers: cfg.ParallelWorkers},
+		ob:       newNodeObs(cfg.Obs),
 	}
 	n.submitChild = func(child *txn.Transaction) {
 		// Standalone default: apply children locally and synchronously.
@@ -186,6 +196,9 @@ func openState(cfg Config) (*ledger.State, error) {
 		state = ledger.NewStateWith(eng)
 	}
 	state.SetCommitWorkers(cfg.CommitWorkers)
+	if cfg.Obs != nil {
+		state.SetObs(cfg.Obs)
+	}
 	return state, nil
 }
 
@@ -238,7 +251,7 @@ func (n *Node) ValidateTx(t *txn.Transaction) error {
 	if err := n.schemas.ValidateTx(t); err != nil {
 		return err
 	}
-	n.fence.WaitKeys(parallel.TouchKeys([]*txn.Transaction{t}))
+	n.waitFence(parallel.TouchKeys([]*txn.Transaction{t}))
 	ctx := &txtype.Context{State: n.state.View(), Reserved: n.reserved}
 	return n.types.Validate(ctx, t)
 }
@@ -336,9 +349,9 @@ func (n *Node) CheckTxBatch(txs []consensus.Tx) map[string]error {
 		// The plan doubles as the fence key source, so the batch's
 		// footprints are derived once, not once per consumer.
 		plan = parallel.BuildPlan(batch)
-		n.fence.WaitKeys(plan.TouchKeys())
+		n.waitFence(plan.TouchKeys())
 	} else {
-		n.fence.WaitKeys(parallel.TouchKeys(batch))
+		n.waitFence(parallel.TouchKeys(batch))
 	}
 	// One snapshot for the whole batch: every worker's condition set
 	// reads the same sealed height (the one the fence wait just
@@ -389,13 +402,19 @@ func (n *Node) ValidateBlock(txs []consensus.Tx) []consensus.Tx {
 func (n *Node) ValidateBlockFresh(txs []consensus.Tx, fresh []bool) []consensus.Tx {
 	batch, freshBatch := asTransactionsFresh(txs, fresh)
 	var plan *parallel.Plan
+	var fenceD time.Duration
 	if n.cfg.ParallelWorkers > 1 {
 		plan = n.planFor(batch)
-		n.fence.WaitKeys(plan.TouchKeys())
+		fenceD = n.waitFence(plan.TouchKeys())
 	} else {
-		n.fence.WaitKeys(parallel.TouchKeys(batch))
+		fenceD = n.waitFence(parallel.TouchKeys(batch))
 	}
+	if n.ob.tracer != nil {
+		n.ob.tracer.ObserveEach(n.batchIDs(batch), obs.StageFenceWait, fenceD)
+	}
+	validateT := time.Now()
 	res := n.sched.ValidateBatchFresh(n.types, n.state.View(), n.reserved, batch, plan, freshBatch)
+	n.observeValidation(batch, res, time.Since(validateT))
 	rejected := make(map[*txn.Transaction]bool, len(res.Invalid))
 	for _, t := range res.Invalid {
 		rejected[t] = true

@@ -5,6 +5,9 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
+
+	"smartchaindb/internal/obs"
 )
 
 // Options tunes a disk Engine.
@@ -45,10 +48,11 @@ type Engine struct {
 	// groupMu serializes Groups.
 	groupMu sync.Mutex
 
-	mu     sync.Mutex // guards wal/gen swaps and closed
+	mu     sync.Mutex // guards wal/gen swaps, reg, and closed
 	wal    *wal
 	gen    uint64
 	closed bool
+	reg    *obs.Registry
 
 	lock *os.File // flock on <dir>/LOCK for the engine's lifetime
 	mem  *Memory
@@ -284,6 +288,24 @@ func (e *Engine) StampHeight() int64 { return e.mem.StampHeight() }
 // SetRetain sets K, the number of sealed heights retained.
 func (e *Engine) SetRetain(k int64) { e.mem.SetRetain(k) }
 
+// SetObs attaches an observability registry: WAL group bytes / fsync
+// latency, segment and generation gauges, compaction durations, and
+// the memtable's MVCC metrics all record into it.
+func (e *Engine) SetObs(reg *obs.Registry) {
+	e.mem.SetObs(reg)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.reg = reg
+	if e.wal != nil {
+		e.wal.setObs(reg)
+	}
+	if reg != nil {
+		segs, _ := filepath.Glob(filepath.Join(e.dir, fmt.Sprintf("seg-%06d-*.seg", e.gen)))
+		reg.Gauge("storage.segments").Set(int64(len(segs)))
+		reg.Gauge("storage.gen").Set(int64(e.gen))
+	}
+}
+
 // Drop removes a collection and logs the removal.
 func (e *Engine) Drop(name string) error {
 	return e.apply(mutation{op: opDrop, coll: name}, func() error {
@@ -302,6 +324,7 @@ func (e *Engine) Compact() error {
 	if e.closed {
 		return fmt.Errorf("storage: engine is closed")
 	}
+	t0 := time.Now()
 
 	oldGen := e.gen
 	newGen := e.gen + 1
@@ -325,6 +348,11 @@ func (e *Engine) Compact() error {
 	oldWAL := e.wal
 	e.wal = newWAL
 	e.gen = newGen
+	newWAL.setObs(e.reg)
+	e.reg.Histogram("storage.compact_ns").ObserveSince(t0)
+	e.reg.Counter("storage.compactions").Inc()
+	e.reg.Gauge("storage.segments").Set(int64(len(segs)))
+	e.reg.Gauge("storage.gen").Set(int64(newGen))
 	if oldWAL != nil {
 		oldWAL.close()
 	}

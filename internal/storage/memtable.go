@@ -5,7 +5,33 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"smartchaindb/internal/obs"
 )
+
+// memObs holds the MVCC metric handles both backends' memtables record
+// into. The zero value's nil handles are no-ops, so collections never
+// branch on whether observability is attached.
+type memObs struct {
+	prunedVersions *obs.Counter   // storage.mvcc.pruned_versions
+	prunedChains   *obs.Counter   // storage.mvcc.pruned_chains
+	chainLen       *obs.Histogram // storage.mvcc.chain_len (per GC'd key)
+	visible        *obs.Gauge     // storage.mvcc.visible_height
+	floor          *obs.Gauge     // storage.mvcc.floor_height
+}
+
+func newMemObs(reg *obs.Registry) *memObs {
+	if reg == nil {
+		return &memObs{}
+	}
+	return &memObs{
+		prunedVersions: reg.Counter("storage.mvcc.pruned_versions"),
+		prunedChains:   reg.Counter("storage.mvcc.pruned_chains"),
+		chainLen:       reg.Histogram("storage.mvcc.chain_len"),
+		visible:        reg.Gauge("storage.mvcc.visible_height"),
+		floor:          reg.Gauge("storage.mvcc.floor_height"),
+	}
+}
 
 // HeightLatest selects the writer view: the newest version of every
 // key, including writes of a block that is still being applied. It is
@@ -108,6 +134,9 @@ const (
 type MemCollection struct {
 	name  string
 	clock *verClock
+	// ob points at the owning backend's attached metric handles; a
+	// stored nil (never attached) reads as all-no-op handles.
+	ob *atomic.Pointer[memObs]
 
 	chains sync.Map // key -> *verChain
 	log    atomic.Pointer[entrySeg]
@@ -121,8 +150,8 @@ type MemCollection struct {
 	dirty   map[int64]map[string]struct{} // height -> keys written (GC worklist)
 }
 
-func newMemCollection(name string, clock *verClock) *MemCollection {
-	c := &MemCollection{name: name, clock: clock, dirty: make(map[int64]map[string]struct{})}
+func newMemCollection(name string, clock *verClock, ob *atomic.Pointer[memObs]) *MemCollection {
+	c := &MemCollection{name: name, clock: clock, ob: ob, dirty: make(map[int64]map[string]struct{})}
 	seg := &entrySeg{buf: make([]entry, entrySegMinCap)}
 	c.log.Store(seg)
 	c.tail = seg
@@ -474,6 +503,7 @@ func (c *MemCollection) scanHead(fn func(key string, v *docVersion) bool) {
 // are rewritten, and a reader already past the cut holds direct
 // version pointers.
 func (c *MemCollection) gc(horizon int64) {
+	ob := memObsOf(c.ob)
 	c.wmu.Lock()
 	for h, keys := range c.dirty {
 		if h > horizon {
@@ -488,17 +518,23 @@ func (c *MemCollection) gc(horizon int64) {
 			ch := cv.(*verChain)
 			head := ch.head.Load()
 			v := head
+			depth := int64(0)
 			for v != nil && v.height > horizon {
+				depth++
 				v = v.prev.Load()
 			}
 			if v == nil {
+				ob.chainLen.Observe(depth)
 				continue
 			}
+			ob.chainLen.Observe(depth + 1)
 			if v == head && v.doc == nil {
 				// The newest version is a tombstone at or below the
 				// horizon: no supported snapshot sees this key.
 				c.chains.Delete(key)
 				c.dead++
+				ob.prunedChains.Inc()
+				ob.prunedVersions.Inc()
 				continue
 			}
 			if old := v.prev.Load(); old != nil {
@@ -508,11 +544,25 @@ func (c *MemCollection) gc(horizon int64) {
 					c.dead++
 				}
 				v.prev.Store(nil)
+				for ; old != nil; old = old.prev.Load() {
+					ob.prunedVersions.Inc()
+				}
 			}
 		}
 	}
 	c.maybeCompactLog()
 	c.wmu.Unlock()
+}
+
+// memObsOf dereferences a collection's handle pointer; nil (backend
+// never attached) reads as the all-no-op zero handles.
+func memObsOf(p *atomic.Pointer[memObs]) memObs {
+	if p != nil {
+		if ob := p.Load(); ob != nil {
+			return *ob
+		}
+	}
+	return memObs{}
 }
 
 // maybeCompactLog rebuilds the iteration log once dead entries
@@ -563,6 +613,7 @@ type Memory struct {
 	groupMu sync.Mutex
 	colls   map[string]*MemCollection
 	clock   verClock
+	ob      atomic.Pointer[memObs]
 }
 
 // NewMemory creates an empty memory backend.
@@ -584,9 +635,22 @@ func (m *Memory) coll(name string) *MemCollection {
 	if c := m.colls[name]; c != nil {
 		return c
 	}
-	c = newMemCollection(name, &m.clock)
+	c = newMemCollection(name, &m.clock, &m.ob)
 	m.colls[name] = c
 	return c
+}
+
+// SetObs attaches (or, with nil, detaches) an observability registry.
+// Every collection — existing and future — records through it.
+func (m *Memory) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		m.ob.Store(nil)
+		return
+	}
+	ob := newMemObs(reg)
+	ob.visible.Set(m.clock.visible.Load())
+	ob.floor.Set(m.clock.floor.Load())
+	m.ob.Store(ob)
 }
 
 // peek returns the named collection without creating it.
@@ -654,10 +718,13 @@ func (m *Memory) SealBlock(h int64) {
 		}
 	}
 	m.clock.write.Store(0)
+	ob := memObsOf(&m.ob)
+	ob.visible.Set(m.clock.visible.Load())
 	horizon := m.clock.visible.Load() - m.clock.retain.Load() + 1
 	if horizon <= m.clock.floor.Load() {
 		return
 	}
+	ob.floor.Set(horizon)
 	// Publish the new floor before cutting: a reader that validated
 	// its height against the old floor and lost the race reads a
 	// truncated chain only if it was already below the new floor —

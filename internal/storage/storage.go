@@ -62,6 +62,8 @@
 // height.
 package storage
 
+import "smartchaindb/internal/obs"
+
 // Backend is the persistence layer a docstore.Store runs over. It was
 // extracted from the document store's collection primitives so the
 // same Store (filters, indexes, deep-copy semantics) runs unchanged
@@ -114,6 +116,12 @@ type Backend interface {
 	// SetRetain sets K, the number of sealed heights retained for
 	// snapshot reads (minimum 1, default DefaultRetainHeights).
 	SetRetain(k int64)
+
+	// SetObs attaches an observability registry: WAL group bytes and
+	// fsync latency, segment counts, compaction durations, and MVCC
+	// clock/GC metrics record into it. A nil registry (the default)
+	// detaches; recording into the nil handles is a no-op.
+	SetObs(reg *obs.Registry)
 }
 
 // Collection is one backend collection: an ordered, concurrency-safe

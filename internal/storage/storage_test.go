@@ -317,7 +317,7 @@ func TestEngineAutoCompactsPastThreshold(t *testing.T) {
 }
 
 func TestMemCollectionConcurrentPointReads(t *testing.T) {
-	c := newMemCollection("x", &verClock{})
+	c := newMemCollection("x", &verClock{}, nil)
 	for i := 0; i < 256; i++ {
 		c.Put(fmt.Sprintf("k%d", i), doc("i", float64(i)))
 	}

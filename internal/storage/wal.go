@@ -8,6 +8,9 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
+
+	"smartchaindb/internal/obs"
 )
 
 // WAL framing. Each commit appends one frame:
@@ -45,6 +48,24 @@ type wal struct {
 	syncedEnd int64 // bytes known durable
 	syncing   bool
 	err       error // sticky I/O failure; the engine is dead once set
+
+	// Metric handles (guarded by mu; nil = no-op).
+	fsyncNs    *obs.Histogram
+	groupBytes *obs.Histogram
+	groups     *obs.Counter
+}
+
+// setObs attaches (nil: detaches) the WAL's metric handles.
+func (w *wal) setObs(reg *obs.Registry) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if reg == nil {
+		w.fsyncNs, w.groupBytes, w.groups = nil, nil, nil
+		return
+	}
+	w.fsyncNs = reg.Histogram("storage.wal.fsync_ns")
+	w.groupBytes = reg.Histogram("storage.wal.group_bytes")
+	w.groups = reg.Counter("storage.wal.groups")
 }
 
 // createWAL makes a fresh, empty, synced WAL file at path.
@@ -118,6 +139,8 @@ func (w *wal) commit(payload []byte) error {
 		return w.err
 	}
 	w.size += int64(len(frame))
+	w.groups.Inc()
+	w.groupBytes.Observe(int64(len(frame)))
 	myEnd := w.size
 	if w.noSync {
 		return nil
@@ -133,8 +156,11 @@ func (w *wal) commit(payload []byte) error {
 		}
 		w.syncing = true
 		target := w.size // everything appended so far rides this fsync
+		fsyncNs := w.fsyncNs
 		w.mu.Unlock()
+		t0 := time.Now()
 		err := w.f.Sync()
+		fsyncNs.ObserveSince(t0)
 		w.mu.Lock()
 		w.syncing = false
 		if err != nil {
