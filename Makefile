@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-disk test-race bench-parallel bench-storage bench-mempool bench-commit bench-query bench-mvcc bench-obs bench-smoke ci
+.PHONY: all build vet test test-disk test-race bench-parallel bench-storage bench-mempool bench-commit bench-query bench-mvcc bench-obs bench-shard bench-smoke ci
 
 all: build test
 
@@ -26,10 +26,12 @@ test: build vet
 # The tier-1 suites that touch chain state (ledger, server/cluster,
 # nested recovery, bench differential, query) re-run over the disk
 # backend — including the MVCC snapshot suites (storage version
-# chains, docstore snapshot isolation, ledger StateAt differentials).
-# -count=1 forces a fresh run under the env switch.
+# chains, docstore snapshot isolation, ledger StateAt differentials)
+# and the sharding suite (per-shard WALs, cross-shard 2PC crash
+# convergence, directory rebuild across reopen). -count=1 forces a
+# fresh run under the env switch.
 test-disk:
-	SCDB_BACKEND=disk $(GO) test -count=1 ./internal/ledger ./internal/server ./internal/consensus ./internal/nested ./internal/bench ./internal/query ./internal/docstore ./internal/obs
+	SCDB_BACKEND=disk $(GO) test -count=1 ./internal/ledger ./internal/server ./internal/consensus ./internal/nested ./internal/bench ./internal/query ./internal/docstore ./internal/obs ./internal/shard
 
 # The race gate covers the commit pipeline end to end: the ledger's
 # per-conflict-group appliers, the server's commit fence (incl. the
@@ -41,8 +43,8 @@ test-disk:
 # leg re-runs the ledger-backed suites, incl. the
 # query-engine-vs-block-commit race, over the WAL engine.
 test-race:
-	$(GO) test -race ./internal/mempool ./internal/parallel ./internal/ledger ./internal/consensus ./internal/server ./internal/bench ./internal/storage ./internal/docstore ./internal/query ./internal/obs
-	SCDB_BACKEND=disk $(GO) test -race -count=1 ./internal/ledger ./internal/server ./internal/consensus ./internal/query
+	$(GO) test -race ./internal/mempool ./internal/parallel ./internal/ledger ./internal/consensus ./internal/server ./internal/bench ./internal/storage ./internal/docstore ./internal/query ./internal/obs ./internal/shard
+	SCDB_BACKEND=disk $(GO) test -race -count=1 ./internal/ledger ./internal/server ./internal/consensus ./internal/query ./internal/shard
 
 # Reproduce the parallel-validation experiment (wall-clock sweep plus
 # the virtual-time consensus leg) at the paper-mix scale: ~110k
@@ -87,12 +89,19 @@ bench-mvcc:
 bench-obs:
 	$(GO) run ./cmd/scdb-bench -exp obs -obsgate 3
 
+# Horizontal-sharding experiment: per-cross-rate makespan speedup over
+# shard count — near-linear at 0% cross-shard, degrading gracefully as
+# the 2PC rate sweeps up.
+bench-shard:
+	$(GO) run ./cmd/scdb-bench -exp shard
+
 # Seconds-scale smoke run of the parallel, storage, mempool, commit,
-# query, mvcc, and obs experiments — part of the default `make test`
-# gate so a broken experiment path fails the build, not the next
-# benchmarking session. Writes the machine-readable results alongside
-# the tables (obs is ungated here: the smoke gate is shape, not noise).
+# query, mvcc, obs, and shard experiments — part of the default
+# `make test` gate so a broken experiment path fails the build, not
+# the next benchmarking session. Writes the machine-readable results
+# alongside the tables (obs is ungated here: the smoke gate is shape,
+# not noise).
 bench-smoke:
-	$(GO) run ./cmd/scdb-bench -exp parallel,storage,mempool,commit,query,mvcc,obs -json bench-smoke.json -batches 1 -batchtxs 64 -parallel 1,4 -storageblocks 2 -storagesizes 64 -mempooltxs 256 -commitblocks 3 -committxs 96 -conflicts 0.25,0.5 -querydocs 512,4096 -queryreps 16 -queryblocks 2 -querytxs 64 -queryreaders 2 -mvccblocks 4 -mvcctxs 64 -mvccreaders 2
+	$(GO) run ./cmd/scdb-bench -exp parallel,storage,mempool,commit,query,mvcc,obs,shard -json bench-smoke.json -batches 1 -batchtxs 64 -parallel 1,4 -storageblocks 2 -storagesizes 64 -mempooltxs 256 -commitblocks 3 -committxs 96 -conflicts 0.25,0.5 -querydocs 512,4096 -queryreps 16 -queryblocks 2 -querytxs 64 -queryreaders 2 -mvccblocks 4 -mvcctxs 64 -mvccreaders 2 -shardcounts 1,2 -shardcross 0,0.25 -shardchains 8 -shardrounds 2
 
 ci: test test-race

@@ -17,6 +17,7 @@
 //	scdb-bench -exp query -querydocs 1000,10000,50000 -queryreps 64
 //	scdb-bench -exp mvcc -mvccblocks 8 -mvcctxs 256 -mvccreaders 4
 //	scdb-bench -exp obs -obsgate 3      # instrumentation overhead vs the no-op registry
+//	scdb-bench -exp shard -shardcounts 1,2,4 -shardcross 0,0.1,0.3
 //	scdb-bench -exp commit -json out.json   # machine-readable results alongside the tables
 //	scdb-bench -exp fig7 -valworkers 4  # headline curves on the parallel pipeline
 //	scdb-bench -exp parallel,storage    # comma-separated subsets
@@ -37,7 +38,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "comma-separated experiments: fig2 | fig7 | fig8 | usability | mix | recovery | parallel | storage | mempool | commit | query | mvcc | obs | all")
+		exp        = flag.String("exp", "all", "comma-separated experiments: fig2 | fig7 | fig8 | usability | mix | recovery | parallel | storage | mempool | commit | query | mvcc | obs | shard | all")
 		jsonPath   = flag.String("json", "", "also write every selected experiment's full results as JSON to this path")
 		obsGate    = flag.Float64("obsgate", 0, "obs experiment: fail if instrumentation overhead exceeds this percent (0 = report only)")
 		auctions   = flag.Int("auctions", 4, "auctions per run")
@@ -69,6 +70,10 @@ func main() {
 		mvBlocks   = flag.Int("mvccblocks", 8, "mvcc experiment: commit-load blocks (half warm the state)")
 		mvTxs      = flag.Int("mvcctxs", 256, "mvcc experiment: transactions per commit-load block")
 		mvReaders  = flag.Int("mvccreaders", 4, "mvcc experiment: concurrent snapshot-query goroutines")
+		shCounts   = flag.String("shardcounts", "1,2,4", "shard experiment: comma-separated shard counts (1 = unsharded baseline)")
+		shCross    = flag.String("shardcross", "0,0.1,0.3", "shard experiment: comma-separated cross-shard transfer rates")
+		shChains   = flag.Int("shardchains", 32, "shard experiment: concurrent transfer chains split across shards")
+		shRounds   = flag.Int("shardrounds", 8, "shard experiment: lockstep rounds (one transfer per chain per round)")
 	)
 	flag.Parse()
 
@@ -264,6 +269,26 @@ func main() {
 		}
 	}
 
+	runShard := func() {
+		counts, err := parseInts(*shCounts)
+		if err != nil {
+			fatal(err)
+		}
+		rates, err := parseFloats(*shCross)
+		if err != nil {
+			fatal(err)
+		}
+		r := bench.RunShard(bench.ShardParams{
+			ShardCounts: counts,
+			CrossRates:  rates,
+			Chains:      *shChains,
+			Rounds:      *shRounds,
+			Seed:        *seed,
+		})
+		report.Add("shard", r)
+		bench.PrintShard(os.Stdout, r)
+	}
+
 	experiments := map[string]func(){
 		"fig2":      runFig2,
 		"fig7":      runFig7,
@@ -278,6 +303,7 @@ func main() {
 		"query":     runQuery,
 		"mvcc":      runMVCC,
 		"obs":       runObs,
+		"shard":     runShard,
 	}
 	selected, err := selectExperiments(*exp, experimentOrder)
 	if err != nil {
@@ -296,7 +322,7 @@ func main() {
 
 // experimentOrder is the canonical run order; "all" expands to it and
 // selectExperiments validates against it.
-var experimentOrder = []string{"fig2", "fig7", "fig8", "usability", "mix", "recovery", "parallel", "storage", "mempool", "commit", "query", "mvcc", "obs"}
+var experimentOrder = []string{"fig2", "fig7", "fig8", "usability", "mix", "recovery", "parallel", "storage", "mempool", "commit", "query", "mvcc", "obs", "shard"}
 
 // selectExperiments expands a comma-separated -exp value against the
 // known experiment names: "all" expands to every experiment in

@@ -72,3 +72,20 @@ func TestExperimentOrderRegistersMVCC(t *testing.T) {
 		t.Fatal("mvcc experiment not registered in experimentOrder")
 	}
 }
+
+func TestExperimentOrderRegistersShard(t *testing.T) {
+	found := false
+	for _, n := range experimentOrder {
+		if n == "shard" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("shard experiment not registered in experimentOrder")
+	}
+	// The shard experiment is selectable on its own and rides "all".
+	got, err := selectExperiments("shard", experimentOrder)
+	if err != nil || len(got) != 1 || got[0] != "shard" {
+		t.Fatalf("selectExperiments(shard) = %v, %v", got, err)
+	}
+}

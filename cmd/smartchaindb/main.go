@@ -19,6 +19,7 @@ import (
 	"smartchaindb/internal/obs"
 	"smartchaindb/internal/query"
 	"smartchaindb/internal/server"
+	"smartchaindb/internal/shard"
 	"smartchaindb/internal/txn"
 	"smartchaindb/internal/workflow"
 )
@@ -35,7 +36,8 @@ func main() {
 		valWorkers   = flag.Int("valworkers", 4, "DeliverTx-stage block-validation workers per node (<2 = sequential)")
 		commitW      = flag.Int("commitworkers", 4, "commit-stage per-conflict-group apply workers per node (<2 = sequential commit)")
 		asyncCommit  = flag.Bool("asynccommit", true, "overlap block h's commit with height h+1's validation behind the commit fence")
-		opsAddr      = flag.String("opsaddr", "", "serve validator 0's ops endpoint (/metrics, /traces, /debug/pprof) on this address, e.g. localhost:6060 or :0")
+		opsAddr      = flag.String("opsaddr", "", "serve the ops endpoint (/metrics, /traces, /debug/pprof) on this address, e.g. localhost:6060 or :0; /metrics labels validator 0's registry node-0 and, with -shards, each shard's registry shard-<id>")
+		shards       = flag.Int("shards", 0, "after the auction, demo a horizontally sharded cluster with this many footprint-routed shards: a local create on shard 0 then a cross-shard 2PC migration (0 disables)")
 	)
 	flag.Parse()
 	if _, err := server.ParsePacking(*packing); err != nil {
@@ -43,12 +45,23 @@ func main() {
 		os.Exit(2)
 	}
 
-	// Observability is per-validator: node 0 gets a live registry the ops
-	// endpoint serves; the rest keep the no-op build.
+	// Observability is per-component: validator 0 gets a live registry,
+	// and with -shards every shard gets its own, so one /metrics scrape
+	// keeps them distinguishable by label. Everything else keeps the
+	// no-op build.
 	var reg *obs.Registry
+	var shardRegs []*obs.Registry
 	if *opsAddr != "" {
 		reg = obs.New()
-		ops, err := obs.Serve(*opsAddr, reg)
+		regs := map[string]*obs.Registry{"node-0": reg}
+		if *shards > 1 {
+			shardRegs = make([]*obs.Registry, *shards)
+			for i := range shardRegs {
+				shardRegs[i] = obs.New()
+				regs[fmt.Sprintf("shard-%02d", i)] = shardRegs[i]
+			}
+		}
+		ops, err := obs.ServeLabeled(*opsAddr, regs)
 		must(err)
 		defer ops.Close()
 		fmt.Printf("ops endpoint: http://%s/metrics\n", ops.Addr())
@@ -181,6 +194,49 @@ func main() {
 	sum := cluster.Summarize()
 	fmt.Printf("\n%d transactions committed, mean latency %.1f ms, %.1f tps (simulated)\n",
 		sum.Committed, float64(sum.MeanLatency)/float64(time.Millisecond), sum.Throughput)
+
+	if *shards > 1 {
+		shardDemo(*shards, shardRegs)
+	}
+}
+
+// shardDemo runs the horizontal-sharding walkthrough: an asset is
+// created on shard 0 through the zero-coordination local path, then a
+// hinted transfer migrates it to shard 1 through the cross-shard
+// two-phase commit. Each shard's registry (when -opsaddr is live)
+// records its side under its own label.
+func shardDemo(shards int, regs []*obs.Registry) {
+	fmt.Printf("\nSharded cluster: %d footprint-routed shards, each with its own ledger, mempool, and WAL\n", shards)
+	sc := shard.New(shard.Config{Shards: shards, ObsFor: func(i int) *obs.Registry {
+		if i < len(regs) {
+			return regs[i]
+		}
+		return nil
+	}})
+	defer sc.Close()
+
+	owner := keys.MustGenerate()
+	asset := txn.NewCreate(owner.PublicBase58(),
+		map[string]any{"capabilities": []any{"3d-printing"}, "item": "migrating-asset"}, 1,
+		map[string]any{shard.MetaShardHint: float64(0)})
+	must(txn.Sign(asset, owner))
+	must(sc.Submit(asset))
+	sc.DrainLocal(8)
+	fmt.Printf("  CREATE   %s  committed on shard 0 (local block, zero coordination)\n", asset.ID[:12]+"...")
+
+	buyer := keys.MustGenerate()
+	cross := txn.NewTransfer(asset.ID,
+		[]txn.Spend{{Ref: txn.OutputRef{TxID: asset.ID, Index: 0}, Owners: []string{owner.PublicBase58()}}},
+		[]*txn.Output{{PublicKeys: []string{buyer.PublicBase58()}, Amount: 1}},
+		map[string]any{shard.MetaShardHint: float64(1)})
+	must(txn.Sign(cross, owner))
+	must(sc.Submit(cross))
+	home, _ := sc.Directory().Lookup(cross.ID)
+	fmt.Printf("  TRANSFER %s  migrated to shard %d (cross-shard 2PC: hold, stage, prepare, decide, apply)\n",
+		cross.ID[:12]+"...", home)
+	for i := 0; i < sc.Shards(); i++ {
+		fmt.Printf("  shard %d height: %d\n", i, sc.Shard(i).Node.State().Height())
+	}
 }
 
 func must(err error) {

@@ -1,0 +1,256 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"smartchaindb/internal/keys"
+	"smartchaindb/internal/mempool"
+	"smartchaindb/internal/shard"
+	"smartchaindb/internal/txn"
+)
+
+// ShardParams configures the horizontal-sharding experiment: wall-clock
+// throughput of a sharded cluster over shard count × cross-shard rate.
+// The workload is independent transfer chains, pre-signed and split
+// evenly across the shards; at rate 0 every transaction is
+// single-shard (zero coordination — the near-linear scaling leg), and
+// each cross slot migrates its chain to the next shard through the
+// footprint-driven 2PC path.
+type ShardParams struct {
+	// ShardCounts sweeps the shard count; 1 is the unsharded baseline
+	// every speedup is computed against.
+	ShardCounts []int
+	// CrossRates sweeps the fraction of transfers that cross shards.
+	CrossRates []float64
+	// Chains is the total number of concurrent transfer chains,
+	// distributed round-robin across the shards.
+	Chains int
+	// Rounds is the number of lockstep rounds; each round advances
+	// every chain by one transfer (Chains × Rounds transfers total).
+	Rounds int
+	// Reps repeats each measurement, keeping the fastest run.
+	Reps int
+	// Seed drives workload generation.
+	Seed int64
+}
+
+func (p *ShardParams) fill() {
+	if len(p.ShardCounts) == 0 {
+		p.ShardCounts = []int{1, 2, 4}
+	}
+	hasBase := false
+	for _, s := range p.ShardCounts {
+		if s == 1 {
+			hasBase = true
+			break
+		}
+	}
+	if !hasBase {
+		p.ShardCounts = append([]int{1}, p.ShardCounts...)
+	}
+	if len(p.CrossRates) == 0 {
+		p.CrossRates = []float64{0, 0.1, 0.3}
+	}
+	if p.Chains <= 0 {
+		p.Chains = 32
+	}
+	if p.Rounds <= 0 {
+		p.Rounds = 8
+	}
+	if p.Reps <= 0 {
+		p.Reps = 2
+	}
+}
+
+// ShardRow is one (shard count, cross rate) measurement. Makespan is
+// the critical path: per round, every shard's local admission+commit
+// work is timed separately and the round costs the slowest shard plus
+// the serialized cross-shard 2PC tail — what a host with one core per
+// shard would take. Like the commit experiment's virtual-time rows, it
+// is the acceptance anchor: independent of host cores (the wall
+// elapsed on a small container serializes all shards and shows none of
+// the scaling).
+type ShardRow struct {
+	Shards    int
+	CrossRate float64
+	Elapsed   time.Duration // wall clock of the whole measured pass
+	Makespan  time.Duration // critical path across shards
+	Committed int
+	Cross     int     // transfers that actually ran 2PC
+	TPS       float64 // committed / makespan
+	Speedup   float64 // vs the 1-shard row of the same cross rate
+}
+
+// ShardResult is the full sweep.
+type ShardResult struct {
+	Params ShardParams
+	Rows   []ShardRow
+}
+
+// shardWorkload pre-builds the setup assets and the per-round transfer
+// batches for a given shard count: chain i starts on shard i%shards,
+// and each cross slot hints the transfer to the next shard, migrating
+// the chain (its later hops home there). Everything is signed up
+// front, so the timed phase is pure admission + commit. Deterministic
+// in seed.
+func shardWorkload(p ShardParams, shards int, rate float64) (setup []*txn.Transaction, rounds [][]*txn.Transaction, cross int) {
+	rng := rand.New(rand.NewSource(p.Seed + int64(shards)*1000))
+	type chainState struct {
+		owner *keys.KeyPair
+		asset string
+		ref   txn.OutputRef
+		home  int
+	}
+	chains := make([]*chainState, p.Chains)
+	for i := range chains {
+		owner := keys.DeterministicKeyPair(p.Seed + int64(i))
+		home := i % shards
+		create := txn.NewCreate(owner.PublicBase58(),
+			map[string]any{"chain": float64(i)}, 1,
+			map[string]any{shard.MetaShardHint: float64(home)})
+		if err := txn.Sign(create, owner); err != nil {
+			panic(fmt.Sprintf("bench: sign create: %v", err))
+		}
+		setup = append(setup, create)
+		chains[i] = &chainState{owner: owner, asset: create.ID, ref: txn.OutputRef{TxID: create.ID, Index: 0}, home: home}
+	}
+	rounds = make([][]*txn.Transaction, p.Rounds)
+	slot := 0
+	for r := range rounds {
+		batch := make([]*txn.Transaction, 0, p.Chains)
+		for _, ch := range chains {
+			slot++
+			next := keys.DeterministicKeyPair(p.Seed + 1_000_000 + int64(slot))
+			var meta map[string]any
+			if shards > 1 && rng.Float64() < rate {
+				ch.home = (ch.home + 1) % shards
+				meta = map[string]any{shard.MetaShardHint: float64(ch.home)}
+				cross++
+			}
+			tr := txn.NewTransfer(ch.asset,
+				[]txn.Spend{{Ref: ch.ref, Owners: []string{ch.owner.PublicBase58()}}},
+				[]*txn.Output{{PublicKeys: []string{next.PublicBase58()}, Amount: 1}}, meta)
+			if err := txn.Sign(tr, ch.owner); err != nil {
+				panic(fmt.Sprintf("bench: sign transfer: %v", err))
+			}
+			batch = append(batch, tr)
+			ch.owner = next
+			ch.ref = txn.OutputRef{TxID: tr.ID, Index: 0}
+		}
+		rounds[r] = batch
+	}
+	return setup, rounds, cross
+}
+
+// runShardOnce builds a fresh in-memory sharded cluster, loads the
+// setup untimed, then drives the full ingest round by round. Each
+// shard's slice of a round — its admission batch plus its local block
+// — is timed on its own (shards are independent, so a multi-core host
+// runs them concurrently); the round's critical path is the slowest
+// shard plus the cross-shard 2PC transfers, which serialize through
+// the coordinator. Returns (wall elapsed, makespan, committed).
+func runShardOnce(p ShardParams, shards int, rate float64) (wall, makespan time.Duration, committed int) {
+	setup, rounds, _ := shardWorkload(p, shards, rate)
+	c := shard.New(shard.Config{Shards: shards, MempoolBatch: p.Chains})
+	defer c.Close()
+	if errs := c.SubmitBatch(setup); len(errs) != 0 {
+		panic(fmt.Sprintf("bench: shard setup: %v", errs))
+	}
+	c.DrainLocal(p.Chains)
+	start := time.Now()
+	for _, batch := range rounds {
+		perShard := make([][]mempool.Tx, shards)
+		var cross []*txn.Transaction
+		for _, t := range batch {
+			r, err := c.RouteOf(t)
+			if err != nil {
+				panic(fmt.Sprintf("bench: route: %v", err))
+			}
+			if r.Cross() {
+				cross = append(cross, t)
+				continue
+			}
+			perShard[r.Home] = append(perShard[r.Home], t)
+		}
+		var slowest time.Duration
+		for s, local := range perShard {
+			if len(local) == 0 {
+				continue
+			}
+			t0 := time.Now()
+			res := c.Shard(s).Pool.AdmitBatch(local)
+			if len(res.Rejected)+len(res.Skipped) != 0 {
+				panic(fmt.Sprintf("bench: shard %d admission: %+v", s, res))
+			}
+			for len(c.CommitLocal(s, p.Chains)) != 0 {
+			}
+			if d := time.Since(t0); d > slowest {
+				slowest = d
+			}
+			committed += len(local)
+		}
+		t0 := time.Now()
+		for _, t := range cross {
+			if err := c.Submit(t); err != nil {
+				panic(fmt.Sprintf("bench: cross transfer: %v", err))
+			}
+		}
+		committed += len(cross)
+		makespan += slowest + time.Since(t0)
+	}
+	return time.Since(start), makespan, committed
+}
+
+// RunShard measures the sharding sweep.
+func RunShard(p ShardParams) ShardResult {
+	p.fill()
+	res := ShardResult{Params: p}
+	base := make(map[float64]time.Duration)
+	for _, rate := range p.CrossRates {
+		for _, s := range p.ShardCounts {
+			_, _, cross := shardWorkload(p, s, rate)
+			type run struct {
+				wall      time.Duration
+				committed int
+			}
+			// fastest keys on the makespan; the wall clock and commit
+			// count of the kept run ride along in the payload.
+			span, best := fastest(p.Reps, func() (time.Duration, run) {
+				wall, mk, committed := runShardOnce(p, s, rate)
+				return mk, run{wall: wall, committed: committed}
+			})
+			row := ShardRow{
+				Shards:    s,
+				CrossRate: rate,
+				Elapsed:   best.wall,
+				Makespan:  span,
+				Committed: best.committed,
+				Cross:     cross,
+				TPS:       tps(best.committed, span),
+			}
+			if s == 1 {
+				base[rate] = span
+			}
+			if b, ok := base[rate]; ok && span > 0 {
+				row.Speedup = float64(b) / float64(span)
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res
+}
+
+// PrintShard renders the sweep.
+func PrintShard(w io.Writer, r ShardResult) {
+	fmt.Fprintf(w, "horizontal sharding: %d chains x %d rounds, fastest of %d\n",
+		r.Params.Chains, r.Params.Rounds, r.Params.Reps)
+	fmt.Fprintf(w, "%-8s %-10s %-12s %-10s %-10s %-10s %-8s\n",
+		"shards", "cross", "makespan", "wall", "tps", "speedup", "2pc-txs")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-8d %-10.2f %-12.1f %-10.1f %-10.0f %-10.2f %-8d\n",
+			row.Shards, row.CrossRate, ms(row.Makespan), ms(row.Elapsed), row.TPS, row.Speedup, row.Cross)
+	}
+}

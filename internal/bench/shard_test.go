@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunShardSmoke(t *testing.T) {
+	p := ShardParams{
+		ShardCounts: []int{1, 2},
+		CrossRates:  []float64{0, 0.25},
+		Chains:      8,
+		Rounds:      3,
+		Reps:        1,
+		Seed:        42,
+	}
+	r := RunShard(p)
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(r.Rows))
+	}
+	total := p.Chains * p.Rounds
+	for _, row := range r.Rows {
+		if row.Committed != total {
+			t.Fatalf("row %+v committed %d, want %d", row, row.Committed, total)
+		}
+		if row.TPS <= 0 || row.Elapsed <= 0 || row.Makespan <= 0 {
+			t.Fatalf("degenerate row %+v", row)
+		}
+		if row.Makespan > row.Elapsed {
+			t.Fatalf("makespan exceeds wall clock: %+v", row)
+		}
+		if row.Shards == 1 && row.Cross != 0 {
+			t.Fatalf("unsharded baseline ran 2PC: %+v", row)
+		}
+		if row.Shards > 1 && row.CrossRate > 0 && row.Cross == 0 {
+			t.Fatalf("cross rate %.2f produced no 2PC transfers: %+v", row.CrossRate, row)
+		}
+	}
+	var sb strings.Builder
+	PrintShard(&sb, r)
+	if !strings.Contains(sb.String(), "horizontal sharding") || !strings.Contains(sb.String(), "2pc-txs") {
+		t.Fatalf("report rendering:\n%s", sb.String())
+	}
+}

@@ -112,6 +112,27 @@ func (s *Store) Drop(name string) {
 	}
 }
 
+// SweepIndexes garbage-collects secondary-index lifespans against the
+// backend's current retention floor. The ledger calls it after every
+// block seal — the moment the floor actually advances — so index GC
+// tracks version GC exactly instead of amortizing by mutation count.
+// Indexes whose floor has not moved (or that hold no closed spans)
+// return immediately.
+func (s *Store) SweepIndexes() {
+	floor := s.backend.Floor()
+	s.mu.RLock()
+	colls := make([]*Collection, 0, len(s.collections))
+	for _, c := range s.collections {
+		colls = append(colls, c)
+	}
+	s.mu.RUnlock()
+	for _, c := range colls {
+		for _, idx := range c.indexMap() {
+			idx.sweepFloor(floor)
+		}
+	}
+}
+
 // Group runs fn and commits every mutation it makes as one atomic,
 // durable unit — on the disk backend a single fsynced WAL record, the
 // all-or-nothing boundary crash recovery restores. The ledger wraps
@@ -365,7 +386,7 @@ func (c *Collection) Keys() []string {
 // collection scan. Array values index every element, like MongoDB
 // multikey indexes.
 func (c *Collection) CreateIndex(path string) {
-	c.buildIndex(path, newHashIndex(path, c.bk.Floor))
+	c.buildIndex(path, newHashIndex(path))
 }
 
 // CreateOrderedIndex builds (or rebuilds) a sorted multikey index over
@@ -374,7 +395,7 @@ func (c *Collection) CreateIndex(path string) {
 // and value-ordered iteration (FindOrdered). It replaces any existing
 // index on the path.
 func (c *Collection) CreateOrderedIndex(path string) {
-	c.buildIndex(path, newOrderedIndex(path, c.bk.Floor))
+	c.buildIndex(path, newOrderedIndex(path))
 }
 
 // buildIndex populates idx from the current documents and installs it

@@ -33,6 +33,12 @@ type secondaryIndex interface {
 	lookupEq(arg any, h int64) []string
 	estimateEq(arg any) int
 	containsDoc(arg any, docKey string, h int64) bool
+	// sweepFloor drops every lifespan that closed at or below floor —
+	// no supported snapshot height can observe it. The store calls it
+	// when the backend's retention floor advances at block seal, so
+	// sweep work tracks version GC instead of accumulating by mutation
+	// count between amortization thresholds.
+	sweepFloor(floor int64)
 }
 
 // span is one visibility interval of a (value, document) pairing:
@@ -87,10 +93,6 @@ type idxEntry struct {
 	alive int
 }
 
-// sweepThreshold is how many closed spans an index accumulates before
-// amortizing a sweep of the ones below the backend's floor.
-const sweepThreshold = 1024
-
 // hashIndex is a multikey equality index over one dot path: each value
 // reached at the path maps to the documents that held it, with
 // visibility lifespans. The index carries its own lock so index-backed
@@ -98,16 +100,16 @@ const sweepThreshold = 1024
 // lock — writers mutate it under the collection lock as before, but a
 // scan no longer serializes behind them (the sharded scan path).
 type hashIndex struct {
-	path    string
-	floorFn func() int64 // backend GC floor: spans closed below it are sweepable
+	path string
 
 	mu        sync.RWMutex
 	entries   map[string]*idxEntry // indexKey -> value entry
 	deadSpans int
+	lastFloor int64 // floor the last sweep ran at
 }
 
-func newHashIndex(path string, floorFn func() int64) *hashIndex {
-	return &hashIndex{path: path, floorFn: floorFn, entries: make(map[string]*idxEntry)}
+func newHashIndex(path string) *hashIndex {
+	return &hashIndex{path: path, entries: make(map[string]*idxEntry)}
 }
 
 // indexKey renders a scalar into a collision-safe string key. Only
@@ -173,7 +175,6 @@ func (ix *hashIndex) remove(docKey string, doc map[string]any, h int64) {
 	for _, v := range vals {
 		ix.removeValue(docKey, v, h)
 	}
-	ix.maybeSweep()
 }
 
 func (ix *hashIndex) removeValue(docKey string, v any, h int64) {
@@ -201,14 +202,21 @@ func (ix *hashIndex) removeValue(docKey string, v any, h int64) {
 	ix.deadSpans++
 }
 
-// maybeSweep amortizes lifespan GC: once enough spans have closed,
-// drop every span no supported snapshot height can reach. Caller
-// holds ix.mu.
-func (ix *hashIndex) maybeSweep() {
-	if ix.deadSpans < sweepThreshold {
+// sweepFloor drops every span no snapshot at or above floor can
+// reach. Driven by the retention floor advancing at block seal
+// (Store.SweepIndexes); a floor that has not moved since the last
+// sweep, or an index with no closed spans, returns without touching
+// an entry.
+func (ix *hashIndex) sweepFloor(floor int64) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.deadSpans == 0 || floor <= ix.lastFloor {
+		if floor > ix.lastFloor {
+			ix.lastFloor = floor
+		}
 		return
 	}
-	floor := ix.floorFn()
+	ix.lastFloor = floor
 	remaining := 0
 	for k, e := range ix.entries {
 		for dk, sl := range e.docs {

@@ -31,8 +31,7 @@ import (
 // skip list still needs a total order for storage; it uses
 // nil < bool < number < string.
 type orderedIndex struct {
-	path    string
-	floorFn func() int64
+	path string
 
 	mu        sync.RWMutex
 	head      *ordNode            // sentinel; head.next[0] is the first value
@@ -40,6 +39,7 @@ type orderedIndex struct {
 	byKey     map[string]*ordNode // indexKey(value) -> node, for point lookups
 	size      int                 // open (value, document) pairs
 	deadSpans int
+	lastFloor int64  // floor the last sweep ran at
 	rng       uint64 // deterministic xorshift state for levels
 }
 
@@ -123,15 +123,14 @@ func classFloor(class uint8) ordValue {
 	return ordValue{class: class}
 }
 
-func newOrderedIndex(path string, floorFn func() int64) *orderedIndex {
+func newOrderedIndex(path string) *orderedIndex {
 	head := &ordNode{next: make([]*ordNode, ordMaxLevel)}
 	return &orderedIndex{
-		path:    path,
-		floorFn: floorFn,
-		head:    head,
-		tail:    head,
-		byKey:   make(map[string]*ordNode),
-		rng:     0x9e3779b97f4a7c15, // fixed seed: levels are reproducible
+		path:  path,
+		head:  head,
+		tail:  head,
+		byKey: make(map[string]*ordNode),
+		rng:   0x9e3779b97f4a7c15, // fixed seed: levels are reproducible
 	}
 }
 
@@ -242,7 +241,6 @@ func (ix *orderedIndex) remove(docKey string, doc map[string]any, h int64) {
 	for _, v := range vals {
 		ix.removeValue(docKey, v, h)
 	}
-	ix.maybeSweep()
 }
 
 func (ix *orderedIndex) removeValue(docKey string, v any, h int64) {
@@ -271,14 +269,21 @@ func (ix *orderedIndex) removeValue(docKey string, v any, h int64) {
 	ix.deadSpans++
 }
 
-// maybeSweep amortizes lifespan GC: once enough spans have closed,
-// drop every span below the backend floor and unlink nodes left with
-// no lifespans at all. Caller holds ix.mu.
-func (ix *orderedIndex) maybeSweep() {
-	if ix.deadSpans < sweepThreshold {
+// sweepFloor drops every span no snapshot at or above floor can reach
+// and unlinks nodes left with no lifespans at all. Driven by the
+// retention floor advancing at block seal (Store.SweepIndexes); a
+// floor that has not moved since the last sweep, or an index with no
+// closed spans, returns without walking the list.
+func (ix *orderedIndex) sweepFloor(floor int64) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.deadSpans == 0 || floor <= ix.lastFloor {
+		if floor > ix.lastFloor {
+			ix.lastFloor = floor
+		}
 		return
 	}
-	floor := ix.floorFn()
+	ix.lastFloor = floor
 	remaining := 0
 	var empty []*ordNode
 	for n := ix.head.next[0]; n != nil; n = n.next[0] {

@@ -1,0 +1,99 @@
+package docstore
+
+import (
+	"fmt"
+	"testing"
+
+	"smartchaindb/internal/storage"
+)
+
+// Index lifespan GC is tied to the retention floor advancing at block
+// seal: closed spans survive exactly as long as a snapshot could read
+// them, and Store.SweepIndexes drops them the moment the floor passes
+// their death height — no mutation-count threshold involved.
+func TestSweepIndexesFollowsFloor(t *testing.T) {
+	be := storage.NewMemory()
+	be.SetRetain(1) // floor == visible: every sealed block expires the last
+	s := NewStoreWith(be)
+	c := s.Collection("t")
+	c.CreateIndex("v")
+	c.CreateOrderedIndex("w")
+
+	hash := c.indexMap()["v"].(*hashIndex)
+	ord := c.indexMap()["w"].(*orderedIndex)
+
+	for h := int64(1); h <= 5; h++ {
+		be.BeginBlock(h)
+		key := fmt.Sprintf("doc-%d", h)
+		if err := c.Insert(key, map[string]any{"v": float64(h), "w": float64(h)}); err != nil {
+			t.Fatalf("insert %s: %v", key, err)
+		}
+		// Close the previous block's spans: the update moves both
+		// indexed values, ending one lifespan per index.
+		if h > 1 {
+			prev := fmt.Sprintf("doc-%d", h-1)
+			if err := c.Update(prev, func(doc map[string]any) error {
+				doc["v"] = float64(-h)
+				doc["w"] = float64(-h)
+				return nil
+			}); err != nil {
+				t.Fatalf("update %s: %v", prev, err)
+			}
+		}
+		be.SealBlock(h)
+
+		// Before the sweep the block's closed spans are still present;
+		// after it, everything below the floor is gone. With retain=1
+		// the floor sits at h, so every span closed this block sweeps.
+		s.SweepIndexes()
+		hash.mu.RLock()
+		hd := hash.deadSpans
+		hash.mu.RUnlock()
+		ord.mu.RLock()
+		od := ord.deadSpans
+		ord.mu.RUnlock()
+		if hd != 0 || od != 0 {
+			t.Fatalf("after seal %d: deadSpans hash=%d ord=%d, want 0 (floor %d)", h, hd, od, be.Floor())
+		}
+	}
+
+	// The live entries are untouched by the sweeps.
+	if got := len(c.Find(Eq("v", float64(5)))); got != 1 {
+		t.Fatalf("doc-5 lookup after sweeps: %d docs, want 1", got)
+	}
+}
+
+// A sweep at an unmoved floor must not walk the index: closed spans
+// above the floor stay, and deadSpans only drops when the floor
+// actually advances past the deaths.
+func TestSweepIndexesStableFloorKeepsSpans(t *testing.T) {
+	be := storage.NewMemory()
+	be.SetRetain(100) // wide window: floor stays far behind
+	s := NewStoreWith(be)
+	c := s.Collection("t")
+	c.CreateIndex("v")
+	hash := c.indexMap()["v"].(*hashIndex)
+
+	be.BeginBlock(1)
+	if err := c.Insert("a", map[string]any{"v": "x"}); err != nil {
+		t.Fatal(err)
+	}
+	be.SealBlock(1)
+	be.BeginBlock(2)
+	if err := c.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	be.SealBlock(2)
+
+	s.SweepIndexes() // floor is still below the death height
+	hash.mu.RLock()
+	dead := hash.deadSpans
+	hash.mu.RUnlock()
+	if dead != 1 {
+		t.Fatalf("deadSpans = %d after sweep under a wide window, want 1 (retained for snapshots)", dead)
+	}
+	// The historical read the retained span serves still works.
+	if keys := hash.lookupEq("x", 1); len(keys) != 1 || keys[0] != "a" {
+		t.Fatalf("lookupEq at h=1 = %v, want [a]", keys)
+	}
+}

@@ -153,10 +153,15 @@ func (s *State) commitBlockLocked(height int64, batch []*txn.Transaction) (commi
 	// Bracket the block: every write between here and the seal is
 	// stamped with this height and stays invisible to snapshot readers
 	// until SealBlock publishes it atomically. Sealing also
-	// garbage-collects versions that fell out of the retained window.
+	// garbage-collects versions that fell out of the retained window;
+	// the index sweep rides the same moment, since that is when the
+	// retention floor advances.
 	bk := s.store.Backend()
 	bk.BeginBlock(height)
-	defer bk.SealBlock(height)
+	defer func() {
+		bk.SealBlock(height)
+		s.store.SweepIndexes()
+	}()
 	if s.commitWorkers > 1 && len(batch) > 1 {
 		return s.commitBlockPipelined(height, batch, s.commitWorkers)
 	}

@@ -1,0 +1,331 @@
+package ledger
+
+import (
+	"fmt"
+
+	"smartchaindb/internal/storage"
+	"smartchaindb/internal/txn"
+)
+
+// Cross-shard two-phase commit, ledger side. A cross-shard transaction
+// never goes through CommitBlock: each participant shard stages only
+// the ops that touch keys it owns (StageOwned), durably logs them as a
+// PREPARE record, and — once the coordinator's decision record exists
+// — applies them as a single-transaction block (ApplyPrepared) whose
+// WAL group atomically seals the effects, records the local decision,
+// and deletes the prepare record. A participant killed at any byte
+// offset therefore reopens either wholly before the apply (prepare
+// record intact, transaction in doubt) or wholly after it (effects +
+// decision durable, prepare gone) — the invariant shard recovery
+// replays against.
+
+// PrepareKey and DecisionKey name a transaction's records in the
+// backend's 2PC log.
+func PrepareKey(txID string) string  { return "p:" + txID }
+func DecisionKey(txID string) string { return "d:" + txID }
+
+// Prepared is one shard's staged share of a cross-shard transaction:
+// the exact mutation ops the shard will seal on commit, in the order
+// commitTxLocked would have performed them.
+type Prepared struct {
+	TxID string
+	ops  []stagedOp
+	// InputDocs maps each owned spent input (by UTXO key) to a copy of
+	// its committed record — the coordinator's cross-check material
+	// (owners, asset, amount). Not persisted: checks run before the
+	// prepare is logged.
+	InputDocs map[string]map[string]any
+}
+
+// StageOwned checks and stages the shard-owned share of t against
+// committed state. The home shard (home=true) stages the transaction
+// document, every output, the asset record, and its owned input
+// marks; a non-home participant stages only the spent marks for the
+// inputs it owns. owns reports whether this shard owns a spent ref's
+// UTXO key. Nothing is mutated; failure stages nothing.
+func (s *State) StageOwned(t *txn.Transaction, home bool, owns func(txn.OutputRef) bool) (*Prepared, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if home && s.store.Collection(ColTransactions).Has(t.ID) {
+		return nil, &txn.DuplicateTransactionError{TxID: t.ID, Reason: "already committed"}
+	}
+	p := &Prepared{TxID: t.ID, InputDocs: make(map[string]map[string]any)}
+	var marks []stagedOp
+	allOwned := true
+	for _, ref := range t.SpentRefs() {
+		if !owns(ref) {
+			allOwned = false
+			continue
+		}
+		key := utxoKey(ref)
+		doc, err := s.store.Collection(ColUTXOs).Get(key)
+		if err != nil {
+			return nil, &txn.InputDoesNotExistError{TxID: ref.TxID}
+		}
+		if spender, _ := doc["spent_by"].(string); spender != "" {
+			return nil, &txn.DoubleSpendError{Ref: ref, SpentBy: spender}
+		}
+		p.InputDocs[key] = doc
+		marks = append(marks, stagedOp{kind: opMarkSpent, key: key, spender: t.ID})
+	}
+	if !home {
+		if len(marks) == 0 {
+			return nil, fmt.Errorf("ledger: shard owns no inputs of %s", t.ID)
+		}
+		p.ops = marks
+		return p, nil
+	}
+
+	// Home shard: the full transaction record. Output-asset resolution
+	// for nested parents reads input UTXOs, so a cross-shard ACCEPT_BID
+	// (inputs on other shards) cannot be staged — the router keeps
+	// auction chains co-located, and the coordinator rejects the rest.
+	if t.Operation == txn.OpAcceptBid && !allOwned {
+		return nil, fmt.Errorf("ledger: cross-shard %s is not supported", t.Operation)
+	}
+	outputAsset := make([]string, len(t.Outputs))
+	for i := range t.Outputs {
+		outputAsset[i] = t.AssetID()
+	}
+	if t.Operation == txn.OpAcceptBid {
+		for i := range t.Outputs {
+			if i < len(t.Inputs) && t.Inputs[i].Fulfills != nil {
+				if doc, ok := p.InputDocs[utxoKey(*t.Inputs[i].Fulfills)]; ok {
+					if aid, aok := doc["asset_id"].(string); aok {
+						outputAsset[i] = aid
+					}
+				}
+			}
+		}
+	}
+	txDoc := t.ToDoc()
+	if err := storage.EncodableDoc(txDoc); err != nil {
+		return nil, fmt.Errorf("ledger: insert tx: %w", err)
+	}
+	p.ops = append(p.ops, stagedOp{kind: opInsertTx, key: t.ID, doc: txDoc})
+	p.ops = append(p.ops, marks...)
+	for i, out := range t.Outputs {
+		ref := txn.OutputRef{TxID: t.ID, Index: i}
+		owners := make([]any, len(out.PublicKeys))
+		for j, k := range out.PublicKeys {
+			owners[j] = k
+		}
+		prev := make([]any, len(out.PrevOwners))
+		for j, k := range out.PrevOwners {
+			prev[j] = k
+		}
+		p.ops = append(p.ops, stagedOp{kind: opInsertUTXO, key: utxoKey(ref), doc: map[string]any{
+			"transaction_id": t.ID,
+			"output_index":   float64(i),
+			"owner":          owners,
+			"prev_owners":    prev,
+			"amount":         float64(out.Amount),
+			"asset_id":       outputAsset[i],
+			"operation":      t.Operation,
+			"spent":          false,
+			"spent_by":       "",
+		}})
+	}
+	if t.Operation == txn.OpCreate || t.Operation == txn.OpRequest {
+		data := map[string]any{}
+		if t.Asset != nil && t.Asset.Data != nil {
+			data = t.Asset.Data
+		}
+		p.ops = append(p.ops, stagedOp{kind: opUpsertAsset, key: t.ID, doc: map[string]any{
+			"id":        t.ID,
+			"data":      data,
+			"operation": t.Operation,
+		}})
+	}
+	return p, nil
+}
+
+// LogPrepare makes the shard's staged share durable as a PREPARE
+// record — the participant's vote. After it returns, the shard can
+// recover the exact ops across a crash.
+func (s *State) LogPrepare(p *Prepared) error {
+	return s.store.Backend().LogPrepare(PrepareKey(p.TxID), p.Doc())
+}
+
+// Doc renders the prepared share into the canonical document shape the
+// 2PC log stores (DecodePrepared inverts it).
+func (p *Prepared) Doc() map[string]any {
+	ops := make([]any, len(p.ops))
+	for i, op := range p.ops {
+		m := map[string]any{"kind": float64(op.kind), "key": op.key}
+		if op.doc != nil {
+			m["doc"] = op.doc
+		}
+		if op.spender != "" {
+			m["spender"] = op.spender
+		}
+		ops[i] = m
+	}
+	return map[string]any{"kind": "prepare", "tx": p.TxID, "ops": ops}
+}
+
+// DecodePrepared parses a PREPARE record document back into the staged
+// share it was rendered from.
+func DecodePrepared(doc map[string]any) (*Prepared, error) {
+	id, _ := doc["tx"].(string)
+	rawOps, _ := doc["ops"].([]any)
+	if id == "" || doc["kind"] != "prepare" {
+		return nil, fmt.Errorf("ledger: malformed prepare record: %v", doc)
+	}
+	p := &Prepared{TxID: id}
+	for _, raw := range rawOps {
+		m, ok := raw.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("ledger: malformed prepare op in %s", id)
+		}
+		kind, ok := m["kind"].(float64)
+		key, kok := m["key"].(string)
+		if !ok || !kok {
+			return nil, fmt.Errorf("ledger: malformed prepare op in %s", id)
+		}
+		op := stagedOp{kind: int(kind), key: key}
+		if d, ok := m["doc"].(map[string]any); ok {
+			op.doc = d
+		}
+		if sp, ok := m["spender"].(string); ok {
+			op.spender = sp
+		}
+		if op.kind < opInsertTx || op.kind > opUpsertAsset {
+			return nil, fmt.Errorf("ledger: unknown staged op kind %d in %s", op.kind, id)
+		}
+		p.ops = append(p.ops, op)
+	}
+	return p, nil
+}
+
+// Applied reports whether the prepared share's effects are already
+// committed — the idempotence guard recovery uses before replaying.
+func (s *State) Applied(p *Prepared) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, op := range p.ops {
+		switch op.kind {
+		case opInsertTx:
+			return s.store.Collection(ColTransactions).Has(op.key)
+		case opMarkSpent:
+			doc, err := s.store.Collection(ColUTXOs).Get(op.key)
+			if err != nil {
+				return false
+			}
+			spender, _ := doc["spent_by"].(string)
+			return spender == p.TxID
+		}
+	}
+	return false
+}
+
+// ApplyPrepared commits a decided cross-shard transaction: the staged
+// ops seal as a single-transaction block at the shard's next height,
+// and the same atomic WAL group records the decision locally and
+// deletes the prepare record. Returns the block height. A failure
+// before the group means nothing was applied; a prepared transaction
+// whose global decision is commit failing its pre-checks is an
+// invariant violation and errors without touching state.
+func (s *State) ApplyPrepared(p *Prepared, decision map[string]any) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Pre-verify every op lands cleanly so the group cannot fail
+	// halfway: the participant vouched for these ops at prepare time
+	// and holds exclude conflicting local commits in between.
+	txs := s.store.Collection(ColTransactions)
+	utxos := s.store.Collection(ColUTXOs)
+	for _, op := range p.ops {
+		switch op.kind {
+		case opInsertTx:
+			if txs.Has(op.key) {
+				return 0, fmt.Errorf("ledger: apply prepared %s: transaction already committed", p.TxID)
+			}
+		case opMarkSpent:
+			doc, err := utxos.Get(op.key)
+			if err != nil {
+				return 0, fmt.Errorf("ledger: apply prepared %s: input %s vanished", p.TxID, op.key)
+			}
+			if spender, _ := doc["spent_by"].(string); spender != "" {
+				return 0, fmt.Errorf("ledger: apply prepared %s: input %s spent by %s", p.TxID, op.key, spender)
+			}
+		case opInsertUTXO:
+			if utxos.Has(op.key) {
+				return 0, fmt.Errorf("ledger: apply prepared %s: output %s already exists", p.TxID, op.key)
+			}
+		}
+	}
+	height := s.lastHeight + 1
+	bk := s.store.Backend()
+	bk.BeginBlock(height)
+	err := s.store.Group(func() error {
+		if serr := s.sealTx(&stagedTx{ops: p.ops}); serr != nil {
+			return serr
+		}
+		if derr := bk.LogDecision(DecisionKey(p.TxID), decision); derr != nil {
+			return derr
+		}
+		if cerr := bk.ClearTwoPC(PrepareKey(p.TxID)); cerr != nil {
+			return cerr
+		}
+		return s.store.Collection(ColBlocks).Upsert(blockKey(height), map[string]any{
+			"height": float64(height),
+			"count":  float64(1),
+			"txids":  []any{p.TxID},
+			"twopc":  true,
+		})
+	})
+	bk.SealBlock(height)
+	s.store.SweepIndexes()
+	if err != nil {
+		return 0, err
+	}
+	s.lastHeight = height
+	return height, nil
+}
+
+// AbortPrepared abandons a transaction this shard may have prepared:
+// one atomic group records the abort decision and deletes any prepare
+// record. Nothing staged ever reaches the collections, so there is no
+// state to undo.
+func (s *State) AbortPrepared(txID string, decision map[string]any) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bk := s.store.Backend()
+	return s.store.Group(func() error {
+		if err := bk.LogDecision(DecisionKey(txID), decision); err != nil {
+			return err
+		}
+		return bk.ClearTwoPC(PrepareKey(txID))
+	})
+}
+
+// InDoubt returns the surviving PREPARE records — transactions whose
+// apply never committed locally — decoded, keyed by transaction ID.
+func (s *State) InDoubt() (map[string]*Prepared, error) {
+	out := make(map[string]*Prepared)
+	var derr error
+	s.store.Backend().TwoPCScan(func(key string, doc map[string]any) bool {
+		if doc["kind"] != "prepare" {
+			return true
+		}
+		p, err := DecodePrepared(doc)
+		if err != nil {
+			derr = err
+			return false
+		}
+		out[p.TxID] = p
+		return true
+	})
+	return out, derr
+}
+
+// Decision returns the recorded outcome ("commit" or "abort") for a
+// transaction on this shard, if any.
+func (s *State) Decision(txID string) (string, bool) {
+	doc, ok := s.store.Backend().Collection(storage.TwoPCCollection).Get(DecisionKey(txID))
+	if !ok {
+		return "", false
+	}
+	outcome, _ := doc["outcome"].(string)
+	return outcome, outcome != ""
+}

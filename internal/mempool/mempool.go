@@ -463,6 +463,48 @@ func (p *Pool) AdmitBatch(txs []Tx) AdmitResult {
 	return res
 }
 
+// Hold claims spend keys on behalf of a cross-shard transaction that
+// never enters this pool: while held, the admission screen rejects any
+// pooled rival spending them, exactly as if a pending transaction held
+// the claim. All-or-nothing — if any key is already claimed by a
+// different owner, nothing is taken and the clash is returned (the
+// coordinator's signal to abort). Holding a key the same owner already
+// holds is a no-op, so retries are idempotent. Pair with Release; the
+// commit sweep does not release foreign holds.
+func (p *Pool) Hold(keys []string, owner string) error {
+	// The pool lock excludes AdmitBatch's insert phase and rival Holds,
+	// making check-then-claim atomic against both.
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, key := range keys {
+		if cur, ok := p.claimant(key); ok && cur != owner {
+			return &ErrSpendClaimed{TxHash: owner, Key: key, ClaimedBy: cur}
+		}
+	}
+	for _, key := range keys {
+		s := p.shardFor(key)
+		s.mu.Lock()
+		s.claims[key] = owner
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// Release drops the owner's claim holds. Keys the owner does not hold
+// (raced by an eviction, or never taken) are left untouched.
+func (p *Pool) Release(keys []string, owner string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, key := range keys {
+		s := p.shardFor(key)
+		s.mu.Lock()
+		if s.claims[key] == owner {
+			delete(s.claims, key)
+		}
+		s.mu.Unlock()
+	}
+}
+
 // Reserve marks transactions as belonging to a precommitted-but-not-
 // finalized block (consensus pipelining); Pack and Pending skip them.
 // Unknown hashes are ignored.

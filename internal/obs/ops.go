@@ -53,6 +53,35 @@ func Handler(r *Registry) http.Handler {
 	return mux
 }
 
+// LabeledHandler returns an ops endpoint over several registries at
+// once — a sharded deployment exposes every shard's metrics in one
+// scrape, keyed by label:
+//
+//	/metrics        {"<label>": <snapshot>, ...}
+//	/debug/pprof/*  the standard runtime profiles
+//
+// Labels are caller-chosen (e.g. "shard-0"); the map is read per
+// request, so it must not be mutated after the handler is built.
+func LabeledHandler(regs map[string]*Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		out := make(map[string]Snapshot, len(regs))
+		for label, r := range regs {
+			out[label] = r.Snapshot()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 // OpsServer is a running ops endpoint.
 type OpsServer struct {
 	l   net.Listener
@@ -67,6 +96,18 @@ func Serve(addr string, r *Registry) (*OpsServer, error) {
 		return nil, err
 	}
 	srv := &http.Server{Handler: Handler(r), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(l)
+	return &OpsServer{l: l, srv: srv}, nil
+}
+
+// ServeLabeled starts a multi-registry ops endpoint on addr and serves
+// it in the background until Close.
+func ServeLabeled(addr string, regs map[string]*Registry) (*OpsServer, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: LabeledHandler(regs), ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(l)
 	return &OpsServer{l: l, srv: srv}, nil
 }

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+// The labeled ops endpoint serves every registry's snapshot in one
+// scrape, keyed by its label — how a sharded deployment keeps
+// per-shard metrics distinguishable.
+func TestLabeledHandlerMetrics(t *testing.T) {
+	regs := map[string]*Registry{
+		"shard-0": New(),
+		"shard-1": New(),
+	}
+	regs["shard-0"].Counter("shard.local_blocks").Add(3)
+	regs["shard-1"].Counter("shard.local_blocks").Add(7)
+	regs["shard-1"].Gauge("shard.height").Set(42)
+
+	srv := httptest.NewServer(LabeledHandler(regs))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got map[string]Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("labels = %d, want 2", len(got))
+	}
+	if got["shard-0"].Counters["shard.local_blocks"] != 3 {
+		t.Fatalf("shard-0 snapshot: %+v", got["shard-0"].Counters)
+	}
+	if got["shard-1"].Counters["shard.local_blocks"] != 7 || got["shard-1"].Gauges["shard.height"] != 42 {
+		t.Fatalf("shard-1 snapshot: %+v", got["shard-1"])
+	}
+}

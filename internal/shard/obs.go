@@ -1,0 +1,35 @@
+package shard
+
+import "smartchaindb/internal/obs"
+
+// shardObs caches the per-shard observability handles. Every handle is
+// nil-safe: a shard without a registry records nothing.
+type shardObs struct {
+	localBlocks *obs.Counter // shard.local_blocks — zero-coordination commits
+	crossTxs    *obs.Counter // shard.cross_txs — 2PC rounds this shard joined
+	prepared    *obs.Counter // shard.2pc.prepared — durable PREPARE votes
+	committed   *obs.Counter // shard.2pc.committed — applies on this shard
+	aborted     *obs.Counter // shard.2pc.aborted — abort decisions recorded
+	recovered   *obs.Counter // shard.2pc.indoubt_recovered — resolved at open
+	height      *obs.Gauge   // shard.height — committed chain height
+
+	prepareNs *obs.Histogram // shard.2pc.prepare_ns — stage + durable vote
+	applyNs   *obs.Histogram // shard.2pc.apply_ns — decided apply
+}
+
+func newShardObs(r *obs.Registry) shardObs {
+	if r == nil {
+		return shardObs{}
+	}
+	return shardObs{
+		localBlocks: r.Counter("shard.local_blocks"),
+		crossTxs:    r.Counter("shard.cross_txs"),
+		prepared:    r.Counter("shard.2pc.prepared"),
+		committed:   r.Counter("shard.2pc.committed"),
+		aborted:     r.Counter("shard.2pc.aborted"),
+		recovered:   r.Counter("shard.2pc.indoubt_recovered"),
+		height:      r.Gauge("shard.height"),
+		prepareNs:   r.Histogram("shard.2pc.prepare_ns"),
+		applyNs:     r.Histogram("shard.2pc.apply_ns"),
+	}
+}

@@ -1,0 +1,174 @@
+// Package shard partitions the chain's spend-key space across S
+// shards, each owning a full vertical slice of the node stack: its own
+// ledger state, mempool, and storage backend (per-shard WAL, chain,
+// and MVCC clock). A footprint-driven router classifies every
+// transaction at admission: one whose spent inputs and home all land
+// on a single shard commits fully locally, with zero cross-shard
+// coordination; one whose footprint spans shards runs a
+// footprint-derived two-phase commit whose participants are exactly
+// the shards owning its keys (twopc.go).
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"smartchaindb/internal/txn"
+)
+
+// MetaShardHint is the transaction-metadata key a submitter sets to
+// direct a transaction's outputs to a specific shard ("shard": <id>).
+// Without it a transaction homes with its first spent input — chain
+// affinity keeps every single-input chain fully local — so a hinted
+// transfer is the one way value migrates between shards, and the one
+// source of cross-shard work.
+const MetaShardHint = "shard"
+
+// Directory maps committed transaction IDs to the shard owning them —
+// and therefore owning their outputs' UTXO keys. It is the routing
+// ground truth: rebuilt at open by scanning each shard's transaction
+// log, maintained at every commit.
+type Directory struct {
+	mu   sync.RWMutex
+	home map[string]int
+}
+
+func NewDirectory() *Directory { return &Directory{home: make(map[string]int)} }
+
+// Lookup reports the shard owning transaction id.
+func (d *Directory) Lookup(id string) (int, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	s, ok := d.home[id]
+	return s, ok
+}
+
+// Set records transaction id as owned by shard s.
+func (d *Directory) Set(id string, s int) {
+	d.mu.Lock()
+	d.home[id] = s
+	d.mu.Unlock()
+}
+
+// SetAll records a batch of transaction IDs as owned by shard s.
+func (d *Directory) SetAll(ids []string, s int) {
+	d.mu.Lock()
+	for _, id := range ids {
+		d.home[id] = s
+	}
+	d.mu.Unlock()
+}
+
+// Len reports the number of routed transactions.
+func (d *Directory) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.home)
+}
+
+// placeByHash is the default placement for transactions with no spent
+// inputs and no hint: a stable hash of the transaction ID.
+func placeByHash(t *txn.Transaction, shards int) int {
+	h := fnv.New32a()
+	h.Write([]byte(t.ID))
+	return int(h.Sum32()) % shards
+}
+
+// hintOf extracts the shard hint from a transaction's metadata, if
+// present and in range.
+func hintOf(t *txn.Transaction, shards int) (int, bool) {
+	if t.Metadata == nil {
+		return 0, false
+	}
+	raw, ok := t.Metadata[MetaShardHint]
+	if !ok {
+		return 0, false
+	}
+	var s int
+	switch v := raw.(type) {
+	case float64:
+		s = int(v)
+	case int:
+		s = v
+	default:
+		return 0, false
+	}
+	if s < 0 || s >= shards {
+		return 0, false
+	}
+	return s, true
+}
+
+// Route is a classified transaction: its home shard (where the
+// transaction document, outputs, and asset record land) and the full
+// participant set (home plus every shard owning a spent input).
+type Route struct {
+	Home         int
+	Participants []int // sorted, unique, always includes Home
+}
+
+// Cross reports whether the route spans more than one shard.
+func (r Route) Cross() bool { return len(r.Participants) > 1 }
+
+// RouteOf classifies t against the directory. The home shard is the
+// metadata hint if present, else the shard owning the first spent
+// input (chain affinity), else hash placement. An unroutable spent
+// input — no shard has its transaction — is an error: the input
+// cannot exist anywhere.
+func (c *Cluster) RouteOf(t *txn.Transaction) (Route, error) {
+	refs := t.SpentRefs()
+	inputHome := make([]int, len(refs))
+	for i, ref := range refs {
+		s, ok := c.dir.Lookup(ref.TxID)
+		if !ok {
+			return Route{}, &txn.InputDoesNotExistError{TxID: ref.TxID}
+		}
+		inputHome[i] = s
+	}
+	home, hinted := hintOf(t, len(c.shards))
+	if !hinted {
+		if len(refs) > 0 {
+			home = inputHome[0]
+		} else {
+			home = c.place(t)
+		}
+	}
+	seen := map[int]bool{home: true}
+	parts := []int{home}
+	for _, s := range inputHome {
+		if !seen[s] {
+			seen[s] = true
+			parts = append(parts, s)
+		}
+	}
+	// Participant order matters to the 2PC lock/stage order only in
+	// that it must be deterministic; sort by shard ID.
+	for i := 1; i < len(parts); i++ {
+		for j := i; j > 0 && parts[j] < parts[j-1]; j-- {
+			parts[j], parts[j-1] = parts[j-1], parts[j]
+		}
+	}
+	return Route{Home: home, Participants: parts}, nil
+}
+
+// ownsFn builds the ownership predicate StageOwned consults: shard id
+// owns a spent ref iff the directory homes the ref's transaction there.
+func (c *Cluster) ownsFn(id int) func(txn.OutputRef) bool {
+	return func(ref txn.OutputRef) bool {
+		s, ok := c.dir.Lookup(ref.TxID)
+		return ok && s == id
+	}
+}
+
+// ErrWrongShard is the admission filter's rejection for a transaction
+// homed on a different shard: the router must resubmit it there.
+type ErrWrongShard struct {
+	TxID string
+	Got  int
+	Home int
+}
+
+func (e *ErrWrongShard) Error() string {
+	return fmt.Sprintf("shard: %s is homed on shard %d, not %d", e.TxID[:8], e.Home, e.Got)
+}

@@ -1,0 +1,329 @@
+package shard
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"smartchaindb/internal/consensus"
+	"smartchaindb/internal/ledger"
+	"smartchaindb/internal/mempool"
+	"smartchaindb/internal/obs"
+	"smartchaindb/internal/server"
+	"smartchaindb/internal/txn"
+)
+
+// Config parameterizes a sharded deployment.
+type Config struct {
+	// Shards is the shard count (default 2).
+	Shards int
+	// Node configures every shard's server node. DataDir and Obs are
+	// managed per shard (see DataDir and ObsFor); other fields apply
+	// to each shard verbatim.
+	Node server.Config
+	// DataDir, when set, gives every shard a persistent storage engine
+	// under DataDir/shard-<id> — its own WAL, segments, and MVCC
+	// clock. A cluster reopened over existing directories recovers
+	// every shard, resolves in-doubt cross-shard transactions
+	// (recovery.go), and rebuilds the routing directory. Empty keeps
+	// per-shard in-memory backends.
+	DataDir string
+	// MempoolBatch caps one admission batch per shard pool.
+	MempoolBatch int
+	// Place overrides the placement of transactions with no spent
+	// inputs and no shard hint (default: hash of the transaction ID).
+	Place func(t *txn.Transaction) int
+	// ObsFor, when set, supplies each shard's observability registry;
+	// per-shard registries keep every shard's metrics separable (the
+	// ops endpoint serves them under shard labels). Nil entries keep
+	// that shard's no-op build.
+	ObsFor func(shard int) *obs.Registry
+	// EventHook, when set, fires synchronously after every durable
+	// 2PC step, named "<step>:<txid-prefix>" — the crash property
+	// tests cut WALs at these points, and the obs stage trace rides
+	// the same call sites. Steps: hold, stage, prepare@<shard>,
+	// decide, apply@<shard>, release.
+	EventHook func(event string)
+}
+
+func (c *Config) fill() {
+	if c.Shards <= 0 {
+		c.Shards = 2
+	}
+}
+
+// Shard is one vertical slice: a full server node (ledger state over
+// its own storage backend) plus its own footprint-indexed mempool.
+type Shard struct {
+	ID   int
+	Node *server.Node
+	Pool *mempool.Pool
+	// mu serializes this shard's local commit cycles (pack → commit →
+	// sweep). 2PC staging and apply do not take it: the ledger's own
+	// lock orders them against local commits, and mempool holds keep
+	// the footprints disjoint.
+	mu sync.Mutex
+	ob shardObs
+}
+
+// Cluster is the sharded deployment: S shards plus the routing
+// directory and the cross-shard commit coordinator.
+type Cluster struct {
+	cfg    Config
+	shards []*Shard
+	dir    *Directory
+	// xmu serializes cross-shard 2PC rounds: one coordinator at a
+	// time, so prepare/decide interleavings across transactions cannot
+	// deadlock on holds. Local commits on disjoint shards proceed in
+	// parallel regardless.
+	xmu sync.Mutex
+	// Recovered counts the in-doubt transactions resolved at open.
+	Recovered int
+}
+
+// Open builds (or reopens) the sharded cluster. With DataDir set, each
+// shard recovers its own chain from its WAL; then in-doubt cross-shard
+// transactions are driven to their global outcome and the routing
+// directory is rebuilt from the shards' transaction logs.
+func Open(cfg Config) (*Cluster, error) {
+	cfg.fill()
+	c := &Cluster{cfg: cfg, dir: NewDirectory()}
+	c.shards = make([]*Shard, cfg.Shards)
+	for i := range c.shards {
+		nodeCfg := cfg.Node
+		if cfg.DataDir != "" {
+			nodeCfg.DataDir = filepath.Join(cfg.DataDir, fmt.Sprintf("shard-%02d", i))
+		}
+		if cfg.ObsFor != nil {
+			nodeCfg.Obs = cfg.ObsFor(i)
+		}
+		id := i
+		nodeCfg.AdmitFilter = func(t *txn.Transaction) error {
+			r, err := c.RouteOf(t)
+			if err != nil {
+				return err
+			}
+			if r.Home != id {
+				return &ErrWrongShard{TxID: t.ID, Got: id, Home: r.Home}
+			}
+			return nil
+		}
+		node, err := server.OpenNode(nodeCfg)
+		if err != nil {
+			for _, s := range c.shards[:i] {
+				s.Node.Close()
+			}
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		sh := &Shard{ID: i, Node: node, ob: newShardObs(nodeCfg.Obs)}
+		sh.Pool = mempool.New(mempool.Config{
+			BatchSize: cfg.MempoolBatch,
+			Obs:       nodeCfg.Obs,
+			Check: func(txs []mempool.Tx) map[string]error {
+				batch := make([]consensus.Tx, len(txs))
+				for i, tx := range txs {
+					batch[i] = tx.(consensus.Tx)
+				}
+				return node.CheckTxBatch(batch)
+			},
+		})
+		c.shards[i] = sh
+	}
+	if err := c.recover(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.rebuildDirectory()
+	for _, sh := range c.shards {
+		sh.ob.height.Set(sh.Node.State().Height())
+	}
+	return c, nil
+}
+
+// New builds an in-memory sharded cluster, panicking on failure — the
+// test and bench constructor.
+func New(cfg Config) *Cluster {
+	c, err := Open(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("shard: open: %v", err))
+	}
+	return c
+}
+
+// Close releases every shard's storage backend.
+func (c *Cluster) Close() error {
+	var first error
+	for _, sh := range c.shards {
+		if sh == nil {
+			continue
+		}
+		if err := sh.Node.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Shards reports the shard count.
+func (c *Cluster) Shards() int { return len(c.shards) }
+
+// Shard exposes one shard (for queries, tests, and the ops endpoint).
+func (c *Cluster) Shard(i int) *Shard { return c.shards[i] }
+
+// Directory exposes the routing directory.
+func (c *Cluster) Directory() *Directory { return c.dir }
+
+// place applies the configured placement for input-less transactions.
+func (c *Cluster) place(t *txn.Transaction) int {
+	if c.cfg.Place != nil {
+		if s := c.cfg.Place(t); s >= 0 && s < len(c.shards) {
+			return s
+		}
+	}
+	return placeByHash(t, len(c.shards))
+}
+
+// rebuildDirectory scans every shard's transaction log into the
+// routing directory — the open-time ground truth rebuild.
+func (c *Cluster) rebuildDirectory() {
+	for _, sh := range c.shards {
+		ids := sh.Node.State().Store().Collection(ledger.ColTransactions).Keys()
+		c.dir.SetAll(ids, sh.ID)
+	}
+}
+
+// Submit routes one transaction: a single-shard route admits into the
+// home shard's mempool (committed by that shard's next local block); a
+// cross-shard route runs the full two-phase commit synchronously and
+// returns its outcome.
+func (c *Cluster) Submit(t *txn.Transaction) error {
+	r, err := c.RouteOf(t)
+	if err != nil {
+		return err
+	}
+	if r.Cross() {
+		return c.commitCross(t, r)
+	}
+	sh := c.shards[r.Home]
+	res := sh.Pool.AdmitBatch([]mempool.Tx{t})
+	if err, ok := res.Rejected[t.ID]; ok {
+		return err
+	}
+	if err, ok := res.Skipped[t.ID]; ok {
+		return err
+	}
+	return nil
+}
+
+// SubmitBatch routes a batch: each transaction lands in its home
+// shard's admission batch (exercising that shard's routed
+// CheckTxBatch), and cross-shard transactions run 2PC in submission
+// order. Per-transaction verdicts are returned by ID; absent means
+// admitted or committed.
+func (c *Cluster) SubmitBatch(txs []*txn.Transaction) map[string]error {
+	errs := make(map[string]error)
+	perShard := make([][]mempool.Tx, len(c.shards))
+	var cross []*txn.Transaction
+	crossRoute := make(map[string]Route)
+	for _, t := range txs {
+		r, err := c.RouteOf(t)
+		if err != nil {
+			errs[t.ID] = err
+			continue
+		}
+		if r.Cross() {
+			cross = append(cross, t)
+			crossRoute[t.ID] = r
+			continue
+		}
+		perShard[r.Home] = append(perShard[r.Home], t)
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for id, batch := range perShard {
+		if len(batch) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(sh *Shard, batch []mempool.Tx) {
+			defer wg.Done()
+			res := sh.Pool.AdmitBatch(batch)
+			mu.Lock()
+			for id, err := range res.Rejected {
+				errs[id] = err
+			}
+			for id, err := range res.Skipped {
+				errs[id] = err
+			}
+			mu.Unlock()
+		}(c.shards[id], batch)
+	}
+	wg.Wait()
+	for _, t := range cross {
+		if err := c.commitCross(t, crossRoute[t.ID]); err != nil {
+			errs[t.ID] = err
+		}
+	}
+	return errs
+}
+
+// CommitLocal packs and commits one local block on shard id from its
+// pending pool, with zero cross-shard coordination. Returns the
+// transactions committed. Safe to call concurrently across shards —
+// the single-shard scaling path.
+func (c *Cluster) CommitLocal(id int, maxTxs int) []*txn.Transaction {
+	sh := c.shards[id]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	packed := sh.Pool.Pack(maxTxs, c.cfg.Node.ParallelWorkers)
+	if len(packed) == 0 {
+		return nil
+	}
+	batch := make([]*txn.Transaction, len(packed))
+	for i, tx := range packed {
+		batch[i] = tx.(*txn.Transaction)
+	}
+	committed, _ := sh.Node.State().CommitBlock(batch)
+	sh.Pool.RemoveCommitted(asPoolTxs(committed))
+	ids := make([]string, len(committed))
+	for i, t := range committed {
+		ids[i] = t.ID
+	}
+	c.dir.SetAll(ids, id)
+	sh.ob.localBlocks.Inc()
+	sh.ob.height.Set(sh.Node.State().Height())
+	return committed
+}
+
+// DrainLocal commits local blocks on every shard in parallel until all
+// pools are empty — the test/bench settle step.
+func (c *Cluster) DrainLocal(maxTxs int) int {
+	total := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for id := range c.shards {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for {
+				n := len(c.CommitLocal(id, maxTxs))
+				if n == 0 {
+					return
+				}
+				mu.Lock()
+				total += n
+				mu.Unlock()
+			}
+		}(id)
+	}
+	wg.Wait()
+	return total
+}
+
+func asPoolTxs(txs []*txn.Transaction) []mempool.Tx {
+	out := make([]mempool.Tx, len(txs))
+	for i, t := range txs {
+		out[i] = t
+	}
+	return out
+}

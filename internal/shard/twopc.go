@@ -1,0 +1,251 @@
+package shard
+
+import (
+	"fmt"
+	"time"
+
+	"smartchaindb/internal/ledger"
+	"smartchaindb/internal/mempool"
+	"smartchaindb/internal/txn"
+)
+
+// Cross-shard two-phase commit, coordinator side. The home shard
+// coordinates; participants are exactly the shards the transaction's
+// footprint touches. The protocol over each participant's ledger hooks
+// (ledger/prepare.go):
+//
+//  1. hold    — claim the owned spend keys in every participant's
+//               mempool (all-or-nothing per shard); rivals are now
+//               rejected at admission, so no local block can consume
+//               the inputs mid-protocol.
+//  2. stage   — each participant checks and stages its owned share
+//               against committed state; the coordinator cross-checks
+//               ownership, asset, and conservation from the staged
+//               input docs. Nothing durable yet: any failure just
+//               releases the holds.
+//  3. prepare — each participant durably logs its staged share as a
+//               PREPARE record: the vote. From here the transaction
+//               is in doubt across a crash until a decision lands.
+//  4. decide  — the home shard's apply is the commit point: one
+//               atomic WAL group seals its effects, records the
+//               commit decision, and clears its prepare record. The
+//               decision exists ⟺ the home shard applied.
+//  5. apply   — the remaining participants apply the same way, each
+//               recording the decision locally.
+//
+// A crash between 3 and 5 leaves prepare records on the laggards;
+// recovery (recovery.go) finds the home shard's decision and drives
+// them to the same outcome, or presumes abort when no decision
+// exists anywhere.
+
+// decisionDoc renders the coordinator's decision record.
+func decisionDoc(txID, outcome string, participants []int) map[string]any {
+	parts := make([]any, len(participants))
+	for i, p := range participants {
+		parts[i] = float64(p)
+	}
+	return map[string]any{
+		"kind":         "decision",
+		"tx":           txID,
+		"outcome":      outcome,
+		"participants": parts,
+	}
+}
+
+// event fires the configured 2PC event hook.
+func (c *Cluster) event(step, txID string) {
+	if c.cfg.EventHook != nil {
+		c.cfg.EventHook(step + ":" + txID[:8])
+	}
+}
+
+// ownedSpendKeys lists the mempool spend-claim keys of t's inputs that
+// shard id owns.
+func (c *Cluster) ownedSpendKeys(t *txn.Transaction, id int) []string {
+	var keys []string
+	for _, ref := range t.SpentRefs() {
+		if s, ok := c.dir.Lookup(ref.TxID); ok && s == id {
+			keys = append(keys, "utxo:"+ref.String())
+		}
+	}
+	return keys
+}
+
+// commitCross runs the two-phase commit for a routed cross-shard
+// transaction and blocks until its global outcome. One coordinator
+// round runs at a time (xmu); local commits on all shards proceed
+// concurrently, fenced off the inputs by the mempool holds.
+func (c *Cluster) commitCross(t *txn.Transaction, r Route) error {
+	c.xmu.Lock()
+	defer c.xmu.Unlock()
+
+	home := c.shards[r.Home]
+	// Only TRANSFER crosses shards: every other operation reads
+	// referenced state (auction chains, escrow) the router keeps
+	// co-located.
+	if t.Operation != txn.OpTransfer {
+		return fmt.Errorf("shard: cross-shard %s is not supported", t.Operation)
+	}
+	if err := home.Node.Schemas().ValidateTx(t); err != nil {
+		return err
+	}
+	if err := txn.VerifyFulfillments(t); err != nil {
+		return err
+	}
+	for _, id := range r.Participants {
+		c.shards[id].ob.crossTxs.Inc()
+	}
+
+	// Phase 1: claim the inputs in every participant's admission
+	// screen. All-or-nothing per shard; a clash anywhere aborts with
+	// nothing durable taken.
+	held := make(map[int][]string, len(r.Participants))
+	release := func() {
+		for id, keys := range held {
+			c.shards[id].Pool.Release(keys, t.ID)
+		}
+	}
+	for _, id := range r.Participants {
+		keys := c.ownedSpendKeys(t, id)
+		if len(keys) == 0 {
+			continue // the home shard may own no inputs (pure migration)
+		}
+		if err := c.shards[id].Pool.Hold(keys, t.ID); err != nil {
+			release()
+			return err
+		}
+		held[id] = keys
+	}
+	c.event("hold", t.ID)
+
+	// Phase 2: stage each participant's share and cross-check the
+	// whole from the staged input docs.
+	prepared := make(map[int]*ledger.Prepared, len(r.Participants))
+	for _, id := range r.Participants {
+		p, err := c.shards[id].Node.State().StageOwned(t, id == r.Home, c.ownsFn(id))
+		if err != nil {
+			release()
+			return err
+		}
+		prepared[id] = p
+	}
+	if err := crossCheck(t, prepared); err != nil {
+		release()
+		return err
+	}
+	c.event("stage", t.ID)
+
+	// Phase 3: durable votes. A failed vote aborts the prepared
+	// participants with a durable abort decision — their surviving
+	// prepare records would otherwise stay in doubt forever.
+	abort := func(upto int) {
+		dec := decisionDoc(t.ID, "abort", r.Participants)
+		for _, id := range r.Participants[:upto] {
+			if c.shards[id].Node.State().AbortPrepared(t.ID, dec) == nil {
+				c.shards[id].ob.aborted.Inc()
+			}
+		}
+		release()
+	}
+	for i, id := range r.Participants {
+		t0 := time.Now()
+		if err := c.shards[id].Node.State().LogPrepare(prepared[id]); err != nil {
+			abort(i)
+			return fmt.Errorf("shard %d: prepare %s: %w", id, t.ID[:8], err)
+		}
+		c.shards[id].ob.prepared.Inc()
+		c.shards[id].ob.prepareNs.ObserveSince(t0)
+		c.event(fmt.Sprintf("prepare@%d", id), t.ID)
+	}
+
+	// Phase 4: the commit point. The home shard's apply atomically
+	// seals its effects and records the commit decision; failure here
+	// (nothing was applied) aborts everyone.
+	dec := decisionDoc(t.ID, "commit", r.Participants)
+	t0 := time.Now()
+	if _, err := home.Node.State().ApplyPrepared(prepared[r.Home], dec); err != nil {
+		abort(len(r.Participants))
+		return fmt.Errorf("shard %d: decide %s: %w", r.Home, t.ID[:8], err)
+	}
+	home.ob.committed.Inc()
+	home.ob.applyNs.ObserveSince(t0)
+	c.event("decide", t.ID)
+
+	// Phase 5: the decision is durable — every remaining participant
+	// must apply. An apply failure past the commit point cannot be
+	// rolled back; surface it (recovery replays the survivor's
+	// prepare record against the recorded decision on reopen).
+	var applyErr error
+	for _, id := range r.Participants {
+		if id == r.Home {
+			continue
+		}
+		t0 := time.Now()
+		if _, err := c.shards[id].Node.State().ApplyPrepared(prepared[id], dec); err != nil {
+			if applyErr == nil {
+				applyErr = fmt.Errorf("shard %d: apply decided %s: %w", id, t.ID[:8], err)
+			}
+			continue
+		}
+		c.shards[id].ob.committed.Inc()
+		c.shards[id].ob.applyNs.ObserveSince(t0)
+		c.event(fmt.Sprintf("apply@%d", id), t.ID)
+	}
+
+	// Cleanup: sweep rival pool entries, release the holds, route the
+	// new outputs to the home shard.
+	for _, id := range r.Participants {
+		c.shards[id].Pool.RemoveCommitted([]mempool.Tx{t})
+		c.shards[id].ob.height.Set(c.shards[id].Node.State().Height())
+	}
+	release()
+	c.dir.Set(t.ID, r.Home)
+	c.event("release", t.ID)
+	return applyErr
+}
+
+// crossCheck is the coordinator's semantic validation of a cross-shard
+// transfer, assembled from the participants' staged input docs: every
+// input must exist (staged by exactly one participant), be owned by
+// the keys the fulfillment names, hold shares of the transferred
+// asset, and the input and output amounts must conserve.
+func crossCheck(t *txn.Transaction, prepared map[int]*ledger.Prepared) error {
+	docs := make(map[string]map[string]any)
+	for _, p := range prepared {
+		for key, doc := range p.InputDocs {
+			docs[key] = doc
+		}
+	}
+	var in uint64
+	for i, input := range t.Inputs {
+		if input.Fulfills == nil {
+			return fmt.Errorf("shard: input %d of %s spends nothing", i, t.ID[:8])
+		}
+		doc, ok := docs[input.Fulfills.String()]
+		if !ok {
+			return &txn.InputDoesNotExistError{TxID: input.Fulfills.TxID}
+		}
+		owners, _ := doc["owner"].([]any)
+		if len(owners) != len(input.OwnersBefore) {
+			return fmt.Errorf("shard: input %d of %s: owner mismatch", i, t.ID[:8])
+		}
+		for j, o := range owners {
+			if s, _ := o.(string); s != input.OwnersBefore[j] {
+				return fmt.Errorf("shard: input %d of %s: owner mismatch", i, t.ID[:8])
+			}
+		}
+		if aid, _ := doc["asset_id"].(string); aid != t.AssetID() {
+			return fmt.Errorf("shard: input %d of %s: asset %s, want %s", i, t.ID[:8], aid, t.AssetID())
+		}
+		amt, _ := doc["amount"].(float64)
+		in += uint64(amt)
+	}
+	var out uint64
+	for _, o := range t.Outputs {
+		out += o.Amount
+	}
+	if in != out {
+		return fmt.Errorf("shard: %s does not conserve: inputs %d, outputs %d", t.ID[:8], in, out)
+	}
+	return nil
+}

@@ -128,7 +128,7 @@ func Open(dir string, opts Options) (*Engine, error) {
 // logged block height.
 func (e *Engine) applyToMem(h int64, m mutation) error {
 	switch m.op {
-	case opPut:
+	case opPut, opPrepare, opDecide:
 		doc, err := unmarshalDoc(m.doc)
 		if err != nil {
 			return err

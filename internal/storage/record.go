@@ -6,11 +6,17 @@ import (
 	"fmt"
 )
 
-// Mutation ops inside a WAL payload.
+// Mutation ops inside a WAL payload. opPrepare and opDecide are the
+// cross-shard two-phase-commit record types: both carry a document
+// like opPut (they target the reserved TwoPCCollection), but keep
+// distinct frame tags so a WAL reader can classify 2PC traffic
+// without parsing document payloads.
 const (
-	opPut    = 1
-	opDelete = 2
-	opDrop   = 3 // drop a whole collection
+	opPut     = 1
+	opDelete  = 2
+	opDrop    = 3 // drop a whole collection
+	opPrepare = 4 // 2PC participant PREPARE record
+	opDecide  = 5 // 2PC coordinator/participant decision record
 )
 
 // WAL payload versions. v1 had no height; v2 prefixes the mutation
@@ -97,7 +103,7 @@ func encodeGroup(height int64, muts []mutation) []byte {
 		b = append(b, m.op)
 		b = appendString(b, m.coll)
 		b = appendString(b, m.key)
-		if m.op == opPut {
+		if m.op == opPut || m.op == opPrepare || m.op == opDecide {
 			b = appendBytes(b, m.doc)
 		}
 	}
@@ -140,7 +146,7 @@ func decodeGroup(payload []byte, fn func(height int64, m mutation) error) error 
 			return err
 		}
 		switch m.op {
-		case opPut:
+		case opPut, opPrepare, opDecide:
 			if m.doc, err = r.bytes(); err != nil {
 				return err
 			}

@@ -64,6 +64,14 @@ package storage
 
 import "smartchaindb/internal/obs"
 
+// TwoPCCollection is the reserved collection the two-phase-commit log
+// lives in. It is an ordinary collection at the storage layer (it
+// replays from the WAL, survives Compact as a segment, and is
+// versioned like any other), but the ledger fingerprint excludes it
+// and the docstore never indexes it — it is coordination state, not
+// chain state.
+const TwoPCCollection = "__twopc__"
+
 // Backend is the persistence layer a docstore.Store runs over. It was
 // extracted from the document store's collection primitives so the
 // same Store (filters, indexes, deep-copy semantics) runs unchanged
@@ -116,6 +124,25 @@ type Backend interface {
 	// SetRetain sets K, the number of sealed heights retained for
 	// snapshot reads (minimum 1, default DefaultRetainHeights).
 	SetRetain(k int64)
+
+	// The two-phase-commit log, backing cross-shard transactions. All
+	// four operate on TwoPCCollection; on disk, LogPrepare and
+	// LogDecision frame dedicated WAL record types (opPrepare,
+	// opDecide) so the log's durability points are visible in the
+	// byte stream. Inside an open Group they join the group's atomic
+	// record — the hook the participant apply uses to make
+	// "seal + local decision + prepare removal" one durable unit.
+
+	// LogPrepare durably records a participant PREPARE under key.
+	LogPrepare(key string, doc map[string]any) error
+	// LogDecision durably records a commit/abort decision under key.
+	LogDecision(key string, doc map[string]any) error
+	// ClearTwoPC removes a 2PC record; clearing a missing key is a
+	// no-op.
+	ClearTwoPC(key string) error
+	// TwoPCScan visits the surviving 2PC records in insertion order
+	// until fn returns false — the recovery walk on reopen.
+	TwoPCScan(fn func(key string, doc map[string]any) bool)
 
 	// SetObs attaches an observability registry: WAL group bytes and
 	// fsync latency, segment counts, compaction durations, and MVCC
