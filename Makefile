@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-disk test-race bench-parallel bench-storage bench-mempool bench-commit bench-query bench-mvcc bench-obs bench-shard bench-smoke ci
+.PHONY: all build vet test test-disk test-race bench-parallel bench-storage bench-mempool bench-commit bench-query bench-mvcc bench-obs bench-shard bench-traffic bench-smoke ci
 
 all: build test
 
@@ -41,9 +41,12 @@ test-disk:
 # snapshot suites (lock-free snapshot readers racing block appliers
 # at every layer), and the consensus overlap. The SCDB_BACKEND=disk
 # leg re-runs the ledger-backed suites, incl. the
-# query-engine-vs-block-commit race, over the WAL engine.
+# query-engine-vs-block-commit race, over the WAL engine. The
+# txn/keys/driver leg covers the admission fast path: the per-tx
+# canonical-bytes memo (CAS copy-forward) and the batched signature
+# verifier's worker fan-out.
 test-race:
-	$(GO) test -race ./internal/mempool ./internal/parallel ./internal/ledger ./internal/consensus ./internal/server ./internal/bench ./internal/storage ./internal/docstore ./internal/query ./internal/obs ./internal/shard
+	$(GO) test -race ./internal/mempool ./internal/parallel ./internal/ledger ./internal/consensus ./internal/server ./internal/bench ./internal/storage ./internal/docstore ./internal/query ./internal/obs ./internal/shard ./internal/txn ./internal/keys ./internal/driver
 	SCDB_BACKEND=disk $(GO) test -race -count=1 ./internal/ledger ./internal/server ./internal/consensus ./internal/query ./internal/shard
 
 # Reproduce the parallel-validation experiment (wall-clock sweep plus
@@ -95,13 +98,21 @@ bench-obs:
 bench-shard:
 	$(GO) run ./cmd/scdb-bench -exp shard
 
+# Admission fast-path experiment: open-loop Poisson traffic from a
+# million-user keypair population through CheckTxBatch → commit,
+# sweeping offered load, caches on vs off — the throughput-gain and
+# p99-latency proof for the batched signature verifier and the
+# canonical-bytes cache.
+bench-traffic:
+	$(GO) run ./cmd/scdb-bench -exp traffic
+
 # Seconds-scale smoke run of the parallel, storage, mempool, commit,
-# query, mvcc, obs, and shard experiments — part of the default
-# `make test` gate so a broken experiment path fails the build, not
-# the next benchmarking session. Writes the machine-readable results
-# alongside the tables (obs is ungated here: the smoke gate is shape,
-# not noise).
+# query, mvcc, obs, shard, and traffic experiments — part of the
+# default `make test` gate so a broken experiment path fails the
+# build, not the next benchmarking session. Writes the
+# machine-readable results alongside the tables (obs is ungated here:
+# the smoke gate is shape, not noise).
 bench-smoke:
-	$(GO) run ./cmd/scdb-bench -exp parallel,storage,mempool,commit,query,mvcc,obs,shard -json bench-smoke.json -batches 1 -batchtxs 64 -parallel 1,4 -storageblocks 2 -storagesizes 64 -mempooltxs 256 -commitblocks 3 -committxs 96 -conflicts 0.25,0.5 -querydocs 512,4096 -queryreps 16 -queryblocks 2 -querytxs 64 -queryreaders 2 -mvccblocks 4 -mvcctxs 64 -mvccreaders 2 -shardcounts 1,2 -shardcross 0,0.25 -shardchains 8 -shardrounds 2
+	$(GO) run ./cmd/scdb-bench -exp parallel,storage,mempool,commit,query,mvcc,obs,shard,traffic -json bench-smoke.json -batches 1 -batchtxs 64 -parallel 1,4 -storageblocks 2 -storagesizes 64 -mempooltxs 256 -commitblocks 3 -committxs 96 -conflicts 0.25,0.5 -querydocs 512,4096 -queryreps 16 -queryblocks 2 -querytxs 64 -queryreaders 2 -mvccblocks 4 -mvcctxs 64 -mvccreaders 2 -shardcounts 1,2 -shardcross 0,0.25 -shardchains 8 -shardrounds 2 -trafficusers 256 -traffictxs 256 -trafficinputs 2 -trafficrates 4000 -trafficbatch 32 -trafficbackends memory
 
 ci: test test-race

@@ -18,6 +18,8 @@
 //	scdb-bench -exp mvcc -mvccblocks 8 -mvcctxs 256 -mvccreaders 4
 //	scdb-bench -exp obs -obsgate 3      # instrumentation overhead vs the no-op registry
 //	scdb-bench -exp shard -shardcounts 1,2,4 -shardcross 0,0.1,0.3
+//	scdb-bench -exp traffic -trafficusers 1000000 -traffictxs 16384 -trafficrates 2000,6000
+//	scdb-bench -exp traffic -cpuprofile cpu.out -memprofile mem.out
 //	scdb-bench -exp commit -json out.json   # machine-readable results alongside the tables
 //	scdb-bench -exp fig7 -valworkers 4  # headline curves on the parallel pipeline
 //	scdb-bench -exp parallel,storage    # comma-separated subsets
@@ -30,6 +32,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -38,7 +42,9 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "comma-separated experiments: fig2 | fig7 | fig8 | usability | mix | recovery | parallel | storage | mempool | commit | query | mvcc | obs | shard | all")
+		exp        = flag.String("exp", "all", "comma-separated experiments: fig2 | fig7 | fig8 | usability | mix | recovery | parallel | storage | mempool | commit | query | mvcc | obs | shard | traffic | all")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering every selected experiment to this path")
+		memProfile = flag.String("memprofile", "", "write a heap profile (after the last experiment) to this path")
 		jsonPath   = flag.String("json", "", "also write every selected experiment's full results as JSON to this path")
 		obsGate    = flag.Float64("obsgate", 0, "obs experiment: fail if instrumentation overhead exceeds this percent (0 = report only)")
 		auctions   = flag.Int("auctions", 4, "auctions per run")
@@ -74,6 +80,12 @@ func main() {
 		shCross    = flag.String("shardcross", "0,0.1,0.3", "shard experiment: comma-separated cross-shard transfer rates")
 		shChains   = flag.Int("shardchains", 32, "shard experiment: concurrent transfer chains split across shards")
 		shRounds   = flag.Int("shardrounds", 8, "shard experiment: lockstep rounds (one transfer per chain per round)")
+		trUsers    = flag.Int("trafficusers", 0, "traffic experiment: pre-generated keypair population (default 1,000,000)")
+		trTxs      = flag.Int("traffictxs", 0, "traffic experiment: transactions per leg (default 16384)")
+		trInputs   = flag.Int("trafficinputs", 0, "traffic experiment: inputs per transfer (default 4)")
+		trRates    = flag.String("trafficrates", "", "traffic experiment: comma-separated offered loads in tx/s (default 2000,6000)")
+		trBatch    = flag.Int("trafficbatch", 0, "traffic experiment: admission batch size (default 128)")
+		trBackends = flag.String("trafficbackends", "", "traffic experiment: comma-separated backends (default memory,disk)")
 	)
 	flag.Parse()
 
@@ -289,6 +301,31 @@ func main() {
 		bench.PrintShard(os.Stdout, r)
 	}
 
+	runTraffic := func() {
+		params := bench.TrafficParams{
+			Users:  *trUsers,
+			Txs:    *trTxs,
+			Inputs: *trInputs,
+			Batch:  *trBatch,
+			Seed:   *seed,
+		}
+		if *trRates != "" {
+			rates, err := parseFloats(*trRates)
+			if err != nil {
+				fatal(err)
+			}
+			params.Rates = rates
+		}
+		if *trBackends != "" {
+			for _, b := range strings.Split(*trBackends, ",") {
+				params.Backends = append(params.Backends, strings.TrimSpace(b))
+			}
+		}
+		r := bench.RunTraffic(params)
+		report.Add("traffic", r)
+		bench.PrintTraffic(os.Stdout, r)
+	}
+
 	experiments := map[string]func(){
 		"fig2":      runFig2,
 		"fig7":      runFig7,
@@ -304,13 +341,38 @@ func main() {
 		"mvcc":      runMVCC,
 		"obs":       runObs,
 		"shard":     runShard,
+		"traffic":   runTraffic,
 	}
 	selected, err := selectExperiments(*exp, experimentOrder)
 	if err != nil {
 		fatal(err)
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 	for _, name := range selected {
 		experiments[name]()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC() // report live allocations, not garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
 	}
 	if *jsonPath != "" {
 		if err := report.WriteFile(*jsonPath); err != nil {
@@ -322,7 +384,7 @@ func main() {
 
 // experimentOrder is the canonical run order; "all" expands to it and
 // selectExperiments validates against it.
-var experimentOrder = []string{"fig2", "fig7", "fig8", "usability", "mix", "recovery", "parallel", "storage", "mempool", "commit", "query", "mvcc", "obs", "shard"}
+var experimentOrder = []string{"fig2", "fig7", "fig8", "usability", "mix", "recovery", "parallel", "storage", "mempool", "commit", "query", "mvcc", "obs", "shard", "traffic"}
 
 // selectExperiments expands a comma-separated -exp value against the
 // known experiment names: "all" expands to every experiment in

@@ -89,3 +89,20 @@ func TestExperimentOrderRegistersShard(t *testing.T) {
 		t.Fatalf("selectExperiments(shard) = %v, %v", got, err)
 	}
 }
+
+func TestExperimentOrderRegistersTraffic(t *testing.T) {
+	found := false
+	for _, n := range experimentOrder {
+		if n == "traffic" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("traffic experiment not registered in experimentOrder")
+	}
+	// The traffic experiment is selectable on its own and rides "all".
+	got, err := selectExperiments("traffic", experimentOrder)
+	if err != nil || len(got) != 1 || got[0] != "traffic" {
+		t.Fatalf("selectExperiments(traffic) = %v, %v", got, err)
+	}
+}

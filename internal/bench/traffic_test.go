@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestRunTrafficSmall runs the traffic experiment at toy scale and
+// checks the structural invariants: every offered transaction is
+// admitted (the workload is valid by construction), fast-path and
+// slow-path legs admit identically, dedup fires on the multi-input
+// transfers, and the report renders. The backend follows the tier-1
+// SCDB_BACKEND switch so the disk gate exercises the traffic node's
+// WAL-backed leg too.
+func TestRunTrafficSmall(t *testing.T) {
+	backend := "memory"
+	if os.Getenv("SCDB_BACKEND") == "disk" {
+		backend = "disk"
+	}
+	p := TrafficParams{
+		Users:    64,
+		Txs:      96,
+		Inputs:   3,
+		Batch:    16,
+		Workers:  2,
+		Reps:     1,
+		Rates:    []float64{3000},
+		Backends: []string{backend},
+		Seed:     5,
+	}
+	r := RunTraffic(p)
+
+	if len(r.ThroughputRows) != 2 {
+		t.Fatalf("throughput rows = %d, want 2 (off, on)", len(r.ThroughputRows))
+	}
+	for _, row := range r.ThroughputRows {
+		if row.Admitted != p.Txs {
+			t.Fatalf("closed-loop %s fast=%v admitted %d/%d", row.Backend, row.FastPath, row.Admitted, p.Txs)
+		}
+		if row.TPS <= 0 {
+			t.Fatalf("closed-loop TPS = %v", row.TPS)
+		}
+	}
+	if _, ok := r.ThroughputGain[backend]; !ok {
+		t.Fatal("no throughput gain recorded for backend")
+	}
+
+	if len(r.LatencyRows) != 2 {
+		t.Fatalf("latency rows = %d, want 2 (off, on)", len(r.LatencyRows))
+	}
+	for _, row := range r.LatencyRows {
+		if row.Admitted != p.Txs || row.Rejected != 0 {
+			t.Fatalf("open-loop %s fast=%v admitted=%d rejected=%d, want %d/0",
+				row.Backend, row.FastPath, row.Admitted, row.Rejected, p.Txs)
+		}
+		if row.AdmitP50 <= 0 || row.AdmitP99 < row.AdmitP50 || row.AdmitP999 < row.AdmitP99 {
+			t.Fatalf("admission quantiles not monotone: p50=%v p99=%v p999=%v",
+				row.AdmitP50, row.AdmitP99, row.AdmitP999)
+		}
+		if row.CommitP50 <= 0 {
+			t.Fatalf("commit p50 = %v", row.CommitP50)
+		}
+		if row.FastPath {
+			if row.SigTasks == 0 || row.DedupHits == 0 {
+				t.Fatalf("fast-path leg saw no dedup: tasks=%d hits=%d", row.SigTasks, row.DedupHits)
+			}
+		} else if row.SigTasks != 0 {
+			t.Fatalf("slow-path leg ran the batch verifier: tasks=%d", row.SigTasks)
+		}
+	}
+
+	var buf bytes.Buffer
+	PrintTraffic(&buf, r)
+	out := buf.String()
+	for _, want := range []string{"keygen", "closed-loop", "open-loop", "p99", backend} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTrafficWorkloadShape pins the generated workload: each transfer
+// spends Inputs outputs of its funding CREATE under one key, so its
+// signature triples are identical and dedup collapses them.
+func TestTrafficWorkloadShape(t *testing.T) {
+	p := TrafficParams{Users: 8, Txs: 6, Inputs: 4, Seed: 3}
+	p.fill()
+	p.Users, p.Txs, p.Inputs = 8, 6, 4 // fill() raised them; restore toy scale
+	users := trafficUsers(p.Users, p.Seed)
+	backing, stream := trafficWorkload(p, users)
+	if len(backing) != p.Txs || len(stream) != p.Txs {
+		t.Fatalf("workload = %d backing / %d stream, want %d each", len(backing), len(stream), p.Txs)
+	}
+	for i, tr := range stream {
+		if len(tr.Inputs) != p.Inputs {
+			t.Fatalf("tx %d: %d inputs, want %d", i, len(tr.Inputs), p.Inputs)
+		}
+		ff := tr.Inputs[0].Fulfillment
+		for j, in := range tr.Inputs {
+			if in.Fulfillment != ff {
+				t.Fatalf("tx %d input %d: fulfillment differs — dedup target broken", i, j)
+			}
+		}
+	}
+}

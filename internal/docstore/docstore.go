@@ -171,6 +171,10 @@ type Collection struct {
 	// readers (Plan, FindOrdered) load it with one atomic read.
 	indexes atomic.Pointer[map[string]secondaryIndex]
 
+	// plans caches compiled-plan estimate tapes by filter shape,
+	// invalidated (via its epoch) whenever the index set changes.
+	plans planCache
+
 	dropped atomic.Bool
 	// ob holds the attached metric handles (nil: observability off;
 	// the zero collObs handles are no-ops either way). Full scans,
@@ -187,6 +191,10 @@ type collObs struct {
 	indexProbes *obs.Counter // docstore.index_probes
 	snapshots   *obs.Counter // docstore.snapshots
 	plan        [AccessUnion + 1]*obs.Counter
+
+	planCacheHits   *obs.Counter // docstore.plan_cache.hits
+	planCacheMisses *obs.Counter // docstore.plan_cache.misses
+	planCacheInvals *obs.Counter // docstore.plan_cache.invalidations
 }
 
 // obs returns the collection's handles; detached reads as all-no-op.
@@ -204,9 +212,12 @@ func (c *Collection) setObs(reg *obs.Registry) {
 		return
 	}
 	ob := &collObs{
-		fullScans:   reg.Counter("docstore.full_scans"),
-		indexProbes: reg.Counter("docstore.index_probes"),
-		snapshots:   reg.Counter("docstore.snapshots"),
+		fullScans:       reg.Counter("docstore.full_scans"),
+		indexProbes:     reg.Counter("docstore.index_probes"),
+		snapshots:       reg.Counter("docstore.snapshots"),
+		planCacheHits:   reg.Counter("docstore.plan_cache.hits"),
+		planCacheMisses: reg.Counter("docstore.plan_cache.misses"),
+		planCacheInvals: reg.Counter("docstore.plan_cache.invalidations"),
 	}
 	for k := range ob.plan {
 		ob.plan[k] = reg.Counter("docstore.plan." + AccessKind(k).metricName())
@@ -421,6 +432,30 @@ func (c *Collection) buildIndex(path string, idx secondaryIndex) {
 	}
 	next[path] = idx
 	c.indexes.Store(&next)
+	c.plans.invalidate()
+	c.obs().planCacheInvals.Inc()
+}
+
+// DropIndex removes the index on path and reports whether one existed.
+// Queries on the path fall back to full scans; cached plans that
+// depended on the index are invalidated through the epoch bump.
+func (c *Collection) DropIndex(path string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cur := c.indexMap()
+	if _, ok := cur[path]; !ok {
+		return false
+	}
+	next := make(map[string]secondaryIndex, len(cur)-1)
+	for p, ix := range cur {
+		if p != path {
+			next[p] = ix
+		}
+	}
+	c.indexes.Store(&next)
+	c.plans.invalidate()
+	c.obs().planCacheInvals.Inc()
+	return true
 }
 
 // IndexedPaths lists the indexed dot-paths, sorted.

@@ -1,0 +1,161 @@
+package docstore
+
+import (
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+)
+
+// Prepared-plan cache. Hot validator and marketplace queries compile
+// the same filter shapes over and over; what makes compilation
+// expensive is not the tree walk but the selectivity estimates, which
+// take every probed index's shard locks. The cache therefore keys on
+// the filter's *shape* — the Analyze tree with argument values
+// abstracted to their index classes, which is exactly what compile's
+// control flow depends on — and stores the estimate tape the last
+// compile produced. A hit replays the tape through a fresh compile:
+// the plan structure (including the intersect drive order, which sorts
+// by estimate) is byte-identical to the cached compile, no index lock
+// is touched, and the materialize/probe closures bind the *current*
+// arguments and index handles, so correctness never depends on the
+// cache. Entries carry the collection's index epoch; CreateIndex /
+// CreateOrderedIndex / DropIndex bump it, so a stale entry simply
+// misses and the shape recompiles against the new index set.
+
+// estTape carries selectivity estimates between a recording compile
+// and replaying ones. The leaf visit order is a pure function of the
+// filter shape, so positional replay is exact.
+type estTape struct {
+	vals   []int
+	pos    int
+	replay bool
+}
+
+// est returns the next taped estimate when replaying, records the
+// computed one when recording, and just computes when no tape is
+// attached. A replay that runs past the tape (impossible for
+// same-shape filters; defended anyway) falls back to computing.
+func (t *estTape) est(compute func() int) int {
+	if t == nil {
+		return compute()
+	}
+	if t.replay {
+		if t.pos < len(t.vals) {
+			v := t.vals[t.pos]
+			t.pos++
+			return v
+		}
+		return compute()
+	}
+	t.vals = append(t.vals, compute())
+	return t.vals[len(t.vals)-1]
+}
+
+// planCache is one collection's shape → estimate-tape map.
+type planCache struct {
+	mu      sync.RWMutex
+	entries map[string]*planEntry
+	epoch   atomic.Uint64
+}
+
+type planEntry struct {
+	epoch uint64
+	vals  []int
+}
+
+// get returns the tape recorded for key at the current epoch. The
+// string(key) conversion inside a map index compiles to a no-alloc
+// lookup.
+func (pc *planCache) get(key []byte, epoch uint64) ([]int, bool) {
+	pc.mu.RLock()
+	e := pc.entries[string(key)]
+	pc.mu.RUnlock()
+	if e == nil || e.epoch != epoch {
+		return nil, false
+	}
+	return e.vals, true
+}
+
+// put stores a freshly recorded tape unless the epoch moved while the
+// compile ran (an index was created or dropped mid-flight: the tape
+// may describe indexes that no longer exist).
+func (pc *planCache) put(key []byte, epoch uint64, vals []int) {
+	if pc.epoch.Load() != epoch {
+		return
+	}
+	pc.mu.Lock()
+	if pc.entries == nil {
+		pc.entries = make(map[string]*planEntry)
+	}
+	pc.entries[string(key)] = &planEntry{epoch: epoch, vals: vals}
+	pc.mu.Unlock()
+}
+
+// invalidate drops every cached plan and moves the epoch so in-flight
+// recordings against the old index set are refused.
+func (pc *planCache) invalidate() {
+	pc.epoch.Add(1)
+	pc.mu.Lock()
+	pc.entries = nil
+	pc.mu.Unlock()
+}
+
+// shapeKeyPool recycles key scratch so a cache hit allocates nothing.
+var shapeKeyPool = sync.Pool{New: func() any { s := make([]byte, 0, 128); return &s }}
+
+// appendShape serializes everything compile's control flow depends on:
+// node kinds, paths, operators, child counts, and each argument's
+// index class (indexKey scalar-ness and ordValueOf comparison class
+// are both functions of the class alone). Two filters with equal shape
+// keys compile to structurally identical plans modulo estimates.
+func appendShape(dst []byte, n Node) []byte {
+	switch n.Kind {
+	case KindField:
+		dst = append(dst, 'F')
+		dst = append(dst, n.Path...)
+		dst = append(dst, 0)
+		dst = append(dst, n.Op...)
+		dst = append(dst, 0, argClass(n.Arg))
+		dst = binary.AppendUvarint(dst, uint64(len(n.List)))
+		for _, a := range n.List {
+			dst = append(dst, argClass(a))
+		}
+	case KindAnd, KindOr:
+		marker := byte('&')
+		if n.Kind == KindOr {
+			marker = '|'
+		}
+		dst = append(dst, marker)
+		dst = binary.AppendUvarint(dst, uint64(len(n.Children)))
+		for _, ch := range n.Children {
+			dst = appendShape(dst, ch)
+		}
+	case KindNot:
+		dst = append(dst, '!')
+		for _, ch := range n.Children {
+			dst = appendShape(dst, ch)
+		}
+	case KindAll:
+		dst = append(dst, '*')
+	default:
+		dst = append(dst, '?')
+	}
+	return dst
+}
+
+// argClass buckets an argument value by how the planner can use it:
+// nil / bool / number / string scalars, or 'o' for anything indexKey
+// refuses (maps, arrays).
+func argClass(v any) byte {
+	switch normalize(v).(type) {
+	case nil:
+		return 'n'
+	case bool:
+		return 'b'
+	case float64:
+		return 'f'
+	case string:
+		return 's'
+	}
+	return 'o'
+}

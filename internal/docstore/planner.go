@@ -127,25 +127,75 @@ func (a *Access) String() string {
 // Plan compiles filter against the collection's current indexes. The
 // index handle map is copy-on-write (an atomic pointer swap per
 // CreateIndex), so compilation takes no lock at all; estimation runs
-// under the indexes' own locks. The plan is a point-in-time
+// under the indexes' own locks — unless the prepared-plan cache holds
+// an estimate tape for this filter shape at the current index epoch,
+// in which case the compile replays the taped estimates and touches no
+// index lock at all (see plancache.go). The plan is a point-in-time
 // compilation: it does not follow later CreateIndex calls, and its
 // materialize/probe closures answer for whatever height the executor
 // passes, so one plan serves the writer view and snapshot reads alike.
 func (c *Collection) Plan(f Filter) *Access {
-	return planner{idx: c.indexMap(), probes: c.obs().indexProbes}.compile(Analyze(f))
+	p := planner{idx: c.indexMap(), probes: c.obs().indexProbes}
+	n := Analyze(f)
+	keyp := shapeKeyPool.Get().(*[]byte)
+	key := appendShape((*keyp)[:0], n)
+	epoch := c.plans.epoch.Load()
+	ob := c.obs()
+	if vals, hit := c.plans.get(key, epoch); hit {
+		ob.planCacheHits.Inc()
+		p.tape = &estTape{vals: vals, replay: true}
+		a := p.compile(n)
+		*keyp = key
+		shapeKeyPool.Put(keyp)
+		return a
+	}
+	ob.planCacheMisses.Inc()
+	p.tape = &estTape{}
+	a := p.compile(n)
+	c.plans.put(key, epoch, p.tape.vals)
+	*keyp = key
+	shapeKeyPool.Put(keyp)
+	return a
 }
 
-// Explain renders the access plan Find (and every other query entry
-// point) would execute for filter — the planner's debugging and test
-// surface. A plan containing "full-scan" takes the collection lock;
-// anything else resolves entirely through index and shard locks.
-func (c *Collection) Explain(f Filter) string { return c.Plan(f).String() }
+// Explain renders the access plan with live selectivity estimates —
+// the planner's debugging and test surface. A plan containing
+// "full-scan" takes the collection lock; anything else resolves
+// entirely through index and shard locks.
+//
+// Explain deliberately bypasses tape replay. The prepared-plan cache
+// keys on filter *shape*, so a cached tape may carry estimates
+// recorded from a different argument of the same shape
+// (Eq("operation", "BID") and Eq("operation", "ACCEPT_BID") share one
+// entry), and replaying those numbers would make Explain's output
+// depend on which argument happened to compile first. Explain instead
+// compiles fresh — estimates are a pure function of the data — and
+// stores the resulting tape, so it doubles as a cache refresher. The
+// hot path (Find and friends, via Plan) keeps the lock-free replay: a
+// replayed intersect may drive in a different order than Explain
+// reports, but its closures bind the current arguments, so the result
+// set never differs.
+func (c *Collection) Explain(f Filter) string {
+	n := Analyze(f)
+	epoch := c.plans.epoch.Load()
+	p := planner{idx: c.indexMap(), probes: c.obs().indexProbes, tape: &estTape{}}
+	a := p.compile(n)
+	keyp := shapeKeyPool.Get().(*[]byte)
+	key := appendShape((*keyp)[:0], n)
+	c.plans.put(key, epoch, p.tape.vals)
+	*keyp = key
+	shapeKeyPool.Put(keyp)
+	return a.String()
+}
 
 type planner struct {
 	idx map[string]secondaryIndex
 	// probes counts executed index lookups and membership probes
 	// (docstore.index_probes); nil is a no-op handle.
 	probes *obs.Counter
+	// tape records or replays leaf selectivity estimates for the
+	// prepared-plan cache; nil computes them directly.
+	tape *estTape
 }
 
 func fullScan(reason string) *Access { return &Access{Kind: AccessFullScan, Reason: reason} }
@@ -231,10 +281,13 @@ func (p planner) compileField(n Node) *Access {
 // pointAccess builds an equality-class leaf over one or more probe
 // arguments (one for Eq/Contains, the list for In).
 func (p planner) pointAccess(ix secondaryIndex, path, op, detail string, args []any) *Access {
-	est := 0
-	for _, arg := range args {
-		est += ix.estimateEq(arg)
-	}
+	est := p.tape.est(func() int {
+		sum := 0
+		for _, arg := range args {
+			sum += ix.estimateEq(arg)
+		}
+		return sum
+	})
 	probes := p.probes
 	a := &Access{Kind: AccessPoint, Path: path, Op: op, Detail: detail, Est: est}
 	a.materialize = func(h int64) []string {
@@ -282,7 +335,7 @@ func (p planner) rangeAccess(ix secondaryIndex, n Node) *Access {
 	case OpLte:
 		r.hi, r.hasHi = ov, true
 	}
-	a := &Access{Kind: AccessRange, Path: n.Path, Op: n.Op, Detail: r.String(), Est: ord.estimateRange(r)}
+	a := &Access{Kind: AccessRange, Path: n.Path, Op: n.Op, Detail: r.String(), Est: p.tape.est(func() int { return ord.estimateRange(r) })}
 	a.materialize = func(h int64) []string { return ord.lookupRange(r, h) }
 	return a
 }

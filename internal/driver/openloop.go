@@ -1,0 +1,62 @@
+package driver
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Open-loop load generation. A closed-loop driver waits for each
+// response before issuing the next request, so under saturation it
+// silently throttles itself and the measured latency flattens — the
+// coordinated-omission trap. An open-loop driver fixes the arrival
+// process in advance (here: Poisson, the standard model for
+// independent users) and fires each request at its scheduled instant
+// whether or not earlier ones have completed, so queueing delay shows
+// up in the measured latency instead of disappearing into the
+// generator. This is the arrival model the traffic experiment uses to
+// measure latency under offered load.
+
+// PoissonSchedule draws n arrival offsets of a Poisson process with
+// the given rate (events per second): inter-arrival gaps are
+// exponential with mean 1/rate, and the returned offsets are the
+// cumulative gaps, sorted by construction. A non-positive rate yields
+// a burst: every arrival at offset zero.
+func PoissonSchedule(n int, rate float64, rng *rand.Rand) []time.Duration {
+	out := make([]time.Duration, n)
+	if rate <= 0 {
+		return out
+	}
+	t := 0.0
+	for i := range out {
+		// Inverse-CDF exponential draw; 1-U avoids log(0).
+		gap := -math.Log(1-rng.Float64()) / rate
+		t += gap
+		out[i] = time.Duration(t * float64(time.Second))
+	}
+	return out
+}
+
+// Pacer fires one callback per scheduled arrival at absolute deadlines
+// measured from Run's start — never relative to the previous firing,
+// so a slow callback makes later arrivals late (and measurably so)
+// rather than silently stretching the schedule.
+type Pacer struct {
+	Schedule []time.Duration
+}
+
+// Run blocks until every arrival has fired. fire receives the arrival
+// index and the scheduled (not actual) arrival time; latency measured
+// from that instant includes any queueing delay accumulated by
+// falling behind the schedule, which is exactly the open-loop
+// property.
+func (p Pacer) Run(fire func(i int, scheduled time.Time)) {
+	start := time.Now()
+	for i, off := range p.Schedule {
+		deadline := start.Add(off)
+		if wait := time.Until(deadline); wait > 0 {
+			time.Sleep(wait)
+		}
+		fire(i, deadline)
+	}
+}

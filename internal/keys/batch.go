@@ -1,0 +1,163 @@
+package keys
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"runtime"
+	"sync"
+)
+
+// Batched signature verification. ed25519 dominates admission cost
+// once the mempool's O(1) structural screen has run, and the wire
+// format makes much of that work redundant: a multi-input transaction
+// signs one payload once per input with the same key, producing N
+// byte-identical (pub, sig, msg) triples. VerifyBatch collects a whole
+// admission batch's triples, collapses duplicates, decodes each
+// distinct public key once, and fans the distinct verifications across
+// workers — so the batch verifies as one unit instead of per-tx
+// per-input.
+
+// SigTask is one signature check: does sig (base58) over Msg verify
+// under pub (base58)?
+type SigTask struct {
+	Sig string
+	Pub string
+	Msg []byte
+}
+
+// BatchStats reports what a VerifyBatch run actually computed.
+type BatchStats struct {
+	// Tasks is the number of triples submitted.
+	Tasks int
+	// Unique is the number of distinct triples verified (one ed25519
+	// operation each).
+	Unique int
+	// DedupHits is Tasks - Unique: verifications answered by an
+	// identical triple in the same batch.
+	DedupHits int
+}
+
+// VerifyBatch verifies every task and returns one verdict per task, in
+// order, plus the dedup accounting. Identical (pub, sig, msg) triples
+// are verified once; distinct triples are spread across up to workers
+// goroutines (workers <= 1, or a single distinct triple, verifies
+// inline). The verdict semantics per task are exactly Verify's.
+func VerifyBatch(tasks []SigTask, workers int) ([]bool, BatchStats) {
+	ok := make([]bool, len(tasks))
+	stats := BatchStats{Tasks: len(tasks)}
+	if len(tasks) == 0 {
+		return ok, stats
+	}
+
+	// Dedup pass: group tasks by (pub, sig); within a group, tasks
+	// with equal message bytes share one verification. Groups are
+	// almost always singleton-message (one transaction's inputs), so
+	// the inner scan is effectively O(1).
+	type rep struct {
+		taskIdx int   // representative task (verified once)
+		dupes   []int // tasks answered by the representative
+	}
+	type group struct {
+		reps []rep
+	}
+	byKey := make(map[[2]string]*group, len(tasks))
+	for i, t := range tasks {
+		key := [2]string{t.Pub, t.Sig}
+		g := byKey[key]
+		if g == nil {
+			g = &group{}
+			byKey[key] = g
+		}
+		found := -1
+		for ri := range g.reps {
+			if bytes.Equal(tasks[g.reps[ri].taskIdx].Msg, t.Msg) {
+				found = ri
+				break
+			}
+		}
+		if found >= 0 {
+			g.reps[found].dupes = append(g.reps[found].dupes, i)
+			stats.DedupHits++
+			continue
+		}
+		g.reps = append(g.reps, rep{taskIdx: i})
+	}
+	distinct := make([]int, 0, len(tasks))
+	dupesOf := make(map[int][]int)
+	for _, g := range byKey {
+		for _, r := range g.reps {
+			distinct = append(distinct, r.taskIdx)
+			if len(r.dupes) > 0 {
+				dupesOf[r.taskIdx] = r.dupes
+			}
+		}
+	}
+	stats.Unique = len(distinct)
+
+	// Decode each distinct public key once for the whole batch.
+	pubs := make(map[string]ed25519.PublicKey, len(byKey))
+	for _, i := range distinct {
+		p := tasks[i].Pub
+		if _, seen := pubs[p]; seen {
+			continue
+		}
+		pk, err := DecodePublicKey(p)
+		if err != nil {
+			pk = nil // verifies false for every task under this key
+		}
+		pubs[p] = pk
+	}
+
+	verifyOne := func(i int) {
+		t := tasks[i]
+		pk := pubs[t.Pub]
+		if pk == nil {
+			return
+		}
+		raw, err := Base58Decode(t.Sig)
+		if err != nil || len(raw) != ed25519.SignatureSize {
+			return
+		}
+		ok[i] = ed25519.Verify(pk, t.Msg, raw)
+	}
+
+	if workers > len(distinct) {
+		workers = len(distinct)
+	}
+	if workers > runtime.NumCPU() {
+		workers = runtime.NumCPU()
+	}
+	if workers <= 1 {
+		for _, i := range distinct {
+			verifyOne(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		chunk := (len(distinct) + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(distinct) {
+				hi = len(distinct)
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(idxs []int) {
+				defer wg.Done()
+				for _, i := range idxs {
+					verifyOne(i)
+				}
+			}(distinct[lo:hi])
+		}
+		wg.Wait()
+	}
+
+	for repIdx, dupes := range dupesOf {
+		for _, i := range dupes {
+			ok[i] = ok[repIdx]
+		}
+	}
+	return ok, stats
+}

@@ -1,0 +1,138 @@
+package keys
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestVerifyBatchDifferential pins VerifyBatch's verdicts to Verify's,
+// task by task, over a randomized mix of valid signatures, corrupted
+// signatures, wrong keys, wrong messages, undecodable keys, and exact
+// duplicates — across worker counts.
+func TestVerifyBatchDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pairs := make([]*KeyPair, 8)
+	for i := range pairs {
+		pairs[i] = DeterministicKeyPair(int64(100 + i))
+	}
+	msgs := [][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma")}
+
+	var tasks []SigTask
+	for i := 0; i < 200; i++ {
+		kp := pairs[rng.Intn(len(pairs))]
+		msg := msgs[rng.Intn(len(msgs))]
+		task := SigTask{Sig: kp.Sign(msg), Pub: kp.PublicBase58(), Msg: msg}
+		switch rng.Intn(6) {
+		case 0: // corrupted signature string
+			task.Sig = task.Sig[:len(task.Sig)-1] + "1"
+		case 1: // signature from a different key
+			task.Sig = pairs[(rng.Intn(len(pairs)))].Sign(msg)
+		case 2: // signed a different message
+			task.Sig = kp.Sign([]byte("other"))
+		case 3: // undecodable public key
+			task.Pub = "!!!not-base58!!!"
+		case 4: // exact duplicate of an earlier task
+			if len(tasks) > 0 {
+				task = tasks[rng.Intn(len(tasks))]
+			}
+		}
+		tasks = append(tasks, task)
+	}
+
+	want := make([]bool, len(tasks))
+	for i, task := range tasks {
+		want[i] = Verify(task.Sig, task.Pub, task.Msg)
+	}
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		got, stats := VerifyBatch(tasks, workers)
+		if len(got) != len(tasks) {
+			t.Fatalf("workers=%d: %d verdicts for %d tasks", workers, len(got), len(tasks))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d task %d: batch=%v verify=%v (%+v)", workers, i, got[i], want[i], tasks[i])
+			}
+		}
+		if stats.Tasks != len(tasks) || stats.Unique+stats.DedupHits != stats.Tasks {
+			t.Fatalf("workers=%d: inconsistent stats %+v", workers, stats)
+		}
+	}
+}
+
+// TestVerifyBatchDedup checks that N identical triples cost one
+// verification and all N verdicts agree — the multi-input transaction
+// profile.
+func TestVerifyBatchDedup(t *testing.T) {
+	kp := DeterministicKeyPair(11)
+	msg := []byte("payload signed once per input")
+	sig := kp.Sign(msg)
+	const n = 16
+	tasks := make([]SigTask, n)
+	for i := range tasks {
+		tasks[i] = SigTask{Sig: sig, Pub: kp.PublicBase58(), Msg: msg}
+	}
+	ok, stats := VerifyBatch(tasks, 4)
+	if stats.Unique != 1 || stats.DedupHits != n-1 {
+		t.Fatalf("dedup stats = %+v, want 1 unique / %d hits", stats, n-1)
+	}
+	for i, v := range ok {
+		if !v {
+			t.Fatalf("task %d: dedup verdict false", i)
+		}
+	}
+}
+
+// TestVerifyBatchSameKeyDifferentMessages pins the group structure:
+// the same (pub, sig) pair over different messages must NOT dedup into
+// one verdict — only one of the messages actually verifies.
+func TestVerifyBatchSameKeyDifferentMessages(t *testing.T) {
+	kp := DeterministicKeyPair(12)
+	good := []byte("the signed message")
+	sig := kp.Sign(good)
+	tasks := []SigTask{
+		{Sig: sig, Pub: kp.PublicBase58(), Msg: good},
+		{Sig: sig, Pub: kp.PublicBase58(), Msg: []byte("a forged message")},
+		{Sig: sig, Pub: kp.PublicBase58(), Msg: good},
+	}
+	ok, stats := VerifyBatch(tasks, 2)
+	if !ok[0] || ok[1] || !ok[2] {
+		t.Fatalf("verdicts = %v, want [true false true]", ok)
+	}
+	if stats.Unique != 2 || stats.DedupHits != 1 {
+		t.Fatalf("stats = %+v, want 2 unique / 1 hit", stats)
+	}
+}
+
+func TestVerifyBatchEmpty(t *testing.T) {
+	ok, stats := VerifyBatch(nil, 4)
+	if len(ok) != 0 || stats.Tasks != 0 || stats.Unique != 0 {
+		t.Fatalf("empty batch: ok=%v stats=%+v", ok, stats)
+	}
+}
+
+func BenchmarkVerifyBatchMultiInput(b *testing.B) {
+	// 64 transactions x 4 identical triples each, the admission-batch
+	// shape the dedup targets.
+	var tasks []SigTask
+	for i := 0; i < 64; i++ {
+		kp := DeterministicKeyPair(int64(1000 + i))
+		msg := []byte(fmt.Sprintf("payload-%d", i))
+		sig := kp.Sign(msg)
+		for j := 0; j < 4; j++ {
+			tasks = append(tasks, SigTask{Sig: sig, Pub: kp.PublicBase58(), Msg: msg})
+		}
+	}
+	b.Run("batched", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			VerifyBatch(tasks, 4)
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, task := range tasks {
+				Verify(task.Sig, task.Pub, task.Msg)
+			}
+		}
+	})
+}

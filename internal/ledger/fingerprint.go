@@ -21,6 +21,7 @@ func (s *State) Fingerprint() string {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	h := sha3.New256()
+	var buf []byte // reused across documents: one canonical-encode buffer for the whole digest
 	for _, col := range []string{ColTransactions, ColUTXOs, ColAssets} {
 		c := s.store.Collection(col)
 		keys := c.Keys()
@@ -32,7 +33,8 @@ func (s *State) Fingerprint() string {
 				continue // dropped between Keys and Get; not possible under the commit lock
 			}
 			h.Write([]byte(key))
-			h.Write(txn.CanonicalizeDoc(doc))
+			buf = txn.AppendCanonicalDoc(buf[:0], doc)
+			h.Write(buf)
 		}
 	}
 	return hex.EncodeToString(h.Sum(nil))

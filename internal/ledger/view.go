@@ -215,6 +215,7 @@ func (v *StateView) TxsByOperation(op string) []*txn.Transaction {
 // view's block, which is exactly what the MVCC differential tests pin.
 func (v *StateView) Fingerprint() string {
 	h := sha3.New256()
+	var buf []byte // reused across documents: one canonical-encode buffer for the whole digest
 	for _, col := range []string{ColTransactions, ColUTXOs, ColAssets} {
 		snap := v.col(col)
 		keys := snap.Keys()
@@ -226,7 +227,8 @@ func (v *StateView) Fingerprint() string {
 				continue
 			}
 			h.Write([]byte(key))
-			h.Write(txn.CanonicalizeDoc(doc))
+			buf = txn.AppendCanonicalDoc(buf[:0], doc)
+			h.Write(buf)
 		}
 	}
 	return hex.EncodeToString(h.Sum(nil))

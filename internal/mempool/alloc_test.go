@@ -1,0 +1,44 @@
+package mempool
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestScreenPrimitivesZeroAlloc pins the O(1) structural-screen
+// primitives — the sharded spend-key lookup and the hash lookup — at
+// zero allocations per call on a warm pool. The inline FNV hash in
+// shardFor exists precisely so these stay garbage-free on the
+// admission hot path; this test keeps future PRs from regressing it.
+func TestScreenPrimitivesZeroAlloc(t *testing.T) {
+	p := newPool(t, Config{})
+	for i := 0; i < 64; i++ {
+		admit(t, p, spender(fmt.Sprintf("tx-%d", i), fmt.Sprintf("utxo:%d", i)))
+	}
+	hit, miss := "utxo:13", "utxo:9999"
+	hash, absent := "tx-13", "tx-9999"
+
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, ok := p.claimant(hit); !ok {
+			t.Fatal("claimed key not found")
+		}
+		if _, ok := p.claimant(miss); ok {
+			t.Fatal("unclaimed key found")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("claimant allocations = %v, want 0", allocs)
+	}
+
+	allocs = testing.AllocsPerRun(500, func() {
+		if !p.Contains(hash) {
+			t.Fatal("pooled hash not found")
+		}
+		if p.Contains(absent) {
+			t.Fatal("absent hash found")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Contains allocations = %v, want 0", allocs)
+	}
+}

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"testing"
+
+	"smartchaindb/internal/consensus"
+	"smartchaindb/internal/keys"
+	"smartchaindb/internal/txn"
+)
+
+// fastPathBatch builds an admission batch mixing valid transactions
+// with every rejection class the signature stage produces: tampered
+// payload, forged signature, and missing fulfillment.
+func fastPathBatch(t *testing.T) []consensus.Tx {
+	t.Helper()
+	alice := keys.DeterministicKeyPair(61)
+	mallory := keys.DeterministicKeyPair(62)
+
+	good1 := signedCreate(t, alice, "cnc")
+	good2 := signedCreate(t, alice, "mill")
+
+	tampered := signedCreate(t, alice, "lathe")
+	tampered.Asset.Data["seq"] = -1
+	tampered.Invalidate()
+
+	forged := signedCreate(t, alice, "drill")
+	forged.Inputs[0].Fulfillment = mallory.Sign(forged.SigningPayload())
+
+	unsigned := signedCreate(t, alice, "press")
+	unsigned.Inputs[0].Fulfillment = ""
+	unsigned.Invalidate()
+
+	return []consensus.Tx{good1, good2, tampered, forged, unsigned}
+}
+
+// TestAdmissionFastPathParity pins the fast path's contract: for the
+// same batch, CheckTxBatch with the batched signature stage produces
+// exactly the verdict set (same IDs, same error strings) as the
+// per-transaction slow path.
+func TestAdmissionFastPathParity(t *testing.T) {
+	slowNode := NewNode(Config{ReservedSeed: 71, DisableAdmissionFastPath: true})
+	fastNode := NewNode(Config{ReservedSeed: 71})
+
+	batch := fastPathBatch(t)
+	// Clone per node so neither sees the other's memoized verdicts.
+	clone := func() []consensus.Tx {
+		out := make([]consensus.Tx, len(batch))
+		for i, tx := range batch {
+			out[i] = tx.(*txn.Transaction).Clone()
+		}
+		return out
+	}
+
+	slow := slowNode.CheckTxBatch(clone())
+	fast := fastNode.CheckTxBatch(clone())
+
+	if len(slow) != 3 {
+		t.Fatalf("slow path rejected %d of 5, want 3: %v", len(slow), slow)
+	}
+	if len(fast) != len(slow) {
+		t.Fatalf("verdict sets differ: fast=%d slow=%d\nfast: %v\nslow: %v", len(fast), len(slow), fast, slow)
+	}
+	for id, serr := range slow {
+		ferr, ok := fast[id]
+		if !ok {
+			t.Fatalf("fast path admitted tx %.8s, slow path rejected it: %v", id, serr)
+		}
+		if ferr.Error() != serr.Error() {
+			t.Fatalf("tx %.8s: fast=%q slow=%q", id, ferr, serr)
+		}
+	}
+}
+
+// TestAdmissionFastPathMutatedAfterCache: a transaction whose payload
+// is mutated after its encodings were memoized must still be rejected
+// — Invalidate drops the memo, and a clone never inherits one.
+func TestAdmissionFastPathMutatedAfterCache(t *testing.T) {
+	n := NewNode(Config{ReservedSeed: 72})
+	alice := keys.DeterministicKeyPair(63)
+	tx := signedCreate(t, alice, "cnc")
+	// Warm the memo through a passing batch on a clone.
+	if errs := n.CheckTxBatch([]consensus.Tx{tx.Clone()}); len(errs) != 0 {
+		t.Fatalf("pristine tx rejected: %v", errs)
+	}
+	// Mutate the original and resubmit: the verified clone's verdict
+	// must not leak to the tampered original.
+	tx.Asset.Data["seq"] = -99
+	tx.Invalidate()
+	if errs := n.CheckTxBatch([]consensus.Tx{tx}); len(errs) != 1 {
+		t.Fatalf("tampered tx admitted after cache warm-up: %v", errs)
+	}
+}

@@ -92,6 +92,13 @@ type Config struct {
 	// transaction from CheckTx/CheckTxBatch/ValidateTx without running
 	// schema or semantic validation. Nil admits everything.
 	AdmitFilter func(*txn.Transaction) error
+	// DisableAdmissionFastPath turns off the batched, deduplicating
+	// signature pre-verification CheckTxBatch runs before dispatching
+	// the semantic condition sets. The verdict set is identical either
+	// way (the condition sets verify per transaction when no memoized
+	// verdict exists); only latency changes. Exists for benchmarks that
+	// measure the uncached baseline.
+	DisableAdmissionFastPath bool
 	// Obs attaches an observability registry to every layer of the
 	// node: ledger commit histograms, docstore planner counters,
 	// storage WAL/MVCC metrics, the validation fence counters, and the
@@ -360,6 +367,21 @@ func (n *Node) CheckTxBatch(txs []consensus.Tx) map[string]error {
 			continue
 		}
 		batch = append(batch, t)
+	}
+	if !n.cfg.DisableAdmissionFastPath && len(batch) > 0 {
+		// Verify the whole batch's fulfillments as one unit: identical
+		// (pub, payload) pairs — a multi-input transaction signs its one
+		// payload once per input — collapse to a single ed25519 check,
+		// and distinct checks fan out over the admission workers. The
+		// verdicts are deliberately NOT authoritative: successes are
+		// memoized on the transactions so the condition sets below serve
+		// the signature condition in O(1), while a failed transaction
+		// simply stays cold and re-verifies inside its condition set,
+		// failing with the exact error — including the condition name
+		// and ordering relative to structural conditions — the per-tx
+		// path produces. Correctness never depends on this stage.
+		_, stats := txn.VerifyFulfillmentsBatch(batch, n.cfg.AdmissionWorkers)
+		n.observeFastPath(stats)
 	}
 	sched := &parallel.Scheduler{Workers: n.cfg.AdmissionWorkers}
 	var plan *parallel.Plan

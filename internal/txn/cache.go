@@ -1,0 +1,162 @@
+// Canonical-bytes caching. Canonicalizing a transaction is the second
+// largest admission cost after ed25519 verification: every ID check,
+// signature verification, and fingerprint re-marshals the same bytes.
+// Each Transaction therefore memoizes its signing payload and
+// canonical encoding (plus the signature verdict derived from them) in
+// an immutable, atomically swapped cell, so concurrent validators on
+// different nodes of an in-process cluster can share one transaction
+// object without locks or races.
+//
+// Invalidation contract: the blessed mutation points inside this
+// package (Sign re-canonicalizes from scratch; SetID drops the
+// ID-covering encoding) maintain the cache themselves. Code that
+// mutates a Transaction's exported fields in place after signing must
+// call Invalidate — otherwise verification answers for the bytes the
+// transaction had when the cache was populated. Clone never copies the
+// cache: a clone starts cold, so the tamper-detection tests' pattern
+// (clone, mutate, verify) keeps failing closed.
+package txn
+
+import "sync/atomic"
+
+// txMemo is one immutable cache generation. The byte slices are
+// written once before the memo is published and never mutated after;
+// only the verified flag flips in place (false → true is the sole
+// transition, and a lost flip merely costs one re-verification).
+type txMemo struct {
+	signing   []byte
+	canonical []byte
+	verified  atomic.Bool
+}
+
+var (
+	cacheOn     atomic.Bool
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+)
+
+func init() { cacheOn.Store(true) }
+
+// SetCacheEnabled toggles the process-wide canonical-bytes cache and
+// returns the previous setting. It exists for benchmarks that measure
+// the uncached baseline and must not be flipped while transactions are
+// in flight (a disabled cache is never consulted, so stale reads are
+// impossible, but hit/miss accounting becomes meaningless).
+func SetCacheEnabled(on bool) bool { return cacheOn.Swap(on) }
+
+// CacheStats reports process-wide canonical-bytes cache hits and
+// misses (SigningPayload + MarshalCanonical lookups).
+func CacheStats() (hits, misses uint64) {
+	return cacheHits.Load(), cacheMisses.Load()
+}
+
+// Invalidate drops every memoized encoding and the signature verdict.
+// Call it after mutating a transaction's fields in place; Sign calls
+// it implicitly.
+func (t *Transaction) Invalidate() { t.memo.Store(nil) }
+
+// dropDerivedMemo keeps the signing payload but discards the canonical
+// encoding and the signature verdict — what SetID needs: the new ID is
+// covered by the canonical bytes but excluded from the payload.
+func (t *Transaction) dropDerivedMemo() {
+	for {
+		old := t.memo.Load()
+		if old == nil {
+			return
+		}
+		if old.canonical == nil && !old.verified.Load() {
+			return
+		}
+		next := &txMemo{signing: old.signing}
+		if t.memo.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (t *Transaction) cachedSigning() []byte {
+	if !cacheOn.Load() {
+		return nil
+	}
+	if m := t.memo.Load(); m != nil && m.signing != nil {
+		cacheHits.Add(1)
+		return m.signing
+	}
+	cacheMisses.Add(1)
+	return nil
+}
+
+func (t *Transaction) cachedCanonical() []byte {
+	if !cacheOn.Load() {
+		return nil
+	}
+	if m := t.memo.Load(); m != nil && m.canonical != nil {
+		cacheHits.Add(1)
+		return m.canonical
+	}
+	cacheMisses.Add(1)
+	return nil
+}
+
+// storeSigning publishes a freshly computed signing payload,
+// preserving whatever else the current generation holds. Racing
+// writers compute identical bytes, so last-write-wins is benign.
+func (t *Transaction) storeSigning(b []byte) {
+	if !cacheOn.Load() {
+		return
+	}
+	for {
+		old := t.memo.Load()
+		next := &txMemo{signing: b}
+		if old != nil {
+			next.canonical = old.canonical
+			next.verified.Store(old.verified.Load())
+		}
+		if t.memo.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (t *Transaction) storeCanonical(b []byte) {
+	if !cacheOn.Load() {
+		return
+	}
+	for {
+		old := t.memo.Load()
+		next := &txMemo{canonical: b}
+		if old != nil {
+			next.signing = old.signing
+			next.verified.Store(old.verified.Load())
+		}
+		if t.memo.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// sigVerified reports a memoized successful VerifyFulfillments for the
+// current cache generation.
+func (t *Transaction) sigVerified() bool {
+	if !cacheOn.Load() {
+		return false
+	}
+	m := t.memo.Load()
+	return m != nil && m.verified.Load()
+}
+
+// markSigVerified memoizes a successful VerifyFulfillments so the
+// per-type condition sets (which re-run it during block validation)
+// pay O(1) for a transaction the admission batch already proved.
+func (t *Transaction) markSigVerified() {
+	if !cacheOn.Load() {
+		return
+	}
+	if m := t.memo.Load(); m != nil {
+		m.verified.Store(true)
+		return
+	}
+	next := &txMemo{}
+	next.verified.Store(true)
+	t.memo.CompareAndSwap(nil, next)
+}

@@ -1,0 +1,408 @@
+package txn
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"smartchaindb/internal/keys"
+)
+
+// --- canonical encoder: differential against encoding/json ----------
+
+// randomDoc builds a JSON-safe document exercising nesting, arrays,
+// every scalar class, awkward floats, and strings that hit every
+// escaping branch.
+func randomDoc(rng *rand.Rand, depth int) map[string]any {
+	doc := make(map[string]any)
+	n := 1 + rng.Intn(6)
+	for i := 0; i < n; i++ {
+		doc[randomKey(rng)] = randomValue(rng, depth)
+	}
+	return doc
+}
+
+func randomKey(rng *rand.Rand) string {
+	keys := []string{"a", "B", "zz", "key_1", "ключ", "k<&>", "line\nbreak", "", "\x00ctl", "emoji🙂"}
+	return keys[rng.Intn(len(keys))] + fmt.Sprint(rng.Intn(4))
+}
+
+func randomValue(rng *rand.Rand, depth int) any {
+	if depth > 0 && rng.Float64() < 0.3 {
+		if rng.Float64() < 0.5 {
+			return randomDoc(rng, depth-1)
+		}
+		n := rng.Intn(4)
+		arr := make([]any, n)
+		for i := range arr {
+			arr[i] = randomValue(rng, depth-1)
+		}
+		return arr
+	}
+	switch rng.Intn(6) {
+	case 0:
+		return nil
+	case 1:
+		return rng.Float64() < 0.5
+	case 2:
+		return randomString(rng)
+	case 3: // awkward floats: huge, tiny, negative zero boundary, integral
+		floats := []float64{0, 1, -1, 3.14, 1e-7, 2e-7, 1e21, 9.99e20, -1e-9,
+			math.MaxFloat64, math.SmallestNonzeroFloat64, 1e6, 123456789.123}
+		return floats[rng.Intn(len(floats))]
+	case 4:
+		return float64(rng.Int63n(1 << 53))
+	default:
+		return randomString(rng)
+	}
+}
+
+func randomString(rng *rand.Rand) string {
+	parts := []string{"plain", "with \"quotes\"", "back\\slash", "<script>&amp;", "tab\tnl\n",
+		"\u2028sep\u2029", "high\uffff", "bad:\xff\xfe", "nul\x00", "ünïcødé", "🙂🙃"}
+	out := ""
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		out += parts[rng.Intn(len(parts))]
+	}
+	return out
+}
+
+// TestCanonicalizeMatchesEncodingJSON pins the hand-rolled encoder to
+// json.Marshal byte for byte — both sort map keys, so the outputs must
+// be identical, including HTML escaping, invalid-UTF-8 replacement,
+// and float formatting.
+func TestCanonicalizeMatchesEncodingJSON(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		doc := randomDoc(rng, 3)
+		want, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatalf("doc %d: json.Marshal: %v", i, err)
+		}
+		got := CanonicalizeDoc(doc)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("doc %d:\ncanonical: %s\njson:      %s", i, got, want)
+		}
+		// The append path must agree with the one-shot path and respect
+		// an existing prefix.
+		buf := AppendCanonicalDoc([]byte("prefix:"), doc)
+		if !bytes.Equal(buf, append([]byte("prefix:"), want...)) {
+			t.Fatalf("doc %d: append path diverged", i)
+		}
+	}
+}
+
+func TestCanonicalizeFloatPanicsOnNaN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("canonicalize(NaN) did not panic")
+		}
+	}()
+	CanonicalizeDoc(map[string]any{"x": math.NaN()})
+}
+
+// --- canonical-bytes cache ------------------------------------------
+
+func signedTransfer(t *testing.T, seed int64) (*Transaction, *keys.KeyPair) {
+	t.Helper()
+	kp := keys.DeterministicKeyPair(seed)
+	tr := NewTransfer("a1",
+		[]Spend{
+			{Ref: OutputRef{TxID: "a1", Index: 0}, Owners: []string{kp.PublicBase58()}},
+			{Ref: OutputRef{TxID: "a1", Index: 1}, Owners: []string{kp.PublicBase58()}},
+		},
+		[]*Output{{PublicKeys: []string{kp.PublicBase58()}, Amount: 2}}, nil)
+	if err := Sign(tr, kp); err != nil {
+		t.Fatalf("sign: %v", err)
+	}
+	return tr, kp
+}
+
+// TestCachedEncodingsStable: repeated calls return identical bytes and
+// the memo actually serves them (same backing array on the second hit).
+func TestCachedEncodingsStable(t *testing.T) {
+	tr, _ := signedTransfer(t, 21)
+	p1, p2 := tr.SigningPayload(), tr.SigningPayload()
+	if !bytes.Equal(p1, p2) {
+		t.Fatal("payload changed between calls")
+	}
+	c1, c2 := tr.MarshalCanonical(), tr.MarshalCanonical()
+	if !bytes.Equal(c1, c2) {
+		t.Fatal("canonical changed between calls")
+	}
+	if &c1[0] != &c2[0] {
+		t.Fatal("second MarshalCanonical did not come from the memo")
+	}
+}
+
+// TestSignInvalidatesMemo: the validate tests' pattern — mutate a
+// signed transaction, re-Sign — must produce the new payload, not the
+// memoized old one.
+func TestSignInvalidatesMemo(t *testing.T) {
+	tr, kp := signedTransfer(t, 22)
+	oldID := tr.ID
+	old := append([]byte(nil), tr.SigningPayload()...)
+	tr.Outputs[0].Amount = 7
+	if err := Sign(tr, kp); err != nil {
+		t.Fatalf("re-sign: %v", err)
+	}
+	if bytes.Equal(tr.SigningPayload(), old) {
+		t.Fatal("re-sign served the stale memoized payload")
+	}
+	if tr.ID == oldID {
+		t.Fatal("re-sign kept the stale ID")
+	}
+	if err := VerifyFulfillments(tr); err != nil {
+		t.Fatalf("re-signed tx fails verification: %v", err)
+	}
+}
+
+// TestInvalidateAfterInPlaceMutation: without Invalidate a raw field
+// write would be masked by the memo; with it, verification fails
+// closed on the tampered content.
+func TestInvalidateAfterInPlaceMutation(t *testing.T) {
+	tr, _ := signedTransfer(t, 23)
+	if err := VerifyFulfillments(tr); err != nil {
+		t.Fatalf("pristine: %v", err)
+	}
+	tr.Outputs[0].Amount = 99
+	tr.Invalidate()
+	if err := VerifyFulfillments(tr); err == nil {
+		t.Fatal("tampered tx verified after Invalidate")
+	}
+}
+
+// TestCloneStartsCold: the tamper-detection pattern (clone, mutate,
+// verify) must keep failing closed — a clone shares no memo with its
+// source, even a verified one.
+func TestCloneStartsCold(t *testing.T) {
+	tr, _ := signedTransfer(t, 24)
+	if err := VerifyFulfillments(tr); err != nil {
+		t.Fatalf("pristine: %v", err)
+	}
+	c := tr.Clone()
+	c.Outputs[0].Amount = 99
+	if err := VerifyFulfillments(c); err == nil {
+		t.Fatal("mutated clone inherited the verified memo")
+	}
+}
+
+// TestVerifiedMemoSkipsRecheck: a second VerifyFulfillments on an
+// unmutated transaction is served by the memo (observable through the
+// hit counter moving without new misses).
+func TestVerifiedMemoSkipsRecheck(t *testing.T) {
+	tr, _ := signedTransfer(t, 25)
+	if err := VerifyFulfillments(tr); err != nil {
+		t.Fatalf("first: %v", err)
+	}
+	if !tr.sigVerified() {
+		t.Fatal("verdict not memoized")
+	}
+	if err := VerifyFulfillments(tr); err != nil {
+		t.Fatalf("second: %v", err)
+	}
+}
+
+// TestSetCacheEnabledOff: with the cache disabled nothing is memoized
+// and verification recomputes every time.
+func TestSetCacheEnabledOff(t *testing.T) {
+	prev := SetCacheEnabled(false)
+	defer SetCacheEnabled(prev)
+	tr, _ := signedTransfer(t, 26)
+	if err := VerifyFulfillments(tr); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if tr.memo.Load() != nil && tr.memo.Load().verified.Load() {
+		t.Fatal("verdict memoized with cache disabled")
+	}
+}
+
+// --- batched fulfillment verification -------------------------------
+
+// batchCase builds transactions covering every verifyInput branch.
+func batchCase(t *testing.T) []*Transaction {
+	t.Helper()
+	a := keys.DeterministicKeyPair(31)
+	b := keys.DeterministicKeyPair(32)
+	c := keys.DeterministicKeyPair(33)
+
+	var ts []*Transaction
+	// Valid multi-input single-sig (dedup target).
+	tr1, _ := signedTransfer(t, 34)
+	ts = append(ts, tr1)
+	// Valid multisig (2 owners).
+	m := NewTransfer("a2",
+		[]Spend{{Ref: OutputRef{TxID: "a2", Index: 0}, Owners: []string{a.PublicBase58(), b.PublicBase58()}}},
+		[]*Output{{PublicKeys: []string{c.PublicBase58()}, Amount: 1}}, nil)
+	if err := Sign(m, a, b); err != nil {
+		t.Fatalf("sign multisig: %v", err)
+	}
+	ts = append(ts, m)
+	// Tampered payload (ID mismatch).
+	bad := tr1.Clone()
+	bad.Outputs[0].Amount = 42
+	ts = append(ts, bad)
+	// Wrong signer: clone a valid tx and splice in a signature by c.
+	forged := tr1.Clone()
+	forged.Inputs[0].Fulfillment = c.Sign(forged.SigningPayload())
+	forged.Inputs[1].Fulfillment = forged.Inputs[0].Fulfillment
+	ts = append(ts, forged)
+	// Missing fulfillment.
+	miss := tr1.Clone()
+	miss.Inputs[1].Fulfillment = ""
+	ts = append(ts, miss)
+	// Multisig missing one owner's signature.
+	half := m.Clone()
+	halfPayload := half.SigningPayload()
+	half.Inputs[0].Fulfillment = keys.SignMulti(halfPayload, 2, a).String()
+	ts = append(ts, half)
+	// Single signature but multiple owners.
+	multiOwner := tr1.Clone()
+	multiOwner.Inputs[0].OwnersBefore = []string{a.PublicBase58(), b.PublicBase58()}
+	ts = append(ts, multiOwner)
+	return ts
+}
+
+// TestVerifyFulfillmentsBatchDifferential pins the batched verifier to
+// the per-transaction one: same verdicts, same error strings, across
+// worker counts, on cold clones each round.
+func TestVerifyFulfillmentsBatchDifferential(t *testing.T) {
+	base := batchCase(t)
+	want := make(map[string]string)
+	for _, tx := range base {
+		c := tx.Clone()
+		if err := VerifyFulfillments(c); err != nil {
+			want[c.ID] = err.Error()
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		fresh := make([]*Transaction, len(base))
+		for i, tx := range base {
+			fresh[i] = tx.Clone()
+		}
+		errs, stats := VerifyFulfillmentsBatch(fresh, workers)
+		if len(errs) != len(want) {
+			t.Fatalf("workers=%d: %d errors, want %d: %v", workers, len(errs), len(want), errs)
+		}
+		for id, msg := range want {
+			got, ok := errs[id]
+			if !ok {
+				t.Fatalf("workers=%d: tx %.8s should fail with %q", workers, id, msg)
+			}
+			if got.Error() != msg {
+				t.Fatalf("workers=%d: tx %.8s error = %q, want %q", workers, id, got.Error(), msg)
+			}
+		}
+		if stats.Sig.DedupHits == 0 {
+			t.Fatalf("workers=%d: no dedup hits on a multi-input batch: %+v", workers, stats)
+		}
+		// Successes are memoized exactly like the per-tx path.
+		for _, tx := range fresh {
+			if _, bad := errs[tx.ID]; bad {
+				continue
+			}
+			if !tx.sigVerified() {
+				t.Fatalf("workers=%d: passing tx %.8s not memoized", workers, tx.ID)
+			}
+		}
+	}
+}
+
+// TestVerifyFulfillmentsBatchReusesVerdicts: already-verified
+// transactions are skipped wholesale.
+func TestVerifyFulfillmentsBatchReusesVerdicts(t *testing.T) {
+	tr, _ := signedTransfer(t, 41)
+	if err := VerifyFulfillments(tr); err != nil {
+		t.Fatalf("warm-up: %v", err)
+	}
+	errs, stats := VerifyFulfillmentsBatch([]*Transaction{tr}, 2)
+	if len(errs) != 0 {
+		t.Fatalf("errs = %v", errs)
+	}
+	if stats.Reused != 1 || stats.Sig.Tasks != 0 {
+		t.Fatalf("stats = %+v, want 1 reused / 0 tasks", stats)
+	}
+}
+
+// TestMemoConcurrentReaders hammers one transaction's memo from many
+// goroutines — payload reads, canonical reads, and batch verification
+// racing the CAS copy-forward — and checks every reader saw the same
+// bytes. Run under -race, this pins the generation swap.
+func TestMemoConcurrentReaders(t *testing.T) {
+	tr, _ := signedTransfer(t, 27)
+	want := append([]byte(nil), tr.SigningPayload()...)
+	tr.Invalidate() // start everyone from a cold memo
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				switch (g + i) % 3 {
+				case 0:
+					if !bytes.Equal(tr.SigningPayload(), want) {
+						t.Error("payload diverged")
+						return
+					}
+				case 1:
+					tr.MarshalCanonical()
+				default:
+					if err := VerifyFulfillments(tr); err != nil {
+						t.Errorf("verify: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// --- allocation regression ------------------------------------------
+
+// TestAppendCanonicalDocZeroAlloc pins the steady-state append path at
+// zero allocations: warm pool, pre-sized buffer.
+func TestAppendCanonicalDocZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector disables sync.Pool reuse; allocation count is meaningless")
+	}
+	doc := map[string]any{
+		"operation": "TRANSFER",
+		"amount":    float64(3),
+		"nested":    map[string]any{"a": "x", "b": float64(2)},
+		"list":      []any{"p", "q", float64(1)},
+	}
+	buf := AppendCanonicalDoc(nil, doc)
+	buf = buf[:0]
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = AppendCanonicalDoc(buf[:0], doc)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendCanonicalDoc allocations = %v, want 0", allocs)
+	}
+}
+
+// TestCachedSigningPayloadZeroAlloc pins the cache hit at zero
+// allocations — the property that lets screen→verify→fingerprint share
+// one encode.
+func TestCachedSigningPayloadZeroAlloc(t *testing.T) {
+	tr, _ := signedTransfer(t, 51)
+	tr.SigningPayload() // populate
+	allocs := testing.AllocsPerRun(200, func() {
+		tr.SigningPayload()
+	})
+	if allocs != 0 {
+		t.Fatalf("cached SigningPayload allocations = %v, want 0", allocs)
+	}
+	tr.MarshalCanonical()
+	allocs = testing.AllocsPerRun(200, func() {
+		tr.MarshalCanonical()
+	})
+	if allocs != 0 {
+		t.Fatalf("cached MarshalCanonical allocations = %v, want 0", allocs)
+	}
+}

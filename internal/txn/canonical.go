@@ -5,7 +5,11 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"sort"
+	"math"
+	"slices"
+	"strconv"
+	"sync"
+	"unicode/utf8"
 )
 
 // ToDoc converts the transaction into a plain document
@@ -45,17 +49,27 @@ func FromDoc(doc map[string]any) (*Transaction, error) {
 // sorted lexicographically at every level, no insignificant whitespace.
 // Two transactions with equal content always produce identical bytes,
 // which is what makes SHA3-256 identifiers and signatures stable across
-// nodes and languages.
+// nodes and languages. The result is memoized (see cache.go) — callers
+// must treat it as read-only.
 func (t *Transaction) MarshalCanonical() []byte {
-	return canonicalize(t.ToDoc())
+	if b := t.cachedCanonical(); b != nil {
+		return b
+	}
+	b := canonicalize(t.ToDoc())
+	t.storeCanonical(b)
+	return b
 }
 
 // SigningPayload returns the canonical bytes that identify and are
 // signed for this transaction: the canonical JSON with the ID zeroed
 // and every input fulfillment removed (a signature cannot cover
 // itself). Children are also excluded because a nested parent's child
-// IDs are assigned by the server after signing.
+// IDs are assigned by the server after signing. The result is memoized
+// (see cache.go) — callers must treat it as read-only.
 func (t *Transaction) SigningPayload() []byte {
+	if b := t.cachedSigning(); b != nil {
+		return b
+	}
 	doc := t.ToDoc()
 	doc["id"] = ""
 	delete(doc, "children")
@@ -66,7 +80,9 @@ func (t *Transaction) SigningPayload() []byte {
 			}
 		}
 	}
-	return canonicalize(doc)
+	b := canonicalize(doc)
+	t.storeSigning(b)
+	return b
 }
 
 // ComputeID returns the transaction identifier: lowercase hex SHA3-256
@@ -76,8 +92,13 @@ func (t *Transaction) ComputeID() string {
 	return hex.EncodeToString(sum[:])
 }
 
-// SetID stamps the computed identifier onto the transaction.
-func (t *Transaction) SetID() { t.ID = t.ComputeID() }
+// SetID stamps the computed identifier onto the transaction. The
+// memoized canonical encoding (which covers the ID) is dropped; the
+// signing payload (which excludes it) survives.
+func (t *Transaction) SetID() {
+	t.ID = t.ComputeID()
+	t.dropDerivedMemo()
+}
 
 // VerifyID reports whether the stored ID matches the recomputed one.
 func (t *Transaction) VerifyID() bool { return t.ID != "" && t.ID == t.ComputeID() }
@@ -87,45 +108,89 @@ func (t *Transaction) VerifyID() bool { return t.ID != "" && t.ID == t.ComputeID
 // comparisons and fingerprints over stored documents are stable.
 func CanonicalizeDoc(doc map[string]any) []byte { return canonicalize(doc) }
 
+// AppendCanonicalDoc appends doc's canonical encoding to dst and
+// returns the extended slice. With a dst of sufficient capacity the
+// steady state allocates nothing (encoder scratch is pooled), which is
+// what lets fingerprint loops hash thousands of documents through one
+// reused buffer.
+func AppendCanonicalDoc(dst []byte, doc map[string]any) []byte {
+	e := encPool.Get().(*canonEncoder)
+	dst = e.append(dst, doc, 0)
+	encPool.Put(e)
+	return dst
+}
+
 // canonicalize writes any JSON-safe value with sorted keys and no
 // whitespace. encoding/json already sorts map keys, but we write our
 // own encoder so the canonical form is explicit, stable, and immune to
-// struct-field ordering.
+// struct-field ordering. The output is byte-identical to json.Marshal
+// of the same document (pinned by a differential test), including HTML
+// escaping and float formatting.
 func canonicalize(v any) []byte {
-	var buf []byte
-	buf = appendCanonical(buf, v)
+	e := encPool.Get().(*canonEncoder)
+	buf := e.append(nil, v, 0)
+	encPool.Put(e)
 	return buf
 }
 
-func appendCanonical(buf []byte, v any) []byte {
+// canonEncoder holds the per-depth key-sorting scratch so repeated
+// encodes allocate nothing once warm. Instances are pooled; the
+// recursion carries an explicit depth so nested maps never share a
+// scratch slice.
+type canonEncoder struct {
+	keys [][]string
+}
+
+var encPool = sync.Pool{New: func() any { return new(canonEncoder) }}
+
+func (e *canonEncoder) append(buf []byte, v any, depth int) []byte {
 	switch x := v.(type) {
 	case nil:
 		return append(buf, "null"...)
 	case map[string]any:
-		keys := make([]string, 0, len(x))
-		for k := range x {
-			keys = append(keys, k)
+		for depth >= len(e.keys) {
+			e.keys = append(e.keys, nil)
 		}
-		sort.Strings(keys)
+		ks := e.keys[depth][:0]
+		for k := range x {
+			ks = append(ks, k)
+		}
+		slices.Sort(ks)
+		e.keys[depth] = ks
 		buf = append(buf, '{')
-		for i, k := range keys {
+		for i, k := range ks {
 			if i > 0 {
 				buf = append(buf, ',')
 			}
 			buf = appendJSONString(buf, k)
 			buf = append(buf, ':')
-			buf = appendCanonical(buf, x[k])
+			buf = e.append(buf, x[k], depth+1)
 		}
 		return append(buf, '}')
 	case []any:
 		buf = append(buf, '[')
-		for i, e := range x {
+		for i, el := range x {
 			if i > 0 {
 				buf = append(buf, ',')
 			}
-			buf = appendCanonical(buf, e)
+			buf = e.append(buf, el, depth)
 		}
 		return append(buf, ']')
+	case string:
+		return appendJSONString(buf, x)
+	case bool:
+		if x {
+			return append(buf, "true"...)
+		}
+		return append(buf, "false"...)
+	case float64:
+		return appendJSONFloat(buf, x)
+	case int:
+		return strconv.AppendInt(buf, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(buf, x, 10)
+	case uint64:
+		return strconv.AppendUint(buf, x, 10)
 	default:
 		b, err := json.Marshal(x)
 		if err != nil {
@@ -135,10 +200,81 @@ func appendCanonical(buf []byte, v any) []byte {
 	}
 }
 
-func appendJSONString(buf []byte, s string) []byte {
-	b, err := json.Marshal(s)
-	if err != nil {
-		panic(err)
+// appendJSONFloat renders f exactly as encoding/json does: shortest
+// representation, 'f' form inside [1e-6, 1e21), 'e' form outside with
+// the leading zero of a two-digit negative exponent trimmed
+// ("2e-07" → "2e-7").
+func appendJSONFloat(buf []byte, f float64) []byte {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		panic(fmt.Sprintf("txn: canonicalize float64: unsupported value: %v", f))
 	}
-	return append(buf, b...)
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	buf = strconv.AppendFloat(buf, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(buf); n >= 4 && buf[n-4] == 'e' && buf[n-3] == '-' && buf[n-2] == '0' {
+			buf[n-2] = buf[n-1]
+			buf = buf[:n-1]
+		}
+	}
+	return buf
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString escapes s exactly as encoding/json with HTML
+// escaping on: control characters, quotes, backslashes, <, >, &,
+// U+2028/U+2029, and invalid UTF-8 replaced by the replacement rune.
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+				i++
+				continue
+			}
+			buf = append(buf, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				buf = append(buf, '\\', c)
+			case '\b':
+				buf = append(buf, '\\', 'b')
+			case '\f':
+				buf = append(buf, '\\', 'f')
+			case '\n':
+				buf = append(buf, '\\', 'n')
+			case '\r':
+				buf = append(buf, '\\', 'r')
+			case '\t':
+				buf = append(buf, '\\', 't')
+			default:
+				buf = append(buf, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			buf = append(buf, s[start:i]...)
+			buf = append(buf, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			buf = append(buf, s[start:i]...)
+			buf = append(buf, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	buf = append(buf, s[start:]...)
+	return append(buf, '"')
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package txn
+
+// raceEnabled reports that this binary was built with the race
+// detector, which disables sync.Pool reuse and so makes
+// zero-allocation assertions on pooled paths meaningless.
+const raceEnabled = true

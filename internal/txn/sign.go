@@ -12,8 +12,11 @@ import (
 // signature from every key listed in its OwnersBefore; signers not
 // relevant to an input are ignored. Sign must be called after the
 // transaction is otherwise complete — any later mutation invalidates
-// both the signatures and the ID.
+// both the signatures and the ID (re-signing is always safe: Sign
+// drops any memoized encoding first, so the payload reflects the
+// current content).
 func Sign(t *Transaction, signers ...*keys.KeyPair) error {
+	t.Invalidate()
 	byPub := make(map[string]*keys.KeyPair, len(signers))
 	for _, kp := range signers {
 		byPub[kp.PublicBase58()] = kp
@@ -44,7 +47,13 @@ func Sign(t *Transaction, signers ...*keys.KeyPair) error {
 // VerifyFulfillments checks validation condition C(5) shared by all
 // types: for every input, verify(s_i, pb_i, m_i) must hold. It also
 // re-verifies the transaction ID so a tampered payload fails closed.
+// A successful verdict is memoized on the transaction (dropped by
+// Invalidate/Sign/Clone), so re-running the condition during block
+// validation after batch admission already proved it costs O(1).
 func VerifyFulfillments(t *Transaction) error {
+	if t.sigVerified() {
+		return nil
+	}
 	if !t.VerifyID() {
 		return &ValidationError{Op: t.Operation, Reason: "transaction id does not match payload"}
 	}
@@ -52,6 +61,170 @@ func VerifyFulfillments(t *Transaction) error {
 	for i, in := range t.Inputs {
 		if err := verifyInput(in, payload); err != nil {
 			return &ValidationError{Op: t.Operation, Reason: fmt.Sprintf("input %d: %v", i, err)}
+		}
+	}
+	t.markSigVerified()
+	return nil
+}
+
+// BatchVerifyStats reports what one VerifyFulfillmentsBatch run did.
+type BatchVerifyStats struct {
+	// Reused counts transactions skipped entirely because their
+	// verdict was already memoized from an earlier verification.
+	Reused int
+	// Sig is the signature-level accounting from keys.VerifyBatch.
+	Sig keys.BatchStats
+}
+
+// VerifyFulfillmentsBatch verifies the fulfillments of a whole
+// admission batch as one unit: every transaction's ID check runs
+// first (memoizing its signing payload as a side effect), then all
+// signature triples are collected into a single keys.VerifyBatch
+// call — deduplicating the identical (pub, payload) pairs a
+// multi-input transaction signs once per input — and verified across
+// up to workers goroutines. Per-transaction verdicts match calling
+// VerifyFulfillments on each transaction (pinned by a differential
+// test); successes are memoized the same way. The errs map carries an
+// entry only for failing transaction IDs; duplicate IDs in the batch
+// share one verdict.
+func VerifyFulfillmentsBatch(ts []*Transaction, workers int) (errs map[string]error, stats BatchVerifyStats) {
+	errs = make(map[string]error)
+	type pending struct {
+		t      *Transaction
+		inputs []pendingInput
+	}
+	var tasks []keys.SigTask
+	work := make([]pending, 0, len(ts))
+
+	for _, t := range ts {
+		if t == nil {
+			continue
+		}
+		if _, done := errs[t.ID]; done {
+			continue // duplicate ID in batch: first verdict stands
+		}
+		if t.sigVerified() {
+			stats.Reused++
+			continue
+		}
+		if !t.VerifyID() {
+			errs[t.ID] = &ValidationError{Op: t.Operation, Reason: "transaction id does not match payload"}
+			continue
+		}
+		payload := t.SigningPayload()
+		p := pending{t: t}
+		mark := len(tasks)
+		failed := false
+		for i, in := range t.Inputs {
+			pi, err := collectInputTasks(in, payload, &tasks)
+			if err != nil {
+				errs[t.ID] = &ValidationError{Op: t.Operation, Reason: fmt.Sprintf("input %d: %v", i, err)}
+				tasks = tasks[:mark] // discard this tx's triples
+				failed = true
+				break
+			}
+			p.inputs = append(p.inputs, pi)
+		}
+		if failed {
+			continue
+		}
+		work = append(work, p)
+	}
+
+	ok, sigStats := keys.VerifyBatch(tasks, workers)
+	stats.Sig = sigStats
+
+	for _, p := range work {
+		if err := judgePending(p.t, p.inputs, ok); err != nil {
+			errs[p.t.ID] = err
+			continue
+		}
+		p.t.markSigVerified()
+	}
+	return errs, stats
+}
+
+// pendingInput maps one input's structure onto its slice of the flat
+// task list so the post-verification judgment can replay verifyInput's
+// exact semantics from the batched verdicts.
+type pendingInput struct {
+	multi      *keys.MultiSig
+	owners     []string // OwnersBefore, aligned with ownerTask
+	ownerTask  []int    // task index per owner; -1 = owner absent from multisig
+	entryTasks []int    // one task per ms.Sigs entry (threshold tally)
+	single     int      // single-sig task index; -1 for multisig
+}
+
+// collectInputTasks performs verifyInput's parse-time checks and
+// appends the input's signature triples to tasks. Errors returned here
+// are exactly the ones verifyInput reports before any signature math.
+func collectInputTasks(in *Input, payload []byte, tasks *[]keys.SigTask) (pendingInput, error) {
+	pi := pendingInput{single: -1}
+	if in.Fulfillment == "" {
+		return pi, fmt.Errorf("missing fulfillment")
+	}
+	if strings.HasPrefix(in.Fulfillment, "ms:") {
+		ms, err := keys.ParseMultiSig(in.Fulfillment)
+		if err != nil {
+			return pi, err
+		}
+		pi.multi = ms
+		pi.owners = in.OwnersBefore
+		// One task per ms.Sigs entry, mirroring MultiSig.Verify's tally
+		// where every map entry counts at most once toward the
+		// threshold; owners are then resolved onto those entries.
+		byPub := make(map[string]int, len(ms.Sigs))
+		for pub, sig := range ms.Sigs {
+			byPub[pub] = len(*tasks)
+			pi.entryTasks = append(pi.entryTasks, len(*tasks))
+			*tasks = append(*tasks, keys.SigTask{Sig: sig, Pub: pub, Msg: payload})
+		}
+		pi.ownerTask = make([]int, len(in.OwnersBefore))
+		for i, pub := range in.OwnersBefore {
+			if ti, ok := byPub[pub]; ok {
+				pi.ownerTask[i] = ti
+			} else {
+				pi.ownerTask[i] = -1
+			}
+		}
+		return pi, nil
+	}
+	if len(in.OwnersBefore) != 1 {
+		return pi, fmt.Errorf("single signature but %d owners", len(in.OwnersBefore))
+	}
+	pi.owners = in.OwnersBefore
+	pi.single = len(*tasks)
+	*tasks = append(*tasks, keys.SigTask{Sig: in.Fulfillment, Pub: in.OwnersBefore[0], Msg: payload})
+	return pi, nil
+}
+
+// judgePending replays verifyInput's verdict logic over the batched
+// signature results for each of t's inputs.
+func judgePending(t *Transaction, inputs []pendingInput, ok []bool) error {
+	fail := func(i int, err error) error {
+		return &ValidationError{Op: t.Operation, Reason: fmt.Sprintf("input %d: %v", i, err)}
+	}
+	for i, pi := range inputs {
+		if pi.multi != nil {
+			for j, pub := range pi.owners {
+				if ti := pi.ownerTask[j]; ti < 0 || !ok[ti] {
+					return fail(i, fmt.Errorf("missing or invalid signature from owner %s", abbrev(pub)))
+				}
+			}
+			valid := 0
+			for _, ti := range pi.entryTasks {
+				if ok[ti] {
+					valid++
+				}
+			}
+			ms := pi.multi
+			if ms.Threshold <= 0 || len(ms.Sigs) < ms.Threshold || valid < ms.Threshold {
+				return fail(i, fmt.Errorf("multisig threshold not met"))
+			}
+			continue
+		}
+		if !ok[pi.single] {
+			return fail(i, fmt.Errorf("invalid signature from owner %s", abbrev(pi.owners[0])))
 		}
 	}
 	return nil

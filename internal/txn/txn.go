@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Operation names — the reserved values 𝒪𝒫 of the formal model.
@@ -146,6 +147,10 @@ type Transaction struct {
 	Metadata map[string]any `json:"metadata,omitempty"`
 	// Version is the payload format version.
 	Version string `json:"version"`
+
+	// memo caches the canonical encodings and signature verdict (see
+	// cache.go). Unexported: invisible to JSON, never copied by Clone.
+	memo atomic.Pointer[txMemo]
 }
 
 // Hash returns the transaction identifier, satisfying the consensus

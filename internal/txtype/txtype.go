@@ -42,18 +42,39 @@ type Context struct {
 	State    ChainState
 	Reserved ReservedSet
 	Batch    *Batch
+
+	// resolved memoizes committed-state lookups for the lifetime of
+	// this Context (one validation call, one goroutine — no lock). A
+	// K-input transfer resolves its funding transaction once per
+	// input, and every State.GetTx decodes the stored document from
+	// scratch; sharing the first decode is safe because conditions
+	// only read the resolved transaction. Batch entries are never
+	// memoized — the batch mutates as the block grows.
+	resolved map[string]*txn.Transaction
 }
 
 // ResolveTx finds a transaction in the current batch first, then in
 // committed state — the lookup validators use for dependencies that may
-// land in the same block.
+// land in the same block. Committed-state hits are memoized per
+// Context, so repeated resolves of the same dependency cost one decode.
 func (c *Context) ResolveTx(id string) (*txn.Transaction, error) {
 	if c.Batch != nil {
 		if t, ok := c.Batch.Get(id); ok {
 			return t, nil
 		}
 	}
-	return c.State.GetTx(id)
+	if t, ok := c.resolved[id]; ok {
+		return t, nil
+	}
+	t, err := c.State.GetTx(id)
+	if err != nil {
+		return nil, err
+	}
+	if c.resolved == nil {
+		c.resolved = make(map[string]*txn.Transaction, 4)
+	}
+	c.resolved[id] = t
+	return t, nil
 }
 
 // SpentBy reports which transaction — committed or batched — spends ref.
