@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-disk test-race bench-parallel bench-storage bench-mempool bench-commit bench-query bench-mvcc bench-obs bench-shard bench-traffic bench-smoke ci
+.PHONY: all build vet test test-disk test-race bench-parallel bench-storage bench-mempool bench-commit bench-query bench-mvcc bench-obs bench-shard bench-traffic bench-pipeline bench-smoke ci
 
 all: build test
 
@@ -106,13 +106,22 @@ bench-shard:
 bench-traffic:
 	$(GO) run ./cmd/scdb-bench -exp traffic
 
+# Deep-commit-pipeline experiment: the depth sweep D=1,2,4,8 (blocks
+# concurrently mid-apply behind stacked footprint fences, sealing in
+# height order), both backends, with every depth's fingerprint checked
+# byte-for-byte against the sequential reference, plus the commit-bound
+# consensus simulation over server CommitDepth.
+bench-pipeline:
+	$(GO) run ./cmd/scdb-bench -exp pipeline
+
 # Seconds-scale smoke run of the parallel, storage, mempool, commit,
-# query, mvcc, obs, shard, and traffic experiments — part of the
-# default `make test` gate so a broken experiment path fails the
+# pipeline, query, mvcc, obs, shard, and traffic experiments — part of
+# the default `make test` gate so a broken experiment path fails the
 # build, not the next benchmarking session. Writes the
 # machine-readable results alongside the tables (obs is ungated here:
-# the smoke gate is shape, not noise).
+# the smoke gate is shape, not noise; the pipeline leg still hard-fails
+# on any fingerprint divergence from the sequential reference).
 bench-smoke:
-	$(GO) run ./cmd/scdb-bench -exp parallel,storage,mempool,commit,query,mvcc,obs,shard,traffic -json bench-smoke.json -batches 1 -batchtxs 64 -parallel 1,4 -storageblocks 2 -storagesizes 64 -mempooltxs 256 -commitblocks 3 -committxs 96 -conflicts 0.25,0.5 -querydocs 512,4096 -queryreps 16 -queryblocks 2 -querytxs 64 -queryreaders 2 -mvccblocks 4 -mvcctxs 64 -mvccreaders 2 -shardcounts 1,2 -shardcross 0,0.25 -shardchains 8 -shardrounds 2 -trafficusers 256 -traffictxs 256 -trafficinputs 2 -trafficrates 4000 -trafficbatch 32 -trafficbackends memory
+	$(GO) run ./cmd/scdb-bench -exp parallel,storage,mempool,commit,pipeline,query,mvcc,obs,shard,traffic -json bench-smoke.json -batches 1 -batchtxs 64 -parallel 1,4 -storageblocks 2 -storagesizes 64 -mempooltxs 256 -commitblocks 3 -committxs 96 -conflicts 0.25,0.5 -pipeblocks 4 -pipetxs 64 -pipedepths 1,2,4 -pipeworkers 2 -querydocs 512,4096 -queryreps 16 -queryblocks 2 -querytxs 64 -queryreaders 2 -mvccblocks 4 -mvcctxs 64 -mvccreaders 2 -shardcounts 1,2 -shardcross 0,0.25 -shardchains 8 -shardrounds 2 -trafficusers 256 -traffictxs 256 -trafficinputs 2 -trafficrates 4000 -trafficbatch 32 -trafficdepths 1,2 -trafficbackends memory
 
 ci: test test-race

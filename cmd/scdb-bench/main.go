@@ -14,6 +14,7 @@
 //	scdb-bench -exp storage -storageblocks 8 -storagesizes 64,256,1024
 //	scdb-bench -exp mempool -mempooltxs 2048 -conflicts 0.1,0.25,0.5
 //	scdb-bench -exp commit -commitblocks 6 -committxs 256 -conflicts 0.25,0.5
+//	scdb-bench -exp pipeline -pipedepths 1,2,4,8 -pipeblocks 8 -pipetxs 256
 //	scdb-bench -exp query -querydocs 1000,10000,50000 -queryreps 64
 //	scdb-bench -exp mvcc -mvccblocks 8 -mvcctxs 256 -mvccreaders 4
 //	scdb-bench -exp obs -obsgate 3      # instrumentation overhead vs the no-op registry
@@ -42,7 +43,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "comma-separated experiments: fig2 | fig7 | fig8 | usability | mix | recovery | parallel | storage | mempool | commit | query | mvcc | obs | shard | traffic | all")
+		exp        = flag.String("exp", "all", "comma-separated experiments: fig2 | fig7 | fig8 | usability | mix | recovery | parallel | storage | mempool | commit | pipeline | query | mvcc | obs | shard | traffic | all")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering every selected experiment to this path")
 		memProfile = flag.String("memprofile", "", "write a heap profile (after the last experiment) to this path")
 		jsonPath   = flag.String("json", "", "also write every selected experiment's full results as JSON to this path")
@@ -68,6 +69,11 @@ func main() {
 		mpRates    = flag.String("conflicts", "0.1,0.25,0.5", "mempool/commit experiments: comma-separated conflict rates")
 		cmBlocks   = flag.Int("commitblocks", 6, "commit experiment: blocks per measurement")
 		cmTxs      = flag.Int("committxs", 256, "commit experiment: transactions per block")
+		ppDepths   = flag.String("pipedepths", "1,2,4,8", "pipeline experiment: comma-separated concurrently-applying block bounds (1 = serial baseline)")
+		ppBlocks   = flag.Int("pipeblocks", 8, "pipeline experiment: blocks per measurement")
+		ppTxs      = flag.Int("pipetxs", 256, "pipeline experiment: transactions per block")
+		ppWorkers  = flag.Int("pipeworkers", 4, "pipeline experiment: per-block commit apply workers")
+		ppConflict = flag.Float64("pipeconflict", 0.25, "pipeline experiment: intra-block chain rate")
 		qDocs      = flag.String("querydocs", "1000,10000,50000", "query experiment: comma-separated collection sizes for the planner-vs-scan latency sweep")
 		qReps      = flag.Int("queryreps", 64, "query experiment: queries per shape per measurement")
 		qBlocks    = flag.Int("queryblocks", 8, "query experiment: blocks committed during the concurrent-throughput leg")
@@ -85,6 +91,7 @@ func main() {
 		trInputs   = flag.Int("trafficinputs", 0, "traffic experiment: inputs per transfer (default 4)")
 		trRates    = flag.String("trafficrates", "", "traffic experiment: comma-separated offered loads in tx/s (default 2000,6000)")
 		trBatch    = flag.Int("trafficbatch", 0, "traffic experiment: admission batch size (default 128)")
+		trDepths   = flag.String("trafficdepths", "", "traffic experiment: comma-separated commit pipeline depths (default 1,4)")
 		trBackends = flag.String("trafficbackends", "", "traffic experiment: comma-separated backends (default memory,disk)")
 	)
 	flag.Parse()
@@ -244,6 +251,23 @@ func main() {
 		bench.PrintCommit(os.Stdout, r)
 	}
 
+	runPipeline := func() {
+		depthList, err := parseInts(*ppDepths)
+		if err != nil {
+			fatal(err)
+		}
+		r := bench.RunPipeline(bench.PipelineParams{
+			Blocks:       *ppBlocks,
+			BlockTxs:     *ppTxs,
+			Depths:       depthList,
+			ConflictRate: *ppConflict,
+			Workers:      *ppWorkers,
+			Seed:         *seed,
+		})
+		report.Add("pipeline", r)
+		bench.PrintPipeline(os.Stdout, r)
+	}
+
 	runQuery := func() {
 		docList, err := parseInts(*qDocs)
 		if err != nil {
@@ -316,6 +340,13 @@ func main() {
 			}
 			params.Rates = rates
 		}
+		if *trDepths != "" {
+			depths, err := parseInts(*trDepths)
+			if err != nil {
+				fatal(err)
+			}
+			params.Depths = depths
+		}
 		if *trBackends != "" {
 			for _, b := range strings.Split(*trBackends, ",") {
 				params.Backends = append(params.Backends, strings.TrimSpace(b))
@@ -337,6 +368,7 @@ func main() {
 		"storage":   runStorage,
 		"mempool":   runMempool,
 		"commit":    runCommit,
+		"pipeline":  runPipeline,
 		"query":     runQuery,
 		"mvcc":      runMVCC,
 		"obs":       runObs,
@@ -384,7 +416,7 @@ func main() {
 
 // experimentOrder is the canonical run order; "all" expands to it and
 // selectExperiments validates against it.
-var experimentOrder = []string{"fig2", "fig7", "fig8", "usability", "mix", "recovery", "parallel", "storage", "mempool", "commit", "query", "mvcc", "obs", "shard", "traffic"}
+var experimentOrder = []string{"fig2", "fig7", "fig8", "usability", "mix", "recovery", "parallel", "storage", "mempool", "commit", "pipeline", "query", "mvcc", "obs", "shard", "traffic"}
 
 // selectExperiments expands a comma-separated -exp value against the
 // known experiment names: "all" expands to every experiment in

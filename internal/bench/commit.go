@@ -310,7 +310,7 @@ func RunCommit(p CommitParams) CommitResult {
 				st2, cleanup2 := commitState(backend)
 				commitSetup(st2, setup)
 				st2.SetCommitWorkers(maxWorkers)
-				fence := &parallel.Fence{}
+				fence := &parallel.PipelineFence{}
 				start = time.Now()
 				// Validate block 0 up front, then slide the window:
 				// commit b in the background while b+1 validates. Reads
@@ -322,10 +322,11 @@ func RunCommit(p CommitParams) CommitResult {
 				}
 				for i := range blocks {
 					block := blocks[i]
-					fence.Begin(parallel.WriteKeys(block))
+					h := int64(i + 2)
+					fence.Begin(h, parallel.WriteKeys(block))
 					go func() {
-						defer fence.End()
-						if _, _, err := st2.CommitBlockAt(int64(i+2), block); err != nil {
+						defer fence.End(h)
+						if _, _, err := st2.CommitBlockAt(h, block); err != nil {
 							panic(err)
 						}
 					}()

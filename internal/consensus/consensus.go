@@ -148,8 +148,19 @@ type Config struct {
 	// validation on Apps implementing AsyncApp: Commit is replaced by
 	// CommitStart on a dedicated commit resource, and the join runs
 	// when the block's CommitTime elapses. Apps without AsyncApp (or
-	// with this flag off) keep the synchronous Commit.
+	// with this flag off) keep the synchronous Commit. Kept for
+	// compatibility: AsyncCommit is exactly CommitDepth 2, and an
+	// explicit CommitDepth overrides it.
 	AsyncCommit bool
+	// CommitDepth generalizes AsyncCommit to a depth-D commit
+	// pipeline: decided blocks occupy one of D-1 commit slots (the
+	// depth's first stage is the next height's validation), so in
+	// virtual time validation of h+D-1 proceeds while blocks
+	// h..h+D-2 apply. Joins are scheduled in height order no matter
+	// which slot frees first — the seal-order invariant the app
+	// enforces for real. Depth 1 keeps the synchronous Commit; zero
+	// picks 2 when AsyncCommit is set, else 1.
+	CommitDepth int
 	// Latency is the network latency model.
 	Latency netsim.LatencyModel
 	// RetryTimeout re-submits a client transaction that has neither
@@ -187,6 +198,15 @@ func (c *Config) fill() {
 	if c.RetryTimeout <= 0 {
 		c.RetryTimeout = 2 * time.Second
 	}
+	if c.CommitDepth <= 0 {
+		if c.AsyncCommit {
+			c.CommitDepth = 2
+		} else {
+			c.CommitDepth = 1
+		}
+	}
+	// The depth is authoritative; the boolean is its >= 2 shadow.
+	c.AsyncCommit = c.CommitDepth >= 2
 	// Mempool defaults (Shards, BatchSize, the ForTransaction
 	// footprint function) apply inside mempool.New.
 }

@@ -121,11 +121,16 @@ type node struct {
 	lastProposal  time.Duration // pacing for this node's proposer role
 	lastBlockTime time.Duration // when the last block was applied locally
 	busyUntil     time.Duration // the node's single execution resource
-	// commitBusyUntil is the node's commit resource: under async
-	// commit, decided blocks occupy it instead of the execution
-	// resource, which is what lets height h+1's validation overlap
-	// block h's apply.
-	commitBusyUntil time.Duration
+	// commitSlots is the node's depth-D commit resource: under async
+	// commit a decided block occupies the earliest-free of
+	// CommitDepth-1 slots instead of the execution resource, which is
+	// what lets later heights' validation overlap the in-flight
+	// applies. Lazily sized on first use.
+	commitSlots []time.Duration
+	// lastCommitJoin orders the joins (seals) in height order even
+	// when a later block's slot frees first — the virtual-time mirror
+	// of the app's seal gate.
+	lastCommitJoin time.Duration
 }
 
 func newNode(c *Cluster, id netsim.NodeID, app App) *node {
@@ -756,19 +761,38 @@ func (n *node) applyBlock(h int64, txs []Tx) {
 	n.pool.RemoveCommitted(removed)
 	if n.asyncApp != nil && n.c.cfg.AsyncCommit {
 		// Overlapped commit: the block starts applying immediately on
-		// the app's background commit path, occupies the node's commit
-		// resource (not the execution resource validation charges),
-		// and joins — sealing plus post-commit hooks — when its slot
-		// elapses. Height h+1's validation proceeds meanwhile; reads
-		// into h's write footprint wait on the app's commit fence.
+		// the app's background commit path, occupies the earliest-free
+		// of the node's CommitDepth-1 commit slots (not the execution
+		// resource validation charges), and joins — sealing plus
+		// post-commit hooks — when its slot elapses, never before an
+		// earlier block's join (seals are height-ordered). Later
+		// heights' validation proceeds meanwhile; reads into unsealed
+		// write footprints wait on the app's commit fence.
 		join := n.asyncApp.CommitStart(h, txs)
-		now := n.c.sched.Now()
-		start := n.commitBusyUntil
-		if start < now {
+		if n.commitSlots == nil {
+			slots := n.c.cfg.CommitDepth - 1
+			if slots < 1 {
+				slots = 1
+			}
+			n.commitSlots = make([]time.Duration, slots)
+		}
+		best := 0
+		for i, free := range n.commitSlots {
+			if free < n.commitSlots[best] {
+				best = i
+			}
+		}
+		start := n.commitSlots[best]
+		if now := n.c.sched.Now(); start < now {
 			start = now
 		}
-		n.commitBusyUntil = start + n.asyncApp.CommitTime(txs)
-		n.c.sched.At(n.commitBusyUntil, join)
+		finish := start + n.asyncApp.CommitTime(txs)
+		n.commitSlots[best] = finish
+		if finish < n.lastCommitJoin {
+			finish = n.lastCommitJoin
+		}
+		n.lastCommitJoin = finish
+		n.c.sched.At(finish, join)
 	} else {
 		if n.asyncApp != nil {
 			// Serialized commit: the block occupies the node's single

@@ -172,7 +172,8 @@ type Collection struct {
 	indexes atomic.Pointer[map[string]secondaryIndex]
 
 	// plans caches compiled-plan estimate tapes by filter shape,
-	// invalidated (via its epoch) whenever the index set changes.
+	// invalidated per path (via that path's DDL epoch) when its index
+	// changes — shapes over untouched paths stay warm.
 	plans planCache
 
 	dropped atomic.Bool
@@ -432,13 +433,14 @@ func (c *Collection) buildIndex(path string, idx secondaryIndex) {
 	}
 	next[path] = idx
 	c.indexes.Store(&next)
-	c.plans.invalidate()
+	c.plans.invalidatePath(path)
 	c.obs().planCacheInvals.Inc()
 }
 
 // DropIndex removes the index on path and reports whether one existed.
-// Queries on the path fall back to full scans; cached plans that
-// depended on the index are invalidated through the epoch bump.
+// Queries on the path fall back to full scans; cached plans whose
+// filters reference the path are invalidated through its epoch bump,
+// while plans over other paths stay cached.
 func (c *Collection) DropIndex(path string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -453,7 +455,7 @@ func (c *Collection) DropIndex(path string) bool {
 		}
 	}
 	c.indexes.Store(&next)
-	c.plans.invalidate()
+	c.plans.invalidatePath(path)
 	c.obs().planCacheInvals.Inc()
 	return true
 }

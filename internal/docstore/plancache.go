@@ -18,9 +18,13 @@ import (
 // by estimate) is byte-identical to the cached compile, no index lock
 // is touched, and the materialize/probe closures bind the *current*
 // arguments and index handles, so correctness never depends on the
-// cache. Entries carry the collection's index epoch; CreateIndex /
-// CreateOrderedIndex / DropIndex bump it, so a stale entry simply
-// misses and the shape recompiles against the new index set.
+// cache. Invalidation is per path: every entry is stamped with the sum
+// of the per-path DDL epochs over the paths its filter references, and
+// CreateIndex / CreateOrderedIndex / DropIndex bump only their own
+// path's epoch. Path epochs never decrease, so any DDL on a referenced
+// path strictly moves the sum and the entry misses — while shapes over
+// untouched paths stay warm across unrelated DDL instead of being
+// flushed wholesale.
 
 // estTape carries selectivity estimates between a recording compile
 // and replaying ones. The leaf visit order is a pure function of the
@@ -55,60 +59,100 @@ func (t *estTape) est(compute func() int) int {
 type planCache struct {
 	mu      sync.RWMutex
 	entries map[string]*planEntry
-	epoch   atomic.Uint64
+	// pathEpochs maps dot-path → DDL epoch, copy-on-write so the hot
+	// path reads it with one atomic load. Mutators (buildIndex /
+	// DropIndex) run under the collection's writer lock, which
+	// serializes the read-copy-update.
+	pathEpochs atomic.Pointer[map[string]uint64]
 }
 
 type planEntry struct {
-	epoch uint64
+	stamp uint64 // epochOf the filter's paths at record time
 	vals  []int
 }
 
-// get returns the tape recorded for key at the current epoch. The
+// epochOf sums the current epochs of the given paths — the validity
+// stamp for any shape referencing exactly those paths. Epochs only
+// grow, so DDL on any referenced path strictly increases the sum.
+func (pc *planCache) epochOf(paths []string) uint64 {
+	m := pc.pathEpochs.Load()
+	if m == nil {
+		return 0
+	}
+	var sum uint64
+	for _, p := range paths {
+		sum += (*m)[p]
+	}
+	return sum
+}
+
+// get returns the tape recorded for key at the given stamp. The
 // string(key) conversion inside a map index compiles to a no-alloc
 // lookup.
-func (pc *planCache) get(key []byte, epoch uint64) ([]int, bool) {
+func (pc *planCache) get(key []byte, stamp uint64) ([]int, bool) {
 	pc.mu.RLock()
 	e := pc.entries[string(key)]
 	pc.mu.RUnlock()
-	if e == nil || e.epoch != epoch {
+	if e == nil || e.stamp != stamp {
 		return nil, false
 	}
 	return e.vals, true
 }
 
-// put stores a freshly recorded tape unless the epoch moved while the
-// compile ran (an index was created or dropped mid-flight: the tape
-// may describe indexes that no longer exist).
-func (pc *planCache) put(key []byte, epoch uint64, vals []int) {
-	if pc.epoch.Load() != epoch {
+// put stores a freshly recorded tape unless a referenced path's epoch
+// moved while the compile ran (an index on one of the filter's paths
+// was created or dropped mid-flight: the tape may describe indexes
+// that no longer exist).
+func (pc *planCache) put(key []byte, paths []string, stamp uint64, vals []int) {
+	if pc.epochOf(paths) != stamp {
 		return
 	}
 	pc.mu.Lock()
 	if pc.entries == nil {
 		pc.entries = make(map[string]*planEntry)
 	}
-	pc.entries[string(key)] = &planEntry{epoch: epoch, vals: vals}
+	pc.entries[string(key)] = &planEntry{stamp: stamp, vals: vals}
 	pc.mu.Unlock()
 }
 
-// invalidate drops every cached plan and moves the epoch so in-flight
-// recordings against the old index set are refused.
-func (pc *planCache) invalidate() {
-	pc.epoch.Add(1)
-	pc.mu.Lock()
-	pc.entries = nil
-	pc.mu.Unlock()
+// invalidatePath bumps one path's DDL epoch: every cached shape whose
+// filter references the path misses from now on (including full-scan
+// shapes recorded before the path ever had an index), and every other
+// shape stays warm. The caller must hold the collection's writer lock.
+func (pc *planCache) invalidatePath(path string) {
+	old := pc.pathEpochs.Load()
+	var next map[string]uint64
+	if old == nil {
+		next = map[string]uint64{path: 1}
+	} else {
+		next = make(map[string]uint64, len(*old)+1)
+		for p, e := range *old {
+			next[p] = e
+		}
+		next[path]++
+	}
+	pc.pathEpochs.Store(&next)
 }
 
-// shapeKeyPool recycles key scratch so a cache hit allocates nothing.
-var shapeKeyPool = sync.Pool{New: func() any { s := make([]byte, 0, 128); return &s }}
+// shapeScratch recycles the shape key and referenced-path scratch so a
+// cache hit allocates nothing.
+type shapeScratch struct {
+	key   []byte
+	paths []string
+}
+
+var shapeScratchPool = sync.Pool{New: func() any {
+	return &shapeScratch{key: make([]byte, 0, 128), paths: make([]string, 0, 8)}
+}}
 
 // appendShape serializes everything compile's control flow depends on:
 // node kinds, paths, operators, child counts, and each argument's
 // index class (indexKey scalar-ness and ordValueOf comparison class
 // are both functions of the class alone). Two filters with equal shape
-// keys compile to structurally identical plans modulo estimates.
-func appendShape(dst []byte, n Node) []byte {
+// keys compile to structurally identical plans modulo estimates. It
+// also collects every referenced dot-path into paths — the set the
+// entry's per-path epoch stamp is computed over.
+func appendShape(dst []byte, paths []string, n Node) ([]byte, []string) {
 	switch n.Kind {
 	case KindField:
 		dst = append(dst, 'F')
@@ -120,6 +164,7 @@ func appendShape(dst []byte, n Node) []byte {
 		for _, a := range n.List {
 			dst = append(dst, argClass(a))
 		}
+		paths = append(paths, n.Path)
 	case KindAnd, KindOr:
 		marker := byte('&')
 		if n.Kind == KindOr {
@@ -128,19 +173,19 @@ func appendShape(dst []byte, n Node) []byte {
 		dst = append(dst, marker)
 		dst = binary.AppendUvarint(dst, uint64(len(n.Children)))
 		for _, ch := range n.Children {
-			dst = appendShape(dst, ch)
+			dst, paths = appendShape(dst, paths, ch)
 		}
 	case KindNot:
 		dst = append(dst, '!')
 		for _, ch := range n.Children {
-			dst = appendShape(dst, ch)
+			dst, paths = appendShape(dst, paths, ch)
 		}
 	case KindAll:
 		dst = append(dst, '*')
 	default:
 		dst = append(dst, '?')
 	}
-	return dst
+	return dst, paths
 }
 
 // argClass buckets an argument value by how the planner can use it:

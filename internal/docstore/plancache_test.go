@@ -192,27 +192,120 @@ func TestExplainFreshAcrossSameShapeArgs(t *testing.T) {
 }
 
 // TestPlanCacheEpochRace: a put recorded against a pre-invalidation
-// epoch must be refused — the tape may describe dropped indexes.
+// path epoch must be refused — the tape may describe dropped indexes.
+// A put whose paths were untouched by the DDL is accepted.
 func TestPlanCacheEpochRace(t *testing.T) {
 	var pc planCache
 	key := []byte("shape")
-	epoch := pc.epoch.Load()
-	pc.invalidate() // DDL lands while the recording compile runs
-	pc.put(key, epoch, []int{1, 2, 3})
-	if _, ok := pc.get(key, pc.epoch.Load()); ok {
+	paths := []string{"u"}
+	stamp := pc.epochOf(paths)
+	pc.invalidatePath("u") // DDL on u lands while the recording compile runs
+	pc.put(key, paths, stamp, []int{1, 2, 3})
+	if _, ok := pc.get(key, pc.epochOf(paths)); ok {
 		t.Fatal("stale-epoch tape was cached")
 	}
 	// A recording against the current epoch is accepted.
-	now := pc.epoch.Load()
-	pc.put(key, now, []int{4})
+	now := pc.epochOf(paths)
+	pc.put(key, paths, now, []int{4})
 	if vals, ok := pc.get(key, now); !ok || len(vals) != 1 || vals[0] != 4 {
 		t.Fatalf("current-epoch tape not served: %v %v", vals, ok)
 	}
-	// And a get at a moved epoch misses even though the entry exists.
-	pc.epoch.Add(1)
-	if _, ok := pc.get(key, pc.epoch.Load()); ok {
-		t.Fatal("entry from an older epoch served after epoch moved")
+	// DDL on an unrelated path leaves the entry valid...
+	pc.invalidatePath("other")
+	if _, ok := pc.get(key, pc.epochOf(paths)); !ok {
+		t.Fatal("unrelated DDL invalidated the entry")
 	}
+	// ...while DDL on a referenced path moves its stamp and misses.
+	pc.invalidatePath("u")
+	if _, ok := pc.get(key, pc.epochOf(paths)); ok {
+		t.Fatal("entry from an older path epoch served after DDL on its path")
+	}
+	// A put recorded concurrently with an unrelated DDL also lands.
+	key2, paths2 := []byte("shape2"), []string{"op", "n"}
+	stamp2 := pc.epochOf(paths2)
+	pc.invalidatePath("u")
+	pc.put(key2, paths2, stamp2, []int{7})
+	if vals, ok := pc.get(key2, pc.epochOf(paths2)); !ok || vals[0] != 7 {
+		t.Fatal("unrelated mid-compile DDL refused a valid recording")
+	}
+}
+
+// TestPlanCacheCrossDDLWarmth is the cross-DDL differential: index DDL
+// on one path must replan every shape referencing that path (including
+// full-scan shapes on a previously-unindexed path) while shapes over
+// untouched paths stay warm — and every query result stays identical
+// to the index-free scan across each DDL step.
+func TestPlanCacheCrossDDLWarmth(t *testing.T) {
+	c := plannerFixture(t)
+	reg := obs.New()
+	c.setObs(reg)
+	hits := reg.Counter("docstore.plan_cache.hits")
+	misses := reg.Counter("docstore.plan_cache.misses")
+
+	fOp := Eq("op", "A")  // indexed path "op"
+	fN := Gt("n", 4)      // ordered-indexed path "n"
+	fU := Eq("u", 10)     // unindexed path "u": full-scan shape
+	all := []Filter{fOp, fN, fU}
+	check := func(step string) {
+		t.Helper()
+		for _, f := range all {
+			if got, want := c.Find(f), c.FindScan(f); !sameDocSet(got, want) {
+				t.Fatalf("%s: cached plan diverges from scan for %v", step, f)
+			}
+		}
+	}
+	for _, f := range all {
+		c.Plan(f) // warm every shape
+	}
+	check("warm")
+
+	// DDL on "u" (create an index where none existed): the full-scan
+	// shape on u must miss and replan to a point lookup; op and n
+	// shapes must stay warm.
+	h0, m0 := hits.Value(), misses.Value()
+	c.CreateIndex("u")
+	c.Plan(fOp)
+	c.Plan(fN)
+	if hits.Value() != h0+2 || misses.Value() != m0 {
+		t.Fatalf("unrelated shapes went cold after CreateIndex(u): hits %d→%d misses %d→%d",
+			h0, hits.Value(), m0, misses.Value())
+	}
+	if got := c.Plan(fU).String(); got != `point(u eq 10)[1]` {
+		t.Fatalf("post-index plan on u = %s (stale full-scan tape?)", got)
+	}
+	if misses.Value() != m0+1 {
+		t.Fatalf("shape on u did not replan after CreateIndex(u): misses %d→%d", m0, misses.Value())
+	}
+	check("create-u")
+
+	// DDL on "op" (drop): the op shape falls back to a full scan; the
+	// n and u shapes stay warm.
+	h1, m1 := hits.Value(), misses.Value()
+	if !c.DropIndex("op") {
+		t.Fatal("DropIndex(op) = false")
+	}
+	c.Plan(fN)
+	c.Plan(fU)
+	if hits.Value() != h1+2 || misses.Value() != m1 {
+		t.Fatalf("unrelated shapes went cold after DropIndex(op): hits %d→%d misses %d→%d",
+			h1, hits.Value(), m1, misses.Value())
+	}
+	if got := c.Plan(fOp).String(); got != `full-scan(no index on "op")` {
+		t.Fatalf("post-drop plan on op = %s (stale indexed tape?)", got)
+	}
+	check("drop-op")
+
+	// A compound shape referencing both a touched and an untouched
+	// path must miss when either of its paths moves.
+	fBoth := And(Gt("n", 4), Eq("u", 10))
+	c.Plan(fBoth)
+	mm := misses.Value()
+	c.DropIndex("u")
+	c.Plan(fBoth)
+	if misses.Value() != mm+1 {
+		t.Fatal("compound shape referencing a dropped path did not replan")
+	}
+	check("drop-u")
 }
 
 func sameDocSet(a, b []map[string]any) bool {

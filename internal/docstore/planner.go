@@ -137,24 +137,24 @@ func (a *Access) String() string {
 func (c *Collection) Plan(f Filter) *Access {
 	p := planner{idx: c.indexMap(), probes: c.obs().indexProbes}
 	n := Analyze(f)
-	keyp := shapeKeyPool.Get().(*[]byte)
-	key := appendShape((*keyp)[:0], n)
-	epoch := c.plans.epoch.Load()
+	sc := shapeScratchPool.Get().(*shapeScratch)
+	key, paths := appendShape(sc.key[:0], sc.paths[:0], n)
+	stamp := c.plans.epochOf(paths)
 	ob := c.obs()
-	if vals, hit := c.plans.get(key, epoch); hit {
+	if vals, hit := c.plans.get(key, stamp); hit {
 		ob.planCacheHits.Inc()
 		p.tape = &estTape{vals: vals, replay: true}
 		a := p.compile(n)
-		*keyp = key
-		shapeKeyPool.Put(keyp)
+		sc.key, sc.paths = key, paths
+		shapeScratchPool.Put(sc)
 		return a
 	}
 	ob.planCacheMisses.Inc()
 	p.tape = &estTape{}
 	a := p.compile(n)
-	c.plans.put(key, epoch, p.tape.vals)
-	*keyp = key
-	shapeKeyPool.Put(keyp)
+	c.plans.put(key, paths, stamp, p.tape.vals)
+	sc.key, sc.paths = key, paths
+	shapeScratchPool.Put(sc)
 	return a
 }
 
@@ -177,14 +177,14 @@ func (c *Collection) Plan(f Filter) *Access {
 // set never differs.
 func (c *Collection) Explain(f Filter) string {
 	n := Analyze(f)
-	epoch := c.plans.epoch.Load()
 	p := planner{idx: c.indexMap(), probes: c.obs().indexProbes, tape: &estTape{}}
+	sc := shapeScratchPool.Get().(*shapeScratch)
+	key, paths := appendShape(sc.key[:0], sc.paths[:0], n)
+	stamp := c.plans.epochOf(paths)
 	a := p.compile(n)
-	keyp := shapeKeyPool.Get().(*[]byte)
-	key := appendShape((*keyp)[:0], n)
-	c.plans.put(key, epoch, p.tape.vals)
-	*keyp = key
-	shapeKeyPool.Put(keyp)
+	c.plans.put(key, paths, stamp, p.tape.vals)
+	sc.key, sc.paths = key, paths
+	shapeScratchPool.Put(sc)
 	return a.String()
 }
 

@@ -44,6 +44,10 @@ type State struct {
 	// by mu, which every commit path already holds.
 	ob  ledgerObs
 	reg *obs.Registry
+	// sealGate orders the deep commit pipeline's block seals by
+	// height: overlapped commits (pipeline.go) register here and park
+	// until every earlier block's WAL group has sealed.
+	sealGate storage.SealGate
 }
 
 // NewState creates a chain state over the backend selected by the

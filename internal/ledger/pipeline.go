@@ -1,0 +1,170 @@
+package ledger
+
+import (
+	"sync/atomic"
+	"time"
+
+	"smartchaindb/internal/obs"
+	"smartchaindb/internal/parallel"
+	"smartchaindb/internal/storage"
+	"smartchaindb/internal/txn"
+)
+
+// The depth-N commit pipeline splits CommitBlockAt across threads the
+// way commitBlockPipelined splits it across phases: BeginBlockCommit
+// reserves block h's slot in the seal order (on the ordered consensus
+// thread), Stage runs the plan/apply phases off the state lock — so
+// several blocks' staging can overlap — and Seal parks at the storage
+// seal gate until h-1 has sealed, then applies the staged ops as one
+// atomic WAL group. The WAL byte stream, the document iteration
+// order, and the MVCC height bracketing are identical to the
+// sequential CommitBlockAt at every depth.
+//
+// Soundness contract: Stage reads committed state through the writer
+// view while *earlier* blocks may still be applying or sealing, so
+// the caller must guarantee the batch's touch (read+write) footprint
+// is disjoint from every earlier unsealed block's write footprint
+// before calling Stage — parallel.PipelineFence.WaitApply is exactly
+// that guarantee. Given disjointness, every key staging reads has the
+// same value it would have after the earlier seals, so the staged ops
+// — and therefore the sealed bytes — equal the sequential outcome.
+
+// BeginBlockCommit reserves height's slot in the seal order and
+// returns the pending commit. Heights must be reserved in strictly
+// increasing order; the returned commit must eventually Seal (or
+// Abandon), or every later height parks forever at the seal gate.
+func (s *State) BeginBlockCommit(height int64) *PendingCommit {
+	return &PendingCommit{s: s, height: height, ticket: s.sealGate.Register(height)}
+}
+
+// PendingCommit is one in-flight block of the deep commit pipeline.
+type PendingCommit struct {
+	s      *State
+	height int64
+	ticket *storage.SealTicket
+
+	batch  []*txn.Transaction
+	staged []*stagedTx
+	plan   *parallel.Plan
+
+	t0     time.Time
+	planD  time.Duration
+	applyD time.Duration
+	busy   int64
+}
+
+// Stage runs the plan and apply phases for the block's batch without
+// holding the state lock: conflict groups stage their write ops
+// against committed state plus group-local overlays, exactly as the
+// single-threaded pipelined commit does. With CommitWorkers < 2 (or a
+// single-transaction batch) the batch stages sequentially against one
+// shared overlay — the same check-then-stage sequence, block order.
+func (p *PendingCommit) Stage(batch []*txn.Transaction) {
+	s := p.s
+	p.batch = batch
+	p.t0 = time.Now()
+	p.staged = make([]*stagedTx, len(batch))
+	if s.commitWorkers > 1 && len(batch) > 1 {
+		p.plan = parallel.BuildPlan(batch)
+		p.planD = time.Since(p.t0)
+		var busy atomic.Int64
+		applyT := time.Now()
+		p.plan.RunGroups(s.commitWorkers, func(g []int) {
+			gt := time.Now()
+			overlay := newGroupOverlay(s)
+			for _, i := range g {
+				p.staged[i] = overlay.stageTx(batch[i])
+			}
+			busy.Add(int64(time.Since(gt)))
+		})
+		p.applyD = time.Since(applyT)
+		p.busy = busy.Load()
+		return
+	}
+	applyT := time.Now()
+	overlay := newGroupOverlay(s)
+	for i, t := range batch {
+		p.staged[i] = overlay.stageTx(t)
+	}
+	p.applyD = time.Since(applyT)
+	p.busy = int64(p.applyD)
+}
+
+// Seal applies the staged block: it parks until every earlier
+// reserved height has sealed (the storage seal gate — WAL groups land
+// in height order no matter which applier finishes first), then takes
+// the state lock, brackets the MVCC block, and applies the staged ops
+// in block order inside one atomic WAL group, followed by the height
+// record. Semantics of the results match CommitBlockAt.
+func (p *PendingCommit) Seal() (committed []*txn.Transaction, skipped map[string]error, err error) {
+	s := p.s
+	stalled := p.ticket.Enter()
+	defer p.ticket.Done()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if stalled {
+		s.ob.sealStalls.Inc()
+	}
+	bk := s.store.Backend()
+	bk.BeginBlock(p.height)
+	defer func() {
+		bk.SealBlock(p.height)
+		s.store.SweepIndexes()
+	}()
+	sealT := time.Now()
+	committed = make([]*txn.Transaction, 0, len(p.batch))
+	err = s.store.Group(func() error {
+		for i, t := range p.batch {
+			st := p.staged[i]
+			if st.err != nil {
+				if skipped == nil {
+					skipped = make(map[string]error)
+				}
+				skipped[t.ID] = st.err
+				continue
+			}
+			if serr := s.sealTx(st); serr != nil {
+				// The apply phase vouched for these ops; a failure here
+				// means the backend lost a write mid-block.
+				return serr
+			}
+			committed = append(committed, t)
+		}
+		ids := make([]any, len(committed))
+		for i, t := range committed {
+			ids[i] = t.ID
+		}
+		return s.store.Collection(ColBlocks).Upsert(blockKey(p.height), map[string]any{
+			"height": float64(p.height),
+			"count":  float64(len(committed)),
+			"txids":  ids,
+		})
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if p.height > s.lastHeight {
+		s.lastHeight = p.height
+	}
+	sealD := time.Since(sealT)
+	if s.ob.tracer != nil { // guard: the id projections allocate
+		cids := txIDs(committed)
+		s.ob.tracer.ObserveEach(txIDs(p.batch), obs.StageApply, p.applyD)
+		s.ob.tracer.ObserveEach(cids, obs.StageSeal, sealD)
+		s.ob.sealTraces(p.height, cids, skipped)
+	}
+	s.ob.recordBlock(p.height, p.planD, p.applyD, sealD, time.Since(p.t0), len(p.batch), len(committed), len(skipped))
+	s.ob.applyBusyNs.Add(uint64(p.busy))
+	s.ob.applyWallNs.Add(uint64(p.applyD))
+	if p.plan != nil {
+		s.ob.conflictGroups.Observe(int64(len(p.plan.Groups)))
+		s.ob.largestGroup.Observe(int64(p.plan.Largest()))
+	}
+	return committed, skipped, nil
+}
+
+// Abandon releases the block's seal slot without writing anything —
+// the escape hatch for a caller that reserved a height and then could
+// not produce the block. Later heights proceed as if this one never
+// existed.
+func (p *PendingCommit) Abandon() { p.ticket.Done() }

@@ -14,6 +14,11 @@ type Scheduler struct {
 	// below 2 select the sequential path.
 	Workers int
 
+	// Cache is the owning node's canonical-bytes cache scope, threaded
+	// into every validation Context. Nil selects the package default
+	// scope (caching on).
+	Cache *txn.CacheScope
+
 	// OnValidate, when set, is invoked with entering=true immediately
 	// before a transaction's condition set runs and with
 	// entering=false right after. Test instrumentation for the
@@ -87,7 +92,7 @@ func (s *Scheduler) ValidateBatchFresh(reg *txtype.Registry, state txtype.ChainS
 			defer s.OnValidate(t, false)
 		}
 		if i >= len(fresh) || !fresh[i] {
-			ctx := &txtype.Context{State: state, Reserved: reserved, Batch: res.Batch}
+			ctx := &txtype.Context{State: state, Reserved: reserved, Batch: res.Batch, Cache: s.Cache}
 			if err := reg.Validate(ctx, t); err != nil {
 				errAt[i] = err
 				return

@@ -97,6 +97,7 @@ func NewCluster(cfg ClusterConfig) *Cluster {
 		MaxBlockTxs:   cfg.MaxBlockTxs,
 		Pipelined:     cfg.Pipelined,
 		AsyncCommit:   cfg.Node.AsyncCommit,
+		CommitDepth:   cfg.Node.CommitDepth,
 		Latency:       cfg.Latency,
 		Mempool: mempool.Config{
 			Shards:      cfg.MempoolShards,

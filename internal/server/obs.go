@@ -17,6 +17,13 @@ type nodeObs struct {
 	fenceWaitNs *obs.Histogram // server.fence.wait_ns
 	overlapWon  *obs.Counter   // server.fence.overlap_won
 	overlapLost *obs.Counter   // server.fence.overlap_lost
+	// Deep commit pipeline: the live in-flight depth, admissions that
+	// parked because the ring was full (fence stack waits), and
+	// appliers that stalled at the apply gate behind an intersecting
+	// earlier block.
+	inflight    *obs.Gauge   // server.pipeline.inflight
+	stackWaits  *obs.Counter // server.fence.stack_waits
+	applyStalls *obs.Counter // server.fence.apply_stalls
 	validateNs  *obs.Histogram // server.validate_ns
 	groups      *obs.Histogram // server.validate.conflict_groups
 	largest     *obs.Histogram // server.validate.largest_group
@@ -36,6 +43,9 @@ func newNodeObs(reg *obs.Registry) nodeObs {
 		fenceWaitNs: reg.Histogram("server.fence.wait_ns"),
 		overlapWon:  reg.Counter("server.fence.overlap_won"),
 		overlapLost: reg.Counter("server.fence.overlap_lost"),
+		inflight:    reg.Gauge("server.pipeline.inflight"),
+		stackWaits:  reg.Counter("server.fence.stack_waits"),
+		applyStalls: reg.Counter("server.fence.apply_stalls"),
 		validateNs:  reg.Histogram("server.validate_ns"),
 		groups:      reg.Histogram("server.validate.conflict_groups"),
 		largest:     reg.Histogram("server.validate.largest_group"),
@@ -49,15 +59,15 @@ func newNodeObs(reg *obs.Registry) nodeObs {
 }
 
 // observeFastPath accounts one batched signature verification and
-// refreshes the canonical-bytes cache gauges from the txn package's
-// process-wide tallies, so /metrics always shows the latest totals
-// without the hot path touching the registry per transaction.
+// refreshes the canonical-bytes cache gauges from this node's cache
+// scope, so /metrics always shows the latest totals without the hot
+// path touching the registry per transaction.
 func (n *Node) observeFastPath(stats txn.BatchVerifyStats) {
 	n.ob.sigTasks.Add(uint64(stats.Sig.Tasks))
 	n.ob.sigDedup.Add(uint64(stats.Sig.DedupHits))
 	n.ob.sigReused.Add(uint64(stats.Reused))
 	if n.ob.canonHits != nil {
-		hits, misses := txn.CacheStats()
+		hits, misses := n.cache.Stats()
 		n.ob.canonHits.Set(int64(hits))
 		n.ob.canonMisses.Set(int64(misses))
 	}

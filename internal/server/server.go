@@ -67,8 +67,23 @@ type Config struct {
 	// with height h+1's validation: Commit runs behind the node's
 	// commit fence (reads at h+1 that touch h's write footprint wait
 	// on the fence; disjoint ones proceed). Wired through
-	// consensus.Config.AsyncCommit by the cluster.
+	// consensus.Config.AsyncCommit by the cluster. Kept for
+	// compatibility: AsyncCommit is exactly CommitDepth 2, and setting
+	// CommitDepth explicitly overrides it.
 	AsyncCommit bool
+	// CommitDepth is the commit pipeline's depth: how many pipeline
+	// stages a decided block can overlap. Depth 1 serializes —
+	// validation of h+1 starts only after block h seals (the
+	// synchronous reference path). Depth 2 overlaps one in-flight
+	// commit with the next height's validation (the old AsyncCommit).
+	// Depth D lets up to D-1 blocks be mid-apply concurrently —
+	// admitted by the footprint fence, staged against MVCC overlays,
+	// sealed strictly in height order so the WAL fsync is the only
+	// serial stage. Blocks whose footprints intersect never apply
+	// concurrently regardless of depth, so state bytes are identical
+	// to the sequential commit at every depth. Zero picks the default:
+	// 2 when AsyncCommit is set, else 1.
+	CommitDepth int
 	// CommitTimePerTx is the simulated per-transaction cost of the
 	// commit stage on the consensus engine's commit resource (only
 	// meaningful with AsyncCommit; zero keeps commits free in virtual
@@ -94,10 +109,12 @@ type Config struct {
 	AdmitFilter func(*txn.Transaction) error
 	// DisableAdmissionFastPath turns off the batched, deduplicating
 	// signature pre-verification CheckTxBatch runs before dispatching
-	// the semantic condition sets. The verdict set is identical either
-	// way (the condition sets verify per transaction when no memoized
-	// verdict exists); only latency changes. Exists for benchmarks that
-	// measure the uncached baseline.
+	// the semantic condition sets, and with it this node's
+	// canonical-bytes cache scope: a disabled node re-canonicalizes and
+	// re-verifies from scratch on every validation, without touching
+	// the memos cached nodes in the same process maintain. The verdict
+	// set is identical either way; only latency changes. Exists for
+	// benchmarks that measure the uncached baseline.
 	DisableAdmissionFastPath bool
 	// Obs attaches an observability registry to every layer of the
 	// node: ledger commit histograms, docstore planner counters,
@@ -115,6 +132,28 @@ func (c *Config) fill() {
 	if c.ValidationTimePerTx <= 0 {
 		c.ValidationTimePerTx = time.Millisecond
 	}
+	if c.CommitDepth <= 0 {
+		if c.AsyncCommit {
+			c.CommitDepth = 2
+		} else {
+			c.CommitDepth = 1
+		}
+	}
+	// The depth is authoritative; the boolean is its >= 2 shadow, kept
+	// coherent for layers that still branch on it.
+	c.AsyncCommit = c.CommitDepth >= 2
+}
+
+// fenceDepth maps the pipeline depth onto the fence's in-flight
+// bound: stage one of a depth-D pipeline is the next height's
+// validation, so up to D-1 commits may be mid-flight at once (never
+// below 1 — the synchronous path still publishes its single in-flight
+// footprint).
+func (c *Config) fenceDepth() int {
+	if d := c.CommitDepth - 1; d > 1 {
+		return d
+	}
+	return 1
 }
 
 // Node is one SmartchainDB validator.
@@ -127,6 +166,11 @@ type Node struct {
 	nested   *nested.Engine
 	sched    *parallel.Scheduler
 	ob       nodeObs
+
+	// cache is this node's canonical-bytes cache scope, threaded into
+	// every validation path so one process can host cached and
+	// uncached validators side by side.
+	cache *txn.CacheScope
 
 	// baseHeight is the ledger height recovered at open; consensus
 	// heights (always starting at 1 per run) are committed relative
@@ -142,14 +186,18 @@ type Node struct {
 	plan    *parallel.Plan
 
 	// fence orders validation against the in-flight asynchronous block
-	// commit: while a block applies in the background its write
-	// footprint is published here, and validation paths whose
-	// footprints intersect it wait for the seal — a cross-height data
-	// dependency (a verdict at h+1 must observe h's overlapping
-	// writes), not a memory-safety requirement. Plain reads — queries,
-	// analytics, fingerprints — take no fence at all: they run on MVCC
-	// snapshots of the last sealed block (ledger.StateView).
-	fence parallel.Fence
+	// commits: while up to CommitDepth-1 blocks apply in the
+	// background their write footprints are published here, and
+	// validation paths whose footprints intersect any of them wait for
+	// the seal — a cross-height data dependency (a verdict at h+k must
+	// observe the overlapping unsealed writes), not a memory-safety
+	// requirement. The fence also gates the appliers themselves
+	// (WaitApply: intersecting blocks never apply concurrently) and
+	// bounds the pipeline (Begin parks when the ring is full). Plain
+	// reads — queries, analytics, fingerprints — take no fence at all:
+	// they run on MVCC snapshots of the last sealed block
+	// (ledger.StateView).
+	fence parallel.PipelineFence
 
 	submitChild nested.Submitter
 }
@@ -174,15 +222,18 @@ func OpenNode(cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	cache := txn.NewCacheScope(!cfg.DisableAdmissionFastPath)
 	n := &Node{
 		cfg:      cfg,
 		schemas:  schema.MustNewRegistry(),
 		types:    validate.NewRegistry(),
 		state:    state,
 		reserved: keys.NewReservedWithDefaults(cfg.ReservedSeed),
-		sched:    &parallel.Scheduler{Workers: cfg.ParallelWorkers},
+		sched:    &parallel.Scheduler{Workers: cfg.ParallelWorkers, Cache: cache},
 		ob:       newNodeObs(cfg.Obs),
+		cache:    cache,
 	}
+	n.fence.SetDepth(cfg.fenceDepth())
 	n.submitChild = func(child *txn.Transaction) {
 		// Standalone default: apply children locally and synchronously.
 		_ = n.Apply(child)
@@ -271,7 +322,7 @@ func (n *Node) ValidateTx(t *txn.Transaction) error {
 		return err
 	}
 	n.waitFence(parallel.TouchKeys([]*txn.Transaction{t}))
-	ctx := &txtype.Context{State: n.state.View(), Reserved: n.reserved}
+	ctx := &txtype.Context{State: n.state.View(), Reserved: n.reserved, Cache: n.cache}
 	return n.types.Validate(ctx, t)
 }
 
@@ -380,10 +431,10 @@ func (n *Node) CheckTxBatch(txs []consensus.Tx) map[string]error {
 		// failing with the exact error — including the condition name
 		// and ordering relative to structural conditions — the per-tx
 		// path produces. Correctness never depends on this stage.
-		_, stats := txn.VerifyFulfillmentsBatch(batch, n.cfg.AdmissionWorkers)
+		_, stats := n.cache.VerifyFulfillmentsBatch(batch, n.cfg.AdmissionWorkers)
 		n.observeFastPath(stats)
 	}
-	sched := &parallel.Scheduler{Workers: n.cfg.AdmissionWorkers}
+	sched := &parallel.Scheduler{Workers: n.cfg.AdmissionWorkers, Cache: n.cache}
 	var plan *parallel.Plan
 	if n.cfg.AdmissionWorkers > 1 && len(batch) > 1 {
 		// The plan doubles as the fence key source, so the batch's
@@ -566,30 +617,51 @@ func (n *Node) Commit(height int64, txs []consensus.Tx) {
 }
 
 // CommitStart is the asynchronous half of the commit pipeline (the
-// consensus.AsyncApp surface): it publishes the block's write
-// footprint on the commit fence, starts the ledger's (possibly
-// per-conflict-group parallel) apply in the background, and returns a
-// join. Validation of height h+1 proceeds meanwhile; its reads into
-// this block's writes wait on the fence, disjoint reads run
-// concurrently with the appliers. The join blocks until the block is
-// sealed and then runs the nested-transaction hooks on the caller's
-// thread — child submissions re-enter the network at join time, never
-// from the background goroutine.
+// consensus.AsyncApp surface): it admits the block into the depth-N
+// pipeline — publishing its write footprint on the commit fence and
+// reserving its slot in the seal order — then stages and seals it in
+// the background, and returns a join. Validation of later heights
+// proceeds meanwhile; reads into any unsealed block's writes wait on
+// the fence, disjoint reads run concurrently with the appliers. With
+// CommitDepth > 2 several disjoint blocks stage concurrently; blocks
+// whose footprints intersect serialize at the fence's apply gate, and
+// every block's WAL group seals strictly in height order, so the
+// durable prefix is always a block prefix. Begin parks when
+// CommitDepth-1 blocks are already in flight — the backpressure that
+// bounds the pipeline. The join blocks until the block is sealed and
+// then runs the nested-transaction hooks on the caller's thread —
+// child submissions re-enter the network at join time, never from the
+// background goroutine.
 func (n *Node) CommitStart(height int64, txs []consensus.Tx) (join func()) {
 	batch := asTransactions(txs)
-	// Begin waits out any previous in-flight commit, so blocks seal in
-	// height order even when decided back to back.
-	n.fence.Begin(parallel.WriteKeys(batch))
+	h := n.baseHeight + height
+	if waited := n.fence.Begin(h, parallel.WriteKeys(batch)); waited {
+		n.ob.stackWaits.Inc()
+	}
+	n.ob.inflight.Set(int64(n.fence.InFlight()))
+	// Reserve the seal slot on the caller's (ordered) thread, so the
+	// ledger seals blocks in decide order no matter how the background
+	// appliers interleave.
+	pending := n.state.BeginBlockCommit(h)
 	done := make(chan struct{})
 	var committed []*txn.Transaction
 	go func() {
 		defer close(done)
-		defer n.fence.End()
+		// Apply gate: stage only once no earlier unsealed block's
+		// writes intersect this block's reads or writes — the
+		// precondition that makes overlapped staging read exactly the
+		// sequential prefix.
+		if stalled := n.fence.WaitApply(h, parallel.TouchKeys(batch)); stalled {
+			n.ob.applyStalls.Inc()
+		}
+		pending.Stage(batch)
 		var err error
-		committed, _, err = n.state.CommitBlockAt(n.baseHeight+height, batch)
+		committed, _, err = pending.Seal()
 		if err != nil {
 			panic(fmt.Sprintf("server: block %d lost durability: %v", height, err))
 		}
+		n.fence.End(h)
+		n.ob.inflight.Set(int64(n.fence.InFlight()))
 	}()
 	var once sync.Once
 	return func() {

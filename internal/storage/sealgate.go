@@ -1,0 +1,104 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// SealGate orders block seals by height when appliers overlap. The
+// Backend contract requires blocks to be sequential — BeginBlock(h+1)
+// only after SealBlock(h) — and every block's WAL group to land in
+// height order, so the durable prefix is always a block prefix. With
+// a depth-N commit pipeline several blocks stage concurrently and
+// finish staging in arbitrary order; the gate is the serialization
+// point in front of the backend: an applier registers its height up
+// front (in height order, on the ordered consensus thread) and later
+// enters the gate when its staging completes, parking until every
+// earlier-registered height has sealed. Inside the gate the holder
+// runs its BeginBlock → Group → SealBlock bracket exclusively, so
+// out-of-order appliers can never reorder WAL groups.
+//
+// The zero value is ready to use.
+type SealGate struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	// queue holds the registered-but-unsealed heights in registration
+	// (= height) order; the head is the only height allowed to seal.
+	queue []int64
+	// sealing marks a ticket inside Enter..Done (gate exclusivity).
+	sealing bool
+}
+
+// SealTicket is one registered height's place in the seal order.
+type SealTicket struct {
+	g       *SealGate
+	height  int64
+	entered bool
+	done    bool
+}
+
+func (g *SealGate) signal() *sync.Cond {
+	if g.cond == nil {
+		g.cond = sync.NewCond(&g.mu)
+	}
+	return g.cond
+}
+
+// Register reserves height's slot in the seal order. Heights must be
+// registered in strictly increasing order — the caller's decide loop
+// provides that — and Register panics on a regression, since a
+// misordered registration would deadlock the gate later.
+func (g *SealGate) Register(height int64) *SealTicket {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if n := len(g.queue); n > 0 && g.queue[n-1] >= height {
+		panic(fmt.Sprintf("storage: seal gate Register(%d) after height %d", height, g.queue[n-1]))
+	}
+	g.queue = append(g.queue, height)
+	return &SealTicket{g: g, height: height}
+}
+
+// Enter parks until every height registered before this ticket has
+// sealed, then takes the gate exclusively. The caller runs its
+// BeginBlock → Group → SealBlock bracket and must call Done. It
+// reports whether the ticket had to stall behind an earlier unsealed
+// height — the seal-reorder stall the pipeline metrics count.
+func (t *SealTicket) Enter() (stalled bool) {
+	g := t.g
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for len(g.queue) == 0 || g.queue[0] != t.height || g.sealing {
+		stalled = true
+		g.signal().Wait()
+	}
+	g.sealing = true
+	t.entered = true
+	return stalled
+}
+
+// Done releases the gate and admits the next registered height. It
+// panics on reuse so a double seal is caught at the gate, not in the
+// WAL. A ticket abandoned without Enter (a commit that failed before
+// sealing) still must call Done, or every later height deadlocks.
+func (t *SealTicket) Done() {
+	g := t.g
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if t.done {
+		panic(fmt.Sprintf("storage: seal gate Done(%d) twice", t.height))
+	}
+	t.done = true
+	if t.entered {
+		g.sealing = false
+	}
+	// Pop this height wherever it sits: the common case is the head
+	// (an entered ticket), but an abandoned ticket may retire from the
+	// middle of the queue.
+	for i, h := range g.queue {
+		if h == t.height {
+			g.queue = append(g.queue[:i], g.queue[i+1:]...)
+			break
+		}
+	}
+	g.signal().Broadcast()
+}

@@ -1,0 +1,83 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSealGateOrdersOutOfOrderAppliers pins the gate contract: tickets
+// entered out of registration order seal strictly in height order.
+func TestSealGateOrdersOutOfOrderAppliers(t *testing.T) {
+	var g SealGate
+	tickets := make([]*SealTicket, 0, 4)
+	for h := int64(1); h <= 4; h++ {
+		tickets = append(tickets, g.Register(h))
+	}
+	var mu sync.Mutex
+	var order []int64
+	var wg sync.WaitGroup
+	// Enter in reverse: every ticket but the head must stall.
+	for i := len(tickets) - 1; i >= 0; i-- {
+		tk := tickets[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tk.Enter()
+			mu.Lock()
+			order = append(order, tk.height)
+			mu.Unlock()
+			tk.Done()
+		}()
+		time.Sleep(5 * time.Millisecond) // bias the race toward reverse entry
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	for i, h := range order {
+		if h != int64(i+1) {
+			t.Fatalf("seal order %v, want heights ascending", order)
+		}
+	}
+}
+
+// TestSealGateAbandonedTicketUnblocks checks that a registered height
+// that never seals (a failed commit calling Done without Enter) does
+// not wedge later heights.
+func TestSealGateAbandonedTicketUnblocks(t *testing.T) {
+	var g SealGate
+	t1 := g.Register(1)
+	t2 := g.Register(2)
+	done := make(chan struct{})
+	go func() {
+		t2.Enter()
+		t2.Done()
+		close(done)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("height 2 sealed before height 1 retired")
+	default:
+	}
+	t1.Done() // abandon height 1
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("height 2 never admitted after height 1 was abandoned")
+	}
+}
+
+// TestSealGateDoubleDonePanics pins the double-seal guard.
+func TestSealGateDoubleDonePanics(t *testing.T) {
+	var g SealGate
+	tk := g.Register(1)
+	tk.Enter()
+	tk.Done()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Done did not panic")
+		}
+	}()
+	tk.Done()
+}

@@ -7,6 +7,13 @@
 // different nodes of an in-process cluster can share one transaction
 // object without locks or races.
 //
+// Whether a code path consults and populates the memo is decided per
+// CacheScope, not process-wide: each validator node owns a scope, so
+// one process can host cached and uncached validators side by side
+// (the benchmarks' caches-on-vs-off legs run as two node configs, not
+// a global flip). Unscoped entry points use the package default scope,
+// which is always enabled.
+//
 // Invalidation contract: the blessed mutation points inside this
 // package (Sign re-canonicalizes from scratch; SetID drops the
 // ID-covering encoding) maintain the cache themselves. Code that
@@ -29,26 +36,53 @@ type txMemo struct {
 	verified  atomic.Bool
 }
 
-var (
-	cacheOn     atomic.Bool
-	cacheHits   atomic.Uint64
-	cacheMisses atomic.Uint64
-)
-
-func init() { cacheOn.Store(true) }
-
-// SetCacheEnabled toggles the process-wide canonical-bytes cache and
-// returns the previous setting. It exists for benchmarks that measure
-// the uncached baseline and must not be flipped while transactions are
-// in flight (a disabled cache is never consulted, so stale reads are
-// impossible, but hit/miss accounting becomes meaningless).
-func SetCacheEnabled(on bool) bool { return cacheOn.Swap(on) }
-
-// CacheStats reports process-wide canonical-bytes cache hits and
-// misses (SigningPayload + MarshalCanonical lookups).
-func CacheStats() (hits, misses uint64) {
-	return cacheHits.Load(), cacheMisses.Load()
+// CacheScope is one validator's policy handle for the canonical-bytes
+// cache: whether memoized encodings and signature verdicts are
+// consulted and recorded, and whose hit/miss tallies move. The memo
+// cells themselves live on the Transaction and are shared across every
+// scope that has caching on — a disabled scope simply never reads or
+// writes them. A nil *CacheScope means the package default scope
+// (caching on), so zero-configured callers keep the fast behavior.
+type CacheScope struct {
+	disabled bool
+	hits     atomic.Uint64
+	misses   atomic.Uint64
 }
+
+// NewCacheScope returns a scope with caching on or off. The off scope
+// is what an uncached validator threads through its validation paths;
+// it never consults the memo, so its measurements are honest re-work.
+func NewCacheScope(enabled bool) *CacheScope {
+	return &CacheScope{disabled: !enabled}
+}
+
+// defaultCacheScope backs every unscoped entry point in this package.
+var defaultCacheScope = &CacheScope{}
+
+// DefaultCacheScope returns the always-enabled scope unscoped calls
+// use — the process-wide hit/miss tallies live here.
+func DefaultCacheScope() *CacheScope { return defaultCacheScope }
+
+func (s *CacheScope) orDefault() *CacheScope {
+	if s == nil {
+		return defaultCacheScope
+	}
+	return s
+}
+
+// Enabled reports whether this scope consults the cache (nil-safe).
+func (s *CacheScope) Enabled() bool { return !s.orDefault().disabled }
+
+// Stats reports this scope's canonical-bytes cache hits and misses
+// (SigningPayload + MarshalCanonical lookups; nil-safe).
+func (s *CacheScope) Stats() (hits, misses uint64) {
+	s = s.orDefault()
+	return s.hits.Load(), s.misses.Load()
+}
+
+// CacheStats reports the default scope's canonical-bytes cache hits
+// and misses — the tallies of every unscoped lookup in the process.
+func CacheStats() (hits, misses uint64) { return defaultCacheScope.Stats() }
 
 // Invalidate drops every memoized encoding and the signature verdict.
 // Call it after mutating a transaction's fields in place; Sign calls
@@ -74,35 +108,37 @@ func (t *Transaction) dropDerivedMemo() {
 	}
 }
 
-func (t *Transaction) cachedSigning() []byte {
-	if !cacheOn.Load() {
+func (t *Transaction) cachedSigning(sc *CacheScope) []byte {
+	sc = sc.orDefault()
+	if sc.disabled {
 		return nil
 	}
 	if m := t.memo.Load(); m != nil && m.signing != nil {
-		cacheHits.Add(1)
+		sc.hits.Add(1)
 		return m.signing
 	}
-	cacheMisses.Add(1)
+	sc.misses.Add(1)
 	return nil
 }
 
-func (t *Transaction) cachedCanonical() []byte {
-	if !cacheOn.Load() {
+func (t *Transaction) cachedCanonical(sc *CacheScope) []byte {
+	sc = sc.orDefault()
+	if sc.disabled {
 		return nil
 	}
 	if m := t.memo.Load(); m != nil && m.canonical != nil {
-		cacheHits.Add(1)
+		sc.hits.Add(1)
 		return m.canonical
 	}
-	cacheMisses.Add(1)
+	sc.misses.Add(1)
 	return nil
 }
 
 // storeSigning publishes a freshly computed signing payload,
 // preserving whatever else the current generation holds. Racing
 // writers compute identical bytes, so last-write-wins is benign.
-func (t *Transaction) storeSigning(b []byte) {
-	if !cacheOn.Load() {
+func (t *Transaction) storeSigning(sc *CacheScope, b []byte) {
+	if sc.orDefault().disabled {
 		return
 	}
 	for {
@@ -118,8 +154,8 @@ func (t *Transaction) storeSigning(b []byte) {
 	}
 }
 
-func (t *Transaction) storeCanonical(b []byte) {
-	if !cacheOn.Load() {
+func (t *Transaction) storeCanonical(sc *CacheScope, b []byte) {
+	if sc.orDefault().disabled {
 		return
 	}
 	for {
@@ -137,8 +173,8 @@ func (t *Transaction) storeCanonical(b []byte) {
 
 // sigVerified reports a memoized successful VerifyFulfillments for the
 // current cache generation.
-func (t *Transaction) sigVerified() bool {
-	if !cacheOn.Load() {
+func (t *Transaction) sigVerified(sc *CacheScope) bool {
+	if sc.orDefault().disabled {
 		return false
 	}
 	m := t.memo.Load()
@@ -148,8 +184,8 @@ func (t *Transaction) sigVerified() bool {
 // markSigVerified memoizes a successful VerifyFulfillments so the
 // per-type condition sets (which re-run it during block validation)
 // pay O(1) for a transaction the admission batch already proved.
-func (t *Transaction) markSigVerified() {
-	if !cacheOn.Load() {
+func (t *Transaction) markSigVerified(sc *CacheScope) {
+	if sc.orDefault().disabled {
 		return
 	}
 	if m := t.memo.Load(); m != nil {

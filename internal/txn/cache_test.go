@@ -199,7 +199,7 @@ func TestVerifiedMemoSkipsRecheck(t *testing.T) {
 	if err := VerifyFulfillments(tr); err != nil {
 		t.Fatalf("first: %v", err)
 	}
-	if !tr.sigVerified() {
+	if !tr.sigVerified(nil) {
 		t.Fatal("verdict not memoized")
 	}
 	if err := VerifyFulfillments(tr); err != nil {
@@ -207,17 +207,63 @@ func TestVerifiedMemoSkipsRecheck(t *testing.T) {
 	}
 }
 
-// TestSetCacheEnabledOff: with the cache disabled nothing is memoized
-// and verification recomputes every time.
-func TestSetCacheEnabledOff(t *testing.T) {
-	prev := SetCacheEnabled(false)
-	defer SetCacheEnabled(prev)
+// TestDisabledScopeMemoizesNothing: a disabled scope verifies
+// correctly but records nothing on the transaction — no encodings, no
+// verdict — and, since it never consults the cache, tallies neither
+// hits nor misses.
+func TestDisabledScopeMemoizesNothing(t *testing.T) {
+	sc := NewCacheScope(false)
 	tr, _ := signedTransfer(t, 26)
-	if err := VerifyFulfillments(tr); err != nil {
+	tr.Invalidate() // Sign ran under the default scope; start cold
+	if err := sc.VerifyFulfillments(tr); err != nil {
 		t.Fatalf("verify: %v", err)
 	}
-	if tr.memo.Load() != nil && tr.memo.Load().verified.Load() {
-		t.Fatal("verdict memoized with cache disabled")
+	if tr.memo.Load() != nil {
+		t.Fatal("memo populated with cache disabled")
+	}
+	if h, m := sc.Stats(); h != 0 || m != 0 {
+		t.Fatalf("disabled scope tallied %d hits / %d misses, want 0/0", h, m)
+	}
+}
+
+// TestScopesCoexist: one process hosting a cached and an uncached
+// validator over the same transaction object. The enabled scope
+// memoizes and reuses; the disabled scope keeps re-verifying from
+// scratch, blind to the memo the other one wrote.
+func TestScopesCoexist(t *testing.T) {
+	on := NewCacheScope(true)
+	off := NewCacheScope(false)
+	tr, _ := signedTransfer(t, 27)
+	tr.Invalidate()
+
+	if err := on.VerifyFulfillments(tr); err != nil {
+		t.Fatalf("enabled verify: %v", err)
+	}
+	if !tr.sigVerified(on) {
+		t.Fatal("enabled scope did not memoize the verdict")
+	}
+	_, misses := on.Stats()
+	if misses == 0 {
+		t.Fatal("enabled scope's cold verify recorded no misses")
+	}
+
+	// The disabled scope ignores the memo entirely: its fast path stays
+	// cold and a batch run reuses nothing.
+	if tr.sigVerified(off) {
+		t.Fatal("disabled scope saw the enabled scope's verdict")
+	}
+	errs, stats := off.VerifyFulfillmentsBatch([]*Transaction{tr}, 2)
+	if len(errs) != 0 {
+		t.Fatalf("disabled batch errs = %v", errs)
+	}
+	if stats.Reused != 0 || stats.Sig.Tasks == 0 {
+		t.Fatalf("disabled batch stats = %+v, want 0 reused and fresh signature work", stats)
+	}
+
+	// Meanwhile the enabled scope serves everything from the memo.
+	errs, stats = on.VerifyFulfillmentsBatch([]*Transaction{tr}, 2)
+	if len(errs) != 0 || stats.Reused != 1 || stats.Sig.Tasks != 0 {
+		t.Fatalf("enabled batch errs=%v stats=%+v, want clean reuse", errs, stats)
 	}
 }
 
@@ -305,7 +351,7 @@ func TestVerifyFulfillmentsBatchDifferential(t *testing.T) {
 			if _, bad := errs[tx.ID]; bad {
 				continue
 			}
-			if !tx.sigVerified() {
+			if !tx.sigVerified(nil) {
 				t.Fatalf("workers=%d: passing tx %.8s not memoized", workers, tx.ID)
 			}
 		}

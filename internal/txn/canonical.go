@@ -51,12 +51,16 @@ func FromDoc(doc map[string]any) (*Transaction, error) {
 // which is what makes SHA3-256 identifiers and signatures stable across
 // nodes and languages. The result is memoized (see cache.go) — callers
 // must treat it as read-only.
-func (t *Transaction) MarshalCanonical() []byte {
-	if b := t.cachedCanonical(); b != nil {
+func (t *Transaction) MarshalCanonical() []byte { return t.marshalCanonical(nil) }
+
+// marshalCanonical is MarshalCanonical under an explicit cache scope
+// (nil = the package default, caching on).
+func (t *Transaction) marshalCanonical(sc *CacheScope) []byte {
+	if b := t.cachedCanonical(sc); b != nil {
 		return b
 	}
 	b := canonicalize(t.ToDoc())
-	t.storeCanonical(b)
+	t.storeCanonical(sc, b)
 	return b
 }
 
@@ -66,8 +70,12 @@ func (t *Transaction) MarshalCanonical() []byte {
 // itself). Children are also excluded because a nested parent's child
 // IDs are assigned by the server after signing. The result is memoized
 // (see cache.go) — callers must treat it as read-only.
-func (t *Transaction) SigningPayload() []byte {
-	if b := t.cachedSigning(); b != nil {
+func (t *Transaction) SigningPayload() []byte { return t.signingPayload(nil) }
+
+// signingPayload is SigningPayload under an explicit cache scope (nil
+// = the package default, caching on).
+func (t *Transaction) signingPayload(sc *CacheScope) []byte {
+	if b := t.cachedSigning(sc); b != nil {
 		return b
 	}
 	doc := t.ToDoc()
@@ -81,14 +89,16 @@ func (t *Transaction) SigningPayload() []byte {
 		}
 	}
 	b := canonicalize(doc)
-	t.storeSigning(b)
+	t.storeSigning(sc, b)
 	return b
 }
 
 // ComputeID returns the transaction identifier: lowercase hex SHA3-256
 // of the signing payload.
-func (t *Transaction) ComputeID() string {
-	sum := sha3.Sum256(t.SigningPayload())
+func (t *Transaction) ComputeID() string { return t.computeID(nil) }
+
+func (t *Transaction) computeID(sc *CacheScope) string {
+	sum := sha3.Sum256(t.signingPayload(sc))
 	return hex.EncodeToString(sum[:])
 }
 
@@ -101,7 +111,11 @@ func (t *Transaction) SetID() {
 }
 
 // VerifyID reports whether the stored ID matches the recomputed one.
-func (t *Transaction) VerifyID() bool { return t.ID != "" && t.ID == t.ComputeID() }
+func (t *Transaction) VerifyID() bool { return t.verifyID(nil) }
+
+func (t *Transaction) verifyID(sc *CacheScope) bool {
+	return t.ID != "" && t.ID == t.computeID(sc)
+}
 
 // CanonicalizeDoc renders any JSON-safe document in the same canonical
 // form as MarshalCanonical — sorted keys, no whitespace — so byte-wise

@@ -50,20 +50,30 @@ func Sign(t *Transaction, signers ...*keys.KeyPair) error {
 // A successful verdict is memoized on the transaction (dropped by
 // Invalidate/Sign/Clone), so re-running the condition during block
 // validation after batch admission already proved it costs O(1).
+// The free function runs under the package default cache scope; a
+// validator with its own scope calls the CacheScope method instead.
 func VerifyFulfillments(t *Transaction) error {
-	if t.sigVerified() {
+	return (*CacheScope)(nil).VerifyFulfillments(t)
+}
+
+// VerifyFulfillments is the scoped form: memo lookups, verdict
+// memoization, and hit/miss tallies all follow this scope's policy. A
+// disabled scope re-verifies from scratch every time and records
+// nothing (nil-safe; nil = the default scope, caching on).
+func (sc *CacheScope) VerifyFulfillments(t *Transaction) error {
+	if t.sigVerified(sc) {
 		return nil
 	}
-	if !t.VerifyID() {
+	if !t.verifyID(sc) {
 		return &ValidationError{Op: t.Operation, Reason: "transaction id does not match payload"}
 	}
-	payload := t.SigningPayload()
+	payload := t.signingPayload(sc)
 	for i, in := range t.Inputs {
 		if err := verifyInput(in, payload); err != nil {
 			return &ValidationError{Op: t.Operation, Reason: fmt.Sprintf("input %d: %v", i, err)}
 		}
 	}
-	t.markSigVerified()
+	t.markSigVerified(sc)
 	return nil
 }
 
@@ -86,8 +96,17 @@ type BatchVerifyStats struct {
 // VerifyFulfillments on each transaction (pinned by a differential
 // test); successes are memoized the same way. The errs map carries an
 // entry only for failing transaction IDs; duplicate IDs in the batch
-// share one verdict.
+// share one verdict. The free function runs under the package default
+// cache scope.
 func VerifyFulfillmentsBatch(ts []*Transaction, workers int) (errs map[string]error, stats BatchVerifyStats) {
+	return (*CacheScope)(nil).VerifyFulfillmentsBatch(ts, workers)
+}
+
+// VerifyFulfillmentsBatch is the scoped form of the batch verifier
+// (nil-safe; nil = the default scope, caching on). A disabled scope
+// never reuses memoized verdicts, so Reused stays 0 and every
+// signature is re-checked.
+func (sc *CacheScope) VerifyFulfillmentsBatch(ts []*Transaction, workers int) (errs map[string]error, stats BatchVerifyStats) {
 	errs = make(map[string]error)
 	type pending struct {
 		t      *Transaction
@@ -103,15 +122,15 @@ func VerifyFulfillmentsBatch(ts []*Transaction, workers int) (errs map[string]er
 		if _, done := errs[t.ID]; done {
 			continue // duplicate ID in batch: first verdict stands
 		}
-		if t.sigVerified() {
+		if t.sigVerified(sc) {
 			stats.Reused++
 			continue
 		}
-		if !t.VerifyID() {
+		if !t.verifyID(sc) {
 			errs[t.ID] = &ValidationError{Op: t.Operation, Reason: "transaction id does not match payload"}
 			continue
 		}
-		payload := t.SigningPayload()
+		payload := t.signingPayload(sc)
 		p := pending{t: t}
 		mark := len(tasks)
 		failed := false
@@ -139,7 +158,7 @@ func VerifyFulfillmentsBatch(ts []*Transaction, workers int) (errs map[string]er
 			errs[p.t.ID] = err
 			continue
 		}
-		p.t.markSigVerified()
+		p.t.markSigVerified(sc)
 	}
 	return errs, stats
 }
